@@ -1,0 +1,48 @@
+# msod — build/test/bench entry points.
+
+GO ?= go
+
+.PHONY: all build test test-race cover bench fuzz experiments examples lint clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzz pass over every fuzz target (seeds always run under `make test`).
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/bctx
+	$(GO) test -fuzz=FuzzMatchBind -fuzztime=30s ./internal/bctx
+	$(GO) test -fuzz=FuzzParseMSoDPolicySet -fuzztime=30s ./internal/policy
+	$(GO) test -fuzz=FuzzParseRBACPolicy -fuzztime=30s ./internal/policy
+
+# Regenerate every EXPERIMENTS.md table.
+experiments:
+	$(GO) run ./cmd/msodbench
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/bankaudit
+	$(GO) run ./examples/taxrefund
+	$(GO) run ./examples/vofederation
+	$(GO) run ./examples/procurement
+
+lint:
+	gofmt -l .
+	$(GO) vet ./...
+
+clean:
+	rm -f cover.out

@@ -1,0 +1,313 @@
+// Command msodd runs an MSoD-enforcing PDP as an HTTP service: the
+// distributed deployment of §4/§5. It loads an RBACPolicy XML document
+// (with its embedded MSoDPolicySet), recovers or opens the retained ADI
+// (audit-trail replay, encrypted snapshot, or the self-recovering
+// durable store), and serves the decision, advice and management
+// endpoints until SIGINT/SIGTERM, shutting down gracefully. SIGHUP
+// hot-reloads the policy file over the live retained ADI; a failed
+// reload keeps the previous policy serving.
+//
+// Usage:
+//
+//	msodd -policy policy.xml -addr :8443 \
+//	      -trail ./trail -trail-key-file key.txt \
+//	      -recover trail
+//
+//	msodd -policy policy.xml -adi ./adi -adi-secret-file secret.txt
+//
+// Endpoints:
+//
+//	POST /v1/decision    access control decisions
+//	POST /v1/advice      advisory (side-effect-free) decisions
+//	POST /v1/management  retained-ADI management (§4.3)
+//	GET  /v1/health      liveness + policy ID
+//	GET  /v1/metrics     decision counters (Prometheus text format)
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"msod"
+)
+
+// options are the parsed command-line settings.
+type options struct {
+	policyPath string
+	addr       string
+	trailDir   string
+	keyFile    string
+	recover    string
+	snapPath   string
+	snapSecret string
+	segSize    int
+	adiDir     string
+	adiSecret  string
+	adiSync    bool
+}
+
+func parseFlags(args []string) (*options, error) {
+	fs := flag.NewFlagSet("msodd", flag.ContinueOnError)
+	o := &options{}
+	fs.StringVar(&o.policyPath, "policy", "", "path to the RBACPolicy XML document (required)")
+	fs.StringVar(&o.addr, "addr", ":8443", "listen address")
+	fs.StringVar(&o.trailDir, "trail", "", "audit trail directory (empty disables the trail)")
+	fs.StringVar(&o.keyFile, "trail-key-file", "", "file holding the trail HMAC key")
+	fs.StringVar(&o.recover, "recover", "none", "retained-ADI recovery: none | trail | snapshot")
+	fs.StringVar(&o.snapPath, "snapshot", "", "encrypted snapshot path (for -recover snapshot)")
+	fs.StringVar(&o.snapSecret, "snapshot-secret-file", "", "file holding the snapshot secret")
+	fs.IntVar(&o.segSize, "trail-segment", 4096, "audit trail entries per segment")
+	fs.StringVar(&o.adiDir, "adi", "", "durable retained-ADI directory (self-recovering; overrides -recover)")
+	fs.StringVar(&o.adiSecret, "adi-secret-file", "", "file holding the durable ADI secret")
+	fs.BoolVar(&o.adiSync, "adi-sync", false, "fsync every durable-ADI mutation")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if o.policyPath == "" {
+		return nil, errors.New("msodd: -policy is required")
+	}
+	return o, nil
+}
+
+// loadPolicy reads, parses and lints the policy file.
+func loadPolicy(path string, logf func(format string, args ...any)) (*msod.Policy, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("read policy: %w", err)
+	}
+	pol, err := msod.ParsePolicy(raw)
+	if err != nil {
+		return nil, fmt.Errorf("parse policy: %w", err)
+	}
+	// Surface lint findings; they do not block.
+	if findings, err := msod.LintPolicy(pol); err == nil {
+		for _, f := range findings {
+			logf("msodd: policy %s", f)
+		}
+	}
+	return pol, nil
+}
+
+// deps are the long-lived runtime dependencies a PDP is built over;
+// they survive policy hot-reloads.
+type deps struct {
+	store msod.ADIRecorder
+	trail *msod.AuditWriter
+}
+
+// buildPDP assembles the PDP from options, returning the reusable
+// dependencies and a cleanup function that flushes stores and trails on
+// shutdown.
+func buildPDP(o *options, logf func(format string, args ...any)) (*msod.PDP, *deps, func(), error) {
+	pol, err := loadPolicy(o.policyPath, logf)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	var cleanups []func()
+	cleanup := func() {
+		for i := len(cleanups) - 1; i >= 0; i-- {
+			cleanups[i]()
+		}
+	}
+	fail := func(err error) (*msod.PDP, *deps, func(), error) {
+		cleanup()
+		return nil, nil, nil, err
+	}
+
+	var trailKey []byte
+	if o.keyFile != "" {
+		k, err := os.ReadFile(o.keyFile)
+		if err != nil {
+			return fail(fmt.Errorf("read trail key: %w", err))
+		}
+		trailKey = []byte(strings.TrimSpace(string(k)))
+	}
+
+	cfg := msod.PDPConfig{Policy: pol}
+
+	if o.adiDir != "" {
+		if o.adiSecret == "" {
+			return fail(errors.New("-adi needs -adi-secret-file"))
+		}
+		secret, err := os.ReadFile(o.adiSecret)
+		if err != nil {
+			return fail(fmt.Errorf("read ADI secret: %w", err))
+		}
+		ds, err := msod.OpenDurableADI(o.adiDir, secret, o.adiSync)
+		if err != nil {
+			return fail(fmt.Errorf("open durable ADI: %w", err))
+		}
+		cleanups = append(cleanups, func() {
+			if err := ds.Compact(); err != nil {
+				logf("msodd: compact durable ADI: %v", err)
+			}
+			if err := ds.Close(); err != nil {
+				logf("msodd: close durable ADI: %v", err)
+			}
+		})
+		logf("msodd: durable retained ADI open with %d records", ds.Len())
+		cfg.Store = ds
+	} else {
+		switch o.recover {
+		case "none":
+		case "trail":
+			if o.trailDir == "" || len(trailKey) == 0 {
+				return fail(errors.New("-recover trail needs -trail and -trail-key-file"))
+			}
+			store, stats, err := msod.Recover(pol, msod.RecoveryConfig{
+				Mode: msod.RecoverFromTrail, TrailDir: o.trailDir, TrailKey: trailKey,
+			})
+			if err != nil {
+				return fail(fmt.Errorf("trail recovery: %w", err))
+			}
+			logf("msodd: recovered %d retained-ADI records from %d events (%d diverged)",
+				stats.Records, stats.Events, stats.Diverged)
+			cfg.Store = store
+		case "snapshot":
+			if o.snapPath == "" || o.snapSecret == "" {
+				return fail(errors.New("-recover snapshot needs -snapshot and -snapshot-secret-file"))
+			}
+			secret, err := os.ReadFile(o.snapSecret)
+			if err != nil {
+				return fail(fmt.Errorf("read snapshot secret: %w", err))
+			}
+			snap, err := msod.NewADISecureStore(o.snapPath, secret)
+			if err != nil {
+				return fail(fmt.Errorf("open snapshot: %w", err))
+			}
+			store, stats, err := msod.Recover(pol, msod.RecoveryConfig{
+				Mode: msod.RecoverFromSnapshot, Snapshot: snap,
+			})
+			if err != nil {
+				return fail(fmt.Errorf("snapshot recovery: %w", err))
+			}
+			logf("msodd: loaded %d retained-ADI records from snapshot", stats.Records)
+			cfg.Store = store
+		default:
+			return fail(fmt.Errorf("unknown -recover mode %q", o.recover))
+		}
+	}
+
+	if o.trailDir != "" {
+		if len(trailKey) == 0 {
+			return fail(errors.New("-trail needs -trail-key-file"))
+		}
+		w, err := msod.NewAuditWriter(o.trailDir, trailKey, o.segSize)
+		if err != nil {
+			return fail(fmt.Errorf("open trail: %w", err))
+		}
+		cleanups = append(cleanups, func() {
+			if err := w.Close(); err != nil {
+				logf("msodd: close trail: %v", err)
+			}
+		})
+		cfg.Trail = w
+	}
+
+	if cfg.Store == nil {
+		// Pin the store so policy hot-reloads keep the same history.
+		cfg.Store = msod.NewADIStore()
+	}
+	p, err := msod.NewPDP(cfg)
+	if err != nil {
+		return fail(fmt.Errorf("build PDP: %w", err))
+	}
+	return p, &deps{store: cfg.Store, trail: cfg.Trail}, cleanup, nil
+}
+
+// reloadPDP builds a fresh PDP from the current policy file over the
+// existing store and trail — the SIGHUP hot-reload path. The retained
+// ADI carries over, so history-dependent decisions are unaffected by
+// the policy swap (and a changed MSoD set applies to the existing
+// history immediately, as §5.2's restart semantics do).
+func reloadPDP(o *options, d *deps, logf func(format string, args ...any)) (*msod.PDP, error) {
+	pol, err := loadPolicy(o.policyPath, logf)
+	if err != nil {
+		return nil, err
+	}
+	return msod.NewPDP(msod.PDPConfig{Policy: pol, Store: d.store, Trail: d.trail})
+}
+
+// serve runs the HTTP server on the listener until ctx is cancelled,
+// then shuts down gracefully. The handler is read through the pointer
+// on every request, so a SIGHUP policy reload swaps it atomically.
+func serve(ctx context.Context, ln net.Listener, cur *atomic.Pointer[msod.Server], logf func(string, ...any)) error {
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cur.Load().ServeHTTP(w, r)
+	})}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	logf("msodd: listening on %s", ln.Addr())
+
+	select {
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		logf("msodd: shutting down")
+		if err := srv.Shutdown(shutCtx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		<-errCh // Serve has returned ErrServerClosed
+		return nil
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}
+
+func main() {
+	o, err := parseFlags(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	p, d, cleanup, err := buildPDP(o, log.Printf)
+	if err != nil {
+		log.Fatalf("msodd: %v", err)
+	}
+	defer cleanup()
+	log.Printf("msodd: policy %q loaded", p.PolicyID())
+
+	var cur atomic.Pointer[msod.Server]
+	cur.Store(msod.NewServer(p))
+
+	// SIGHUP hot-reloads the policy over the live store and trail; a
+	// failed reload keeps the previous policy serving.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			np, err := reloadPDP(o, d, log.Printf)
+			if err != nil {
+				log.Printf("msodd: policy reload failed, keeping previous: %v", err)
+				continue
+			}
+			cur.Store(msod.NewServer(np))
+			log.Printf("msodd: policy %q reloaded", np.PolicyID())
+		}
+	}()
+
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		log.Fatalf("msodd: listen: %v", err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := serve(ctx, ln, &cur, log.Printf); err != nil {
+		log.Fatalf("msodd: %v", err)
+	}
+}

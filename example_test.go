@@ -1,0 +1,134 @@
+package msod_test
+
+import (
+	"fmt"
+	"log"
+
+	"msod"
+)
+
+// Example reproduces the paper's Example 1 in a few lines: a bank
+// employee who handled cash in an audit period may not audit that same
+// period, even in a later session at another branch.
+func Example() {
+	policyXML := []byte(`
+<RBACPolicy id="bank">
+  <RoleList><Role value="Teller"/><Role value="Auditor"/></RoleList>
+  <TargetAccessPolicy>
+    <Grant role="Teller" operation="HandleCash" target="till"/>
+    <Grant role="Auditor" operation="Audit" target="ledger"/>
+  </TargetAccessPolicy>
+  <MSoDPolicySet>
+    <MSoDPolicy BusinessContext="Branch=*, Period=!">
+      <MMER ForbiddenCardinality="2">
+        <Role type="employee" value="Teller"/>
+        <Role type="employee" value="Auditor"/>
+      </MMER>
+    </MSoDPolicy>
+  </MSoDPolicySet>
+</RBACPolicy>`)
+
+	pol, err := msod.ParsePolicy(policyXML)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := msod.NewPDP(msod.PDPConfig{Policy: pol})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dec, _ := p.Decide(msod.Request{
+		User: "alice", Roles: []msod.RoleName{"Teller"},
+		Operation: "HandleCash", Target: "till",
+		Context: msod.MustContext("Branch=York, Period=2006"),
+	})
+	fmt.Println("teller work:", dec.Allowed)
+
+	dec, _ = p.Decide(msod.Request{
+		User: "alice", Roles: []msod.RoleName{"Auditor"},
+		Operation: "Audit", Target: "ledger",
+		Context: msod.MustContext("Branch=Leeds, Period=2006"),
+	})
+	fmt.Println("same-period audit:", dec.Allowed, "-", dec.Phase)
+
+	// Output:
+	// teller work: true
+	// same-period audit: false - msod
+}
+
+// ExampleNewEngine shows the engine layer alone: MMEP with a repeated
+// privilege capping executions per business context instance.
+func ExampleNewEngine() {
+	approve := msod.Permission{Operation: "approve", Object: "check"}
+	eng, err := msod.NewEngine(msod.NewADIStore(), []msod.EnginePolicy{{
+		Context: msod.MustContext("taxRefundProcess=!"),
+		MMEP: []msod.MMEPRule{{
+			Privileges:  []msod.Permission{approve, approve},
+			Cardinality: 2,
+		}},
+	}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	req := msod.EngineRequest{
+		User: "m1", Roles: []msod.RoleName{"Manager"},
+		Operation: "approve", Target: "check",
+		Context: msod.MustContext("taxRefundProcess=p1"),
+	}
+	for i := 1; i <= 2; i++ {
+		dec, _ := eng.Evaluate(req)
+		fmt.Printf("approval %d: %s\n", i, dec.Effect)
+	}
+	// Output:
+	// approval 1: grant
+	// approval 2: deny
+}
+
+// ExampleParseContext shows business context names and their matching
+// semantics.
+func ExampleParseContext() {
+	policyCtx := msod.MustContext("Branch=*, Period=!")
+	instance := msod.MustContext("Branch=York, Period=2006")
+	fmt.Println("policy context:", policyCtx)
+	fmt.Println("is instance:", policyCtx.IsInstance(), "/", instance.IsInstance())
+	fmt.Println("instance depth:", instance.Len())
+	// Output:
+	// policy context: Branch=*, Period=!
+	// is instance: false / true
+	// instance depth: 2
+}
+
+// ExampleLintPolicy shows the policy linter catching a role-name typo
+// that would otherwise silently disable a constraint.
+func ExampleLintPolicy() {
+	pol, err := msod.ParsePolicy([]byte(`
+<RBACPolicy id="typo">
+  <RoleList><Role value="Teller"/><Role value="Auditor"/></RoleList>
+  <TargetAccessPolicy>
+    <Grant role="Teller" operation="HandleCash" target="till"/>
+    <Grant role="Auditor" operation="Audit" target="ledger"/>
+  </TargetAccessPolicy>
+  <MSoDPolicySet>
+    <MSoDPolicy BusinessContext="Period=!">
+      <MMER ForbiddenCardinality="2">
+        <Role type="e" value="Teller"/>
+        <Role type="e" value="Auditr"/>
+      </MMER>
+    </MSoDPolicy>
+  </MSoDPolicySet>
+</RBACPolicy>`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	findings, err := msod.LintPolicy(pol)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range findings {
+		if f.Severity == msod.LintWarn {
+			fmt.Println(f)
+		}
+	}
+	// Output:
+	// warning: MSoDPolicy[0].MMER[0]: role "Auditr" is not declared in RoleList; the constraint can never match it
+}

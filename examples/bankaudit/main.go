@@ -1,0 +1,178 @@
+// Bankaudit reproduces Example 1 of the paper in full, including the
+// Figure 2 business-context hierarchy, an audit trail, a simulated PDP
+// restart with trail recovery, and the §4.3 management port.
+//
+// Run with: go run ./examples/bankaudit
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"msod"
+)
+
+const policyXML = `
+<RBACPolicy id="bank-audit">
+  <RoleList>
+    <Role value="Employee"/>
+    <Role value="Teller"/>
+    <Role value="Auditor"/>
+    <Role value="RetainedADIController"/>
+  </RoleList>
+  <RoleHierarchy>
+    <Inherits senior="Teller" junior="Employee"/>
+    <Inherits senior="Auditor" junior="Employee"/>
+  </RoleHierarchy>
+  <TargetAccessPolicy>
+    <Grant role="Employee" operation="Enter" target="building"/>
+    <Grant role="Teller" operation="HandleCash" target="till"/>
+    <Grant role="Auditor" operation="Audit" target="ledger"/>
+    <Grant role="Auditor" operation="CommitAudit" target="audit"/>
+    <Grant role="RetainedADIController" operation="stats" target="msod:retainedADI"/>
+    <Grant role="RetainedADIController" operation="purgeContext" target="msod:retainedADI"/>
+  </TargetAccessPolicy>
+  <MSoDPolicySet>
+    <MSoDPolicy BusinessContext="Branch=*, Period=!">
+      <LastStep operation="CommitAudit" targetURI="audit"/>
+      <MMER ForbiddenCardinality="2">
+        <Role type="employee" value="Teller"/>
+        <Role type="employee" value="Auditor"/>
+      </MMER>
+    </MSoDPolicy>
+  </MSoDPolicySet>
+</RBACPolicy>`
+
+func main() {
+	dir, err := os.MkdirTemp("", "bankaudit-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	trailDir := filepath.Join(dir, "trail")
+	trailKey := []byte("bank-trail-key")
+
+	pol, err := msod.ParsePolicy([]byte(policyXML))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// ---- first life of the PDP, with an audit trail ----
+	w, err := msod.NewAuditWriter(trailDir, trailKey, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := msod.NewPDP(msod.PDPConfig{Policy: pol, Trail: w})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	hier := msod.NewContextHierarchy()
+	decide := func(p *msod.PDP, user, role, op, target, ctx string) bool {
+		c := msod.MustContext(ctx)
+		hier.Touch(c)
+		dec, err := p.Decide(msod.Request{
+			User:      msod.UserID(user),
+			Roles:     []msod.RoleName{msod.RoleName(role)},
+			Operation: msod.Operation(op),
+			Target:    msod.Object(target),
+			Context:   c,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "DENY "
+		if dec.Allowed {
+			verdict = "GRANT"
+		}
+		fmt.Printf("  %s %-6s %-7s %-11s %s\n", verdict, user, role, op, ctx)
+		return dec.Allowed
+	}
+
+	fmt.Println("Period 2006 begins; staff work across branches:")
+	decide(p, "alice", "Teller", "HandleCash", "till", "Branch=York, Period=2006")
+	decide(p, "carol", "Teller", "HandleCash", "till", "Branch=Leeds, Period=2006")
+	decide(p, "bob", "Auditor", "Audit", "ledger", "Branch=York, Period=2006")
+
+	fmt.Println("\nAlice is promoted to Auditor mid-period — Example 1's threat:")
+	decide(p, "alice", "Auditor", "Audit", "ledger", "Branch=Leeds, Period=2006")
+
+	fmt.Println("\nThe Figure 2 business context instance hierarchy so far:")
+	fmt.Print(indent(hier.Render()))
+
+	// ---- restart: recover retained ADI from the trail (§5.2) ----
+	if err := w.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n-- PDP restarts; retained ADI is rebuilt from the audit trail --")
+	store, stats, err := msod.Recover(pol, msod.RecoveryConfig{
+		Mode: msod.RecoverFromTrail, TrailDir: trailDir, TrailKey: trailKey,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  replayed %d events -> %d retained records\n", stats.Events, stats.Records)
+
+	p2, err := msod.NewPDP(msod.PDPConfig{Policy: pol, Store: store})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nHistory survives the restart — alice is still barred:")
+	decide(p2, "alice", "Auditor", "Audit", "ledger", "Branch=York, Period=2006")
+
+	fmt.Println("\nBob commits the audit; the 2006 context instance terminates:")
+	decide(p2, "bob", "Auditor", "CommitAudit", "audit", "Branch=York, Period=2006")
+	hier.Terminate(msod.MustContext("Branch=York, Period=2006"))
+	hier.Terminate(msod.MustContext("Branch=Leeds, Period=2006"))
+
+	fmt.Println("\nPost-audit, alice may finally audit 2006 work:")
+	decide(p2, "alice", "Auditor", "Audit", "ledger", "Branch=York, Period=2006")
+
+	fmt.Println("\n§4.3 management port (requires RetainedADIController):")
+	res, err := p2.Manage(msod.ManagementRequest{
+		User: "admin", Roles: []msod.RoleName{"RetainedADIController"}, Operation: "stats",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  stats: %d retained record(s)\n", res.Records)
+	res, err = p2.Manage(msod.ManagementRequest{
+		User: "admin", Roles: []msod.RoleName{"RetainedADIController"},
+		Operation: "purgeContext", ContextPattern: "Branch=*, Period=2006",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  purgeContext(\"Branch=*, Period=2006\"): removed %d, %d remain\n", res.Removed, res.Records)
+
+	if _, err := p2.Manage(msod.ManagementRequest{
+		User: "alice", Roles: []msod.RoleName{"Teller"}, Operation: "stats",
+	}); err != nil {
+		fmt.Printf("  teller denied management access: %v\n", err)
+	}
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "  " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

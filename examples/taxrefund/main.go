@@ -1,0 +1,103 @@
+// Taxrefund reproduces Example 2: the four-task tax refund workflow
+// with MMEP constraints, driven through the workflow engine against an
+// HTTP PDP — tasks arrive in different user sessions from different
+// PEPs, and the decision point alone enforces the separation.
+//
+// Run with: go run ./examples/taxrefund
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"msod"
+)
+
+const policyXML = `
+<RBACPolicy id="tax-refund">
+  <RoleList>
+    <Role value="Clerk"/>
+    <Role value="Manager"/>
+  </RoleList>
+  <TargetAccessPolicy>
+    <Grant role="Clerk" operation="prepareCheck" target="http://www.myTaxOffice.com/Check"/>
+    <Grant role="Clerk" operation="confirmCheck" target="http://secret.location.com/audit"/>
+    <Grant role="Manager" operation="approve/disapproveCheck" target="http://www.myTaxOffice.com/Check"/>
+    <Grant role="Manager" operation="combineResults" target="http://secret.location.com/results"/>
+  </TargetAccessPolicy>
+  <MSoDPolicySet>
+    <MSoDPolicy BusinessContext="TaxOffice=!, taxRefundProcess=!">
+      <FirstStep operation="prepareCheck" targetURI="http://www.myTaxOffice.com/Check"/>
+      <LastStep operation="confirmCheck" targetURI="http://secret.location.com/audit"/>
+      <MMEP ForbiddenCardinality="2">
+        <Operation value="prepareCheck" target="http://www.myTaxOffice.com/Check"/>
+        <Operation value="confirmCheck" target="http://secret.location.com/audit"/>
+      </MMEP>
+      <MMEP ForbiddenCardinality="2">
+        <Operation value="approve/disapproveCheck" target="http://www.myTaxOffice.com/Check"/>
+        <Operation value="approve/disapproveCheck" target="http://www.myTaxOffice.com/Check"/>
+        <Operation value="combineResults" target="http://secret.location.com/results"/>
+      </MMEP>
+    </MSoDPolicy>
+  </MSoDPolicySet>
+</RBACPolicy>`
+
+func main() {
+	pol, err := msod.ParsePolicy([]byte(policyXML))
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := msod.NewPDP(msod.PDPConfig{Policy: pol})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The PDP runs as a service; PEPs reach it over HTTP.
+	ts := httptest.NewServer(msod.NewServer(p))
+	defer ts.Close()
+	client := msod.NewClient(ts.URL)
+
+	inst, err := msod.NewWorkflowInstance(msod.TaxRefundWorkflow(),
+		msod.MustContext("TaxOffice=Leeds, taxRefundProcess=2006-0417"))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	try := func(task, user, gloss string) {
+		err := inst.Execute(task, msod.UserID(user), client)
+		if err != nil {
+			fmt.Printf("  DENY  %-3s by %-4s — %s\n        └─ %v\n", task, user, gloss, err)
+			return
+		}
+		fmt.Printf("  GRANT %-3s by %-4s — %s\n", task, user, gloss)
+	}
+
+	fmt.Println("Tax refund process 2006-0417 (tasks arrive in separate sessions):")
+	try("T1", "c1", "clerk c1 prepares the check")
+	try("T2", "m1", "manager m1 approves")
+	try("T2", "m1", "m1 tries to approve AGAIN (the repeated-privilege rule)")
+	try("T2", "m2", "manager m2 gives the second approval")
+	try("T3", "m1", "an approving manager tries to combine the results")
+	try("T3", "m3", "a third manager combines the results")
+	try("T4", "c1", "the preparing clerk tries to issue the check")
+	try("T4", "c2", "a different clerk issues it (last step: history purged)")
+
+	fmt.Printf("\nprocess complete: %v\n", inst.Complete())
+	fmt.Println("executions:")
+	for _, e := range inst.Executions() {
+		fmt.Printf("  %-3s %s\n", e.Task, e.User)
+	}
+
+	// A fresh process instance is independent: the same people may take
+	// different tasks.
+	fmt.Println("\nA new process instance is unconstrained by the old one:")
+	inst2, err := msod.NewWorkflowInstance(msod.TaxRefundWorkflow(),
+		msod.MustContext("TaxOffice=Leeds, taxRefundProcess=2006-0418"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := inst2.Execute("T1", "c2", client); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("  GRANT T1 by c2 — last instance's confirmer prepares this one")
+}

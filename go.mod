@@ -1,0 +1,3 @@
+module msod
+
+go 1.22

@@ -1,0 +1,480 @@
+package adi
+
+import (
+	"bufio"
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"msod/internal/bctx"
+	"msod/internal/rbac"
+)
+
+// DurableStore is the paper's §6 successor design for the retained ADI:
+// instead of rebuilding history from audit trails at every start-up, the
+// store itself is durable. It keeps the indexed in-memory Store for
+// queries and makes every mutation durable through an encrypted
+// write-ahead log; Compact folds the log into a sealed snapshot. Opening
+// the store recovers state from snapshot + log, tolerating a torn final
+// log record from a crash mid-write.
+//
+// Layout inside the directory:
+//
+//	snapshot.sealed  AES-GCM sealed snapshot (SecureStore format)
+//	wal.log          one sealed mutation per line, applied after the snapshot
+//
+// DurableStore implements Recorder and is safe for concurrent use.
+type DurableStore struct {
+	mu   sync.Mutex
+	mem  *Store
+	dir  string
+	aead cipher.AEAD
+	snap *SecureStore
+
+	wal *os.File
+	w   *bufio.Writer
+	// sync makes every mutation fsync before returning.
+	sync bool
+	// walOps counts mutations since the last compaction.
+	walOps int
+}
+
+// walEntry is one logged mutation.
+type walEntry struct {
+	// Op is "append", "purgeContext", "purgeUser" or "purgeBefore".
+	Op string `json:"op"`
+	// Records carries the appended records (wire form).
+	Records []wireRecord `json:"records,omitempty"`
+	// Pattern is the purgeContext scope.
+	Pattern string `json:"pattern,omitempty"`
+	// User is the purgeUser subject.
+	User string `json:"user,omitempty"`
+	// Before is the purgeBefore cutoff.
+	Before time.Time `json:"before,omitempty"`
+}
+
+const (
+	durableSnapshotName = "snapshot.sealed"
+	durableWALName      = "wal.log"
+)
+
+// OpenDurable opens (creating if necessary) a durable retained-ADI store
+// in dir, sealed with a key derived from secret. syncEveryWrite selects
+// whether each mutation is fsynced (durable against power loss) or only
+// flushed to the OS (durable against process crash).
+func OpenDurable(dir string, secret []byte, syncEveryWrite bool) (*DurableStore, error) {
+	if len(secret) == 0 {
+		return nil, fmt.Errorf("adi: empty durable store secret")
+	}
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, fmt.Errorf("adi: create durable dir: %w", err)
+	}
+	key := sha256.Sum256(append([]byte("msod-durable-wal:"), secret...))
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("adi: cipher: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("adi: gcm: %w", err)
+	}
+	snap, err := NewSecureStore(filepath.Join(dir, durableSnapshotName), secret)
+	if err != nil {
+		return nil, err
+	}
+	ds := &DurableStore{
+		mem:  NewStore(),
+		dir:  dir,
+		aead: aead,
+		snap: snap,
+		sync: syncEveryWrite,
+	}
+	if err := ds.checkKey(); err != nil {
+		return nil, err
+	}
+	if err := ds.recover(); err != nil {
+		return nil, err
+	}
+	wal, err := os.OpenFile(filepath.Join(dir, durableWALName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("adi: open wal: %w", err)
+	}
+	ds.wal = wal
+	ds.w = bufio.NewWriter(wal)
+	return ds, nil
+}
+
+// durableKeyCheckName marks the store with a sealed probe so a wrong
+// secret is reported as such instead of being mistaken for a torn WAL.
+const durableKeyCheckName = "keycheck.sealed"
+
+// checkKey verifies (or, for a fresh store, installs) the key-check
+// marker.
+func (ds *DurableStore) checkKey() error {
+	path := filepath.Join(ds.dir, durableKeyCheckName)
+	sealed, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		line, serr := ds.sealEntry(walEntry{Op: "keycheck"})
+		if serr != nil {
+			return serr
+		}
+		return os.WriteFile(path, line, 0o600)
+	}
+	if err != nil {
+		return fmt.Errorf("adi: read keycheck: %w", err)
+	}
+	entry, err := ds.openEntry(sealed)
+	if err != nil || entry.Op != "keycheck" {
+		return fmt.Errorf("adi: durable store secret mismatch or keycheck corrupt")
+	}
+	return nil
+}
+
+// recover loads the snapshot, then replays the WAL. A torn final record
+// (crash mid-write) is truncated away; a corrupted record elsewhere is a
+// hard error (tampering).
+func (ds *DurableStore) recover() error {
+	if _, err := ds.snap.LoadInto(ds.mem); err != nil {
+		return fmt.Errorf("adi: durable recovery: %w", err)
+	}
+	walPath := filepath.Join(ds.dir, durableWALName)
+	f, err := os.Open(walPath)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("adi: open wal for recovery: %w", err)
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 8<<20)
+	var (
+		goodBytes int64
+		lineNo    int
+	)
+	for sc.Scan() {
+		line := sc.Bytes()
+		lineNo++
+		if len(line) == 0 {
+			goodBytes += 1
+			continue
+		}
+		entry, err := ds.openEntry(line)
+		if err != nil {
+			// Only the final record may be torn; check whether anything
+			// non-blank follows.
+			rest, readErr := trailingContent(sc)
+			if readErr != nil {
+				return readErr
+			}
+			if rest {
+				return fmt.Errorf("adi: wal line %d corrupt mid-log: %w", lineNo, err)
+			}
+			// Torn tail: truncate it away and finish recovery.
+			if terr := os.Truncate(walPath, goodBytes); terr != nil {
+				return fmt.Errorf("adi: truncate torn wal: %w", terr)
+			}
+			ds.walOps = lineNo - 1
+			return nil
+		}
+		if err := ds.applyEntry(entry); err != nil {
+			return fmt.Errorf("adi: wal line %d: %w", lineNo, err)
+		}
+		goodBytes += int64(len(line)) + 1
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("adi: read wal: %w", err)
+	}
+	ds.walOps = lineNo
+	return nil
+}
+
+// trailingContent reports whether any non-blank line remains in the
+// scanner (used to distinguish a torn tail from mid-log corruption).
+func trailingContent(sc *bufio.Scanner) (bool, error) {
+	for sc.Scan() {
+		if len(strings.TrimSpace(sc.Text())) > 0 {
+			return true, nil
+		}
+	}
+	return false, sc.Err()
+}
+
+// applyEntry replays one mutation into the in-memory store.
+func (ds *DurableStore) applyEntry(e walEntry) error {
+	switch e.Op {
+	case "append":
+		recs := make([]Record, len(e.Records))
+		for i, w := range e.Records {
+			r, err := fromWire(w)
+			if err != nil {
+				return err
+			}
+			recs[i] = r
+		}
+		return ds.mem.Append(recs...)
+	case "purgeContext":
+		pattern, err := bctx.Parse(e.Pattern)
+		if err != nil {
+			return err
+		}
+		_, err = ds.mem.PurgeContext(pattern)
+		return err
+	case "purgeUser":
+		ds.mem.PurgeUser(rbac.UserID(e.User))
+		return nil
+	case "purgeBefore":
+		ds.mem.PurgeBefore(e.Before)
+		return nil
+	default:
+		return fmt.Errorf("unknown wal op %q", e.Op)
+	}
+}
+
+// sealEntry encrypts one WAL entry to a base64 line.
+func (ds *DurableStore) sealEntry(e walEntry) ([]byte, error) {
+	plain, err := json.Marshal(e)
+	if err != nil {
+		return nil, fmt.Errorf("adi: marshal wal entry: %w", err)
+	}
+	nonce := make([]byte, ds.aead.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, fmt.Errorf("adi: wal nonce: %w", err)
+	}
+	sealed := ds.aead.Seal(nonce, nonce, plain, nil)
+	out := make([]byte, base64.StdEncoding.EncodedLen(len(sealed)))
+	base64.StdEncoding.Encode(out, sealed)
+	return out, nil
+}
+
+// openEntry decrypts one WAL line.
+func (ds *DurableStore) openEntry(line []byte) (walEntry, error) {
+	sealed := make([]byte, base64.StdEncoding.DecodedLen(len(line)))
+	n, err := base64.StdEncoding.Decode(sealed, line)
+	if err != nil {
+		return walEntry{}, fmt.Errorf("adi: wal base64: %w", err)
+	}
+	sealed = sealed[:n]
+	if len(sealed) < ds.aead.NonceSize() {
+		return walEntry{}, fmt.Errorf("adi: wal record truncated")
+	}
+	plain, err := ds.aead.Open(nil, sealed[:ds.aead.NonceSize()], sealed[ds.aead.NonceSize():], nil)
+	if err != nil {
+		return walEntry{}, fmt.Errorf("adi: wal authentication failed: %w", err)
+	}
+	var e walEntry
+	if err := json.Unmarshal(plain, &e); err != nil {
+		return walEntry{}, fmt.Errorf("adi: wal decode: %w", err)
+	}
+	return e, nil
+}
+
+// logLocked seals and writes one entry, then applies it in memory.
+// Durability first: the mutation reaches the log before the store state
+// changes, so a crash never loses an acknowledged write.
+func (ds *DurableStore) logLocked(e walEntry) error {
+	line, err := ds.sealEntry(e)
+	if err != nil {
+		return err
+	}
+	if _, err := ds.w.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("adi: write wal: %w", err)
+	}
+	if err := ds.w.Flush(); err != nil {
+		return fmt.Errorf("adi: flush wal: %w", err)
+	}
+	if ds.sync {
+		if err := ds.wal.Sync(); err != nil {
+			return fmt.Errorf("adi: sync wal: %w", err)
+		}
+	}
+	if err := ds.applyEntry(e); err != nil {
+		return err
+	}
+	ds.walOps++
+	return nil
+}
+
+// Append implements Recorder.
+func (ds *DurableStore) Append(recs ...Record) error {
+	for _, r := range recs {
+		if err := r.Validate(); err != nil {
+			return err
+		}
+	}
+	if len(recs) == 0 {
+		return nil
+	}
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	wire := make([]wireRecord, len(recs))
+	for i, r := range recs {
+		wire[i] = toWire(r)
+	}
+	return ds.logLocked(walEntry{Op: "append", Records: wire})
+}
+
+// PurgeContext implements Recorder.
+func (ds *DurableStore) PurgeContext(pattern bctx.Name) (int, error) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	before := ds.mem.Len()
+	if err := ds.logLocked(walEntry{Op: "purgeContext", Pattern: pattern.String()}); err != nil {
+		return 0, err
+	}
+	return before - ds.mem.Len(), nil
+}
+
+// PurgeUser durably removes one user's records.
+func (ds *DurableStore) PurgeUser(user rbac.UserID) (int, error) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	before := ds.mem.Len()
+	if err := ds.logLocked(walEntry{Op: "purgeUser", User: string(user)}); err != nil {
+		return 0, err
+	}
+	return before - ds.mem.Len(), nil
+}
+
+// PurgeBefore durably removes records older than t.
+func (ds *DurableStore) PurgeBefore(t time.Time) (int, error) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	before := ds.mem.Len()
+	if err := ds.logLocked(walEntry{Op: "purgeBefore", Before: t}); err != nil {
+		return 0, err
+	}
+	return before - ds.mem.Len(), nil
+}
+
+// Read-side methods delegate to the in-memory index.
+
+// UserHasRole implements Recorder.
+func (ds *DurableStore) UserHasRole(user rbac.UserID, pattern bctx.Name, role rbac.RoleName) (bool, error) {
+	return ds.mem.UserHasRole(user, pattern, role)
+}
+
+// UserHasPrivilege implements Recorder.
+func (ds *DurableStore) UserHasPrivilege(user rbac.UserID, pattern bctx.Name, p rbac.Permission) (bool, error) {
+	return ds.mem.UserHasPrivilege(user, pattern, p)
+}
+
+// CountUserRole implements Recorder.
+func (ds *DurableStore) CountUserRole(user rbac.UserID, pattern bctx.Name, role rbac.RoleName, max int) (int, error) {
+	return ds.mem.CountUserRole(user, pattern, role, max)
+}
+
+// CountUserPrivilege implements Recorder.
+func (ds *DurableStore) CountUserPrivilege(user rbac.UserID, pattern bctx.Name, p rbac.Permission, max int) (int, error) {
+	return ds.mem.CountUserPrivilege(user, pattern, p, max)
+}
+
+// ContextActive implements Recorder.
+func (ds *DurableStore) ContextActive(pattern bctx.Name) (bool, error) {
+	return ds.mem.ContextActive(pattern)
+}
+
+// Len implements Recorder.
+func (ds *DurableStore) Len() int { return ds.mem.Len() }
+
+// All returns a copy of every record (see Store.All).
+func (ds *DurableStore) All() []Record { return ds.mem.All() }
+
+// WALOps returns the number of mutations logged since the last
+// compaction, for compaction scheduling.
+func (ds *DurableStore) WALOps() int {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return ds.walOps
+}
+
+// Compact folds the log into the snapshot: the current state is sealed
+// to snapshot.sealed (atomically) and the WAL is truncated. Recovery
+// after Compact reads only the snapshot.
+func (ds *DurableStore) Compact() error {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if err := ds.w.Flush(); err != nil {
+		return fmt.Errorf("adi: flush before compact: %w", err)
+	}
+	if err := ds.snap.Save(ds.mem.All()); err != nil {
+		return err
+	}
+	// Snapshot durably installed; the log can be reset.
+	if err := ds.wal.Truncate(0); err != nil {
+		return fmt.Errorf("adi: truncate wal: %w", err)
+	}
+	if _, err := ds.wal.Seek(0, 0); err != nil {
+		return fmt.Errorf("adi: rewind wal: %w", err)
+	}
+	ds.w.Reset(ds.wal)
+	ds.walOps = 0
+	return nil
+}
+
+// Close flushes and closes the store. A Compact before Close makes the
+// next open snapshot-only.
+func (ds *DurableStore) Close() error {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if ds.wal == nil {
+		return nil
+	}
+	if err := ds.w.Flush(); err != nil {
+		return fmt.Errorf("adi: flush wal: %w", err)
+	}
+	err := ds.wal.Close()
+	ds.wal = nil
+	if err != nil {
+		return fmt.Errorf("adi: close wal: %w", err)
+	}
+	return nil
+}
+
+var _ Recorder = (*DurableStore)(nil)
+
+// toWire converts a record to its serialised form.
+func toWire(r Record) wireRecord {
+	roles := make([]string, len(r.Roles))
+	for j, rr := range r.Roles {
+		roles[j] = string(rr)
+	}
+	return wireRecord{
+		User:      string(r.User),
+		Roles:     roles,
+		Operation: string(r.Operation),
+		Target:    string(r.Target),
+		Context:   r.Context.String(),
+		Time:      r.Time,
+	}
+}
+
+// fromWire converts a serialised record back.
+func fromWire(w wireRecord) (Record, error) {
+	ctx, err := bctx.Parse(w.Context)
+	if err != nil {
+		return Record{}, fmt.Errorf("adi: wire record context: %w", err)
+	}
+	roles := make([]rbac.RoleName, len(w.Roles))
+	for j, rr := range w.Roles {
+		roles[j] = rbac.RoleName(rr)
+	}
+	return Record{
+		User:      rbac.UserID(w.User),
+		Roles:     roles,
+		Operation: rbac.Operation(w.Operation),
+		Target:    rbac.Object(w.Target),
+		Context:   ctx,
+		Time:      w.Time,
+	}, nil
+}

@@ -1,0 +1,113 @@
+package adi
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"msod/internal/bctx"
+	"msod/internal/rbac"
+)
+
+// TestDurableStoreSatisfiesEngineQueries exercises the read-side
+// Recorder delegation of DurableStore through realistic query mixes,
+// and checks All() ordering matches the in-memory store's contract.
+func TestDurableStoreSatisfiesEngineQueries(t *testing.T) {
+	dir := t.TempDir()
+	ds := openDurable(t, dir)
+
+	perm := rbac.Permission{Operation: "approve", Object: "check"}
+	if err := ds.Append(
+		rec("bob", "Auditor", "approve", "check", "P=1"),
+		rec("alice", "Teller", "approve", "check", "P=1"),
+		rec("alice", "Teller", "approve", "check", "P=2"),
+	); err != nil {
+		t.Fatal(err)
+	}
+
+	p1 := bctx.MustParse("P=1")
+	if ok, err := ds.UserHasPrivilege("alice", p1, perm); err != nil || !ok {
+		t.Errorf("UserHasPrivilege = %v, %v", ok, err)
+	}
+	if n, err := ds.CountUserRole("alice", bctx.Universal, "Teller", 0); err != nil || n != 2 {
+		t.Errorf("CountUserRole = %d, %v", n, err)
+	}
+	if n, err := ds.CountUserPrivilege("alice", p1, perm, 0); err != nil || n != 1 {
+		t.Errorf("CountUserPrivilege = %d, %v", n, err)
+	}
+	if ok, err := ds.ContextActive(bctx.MustParse("P=*")); err != nil || !ok {
+		t.Errorf("ContextActive = %v, %v", ok, err)
+	}
+	all := ds.All()
+	if len(all) != 3 || all[0].User != "alice" || all[2].User != "bob" {
+		t.Errorf("All = %v", all)
+	}
+	// Record rendering helpers.
+	if got := all[0].Privilege(); got != perm {
+		t.Errorf("Privilege = %v", got)
+	}
+	if s := all[0].String(); !strings.Contains(s, "alice") || !strings.Contains(s, "approve") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+// TestDurableCompactAfterPurge: compaction of a store whose WAL contains
+// purges yields a snapshot equal to the live state.
+func TestDurableCompactAfterPurge(t *testing.T) {
+	dir := t.TempDir()
+	ds := openDurable(t, dir)
+	if err := ds.Append(
+		rec("a", "R", "op", "t", "P=1"),
+		rec("b", "R", "op", "t", "P=2"),
+	); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.PurgeContext(bctx.MustParse("P=1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	ds.Close()
+	ds2 := openDurable(t, dir)
+	if ds2.Len() != 1 {
+		t.Fatalf("recovered %d records after compact-with-purge", ds2.Len())
+	}
+	ok, _ := ds2.UserHasRole("b", bctx.Universal, "R")
+	if !ok {
+		t.Error("survivor record lost")
+	}
+}
+
+// TestDurableDoubleClose: Close is idempotent.
+func TestDurableDoubleClose(t *testing.T) {
+	ds, err := OpenDurable(t.TempDir(), []byte("k"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+// TestDurableTimestampsPreserved: WAL round trips record times.
+func TestDurableTimestampsPreserved(t *testing.T) {
+	dir := t.TempDir()
+	when := time.Date(2006, 3, 14, 15, 9, 26, 0, time.UTC)
+	ds := openDurable(t, dir)
+	if err := ds.Append(Record{
+		User: "u", Roles: []rbac.RoleName{"R"}, Operation: "op", Target: "t",
+		Context: bctx.MustParse("P=1"), Time: when,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ds.Close()
+	ds2 := openDurable(t, dir)
+	all := ds2.All()
+	if len(all) != 1 || !all[0].Time.Equal(when) {
+		t.Fatalf("All = %v", all)
+	}
+}

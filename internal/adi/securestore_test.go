@@ -1,0 +1,131 @@
+package adi
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"msod/internal/bctx"
+	"msod/internal/rbac"
+)
+
+func TestSecureStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "adi.sealed")
+	ss, err := NewSecureStore(path, []byte("test-secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []Record{
+		{
+			User:      "alice",
+			Roles:     []rbac.RoleName{"Teller", "Clerk"},
+			Operation: "HandleCash",
+			Target:    "till",
+			Context:   bctx.MustParse("Branch=York, Period=2006"),
+			Time:      time.Date(2006, 7, 1, 10, 0, 0, 0, time.UTC),
+		},
+		{
+			User:      "bob",
+			Operation: "Audit",
+			Target:    "ledger",
+			Context:   bctx.MustParse("Branch=Leeds, Period=2006"),
+			Time:      time.Date(2006, 8, 1, 10, 0, 0, 0, time.UTC),
+		},
+	}
+	if err := ss.Save(in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ss.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("loaded %d records", len(out))
+	}
+	if out[0].User != "alice" || len(out[0].Roles) != 2 || out[0].Roles[1] != "Clerk" {
+		t.Errorf("record 0 = %+v", out[0])
+	}
+	if !out[0].Context.Equal(in[0].Context) || !out[0].Time.Equal(in[0].Time) {
+		t.Errorf("record 0 context/time mismatch: %+v", out[0])
+	}
+	if out[1].User != "bob" || len(out[1].Roles) != 0 {
+		t.Errorf("record 1 = %+v", out[1])
+	}
+}
+
+func TestSecureStoreMissingFile(t *testing.T) {
+	ss, err := NewSecureStore(filepath.Join(t.TempDir(), "absent"), []byte("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ss.Load()
+	if err != nil || recs != nil {
+		t.Errorf("Load missing = %v, %v", recs, err)
+	}
+}
+
+func TestSecureStoreTamperDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "adi.sealed")
+	ss, err := NewSecureStore(path, []byte("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.Save([]Record{{User: "u", Operation: "op", Target: "t",
+		Context: bctx.MustParse("A=1"), Time: time.Now()}}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ss.Load(); err == nil {
+		t.Error("tampered snapshot loaded without error")
+	}
+}
+
+func TestSecureStoreWrongKey(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "adi.sealed")
+	ss1, _ := NewSecureStore(path, []byte("key-one"))
+	if err := ss1.Save(nil); err != nil {
+		t.Fatal(err)
+	}
+	ss2, _ := NewSecureStore(path, []byte("key-two"))
+	if _, err := ss2.Load(); err == nil {
+		t.Error("snapshot opened with wrong key")
+	}
+}
+
+func TestSecureStoreEmptySecret(t *testing.T) {
+	if _, err := NewSecureStore("x", nil); err == nil {
+		t.Error("empty secret accepted")
+	}
+}
+
+func TestSecureStoreLoadInto(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "adi.sealed")
+	ss, _ := NewSecureStore(path, []byte("k"))
+	src := NewStore()
+	if err := src.Append(
+		rec("alice", "Teller", "op", "t", "A=1"),
+		rec("bob", "Auditor", "op", "t", "A=2"),
+	); err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.Save(src.All()); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewStore()
+	n, err := ss.LoadInto(dst)
+	if err != nil || n != 2 {
+		t.Fatalf("LoadInto = %d, %v", n, err)
+	}
+	ok, _ := dst.UserHasRole("alice", bctx.Universal, "Teller")
+	if !ok {
+		t.Error("restored store missing alice's record")
+	}
+}

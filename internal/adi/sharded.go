@@ -1,0 +1,151 @@
+package adi
+
+import (
+	"hash/fnv"
+	"sort"
+	"time"
+
+	"msod/internal/bctx"
+	"msod/internal/rbac"
+)
+
+// ShardedStore partitions the retained ADI across n independent Store
+// shards by user ID, the storage-side companion of the engine's lock
+// striping (core.WithStriping): per-user queries and appends touch only
+// one shard's lock, so decisions for different users do not contend.
+// Cross-user operations (ContextActive, PurgeContext) fan out over all
+// shards.
+//
+// ShardedStore is safe for concurrent use. The paper's semantics are
+// unaffected — every Recorder query is per-user except context
+// activity, which is a monotone bit per instance within a purge-free
+// window (see core.WithStriping for the serialisability argument).
+type ShardedStore struct {
+	shards []*Store
+}
+
+var _ Recorder = (*ShardedStore)(nil)
+
+// NewShardedStore returns a store with n shards (minimum 1).
+func NewShardedStore(n int) *ShardedStore {
+	if n < 1 {
+		n = 1
+	}
+	s := &ShardedStore{shards: make([]*Store, n)}
+	for i := range s.shards {
+		s.shards[i] = NewStore()
+	}
+	return s
+}
+
+func (s *ShardedStore) shardFor(user rbac.UserID) *Store {
+	h := fnv.New32a()
+	h.Write([]byte(user))
+	return s.shards[int(h.Sum32())%len(s.shards)]
+}
+
+// Append implements Recorder, routing each record to its user's shard.
+// Validation runs first so the multi-shard write cannot partially fail.
+func (s *ShardedStore) Append(recs ...Record) error {
+	for _, r := range recs {
+		if err := r.Validate(); err != nil {
+			return err
+		}
+	}
+	for _, r := range recs {
+		if err := s.shardFor(r.User).Append(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// UserHasRole implements Recorder.
+func (s *ShardedStore) UserHasRole(user rbac.UserID, pattern bctx.Name, role rbac.RoleName) (bool, error) {
+	return s.shardFor(user).UserHasRole(user, pattern, role)
+}
+
+// UserHasPrivilege implements Recorder.
+func (s *ShardedStore) UserHasPrivilege(user rbac.UserID, pattern bctx.Name, p rbac.Permission) (bool, error) {
+	return s.shardFor(user).UserHasPrivilege(user, pattern, p)
+}
+
+// CountUserRole implements Recorder.
+func (s *ShardedStore) CountUserRole(user rbac.UserID, pattern bctx.Name, role rbac.RoleName, max int) (int, error) {
+	return s.shardFor(user).CountUserRole(user, pattern, role, max)
+}
+
+// CountUserPrivilege implements Recorder.
+func (s *ShardedStore) CountUserPrivilege(user rbac.UserID, pattern bctx.Name, p rbac.Permission, max int) (int, error) {
+	return s.shardFor(user).CountUserPrivilege(user, pattern, p, max)
+}
+
+// ContextActive implements Recorder by asking every shard.
+func (s *ShardedStore) ContextActive(pattern bctx.Name) (bool, error) {
+	for _, shard := range s.shards {
+		ok, err := shard.ContextActive(pattern)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// PurgeContext implements Recorder across every shard.
+func (s *ShardedStore) PurgeContext(pattern bctx.Name) (int, error) {
+	total := 0
+	for _, shard := range s.shards {
+		n, err := shard.PurgeContext(pattern)
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// PurgeUser removes one user's records from their shard.
+func (s *ShardedStore) PurgeUser(user rbac.UserID) int {
+	return s.shardFor(user).PurgeUser(user)
+}
+
+// PurgeBefore removes old records from every shard.
+func (s *ShardedStore) PurgeBefore(t time.Time) int {
+	total := 0
+	for _, shard := range s.shards {
+		total += shard.PurgeBefore(t)
+	}
+	return total
+}
+
+// Len implements Recorder.
+func (s *ShardedStore) Len() int {
+	n := 0
+	for _, shard := range s.shards {
+		n += shard.Len()
+	}
+	return n
+}
+
+// All returns every record across shards, ordered by user then
+// insertion order within a user (shard order then user order; user
+// buckets never span shards, so the per-user contract of Store.All is
+// preserved globally after a merge sort by user).
+func (s *ShardedStore) All() []Record {
+	var out []Record
+	for _, shard := range s.shards {
+		out = append(out, shard.All()...)
+	}
+	// Stable order by user across shards.
+	sortRecordsByUser(out)
+	return out
+}
+
+// sortRecordsByUser sorts records by user, preserving the relative
+// (insertion) order of each user's records, which live in one shard.
+func sortRecordsByUser(recs []Record) {
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].User < recs[j].User })
+}

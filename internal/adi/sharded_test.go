@@ -1,0 +1,153 @@
+package adi
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"msod/internal/bctx"
+	"msod/internal/rbac"
+)
+
+func TestShardedBasic(t *testing.T) {
+	s := NewShardedStore(4)
+	if err := s.Append(
+		rec("alice", "Teller", "op", "t", "P=1"),
+		rec("bob", "Auditor", "op", "t", "P=2"),
+		rec("carol", "Teller", "op", "t", "P=1"),
+	); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	ok, _ := s.UserHasRole("alice", bctx.MustParse("P=1"), "Teller")
+	if !ok {
+		t.Error("alice query failed")
+	}
+	ok, _ = s.ContextActive(bctx.MustParse("P=2"))
+	if !ok {
+		t.Error("P=2 should be active")
+	}
+	n, err := s.PurgeContext(bctx.MustParse("P=1"))
+	if err != nil || n != 2 {
+		t.Fatalf("purge = %d, %v", n, err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len after purge = %d", s.Len())
+	}
+	if got := s.PurgeUser("bob"); got != 1 {
+		t.Errorf("PurgeUser = %d", got)
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestShardedAllOrderedByUser(t *testing.T) {
+	s := NewShardedStore(8)
+	users := []string{"zoe", "alice", "bob", "zoe", "alice"}
+	for i, u := range users {
+		if err := s.Append(rec(u, "R", fmt.Sprintf("op%d", i), "t", "P=1")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all := s.All()
+	if len(all) != 5 {
+		t.Fatalf("All = %d", len(all))
+	}
+	// Ordered by user; per-user insertion order preserved.
+	wantUsers := []rbac.UserID{"alice", "alice", "bob", "zoe", "zoe"}
+	for i, w := range wantUsers {
+		if all[i].User != w {
+			t.Fatalf("All[%d].User = %s, want %s (%v)", i, all[i].User, w, all)
+		}
+	}
+	if all[0].Operation != "op1" || all[1].Operation != "op4" {
+		t.Errorf("alice's insertion order lost: %v", all[:2])
+	}
+}
+
+func TestShardedNormalisation(t *testing.T) {
+	s := NewShardedStore(0)
+	if len(s.shards) != 1 {
+		t.Errorf("shards = %d", len(s.shards))
+	}
+}
+
+// Property: sharded store and plain store answer identically under the
+// same operation stream.
+func TestQuickShardedEquivalence(t *testing.T) {
+	users := []string{"u0", "u1", "u2", "u3"}
+	ctxs := []string{"A=1", "A=2", "A=1, B=x"}
+	patterns := []string{"", "A=1", "A=*"}
+
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		sh, plain := NewShardedStore(3), NewStore()
+		for i := 0; i < int(n); i++ {
+			switch r.Intn(4) {
+			case 0, 1:
+				rc := rec(users[r.Intn(len(users))], "R", "op", "t", ctxs[r.Intn(len(ctxs))])
+				if sh.Append(rc) != nil || plain.Append(rc) != nil {
+					return false
+				}
+			case 2:
+				p := bctx.MustParse(patterns[r.Intn(len(patterns))])
+				n1, e1 := sh.PurgeContext(p)
+				n2, e2 := plain.PurgeContext(p)
+				if e1 != nil || e2 != nil || n1 != n2 {
+					return false
+				}
+			case 3:
+				u := rbac.UserID(users[r.Intn(len(users))])
+				p := bctx.MustParse(patterns[r.Intn(len(patterns))])
+				a1, _ := sh.UserHasRole(u, p, "R")
+				a2, _ := plain.UserHasRole(u, p, "R")
+				if a1 != a2 {
+					return false
+				}
+				c1, _ := sh.ContextActive(p)
+				c2, _ := plain.ContextActive(p)
+				if c1 != c2 {
+					return false
+				}
+			}
+			if sh.Len() != plain.Len() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShardedConcurrent(t *testing.T) {
+	s := NewShardedStore(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			user := fmt.Sprintf("user%d", g)
+			for i := 0; i < 200; i++ {
+				if err := s.Append(rec(user, "R", "op", "t", fmt.Sprintf("A=%d", i%4))); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.CountUserRole(rbac.UserID(user), bctx.Universal, "R", 0); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 8*200 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}

@@ -1,0 +1,274 @@
+package audit
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var testKey = []byte("trail-key-for-tests")
+
+func ev(user, role, op, effect string, matched int) Event {
+	return Event{
+		Time:            time.Date(2006, 7, 1, 12, 0, 0, 0, time.UTC),
+		User:            user,
+		Roles:           []string{role},
+		Operation:       op,
+		Target:          "t",
+		Context:         "Branch=York, Period=2006",
+		Effect:          effect,
+		MatchedPolicies: matched,
+	}
+}
+
+func TestWriteVerifyRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir, testKey, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		seq, err := w.Append(ev(fmt.Sprintf("u%d", i), "Teller", "op", EffectGrant, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("seq = %d, want %d", seq, i+1)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(dir, testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := r.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Fatalf("verified %d entries", n)
+	}
+	events, err := r.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 10 || events[0].User != "u0" || events[9].User != "u9" {
+		t.Fatalf("events = %d (%v...)", len(events), events[0])
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir, testKey, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := w.Append(ev("u", "R", "op", EffectGrant, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := Segments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 4 { // 3+3+3+1
+		t.Fatalf("segments = %v", segs)
+	}
+	r, _ := NewReader(dir, testKey)
+	if n, err := r.Verify(); err != nil || n != 10 {
+		t.Fatalf("verify across segments: %d, %v", n, err)
+	}
+}
+
+func TestWriterResumesChain(t *testing.T) {
+	dir := t.TempDir()
+	w1, err := NewWriter(dir, testKey, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := w1.Append(ev("a", "R", "op", EffectGrant, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the chain and sequence must continue seamlessly.
+	w2, err := NewWriter(dir, testKey, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := w2.Append(ev("b", "R", "op", EffectDeny, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 7 {
+		t.Fatalf("resumed seq = %d, want 7", seq)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, _ := NewReader(dir, testKey)
+	events, err := r.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 7 || events[6].User != "b" || events[6].Effect != EffectDeny {
+		t.Fatalf("events after resume = %v", events)
+	}
+}
+
+func TestTamperDetection(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := NewWriter(dir, testKey, 0)
+	for i := 0; i < 5; i++ {
+		if _, err := w.Append(ev("u", "R", "op", EffectGrant, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+
+	segs, _ := Segments(dir)
+	path := filepath.Join(dir, segs[0])
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("modified entry", func(t *testing.T) {
+		mod := strings.Replace(string(raw), `"user":"u"`, `"user":"x"`, 1)
+		if err := os.WriteFile(path, []byte(mod), 0o600); err != nil {
+			t.Fatal(err)
+		}
+		r, _ := NewReader(dir, testKey)
+		if _, err := r.Verify(); !errors.Is(err, ErrTampered) {
+			t.Errorf("modified entry: %v", err)
+		}
+	})
+
+	t.Run("deleted entry", func(t *testing.T) {
+		lines := strings.SplitN(string(raw), "\n", 3)
+		trunc := lines[0] + "\n" + lines[2] // drop the second entry
+		if err := os.WriteFile(path, []byte(trunc), 0o600); err != nil {
+			t.Fatal(err)
+		}
+		r, _ := NewReader(dir, testKey)
+		if _, err := r.Verify(); err == nil {
+			t.Error("deleted entry went undetected")
+		}
+	})
+
+	t.Run("wrong key", func(t *testing.T) {
+		if err := os.WriteFile(path, raw, 0o600); err != nil {
+			t.Fatal(err)
+		}
+		r, _ := NewReader(dir, []byte("other-key"))
+		if _, err := r.Verify(); !errors.Is(err, ErrTampered) {
+			t.Errorf("wrong key: %v", err)
+		}
+	})
+
+	t.Run("garbage line", func(t *testing.T) {
+		if err := os.WriteFile(path, append(raw, []byte("not json\n")...), 0o600); err != nil {
+			t.Fatal(err)
+		}
+		r, _ := NewReader(dir, testKey)
+		if _, err := r.Verify(); !errors.Is(err, ErrTampered) {
+			t.Errorf("garbage line: %v", err)
+		}
+	})
+}
+
+func TestWriterRejectsTamperedResume(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := NewWriter(dir, testKey, 0)
+	if _, err := w.Append(ev("u", "R", "op", EffectGrant, 1)); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	segs, _ := Segments(dir)
+	path := filepath.Join(dir, segs[0])
+	raw, _ := os.ReadFile(path)
+	mod := strings.Replace(string(raw), `"user":"u"`, `"user":"x"`, 1)
+	os.WriteFile(path, []byte(mod), 0o600)
+	if _, err := NewWriter(dir, testKey, 0); !errors.Is(err, ErrTampered) {
+		t.Errorf("resume over tampered trail: %v", err)
+	}
+}
+
+func TestSince(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := NewWriter(dir, testKey, 2)
+	base := time.Date(2006, 7, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 6; i++ {
+		e := ev("u", "R", fmt.Sprintf("op%d", i), EffectGrant, 1)
+		e.Time = base.Add(time.Duration(i) * time.Hour)
+		if _, err := w.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+
+	r, _ := NewReader(dir, testKey)
+
+	// Last 1 segment of 3 (2 entries each): entries 5,6 (ops 4,5).
+	got, err := r.Since(time.Time{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Operation != "op4" {
+		t.Fatalf("Since last-1 = %v", got)
+	}
+
+	// Time filter: from hour 3 onwards.
+	got, err = r.Since(base.Add(3*time.Hour), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0].Operation != "op3" {
+		t.Fatalf("Since t=+3h = %v", got)
+	}
+
+	// Combined: last 2 segments (ops 2..5) from hour 5.
+	got, err = r.Since(base.Add(5*time.Hour), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Operation != "op5" {
+		t.Fatalf("combined = %v", got)
+	}
+}
+
+func TestEmptyTrailDir(t *testing.T) {
+	r, err := NewReader(filepath.Join(t.TempDir(), "missing"), testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := r.Verify()
+	if err != nil || n != 0 {
+		t.Errorf("empty dir verify = %d, %v", n, err)
+	}
+}
+
+func TestNewWriterValidation(t *testing.T) {
+	if _, err := NewWriter(t.TempDir(), nil, 0); err == nil {
+		t.Error("empty key accepted")
+	}
+	if _, err := NewReader(t.TempDir(), nil); err == nil {
+		t.Error("empty reader key accepted")
+	}
+}

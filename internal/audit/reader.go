@@ -1,0 +1,152 @@
+package audit
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Reader verifies and iterates trail segments.
+type Reader struct {
+	dir string
+	key []byte
+}
+
+// NewReader opens a trail directory for verification and replay.
+func NewReader(dir string, key []byte) (*Reader, error) {
+	if len(key) == 0 {
+		return nil, fmt.Errorf("audit: empty trail key")
+	}
+	return &Reader{dir: dir, key: append([]byte(nil), key...)}, nil
+}
+
+// Verify checks the full MAC chain across every segment and returns the
+// number of entries verified. It fails with ErrTampered on any chain
+// break and ErrBadSequence on sequence gaps.
+func (r *Reader) Verify() (int, error) {
+	events, _, err := r.verifyAll()
+	if err != nil {
+		return 0, err
+	}
+	return len(events), nil
+}
+
+// All verifies the full chain and returns every event, oldest first.
+func (r *Reader) All() ([]Event, error) {
+	events, _, err := r.verifyAll()
+	return events, err
+}
+
+// Since verifies the full chain and returns the events from the last n
+// segments (n <= 0 means all) whose time is not before t — the "last n
+// audit trails starting from time t" recovery parameters of §5.2.
+func (r *Reader) Since(t time.Time, n int) ([]Event, error) {
+	segs, err := Segments(r.dir)
+	if err != nil {
+		return nil, err
+	}
+	// The chain must be verified from genesis regardless of the window.
+	events, _, err := r.verifyAll()
+	if err != nil {
+		return nil, err
+	}
+	if n > 0 && n < len(segs) {
+		// Count entries in the excluded older segments to find the cut.
+		cut := 0
+		for _, seg := range segs[:len(segs)-n] {
+			c, err := countLines(filepath.Join(r.dir, seg))
+			if err != nil {
+				return nil, err
+			}
+			cut += c
+		}
+		if cut > len(events) {
+			cut = len(events)
+		}
+		events = events[cut:]
+	}
+	out := events[:0]
+	for _, ev := range events {
+		if !ev.Time.Before(t) {
+			out = append(out, ev)
+		}
+	}
+	return out, nil
+}
+
+// verifyAll walks every segment in order, verifying the chain, and
+// returns the events and the final MAC (the chain head for a resuming
+// Writer).
+func (r *Reader) verifyAll() ([]Event, []byte, error) {
+	segs, err := Segments(r.dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	prev := genesisMAC(r.key)
+	var (
+		events  []Event
+		lastSeq uint64
+	)
+	for _, seg := range segs {
+		path := filepath.Join(r.dir, seg)
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("audit: open segment %s: %w", seg, err)
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		line := 0
+		for sc.Scan() {
+			if len(sc.Bytes()) == 0 {
+				continue
+			}
+			line++
+			var e entry
+			if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+				f.Close()
+				return nil, nil, fmt.Errorf("%w: %s line %d: %v", ErrTampered, seg, line, err)
+			}
+			want, err := chainMAC(r.key, prev, e.Event)
+			if err != nil {
+				f.Close()
+				return nil, nil, err
+			}
+			got, err := decodeMAC(e.MAC)
+			if err != nil {
+				f.Close()
+				return nil, nil, fmt.Errorf("%w: %s line %d: bad mac encoding", ErrTampered, seg, line)
+			}
+			if !macEqual(want, got) {
+				f.Close()
+				return nil, nil, fmt.Errorf("%w: %s line %d (seq %d)", ErrTampered, seg, line, e.Event.Seq)
+			}
+			if e.Event.Seq != lastSeq+1 {
+				f.Close()
+				return nil, nil, fmt.Errorf("%w: %s line %d: seq %d after %d", ErrBadSequence, seg, line, e.Event.Seq, lastSeq)
+			}
+			lastSeq = e.Event.Seq
+			prev = want
+			events = append(events, e.Event)
+		}
+		if err := sc.Err(); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("audit: read segment %s: %w", seg, err)
+		}
+		f.Close()
+	}
+	return events, prev, nil
+}
+
+func macEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	var diff byte
+	for i := range a {
+		diff |= a[i] ^ b[i]
+	}
+	return diff == 0
+}

@@ -1,0 +1,138 @@
+package bctx
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Hierarchy tracks the set of business context instances that are
+// currently active, arranged under the universal context as in Figure 2
+// of the paper. The access control system does not need this knowledge to
+// evaluate MSoD policies (the request carries its instance), but the
+// hierarchy supports the start/termination inference of §2.2: an
+// instance is active from the first time it (or a contained instance) is
+// mentioned, until it is explicitly terminated or a containing instance
+// terminates.
+//
+// Hierarchy is safe for concurrent use.
+type Hierarchy struct {
+	mu     sync.RWMutex
+	active map[string]Name
+}
+
+// NewHierarchy returns an empty hierarchy.
+func NewHierarchy() *Hierarchy {
+	return &Hierarchy{active: make(map[string]Name)}
+}
+
+// Touch records that an instance (and therefore each of its ancestors)
+// is active. It returns the number of newly activated instances.
+func (h *Hierarchy) Touch(inst Name) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	added := 0
+	for n := inst; ; n = n.Parent() {
+		key := n.Key()
+		if _, ok := h.active[key]; !ok {
+			h.active[key] = n
+			added++
+		}
+		if n.IsUniversal() {
+			break
+		}
+	}
+	return added
+}
+
+// Active reports whether the given instance is currently active, either
+// because it was touched directly or because a contained instance was.
+func (h *Hierarchy) Active(inst Name) bool {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	_, ok := h.active[inst.Key()]
+	return ok
+}
+
+// Terminate deactivates an instance and every instance subordinate to
+// it, implementing "termination of a containing business context implies
+// termination of all the contained ones". It returns the names removed.
+func (h *Hierarchy) Terminate(inst Name) []Name {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var removed []Name
+	for key, n := range h.active {
+		if n.IsEqualOrSubordinateTo(inst) && !n.IsUniversal() {
+			removed = append(removed, n)
+			delete(h.active, key)
+		}
+	}
+	sortNames(removed)
+	return removed
+}
+
+// Instances returns the active instances sorted by name, the universal
+// context first.
+func (h *Hierarchy) Instances() []Name {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make([]Name, 0, len(h.active))
+	for _, n := range h.active {
+		out = append(out, n)
+	}
+	sortNames(out)
+	return out
+}
+
+// Len returns the number of active instances, including the universal
+// context once anything has been touched.
+func (h *Hierarchy) Len() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.active)
+}
+
+// Render draws the active hierarchy as an indented tree rooted at the
+// universal context, for diagnostics and for reproducing Figure 2.
+func (h *Hierarchy) Render() string {
+	instances := h.Instances()
+	children := make(map[string][]Name)
+	for _, n := range instances {
+		if n.IsUniversal() {
+			continue
+		}
+		pk := n.Parent().Key()
+		children[pk] = append(children[pk], n)
+	}
+	for _, c := range children {
+		sortNames(c)
+	}
+	var b strings.Builder
+	var walk func(n Name, depth int)
+	walk = func(n Name, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		if n.IsUniversal() {
+			b.WriteString("(universal)")
+		} else {
+			comps := n.Components()
+			b.WriteString(comps[len(comps)-1].String())
+		}
+		b.WriteByte('\n')
+		for _, c := range children[n.Key()] {
+			walk(c, depth+1)
+		}
+	}
+	if len(instances) > 0 {
+		walk(Universal, 0)
+	}
+	return b.String()
+}
+
+func sortNames(names []Name) {
+	sort.Slice(names, func(i, j int) bool {
+		if names[i].Len() != names[j].Len() {
+			return names[i].Len() < names[j].Len()
+		}
+		return names[i].Key() < names[j].Key()
+	})
+}

@@ -1,0 +1,100 @@
+package bctx
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHierarchyTouchActivatesAncestors(t *testing.T) {
+	h := NewHierarchy()
+	inst := MustParse("Branch=York, Period=2006")
+	if got := h.Touch(inst); got != 3 { // universal, Branch=York, full name
+		t.Fatalf("Touch added %d, want 3", got)
+	}
+	for _, s := range []string{"", "Branch=York", "Branch=York, Period=2006"} {
+		if !h.Active(MustParse(s)) {
+			t.Errorf("%q not active", s)
+		}
+	}
+	if h.Active(MustParse("Branch=Leeds")) {
+		t.Error("Branch=Leeds should not be active")
+	}
+	// Touching again adds nothing.
+	if got := h.Touch(inst); got != 0 {
+		t.Errorf("second Touch added %d, want 0", got)
+	}
+}
+
+func TestHierarchyTerminateSubtree(t *testing.T) {
+	h := NewHierarchy()
+	h.Touch(MustParse("Branch=York, Period=2006"))
+	h.Touch(MustParse("Branch=York, Period=2007"))
+	h.Touch(MustParse("Branch=Leeds, Period=2006"))
+
+	removed := h.Terminate(MustParse("Branch=York"))
+	if len(removed) != 3 { // Branch=York and both periods
+		t.Fatalf("Terminate removed %d instances, want 3: %v", len(removed), removed)
+	}
+	if h.Active(MustParse("Branch=York")) || h.Active(MustParse("Branch=York, Period=2006")) {
+		t.Error("York subtree still active")
+	}
+	if !h.Active(MustParse("Branch=Leeds")) || !h.Active(MustParse("Branch=Leeds, Period=2006")) {
+		t.Error("Leeds subtree should remain active")
+	}
+	if !h.Active(Universal) {
+		t.Error("universal context should never be terminated by a subtree terminate")
+	}
+}
+
+func TestHierarchyRender(t *testing.T) {
+	h := NewHierarchy()
+	h.Touch(MustParse("Branch=York, Period=2006"))
+	h.Touch(MustParse("Branch=Leeds, Period=2006"))
+	got := h.Render()
+	want := "(universal)\n" +
+		"  Branch=Leeds\n" +
+		"    Period=2006\n" +
+		"  Branch=York\n" +
+		"    Period=2006\n"
+	if got != want {
+		t.Errorf("Render:\n%s\nwant:\n%s", got, want)
+	}
+	if !strings.HasPrefix(got, "(universal)") {
+		t.Error("render must start at the universal context")
+	}
+}
+
+func TestHierarchyRenderEmpty(t *testing.T) {
+	h := NewHierarchy()
+	if got := h.Render(); got != "" {
+		t.Errorf("empty hierarchy rendered %q", got)
+	}
+}
+
+func TestHierarchyConcurrent(t *testing.T) {
+	h := NewHierarchy()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			branch := string(rune('A' + i))
+			for p := 0; p < 50; p++ {
+				inst := MustName(
+					Component{Type: "Branch", Value: branch},
+					Component{Type: "Period", Value: string(rune('a' + p%26))},
+				)
+				h.Touch(inst)
+				h.Active(inst)
+				if p%10 == 9 {
+					h.Terminate(inst)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if h.Len() == 0 {
+		t.Error("expected some active instances after concurrent use")
+	}
+}

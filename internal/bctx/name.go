@@ -1,0 +1,269 @@
+// Package bctx implements the hierarchically named business contexts of
+// the MSoD model (Chadwick et al., ICDE 2007, §2.2).
+//
+// A business context identifies the scope over which a multi-session
+// separation-of-duty policy persists. Contexts are named by an ordered
+// list of type=value components, for example
+//
+//	Branch=York, Period=2006
+//
+// The empty name is the universal context (the root of the hierarchy).
+// A name A is subordinate to a name B when B's components are a prefix of
+// A's components; the universal context is therefore an ancestor of every
+// context.
+//
+// Policy contexts may use two special values:
+//
+//   - "*" matches every instance value of that component and keeps
+//     matching across all of them ("SSD across all instances"), and
+//   - "!" matches every instance value of that component but binds the
+//     matched value, specialising the policy to that one instance
+//     ("DSD per instance").
+//
+// Instance names (those carried on access requests and stored in the
+// retained ADI) must use only concrete values.
+package bctx
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Wildcard values usable in policy context components.
+const (
+	// AnyInstance ("*") matches all instance values of a component and
+	// aggregates history across them.
+	AnyInstance = "*"
+	// PerInstance ("!") matches any one instance value of a component and
+	// binds it, so history is segregated per instance.
+	PerInstance = "!"
+)
+
+// Component is one type=value element of a business context name.
+type Component struct {
+	// Type is the context type, e.g. "Branch" or "taxRefundProcess".
+	Type string
+	// Value is the context value: a concrete instance value, or for
+	// policy contexts possibly AnyInstance or PerInstance.
+	Value string
+}
+
+// IsWildcard reports whether the component value is "*" or "!".
+func (c Component) IsWildcard() bool {
+	return c.Value == AnyInstance || c.Value == PerInstance
+}
+
+// String renders the component as "Type=Value".
+func (c Component) String() string { return c.Type + "=" + c.Value }
+
+// Name is a business context name: an ordered list of components from the
+// most generic context type to the most refined. The zero value is the
+// universal context.
+type Name struct {
+	components []Component
+}
+
+// Universal is the root of the context hierarchy; its name is empty.
+var Universal = Name{}
+
+// NewName builds a Name from components. It returns an error if any
+// component has an empty type or value, or contains the reserved
+// characters '=' or ','.
+func NewName(components ...Component) (Name, error) {
+	for i, c := range components {
+		if err := checkToken(c.Type); err != nil {
+			return Name{}, fmt.Errorf("bctx: component %d type: %w", i, err)
+		}
+		if err := checkToken(c.Value); err != nil {
+			return Name{}, fmt.Errorf("bctx: component %d value: %w", i, err)
+		}
+	}
+	return Name{components: append([]Component(nil), components...)}, nil
+}
+
+// MustName is like NewName but panics on error. It is intended for
+// tests and for literals known to be valid.
+func MustName(components ...Component) Name {
+	n, err := NewName(components...)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func checkToken(s string) error {
+	if s == "" {
+		return fmt.Errorf("empty token")
+	}
+	if strings.ContainsAny(s, "=,") {
+		return fmt.Errorf("token %q contains reserved character", s)
+	}
+	return nil
+}
+
+// Parse parses a textual context name of the form
+// "Type1=Value1, Type2=Value2". Whitespace around components, types and
+// values is ignored. The empty string parses to the universal context.
+func Parse(s string) (Name, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Universal, nil
+	}
+	parts := strings.Split(s, ",")
+	components := make([]Component, 0, len(parts))
+	for _, part := range parts {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return Name{}, fmt.Errorf("bctx: empty component in %q", s)
+		}
+		eq := strings.IndexByte(part, '=')
+		if eq < 0 {
+			return Name{}, fmt.Errorf("bctx: component %q missing '='", part)
+		}
+		typ := strings.TrimSpace(part[:eq])
+		val := strings.TrimSpace(part[eq+1:])
+		if typ == "" || val == "" {
+			return Name{}, fmt.Errorf("bctx: component %q has empty type or value", part)
+		}
+		components = append(components, Component{Type: typ, Value: val})
+	}
+	return NewName(components...)
+}
+
+// MustParse is like Parse but panics on error.
+func MustParse(s string) Name {
+	n, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// String renders the name as "Type1=Value1, Type2=Value2". The universal
+// context renders as the empty string.
+func (n Name) String() string {
+	if len(n.components) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, c := range n.components {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.String())
+	}
+	return b.String()
+}
+
+// Components returns a copy of the name's components.
+func (n Name) Components() []Component {
+	return append([]Component(nil), n.components...)
+}
+
+// Len returns the number of components (the depth below the universal
+// context).
+func (n Name) Len() int { return len(n.components) }
+
+// IsUniversal reports whether the name is the universal (root) context.
+func (n Name) IsUniversal() bool { return len(n.components) == 0 }
+
+// IsInstance reports whether every component carries a concrete value,
+// i.e. the name identifies a single business context instance and is
+// usable on an access request or in the retained ADI.
+func (n Name) IsInstance() bool {
+	for _, c := range n.components {
+		if c.IsWildcard() {
+			return false
+		}
+	}
+	return true
+}
+
+// HasPerInstance reports whether any component uses the "!" value.
+func (n Name) HasPerInstance() bool {
+	for _, c := range n.components {
+		if c.Value == PerInstance {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether two names have identical components.
+func (n Name) Equal(o Name) bool {
+	if len(n.components) != len(o.components) {
+		return false
+	}
+	for i, c := range n.components {
+		if o.components[i] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical string usable as a map key. It is identical to
+// String but documents intent at call sites.
+func (n Name) Key() string { return n.String() }
+
+// MarshalText implements encoding.TextMarshaler using the canonical
+// string form, so Names embed naturally in JSON/XML payloads.
+func (n Name) MarshalText() ([]byte, error) {
+	return []byte(n.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler via Parse.
+func (n *Name) UnmarshalText(text []byte) error {
+	parsed, err := Parse(string(text))
+	if err != nil {
+		return err
+	}
+	*n = parsed
+	return nil
+}
+
+// Parent returns the name with the last component removed. The parent of
+// the universal context is the universal context itself.
+func (n Name) Parent() Name {
+	if len(n.components) == 0 {
+		return Universal
+	}
+	return Name{components: n.components[:len(n.components)-1]}
+}
+
+// Child returns the name extended with one more component.
+func (n Name) Child(typ, value string) (Name, error) {
+	components := append(append([]Component(nil), n.components...), Component{Type: typ, Value: value})
+	return NewName(components...)
+}
+
+// MustChild is like Child but panics on error.
+func (n Name) MustChild(typ, value string) Name {
+	c, err := n.Child(typ, value)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// IsAncestorOf reports whether n is a proper ancestor of o in the
+// instance hierarchy: n's components are a strict prefix of o's. Only
+// concrete component equality is considered; wildcards are not expanded
+// (use Matches for policy-context comparison).
+func (n Name) IsAncestorOf(o Name) bool {
+	if len(n.components) >= len(o.components) {
+		return false
+	}
+	for i, c := range n.components {
+		if o.components[i] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// IsEqualOrSubordinateTo reports whether n equals o or is subordinate to
+// (a descendant of) o, comparing concrete components only.
+func (n Name) IsEqualOrSubordinateTo(o Name) bool {
+	return o.Equal(n) || o.IsAncestorOf(n)
+}

@@ -1,0 +1,327 @@
+// Package bertino re-implements the comparison baseline of the MSoD
+// paper's related work (§6): the workflow authorisation system of
+// Bertino, Ferrari and Atluri [12]. Unlike MSoD it is not history
+// based: before a workflow instance starts, a central planner — which
+// must know the complete workflow definition, every user, and every
+// user-role assignment — computes whether role/user assignments exist
+// that satisfy all separation-of-duty constraints; at run time, a user's
+// request to execute a task is granted only if committing it still
+// leaves at least one complete valid assignment, and each commitment
+// prunes the search space for later checks.
+//
+// The package exists for experiment E6: it reproduces both the
+// behavioural equivalence on Example 2 and the structural costs the
+// paper attributes to [12] — up-front combinatorial planning, the
+// requirement for centralised global knowledge, and the inability to
+// express non-workflow constraints such as Example 1.
+package bertino
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"msod/internal/rbac"
+	"msod/internal/workflow"
+)
+
+// Errors returned by the planner.
+var (
+	// ErrInfeasible means no complete valid assignment exists.
+	ErrInfeasible = errors.New("bertino: no valid assignment exists")
+	// ErrNotQualified means the user lacks the task's required role.
+	ErrNotQualified = errors.New("bertino: user not qualified for task")
+	// ErrDenied means committing the user would make the workflow
+	// uncompletable.
+	ErrDenied = errors.New("bertino: assignment would violate constraints")
+)
+
+// ConstraintKind enumerates the SoD constraint forms used in Example 2.
+type ConstraintKind int
+
+const (
+	// Disjoint requires the executor sets of two tasks to be disjoint
+	// ("the manager who collects the results must be different from
+	// those executing task T2").
+	Disjoint ConstraintKind = iota
+	// DistinctWithinTask requires a repeated task's executions to be
+	// performed by pairwise distinct users ("performed in parallel twice
+	// by two different managers").
+	DistinctWithinTask
+)
+
+// Constraint is one separation-of-duty rule over workflow tasks.
+type Constraint struct {
+	Kind  ConstraintKind
+	TaskA string
+	// TaskB is used by Disjoint only.
+	TaskB string
+}
+
+// Planner owns the global knowledge [12] requires: the workflow
+// definition, the full user population with role assignments, and the
+// constraint set.
+type Planner struct {
+	def         *workflow.Definition
+	qualified   map[string][]rbac.UserID // task -> users holding its role
+	constraints []Constraint
+	slots       []slot // flattened task execution slots, in task order
+}
+
+// slot is one required execution of a task.
+type slot struct {
+	task string
+	idx  int // execution index within the task
+}
+
+// NewPlanner builds the planner. userRoles is the complete user-role
+// assignment relation (the centralised knowledge MSoD does not need).
+func NewPlanner(def *workflow.Definition, userRoles map[rbac.UserID][]rbac.RoleName, constraints []Constraint) (*Planner, error) {
+	if err := def.Validate(); err != nil {
+		return nil, err
+	}
+	for _, c := range constraints {
+		if _, err := def.Task(c.TaskA); err != nil {
+			return nil, err
+		}
+		if c.Kind == Disjoint {
+			if _, err := def.Task(c.TaskB); err != nil {
+				return nil, err
+			}
+		}
+	}
+	p := &Planner{
+		def:         def,
+		qualified:   make(map[string][]rbac.UserID),
+		constraints: append([]Constraint(nil), constraints...),
+	}
+	for _, t := range def.Tasks {
+		for user, roles := range userRoles {
+			for _, r := range roles {
+				if r == t.Role {
+					p.qualified[t.Name] = append(p.qualified[t.Name], user)
+					break
+				}
+			}
+		}
+		n := t.Executions
+		if n <= 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			p.slots = append(p.slots, slot{task: t.Name, idx: i})
+		}
+	}
+	return p, nil
+}
+
+// PlanStats reports the pre-computation outcome.
+type PlanStats struct {
+	// Assignments is the number of complete valid assignments found (the
+	// size of the set [12] computes "prior to workflow commencing"),
+	// capped at CountCap.
+	Assignments int
+	// Slots is the number of task execution slots.
+	Slots int
+	// Nodes is the number of search nodes visited — the planning cost.
+	Nodes int
+}
+
+// CountCap bounds assignment enumeration so pathological inputs cannot
+// run forever; feasibility itself needs only one assignment.
+const CountCap = 1_000_000
+
+// Precompute enumerates (up to CountCap) the complete valid assignments.
+// It returns ErrInfeasible if none exists.
+func (p *Planner) Precompute() (PlanStats, error) {
+	stats := PlanStats{Slots: len(p.slots)}
+	assigned := make(map[string][]rbac.UserID, len(p.def.Tasks))
+	var rec func(i int) bool
+	complete := 0
+	rec = func(i int) bool {
+		stats.Nodes++
+		if i == len(p.slots) {
+			complete++
+			return complete >= CountCap
+		}
+		s := p.slots[i]
+		for _, u := range p.qualified[s.task] {
+			if !p.allowed(assigned, s.task, u) {
+				continue
+			}
+			assigned[s.task] = append(assigned[s.task], u)
+			stop := rec(i + 1)
+			assigned[s.task] = assigned[s.task][:len(assigned[s.task])-1]
+			if stop {
+				return true
+			}
+		}
+		return false
+	}
+	rec(0)
+	stats.Assignments = complete
+	if complete == 0 {
+		return stats, ErrInfeasible
+	}
+	return stats, nil
+}
+
+// allowed reports whether adding user u as the next executor of task
+// violates any constraint against the partial assignment.
+func (p *Planner) allowed(assigned map[string][]rbac.UserID, task string, u rbac.UserID) bool {
+	for _, c := range p.constraints {
+		switch c.Kind {
+		case DistinctWithinTask:
+			if c.TaskA != task {
+				continue
+			}
+			for _, prev := range assigned[task] {
+				if prev == u {
+					return false
+				}
+			}
+		case Disjoint:
+			var other string
+			switch task {
+			case c.TaskA:
+				other = c.TaskB
+			case c.TaskB:
+				other = c.TaskA
+			default:
+				continue
+			}
+			for _, prev := range assigned[other] {
+				if prev == u {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// completable reports whether the partial assignment extends to a
+// complete valid one, and counts search nodes.
+func (p *Planner) completable(assigned map[string][]rbac.UserID, nodes *int) bool {
+	filled := make(map[string]int, len(assigned))
+	for t, us := range assigned {
+		filled[t] = len(us)
+	}
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		*nodes++
+		if i == len(p.slots) {
+			return true
+		}
+		s := p.slots[i]
+		if s.idx < filled[s.task] {
+			// Slot already committed; skip it.
+			return rec(i + 1)
+		}
+		for _, u := range p.qualified[s.task] {
+			if !p.allowed(assigned, s.task, u) {
+				continue
+			}
+			assigned[s.task] = append(assigned[s.task], u)
+			filled[s.task]++
+			ok := rec(i + 1)
+			filled[s.task]--
+			assigned[s.task] = assigned[s.task][:len(assigned[s.task])-1]
+			if ok {
+				return true
+			}
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// Run is one workflow instance's authorisation state under the baseline.
+// Run is safe for concurrent use.
+type Run struct {
+	p  *Planner
+	mu sync.Mutex
+	// assigned mirrors the committed executors per task.
+	assigned map[string][]rbac.UserID
+	// nodes accumulates runtime search cost (for E6 measurements).
+	nodes int
+}
+
+// NewRun starts an instance; the planner must have verified feasibility.
+func (p *Planner) NewRun() *Run {
+	return &Run{p: p, assigned: make(map[string][]rbac.UserID)}
+}
+
+// CanExecute reports whether the user may execute the task now: the
+// user must be qualified, must not violate a constraint against the
+// committed executors, and the commitment must leave the workflow
+// completable.
+func (r *Run) CanExecute(task string, u rbac.UserID) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.canExecuteLocked(task, u)
+}
+
+func (r *Run) canExecuteLocked(task string, u rbac.UserID) error {
+	if _, err := r.p.def.Task(task); err != nil {
+		return err
+	}
+	qualified := false
+	for _, q := range r.p.qualified[task] {
+		if q == u {
+			qualified = true
+			break
+		}
+	}
+	if !qualified {
+		return fmt.Errorf("%w: %q for task %q", ErrNotQualified, u, task)
+	}
+	if !r.p.allowed(r.assigned, task, u) {
+		return fmt.Errorf("%w: %q on task %q conflicts with committed executors", ErrDenied, u, task)
+	}
+	// Tentatively commit and test completability (the "checks if this is
+	// possible" step of [12]).
+	r.assigned[task] = append(r.assigned[task], u)
+	ok := r.p.completable(r.assigned, &r.nodes)
+	r.assigned[task] = r.assigned[task][:len(r.assigned[task])-1]
+	if !ok {
+		return fmt.Errorf("%w: committing %q to %q leaves the workflow uncompletable", ErrDenied, u, task)
+	}
+	return nil
+}
+
+// Commit authorises and records the execution (the post-task pruning of
+// [12]: the committed choice narrows all future feasibility checks).
+func (r *Run) Commit(task string, u rbac.UserID) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.canExecuteLocked(task, u); err != nil {
+		return err
+	}
+	r.assigned[task] = append(r.assigned[task], u)
+	return nil
+}
+
+// Nodes returns the cumulative runtime search cost.
+func (r *Run) Nodes() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.nodes
+}
+
+// Executors returns the committed executors of a task.
+func (r *Run) Executors(task string) []rbac.UserID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]rbac.UserID(nil), r.assigned[task]...)
+}
+
+// TaxRefundConstraints returns the Example 2 constraint set in [12]'s
+// form: T1/T4 disjoint, T2/T3 disjoint, T2 internally distinct.
+func TaxRefundConstraints() []Constraint {
+	return []Constraint{
+		{Kind: Disjoint, TaskA: "T1", TaskB: "T4"},
+		{Kind: Disjoint, TaskA: "T2", TaskB: "T3"},
+		{Kind: DistinctWithinTask, TaskA: "T2"},
+	}
+}

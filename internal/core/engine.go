@@ -1,0 +1,461 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"msod/internal/adi"
+	"msod/internal/bctx"
+	"msod/internal/rbac"
+)
+
+// Request is the MSoD-relevant slice of an access control decision
+// request (§4.1): the user's stable ID, the roles activated for this
+// request, the operation and target, and the business context instance.
+type Request struct {
+	// User is mandatory for MSoD (§4.1: "the user's ID becomes
+	// mandatory so that the PDP can link together the user's sessions").
+	User rbac.UserID
+	// Roles are the user's activated roles for this request.
+	Roles []rbac.RoleName
+	// Operation and Target identify the requested privilege.
+	Operation rbac.Operation
+	Target    rbac.Object
+	// Context is the current business context instance, supplied by the
+	// PEP with every request.
+	Context bctx.Name
+}
+
+// Validate checks the request can be evaluated.
+func (r Request) Validate() error {
+	if r.User == "" {
+		return fmt.Errorf("core: request has empty user ID")
+	}
+	if !r.Context.IsInstance() {
+		return fmt.Errorf("core: request context %q is not an instance", r.Context)
+	}
+	return nil
+}
+
+// Effect is the outcome of an MSoD evaluation.
+type Effect int
+
+const (
+	// Grant means no MSoD constraint was violated; the decision has been
+	// recorded in the retained ADI where applicable.
+	Grant Effect = iota
+	// Deny means a constraint was violated; the retained ADI is
+	// unchanged.
+	Deny
+)
+
+// String renders the effect.
+func (e Effect) String() string {
+	if e == Grant {
+		return "grant"
+	}
+	return "deny"
+}
+
+// Denial explains which constraint denied a request.
+type Denial struct {
+	// PolicyContext is the policy's (unbound) business context.
+	PolicyContext bctx.Name
+	// BoundContext is the context after "!" binding to the request
+	// instance — the scope in which the conflict was found.
+	BoundContext bctx.Name
+	// Rule identifies the violated constraint: "MMER[i]" or "MMEP[i]".
+	Rule string
+	// Reason is a human-readable explanation.
+	Reason string
+}
+
+// Error renders the denial; Denial satisfies error so PEPs can surface it.
+func (d *Denial) Error() string {
+	return fmt.Sprintf("msod: denied by %s of policy %q (bound %q): %s",
+		d.Rule, d.PolicyContext, d.BoundContext, d.Reason)
+}
+
+// Decision is the result of evaluating a request against the MSoD policy
+// set.
+type Decision struct {
+	Effect Effect
+	// Denial is set when Effect is Deny.
+	Denial *Denial
+	// MatchedPolicies counts how many policies' contexts matched the
+	// request (diagnostics; 0 means MSoD did not apply).
+	MatchedPolicies int
+	// Recorded counts retained-ADI records written for a grant.
+	Recorded int
+	// Purged counts retained-ADI records deleted because the request was
+	// a granted last step.
+	Purged int
+}
+
+// Engine evaluates requests against a compiled MSoD policy set and a
+// retained-ADI store. Evaluations are serialised by an internal mutex so
+// the read-check-append sequence of the §4.2 algorithm is atomic with
+// respect to concurrent requests (two in-flight conflicting requests
+// cannot both pass their history checks and both record).
+type Engine struct {
+	mu        sync.Mutex
+	policies  []Policy
+	store     adi.Recorder
+	now       func() time.Time
+	expand    func([]rbac.RoleName) []rbac.RoleName
+	naiveMMEP bool
+
+	// Striping (WithStriping): rw + stripes replace mu; nil stripes
+	// means the default single-mutex mode.
+	rw      sync.RWMutex
+	stripes []sync.Mutex
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithClock overrides the engine's time source (used for deterministic
+// retained-ADI timestamps in tests and experiments).
+func WithClock(now func() time.Time) Option {
+	return func(e *Engine) { e.now = now }
+}
+
+// WithNaiveMMEPCounting switches MMEP evaluation from multiset counting
+// (each remaining rule position needs a distinct supporting ADI record)
+// to the literal any-record reading of §4.2 step 6.iii (a remaining
+// position counts if *any* matching record exists). The two coincide on
+// every constraint in the paper, including MMEP({p,p},2); they diverge
+// only when a privilege is listed three or more times — naive counting
+// then under-allows (MMEP({p,p,p},3) caps p at one execution instead of
+// two). Experiment E11 is the ablation; the engine defaults to multiset
+// counting (see DESIGN.md §5).
+func WithNaiveMMEPCounting() Option {
+	return func(e *Engine) { e.naiveMMEP = true }
+}
+
+// WithRoleExpander makes MMER constraints hierarchy-aware: activated
+// roles are expanded (typically to their inheritance closure, see
+// rbac.Model.Closure) before matching, and retained records carry the
+// expanded set. Activating a senior role then conflicts exactly like
+// activating the junior roles it inherits.
+//
+// This is an extension beyond the paper, which does not discuss the
+// interaction of MMER with role hierarchies; omit the option for the
+// paper's literal behaviour.
+func WithRoleExpander(expand func([]rbac.RoleName) []rbac.RoleName) Option {
+	return func(e *Engine) { e.expand = expand }
+}
+
+// NewEngine builds an engine over the given store and policies. Policies
+// are validated; the store must be non-nil.
+func NewEngine(store adi.Recorder, policies []Policy, opts ...Option) (*Engine, error) {
+	if store == nil {
+		return nil, fmt.Errorf("core: nil retained-ADI store")
+	}
+	for i := range policies {
+		if err := policies[i].Validate(); err != nil {
+			return nil, fmt.Errorf("core: policy %d: %w", i, err)
+		}
+	}
+	e := &Engine{
+		policies: append([]Policy(nil), policies...),
+		store:    store,
+		now:      time.Now,
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e, nil
+}
+
+// Policies returns a copy of the engine's compiled policies.
+func (e *Engine) Policies() []Policy {
+	return append([]Policy(nil), e.policies...)
+}
+
+// Store returns the engine's retained-ADI store.
+func (e *Engine) Store() adi.Recorder { return e.store }
+
+// action is one deferred store mutation, applied in policy order only if
+// the overall result is Grant.
+type action struct {
+	purge   bool
+	pattern bctx.Name    // purge pattern
+	records []adi.Record // appends
+}
+
+// Evaluate runs the §4.2 enforcement algorithm. The request must already
+// have passed the ordinary RBAC check. On Grant, the retained ADI is
+// updated (new records and/or last-step purges); on Deny, the store is
+// untouched.
+func (e *Engine) Evaluate(req Request) (Decision, error) {
+	return e.evaluate(req, true)
+}
+
+// Peek runs the same algorithm as Evaluate but never mutates the
+// retained ADI, answering "would this request be granted right now?" —
+// an advisory mode for UX (greying out actions) and for planners. The
+// Decision's Recorded field reports how many records a real evaluation
+// would have written; Purged is only populated by Evaluate.
+//
+// Note the TOCTOU caveat inherent to any advisory answer: a Grant from
+// Peek can become Deny by the time Evaluate runs if conflicting history
+// lands in between.
+func (e *Engine) Peek(req Request) (Decision, error) {
+	return e.evaluate(req, false)
+}
+
+func (e *Engine) evaluate(req Request, commit bool) (Decision, error) {
+	if err := req.Validate(); err != nil {
+		return Decision{}, err
+	}
+	if e.expand != nil {
+		// Hierarchy-aware extension: evaluate and record with the
+		// expanded role set (req is a copy; the caller's slice is not
+		// modified).
+		req.Roles = e.expand(req.Roles)
+	}
+	unlock := e.lockFor(req)
+	defer unlock()
+
+	var (
+		dec     Decision
+		actions []action
+		now     = e.now()
+	)
+
+	// Step 1: select the policies whose business context matches the
+	// request's context instance, binding "!" components.
+	for pi := range e.policies {
+		p := &e.policies[pi]
+		matched, err := bctx.MatchInstance(p.Context, req.Context)
+		if err != nil {
+			return Decision{}, err
+		}
+		if !matched {
+			continue
+		}
+		dec.MatchedPolicies++
+		bound, err := bctx.Bind(p.Context, req.Context)
+		if err != nil {
+			return Decision{}, err
+		}
+
+		act, denial, err := e.evaluatePolicy(p, bound, req, now)
+		if err != nil {
+			return Decision{}, err
+		}
+		if denial != nil {
+			// Deny exits immediately; no retained-ADI mutation at all.
+			return Decision{Effect: Deny, Denial: denial, MatchedPolicies: dec.MatchedPolicies}, nil
+		}
+		if act != nil {
+			actions = append(actions, *act)
+		}
+	}
+
+	// Commit phase: every matched policy granted, apply mutations in
+	// policy order. In advisory mode (Peek) the mutations are only
+	// counted, never applied.
+	for _, act := range actions {
+		if act.purge {
+			if commit {
+				n, err := e.store.PurgeContext(act.pattern)
+				if err != nil {
+					return Decision{}, fmt.Errorf("core: purge %q: %w", act.pattern, err)
+				}
+				dec.Purged += n
+			}
+			continue
+		}
+		if len(act.records) > 0 {
+			if commit {
+				if err := e.store.Append(act.records...); err != nil {
+					return Decision{}, fmt.Errorf("core: record decision: %w", err)
+				}
+			}
+			dec.Recorded += len(act.records)
+		}
+	}
+	dec.Effect = Grant
+	return dec, nil
+}
+
+// evaluatePolicy runs steps 3–7 for one matched policy with its bound
+// context. It returns the deferred store action for a grant, or a denial.
+func (e *Engine) evaluatePolicy(p *Policy, bound bctx.Name, req Request, now time.Time) (*action, *Denial, error) {
+	// Step 7 precheck: a granted last step terminates the context
+	// instance — the §4.2 text orders this after the constraint checks,
+	// and the PERMIS implementation (§5.2) flushes on recording the
+	// granted last step. Constraint checks still apply to the last step
+	// itself (it may be one of the mutually exclusive privileges).
+	isLast := p.LastStep.matches(req.Operation, req.Target)
+
+	// Step 3: has this bound context instance any retained history?
+	active, err := e.store.ContextActive(bound)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: context query: %w", err)
+	}
+
+	if !active {
+		// Step 4: no history. Record only if this is the policy's first
+		// step, or the policy defines none (enforcement starts with the
+		// first operation invoked inside the context).
+		if p.FirstStep == nil || p.FirstStep.matches(req.Operation, req.Target) {
+			if e.stripes != nil {
+				// Striping-mode guard: deny a request that activates a
+				// full conflicting role set even on the opening request,
+				// so cross-user commit order cannot change outcomes (see
+				// WithStriping).
+				if i, bad := selfConflict(p, req.Roles); bad {
+					return nil, &Denial{
+						PolicyContext: p.Context,
+						BoundContext:  bound,
+						Rule:          fmt.Sprintf("MMER[%d]", i),
+						Reason: fmt.Sprintf("user %q activates %d or more mutually exclusive roles in one request",
+							req.User, p.MMER[i].Cardinality),
+					}, nil
+				}
+			}
+			if isLast {
+				// First operation is also the last step: the instance
+				// terminates immediately; nothing to retain.
+				return &action{purge: true, pattern: bound}, nil, nil
+			}
+			return &action{records: []adi.Record{newRecord(req, now)}}, nil, nil
+		}
+		// Context has not started: MSoD does not yet apply.
+		return nil, nil, nil
+	}
+
+	pending := make([]adi.Record, 0, 2)
+
+	// Step 5: MMER constraints.
+	for i, rule := range p.MMER {
+		nr := 0
+		var matchedRoles []rbac.RoleName
+		remaining := make([]rbac.RoleName, 0, len(rule.Roles))
+		for _, role := range rule.Roles {
+			if containsRole(req.Roles, role) {
+				nr++
+				matchedRoles = append(matchedRoles, role)
+			} else {
+				remaining = append(remaining, role)
+			}
+		}
+		if nr == 0 {
+			continue
+		}
+		count := 0
+		for _, role := range remaining {
+			ok, err := e.store.UserHasRole(req.User, bound, role)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: role history query: %w", err)
+			}
+			if ok {
+				count++
+			}
+		}
+		if count >= rule.Cardinality-nr {
+			return nil, &Denial{
+				PolicyContext: p.Context,
+				BoundContext:  bound,
+				Rule:          fmt.Sprintf("MMER[%d]", i),
+				Reason: fmt.Sprintf("user %q activating %v already holds %d conflicting role(s) in this context (forbidden cardinality %d)",
+					req.User, matchedRoles, count, rule.Cardinality),
+			}, nil
+		}
+		// Step 5.iv: one new record per currently matched role.
+		for _, role := range matchedRoles {
+			rec := newRecord(req, now)
+			rec.Roles = []rbac.RoleName{role}
+			pending = append(pending, rec)
+		}
+	}
+
+	// Step 6: MMEP constraints.
+	reqPriv := rbac.Permission{Operation: req.Operation, Object: req.Target}
+	for i, rule := range p.MMEP {
+		// Positions equal to the requested privilege; one occurrence is
+		// the current request and is ignored from counting.
+		positions := make(map[rbac.Permission]int, len(rule.Privileges))
+		reqPositions := 0
+		for _, priv := range rule.Privileges {
+			if priv == reqPriv {
+				reqPositions++
+			} else {
+				positions[priv]++
+			}
+		}
+		if reqPositions == 0 {
+			continue
+		}
+		if reqPositions > 1 {
+			// The privilege is listed multiple times: the occurrences
+			// beyond the current request remain countable positions, so
+			// prior executions of the same privilege are conflicts (this
+			// is the MMEP({p,p},2) repetition cap of §2.4/§3).
+			positions[reqPriv] = reqPositions - 1
+		}
+		// Multiset matching (default): each remaining position needs a
+		// distinct supporting ADI record of the same privilege. Naive
+		// mode counts a position whenever any matching record exists
+		// (the E11 ablation).
+		count := 0
+		for priv, nPos := range positions {
+			limit := nPos
+			if e.naiveMMEP {
+				limit = 1
+			}
+			n, err := e.store.CountUserPrivilege(req.User, bound, priv, limit)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: privilege history query: %w", err)
+			}
+			if e.naiveMMEP && n > 0 {
+				n = nPos
+			}
+			count += n
+		}
+		if count >= rule.Cardinality-1 {
+			return nil, &Denial{
+				PolicyContext: p.Context,
+				BoundContext:  bound,
+				Rule:          fmt.Sprintf("MMEP[%d]", i),
+				Reason: fmt.Sprintf("user %q requesting %v already exercised %d conflicting privilege(s) in this context (forbidden cardinality %d)",
+					req.User, reqPriv, count, rule.Cardinality),
+			}, nil
+		}
+		pending = append(pending, newRecord(req, now))
+	}
+
+	// Step 7: a granted last step terminates the bound context instance;
+	// otherwise the pending records are retained.
+	if isLast {
+		return &action{purge: true, pattern: bound}, nil, nil
+	}
+	return &action{records: pending}, nil, nil
+}
+
+// newRecord builds the §4.2 six-tuple for the request. The stored
+// context is the request's concrete instance, so that future policies
+// binding different patterns can still match it.
+func newRecord(req Request, now time.Time) adi.Record {
+	return adi.Record{
+		User:      req.User,
+		Roles:     append([]rbac.RoleName(nil), req.Roles...),
+		Operation: req.Operation,
+		Target:    req.Target,
+		Context:   req.Context,
+		Time:      now,
+	}
+}
+
+func containsRole(roles []rbac.RoleName, r rbac.RoleName) bool {
+	for _, x := range roles {
+		if x == r {
+			return true
+		}
+	}
+	return false
+}

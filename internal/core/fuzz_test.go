@@ -1,0 +1,61 @@
+package core
+
+import (
+	"testing"
+
+	"msod/internal/adi"
+	"msod/internal/bctx"
+	"msod/internal/rbac"
+)
+
+// FuzzEvaluate throws arbitrary request fields at an engine carrying
+// both paper policies: it must never panic, must error only on invalid
+// requests (empty user / non-instance context), and a denial must never
+// change the store.
+func FuzzEvaluate(f *testing.F) {
+	f.Add("alice", "Teller", "HandleCash", "till", "Branch=York, Period=2006")
+	f.Add("c1", "Clerk", "prepareCheck", "http://www.myTaxOffice.com/Check", "TaxOffice=Leeds, taxRefundProcess=p1")
+	f.Add("", "Teller", "op", "t", "A=1")
+	f.Add("u", "Auditor", "CommitAudit", "http://audit.location.com/audit", "Branch=York, Period=2006")
+	f.Add("u", "X", "op", "t", "A=*")
+	f.Add("u", "", "", "", "")
+
+	policies := append(bankPolicies(), taxPolicies()...)
+	store := adi.NewStore()
+	eng, err := NewEngine(store, policies)
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Fuzz(func(t *testing.T, user, role, op, target, ctx string) {
+		name, err := bctx.Parse(ctx)
+		if err != nil {
+			return
+		}
+		req := Request{
+			User:      rbac.UserID(user),
+			Roles:     []rbac.RoleName{rbac.RoleName(role)},
+			Operation: rbac.Operation(op),
+			Target:    rbac.Object(target),
+			Context:   name,
+		}
+		before := store.Len()
+		dec, err := eng.Evaluate(req)
+		if err != nil {
+			// Errors are only legal for invalid requests.
+			if user != "" && name.IsInstance() {
+				t.Fatalf("valid request errored: %v (req %+v)", err, req)
+			}
+			if store.Len() != before {
+				t.Fatal("errored request changed the store")
+			}
+			return
+		}
+		if dec.Effect == Deny && store.Len() != before {
+			t.Fatal("denied request changed the store")
+		}
+		if dec.Effect == Deny && dec.Denial == nil {
+			t.Fatal("denial without explanation")
+		}
+	})
+}

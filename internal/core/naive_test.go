@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+
+	"msod/internal/adi"
+	"msod/internal/bctx"
+	"msod/internal/rbac"
+)
+
+// tripleRule returns MMEP({p,p,p},3).
+func triplePolicies() []Policy {
+	p := rbac.Permission{Operation: "approve", Object: "t"}
+	return []Policy{{
+		Context: bctx.MustParse("P=!"),
+		MMEP: []MMEPRule{{
+			Privileges:  []rbac.Permission{p, p, p},
+			Cardinality: 3,
+		}},
+	}}
+}
+
+// pairPolicies returns MMEP({p,p},2) — the paper's own repetition cap.
+func pairPolicies() []Policy {
+	p := rbac.Permission{Operation: "approve", Object: "t"}
+	return []Policy{{
+		Context: bctx.MustParse("P=!"),
+		MMEP: []MMEPRule{{
+			Privileges:  []rbac.Permission{p, p},
+			Cardinality: 2,
+		}},
+	}}
+}
+
+// grantsBeforeDeny counts how many consecutive executions of "approve"
+// are granted before the first denial.
+func grantsBeforeDeny(t *testing.T, policies []Policy, opts ...Option) int {
+	t.Helper()
+	e, err := NewEngine(adi.NewStore(), policies, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := Request{User: "u", Roles: []rbac.RoleName{"Manager"},
+		Operation: "approve", Target: "t", Context: bctx.MustParse("P=1")}
+	for i := 0; i < 10; i++ {
+		dec, err := e.Evaluate(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Effect == Deny {
+			return i
+		}
+	}
+	t.Fatal("never denied")
+	return -1
+}
+
+// TestNaiveCountingAblation pins down exactly where the two counting
+// semantics agree and diverge — the E11 ablation in test form.
+func TestNaiveCountingAblation(t *testing.T) {
+	// MMEP({p,p},2): both semantics cap at one execution (the paper's
+	// use case is insensitive to the choice).
+	if got := grantsBeforeDeny(t, pairPolicies()); got != 1 {
+		t.Errorf("pair/multiset: %d grants, want 1", got)
+	}
+	if got := grantsBeforeDeny(t, pairPolicies(), WithNaiveMMEPCounting()); got != 1 {
+		t.Errorf("pair/naive: %d grants, want 1", got)
+	}
+	// MMEP({p,p,p},3): multiset allows two executions (m-1 positions of
+	// p are coverable), naive under-allows at one.
+	if got := grantsBeforeDeny(t, triplePolicies()); got != 2 {
+		t.Errorf("triple/multiset: %d grants, want 2", got)
+	}
+	if got := grantsBeforeDeny(t, triplePolicies(), WithNaiveMMEPCounting()); got != 1 {
+		t.Errorf("triple/naive: %d grants, want 1", got)
+	}
+}
+
+// TestNaiveCountingPaperExamples: the full Example 2 behaves identically
+// under both semantics (no privilege is listed more than twice).
+func TestNaiveCountingPaperExamples(t *testing.T) {
+	for _, naive := range []bool{false, true} {
+		var opts []Option
+		if naive {
+			opts = append(opts, WithNaiveMMEPCounting())
+		}
+		e, err := NewEngine(adi.NewStore(), taxPolicies(), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grant(t, e, taxReq("c1", "Clerk", "prepareCheck", checkTarget, "Leeds", "p1"))
+		grant(t, e, taxReq("m1", "Manager", "approve/disapproveCheck", checkTarget, "Leeds", "p1"))
+		deny(t, e, taxReq("m1", "Manager", "approve/disapproveCheck", checkTarget, "Leeds", "p1"))
+		grant(t, e, taxReq("m2", "Manager", "approve/disapproveCheck", checkTarget, "Leeds", "p1"))
+		deny(t, e, taxReq("m1", "Manager", "combineResults", resultsTarget, "Leeds", "p1"))
+		grant(t, e, taxReq("m3", "Manager", "combineResults", resultsTarget, "Leeds", "p1"))
+		deny(t, e, taxReq("c1", "Clerk", "confirmCheck", auditTarget, "Leeds", "p1"))
+		grant(t, e, taxReq("c2", "Clerk", "confirmCheck", auditTarget, "Leeds", "p1"))
+	}
+}

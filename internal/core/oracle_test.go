@@ -1,0 +1,312 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"msod/internal/adi"
+	"msod/internal/bctx"
+	"msod/internal/rbac"
+)
+
+// oracle is an independent, deliberately naive implementation of the
+// §4.2 semantics (as pinned down in DESIGN.md §5): history is a flat
+// record list, every query recomputes from scratch, no indexes, no
+// shared store code. The differential test below drives the real engine
+// and the oracle with identical random policies and request streams and
+// requires bit-identical decisions and history sizes — so a bug in the
+// engine's store interplay (context refcounts, purge bookkeeping,
+// binding, commit ordering) diverges loudly.
+type oracle struct {
+	policies []Policy
+	records  []oRecord
+}
+
+type oRecord struct {
+	user   rbac.UserID
+	roles  []rbac.RoleName
+	op     rbac.Operation
+	target rbac.Object
+	ctx    bctx.Name
+}
+
+func (o *oracle) evaluate(req Request) (Effect, error) {
+	type action struct {
+		purge   bool
+		pattern bctx.Name
+		adds    []oRecord
+	}
+	var actions []action
+
+	for _, p := range o.policies {
+		matched, err := bctx.MatchInstance(p.Context, req.Context)
+		if err != nil {
+			return Deny, err
+		}
+		if !matched {
+			continue
+		}
+		bound, err := bctx.Bind(p.Context, req.Context)
+		if err != nil {
+			return Deny, err
+		}
+		isLast := p.LastStep != nil && p.LastStep.Operation == req.Operation && p.LastStep.Target == req.Target
+
+		// Step 3: any record (any user) within bound?
+		active := false
+		for _, r := range o.records {
+			if ok, _ := bctx.MatchInstance(bound, r.ctx); ok {
+				active = true
+				break
+			}
+		}
+		if !active {
+			if p.FirstStep == nil ||
+				(p.FirstStep.Operation == req.Operation && p.FirstStep.Target == req.Target) {
+				if isLast {
+					actions = append(actions, action{purge: true, pattern: bound})
+				} else {
+					actions = append(actions, action{adds: []oRecord{{
+						user: req.User, roles: req.Roles, op: req.Operation,
+						target: req.Target, ctx: req.Context,
+					}}})
+				}
+			}
+			continue
+		}
+
+		var pending []oRecord
+
+		// Step 5: MMER.
+		for _, rule := range p.MMER {
+			var matchedRoles, remaining []rbac.RoleName
+			for _, role := range rule.Roles {
+				if containsRole(req.Roles, role) {
+					matchedRoles = append(matchedRoles, role)
+				} else {
+					remaining = append(remaining, role)
+				}
+			}
+			if len(matchedRoles) == 0 {
+				continue
+			}
+			count := 0
+			for _, role := range remaining {
+				for _, r := range o.records {
+					if r.user != req.User {
+						continue
+					}
+					if ok, _ := bctx.MatchInstance(bound, r.ctx); !ok {
+						continue
+					}
+					if containsRole(r.roles, role) {
+						count++
+						break
+					}
+				}
+			}
+			if count >= rule.Cardinality-len(matchedRoles) {
+				return Deny, nil
+			}
+			for _, role := range matchedRoles {
+				pending = append(pending, oRecord{
+					user: req.User, roles: []rbac.RoleName{role},
+					op: req.Operation, target: req.Target, ctx: req.Context,
+				})
+			}
+		}
+
+		// Step 6: MMEP (multiset counting).
+		reqPriv := rbac.Permission{Operation: req.Operation, Object: req.Target}
+		for _, rule := range p.MMEP {
+			positions := map[rbac.Permission]int{}
+			reqPositions := 0
+			for _, priv := range rule.Privileges {
+				if priv == reqPriv {
+					reqPositions++
+				} else {
+					positions[priv]++
+				}
+			}
+			if reqPositions == 0 {
+				continue
+			}
+			if reqPositions > 1 {
+				positions[reqPriv] = reqPositions - 1
+			}
+			count := 0
+			for priv, nPos := range positions {
+				have := 0
+				for _, r := range o.records {
+					if r.user != req.User || r.op != priv.Operation || r.target != priv.Object {
+						continue
+					}
+					if ok, _ := bctx.MatchInstance(bound, r.ctx); ok {
+						have++
+					}
+				}
+				if have > nPos {
+					have = nPos
+				}
+				count += have
+			}
+			if count >= rule.Cardinality-1 {
+				return Deny, nil
+			}
+			pending = append(pending, oRecord{
+				user: req.User, roles: req.Roles,
+				op: req.Operation, target: req.Target, ctx: req.Context,
+			})
+		}
+
+		if isLast {
+			actions = append(actions, action{purge: true, pattern: bound})
+		} else {
+			actions = append(actions, action{adds: pending})
+		}
+	}
+
+	// Commit in policy order.
+	for _, a := range actions {
+		if a.purge {
+			kept := o.records[:0]
+			for _, r := range o.records {
+				if ok, _ := bctx.MatchInstance(a.pattern, r.ctx); !ok {
+					kept = append(kept, r)
+				}
+			}
+			o.records = kept
+			continue
+		}
+		o.records = append(o.records, a.adds...)
+	}
+	return Grant, nil
+}
+
+// genPolicies builds 1..3 random valid policies over small vocabularies.
+func genPolicies(r *rand.Rand) []Policy {
+	roles := []rbac.RoleName{"R0", "R1", "R2", "R3"}
+	ops := []rbac.Operation{"op0", "op1", "op2", "first", "last"}
+	n := 1 + r.Intn(3)
+	out := make([]Policy, 0, n)
+	for i := 0; i < n; i++ {
+		// Context: depth 1-2, values from {*, !, a, b}.
+		depth := 1 + r.Intn(2)
+		comps := make([]bctx.Component, depth)
+		for d := range comps {
+			vals := []string{bctx.AnyInstance, bctx.PerInstance, "a", "b"}
+			comps[d] = bctx.Component{
+				Type:  fmt.Sprintf("T%d", d),
+				Value: vals[r.Intn(len(vals))],
+			}
+		}
+		p := Policy{Context: bctx.MustName(comps...)}
+		// MMER: 0-2 rules of 2-3 distinct roles.
+		for k := 0; k < r.Intn(3); k++ {
+			nr := 2 + r.Intn(2)
+			perm := r.Perm(len(roles))[:nr]
+			rule := MMERRule{Cardinality: 2 + r.Intn(nr-1)}
+			for _, idx := range perm {
+				rule.Roles = append(rule.Roles, roles[idx])
+			}
+			p.MMER = append(p.MMER, rule)
+		}
+		// MMEP: 0-2 rules of 2-3 privileges with possible duplicates.
+		for k := 0; k < r.Intn(3); k++ {
+			np := 2 + r.Intn(2)
+			rule := MMEPRule{Cardinality: 2 + r.Intn(np-1)}
+			for j := 0; j < np; j++ {
+				rule.Privileges = append(rule.Privileges, rbac.Permission{
+					Operation: ops[r.Intn(3)], Object: "t",
+				})
+			}
+			p.MMEP = append(p.MMEP, rule)
+		}
+		if len(p.MMER)+len(p.MMEP) == 0 {
+			p.MMER = []MMERRule{{Roles: []rbac.RoleName{"R0", "R1"}, Cardinality: 2}}
+		}
+		if r.Intn(2) == 0 {
+			p.FirstStep = &Step{Operation: "first", Target: "t"}
+		}
+		if r.Intn(2) == 0 {
+			p.LastStep = &Step{Operation: "last", Target: "t"}
+		}
+		if p.Validate() != nil {
+			continue
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		out = []Policy{{
+			Context: bctx.MustParse("T0=!"),
+			MMER:    []MMERRule{{Roles: []rbac.RoleName{"R0", "R1"}, Cardinality: 2}},
+		}}
+	}
+	return out
+}
+
+// TestQuickDifferentialOracle: the engine and the oracle agree on every
+// decision and on the retained history size, under random policies and
+// random request streams.
+func TestQuickDifferentialOracle(t *testing.T) {
+	roles := []rbac.RoleName{"R0", "R1", "R2", "R3"}
+	ops := []rbac.Operation{"op0", "op1", "op2", "first", "last"}
+	users := []rbac.UserID{"u0", "u1", "u2"}
+	vals := []string{"a", "b", "c"}
+
+	f := func(seed int64, steps uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		policies := genPolicies(r)
+		store := adi.NewStore()
+		eng, err := NewEngine(store, policies)
+		if err != nil {
+			return false
+		}
+		orc := &oracle{policies: policies}
+
+		for i := 0; i < int(steps); i++ {
+			nr := 1 + r.Intn(2)
+			perm := r.Perm(len(roles))[:nr]
+			reqRoles := make([]rbac.RoleName, nr)
+			for j, idx := range perm {
+				reqRoles[j] = roles[idx]
+			}
+			req := Request{
+				User:      users[r.Intn(len(users))],
+				Roles:     reqRoles,
+				Operation: ops[r.Intn(len(ops))],
+				Target:    "t",
+				Context: bctx.MustName(
+					bctx.Component{Type: "T0", Value: vals[r.Intn(len(vals))]},
+					bctx.Component{Type: "T1", Value: vals[r.Intn(len(vals))]},
+				),
+			}
+			got, err := eng.Evaluate(req)
+			if err != nil {
+				t.Logf("engine error: %v", err)
+				return false
+			}
+			want, err := orc.evaluate(req)
+			if err != nil {
+				t.Logf("oracle error: %v", err)
+				return false
+			}
+			if got.Effect != want {
+				t.Logf("seed %d step %d: engine=%v oracle=%v req=%+v policies=%+v",
+					seed, i, got.Effect, want, req, policies)
+				return false
+			}
+			if store.Len() != len(orc.records) {
+				t.Logf("seed %d step %d: engine store %d records, oracle %d",
+					seed, i, store.Len(), len(orc.records))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}

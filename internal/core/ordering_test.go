@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"msod/internal/bctx"
+	"msod/internal/rbac"
+)
+
+// TestCommitOrderAppendThenPurge: when one request matches both a
+// recording policy and a later policy whose last step it is, actions
+// apply in policy order — the first policy's records are written and
+// then swept by the second policy's purge if they fall inside its bound
+// context.
+func TestCommitOrderAppendThenPurge(t *testing.T) {
+	policies := []Policy{
+		{
+			// Policy 0 records "close" activity (no last step).
+			Context: bctx.MustParse("P=!"),
+			MMEP: []MMEPRule{{
+				Privileges: []rbac.Permission{
+					{Operation: "close", Object: "t"},
+					{Operation: "open", Object: "t"},
+				},
+				Cardinality: 2,
+			}},
+		},
+		{
+			// Policy 1 terminates the same context on "close".
+			Context:  bctx.MustParse("P=!"),
+			LastStep: &Step{Operation: "close", Target: "t"},
+			MMER: []MMERRule{{
+				Roles:       []rbac.RoleName{"A", "B"},
+				Cardinality: 2,
+			}},
+		},
+	}
+	e, store := newEngine(t, policies)
+
+	// Start the context with an "open".
+	grant(t, e, Request{User: "u", Roles: []rbac.RoleName{"A"},
+		Operation: "open", Target: "t", Context: bctx.MustParse("P=1")})
+	if store.Len() != 2 { // policy 0 MMEP record + policy 1 step-4 record
+		t.Fatalf("after open: %d records", store.Len())
+	}
+
+	// "close": policy 0 would record it (different privilege, but the
+	// user already did "open" so MMEP denies!). Use another user.
+	dec := grant(t, e, Request{User: "v", Roles: []rbac.RoleName{"B"},
+		Operation: "close", Target: "t", Context: bctx.MustParse("P=1")})
+	// Policy 0 appended v's record, then policy 1's last step purged the
+	// whole P=1 instance including it.
+	if store.Len() != 0 {
+		t.Fatalf("after close: %d records (purge must sweep same-request appends)", store.Len())
+	}
+	if dec.Purged == 0 {
+		t.Fatal("close purged nothing")
+	}
+}
+
+// TestReverseOrderPurgeThenAppend: with the policies swapped, the purge
+// action commits first and the recording policy's append survives.
+func TestReverseOrderPurgeThenAppend(t *testing.T) {
+	policies := []Policy{
+		{
+			Context:  bctx.MustParse("P=!"),
+			LastStep: &Step{Operation: "close", Target: "t"},
+			MMER: []MMERRule{{
+				Roles:       []rbac.RoleName{"A", "B"},
+				Cardinality: 2,
+			}},
+		},
+		{
+			Context: bctx.MustParse("P=!"),
+			MMEP: []MMEPRule{{
+				Privileges: []rbac.Permission{
+					{Operation: "close", Object: "t"},
+					{Operation: "open", Object: "t"},
+				},
+				Cardinality: 2,
+			}},
+		},
+	}
+	e, store := newEngine(t, policies)
+	grant(t, e, Request{User: "u", Roles: []rbac.RoleName{"A"},
+		Operation: "open", Target: "t", Context: bctx.MustParse("P=1")})
+	grant(t, e, Request{User: "v", Roles: []rbac.RoleName{"B"},
+		Operation: "close", Target: "t", Context: bctx.MustParse("P=1")})
+	// Purge (policy 0) ran before the append (policy 1): v's close
+	// record survives as the seed of a "new" instance history.
+	if store.Len() != 1 {
+		t.Fatalf("after close: %d records", store.Len())
+	}
+	recs := store.UserRecords("v", bctx.MustParse("P=1"))
+	if len(recs) != 1 || recs[0].Operation != "close" {
+		t.Fatalf("surviving record = %v", recs)
+	}
+}
+
+// TestLastStepWithFirstStepUnstartedContext: a last-step request in a
+// context that never started (policy has a FirstStep that never ran)
+// does nothing.
+func TestLastStepWithFirstStepUnstartedContext(t *testing.T) {
+	policies := []Policy{{
+		Context:   bctx.MustParse("P=!"),
+		FirstStep: &Step{Operation: "open", Target: "t"},
+		LastStep:  &Step{Operation: "close", Target: "t"},
+		MMEP: []MMEPRule{{
+			Privileges: []rbac.Permission{
+				{Operation: "open", Object: "t"},
+				{Operation: "close", Object: "t"},
+			},
+			Cardinality: 2,
+		}},
+	}}
+	e, store := newEngine(t, policies)
+	dec := grant(t, e, Request{User: "u", Roles: []rbac.RoleName{"A"},
+		Operation: "close", Target: "t", Context: bctx.MustParse("P=1")})
+	if dec.Recorded != 0 || dec.Purged != 0 || store.Len() != 0 {
+		t.Fatalf("unstarted-context close had effects: %+v len=%d", dec, store.Len())
+	}
+}

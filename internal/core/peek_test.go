@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"msod/internal/adi"
+	"msod/internal/bctx"
+	"msod/internal/rbac"
+)
+
+func TestPeekDoesNotMutate(t *testing.T) {
+	e, store := newEngine(t, bankPolicies())
+	req := bankReq("alice", "Teller", "HandleCash", "York", "2006")
+
+	dec, err := e.Peek(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Effect != Grant || dec.Recorded != 1 {
+		t.Fatalf("peek = %+v", dec)
+	}
+	if store.Len() != 0 {
+		t.Fatalf("peek wrote %d records", store.Len())
+	}
+	// Peeking repeatedly always gives the same answer (no hidden state).
+	for i := 0; i < 3; i++ {
+		dec, err = e.Peek(bankReq("alice", "Auditor", "Audit", "York", "2006"))
+		if err != nil || dec.Effect != Grant {
+			t.Fatalf("peek %d = %+v, %v (no history yet)", i, dec, err)
+		}
+	}
+
+	// After a real grant, peek sees the conflict.
+	grant(t, e, req)
+	dec, err = e.Peek(bankReq("alice", "Auditor", "Audit", "York", "2006"))
+	if err != nil || dec.Effect != Deny {
+		t.Fatalf("peek after history = %+v, %v", dec, err)
+	}
+	if store.Len() != 1 {
+		t.Fatalf("store len = %d", store.Len())
+	}
+}
+
+func TestPeekLastStepDoesNotPurge(t *testing.T) {
+	e, store := newEngine(t, bankPolicies())
+	grant(t, e, bankReq("alice", "Teller", "HandleCash", "York", "2006"))
+	before := store.Len()
+	dec, err := e.Peek(bankReq("bob", "Auditor", "CommitAudit", "York", "2006"))
+	if err != nil || dec.Effect != Grant {
+		t.Fatalf("peek last step = %+v, %v", dec, err)
+	}
+	if store.Len() != before {
+		t.Fatal("peek of a last step purged the store")
+	}
+}
+
+// TestQuickPeekPredictsEvaluate: for any request against any reachable
+// state, Peek's effect equals the immediately following Evaluate's
+// effect (single-threaded, so no TOCTOU window).
+func TestQuickPeekPredictsEvaluate(t *testing.T) {
+	users := []rbac.UserID{"u0", "u1"}
+	roles := []rbac.RoleName{"Teller", "Auditor"}
+	branches := []string{"York", "Leeds"}
+
+	f := func(seed int64, steps uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		e, err := NewEngine(adi.NewStore(), bankPolicies())
+		if err != nil {
+			return false
+		}
+		for i := 0; i < int(steps); i++ {
+			role := roles[r.Intn(len(roles))]
+			op, target := rbac.Operation("op"), rbac.Object("t")
+			if r.Intn(10) == 0 {
+				op, target = "CommitAudit", "audit"
+			}
+			req := Request{
+				User:      users[r.Intn(len(users))],
+				Roles:     []rbac.RoleName{role},
+				Operation: op,
+				Target:    target,
+				Context: bctx.MustName(
+					bctx.Component{Type: "Branch", Value: branches[r.Intn(len(branches))]},
+					bctx.Component{Type: "Period", Value: "2006"},
+				),
+			}
+			peek, err := e.Peek(req)
+			if err != nil {
+				return false
+			}
+			real, err := e.Evaluate(req)
+			if err != nil {
+				return false
+			}
+			if peek.Effect != real.Effect {
+				return false
+			}
+			if peek.Recorded != real.Recorded {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"msod/internal/adi"
+	"msod/internal/bctx"
+	"msod/internal/rbac"
+)
+
+// TestQuickSafetyInvariant drives random request streams through an
+// engine with one MMER and one MMEP policy and asserts the paper's
+// safety property after every decision: within any bound business
+// context, no user's *granted* history ever supports ForbiddenCardinality
+// or more rule positions.
+//
+// The invariant is computed from scratch from a shadow log of granted
+// requests, independently of the engine's own store, so a bookkeeping bug
+// in either place fails the test.
+func TestQuickSafetyInvariant(t *testing.T) {
+	roles := []rbac.RoleName{"Teller", "Auditor", "Clerk"}
+	ops := []rbac.Operation{"approve", "combine", "other"}
+	users := []rbac.UserID{"u0", "u1"}
+	contexts := []string{"P=a", "P=b", "P=a, Q=x"}
+
+	mmer := MMERRule{Roles: []rbac.RoleName{"Teller", "Auditor"}, Cardinality: 2}
+	approve := rbac.Permission{Operation: "approve", Object: "t"}
+	combine := rbac.Permission{Operation: "combine", Object: "t"}
+	mmep := MMEPRule{Privileges: []rbac.Permission{approve, approve, combine}, Cardinality: 2}
+	policyCtx := bctx.MustParse("P=!")
+
+	f := func(seed int64, steps uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		store := adi.NewStore()
+		e, err := NewEngine(store, []Policy{{
+			Context: policyCtx,
+			MMER:    []MMERRule{mmer},
+			MMEP:    []MMEPRule{mmep},
+		}}, WithClock(func() time.Time { return time.Unix(0, 0) }))
+		if err != nil {
+			return false
+		}
+
+		// Shadow history: per user, per bound-context key.
+		type hist struct {
+			roles map[rbac.RoleName]bool
+			privs map[rbac.Permission]int
+		}
+		shadow := map[string]*hist{}
+		get := func(u rbac.UserID, key string) *hist {
+			k := string(u) + "|" + key
+			h := shadow[k]
+			if h == nil {
+				h = &hist{roles: map[rbac.RoleName]bool{}, privs: map[rbac.Permission]int{}}
+				shadow[k] = h
+			}
+			return h
+		}
+
+		for i := 0; i < int(steps); i++ {
+			req := Request{
+				User:      users[r.Intn(len(users))],
+				Roles:     []rbac.RoleName{roles[r.Intn(len(roles))]},
+				Operation: ops[r.Intn(len(ops))],
+				Target:    "t",
+				Context:   bctx.MustParse(contexts[r.Intn(len(contexts))]),
+			}
+			dec, err := e.Evaluate(req)
+			if err != nil {
+				return false
+			}
+			if dec.Effect != Grant {
+				continue
+			}
+			// Record the grant in the shadow under the bound context (the
+			// first component value of the request context).
+			bound, err := bctx.Bind(policyCtx, req.Context)
+			if err != nil {
+				return false
+			}
+			h := get(req.User, bound.Key())
+			for _, role := range req.Roles {
+				h.roles[role] = true
+			}
+			h.privs[rbac.Permission{Operation: req.Operation, Object: req.Target}]++
+
+			// Invariant 1 (MMER): a user's granted history never contains
+			// the full forbidden role set in one bound context.
+			n := 0
+			for _, role := range mmer.Roles {
+				if h.roles[role] {
+					n++
+				}
+			}
+			if n >= mmer.Cardinality {
+				return false
+			}
+			// Invariant 2 (MMEP): the history supports fewer than m rule
+			// positions (multiset semantics: each position needs its own
+			// granted execution).
+			positions := map[rbac.Permission]int{}
+			for _, p := range mmep.Privileges {
+				positions[p]++
+			}
+			supported := 0
+			for p, nPos := range positions {
+				got := h.privs[p]
+				if got > nPos {
+					got = nPos
+				}
+				supported += got
+			}
+			if supported >= mmep.Cardinality {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentEvaluateAtomicity fires the same conflicting pair of
+// requests from many goroutines; the engine's internal serialisation
+// must guarantee that per user and context instance, at most one of the
+// two conflicting roles is ever granted.
+func TestConcurrentEvaluateAtomicity(t *testing.T) {
+	store := adi.NewStore()
+	e, err := NewEngine(store, bankPolicies())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	grants := make([][2]int, goroutines) // per-user [teller, auditor] grant counts
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			user := fmt.Sprintf("user%d", g%4) // users shared across goroutines
+			for i := 0; i < 25; i++ {
+				role := "Teller"
+				slot := 0
+				if (g+i)%2 == 1 {
+					role = "Auditor"
+					slot = 1
+				}
+				dec, err := e.Evaluate(bankReq(user, role, "op", "York", "2006"))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if dec.Effect == Grant {
+					grants[g][slot]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Verify from the store: no user has both Teller and Auditor records
+	// in the 2006 period.
+	pattern := bctx.MustParse("Branch=*, Period=2006")
+	for u := 0; u < 4; u++ {
+		user := rbac.UserID(fmt.Sprintf("user%d", u))
+		hasT, _ := store.UserHasRole(user, pattern, "Teller")
+		hasA, _ := store.UserHasRole(user, pattern, "Auditor")
+		if hasT && hasA {
+			t.Errorf("user%d holds both conflicting roles in one period", u)
+		}
+	}
+}
+
+// TestQuickLastStepAlwaysClearsInstance: whatever happened before, a
+// granted last step leaves zero records in the bound instance.
+func TestQuickLastStepAlwaysClearsInstance(t *testing.T) {
+	f := func(seed int64, steps uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		store := adi.NewStore()
+		e, err := NewEngine(store, bankPolicies())
+		if err != nil {
+			return false
+		}
+		users := []string{"a", "b", "c"}
+		branches := []string{"York", "Leeds"}
+		for i := 0; i < int(steps); i++ {
+			role := "Teller"
+			if r.Intn(2) == 0 {
+				role = "Auditor"
+			}
+			_, err := e.Evaluate(bankReq(users[r.Intn(3)], role, "op", branches[r.Intn(2)], "2006"))
+			if err != nil {
+				return false
+			}
+		}
+		dec, err := e.Evaluate(bankReq("closer", "Auditor", "CommitAudit", "York", "2006"))
+		if err != nil || dec.Effect != Grant {
+			// CommitAudit may be denied if "closer" already told in 2006 —
+			// not possible here since closer is fresh.
+			return false
+		}
+		active, err := store.ContextActive(bctx.MustParse("Branch=*, Period=2006"))
+		return err == nil && !active
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

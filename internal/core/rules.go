@@ -1,0 +1,156 @@
+// Package core implements the MSoD decision engine: compiled MMER/MMEP
+// constraints scoped by business contexts, evaluated with the §4.2
+// enforcement algorithm of the paper against a retained-ADI store.
+//
+// The engine is deliberately independent of the surrounding RBAC
+// machinery: it receives requests whose interim RBAC decision is already
+// Grant (§4.2: "The PDP first performs its normal checking against the
+// RBAC policy, and if the interim result is grant, then the PDP will
+// further perform the following algorithm"), and returns either Grant —
+// after atomically recording the decision in the retained ADI — or Deny
+// with an explanation. The full PDP composition lives in internal/pdp.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"msod/internal/bctx"
+	"msod/internal/policy"
+	"msod/internal/rbac"
+)
+
+// ErrCompile tags policy compilation failures.
+var ErrCompile = errors.New("core: compile")
+
+// MMERRule is a compiled multi-session mutually exclusive roles
+// constraint: a user may activate fewer than Cardinality of Roles within
+// one (bound) business context.
+type MMERRule struct {
+	// Roles are the mutually exclusive roles (distinct, n >= 2).
+	Roles []rbac.RoleName
+	// Cardinality is the forbidden cardinality m (1 < m <= n).
+	Cardinality int
+}
+
+// MMEPRule is a compiled multi-session mutually exclusive privileges
+// constraint: a user may exercise fewer than Cardinality of the
+// privilege *multiset* Privileges within one (bound) business context.
+// A privilege listed k times contributes up to k countable positions, so
+// MMEP({p, p}, 2) caps p at a single execution per context instance.
+type MMEPRule struct {
+	// Privileges is the privilege multiset (n >= 2, duplicates allowed).
+	Privileges []rbac.Permission
+	// Cardinality is the forbidden cardinality m (1 < m <= n).
+	Cardinality int
+}
+
+// Step is a business-context delimiter: an operation on a target.
+type Step struct {
+	Operation rbac.Operation
+	Target    rbac.Object
+}
+
+// matches reports whether the step equals the request's operation/target.
+func (s *Step) matches(op rbac.Operation, target rbac.Object) bool {
+	return s != nil && s.Operation == op && s.Target == target
+}
+
+// Policy is one compiled MSoD policy: constraints scoped to a business
+// context pattern, optionally delimited by first and last steps.
+type Policy struct {
+	// Context is the policy's business context; it may contain the
+	// wildcard values "*" (across all instances) and "!" (per instance).
+	Context bctx.Name
+	// FirstStep, when non-nil, starts history retention for a context
+	// instance: until it is granted, the policy does not record or
+	// constrain anything in that instance.
+	FirstStep *Step
+	// LastStep, when non-nil, terminates a context instance when
+	// granted: all retained history within the bound context is purged.
+	LastStep *Step
+	// MMER and MMEP are the policy's constraints.
+	MMER []MMERRule
+	MMEP []MMEPRule
+}
+
+// Validate checks the compiled policy's structural constraints (the same
+// shape rules as policy.MSoDPolicy.Validate, for programmatically built
+// policies).
+func (p *Policy) Validate() error {
+	if len(p.MMER)+len(p.MMEP) == 0 {
+		return fmt.Errorf("%w: policy %q has no constraints", ErrCompile, p.Context)
+	}
+	for i, r := range p.MMER {
+		if len(r.Roles) < 2 {
+			return fmt.Errorf("%w: policy %q MMER %d needs >= 2 roles", ErrCompile, p.Context, i)
+		}
+		if r.Cardinality < 2 || r.Cardinality > len(r.Roles) {
+			return fmt.Errorf("%w: policy %q MMER %d cardinality %d outside 2..%d",
+				ErrCompile, p.Context, i, r.Cardinality, len(r.Roles))
+		}
+		seen := make(map[rbac.RoleName]bool, len(r.Roles))
+		for _, role := range r.Roles {
+			if seen[role] {
+				return fmt.Errorf("%w: policy %q MMER %d lists role %q twice", ErrCompile, p.Context, i, role)
+			}
+			seen[role] = true
+		}
+	}
+	for i, r := range p.MMEP {
+		if len(r.Privileges) < 2 {
+			return fmt.Errorf("%w: policy %q MMEP %d needs >= 2 privileges", ErrCompile, p.Context, i)
+		}
+		if r.Cardinality < 2 || r.Cardinality > len(r.Privileges) {
+			return fmt.Errorf("%w: policy %q MMEP %d cardinality %d outside 2..%d",
+				ErrCompile, p.Context, i, r.Cardinality, len(r.Privileges))
+		}
+	}
+	return nil
+}
+
+// Compile translates a parsed XML MSoDPolicySet into engine policies.
+func Compile(set *policy.MSoDPolicySet) ([]Policy, error) {
+	if set == nil {
+		return nil, fmt.Errorf("%w: nil policy set", ErrCompile)
+	}
+	if err := set.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCompile, err)
+	}
+	out := make([]Policy, 0, len(set.Policies))
+	for i, xp := range set.Policies {
+		ctx, err := xp.Context()
+		if err != nil {
+			return nil, fmt.Errorf("%w: policy %d: %v", ErrCompile, i, err)
+		}
+		p := Policy{Context: ctx}
+		if xp.FirstStep != nil {
+			p.FirstStep = &Step{Operation: rbac.Operation(xp.FirstStep.Operation), Target: rbac.Object(xp.FirstStep.TargetURI)}
+		}
+		if xp.LastStep != nil {
+			p.LastStep = &Step{Operation: rbac.Operation(xp.LastStep.Operation), Target: rbac.Object(xp.LastStep.TargetURI)}
+		}
+		for _, m := range xp.MMER {
+			rule := MMERRule{Cardinality: m.ForbiddenCardinality}
+			for _, role := range m.Roles {
+				rule.Roles = append(rule.Roles, rbac.RoleName(role.Value))
+			}
+			p.MMER = append(p.MMER, rule)
+		}
+		for _, m := range xp.MMEP {
+			rule := MMEPRule{Cardinality: m.ForbiddenCardinality}
+			for _, pr := range m.AllPrivileges() {
+				rule.Privileges = append(rule.Privileges, rbac.Permission{
+					Operation: rbac.Operation(pr.Operation),
+					Object:    rbac.Object(pr.Target),
+				})
+			}
+			p.MMEP = append(p.MMEP, rule)
+		}
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,300 @@
+// Package directory implements the remaining pieces of the PERMIS
+// infrastructure of Figure 4: the privilege allocation (PA) sub-system
+// that issues role credentials, and the attribute repository those
+// credentials are published to (the paper's LDAP directories, §5.1:
+// "User's roles and attributes are typically stored in one or more LDAP
+// directories"). PEPs fetch a user's credentials from the repository and
+// present them to the PDP, whose CVS revalidates everything — the
+// repository is untrusted storage, exactly like an LDAP server in
+// PERMIS.
+//
+// An HTTP front end and client make the repository reachable from other
+// processes in the virtual organisation.
+package directory
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"msod/internal/credential"
+	"msod/internal/rbac"
+)
+
+// ErrNotFound is returned when revoking an unknown credential.
+var ErrNotFound = errors.New("directory: credential not found")
+
+// ID identifies a published credential: the hex SHA-256 of its
+// canonical JSON (content-addressed, so duplicates collapse).
+type ID string
+
+// CredentialID computes the content address of a credential.
+func CredentialID(c credential.Credential) (ID, error) {
+	payload, err := json.Marshal(c)
+	if err != nil {
+		return "", fmt.Errorf("directory: marshal credential: %w", err)
+	}
+	sum := sha256.Sum256(payload)
+	return ID(hex.EncodeToString(sum[:])), nil
+}
+
+// Entry is a stored credential with its content address.
+type Entry struct {
+	ID         ID                    `json:"id"`
+	Credential credential.Credential `json:"credential"`
+}
+
+// Repository is the in-memory attribute directory: credentials indexed
+// by holder. It performs no validation — like LDAP, it stores what
+// authorities publish and relying parties verify signatures themselves.
+// Repository is safe for concurrent use.
+type Repository struct {
+	mu       sync.RWMutex
+	byHolder map[string]map[ID]credential.Credential
+}
+
+// NewRepository returns an empty repository.
+func NewRepository() *Repository {
+	return &Repository{byHolder: make(map[string]map[ID]credential.Credential)}
+}
+
+// Publish stores a credential and returns its content address.
+// Publishing the same credential twice is idempotent.
+func (r *Repository) Publish(c credential.Credential) (ID, error) {
+	if c.Holder == "" {
+		return "", fmt.Errorf("directory: credential has no holder")
+	}
+	id, err := CredentialID(c)
+	if err != nil {
+		return "", err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.byHolder[c.Holder]
+	if m == nil {
+		m = make(map[ID]credential.Credential)
+		r.byHolder[c.Holder] = m
+	}
+	m[id] = c
+	return id, nil
+}
+
+// Revoke removes a credential by content address (the PA sub-system's
+// revocation; PERMIS would publish a revocation list — content removal
+// has the same effect against a repository-fetching PEP).
+func (r *Repository) Revoke(holder string, id ID) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.byHolder[holder]
+	if _, ok := m[id]; !ok {
+		return fmt.Errorf("%w: holder %q id %s", ErrNotFound, holder, id)
+	}
+	delete(m, id)
+	if len(m) == 0 {
+		delete(r.byHolder, holder)
+	}
+	return nil
+}
+
+// Fetch returns the holder's credentials that are valid at the given
+// time, sorted by content address for determinism. Expired ones are
+// filtered (the repository-side analogue of an LDAP search filter); the
+// PDP still revalidates.
+func (r *Repository) Fetch(holder string, at time.Time) []Entry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []Entry
+	for id, c := range r.byHolder[holder] {
+		if at.Before(c.NotBefore) || at.After(c.NotAfter) {
+			continue
+		}
+		out = append(out, Entry{ID: id, Credential: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Holders returns all holders with stored credentials, sorted.
+func (r *Repository) Holders() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.byHolder))
+	for h := range r.byHolder {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of stored credentials.
+func (r *Repository) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := 0
+	for _, m := range r.byHolder {
+		n += len(m)
+	}
+	return n
+}
+
+// Allocator is the PA sub-system: an authority bound to a repository,
+// issuing and publishing role credentials in one step.
+type Allocator struct {
+	authority *credential.Authority
+	repo      *Repository
+}
+
+// NewAllocator binds an authority to a repository.
+func NewAllocator(a *credential.Authority, repo *Repository) (*Allocator, error) {
+	if a == nil || repo == nil {
+		return nil, fmt.Errorf("directory: allocator needs an authority and a repository")
+	}
+	return &Allocator{authority: a, repo: repo}, nil
+}
+
+// Allocate issues a role credential for the holder and publishes it,
+// returning its content address.
+func (al *Allocator) Allocate(holder string, role rbac.RoleName, notBefore, notAfter time.Time) (ID, error) {
+	cred, err := al.authority.IssueRole(holder, role, notBefore, notAfter)
+	if err != nil {
+		return "", err
+	}
+	return al.repo.Publish(cred)
+}
+
+// Revoke removes a previously allocated credential.
+func (al *Allocator) Revoke(holder string, id ID) error {
+	return al.repo.Revoke(holder, id)
+}
+
+// HTTP front end -------------------------------------------------------
+
+// API paths of the directory service.
+const (
+	// FetchPath serves GET ?holder=...&at=RFC3339 (at optional).
+	FetchPath = "/v1/credentials"
+	// PublishPath serves POST with a JSON credential body.
+	PublishPath = "/v1/publish"
+)
+
+// Server exposes a repository over HTTP.
+type Server struct {
+	repo *Repository
+	mux  *http.ServeMux
+}
+
+// NewServer wraps a repository.
+func NewServer(repo *Repository) *Server {
+	s := &Server{repo: repo, mux: http.NewServeMux()}
+	s.mux.HandleFunc(FetchPath, s.handleFetch)
+	s.mux.HandleFunc(PublishPath, s.handlePublish)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleFetch(w http.ResponseWriter, r *http.Request) {
+	holder := r.URL.Query().Get("holder")
+	if holder == "" {
+		http.Error(w, `missing "holder" query parameter`, http.StatusBadRequest)
+		return
+	}
+	at := time.Now()
+	if raw := r.URL.Query().Get("at"); raw != "" {
+		t, err := time.Parse(time.RFC3339, raw)
+		if err != nil {
+			http.Error(w, "bad \"at\" parameter: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		at = t
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(s.repo.Fetch(holder, at))
+}
+
+func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var c credential.Credential
+	if err := json.NewDecoder(r.Body).Decode(&c); err != nil {
+		http.Error(w, "decode: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	id, err := s.repo.Publish(c)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]string{"id": string(id)})
+}
+
+// Client fetches credentials from a remote directory, as a PEP would
+// query an LDAP directory.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient builds a directory client; nil httpClient uses the default.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: base, http: httpClient}
+}
+
+// Fetch returns the holder's currently valid credentials.
+func (c *Client) Fetch(holder string, at time.Time) ([]credential.Credential, error) {
+	url := fmt.Sprintf("%s%s?holder=%s&at=%s", c.base, FetchPath, holder, at.UTC().Format(time.RFC3339))
+	resp, err := c.http.Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("directory: fetch: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("directory: fetch: status %d", resp.StatusCode)
+	}
+	var entries []Entry
+	if err := json.NewDecoder(resp.Body).Decode(&entries); err != nil {
+		return nil, fmt.Errorf("directory: fetch decode: %w", err)
+	}
+	out := make([]credential.Credential, len(entries))
+	for i, e := range entries {
+		out[i] = e.Credential
+	}
+	return out, nil
+}
+
+// Publish uploads a credential and returns its content address.
+func (c *Client) Publish(cred credential.Credential) (ID, error) {
+	body, err := json.Marshal(cred)
+	if err != nil {
+		return "", fmt.Errorf("directory: marshal: %w", err)
+	}
+	resp, err := c.http.Post(c.base+PublishPath, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", fmt.Errorf("directory: publish: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("directory: publish: status %d", resp.StatusCode)
+	}
+	var out map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return "", fmt.Errorf("directory: publish decode: %w", err)
+	}
+	return ID(out["id"]), nil
+}

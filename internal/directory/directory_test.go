@@ -1,0 +1,245 @@
+package directory
+
+import (
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"msod/internal/bctx"
+	"msod/internal/credential"
+	"msod/internal/pdp"
+	"msod/internal/policy"
+	"msod/internal/rbac"
+)
+
+var (
+	dNow    = time.Date(2006, 7, 1, 12, 0, 0, 0, time.UTC)
+	dBefore = dNow.Add(-24 * time.Hour)
+	dAfter  = dNow.Add(24 * time.Hour)
+)
+
+func newAuthority(t *testing.T, name string) *credential.Authority {
+	t.Helper()
+	a, err := credential.NewAuthority(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestPublishFetchRevoke(t *testing.T) {
+	repo := NewRepository()
+	hr := newAuthority(t, "hr")
+	c1, _ := hr.IssueRole("alice", "Teller", dBefore, dAfter)
+	c2, _ := hr.IssueRole("alice", "Clerk", dBefore, dAfter)
+	c3, _ := hr.IssueRole("bob", "Auditor", dBefore, dAfter)
+
+	id1, err := repo.Publish(c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repo.Publish(c2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repo.Publish(c3); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent republish.
+	id1b, err := repo.Publish(c1)
+	if err != nil || id1b != id1 {
+		t.Fatalf("republish = %s, %v (want %s)", id1b, err, id1)
+	}
+	if repo.Len() != 3 {
+		t.Fatalf("Len = %d", repo.Len())
+	}
+	if got := repo.Holders(); len(got) != 2 || got[0] != "alice" || got[1] != "bob" {
+		t.Fatalf("Holders = %v", got)
+	}
+
+	entries := repo.Fetch("alice", dNow)
+	if len(entries) != 2 {
+		t.Fatalf("alice entries = %v", entries)
+	}
+	if err := repo.Revoke("alice", id1); err != nil {
+		t.Fatal(err)
+	}
+	if len(repo.Fetch("alice", dNow)) != 1 {
+		t.Error("revocation did not take effect")
+	}
+	if err := repo.Revoke("alice", id1); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double revoke: %v", err)
+	}
+	if err := repo.Revoke("ghost", "x"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown holder: %v", err)
+	}
+}
+
+func TestFetchFiltersExpired(t *testing.T) {
+	repo := NewRepository()
+	hr := newAuthority(t, "hr")
+	old, _ := hr.IssueRole("alice", "Teller", dBefore.Add(-48*time.Hour), dBefore)
+	cur, _ := hr.IssueRole("alice", "Clerk", dBefore, dAfter)
+	repo.Publish(old)
+	repo.Publish(cur)
+	got := repo.Fetch("alice", dNow)
+	if len(got) != 1 || got[0].Credential.Attributes[0].Value != "Clerk" {
+		t.Fatalf("Fetch = %v", got)
+	}
+	// At an earlier time the old one is valid instead.
+	got = repo.Fetch("alice", dBefore.Add(-time.Hour))
+	if len(got) != 1 || got[0].Credential.Attributes[0].Value != "Teller" {
+		t.Fatalf("Fetch(past) = %v", got)
+	}
+}
+
+func TestPublishValidation(t *testing.T) {
+	repo := NewRepository()
+	if _, err := repo.Publish(credential.Credential{}); err == nil {
+		t.Error("holderless credential accepted")
+	}
+}
+
+func TestAllocator(t *testing.T) {
+	repo := NewRepository()
+	hr := newAuthority(t, "hr")
+	al, err := NewAllocator(hr, repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := al.Allocate("alice", "Teller", dBefore, dAfter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repo.Len() != 1 {
+		t.Error("allocation not published")
+	}
+	if err := al.Revoke("alice", id); err != nil {
+		t.Fatal(err)
+	}
+	if repo.Len() != 0 {
+		t.Error("revocation failed")
+	}
+	if _, err := NewAllocator(nil, repo); err == nil {
+		t.Error("nil authority accepted")
+	}
+	if _, err := NewAllocator(hr, nil); err == nil {
+		t.Error("nil repository accepted")
+	}
+}
+
+const dirPolicyXML = `
+<RBACPolicy id="dir-test">
+  <RoleList><Role value="Teller"/></RoleList>
+  <RoleAssignmentPolicy><Assignment soa="hr" role="Teller"/></RoleAssignmentPolicy>
+  <TargetAccessPolicy><Grant role="Teller" operation="HandleCash" target="till"/></TargetAccessPolicy>
+</RBACPolicy>`
+
+// TestEndToEndThroughDirectory is the full Figure 4 pipeline: the PA
+// sub-system allocates into the directory, a PEP fetches the user's
+// credentials over HTTP and presents them to the PDP, whose CVS
+// validates signatures and trust.
+func TestEndToEndThroughDirectory(t *testing.T) {
+	repo := NewRepository()
+	hr := newAuthority(t, "hr")
+	al, _ := NewAllocator(hr, repo)
+	if _, err := al.Allocate("alice", "Teller", dBefore, dAfter); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(repo))
+	t.Cleanup(ts.Close)
+	dirClient := NewClient(ts.URL, nil)
+
+	creds, err := dirClient.Fetch("alice", dNow)
+	if err != nil || len(creds) != 1 {
+		t.Fatalf("Fetch = %v, %v", creds, err)
+	}
+
+	pol, err := policy.ParseRBACPolicy([]byte(dirPolicyXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pdp.New(pdp.Config{Policy: pol, Clock: func() time.Time { return dNow }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.TrustAuthority(hr); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := p.Decide(pdp.Request{
+		Credentials: creds,
+		Operation:   "HandleCash", Target: "till",
+		Context: bctx.MustParse("Branch=York, Period=2006"),
+	})
+	if err != nil || !dec.Allowed || dec.User != "alice" {
+		t.Fatalf("decision = %+v, %v", dec, err)
+	}
+
+	// A tampered credential published by anyone is still rejected at the
+	// PDP — the repository is untrusted storage.
+	forged := creds[0]
+	forged.Attributes = []credential.Attribute{{Type: "role", Value: "Auditor"}}
+	if _, err := dirClient.Publish(forged); err != nil {
+		t.Fatal(err)
+	}
+	creds2, err := dirClient.Fetch("alice", dNow)
+	if err != nil || len(creds2) != 2 {
+		t.Fatalf("Fetch after forge = %v, %v", creds2, err)
+	}
+	dec, err = p.Decide(pdp.Request{
+		Credentials: creds2,
+		Operation:   "HandleCash", Target: "till",
+		Context: bctx.MustParse("Branch=York, Period=2006"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The genuine Teller credential still validates; the forged one is
+	// simply rejected by the CVS.
+	if !dec.Allowed || len(dec.Roles) != 1 || dec.Roles[0] != rbac.RoleName("Teller") {
+		t.Fatalf("decision with forged extra = %+v", dec)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	ts := httptest.NewServer(NewServer(NewRepository()))
+	t.Cleanup(ts.Close)
+	c := NewClient(ts.URL, nil)
+
+	// Missing holder.
+	resp, err := ts.Client().Get(ts.URL + FetchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("missing holder = %d", resp.StatusCode)
+	}
+	// Bad at parameter.
+	resp, err = ts.Client().Get(ts.URL + FetchPath + "?holder=x&at=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("bad at = %d", resp.StatusCode)
+	}
+	// Publish with GET.
+	resp, err = ts.Client().Get(ts.URL + PublishPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 405 {
+		t.Errorf("publish GET = %d", resp.StatusCode)
+	}
+	// Holderless publish through the client.
+	if _, err := c.Publish(credential.Credential{}); err == nil {
+		t.Error("holderless publish accepted")
+	}
+	// Fetch for unknown holder: empty, no error.
+	creds, err := c.Fetch("nobody", dNow)
+	if err != nil || len(creds) != 0 {
+		t.Errorf("unknown holder = %v, %v", creds, err)
+	}
+}

@@ -1,0 +1,326 @@
+// Package integration wires every subsystem together the way a real
+// deployment would — privilege allocation into a directory, a trail-
+// backed PDP behind HTTP, PEP-side enforcement, workflow-driven
+// processes, restart recovery, and the management port — and drives
+// multi-day scenarios across the full stack. Each test is an end-to-end
+// statement of a property the paper promises.
+package integration
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"msod"
+	"msod/internal/rbac"
+)
+
+const voPolicyXML = `
+<RBACPolicy id="integration-vo">
+  <RoleList>
+    <Role value="Teller"/>
+    <Role value="Auditor"/>
+    <Role value="Clerk"/>
+    <Role value="Manager"/>
+    <Role value="RetainedADIController"/>
+  </RoleList>
+  <RoleAssignmentPolicy>
+    <Assignment soa="hr.bankA" role="Teller"/>
+    <Assignment soa="audit.bankB" role="Auditor"/>
+    <Assignment soa="gov.tax" role="Clerk"/>
+    <Assignment soa="gov.tax" role="Manager"/>
+    <Assignment soa="ops" role="RetainedADIController"/>
+  </RoleAssignmentPolicy>
+  <TargetAccessPolicy>
+    <Grant role="Teller" operation="HandleCash" target="till"/>
+    <Grant role="Auditor" operation="Audit" target="ledger"/>
+    <Grant role="Auditor" operation="CommitAudit" target="audit"/>
+    <Grant role="Clerk" operation="prepareCheck" target="http://www.myTaxOffice.com/Check"/>
+    <Grant role="Clerk" operation="confirmCheck" target="http://secret.location.com/audit"/>
+    <Grant role="Manager" operation="approve/disapproveCheck" target="http://www.myTaxOffice.com/Check"/>
+    <Grant role="Manager" operation="combineResults" target="http://secret.location.com/results"/>
+    <Grant role="RetainedADIController" operation="stats" target="msod:retainedADI"/>
+    <Grant role="RetainedADIController" operation="purgeContext" target="msod:retainedADI"/>
+  </TargetAccessPolicy>
+  <MSoDPolicySet>
+    <MSoDPolicy BusinessContext="Branch=*, Period=!">
+      <LastStep operation="CommitAudit" targetURI="audit"/>
+      <MMER ForbiddenCardinality="2">
+        <Role type="e" value="Teller"/>
+        <Role type="e" value="Auditor"/>
+      </MMER>
+    </MSoDPolicy>
+    <MSoDPolicy BusinessContext="TaxOffice=!, taxRefundProcess=!">
+      <FirstStep operation="prepareCheck" targetURI="http://www.myTaxOffice.com/Check"/>
+      <LastStep operation="confirmCheck" targetURI="http://secret.location.com/audit"/>
+      <MMEP ForbiddenCardinality="2">
+        <Operation value="prepareCheck" target="http://www.myTaxOffice.com/Check"/>
+        <Operation value="confirmCheck" target="http://secret.location.com/audit"/>
+      </MMEP>
+      <MMEP ForbiddenCardinality="2">
+        <Operation value="approve/disapproveCheck" target="http://www.myTaxOffice.com/Check"/>
+        <Operation value="approve/disapproveCheck" target="http://www.myTaxOffice.com/Check"/>
+        <Operation value="combineResults" target="http://secret.location.com/results"/>
+      </MMEP>
+    </MSoDPolicy>
+  </MSoDPolicySet>
+</RBACPolicy>`
+
+// stack is one fully wired deployment.
+type stack struct {
+	t         *testing.T
+	pdp       *msod.PDP
+	pdpURL    string
+	dirURL    string
+	repo      *msod.Directory
+	trailDir  string
+	trailKey  []byte
+	pol       *msod.Policy
+	issuers   map[string]*msod.Authority
+	allocator map[string]*msod.Allocator
+	closeAll  func()
+}
+
+// newStack builds: three authorities with allocators into one shared
+// directory, a trail-backed PDP trusting all three, both behind HTTP.
+func newStack(t *testing.T, trailDir string) *stack {
+	t.Helper()
+	pol, err := msod.ParsePolicy([]byte(voPolicyXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := []byte("integration-trail-key")
+	w, err := msod.NewAuditWriter(trailDir, key, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	linker := msod.NewLinker()
+	p, err := msod.NewPDP(msod.PDPConfig{Policy: pol, Trail: w, Linker: linker})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	repo := msod.NewDirectory()
+	s := &stack{
+		t: t, pdp: p, repo: repo, trailDir: trailDir, trailKey: key, pol: pol,
+		issuers:   map[string]*msod.Authority{},
+		allocator: map[string]*msod.Allocator{},
+	}
+	for _, name := range []string{"hr.bankA", "audit.bankB", "gov.tax", "ops"} {
+		a, err := msod.NewAuthority(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.TrustAuthority(a); err != nil {
+			t.Fatal(err)
+		}
+		al, err := msod.NewAllocator(a, repo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.issuers[name] = a
+		s.allocator[name] = al
+	}
+
+	pdpSrv := httptest.NewServer(msod.NewServer(p))
+	dirSrv := httptest.NewServer(msod.NewDirectoryServer(repo))
+	s.pdpURL, s.dirURL = pdpSrv.URL, dirSrv.URL
+	s.closeAll = func() {
+		pdpSrv.Close()
+		dirSrv.Close()
+		w.Close()
+	}
+	t.Cleanup(s.closeAll)
+	return s
+}
+
+// decideWithDirectory fetches the holder's credentials from the
+// directory over HTTP and submits a decision over HTTP — the full
+// distributed round trip.
+func (s *stack) decideWithDirectory(holder, op, target, ctx string) msod.DecisionResponse {
+	s.t.Helper()
+	creds, err := msod.NewDirectoryClient(s.dirURL).Fetch(holder, time.Now())
+	if err != nil {
+		s.t.Fatal(err)
+	}
+	resp, err := msod.NewClient(s.pdpURL).Decision(msod.DecisionRequest{
+		Credentials: creds,
+		Operation:   op, Target: target, Context: ctx,
+	})
+	if err != nil {
+		s.t.Fatal(err)
+	}
+	return resp
+}
+
+// TestFullStackBankScenario: multi-authority allocation, directory
+// fetch, HTTP decisions, MSoD across sessions, audit commit, and
+// restart recovery from the trail.
+func TestFullStackBankScenario(t *testing.T) {
+	trailDir := filepath.Join(t.TempDir(), "trail")
+	s := newStack(t, trailDir)
+	now := time.Now()
+	week := now.Add(7 * 24 * time.Hour)
+
+	// Bank A's HR makes alice a Teller; Bank B's audit office makes her
+	// an Auditor. Neither knows about the other.
+	if _, err := s.allocator["hr.bankA"].Allocate("alice", "Teller", now.Add(-time.Hour), week); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.allocator["audit.bankB"].Allocate("alice", "Auditor", now.Add(-time.Hour), week); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.allocator["audit.bankB"].Allocate("bob", "Auditor", now.Add(-time.Hour), week); err != nil {
+		t.Fatal(err)
+	}
+
+	// Session 1: alice handles cash. The directory returns BOTH of her
+	// credentials; the PDP validates both but MSoD is what stops misuse.
+	resp := s.decideWithDirectory("alice", "HandleCash", "till", "Branch=York, Period=2006")
+	if !resp.Allowed {
+		t.Fatalf("teller decision = %+v", resp)
+	}
+	// Session 2 (later): alice audits — denied by MSoD over HTTP.
+	resp = s.decideWithDirectory("alice", "Audit", "ledger", "Branch=Leeds, Period=2006")
+	if resp.Allowed || resp.Phase != "msod" {
+		t.Fatalf("audit decision = %+v", resp)
+	}
+	// Bob audits and commits the period.
+	if resp = s.decideWithDirectory("bob", "Audit", "ledger", "Branch=York, Period=2006"); !resp.Allowed {
+		t.Fatalf("bob audit = %+v", resp)
+	}
+	if resp = s.decideWithDirectory("bob", "CommitAudit", "audit", "Branch=York, Period=2006"); !resp.Allowed || resp.Purged == 0 {
+		t.Fatalf("commit = %+v", resp)
+	}
+	// Post-commit alice may audit.
+	if resp = s.decideWithDirectory("alice", "Audit", "ledger", "Branch=York, Period=2006"); !resp.Allowed {
+		t.Fatalf("post-commit audit = %+v", resp)
+	}
+
+	// Management port over HTTP: count and then purge the remainder.
+	mgr, err := msod.NewClient(s.pdpURL).Manage(msod.ManagementWireRequest{
+		User: "root", Roles: []string{"RetainedADIController"}, Operation: "stats",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveRecords := mgr.Records
+
+	// Simulated crash: a brand-new PDP recovers from the trail and keeps
+	// behaving identically.
+	s.closeAll()
+	store, stats, err := msod.Recover(s.pol, msod.RecoveryConfig{
+		Mode: msod.RecoverFromTrail, TrailDir: trailDir, TrailKey: s.trailKey,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != liveRecords {
+		t.Fatalf("recovered %d records, live had %d", stats.Records, liveRecords)
+	}
+	p2, err := msod.NewPDP(msod.PDPConfig{Policy: s.pol, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := p2.Decide(msod.Request{
+		User: "alice", Roles: []msod.RoleName{"Teller"},
+		Operation: "HandleCash", Target: "till",
+		Context: msod.MustContext("Branch=York, Period=2006"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Alice audited 2006 post-commit, so cash handling is now barred.
+	if dec.Allowed {
+		t.Fatal("recovered PDP lost alice's post-commit auditor history")
+	}
+}
+
+// TestFullStackTaxWorkflow drives Example 2 through the workflow engine
+// against the HTTP PDP with directory-backed credentials for every
+// actor, for several process instances in a row.
+func TestFullStackTaxWorkflow(t *testing.T) {
+	s := newStack(t, filepath.Join(t.TempDir(), "trail"))
+	now := time.Now()
+	week := now.Add(7 * 24 * time.Hour)
+	for i := 1; i <= 3; i++ {
+		if _, err := s.allocator["gov.tax"].Allocate(fmt.Sprintf("c%d", i), "Clerk", now.Add(-time.Hour), week); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.allocator["gov.tax"].Allocate(fmt.Sprintf("m%d", i), "Manager", now.Add(-time.Hour), week); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	dirClient := msod.NewDirectoryClient(s.dirURL)
+	pdpClient := msod.NewClient(s.pdpURL)
+	// A Decider that fetches the executing user's credentials from the
+	// directory for every step — the PEP of a real workflow system.
+	decider := deciderFunc(func(user rbac.UserID, roles []rbac.RoleName, op rbac.Operation, target rbac.Object, ctx msod.Context) (bool, string, error) {
+		creds, err := dirClient.Fetch(string(user), time.Now())
+		if err != nil {
+			return false, "", err
+		}
+		resp, err := pdpClient.Decision(msod.DecisionRequest{
+			Credentials: creds,
+			Operation:   string(op), Target: string(target), Context: ctx.String(),
+		})
+		if err != nil {
+			return false, "", err
+		}
+		return resp.Allowed, resp.Reason, nil
+	})
+
+	for proc := 1; proc <= 2; proc++ {
+		inst, err := msod.NewWorkflowInstance(msod.TaxRefundWorkflow(),
+			msod.MustContext(fmt.Sprintf("TaxOffice=Leeds, taxRefundProcess=i%d", proc)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		steps := []struct {
+			task, user string
+			ok         bool
+		}{
+			{"T1", "c1", true},
+			{"T2", "m1", true},
+			{"T2", "m1", false},
+			{"T2", "m2", true},
+			{"T3", "m1", false},
+			{"T3", "m3", true},
+			{"T4", "c1", false},
+			{"T4", "c2", true},
+		}
+		for _, st := range steps {
+			err := inst.Execute(st.task, rbac.UserID(st.user), decider)
+			if st.ok && err != nil {
+				t.Fatalf("process %d %s by %s: %v", proc, st.task, st.user, err)
+			}
+			if !st.ok && err == nil {
+				t.Fatalf("process %d %s by %s unexpectedly granted", proc, st.task, st.user)
+			}
+		}
+		if !inst.Complete() {
+			t.Fatalf("process %d incomplete", proc)
+		}
+	}
+	// Every instance completed with its last step: the retained ADI for
+	// the tax contexts must be clean.
+	res, err := msod.NewClient(s.pdpURL).Manage(msod.ManagementWireRequest{
+		User: "root", Roles: []string{"RetainedADIController"}, Operation: "stats",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 0 {
+		t.Errorf("retained records after complete processes: %d", res.Records)
+	}
+}
+
+// deciderFunc adapts a function to workflow.Decider.
+type deciderFunc func(rbac.UserID, []rbac.RoleName, rbac.Operation, rbac.Object, msod.Context) (bool, string, error)
+
+func (f deciderFunc) Decide(u rbac.UserID, r []rbac.RoleName, op rbac.Operation, tgt rbac.Object, ctx msod.Context) (bool, string, error) {
+	return f(u, r, op, tgt, ctx)
+}

@@ -1,0 +1,66 @@
+package pdp
+
+import (
+	"path/filepath"
+	"testing"
+
+	"msod/internal/audit"
+	"msod/internal/policy"
+)
+
+// TestAdviseHasNoSideEffects: Advise answers like Decide but writes
+// neither the retained ADI nor the audit trail.
+func TestAdviseHasNoSideEffects(t *testing.T) {
+	pol, err := policy.ParseRBACPolicy([]byte(bankPolicyXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "trail")
+	w, err := audit.NewWriter(dir, []byte("k"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(Config{Policy: pol, Trail: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req := bankReq("alice", "Teller", "HandleCash", "till", "York", "2006")
+	adv, err := p.Advise(req)
+	if err != nil || !adv.Allowed || adv.Phase != PhaseGranted {
+		t.Fatalf("advise = %+v, %v", adv, err)
+	}
+	if p.Store().Len() != 0 {
+		t.Fatal("advise wrote the retained ADI")
+	}
+	if w.Seq() != 0 {
+		t.Fatal("advise wrote the audit trail")
+	}
+
+	// Decide follows the advice.
+	dec, err := p.Decide(req)
+	if err != nil || dec.Allowed != adv.Allowed {
+		t.Fatalf("decide = %+v, %v", dec, err)
+	}
+	if w.Seq() != 1 {
+		t.Fatalf("trail seq = %d after one Decide", w.Seq())
+	}
+
+	// Now advise on the conflicting action: denied, still no effects.
+	adv, err = p.Advise(bankReq("alice", "Auditor", "Audit", "ledger", "York", "2006"))
+	if err != nil || adv.Allowed || adv.Phase != PhaseMSoD {
+		t.Fatalf("conflicting advise = %+v, %v", adv, err)
+	}
+	if p.Store().Len() != 1 || w.Seq() != 1 {
+		t.Fatal("denying advise had side effects")
+	}
+
+	// RBAC-phase advise.
+	adv, err = p.Advise(bankReq("alice", "Teller", "Audit", "ledger", "York", "2006"))
+	if err != nil || adv.Allowed || adv.Phase != PhaseRBAC {
+		t.Fatalf("rbac advise = %+v, %v", adv, err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,64 @@
+package pdp
+
+import (
+	"testing"
+
+	"msod/internal/policy"
+)
+
+const hierPolicyXML = `
+<RBACPolicy id="hier-bank">
+  <RoleList>
+    <Role value="Teller"/>
+    <Role value="Auditor"/>
+    <Role value="HeadCashier"/>
+  </RoleList>
+  <RoleHierarchy>
+    <Inherits senior="HeadCashier" junior="Teller"/>
+  </RoleHierarchy>
+  <TargetAccessPolicy>
+    <Grant role="Teller" operation="HandleCash" target="till"/>
+    <Grant role="Auditor" operation="Audit" target="ledger"/>
+  </TargetAccessPolicy>
+  <MSoDPolicySet>
+    <MSoDPolicy BusinessContext="Branch=*, Period=!">
+      <MMER ForbiddenCardinality="2">
+        <Role type="employee" value="Teller"/>
+        <Role type="employee" value="Auditor"/>
+      </MMER>
+    </MSoDPolicy>
+  </MSoDPolicySet>
+</RBACPolicy>`
+
+// TestHierarchyAwareConfig: with HierarchyAwareMSoD, a HeadCashier's
+// cash handling (granted via the inherited Teller permission) bars the
+// same user from auditing the period; without it, the literal engine
+// misses the inherited conflict.
+func TestHierarchyAwareConfig(t *testing.T) {
+	pol, err := policy.ParseRBACPolicy([]byte(hierPolicyXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, aware := range []bool{false, true} {
+		p, err := New(Config{Policy: pol, HierarchyAwareMSoD: aware})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// HeadCashier handles cash: the RBAC layer permits it through the
+		// inherited Teller grant in both configurations.
+		dec, err := p.Decide(bankReq("u", "HeadCashier", "HandleCash", "till", "York", "2006"))
+		if err != nil || !dec.Allowed {
+			t.Fatalf("aware=%v: HeadCashier cash = %+v, %v", aware, dec, err)
+		}
+		dec, err = p.Decide(bankReq("u", "Auditor", "Audit", "ledger", "York", "2006"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if aware && dec.Allowed {
+			t.Error("hierarchy-aware PDP missed the inherited conflict")
+		}
+		if !aware && !dec.Allowed {
+			t.Error("literal PDP unexpectedly hierarchy-aware")
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package pdp
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"msod/internal/adi"
+	"msod/internal/bctx"
+	"msod/internal/credential"
+	"msod/internal/rbac"
+)
+
+// The §4.3 management port treats the retained ADI as a target resource
+// protected by the PDP's own RBAC policy: a policy grants the
+// RetainedADIController role the management operations on the
+// RetainedADITarget object, and every management request goes through
+// the ordinary Decide path before it touches the store.
+const (
+	// RetainedADITarget is the object name of the retained ADI resource.
+	RetainedADITarget = rbac.Object("msod:retainedADI")
+	// RetainedADIController is the conventional role name for ADI
+	// administrators (the policy decides what it can actually do).
+	RetainedADIController = rbac.RoleName("RetainedADIController")
+
+	// OpPurgeContext removes the records of a context subtree.
+	OpPurgeContext = rbac.Operation("purgeContext")
+	// OpPurgeUser removes one user's records.
+	OpPurgeUser = rbac.Operation("purgeUser")
+	// OpPurgeBefore removes records older than a cutoff.
+	OpPurgeBefore = rbac.Operation("purgeBefore")
+	// OpStats reads store statistics.
+	OpStats = rbac.Operation("stats")
+)
+
+// ErrManagement tags management-port failures.
+var ErrManagement = errors.New("pdp: management")
+
+// ManagementRequest is a §4.3 administrative operation on the retained
+// ADI. Subject fields work as in Request (credentials or pre-validated).
+type ManagementRequest struct {
+	// Credentials / User / Roles identify the administrator.
+	Credentials []credential.Credential
+	User        rbac.UserID
+	Roles       []rbac.RoleName
+	// Operation is one of the Op* constants.
+	Operation rbac.Operation
+	// ContextPattern is the purge scope for OpPurgeContext (may contain
+	// wildcards).
+	ContextPattern string
+	// TargetUser is the subject of OpPurgeUser.
+	TargetUser rbac.UserID
+	// Before is the cutoff for OpPurgeBefore.
+	Before time.Time
+}
+
+// ManagementResult reports the outcome of a management operation.
+type ManagementResult struct {
+	// Removed is the number of records deleted by a purge.
+	Removed int
+	// Records is the store size after the operation.
+	Records int
+}
+
+// Manage authorises and executes a management operation. The
+// authorisation is an ordinary RBAC decision for (Operation,
+// RetainedADITarget) — MSoD constraints do not apply to the management
+// plane (the paper scopes them to business contexts).
+func (p *PDP) Manage(req ManagementRequest) (ManagementResult, error) {
+	user, roles, err := p.subject(Request{Credentials: req.Credentials, User: req.User, Roles: req.Roles})
+	if err != nil {
+		return ManagementResult{}, err
+	}
+	perm := rbac.Permission{Operation: req.Operation, Object: RetainedADITarget}
+	if !p.model.RolesPermit(roles, perm) {
+		return ManagementResult{}, fmt.Errorf("%w: user %q roles %v not permitted %s", ErrManagement, user, roles, perm)
+	}
+
+	switch req.Operation {
+	case OpPurgeContext:
+		pattern, err := bctx.Parse(req.ContextPattern)
+		if err != nil {
+			return ManagementResult{}, fmt.Errorf("%w: %v", ErrManagement, err)
+		}
+		n, err := p.store.PurgeContext(pattern)
+		if err != nil {
+			return ManagementResult{}, fmt.Errorf("%w: %v", ErrManagement, err)
+		}
+		return ManagementResult{Removed: n, Records: p.store.Len()}, nil
+
+	case OpPurgeUser:
+		if req.TargetUser == "" {
+			return ManagementResult{}, fmt.Errorf("%w: purgeUser needs a target user", ErrManagement)
+		}
+		s, ok := p.store.(*adi.Store)
+		if !ok {
+			return ManagementResult{}, fmt.Errorf("%w: store does not support purgeUser", ErrManagement)
+		}
+		n := s.PurgeUser(req.TargetUser)
+		return ManagementResult{Removed: n, Records: p.store.Len()}, nil
+
+	case OpPurgeBefore:
+		if req.Before.IsZero() {
+			return ManagementResult{}, fmt.Errorf("%w: purgeBefore needs a cutoff time", ErrManagement)
+		}
+		s, ok := p.store.(*adi.Store)
+		if !ok {
+			return ManagementResult{}, fmt.Errorf("%w: store does not support purgeBefore", ErrManagement)
+		}
+		n := s.PurgeBefore(req.Before)
+		return ManagementResult{Removed: n, Records: p.store.Len()}, nil
+
+	case OpStats:
+		return ManagementResult{Records: p.store.Len()}, nil
+
+	default:
+		return ManagementResult{}, fmt.Errorf("%w: unknown operation %q", ErrManagement, req.Operation)
+	}
+}

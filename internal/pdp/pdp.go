@@ -1,0 +1,307 @@
+// Package pdp implements the full PERMIS-style policy decision point of
+// §4 and §5: it validates credentials through the CVS, performs the
+// ordinary RBAC target-access check, then runs the MSoD enforcement
+// algorithm against the retained ADI, and logs every decision to the
+// secure audit trail. It also exposes the §4.3 management port, itself
+// protected by the RBAC policy via the RetainedADIController role.
+//
+// The decision request mirrors the ISO 10181-3 framework of Figure 3:
+// initiator ADI (credentials or pre-validated user/roles), access
+// request ADI (operation, target), contextual information (environment),
+// and the business context instance that MSoD adds as a distinguished
+// parameter.
+package pdp
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"msod/internal/adi"
+	"msod/internal/audit"
+	"msod/internal/bctx"
+	"msod/internal/core"
+	"msod/internal/credential"
+	"msod/internal/policy"
+	"msod/internal/rbac"
+)
+
+// Errors returned by configuration and requests.
+var (
+	// ErrConfig tags PDP construction failures.
+	ErrConfig = errors.New("pdp: config")
+	// ErrNoSubject is returned when a request carries neither credentials
+	// nor a pre-validated user.
+	ErrNoSubject = errors.New("pdp: request has no subject")
+)
+
+// Config assembles a PDP.
+type Config struct {
+	// Policy is the parsed policy envelope (roles, hierarchy, grants,
+	// SSD/DSD, assignment trust, MSoD set). Required.
+	Policy *policy.RBACPolicy
+	// Store is the retained ADI; defaults to a fresh indexed store.
+	Store adi.Recorder
+	// Trail, when non-nil, receives an event per decision (§5.2).
+	Trail *audit.Writer
+	// Linker resolves multi-authority identities; optional.
+	Linker *credential.Linker
+	// Clock overrides the time source; defaults to time.Now.
+	Clock func() time.Time
+	// HierarchyAwareMSoD expands activated roles through the policy's
+	// role hierarchy before MMER matching, so a senior role conflicts
+	// like the juniors it inherits (extension; see
+	// core.WithRoleExpander).
+	HierarchyAwareMSoD bool
+}
+
+// PDP is a ready decision point.
+type PDP struct {
+	policyID  string
+	model     *rbac.Model
+	cvs       *credential.CVS
+	engine    *core.Engine
+	store     adi.Recorder
+	trail     *audit.Writer
+	clock     func() time.Time
+	trailErrs atomic.Int64
+}
+
+// PolicyID returns the identifier of the loaded policy.
+func (p *PDP) PolicyID() string { return p.policyID }
+
+// TrailErrors reports how many audit-trail writes have failed since the
+// PDP started.
+func (p *PDP) TrailErrors() int64 { return p.trailErrs.Load() }
+
+// New builds a PDP from the configuration: the RBAC model is compiled
+// from the policy, the CVS trust map is taken from the role assignment
+// policy, and the MSoD set (if present) is compiled into the engine.
+func New(cfg Config) (*PDP, error) {
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("%w: nil policy", ErrConfig)
+	}
+	model, err := cfg.Policy.BuildModel()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrConfig, err)
+	}
+	store := cfg.Store
+	if store == nil {
+		store = adi.NewStore()
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	var compiled []core.Policy
+	if cfg.Policy.MSoD != nil {
+		compiled, err = core.Compile(cfg.Policy.MSoD)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrConfig, err)
+		}
+	}
+	engineOpts := []core.Option{core.WithClock(clock)}
+	if cfg.HierarchyAwareMSoD {
+		engineOpts = append(engineOpts, core.WithRoleExpander(model.Closure))
+	}
+	engine, err := core.NewEngine(store, compiled, engineOpts...)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrConfig, err)
+	}
+	return &PDP{
+		policyID: cfg.Policy.ID,
+		model:    model,
+		cvs:      credential.NewCVS(cfg.Policy.TrustedRoles(), cfg.Linker),
+		engine:   engine,
+		store:    store,
+		trail:    cfg.Trail,
+		clock:    clock,
+	}, nil
+}
+
+// TrustAuthority registers a credential issuer's verification key with
+// the PDP's CVS.
+func (p *PDP) TrustAuthority(a *credential.Authority) error {
+	return p.cvs.RegisterAuthority(a)
+}
+
+// Model exposes the underlying RBAC model (for session-based baseline
+// experiments and examples).
+func (p *PDP) Model() *rbac.Model { return p.model }
+
+// Store exposes the retained ADI.
+func (p *PDP) Store() adi.Recorder { return p.store }
+
+// Engine exposes the MSoD engine.
+func (p *PDP) Engine() *core.Engine { return p.engine }
+
+// Request is a decision request.
+type Request struct {
+	// Credentials carry the initiator's roles when the request comes
+	// from a distributed PEP; they are validated by the CVS. When empty,
+	// User and Roles must be pre-validated by the caller.
+	Credentials []credential.Credential
+	// User is the initiator's stable ID (ignored when Credentials are
+	// present — the CVS derives it).
+	User rbac.UserID
+	// Roles are the activated roles (ignored when Credentials are
+	// present).
+	Roles []rbac.RoleName
+	// Operation and Target are the access request ADI.
+	Operation rbac.Operation
+	Target    rbac.Object
+	// Context is the business context instance of the request.
+	Context bctx.Name
+	// Environment is opaque contextual information, logged but not
+	// evaluated (time-of-day style conditions are outside the paper's
+	// scope).
+	Environment map[string]string
+}
+
+// Phase says which stage produced the decision.
+type Phase string
+
+const (
+	// PhaseCVS: credential validation failed to yield a usable subject.
+	PhaseCVS Phase = "cvs"
+	// PhaseRBAC: the ordinary role/permission check denied.
+	PhaseRBAC Phase = "rbac"
+	// PhaseMSoD: the MSoD algorithm denied.
+	PhaseMSoD Phase = "msod"
+	// PhaseGranted: all stages passed.
+	PhaseGranted Phase = "granted"
+)
+
+// Decision is the PDP's answer.
+type Decision struct {
+	// Allowed is the final effect.
+	Allowed bool
+	// Phase identifies the granting/denying stage.
+	Phase Phase
+	// Reason is a human-readable explanation for denials.
+	Reason string
+	// User and Roles are the validated subject used for the decision.
+	User  rbac.UserID
+	Roles []rbac.RoleName
+	// MSoD carries the engine's decision details when MSoD ran.
+	MSoD *core.Decision
+}
+
+// Decide evaluates one access request: CVS → RBAC → MSoD → audit.
+func (p *PDP) Decide(req Request) (Decision, error) {
+	user, roles, err := p.subject(req)
+	if err != nil {
+		return Decision{}, err
+	}
+	dec := Decision{User: user, Roles: roles}
+
+	perm := rbac.Permission{Operation: req.Operation, Object: req.Target}
+	if !p.model.RolesPermit(roles, perm) {
+		dec.Allowed = false
+		dec.Phase = PhaseRBAC
+		dec.Reason = fmt.Sprintf("no activated role grants %s", perm)
+		p.log(req, user, roles, dec, nil)
+		return dec, nil
+	}
+
+	msodReq := core.Request{
+		User:      user,
+		Roles:     roles,
+		Operation: req.Operation,
+		Target:    req.Target,
+		Context:   req.Context,
+	}
+	mdec, err := p.engine.Evaluate(msodReq)
+	if err != nil {
+		return Decision{}, err
+	}
+	dec.MSoD = &mdec
+	if mdec.Effect == core.Deny {
+		dec.Allowed = false
+		dec.Phase = PhaseMSoD
+		dec.Reason = mdec.Denial.Error()
+	} else {
+		dec.Allowed = true
+		dec.Phase = PhaseGranted
+	}
+	p.log(req, user, roles, dec, &mdec)
+	return dec, nil
+}
+
+// Advise answers "would Decide grant this?" without any side effects:
+// the retained ADI is not modified and nothing is written to the audit
+// trail. It exists for UX and planning queries; the answer is advisory
+// (see core.Engine.Peek for the TOCTOU caveat).
+func (p *PDP) Advise(req Request) (Decision, error) {
+	user, roles, err := p.subject(req)
+	if err != nil {
+		return Decision{}, err
+	}
+	dec := Decision{User: user, Roles: roles}
+	perm := rbac.Permission{Operation: req.Operation, Object: req.Target}
+	if !p.model.RolesPermit(roles, perm) {
+		dec.Phase = PhaseRBAC
+		dec.Reason = fmt.Sprintf("no activated role grants %s", perm)
+		return dec, nil
+	}
+	mdec, err := p.engine.Peek(core.Request{
+		User: user, Roles: roles,
+		Operation: req.Operation, Target: req.Target, Context: req.Context,
+	})
+	if err != nil {
+		return Decision{}, err
+	}
+	dec.MSoD = &mdec
+	if mdec.Effect == core.Deny {
+		dec.Phase = PhaseMSoD
+		dec.Reason = mdec.Denial.Error()
+	} else {
+		dec.Allowed = true
+		dec.Phase = PhaseGranted
+	}
+	return dec, nil
+}
+
+// subject resolves the request's initiator: CVS-validated credentials
+// take precedence; otherwise the pre-validated user/roles are used.
+func (p *PDP) subject(req Request) (rbac.UserID, []rbac.RoleName, error) {
+	if len(req.Credentials) > 0 {
+		v, err := p.cvs.Validate(req.Credentials, p.clock())
+		if err != nil {
+			return "", nil, fmt.Errorf("pdp: credential validation: %w", err)
+		}
+		if v.User == "" {
+			return "", nil, fmt.Errorf("%w: no valid credentials", ErrNoSubject)
+		}
+		return v.User, v.Roles, nil
+	}
+	if req.User == "" {
+		return "", nil, ErrNoSubject
+	}
+	return req.User, append([]rbac.RoleName(nil), req.Roles...), nil
+}
+
+// log writes the decision to the audit trail if one is configured.
+func (p *PDP) log(req Request, user rbac.UserID, roles []rbac.RoleName, dec Decision, mdec *core.Decision) {
+	if p.trail == nil {
+		return
+	}
+	coreReq := core.Request{
+		User: user, Roles: roles,
+		Operation: req.Operation, Target: req.Target, Context: req.Context,
+	}
+	var cd core.Decision
+	if mdec != nil {
+		cd = *mdec
+	}
+	if !dec.Allowed {
+		cd.Effect = core.Deny
+	}
+	// Trail write failures must not flip an access decision; the PDP
+	// surfaces them via the event error counter instead (a production
+	// system would fail-stop; the paper does not specify).
+	if _, err := p.trail.Append(audit.NewEvent(coreReq, cd, p.clock())); err != nil {
+		p.trailErrs.Add(1)
+	}
+}

@@ -1,0 +1,248 @@
+package pdp
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"msod/internal/bctx"
+	"msod/internal/credential"
+	"msod/internal/policy"
+	"msod/internal/rbac"
+)
+
+const bankPolicyXML = `
+<RBACPolicy id="bank-1">
+  <RoleList>
+    <Role value="Teller"/>
+    <Role value="Auditor"/>
+    <Role value="RetainedADIController"/>
+  </RoleList>
+  <RoleAssignmentPolicy>
+    <Assignment soa="hr.bank.example" role="Teller"/>
+    <Assignment soa="hr.bank.example" role="Auditor"/>
+    <Assignment soa="hr.bank.example" role="RetainedADIController"/>
+  </RoleAssignmentPolicy>
+  <TargetAccessPolicy>
+    <Grant role="Teller" operation="HandleCash" target="till"/>
+    <Grant role="Auditor" operation="Audit" target="ledger"/>
+    <Grant role="Auditor" operation="CommitAudit" target="audit"/>
+    <Grant role="RetainedADIController" operation="purgeContext" target="msod:retainedADI"/>
+    <Grant role="RetainedADIController" operation="purgeUser" target="msod:retainedADI"/>
+    <Grant role="RetainedADIController" operation="purgeBefore" target="msod:retainedADI"/>
+    <Grant role="RetainedADIController" operation="stats" target="msod:retainedADI"/>
+  </TargetAccessPolicy>
+  <MSoDPolicySet>
+    <MSoDPolicy BusinessContext="Branch=*, Period=!">
+      <LastStep operation="CommitAudit" targetURI="audit"/>
+      <MMER ForbiddenCardinality="2">
+        <Role type="employee" value="Teller"/>
+        <Role type="employee" value="Auditor"/>
+      </MMER>
+    </MSoDPolicy>
+  </MSoDPolicySet>
+</RBACPolicy>`
+
+func bankPDP(t *testing.T) *PDP {
+	t.Helper()
+	pol, err := policy.ParseRBACPolicy([]byte(bankPolicyXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(Config{Policy: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func bankReq(user, role, op, target, branch, period string) Request {
+	return Request{
+		User:      rbac.UserID(user),
+		Roles:     []rbac.RoleName{rbac.RoleName(role)},
+		Operation: rbac.Operation(op),
+		Target:    rbac.Object(target),
+		Context:   bctx.MustParse("Branch=" + branch + ", Period=" + period),
+	}
+}
+
+func TestDecidePipeline(t *testing.T) {
+	p := bankPDP(t)
+
+	// Granted: role permits and MSoD has no conflict.
+	dec, err := p.Decide(bankReq("alice", "Teller", "HandleCash", "till", "York", "2006"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Allowed || dec.Phase != PhaseGranted {
+		t.Fatalf("decision = %+v", dec)
+	}
+	if dec.MSoD == nil || dec.MSoD.Recorded != 1 {
+		t.Errorf("MSoD detail = %+v", dec.MSoD)
+	}
+
+	// RBAC deny: Teller cannot Audit.
+	dec, err = p.Decide(bankReq("alice", "Teller", "Audit", "ledger", "York", "2006"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Allowed || dec.Phase != PhaseRBAC {
+		t.Fatalf("decision = %+v", dec)
+	}
+	// RBAC denial must not touch the retained ADI.
+	if p.Store().Len() != 1 {
+		t.Errorf("store len = %d after RBAC deny", p.Store().Len())
+	}
+
+	// MSoD deny: alice switches to Auditor within the period.
+	dec, err = p.Decide(bankReq("alice", "Auditor", "Audit", "ledger", "Leeds", "2006"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Allowed || dec.Phase != PhaseMSoD {
+		t.Fatalf("decision = %+v", dec)
+	}
+	if !strings.Contains(dec.Reason, "MMER") {
+		t.Errorf("reason = %q", dec.Reason)
+	}
+}
+
+func TestDecideWithCredentials(t *testing.T) {
+	pol, err := policy.ParseRBACPolicy([]byte(bankPolicyXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(Config{Policy: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := credential.NewAuthority("hr.bank.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.TrustAuthority(hr); err != nil {
+		t.Fatal(err)
+	}
+
+	now := time.Now()
+	cred, err := hr.IssueRole("alice", "Teller", now.Add(-time.Hour), now.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := Request{
+		Credentials: []credential.Credential{cred},
+		Operation:   "HandleCash", Target: "till",
+		Context: bctx.MustParse("Branch=York, Period=2006"),
+	}
+	dec, err := p.Decide(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Allowed || dec.User != "alice" {
+		t.Fatalf("decision = %+v", dec)
+	}
+
+	// A forged credential yields no subject.
+	forged := cred
+	forged.Holder = "mallory"
+	_, err = p.Decide(Request{
+		Credentials: []credential.Credential{forged},
+		Operation:   "HandleCash", Target: "till",
+		Context: bctx.MustParse("Branch=York, Period=2006"),
+	})
+	if !errors.Is(err, ErrNoSubject) {
+		t.Errorf("forged credential: %v", err)
+	}
+}
+
+func TestDecideNoSubject(t *testing.T) {
+	p := bankPDP(t)
+	_, err := p.Decide(Request{Operation: "HandleCash", Target: "till",
+		Context: bctx.MustParse("Branch=York, Period=2006")})
+	if !errors.Is(err, ErrNoSubject) {
+		t.Errorf("no subject: %v", err)
+	}
+}
+
+func TestManagementPort(t *testing.T) {
+	p := bankPDP(t)
+	// Seed history.
+	for _, u := range []string{"a", "b", "c"} {
+		dec, err := p.Decide(bankReq(u, "Teller", "HandleCash", "till", "York", "2006"))
+		if err != nil || !dec.Allowed {
+			t.Fatalf("seed %s: %+v %v", u, dec, err)
+		}
+	}
+	if p.Store().Len() != 3 {
+		t.Fatalf("seeded %d", p.Store().Len())
+	}
+
+	admin := []rbac.RoleName{"RetainedADIController"}
+
+	// Unauthorized role is refused.
+	_, err := p.Manage(ManagementRequest{User: "eve", Roles: []rbac.RoleName{"Teller"},
+		Operation: OpStats})
+	if !errors.Is(err, ErrManagement) {
+		t.Errorf("unauthorized manage: %v", err)
+	}
+
+	// Stats.
+	res, err := p.Manage(ManagementRequest{User: "root", Roles: admin, Operation: OpStats})
+	if err != nil || res.Records != 3 {
+		t.Fatalf("stats = %+v, %v", res, err)
+	}
+
+	// purgeUser.
+	res, err = p.Manage(ManagementRequest{User: "root", Roles: admin,
+		Operation: OpPurgeUser, TargetUser: "a"})
+	if err != nil || res.Removed != 1 || res.Records != 2 {
+		t.Fatalf("purgeUser = %+v, %v", res, err)
+	}
+
+	// purgeBefore in the future removes the rest.
+	res, err = p.Manage(ManagementRequest{User: "root", Roles: admin,
+		Operation: OpPurgeBefore, Before: time.Now().Add(time.Hour)})
+	if err != nil || res.Removed != 2 || res.Records != 0 {
+		t.Fatalf("purgeBefore = %+v, %v", res, err)
+	}
+
+	// purgeContext with a pattern.
+	dec, err := p.Decide(bankReq("d", "Teller", "HandleCash", "till", "York", "2007"))
+	if err != nil || !dec.Allowed {
+		t.Fatal(dec, err)
+	}
+	res, err = p.Manage(ManagementRequest{User: "root", Roles: admin,
+		Operation: OpPurgeContext, ContextPattern: "Branch=*, Period=2007"})
+	if err != nil || res.Removed != 1 {
+		t.Fatalf("purgeContext = %+v, %v", res, err)
+	}
+
+	// Validation failures.
+	if _, err := p.Manage(ManagementRequest{User: "root", Roles: admin, Operation: OpPurgeUser}); !errors.Is(err, ErrManagement) {
+		t.Errorf("purgeUser without target: %v", err)
+	}
+	if _, err := p.Manage(ManagementRequest{User: "root", Roles: admin, Operation: OpPurgeBefore}); !errors.Is(err, ErrManagement) {
+		t.Errorf("purgeBefore without cutoff: %v", err)
+	}
+	if _, err := p.Manage(ManagementRequest{User: "root", Roles: admin, Operation: "reformat"}); err == nil {
+		t.Error("stats permitted unknown operation")
+	}
+	if _, err := p.Manage(ManagementRequest{User: "root", Roles: admin,
+		Operation: OpPurgeContext, ContextPattern: "=bad="}); !errors.Is(err, ErrManagement) {
+		t.Errorf("bad pattern: %v", err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); !errors.Is(err, ErrConfig) {
+		t.Errorf("nil policy: %v", err)
+	}
+}
+
+func TestPolicyID(t *testing.T) {
+	p := bankPDP(t)
+	if p.PolicyID() != "bank-1" {
+		t.Errorf("PolicyID = %q", p.PolicyID())
+	}
+}

@@ -1,0 +1,191 @@
+package pdp
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"msod/internal/adi"
+	"msod/internal/audit"
+	"msod/internal/policy"
+)
+
+// TestRestartCycle runs a PDP with an audit trail, stops it, recovers a
+// fresh PDP from the trail, and checks the recovered PDP makes the same
+// history-dependent decisions — the §5.2 start-up procedure end to end.
+func TestRestartCycle(t *testing.T) {
+	pol, err := policy.ParseRBACPolicy([]byte(bankPolicyXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	key := []byte("trail-key")
+
+	// First life: trail-backed PDP takes some decisions.
+	w1, err := audit.NewWriter(dir, key, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := New(Config{Policy: pol, Trail: w1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []Request{
+		bankReq("alice", "Teller", "HandleCash", "till", "York", "2006"),
+		bankReq("alice", "Auditor", "Audit", "ledger", "York", "2006"), // MSoD deny
+		bankReq("bob", "Auditor", "Audit", "ledger", "Leeds", "2006"),
+		bankReq("carol", "Teller", "HandleCash", "till", "York", "2007"),
+	} {
+		if _, err := p1.Decide(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p1.TrailErrors() != 0 {
+		t.Fatalf("trail errors: %d", p1.TrailErrors())
+	}
+	liveLen := p1.Store().Len()
+	if err := w1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second life: recover from the trail.
+	store, stats, err := Recover(pol, RecoveryConfig{
+		Mode:     RecoverFromTrail,
+		TrailDir: dir,
+		TrailKey: key,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != liveLen {
+		t.Fatalf("recovered %d records, live had %d", stats.Records, liveLen)
+	}
+	p2, err := New(Config{Policy: pol, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// History-dependent behaviour must survive the restart: alice still
+	// cannot audit 2006; bob still cannot tell in 2006; carol is blocked
+	// from auditing 2007.
+	cases := []struct {
+		req  Request
+		want bool
+	}{
+		{bankReq("alice", "Auditor", "Audit", "ledger", "Leeds", "2006"), false},
+		{bankReq("bob", "Teller", "HandleCash", "till", "York", "2006"), false},
+		{bankReq("carol", "Auditor", "Audit", "ledger", "York", "2007"), false},
+		{bankReq("dave", "Auditor", "Audit", "ledger", "York", "2006"), true},
+	}
+	for _, c := range cases {
+		dec, err := p2.Decide(c.req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Allowed != c.want {
+			t.Errorf("recovered PDP: %s %s -> %v, want %v (%s)",
+				c.req.User, c.req.Operation, dec.Allowed, c.want, dec.Reason)
+		}
+	}
+}
+
+func TestRecoverFromSnapshot(t *testing.T) {
+	pol, err := policy.ParseRBACPolicy([]byte(bankPolicyXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First life: no trail, but a snapshot at shutdown.
+	p1, err := New(Config{Policy: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p1.Decide(bankReq("alice", "Teller", "HandleCash", "till", "York", "2006")); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := adi.NewSecureStore(filepath.Join(t.TempDir(), "adi.sealed"), []byte("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.Save(p1.Store().(*adi.Store).All()); err != nil {
+		t.Fatal(err)
+	}
+
+	store, stats, err := Recover(pol, RecoveryConfig{Mode: RecoverFromSnapshot, Snapshot: snap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 1 || store.Len() != 1 {
+		t.Fatalf("stats=%+v len=%d", stats, store.Len())
+	}
+	p2, err := New(Config{Policy: pol, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := p2.Decide(bankReq("alice", "Auditor", "Audit", "ledger", "York", "2006"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Allowed {
+		t.Error("snapshot recovery lost alice's Teller history")
+	}
+}
+
+func TestRecoverModes(t *testing.T) {
+	pol, err := policy.ParseRBACPolicy([]byte(bankPolicyXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, stats, err := Recover(pol, RecoveryConfig{Mode: RecoverNone})
+	if err != nil || store.Len() != 0 || stats.Records != 0 {
+		t.Errorf("RecoverNone = %v %v %v", store.Len(), stats, err)
+	}
+	if _, _, err := Recover(pol, RecoveryConfig{Mode: RecoverFromSnapshot}); err == nil {
+		t.Error("snapshot mode without snapshot accepted")
+	}
+	if _, _, err := Recover(pol, RecoveryConfig{Mode: RecoveryMode(99)}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if _, _, err := Recover(pol, RecoveryConfig{Mode: RecoverFromTrail}); err == nil {
+		t.Error("trail mode without key accepted")
+	}
+}
+
+// TestRecoverWindow exercises the §5.2 "last n trails starting from time
+// t" parameters: only events inside the window are replayed.
+func TestRecoverWindow(t *testing.T) {
+	pol, err := policy.ParseRBACPolicy([]byte(bankPolicyXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	key := []byte("k")
+	w, err := audit.NewWriter(dir, key, 1) // one event per segment
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2006, 7, 1, 0, 0, 0, 0, time.UTC)
+	clockAt := base
+	p, err := New(Config{Policy: pol, Trail: w, Clock: func() time.Time { return clockAt }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := []string{"a", "b", "c", "d"}
+	for i, u := range users {
+		clockAt = base.Add(time.Duration(i) * time.Hour)
+		if _, err := p.Decide(bankReq(u, "Teller", "HandleCash", "till", "York", "2006")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+
+	// Only the last 2 segments: users c and d.
+	store, stats, err := Recover(pol, RecoveryConfig{
+		Mode: RecoverFromTrail, TrailDir: dir, TrailKey: key, LastSegments: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 2 || store.Len() != 2 {
+		t.Fatalf("windowed recovery: stats=%+v len=%d", stats, store.Len())
+	}
+}

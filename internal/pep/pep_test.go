@@ -1,0 +1,235 @@
+package pep
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"msod/internal/bctx"
+	"msod/internal/pdp"
+	"msod/internal/policy"
+	"msod/internal/rbac"
+)
+
+const bankPolicyXML = `
+<RBACPolicy id="pep-bank">
+  <RoleList>
+    <Role value="Teller"/>
+    <Role value="Auditor"/>
+  </RoleList>
+  <TargetAccessPolicy>
+    <Grant role="Teller" operation="HandleCash" target="till"/>
+    <Grant role="Auditor" operation="Audit" target="ledger"/>
+    <Grant role="Teller" operation="GET" target="http://bank.example/till"/>
+    <Grant role="Auditor" operation="GET" target="http://bank.example/ledger"/>
+  </TargetAccessPolicy>
+  <MSoDPolicySet>
+    <MSoDPolicy BusinessContext="Branch=*, Period=!">
+      <MMER ForbiddenCardinality="2">
+        <Role type="employee" value="Teller"/>
+        <Role type="employee" value="Auditor"/>
+      </MMER>
+    </MSoDPolicy>
+  </MSoDPolicySet>
+</RBACPolicy>`
+
+func bankPDP(t *testing.T) *pdp.PDP {
+	t.Helper()
+	pol, err := policy.ParseRBACPolicy([]byte(bankPolicyXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pdp.New(pdp.Config{Policy: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestEnforcerDo(t *testing.T) {
+	p := bankPDP(t)
+	ctx := bctx.MustParse("Branch=York, Period=2006")
+	alice, err := New(p, Subject{User: "alice", Roles: []rbac.RoleName{"Teller"}}, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.Do("HandleCash", "till"); err != nil {
+		t.Fatalf("teller action: %v", err)
+	}
+	// Same user switches to Auditor: denied, wrapped as ErrDenied.
+	aliceAud, err := New(p, Subject{User: "alice", Roles: []rbac.RoleName{"Auditor"}}, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = aliceAud.Do("Audit", "ledger")
+	if !errors.Is(err, ErrDenied) {
+		t.Fatalf("auditor switch: %v", err)
+	}
+	// Check does not enforce.
+	dec, err := aliceAud.Check("Audit", "ledger")
+	if err != nil || dec.Allowed {
+		t.Fatalf("Check = %+v, %v", dec, err)
+	}
+	// A different context instance is fine.
+	alice2007, err := aliceAud.InContext(bctx.MustParse("Branch=York, Period=2007"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alice2007.Do("Audit", "ledger"); err != nil {
+		t.Fatalf("different period: %v", err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	p := bankPDP(t)
+	if _, err := New(nil, Subject{User: "u"}, bctx.Universal); err == nil {
+		t.Error("nil decider accepted")
+	}
+	if _, err := New(p, Subject{User: "u"}, bctx.MustParse("A=*")); err == nil {
+		t.Error("wildcard context accepted")
+	}
+}
+
+func TestMiddleware(t *testing.T) {
+	p := bankPDP(t)
+	var served int
+	handler := (&Middleware{
+		PDP:    p,
+		Target: "http://bank.example/till",
+	}).Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served++
+		fmt.Fprint(w, "ok")
+	}))
+	ts := httptest.NewServer(handler)
+	t.Cleanup(ts.Close)
+
+	get := func(user, roles, ctx string) *http.Response {
+		req, err := http.NewRequest(http.MethodGet, ts.URL, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if user != "" {
+			req.Header.Set(HeaderUser, user)
+		}
+		if roles != "" {
+			req.Header.Set(HeaderRoles, roles)
+		}
+		if ctx != "" {
+			req.Header.Set(HeaderContext, ctx)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	// Authenticated teller passes.
+	if resp := get("alice", "Teller", "Branch=York, Period=2006"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("teller GET = %d", resp.StatusCode)
+	}
+	if served != 1 {
+		t.Fatalf("handler served %d", served)
+	}
+	// Missing user header: 401.
+	if resp := get("", "Teller", "Branch=York, Period=2006"); resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("missing user = %d", resp.StatusCode)
+	}
+	// Wrong role: 403 (RBAC).
+	if resp := get("bob", "Auditor", "Branch=York, Period=2006"); resp.StatusCode != http.StatusForbidden {
+		t.Errorf("wrong role = %d", resp.StatusCode)
+	}
+	// Bad context header: 400.
+	if resp := get("alice", "Teller", "==="); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad context = %d", resp.StatusCode)
+	}
+	// Wildcard context header: 400.
+	if resp := get("alice", "Teller", "Branch=*"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("wildcard context = %d", resp.StatusCode)
+	}
+	if served != 1 {
+		t.Fatalf("denied requests reached the handler: served=%d", served)
+	}
+}
+
+// TestMiddlewareEnforcesMSoDAcrossRequests: the MSoD history flows
+// through the middleware — alice's teller GET bars her auditor GET on
+// another resource in the same period.
+func TestMiddlewareEnforcesMSoDAcrossRequests(t *testing.T) {
+	p := bankPDP(t)
+	wrap := func(target rbac.Object) *httptest.Server {
+		h := (&Middleware{PDP: p, Target: target}).Wrap(
+			http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+		ts := httptest.NewServer(h)
+		t.Cleanup(ts.Close)
+		return ts
+	}
+	till := wrap("http://bank.example/till")
+	ledger := wrap("http://bank.example/ledger")
+
+	do := func(ts *httptest.Server, roles string) int {
+		req, _ := http.NewRequest(http.MethodGet, ts.URL, nil)
+		req.Header.Set(HeaderUser, "alice")
+		req.Header.Set(HeaderRoles, roles)
+		req.Header.Set(HeaderContext, "Branch=York, Period=2006")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := do(till, "Teller"); code != http.StatusOK {
+		t.Fatalf("till = %d", code)
+	}
+	if code := do(ledger, "Auditor"); code != http.StatusForbidden {
+		t.Fatalf("ledger after till = %d (MSoD must deny)", code)
+	}
+}
+
+// TestMiddlewareCustomHooks: OperationFunc, ContextFunc, OnDeny.
+func TestMiddlewareCustomHooks(t *testing.T) {
+	p := bankPDP(t)
+	var denials int
+	h := (&Middleware{
+		PDP:    p,
+		Target: "http://bank.example/till",
+		OperationFunc: func(r *http.Request) rbac.Operation {
+			return "GET" // everything maps to GET
+		},
+		ContextFunc: func(r *http.Request) (bctx.Name, error) {
+			return bctx.Parse("Branch=" + r.URL.Query().Get("branch") + ", Period=2006")
+		},
+		OnDeny: func(w http.ResponseWriter, r *http.Request, dec pdp.Decision) {
+			denials++
+			w.WriteHeader(http.StatusTeapot)
+		},
+	}).Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"?branch=York", nil)
+	req.Header.Set(HeaderUser, "u")
+	req.Header.Set(HeaderRoles, "Teller")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("custom op mapping = %d", resp.StatusCode)
+	}
+	// Wrong role hits OnDeny.
+	req.Header.Set(HeaderRoles, "Auditor")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTeapot || denials != 1 {
+		t.Fatalf("OnDeny: code=%d denials=%d", resp.StatusCode, denials)
+	}
+}

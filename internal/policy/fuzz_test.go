@@ -1,0 +1,66 @@
+package policy
+
+import "testing"
+
+// FuzzParseMSoDPolicySet checks the XML parser/validator never panics
+// and that accepted documents survive a marshal/parse round trip.
+func FuzzParseMSoDPolicySet(f *testing.F) {
+	f.Add(`<MSoDPolicySet><MSoDPolicy BusinessContext="A=!">
+		<MMER ForbiddenCardinality="2"><Role type="t" value="a"/><Role type="t" value="b"/></MMER>
+		</MSoDPolicy></MSoDPolicySet>`)
+	f.Add(`<MSoDPolicySet><MSoDPolicy BusinessContext="P=!">
+		<FirstStep operation="o" targetURI="t"/>
+		<MMEP ForbiddenCardinality="2"><Privilege operation="o" target="t"/>
+		<Privilege operation="o" target="t"/></MMEP>
+		</MSoDPolicy></MSoDPolicySet>`)
+	f.Add(`<MSoDPolicySet/>`)
+	f.Add(`<nonsense`)
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, in string) {
+		set, err := ParseMSoDPolicySet([]byte(in))
+		if err != nil {
+			return
+		}
+		out, err := set.Marshal()
+		if err != nil {
+			t.Fatalf("accepted set does not marshal: %v", err)
+		}
+		set2, err := ParseMSoDPolicySet(out)
+		if err != nil {
+			t.Fatalf("marshalled set does not reparse: %v\n%s", err, out)
+		}
+		if len(set2.Policies) != len(set.Policies) {
+			t.Fatalf("round trip changed policy count %d -> %d", len(set.Policies), len(set2.Policies))
+		}
+	})
+}
+
+// FuzzParseRBACPolicy does the same for the policy envelope.
+func FuzzParseRBACPolicy(f *testing.F) {
+	f.Add(`<RBACPolicy id="p"><RoleList><Role value="A"/></RoleList>
+		<TargetAccessPolicy><Grant role="A" operation="o" target="t"/></TargetAccessPolicy>
+		</RBACPolicy>`)
+	f.Add(`<RBACPolicy/>`)
+	f.Add(`garbage`)
+	f.Fuzz(func(t *testing.T, in string) {
+		p, err := ParseRBACPolicy([]byte(in))
+		if err != nil {
+			return
+		}
+		// Accepted policies must build a model without errors.
+		if _, err := p.BuildModel(); err != nil {
+			t.Fatalf("accepted policy fails BuildModel: %v", err)
+		}
+		// And must lint without internal errors.
+		if _, err := Lint(p); err != nil {
+			t.Fatalf("accepted policy fails Lint: %v", err)
+		}
+		out, err := p.Marshal()
+		if err != nil {
+			t.Fatalf("accepted policy does not marshal: %v", err)
+		}
+		if _, err := ParseRBACPolicy(out); err != nil {
+			t.Fatalf("marshalled policy does not reparse: %v\n%s", err, out)
+		}
+	})
+}

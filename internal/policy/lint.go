@@ -1,0 +1,197 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+
+	"msod/internal/bctx"
+)
+
+// Lint implements the policy-authoring half of the PERMIS policy
+// management sub-system (§5.1): beyond Validate's hard structural rules,
+// it reports *probable mistakes* — constraints that can never fire,
+// roles that exist but do nothing, steps that no grant allows — so a
+// policy writer sees problems before deployment rather than as silent
+// non-enforcement.
+
+// Severity grades a lint finding.
+type Severity string
+
+const (
+	// Warn findings usually indicate a broken intent.
+	Warn Severity = "warning"
+	// Info findings are stylistic or redundancy notes.
+	Info Severity = "info"
+)
+
+// Finding is one lint diagnostic.
+type Finding struct {
+	Severity Severity
+	// Where locates the finding ("MSoDPolicy[0].MMER[1]", "RoleList").
+	Where string
+	// Message explains the problem and its consequence.
+	Message string
+}
+
+// String renders the finding.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Severity, f.Where, f.Message)
+}
+
+// Lint analyses a validated policy and returns findings sorted by
+// severity then location. A nil slice means nothing to report.
+func Lint(p *RBACPolicy) ([]Finding, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	var out []Finding
+
+	declaredRoles := make(map[string]bool, len(p.Roles))
+	for _, r := range p.Roles {
+		declaredRoles[r.Value] = true
+	}
+	grantedRoles := make(map[string]bool)
+	grants := make(map[[2]string]bool) // (operation, target) -> granted to someone
+	for _, g := range p.Grants {
+		grantedRoles[g.Role] = true
+		grants[[2]string{g.Operation, g.Target}] = true
+	}
+	// Roles granted indirectly through the hierarchy also "do something".
+	juniors := make(map[string][]string)
+	for _, h := range p.Hierarchy {
+		juniors[h.Senior] = append(juniors[h.Senior], h.Junior)
+	}
+	var reach func(r string, seen map[string]bool) bool
+	reach = func(r string, seen map[string]bool) bool {
+		if grantedRoles[r] {
+			return true
+		}
+		if seen[r] {
+			return false
+		}
+		seen[r] = true
+		for _, j := range juniors[r] {
+			if reach(j, seen) {
+				return true
+			}
+		}
+		return false
+	}
+
+	assignableRoles := make(map[string]bool)
+	for _, a := range p.Assignments {
+		assignableRoles[a.Role] = true
+	}
+
+	// 1. Declared roles with no grants (direct or inherited) and no
+	// assignment trust: dead weight.
+	for _, r := range p.Roles {
+		hasGrant := reach(r.Value, map[string]bool{})
+		if !hasGrant && !assignableRoles[r.Value] {
+			out = append(out, Finding{Info, "RoleList",
+				fmt.Sprintf("role %q has no grants (direct or inherited) and no assignment trust", r.Value)})
+		}
+	}
+
+	// 2. Assignment trust exists but the policy never grants anything:
+	// issuers can mint the role, holders can do nothing with it.
+	for role := range assignableRoles {
+		if !reach(role, map[string]bool{}) {
+			out = append(out, Finding{Info, "RoleAssignmentPolicy",
+				fmt.Sprintf("role %q is assignable but grants nothing", role)})
+		}
+	}
+
+	if p.MSoD != nil {
+		out = append(out, lintMSoD(p, declaredRoles, grants)...)
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Severity != out[j].Severity {
+			return out[i].Severity == Warn
+		}
+		if out[i].Where != out[j].Where {
+			return out[i].Where < out[j].Where
+		}
+		return out[i].Message < out[j].Message
+	})
+	return out, nil
+}
+
+// lintMSoD checks the MSoD constraints against the rest of the policy.
+func lintMSoD(p *RBACPolicy, declaredRoles map[string]bool, grants map[[2]string]bool) []Finding {
+	var out []Finding
+	contexts := make([]bctx.Name, len(p.MSoD.Policies))
+	for i, mp := range p.MSoD.Policies {
+		where := fmt.Sprintf("MSoDPolicy[%d]", i)
+		ctx, err := mp.Context()
+		if err != nil {
+			continue // Validate already rejected this
+		}
+		contexts[i] = ctx
+
+		// 3. MMER roles should be declared roles — a typo silently
+		// disables the constraint for that role.
+		for j, m := range mp.MMER {
+			for _, r := range m.Roles {
+				if !declaredRoles[r.Value] {
+					out = append(out, Finding{Warn, fmt.Sprintf("%s.MMER[%d]", where, j),
+						fmt.Sprintf("role %q is not declared in RoleList; the constraint can never match it", r.Value)})
+				}
+			}
+		}
+
+		// 4. MMEP privileges that no grant allows can never be exercised,
+		// so the constraint position is dead (often a target URI typo).
+		for j, m := range mp.MMEP {
+			seen := map[PrivilegeRef]bool{}
+			for _, pr := range m.AllPrivileges() {
+				if seen[pr] {
+					continue // repetition is the intended multiset idiom
+				}
+				seen[pr] = true
+				if len(grants) > 0 && !grants[[2]string{pr.Operation, pr.Target}] {
+					out = append(out, Finding{Warn, fmt.Sprintf("%s.MMEP[%d]", where, j),
+						fmt.Sprintf("privilege %s@%s is granted to no role; the position can never be exercised", pr.Operation, pr.Target)})
+				}
+			}
+		}
+
+		// 5. First/last steps nobody may perform make the context
+		// unstartable/unterminable.
+		for name, step := range map[string]*Step{"FirstStep": mp.FirstStep, "LastStep": mp.LastStep} {
+			if step == nil {
+				continue
+			}
+			if len(grants) > 0 && !grants[[2]string{step.Operation, step.TargetURI}] {
+				out = append(out, Finding{Warn, where + "." + name,
+					fmt.Sprintf("step %s@%s is granted to no role; the context can never %s",
+						step.Operation, step.TargetURI,
+						map[string]string{"FirstStep": "start", "LastStep": "terminate"}[name])})
+			}
+		}
+
+		// 6. No last step means unbounded history (§4.3) — worth flagging.
+		if mp.LastStep == nil {
+			out = append(out, Finding{Info, where,
+				"no LastStep: retained history for this context grows until an administrative purge (§4.3)"})
+		}
+	}
+
+	// 7. Subsumed policy contexts: a policy whose context is inside
+	// another's is evaluated alongside it; flag so the author knows both
+	// fire.
+	for i := range contexts {
+		for j := range contexts {
+			if i == j {
+				continue
+			}
+			if !contexts[i].Equal(contexts[j]) && bctx.Subsumes(contexts[i], contexts[j]) {
+				out = append(out, Finding{Info, fmt.Sprintf("MSoDPolicy[%d]", j),
+					fmt.Sprintf("context %q is subsumed by MSoDPolicy[%d] (%q); both policies apply to its requests",
+						contexts[j], i, contexts[i])})
+			}
+		}
+	}
+	return out
+}

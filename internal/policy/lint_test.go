@@ -1,0 +1,190 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+)
+
+func lint(t *testing.T, xmlDoc string) []Finding {
+	t.Helper()
+	p, err := ParseRBACPolicy([]byte(xmlDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Lint(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func hasFinding(fs []Finding, sev Severity, substr string) bool {
+	for _, f := range fs {
+		if f.Severity == sev && strings.Contains(f.Message, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestLintCleanPolicy(t *testing.T) {
+	clean := `
+<RBACPolicy id="clean">
+  <RoleList><Role value="Teller"/><Role value="Auditor"/></RoleList>
+  <TargetAccessPolicy>
+    <Grant role="Teller" operation="HandleCash" target="till"/>
+    <Grant role="Auditor" operation="Audit" target="ledger"/>
+    <Grant role="Auditor" operation="CommitAudit" target="audit"/>
+  </TargetAccessPolicy>
+  <MSoDPolicySet>
+    <MSoDPolicy BusinessContext="Branch=*, Period=!">
+      <LastStep operation="CommitAudit" targetURI="audit"/>
+      <MMER ForbiddenCardinality="2">
+        <Role type="e" value="Teller"/>
+        <Role type="e" value="Auditor"/>
+      </MMER>
+    </MSoDPolicy>
+  </MSoDPolicySet>
+</RBACPolicy>`
+	if fs := lint(t, clean); len(fs) != 0 {
+		t.Errorf("clean policy has findings: %v", fs)
+	}
+}
+
+func TestLintUndeclaredMMERRole(t *testing.T) {
+	doc := `
+<RBACPolicy id="p">
+  <RoleList><Role value="Teller"/></RoleList>
+  <TargetAccessPolicy><Grant role="Teller" operation="op" target="t"/></TargetAccessPolicy>
+  <MSoDPolicySet>
+    <MSoDPolicy BusinessContext="P=!">
+      <LastStep operation="op" targetURI="t"/>
+      <MMER ForbiddenCardinality="2">
+        <Role type="e" value="Teller"/>
+        <Role type="e" value="Auditr"/>
+      </MMER>
+    </MSoDPolicy>
+  </MSoDPolicySet>
+</RBACPolicy>`
+	fs := lint(t, doc)
+	if !hasFinding(fs, Warn, `role "Auditr" is not declared`) {
+		t.Errorf("missing typo warning: %v", fs)
+	}
+}
+
+func TestLintUngrantedPrivilegeAndSteps(t *testing.T) {
+	doc := `
+<RBACPolicy id="p">
+  <RoleList><Role value="Clerk"/></RoleList>
+  <TargetAccessPolicy><Grant role="Clerk" operation="prepare" target="check"/></TargetAccessPolicy>
+  <MSoDPolicySet>
+    <MSoDPolicy BusinessContext="P=!">
+      <FirstStep operation="prepare" targetURI="check"/>
+      <LastStep operation="confirm" targetURI="checc"/>
+      <MMEP ForbiddenCardinality="2">
+        <Privilege operation="prepare" target="check"/>
+        <Privilege operation="confirm" target="checc"/>
+      </MMEP>
+    </MSoDPolicy>
+  </MSoDPolicySet>
+</RBACPolicy>`
+	fs := lint(t, doc)
+	if !hasFinding(fs, Warn, "confirm@checc is granted to no role") {
+		t.Errorf("missing dead-privilege warning: %v", fs)
+	}
+	if !hasFinding(fs, Warn, "can never terminate") {
+		t.Errorf("missing unterminable-context warning: %v", fs)
+	}
+}
+
+func TestLintMissingLastStep(t *testing.T) {
+	doc := `
+<RBACPolicy id="p">
+  <RoleList><Role value="A"/><Role value="B"/></RoleList>
+  <TargetAccessPolicy>
+    <Grant role="A" operation="op" target="t"/>
+    <Grant role="B" operation="op" target="t"/>
+  </TargetAccessPolicy>
+  <MSoDPolicySet>
+    <MSoDPolicy BusinessContext="P=!">
+      <MMER ForbiddenCardinality="2"><Role type="e" value="A"/><Role type="e" value="B"/></MMER>
+    </MSoDPolicy>
+  </MSoDPolicySet>
+</RBACPolicy>`
+	fs := lint(t, doc)
+	if !hasFinding(fs, Info, "no LastStep") {
+		t.Errorf("missing unbounded-history note: %v", fs)
+	}
+}
+
+func TestLintDeadRoleAndAssignableNoGrant(t *testing.T) {
+	doc := `
+<RBACPolicy id="p">
+  <RoleList><Role value="Used"/><Role value="Dead"/><Role value="MintOnly"/></RoleList>
+  <RoleAssignmentPolicy><Assignment soa="s" role="MintOnly"/></RoleAssignmentPolicy>
+  <TargetAccessPolicy><Grant role="Used" operation="op" target="t"/></TargetAccessPolicy>
+</RBACPolicy>`
+	fs := lint(t, doc)
+	if !hasFinding(fs, Info, `role "Dead" has no grants`) {
+		t.Errorf("missing dead-role note: %v", fs)
+	}
+	if !hasFinding(fs, Info, `role "MintOnly" is assignable but grants nothing`) {
+		t.Errorf("missing mint-only note: %v", fs)
+	}
+	if hasFinding(fs, Info, `role "Used"`) {
+		t.Errorf("false positive on used role: %v", fs)
+	}
+}
+
+func TestLintInheritedGrantSilencesDeadRole(t *testing.T) {
+	doc := `
+<RBACPolicy id="p">
+  <RoleList><Role value="Junior"/><Role value="Senior"/></RoleList>
+  <RoleHierarchy><Inherits senior="Senior" junior="Junior"/></RoleHierarchy>
+  <TargetAccessPolicy><Grant role="Junior" operation="op" target="t"/></TargetAccessPolicy>
+</RBACPolicy>`
+	fs := lint(t, doc)
+	if hasFinding(fs, Info, `role "Senior"`) {
+		t.Errorf("senior role with inherited grant flagged: %v", fs)
+	}
+}
+
+func TestLintSubsumedContexts(t *testing.T) {
+	doc := `
+<RBACPolicy id="p">
+  <RoleList><Role value="A"/><Role value="B"/></RoleList>
+  <TargetAccessPolicy>
+    <Grant role="A" operation="op" target="t"/>
+    <Grant role="B" operation="op" target="t"/>
+    <Grant role="A" operation="end" target="t"/>
+  </TargetAccessPolicy>
+  <MSoDPolicySet>
+    <MSoDPolicy BusinessContext="Branch=*">
+      <LastStep operation="end" targetURI="t"/>
+      <MMER ForbiddenCardinality="2"><Role type="e" value="A"/><Role type="e" value="B"/></MMER>
+    </MSoDPolicy>
+    <MSoDPolicy BusinessContext="Branch=York, Period=!">
+      <LastStep operation="end" targetURI="t"/>
+      <MMER ForbiddenCardinality="2"><Role type="e" value="A"/><Role type="e" value="B"/></MMER>
+    </MSoDPolicy>
+  </MSoDPolicySet>
+</RBACPolicy>`
+	fs := lint(t, doc)
+	if !hasFinding(fs, Info, "is subsumed by MSoDPolicy[0]") {
+		t.Errorf("missing subsumption note: %v", fs)
+	}
+}
+
+func TestLintRejectsInvalidPolicy(t *testing.T) {
+	p := &RBACPolicy{Roles: []RoleDecl{{Value: ""}}}
+	if _, err := Lint(p); err == nil {
+		t.Error("invalid policy linted without error")
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{Warn, "here", "msg"}
+	if got := f.String(); got != "warning: here: msg" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,200 @@
+// Package policy implements the XML policy formats of the MSoD paper: the
+// MSoDPolicySet schema of Appendix A (with MMER and MMEP constraints,
+// business contexts and first/last steps), and a PERMIS-style RBAC policy
+// envelope covering roles, the role hierarchy, role-assignment trust
+// (which source of authority may assign which roles), target access rules
+// and ANSI SSD/DSD sets.
+//
+// The package parses, validates and re-serialises policies; compilation
+// into the runtime engine lives in internal/core (MSoD) and the
+// BuildModel helper here (RBAC).
+package policy
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+
+	"msod/internal/bctx"
+)
+
+// ErrInvalid tags every policy validation failure.
+var ErrInvalid = errors.New("policy: invalid")
+
+// MSoDPolicySet is the root element of Appendix A: one or more MSoD
+// policies.
+type MSoDPolicySet struct {
+	XMLName  xml.Name     `xml:"MSoDPolicySet"`
+	Policies []MSoDPolicy `xml:"MSoDPolicy"`
+}
+
+// MSoDPolicy scopes a set of MMER/MMEP constraints to one business
+// context, optionally delimited by a first and last step.
+type MSoDPolicy struct {
+	// BusinessContext is the hierarchical context name, e.g.
+	// "Branch=*, Period=!".
+	BusinessContext string `xml:"BusinessContext,attr"`
+	// FirstStep, when present, tells the PDP to start retaining history
+	// for a context instance only once this operation is granted.
+	FirstStep *Step `xml:"FirstStep"`
+	// LastStep, when present, terminates the context instance when
+	// granted: retained history for the instance is purged.
+	LastStep *Step `xml:"LastStep"`
+	// MMER lists the multi-session mutually exclusive role constraints.
+	MMER []MMER `xml:"MMER"`
+	// MMEP lists the multi-session mutually exclusive privilege
+	// constraints.
+	MMEP []MMEP `xml:"MMEP"`
+}
+
+// Step is a task delimiting a business context: an operation on a target.
+type Step struct {
+	Operation string `xml:"operation,attr"`
+	TargetURI string `xml:"targetURI,attr"`
+}
+
+// MMER is an m-out-of-n multi-session mutually exclusive roles
+// constraint (§2.3): a user may activate fewer than ForbiddenCardinality
+// of the listed roles within the policy's business context (instance).
+type MMER struct {
+	ForbiddenCardinality int       `xml:"ForbiddenCardinality,attr"`
+	Roles                []RoleRef `xml:"Role"`
+}
+
+// RoleRef names a role inside an MMER constraint; Type carries the
+// attribute type (e.g. "employee") as in the paper's listings.
+type RoleRef struct {
+	Type  string `xml:"type,attr"`
+	Value string `xml:"value,attr"`
+}
+
+// MMEP is an m-out-of-n multi-session mutually exclusive privileges
+// constraint (§2.4): a user may exercise fewer than ForbiddenCardinality
+// of the listed privileges within the policy's business context
+// (instance). Listing the same privilege k times caps its executions at
+// k-1 per context instance when ForbiddenCardinality equals k.
+type MMEP struct {
+	ForbiddenCardinality int `xml:"ForbiddenCardinality,attr"`
+	// Privileges uses the Appendix A element name <Privilege
+	// operation=".." target="..">.
+	Privileges []PrivilegeRef `xml:"Privilege"`
+	// Operations accepts the §3 listing form <Operation value=".."
+	// target="..">; both spellings may be mixed and are merged by
+	// AllPrivileges.
+	Operations []OperationRef `xml:"Operation"`
+}
+
+// PrivilegeRef is the Appendix A privilege spelling.
+type PrivilegeRef struct {
+	Operation string `xml:"operation,attr"`
+	Target    string `xml:"target,attr"`
+}
+
+// OperationRef is the §3 listing privilege spelling.
+type OperationRef struct {
+	Value  string `xml:"value,attr"`
+	Target string `xml:"target,attr"`
+}
+
+// AllPrivileges returns the constraint's privileges in document-given
+// order with both spellings normalised to PrivilegeRef. Order is
+// Privileges then Operations; within an MMEP the elements form a
+// multiset, so relative order is immaterial to evaluation.
+func (m MMEP) AllPrivileges() []PrivilegeRef {
+	out := make([]PrivilegeRef, 0, len(m.Privileges)+len(m.Operations))
+	out = append(out, m.Privileges...)
+	for _, o := range m.Operations {
+		out = append(out, PrivilegeRef{Operation: o.Value, Target: o.Target})
+	}
+	return out
+}
+
+// ParseMSoDPolicySet parses and validates an XML MSoDPolicySet document.
+func ParseMSoDPolicySet(data []byte) (*MSoDPolicySet, error) {
+	var set MSoDPolicySet
+	if err := xml.Unmarshal(data, &set); err != nil {
+		return nil, fmt.Errorf("policy: parse MSoDPolicySet: %w", err)
+	}
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	return &set, nil
+}
+
+// Marshal serialises the set as indented XML. Operations spellings are
+// preserved as parsed.
+func (s *MSoDPolicySet) Marshal() ([]byte, error) {
+	out, err := xml.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("policy: marshal MSoDPolicySet: %w", err)
+	}
+	return append(out, '\n'), nil
+}
+
+// Validate checks structural constraints: parseable business contexts,
+// n >= 2 elements and 1 < m <= n cardinalities per rule, and at least
+// one rule per policy.
+func (s *MSoDPolicySet) Validate() error {
+	if len(s.Policies) == 0 {
+		return fmt.Errorf("%w: MSoDPolicySet has no policies", ErrInvalid)
+	}
+	for i, p := range s.Policies {
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("policy %d (context %q): %w", i, p.BusinessContext, err)
+		}
+	}
+	return nil
+}
+
+// Context parses the policy's business context name.
+func (p *MSoDPolicy) Context() (bctx.Name, error) {
+	return bctx.Parse(p.BusinessContext)
+}
+
+// Validate checks one policy's structural constraints.
+func (p *MSoDPolicy) Validate() error {
+	if _, err := p.Context(); err != nil {
+		return fmt.Errorf("%w: business context: %v", ErrInvalid, err)
+	}
+	if len(p.MMER)+len(p.MMEP) == 0 {
+		return fmt.Errorf("%w: policy has no MMER or MMEP constraints", ErrInvalid)
+	}
+	for i, m := range p.MMER {
+		if len(m.Roles) < 2 {
+			return fmt.Errorf("%w: MMER %d has %d roles, need >= 2", ErrInvalid, i, len(m.Roles))
+		}
+		if m.ForbiddenCardinality < 2 || m.ForbiddenCardinality > len(m.Roles) {
+			return fmt.Errorf("%w: MMER %d cardinality %d outside 2..%d", ErrInvalid, i, m.ForbiddenCardinality, len(m.Roles))
+		}
+		seen := make(map[RoleRef]bool, len(m.Roles))
+		for _, r := range m.Roles {
+			if r.Value == "" {
+				return fmt.Errorf("%w: MMER %d has a role with empty value", ErrInvalid, i)
+			}
+			if seen[r] {
+				return fmt.Errorf("%w: MMER %d lists role %q twice", ErrInvalid, i, r.Value)
+			}
+			seen[r] = true
+		}
+	}
+	for i, m := range p.MMEP {
+		privs := m.AllPrivileges()
+		if len(privs) < 2 {
+			return fmt.Errorf("%w: MMEP %d has %d privileges, need >= 2", ErrInvalid, i, len(privs))
+		}
+		if m.ForbiddenCardinality < 2 || m.ForbiddenCardinality > len(privs) {
+			return fmt.Errorf("%w: MMEP %d cardinality %d outside 2..%d", ErrInvalid, i, m.ForbiddenCardinality, len(privs))
+		}
+		for j, pr := range privs {
+			if pr.Operation == "" || pr.Target == "" {
+				return fmt.Errorf("%w: MMEP %d privilege %d has empty operation or target", ErrInvalid, i, j)
+			}
+		}
+	}
+	for name, step := range map[string]*Step{"FirstStep": p.FirstStep, "LastStep": p.LastStep} {
+		if step != nil && (step.Operation == "" || step.TargetURI == "") {
+			return fmt.Errorf("%w: %s has empty operation or targetURI", ErrInvalid, name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,210 @@
+package policy
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// paperPolicyXML is the §3 listing: the bank cash-processing policy and
+// the tax-refund policy. (The paper's second MSoDPolicy element is
+// mis-closed in the PDF; this is the well-formed equivalent.)
+const paperPolicyXML = `
+<MSoDPolicySet>
+  <MSoDPolicy BusinessContext="Branch=*, Period=!">
+    <!-- policy applies for each instance of period across all branches of the bank -->
+    <LastStep operation="CommitAudit" targetURI="http://audit.location.com/audit"/>
+    <MMER ForbiddenCardinality="2">
+      <Role type="employee" value="Teller"/>
+      <Role type="employee" value="Auditor"/>
+    </MMER>
+  </MSoDPolicy>
+  <MSoDPolicy BusinessContext="TaxOffice=!, taxRefundProcess=!">
+    <!-- policy applies for each instance of taxRefundProcess in each tax office -->
+    <FirstStep operation="prepareCheck" targetURI="http://www.myTaxOffice.com/Check"/>
+    <LastStep operation="confirmCheck" targetURI="http://secret.location.com/audit"/>
+    <MMEP ForbiddenCardinality="2">
+      <Operation value="prepareCheck" target="http://www.myTaxOffice.com/Check"/>
+      <Operation value="confirmCheck" target="http://secret.location.com/audit"/>
+    </MMEP>
+    <MMEP ForbiddenCardinality="2">
+      <Operation value="approve/disapproveCheck" target="http://www.myTaxOffice.com/Check"/>
+      <Operation value="approve/disapproveCheck" target="http://www.myTaxOffice.com/Check"/>
+      <Operation value="combineResults" target="http://secret.location.com/results"/>
+    </MMEP>
+  </MSoDPolicy>
+</MSoDPolicySet>`
+
+func TestParsePaperPolicies(t *testing.T) {
+	set, err := ParseMSoDPolicySet([]byte(paperPolicyXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Policies) != 2 {
+		t.Fatalf("parsed %d policies", len(set.Policies))
+	}
+
+	bank := set.Policies[0]
+	if bank.BusinessContext != "Branch=*, Period=!" {
+		t.Errorf("bank context = %q", bank.BusinessContext)
+	}
+	if bank.FirstStep != nil {
+		t.Error("bank policy should have no first step")
+	}
+	if bank.LastStep == nil || bank.LastStep.Operation != "CommitAudit" {
+		t.Errorf("bank last step = %+v", bank.LastStep)
+	}
+	if len(bank.MMER) != 1 || len(bank.MMEP) != 0 {
+		t.Fatalf("bank constraints: %d MMER, %d MMEP", len(bank.MMER), len(bank.MMEP))
+	}
+	if bank.MMER[0].ForbiddenCardinality != 2 || len(bank.MMER[0].Roles) != 2 {
+		t.Errorf("bank MMER = %+v", bank.MMER[0])
+	}
+	if bank.MMER[0].Roles[0].Value != "Teller" || bank.MMER[0].Roles[0].Type != "employee" {
+		t.Errorf("bank MMER role 0 = %+v", bank.MMER[0].Roles[0])
+	}
+
+	tax := set.Policies[1]
+	if tax.FirstStep == nil || tax.FirstStep.Operation != "prepareCheck" {
+		t.Errorf("tax first step = %+v", tax.FirstStep)
+	}
+	if len(tax.MMEP) != 2 {
+		t.Fatalf("tax MMEP count = %d", len(tax.MMEP))
+	}
+	privs := tax.MMEP[1].AllPrivileges()
+	if len(privs) != 3 {
+		t.Fatalf("tax MMEP[1] privileges = %v", privs)
+	}
+	// The repeated privilege (approve/disapprove twice) must survive as a
+	// multiset — it is what caps T2 at one execution per manager.
+	if privs[0] != privs[1] {
+		t.Errorf("repeated privilege collapsed: %v vs %v", privs[0], privs[1])
+	}
+	if privs[2].Operation != "combineResults" {
+		t.Errorf("third privilege = %+v", privs[2])
+	}
+
+	ctx, err := tax.Context()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.String() != "TaxOffice=!, taxRefundProcess=!" {
+		t.Errorf("tax context = %q", ctx)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	set, err := ParseMSoDPolicySet([]byte(paperPolicyXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := set.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	set2, err := ParseMSoDPolicySet(out)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, out)
+	}
+	if len(set2.Policies) != len(set.Policies) {
+		t.Fatalf("round trip lost policies: %d -> %d", len(set.Policies), len(set2.Policies))
+	}
+	if len(set2.Policies[1].MMEP[1].AllPrivileges()) != 3 {
+		t.Error("round trip lost MMEP privileges")
+	}
+	if set2.Policies[0].LastStep == nil {
+		t.Error("round trip lost LastStep")
+	}
+}
+
+func TestMSoDValidationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		xml  string
+	}{
+		{"empty set", `<MSoDPolicySet></MSoDPolicySet>`},
+		{"no constraints", `<MSoDPolicySet><MSoDPolicy BusinessContext="A=!"/></MSoDPolicySet>`},
+		{"bad context", `<MSoDPolicySet><MSoDPolicy BusinessContext="A=">
+			<MMER ForbiddenCardinality="2"><Role type="t" value="a"/><Role type="t" value="b"/></MMER>
+			</MSoDPolicy></MSoDPolicySet>`},
+		{"one role", `<MSoDPolicySet><MSoDPolicy BusinessContext="A=!">
+			<MMER ForbiddenCardinality="2"><Role type="t" value="a"/></MMER>
+			</MSoDPolicy></MSoDPolicySet>`},
+		{"cardinality 1", `<MSoDPolicySet><MSoDPolicy BusinessContext="A=!">
+			<MMER ForbiddenCardinality="1"><Role type="t" value="a"/><Role type="t" value="b"/></MMER>
+			</MSoDPolicy></MSoDPolicySet>`},
+		{"cardinality too big", `<MSoDPolicySet><MSoDPolicy BusinessContext="A=!">
+			<MMER ForbiddenCardinality="3"><Role type="t" value="a"/><Role type="t" value="b"/></MMER>
+			</MSoDPolicy></MSoDPolicySet>`},
+		{"duplicate role", `<MSoDPolicySet><MSoDPolicy BusinessContext="A=!">
+			<MMER ForbiddenCardinality="2"><Role type="t" value="a"/><Role type="t" value="a"/></MMER>
+			</MSoDPolicy></MSoDPolicySet>`},
+		{"one privilege", `<MSoDPolicySet><MSoDPolicy BusinessContext="A=!">
+			<MMEP ForbiddenCardinality="2"><Privilege operation="op" target="t"/></MMEP>
+			</MSoDPolicy></MSoDPolicySet>`},
+		{"empty privilege target", `<MSoDPolicySet><MSoDPolicy BusinessContext="A=!">
+			<MMEP ForbiddenCardinality="2"><Privilege operation="op" target=""/>
+			<Privilege operation="op2" target="t"/></MMEP>
+			</MSoDPolicy></MSoDPolicySet>`},
+		{"empty first step", `<MSoDPolicySet><MSoDPolicy BusinessContext="A=!">
+			<FirstStep operation="" targetURI="t"/>
+			<MMER ForbiddenCardinality="2"><Role type="t" value="a"/><Role type="t" value="b"/></MMER>
+			</MSoDPolicy></MSoDPolicySet>`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseMSoDPolicySet([]byte(c.xml))
+			if !errors.Is(err, ErrInvalid) {
+				t.Errorf("expected ErrInvalid, got %v", err)
+			}
+		})
+	}
+}
+
+func TestParseMalformedXML(t *testing.T) {
+	if _, err := ParseMSoDPolicySet([]byte("<MSoDPolicySet><oops")); err == nil {
+		t.Error("malformed XML accepted")
+	}
+	if err, want := errString(t), "parse MSoDPolicySet"; !strings.Contains(err, want) {
+		t.Errorf("error %q does not mention %q", err, want)
+	}
+}
+
+func errString(t *testing.T) string {
+	t.Helper()
+	_, err := ParseMSoDPolicySet([]byte("<MSoDPolicySet><oops"))
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// The duplicate-privilege multiset is valid and must not be rejected —
+// it is the paper's mechanism for capping execution counts.
+func TestRepeatedPrivilegeIsValid(t *testing.T) {
+	xmlDoc := `<MSoDPolicySet><MSoDPolicy BusinessContext="P=!">
+		<MMEP ForbiddenCardinality="2">
+			<Privilege operation="approve" target="t"/>
+			<Privilege operation="approve" target="t"/>
+		</MMEP></MSoDPolicy></MSoDPolicySet>`
+	if _, err := ParseMSoDPolicySet([]byte(xmlDoc)); err != nil {
+		t.Errorf("repeated privilege rejected: %v", err)
+	}
+}
+
+// Mixed <Privilege> and <Operation> spellings merge.
+func TestMixedPrivilegeSpellings(t *testing.T) {
+	xmlDoc := `<MSoDPolicySet><MSoDPolicy BusinessContext="P=!">
+		<MMEP ForbiddenCardinality="2">
+			<Privilege operation="a" target="t"/>
+			<Operation value="b" target="t"/>
+		</MMEP></MSoDPolicy></MSoDPolicySet>`
+	set, err := ParseMSoDPolicySet([]byte(xmlDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	privs := set.Policies[0].MMEP[0].AllPrivileges()
+	if len(privs) != 2 || privs[0].Operation != "a" || privs[1].Operation != "b" {
+		t.Errorf("merged privileges = %v", privs)
+	}
+}

@@ -1,0 +1,202 @@
+package policy
+
+import (
+	"encoding/xml"
+	"fmt"
+
+	"msod/internal/rbac"
+)
+
+// RBACPolicy is the PERMIS-style policy envelope: the full authorisation
+// policy a PDP reads at initialisation (§4.2 "it must read in the RBAC
+// policy including the MSoD component").
+type RBACPolicy struct {
+	XMLName xml.Name `xml:"RBACPolicy"`
+	// ID labels the policy for diagnostics and audit records.
+	ID string `xml:"id,attr"`
+	// Roles declares the role vocabulary.
+	Roles []RoleDecl `xml:"RoleList>Role"`
+	// Hierarchy declares inheritance edges (senior inherits junior).
+	Hierarchy []InheritsDecl `xml:"RoleHierarchy>Inherits"`
+	// Assignments declares which source of authority (credential issuer)
+	// is trusted to assign which roles — the PERMIS role assignment
+	// policy consumed by the credential validation service.
+	Assignments []AssignmentDecl `xml:"RoleAssignmentPolicy>Assignment"`
+	// Grants declares the target access policy: role -> permitted
+	// operation on target.
+	Grants []GrantDecl `xml:"TargetAccessPolicy>Grant"`
+	// SSD and DSD declare the ANSI separation sets for the baseline
+	// model.
+	SSD []SoDDecl `xml:"SSDPolicy>SSD"`
+	DSD []SoDDecl `xml:"DSDPolicy>DSD"`
+	// MSoD embeds the Appendix A policy set.
+	MSoD *MSoDPolicySet `xml:"MSoDPolicySet"`
+}
+
+// RoleDecl declares one role.
+type RoleDecl struct {
+	Value string `xml:"value,attr"`
+}
+
+// InheritsDecl declares one role-hierarchy edge.
+type InheritsDecl struct {
+	Senior string `xml:"senior,attr"`
+	Junior string `xml:"junior,attr"`
+}
+
+// AssignmentDecl states that the given source of authority may assign
+// the given role.
+type AssignmentDecl struct {
+	SOA  string `xml:"soa,attr"`
+	Role string `xml:"role,attr"`
+}
+
+// GrantDecl permits a role to perform an operation on a target.
+type GrantDecl struct {
+	Role      string `xml:"role,attr"`
+	Operation string `xml:"operation,attr"`
+	Target    string `xml:"target,attr"`
+}
+
+// SoDDecl is an ANSI m-out-of-n separation set.
+type SoDDecl struct {
+	Name        string    `xml:"name,attr"`
+	Cardinality int       `xml:"cardinality,attr"`
+	Roles       []RoleRef `xml:"Role"`
+}
+
+// ParseRBACPolicy parses and validates an RBACPolicy document.
+func ParseRBACPolicy(data []byte) (*RBACPolicy, error) {
+	var p RBACPolicy
+	if err := xml.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("policy: parse RBACPolicy: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// Marshal serialises the policy as indented XML.
+func (p *RBACPolicy) Marshal() ([]byte, error) {
+	out, err := xml.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("policy: marshal RBACPolicy: %w", err)
+	}
+	return append(out, '\n'), nil
+}
+
+// Validate checks referential integrity: hierarchy edges, assignments,
+// grants and SoD sets must reference declared roles, and the embedded
+// MSoD set (if any) must itself validate.
+func (p *RBACPolicy) Validate() error {
+	roles := make(map[string]bool, len(p.Roles))
+	for _, r := range p.Roles {
+		if r.Value == "" {
+			return fmt.Errorf("%w: role with empty value", ErrInvalid)
+		}
+		if roles[r.Value] {
+			return fmt.Errorf("%w: role %q declared twice", ErrInvalid, r.Value)
+		}
+		roles[r.Value] = true
+	}
+	for _, h := range p.Hierarchy {
+		if !roles[h.Senior] || !roles[h.Junior] {
+			return fmt.Errorf("%w: hierarchy edge %q->%q references undeclared role", ErrInvalid, h.Senior, h.Junior)
+		}
+	}
+	for _, a := range p.Assignments {
+		if a.SOA == "" {
+			return fmt.Errorf("%w: assignment with empty SOA", ErrInvalid)
+		}
+		if !roles[a.Role] {
+			return fmt.Errorf("%w: assignment references undeclared role %q", ErrInvalid, a.Role)
+		}
+	}
+	for _, g := range p.Grants {
+		if !roles[g.Role] {
+			return fmt.Errorf("%w: grant references undeclared role %q", ErrInvalid, g.Role)
+		}
+		if g.Operation == "" || g.Target == "" {
+			return fmt.Errorf("%w: grant for role %q has empty operation or target", ErrInvalid, g.Role)
+		}
+	}
+	for _, kind := range []struct {
+		name string
+		sets []SoDDecl
+	}{{"SSD", p.SSD}, {"DSD", p.DSD}} {
+		for _, s := range kind.sets {
+			if len(s.Roles) < 2 || s.Cardinality < 2 || s.Cardinality > len(s.Roles) {
+				return fmt.Errorf("%w: %s set %q has invalid shape", ErrInvalid, kind.name, s.Name)
+			}
+			for _, r := range s.Roles {
+				if !roles[r.Value] {
+					return fmt.Errorf("%w: %s set %q references undeclared role %q", ErrInvalid, kind.name, s.Name, r.Value)
+				}
+			}
+		}
+	}
+	if p.MSoD != nil {
+		if err := p.MSoD.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BuildModel constructs an rbac.Model from the policy's role, hierarchy,
+// grant and SSD/DSD declarations. User assignments are not part of the
+// policy (they arrive as credentials); callers add users afterwards.
+func (p *RBACPolicy) BuildModel() (*rbac.Model, error) {
+	m := rbac.NewModel()
+	for _, r := range p.Roles {
+		if err := m.AddRole(rbac.RoleName(r.Value)); err != nil {
+			return nil, err
+		}
+	}
+	for _, h := range p.Hierarchy {
+		if err := m.AddInheritance(rbac.RoleName(h.Senior), rbac.RoleName(h.Junior)); err != nil {
+			return nil, err
+		}
+	}
+	for _, g := range p.Grants {
+		perm := rbac.Permission{Operation: rbac.Operation(g.Operation), Object: rbac.Object(g.Target)}
+		if err := m.GrantPermission(rbac.RoleName(g.Role), perm); err != nil {
+			return nil, err
+		}
+	}
+	for _, s := range p.SSD {
+		if err := m.AddSSD(toSoDSet(s)); err != nil {
+			return nil, err
+		}
+	}
+	for _, s := range p.DSD {
+		if err := m.AddDSD(toSoDSet(s)); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// TrustedRoles returns the role-assignment trust map: SOA -> set of
+// roles it may assign.
+func (p *RBACPolicy) TrustedRoles() map[string]map[rbac.RoleName]bool {
+	out := make(map[string]map[rbac.RoleName]bool)
+	for _, a := range p.Assignments {
+		set := out[a.SOA]
+		if set == nil {
+			set = make(map[rbac.RoleName]bool)
+			out[a.SOA] = set
+		}
+		set[rbac.RoleName(a.Role)] = true
+	}
+	return out
+}
+
+func toSoDSet(s SoDDecl) rbac.SoDSet {
+	set := rbac.SoDSet{Name: s.Name, Cardinality: s.Cardinality}
+	for _, r := range s.Roles {
+		set.Roles = append(set.Roles, rbac.RoleName(r.Value))
+	}
+	return set
+}

@@ -1,0 +1,164 @@
+package policy
+
+import (
+	"errors"
+	"testing"
+
+	"msod/internal/rbac"
+)
+
+const bankRBACXML = `
+<RBACPolicy id="bank-policy-1">
+  <RoleList>
+    <Role value="Employee"/>
+    <Role value="Teller"/>
+    <Role value="Auditor"/>
+  </RoleList>
+  <RoleHierarchy>
+    <Inherits senior="Teller" junior="Employee"/>
+    <Inherits senior="Auditor" junior="Employee"/>
+  </RoleHierarchy>
+  <RoleAssignmentPolicy>
+    <Assignment soa="hr.bank.example" role="Teller"/>
+    <Assignment soa="hr.bank.example" role="Auditor"/>
+    <Assignment soa="hr.bank.example" role="Employee"/>
+  </RoleAssignmentPolicy>
+  <TargetAccessPolicy>
+    <Grant role="Employee" operation="Enter" target="http://bank.example/building"/>
+    <Grant role="Teller" operation="HandleCash" target="http://bank.example/till"/>
+    <Grant role="Auditor" operation="Audit" target="http://bank.example/ledger"/>
+    <Grant role="Auditor" operation="CommitAudit" target="http://audit.location.com/audit"/>
+  </TargetAccessPolicy>
+  <MSoDPolicySet>
+    <MSoDPolicy BusinessContext="Branch=*, Period=!">
+      <LastStep operation="CommitAudit" targetURI="http://audit.location.com/audit"/>
+      <MMER ForbiddenCardinality="2">
+        <Role type="employee" value="Teller"/>
+        <Role type="employee" value="Auditor"/>
+      </MMER>
+    </MSoDPolicy>
+  </MSoDPolicySet>
+</RBACPolicy>`
+
+func TestParseRBACPolicy(t *testing.T) {
+	p, err := ParseRBACPolicy([]byte(bankRBACXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ID != "bank-policy-1" {
+		t.Errorf("ID = %q", p.ID)
+	}
+	if len(p.Roles) != 3 || len(p.Hierarchy) != 2 || len(p.Grants) != 4 {
+		t.Errorf("roles=%d hierarchy=%d grants=%d", len(p.Roles), len(p.Hierarchy), len(p.Grants))
+	}
+	if p.MSoD == nil || len(p.MSoD.Policies) != 1 {
+		t.Fatal("embedded MSoD set missing")
+	}
+	trust := p.TrustedRoles()
+	if !trust["hr.bank.example"]["Teller"] {
+		t.Error("trust map missing hr.bank.example -> Teller")
+	}
+	if trust["rogue.example"] != nil {
+		t.Error("unexpected trust entry")
+	}
+}
+
+func TestBuildModel(t *testing.T) {
+	p, err := ParseRBACPolicy([]byte(bankRBACXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := p.BuildModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.RolesPermit([]rbac.RoleName{"Teller"}, rbac.Permission{Operation: "HandleCash", Object: "http://bank.example/till"}) {
+		t.Error("Teller grant missing")
+	}
+	// Hierarchy: Teller inherits Employee's Enter permission.
+	if !m.RolesPermit([]rbac.RoleName{"Teller"}, rbac.Permission{Operation: "Enter", Object: "http://bank.example/building"}) {
+		t.Error("inherited grant missing")
+	}
+	if m.RolesPermit([]rbac.RoleName{"Employee"}, rbac.Permission{Operation: "Audit", Object: "http://bank.example/ledger"}) {
+		t.Error("Employee must not get Auditor grants")
+	}
+}
+
+func TestBuildModelWithSoD(t *testing.T) {
+	xmlDoc := `<RBACPolicy id="p">
+	  <RoleList><Role value="A"/><Role value="B"/></RoleList>
+	  <SSDPolicy><SSD name="s" cardinality="2"><Role value="A"/><Role value="B"/></SSD></SSDPolicy>
+	  <DSDPolicy><DSD name="d" cardinality="2"><Role value="A"/><Role value="B"/></DSD></DSDPolicy>
+	</RBACPolicy>`
+	p, err := ParseRBACPolicy([]byte(xmlDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := p.BuildModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.SSDSets()) != 1 || len(m.DSDSets()) != 1 {
+		t.Errorf("SSD=%d DSD=%d", len(m.SSDSets()), len(m.DSDSets()))
+	}
+	if err := m.AddUser("u"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AssignRole("u", "A"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AssignRole("u", "B"); !errors.Is(err, rbac.ErrSSDViolation) {
+		t.Errorf("SSD from policy not enforced: %v", err)
+	}
+}
+
+func TestRBACValidationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		xml  string
+	}{
+		{"empty role", `<RBACPolicy><RoleList><Role value=""/></RoleList></RBACPolicy>`},
+		{"duplicate role", `<RBACPolicy><RoleList><Role value="A"/><Role value="A"/></RoleList></RBACPolicy>`},
+		{"undeclared hierarchy role", `<RBACPolicy><RoleList><Role value="A"/></RoleList>
+			<RoleHierarchy><Inherits senior="A" junior="B"/></RoleHierarchy></RBACPolicy>`},
+		{"undeclared grant role", `<RBACPolicy><RoleList><Role value="A"/></RoleList>
+			<TargetAccessPolicy><Grant role="B" operation="o" target="t"/></TargetAccessPolicy></RBACPolicy>`},
+		{"empty grant op", `<RBACPolicy><RoleList><Role value="A"/></RoleList>
+			<TargetAccessPolicy><Grant role="A" operation="" target="t"/></TargetAccessPolicy></RBACPolicy>`},
+		{"empty soa", `<RBACPolicy><RoleList><Role value="A"/></RoleList>
+			<RoleAssignmentPolicy><Assignment soa="" role="A"/></RoleAssignmentPolicy></RBACPolicy>`},
+		{"undeclared assignment role", `<RBACPolicy><RoleList><Role value="A"/></RoleList>
+			<RoleAssignmentPolicy><Assignment soa="s" role="B"/></RoleAssignmentPolicy></RBACPolicy>`},
+		{"bad ssd shape", `<RBACPolicy><RoleList><Role value="A"/><Role value="B"/></RoleList>
+			<SSDPolicy><SSD name="s" cardinality="1"><Role value="A"/><Role value="B"/></SSD></SSDPolicy></RBACPolicy>`},
+		{"ssd undeclared role", `<RBACPolicy><RoleList><Role value="A"/><Role value="B"/></RoleList>
+			<SSDPolicy><SSD name="s" cardinality="2"><Role value="A"/><Role value="C"/></SSD></SSDPolicy></RBACPolicy>`},
+		{"invalid embedded msod", `<RBACPolicy><RoleList><Role value="A"/></RoleList>
+			<MSoDPolicySet><MSoDPolicy BusinessContext="X=!"/></MSoDPolicySet></RBACPolicy>`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ParseRBACPolicy([]byte(c.xml)); !errors.Is(err, ErrInvalid) {
+				t.Errorf("expected ErrInvalid, got %v", err)
+			}
+		})
+	}
+}
+
+func TestRBACMarshalRoundTrip(t *testing.T) {
+	p, err := ParseRBACPolicy([]byte(bankRBACXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ParseRBACPolicy(out)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, out)
+	}
+	if len(p2.Roles) != len(p.Roles) || len(p2.Grants) != len(p.Grants) || p2.MSoD == nil {
+		t.Error("round trip lost content")
+	}
+}

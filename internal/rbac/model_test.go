@@ -1,0 +1,190 @@
+package rbac
+
+import (
+	"errors"
+	"testing"
+)
+
+func mustAdd(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bankModel builds the Example 1 universe: teller/auditor roles over a
+// cash-processing object set.
+func bankModel(t *testing.T) *Model {
+	t.Helper()
+	m := NewModel()
+	mustAdd(t, m.AddRole("Teller"))
+	mustAdd(t, m.AddRole("Auditor"))
+	mustAdd(t, m.AddUser("alice"))
+	mustAdd(t, m.AddUser("bob"))
+	mustAdd(t, m.GrantPermission("Teller", Permission{"HandleCash", "till"}))
+	mustAdd(t, m.GrantPermission("Auditor", Permission{"Audit", "ledger"}))
+	return m
+}
+
+func TestAddDuplicates(t *testing.T) {
+	m := bankModel(t)
+	if err := m.AddRole("Teller"); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate role: %v", err)
+	}
+	if err := m.AddUser("alice"); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate user: %v", err)
+	}
+	mustAdd(t, m.AssignRole("alice", "Teller"))
+	if err := m.AssignRole("alice", "Teller"); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate assignment: %v", err)
+	}
+	if err := m.GrantPermission("Teller", Permission{"HandleCash", "till"}); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate permission: %v", err)
+	}
+}
+
+func TestUnknownEntities(t *testing.T) {
+	m := NewModel()
+	if err := m.AssignRole("ghost", "Teller"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("assign to unknown user: %v", err)
+	}
+	mustAdd(t, m.AddUser("u"))
+	if err := m.AssignRole("u", "ghostrole"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("assign unknown role: %v", err)
+	}
+	if err := m.GrantPermission("ghostrole", Permission{"op", "obj"}); !errors.Is(err, ErrNotFound) {
+		t.Errorf("grant to unknown role: %v", err)
+	}
+	if err := m.DeassignRole("u", "ghostrole"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("deassign missing: %v", err)
+	}
+	if err := m.RevokePermission("ghostrole", Permission{"op", "obj"}); !errors.Is(err, ErrNotFound) {
+		t.Errorf("revoke missing: %v", err)
+	}
+}
+
+func TestSSDBlocksConflictingAssignment(t *testing.T) {
+	m := bankModel(t)
+	mustAdd(t, m.AddSSD(SoDSet{Name: "teller-auditor", Roles: []RoleName{"Teller", "Auditor"}, Cardinality: 2}))
+	mustAdd(t, m.AssignRole("alice", "Teller"))
+	if err := m.AssignRole("alice", "Auditor"); !errors.Is(err, ErrSSDViolation) {
+		t.Fatalf("expected SSD violation, got %v", err)
+	}
+	// Failed assignment must not stick.
+	if got := m.AssignedRoles("alice"); len(got) != 1 || got[0] != "Teller" {
+		t.Errorf("AssignedRoles after failed assign = %v", got)
+	}
+	// The other user can still take Auditor.
+	mustAdd(t, m.AssignRole("bob", "Auditor"))
+}
+
+func TestSSDSequencedReassignmentIsInvisible(t *testing.T) {
+	// The paper's Example 1 failure mode: the user drops Teller, later
+	// gains Auditor — standard SSD sees no violation even though the same
+	// person handled cash earlier in the audit period.
+	m := bankModel(t)
+	mustAdd(t, m.AddSSD(SoDSet{Name: "teller-auditor", Roles: []RoleName{"Teller", "Auditor"}, Cardinality: 2}))
+	mustAdd(t, m.AssignRole("alice", "Teller"))
+	mustAdd(t, m.DeassignRole("alice", "Teller"))
+	if err := m.AssignRole("alice", "Auditor"); err != nil {
+		t.Fatalf("SSD unexpectedly blocked sequential reassignment: %v", err)
+	}
+}
+
+func TestAddSSDRejectsExistingViolation(t *testing.T) {
+	m := bankModel(t)
+	mustAdd(t, m.AssignRole("alice", "Teller"))
+	mustAdd(t, m.AssignRole("alice", "Auditor"))
+	err := m.AddSSD(SoDSet{Name: "late", Roles: []RoleName{"Teller", "Auditor"}, Cardinality: 2})
+	if !errors.Is(err, ErrSSDViolation) {
+		t.Fatalf("expected ErrSSDViolation, got %v", err)
+	}
+}
+
+func TestSoDSetValidation(t *testing.T) {
+	cases := []SoDSet{
+		{Name: "one-role", Roles: []RoleName{"A"}, Cardinality: 2},
+		{Name: "card-1", Roles: []RoleName{"A", "B"}, Cardinality: 1},
+		{Name: "card-big", Roles: []RoleName{"A", "B"}, Cardinality: 3},
+	}
+	for _, s := range cases {
+		if err := s.Validate(); !errors.Is(err, ErrBadCardinality) {
+			t.Errorf("%s: expected ErrBadCardinality, got %v", s.Name, err)
+		}
+	}
+	dup := SoDSet{Name: "dup", Roles: []RoleName{"A", "A"}, Cardinality: 2}
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate role in set accepted")
+	}
+	ok := SoDSet{Name: "ok", Roles: []RoleName{"A", "B", "C"}, Cardinality: 2}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid set rejected: %v", err)
+	}
+}
+
+func TestHierarchyInheritance(t *testing.T) {
+	m := NewModel()
+	for _, r := range []RoleName{"Employee", "Manager", "Director"} {
+		mustAdd(t, m.AddRole(r))
+	}
+	mustAdd(t, m.AddInheritance("Manager", "Employee"))
+	mustAdd(t, m.AddInheritance("Director", "Manager"))
+	mustAdd(t, m.GrantPermission("Employee", Permission{"Enter", "building"}))
+	mustAdd(t, m.GrantPermission("Manager", Permission{"Approve", "expense"}))
+
+	mustAdd(t, m.AddUser("dana"))
+	mustAdd(t, m.AssignRole("dana", "Director"))
+
+	auth := m.AuthorizedRoles("dana")
+	if len(auth) != 3 {
+		t.Fatalf("AuthorizedRoles = %v, want 3 roles", auth)
+	}
+	if !m.RolesPermit([]RoleName{"Director"}, Permission{"Enter", "building"}) {
+		t.Error("Director should inherit Employee's permission transitively")
+	}
+	if !m.RolesPermit([]RoleName{"Director"}, Permission{"Approve", "expense"}) {
+		t.Error("Director should inherit Manager's permission")
+	}
+	if m.RolesPermit([]RoleName{"Employee"}, Permission{"Approve", "expense"}) {
+		t.Error("inheritance must not flow downwards")
+	}
+	perms := m.RolePermissions("Director")
+	if len(perms) != 2 {
+		t.Errorf("RolePermissions(Director) = %v", perms)
+	}
+}
+
+func TestHierarchyCycleRejected(t *testing.T) {
+	m := NewModel()
+	for _, r := range []RoleName{"A", "B", "C"} {
+		mustAdd(t, m.AddRole(r))
+	}
+	mustAdd(t, m.AddInheritance("A", "B"))
+	mustAdd(t, m.AddInheritance("B", "C"))
+	if err := m.AddInheritance("C", "A"); !errors.Is(err, ErrCycle) {
+		t.Errorf("cycle edge: %v", err)
+	}
+	if err := m.AddInheritance("A", "A"); !errors.Is(err, ErrCycle) {
+		t.Errorf("self edge: %v", err)
+	}
+	if err := m.AddInheritance("A", "ghost"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown junior: %v", err)
+	}
+}
+
+func TestSSDWithHierarchy(t *testing.T) {
+	// ANSI hierarchical SSD: authorized (inherited) roles count, so
+	// assigning a senior role that inherits a conflicting junior is
+	// refused.
+	m := NewModel()
+	for _, r := range []RoleName{"Teller", "Auditor", "HeadCashier"} {
+		mustAdd(t, m.AddRole(r))
+	}
+	mustAdd(t, m.AddInheritance("HeadCashier", "Teller"))
+	mustAdd(t, m.AddSSD(SoDSet{Name: "ta", Roles: []RoleName{"Teller", "Auditor"}, Cardinality: 2}))
+	mustAdd(t, m.AddUser("u"))
+	mustAdd(t, m.AssignRole("u", "Auditor"))
+	if err := m.AssignRole("u", "HeadCashier"); !errors.Is(err, ErrSSDViolation) {
+		t.Fatalf("expected hierarchical SSD violation, got %v", err)
+	}
+}

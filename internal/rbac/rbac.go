@@ -1,0 +1,105 @@
+// Package rbac implements the ANSI INCITS 359-2004 Role Based Access
+// Control reference model (Figure 1 of the MSoD paper): core RBAC,
+// hierarchical RBAC, and the static (SSD) and dynamic (DSD) separation of
+// duty relations.
+//
+// It is the substrate the MSoD engine extends: the paper's point is that
+// SSD and DSD, as defined here, cannot express multi-session constraints,
+// and the experiments in this repository (E3 in particular) exercise this
+// package as the baseline.
+package rbac
+
+import (
+	"errors"
+	"fmt"
+)
+
+// UserID identifies a user. MSoD requires this to be stable across
+// sessions (§6, limitation 1).
+type UserID string
+
+// RoleName identifies a role, e.g. "Teller".
+type RoleName string
+
+// Operation is an action name, e.g. "prepareCheck".
+type Operation string
+
+// Object identifies a protected resource, typically by URI in the
+// paper's policies, e.g. "http://www.myTaxOffice.com/Check".
+type Object string
+
+// Permission is the right to perform an Operation on an Object; ANSI
+// RBAC calls this a permission, PERMIS calls it a privilege.
+type Permission struct {
+	Operation Operation
+	Object    Object
+}
+
+// String renders the permission as "operation@object".
+func (p Permission) String() string {
+	return string(p.Operation) + "@" + string(p.Object)
+}
+
+// Sentinel errors returned by the model.
+var (
+	// ErrExists is returned when creating an entity that already exists.
+	ErrExists = errors.New("rbac: already exists")
+	// ErrNotFound is returned when referencing an unknown entity.
+	ErrNotFound = errors.New("rbac: not found")
+	// ErrSSDViolation is returned when a role assignment would violate a
+	// static separation-of-duty constraint.
+	ErrSSDViolation = errors.New("rbac: static separation of duty violation")
+	// ErrDSDViolation is returned when a role activation would violate a
+	// dynamic separation-of-duty constraint.
+	ErrDSDViolation = errors.New("rbac: dynamic separation of duty violation")
+	// ErrNotAssigned is returned when activating a role the user is not
+	// authorized for.
+	ErrNotAssigned = errors.New("rbac: role not assigned to user")
+	// ErrCycle is returned when a role-hierarchy edge would create a cycle.
+	ErrCycle = errors.New("rbac: role hierarchy cycle")
+	// ErrBadCardinality is returned for SoD sets with cardinality outside
+	// 2..len(set) or sets with fewer than two roles.
+	ErrBadCardinality = errors.New("rbac: invalid separation of duty cardinality")
+)
+
+// SoDSet is an m-out-of-n mutually exclusive role set: a user may be
+// assigned (SSD) or may activate (DSD) at most Cardinality-1 roles from
+// Roles. This is the MER({r1..rn}, m) constraint of §2.3.
+type SoDSet struct {
+	// Name labels the constraint for diagnostics.
+	Name string
+	// Roles is the conflicting role set (n >= 2).
+	Roles []RoleName
+	// Cardinality is m: holding/activating m or more of Roles is
+	// forbidden (1 < m <= n).
+	Cardinality int
+}
+
+// Validate checks the ANSI constraints on an SoD set definition.
+func (s SoDSet) Validate() error {
+	if len(s.Roles) < 2 {
+		return fmt.Errorf("%w: set %q has %d roles, need >= 2", ErrBadCardinality, s.Name, len(s.Roles))
+	}
+	if s.Cardinality < 2 || s.Cardinality > len(s.Roles) {
+		return fmt.Errorf("%w: set %q cardinality %d outside 2..%d", ErrBadCardinality, s.Name, s.Cardinality, len(s.Roles))
+	}
+	seen := make(map[RoleName]bool, len(s.Roles))
+	for _, r := range s.Roles {
+		if seen[r] {
+			return fmt.Errorf("rbac: set %q lists role %q twice", s.Name, r)
+		}
+		seen[r] = true
+	}
+	return nil
+}
+
+// countMembers returns how many of the roles in set.Roles appear in have.
+func (s SoDSet) countMembers(have map[RoleName]bool) int {
+	n := 0
+	for _, r := range s.Roles {
+		if have[r] {
+			n++
+		}
+	}
+	return n
+}

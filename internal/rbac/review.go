@@ -1,0 +1,95 @@
+package rbac
+
+import "sort"
+
+// This file implements the ANSI RBAC review functions (the standard's
+// advanced review API): who holds a role, what a user may do, and which
+// roles carry a permission. They are read-only and primarily serve
+// administrative tooling and the experiments.
+
+// AssignedUsers returns the users directly assigned the role, sorted
+// (ANSI: AssignedUsers).
+func (m *Model) AssignedUsers(r RoleName) []UserID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []UserID
+	for u, roles := range m.ua {
+		if roles[r] {
+			out = append(out, u)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AuthorizedUsers returns the users authorized for the role directly or
+// through inheritance (ANSI: AuthorizedUsers).
+func (m *Model) AuthorizedUsers(r RoleName) []UserID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []UserID
+	for u, roles := range m.ua {
+		if m.closureLocked(roles)[r] {
+			out = append(out, u)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// UserPermissions returns every permission the user's authorized roles
+// grant, sorted (ANSI: UserPermissions).
+func (m *Model) UserPermissions(u UserID) []Permission {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	set := make(map[Permission]bool)
+	for r := range m.closureLocked(m.ua[u]) {
+		for p := range m.pa[r] {
+			set[p] = true
+		}
+	}
+	out := make([]Permission, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// PermissionRoles returns the roles that grant the permission, directly
+// or through an inherited junior, sorted (ANSI: PermissionRoles).
+func (m *Model) PermissionRoles(p Permission) []RoleName {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []RoleName
+	for r := range m.roles {
+		if m.rolesPermitLocked(map[RoleName]bool{r: true}, p) {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SessionPermissions returns the permissions available to the session's
+// active roles, sorted (ANSI: SessionPermissions).
+func (m *Model) SessionPermissions(id SessionID) ([]Permission, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	s, ok := m.sessions[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	set := make(map[Permission]bool)
+	for r := range m.closureLocked(s.active) {
+		for p := range m.pa[r] {
+			set[p] = true
+		}
+	}
+	out := make([]Permission, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out, nil
+}

@@ -1,0 +1,110 @@
+package rbac
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// reviewModel: Director > Manager > Employee; two users.
+func reviewModel(t *testing.T) *Model {
+	t.Helper()
+	m := NewModel()
+	for _, r := range []RoleName{"Employee", "Manager", "Director"} {
+		mustAdd(t, m.AddRole(r))
+	}
+	mustAdd(t, m.AddInheritance("Manager", "Employee"))
+	mustAdd(t, m.AddInheritance("Director", "Manager"))
+	mustAdd(t, m.GrantPermission("Employee", Permission{"Enter", "building"}))
+	mustAdd(t, m.GrantPermission("Manager", Permission{"Approve", "expense"}))
+	mustAdd(t, m.AddUser("ann"))
+	mustAdd(t, m.AddUser("bob"))
+	mustAdd(t, m.AssignRole("ann", "Director"))
+	mustAdd(t, m.AssignRole("bob", "Employee"))
+	return m
+}
+
+func TestAssignedAndAuthorizedUsers(t *testing.T) {
+	m := reviewModel(t)
+	if got := m.AssignedUsers("Employee"); !reflect.DeepEqual(got, []UserID{"bob"}) {
+		t.Errorf("AssignedUsers(Employee) = %v", got)
+	}
+	if got := m.AssignedUsers("Director"); !reflect.DeepEqual(got, []UserID{"ann"}) {
+		t.Errorf("AssignedUsers(Director) = %v", got)
+	}
+	// ann is authorized for Employee through the hierarchy.
+	if got := m.AuthorizedUsers("Employee"); !reflect.DeepEqual(got, []UserID{"ann", "bob"}) {
+		t.Errorf("AuthorizedUsers(Employee) = %v", got)
+	}
+	if got := m.AuthorizedUsers("Director"); !reflect.DeepEqual(got, []UserID{"ann"}) {
+		t.Errorf("AuthorizedUsers(Director) = %v", got)
+	}
+	if got := m.AssignedUsers("ghost"); len(got) != 0 {
+		t.Errorf("AssignedUsers(ghost) = %v", got)
+	}
+}
+
+func TestUserPermissions(t *testing.T) {
+	m := reviewModel(t)
+	ann := m.UserPermissions("ann")
+	if len(ann) != 2 {
+		t.Fatalf("ann permissions = %v", ann)
+	}
+	bob := m.UserPermissions("bob")
+	if len(bob) != 1 || bob[0].Operation != "Enter" {
+		t.Fatalf("bob permissions = %v", bob)
+	}
+	if got := m.UserPermissions("ghost"); len(got) != 0 {
+		t.Errorf("ghost permissions = %v", got)
+	}
+}
+
+func TestPermissionRoles(t *testing.T) {
+	m := reviewModel(t)
+	got := m.PermissionRoles(Permission{"Enter", "building"})
+	want := []RoleName{"Director", "Employee", "Manager"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("PermissionRoles(Enter) = %v, want %v", got, want)
+	}
+	got = m.PermissionRoles(Permission{"Approve", "expense"})
+	want = []RoleName{"Director", "Manager"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("PermissionRoles(Approve) = %v, want %v", got, want)
+	}
+	if got := m.PermissionRoles(Permission{"Fly", "moon"}); len(got) != 0 {
+		t.Errorf("PermissionRoles(Fly) = %v", got)
+	}
+}
+
+func TestSessionPermissions(t *testing.T) {
+	m := reviewModel(t)
+	sid, err := m.CreateSession("ann")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No active roles yet.
+	ps, err := m.SessionPermissions(sid)
+	if err != nil || len(ps) != 0 {
+		t.Fatalf("empty session permissions = %v, %v", ps, err)
+	}
+	mustAdd(t, m.AddActiveRole(sid, "Manager"))
+	ps, err = m.SessionPermissions(sid)
+	if err != nil || len(ps) != 2 {
+		t.Fatalf("manager session permissions = %v, %v", ps, err)
+	}
+	if _, err := m.SessionPermissions(999); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown session: %v", err)
+	}
+}
+
+func TestClosure(t *testing.T) {
+	m := reviewModel(t)
+	got := m.Closure([]RoleName{"Director"})
+	want := []RoleName{"Director", "Employee", "Manager"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Closure(Director) = %v, want %v", got, want)
+	}
+	if got := m.Closure(nil); len(got) != 0 {
+		t.Errorf("Closure(nil) = %v", got)
+	}
+}

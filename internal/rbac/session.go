@@ -1,0 +1,142 @@
+package rbac
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SessionID identifies a user access control session.
+type SessionID uint64
+
+// Session is an ANSI RBAC session: a mapping of one user to an activated
+// subset of that user's authorized roles. Sessions must be accessed via
+// their Model, which synchronises them.
+type Session struct {
+	id     SessionID
+	user   UserID
+	active map[RoleName]bool
+}
+
+// ID returns the session identifier.
+func (s *Session) ID() SessionID { return s.id }
+
+// User returns the session's user.
+func (s *Session) User() UserID { return s.user }
+
+// CreateSession starts a session for the user with no active roles.
+func (m *Model) CreateSession(u UserID) (SessionID, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.users[u] {
+		return 0, fmt.Errorf("%w: user %q", ErrNotFound, u)
+	}
+	m.nextSess++
+	id := SessionID(m.nextSess)
+	m.sessions[id] = &Session{id: id, user: u, active: make(map[RoleName]bool)}
+	return id, nil
+}
+
+// DeleteSession ends a session, dropping its active roles.
+func (m *Model) DeleteSession(id SessionID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.sessions[id]; !ok {
+		return fmt.Errorf("%w: session %d", ErrNotFound, id)
+	}
+	delete(m.sessions, id)
+	return nil
+}
+
+// AddActiveRole activates a role in the session. The role must be in the
+// user's authorized role set, and the activation is refused with
+// ErrDSDViolation if the session's active roles (plus their inherited
+// juniors, per the ANSI hierarchical-DSD semantics) would then contain
+// Cardinality or more roles of any DSD set.
+//
+// Note the scope: DSD is evaluated against this one session only. The
+// MSoD paper's Example 2 relies on exactly this limitation — a user who
+// activates conflicting roles in two different sessions is never caught.
+func (m *Model) AddActiveRole(id SessionID, r RoleName) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	if !ok {
+		return fmt.Errorf("%w: session %d", ErrNotFound, id)
+	}
+	authorized := m.closureLocked(m.ua[s.user])
+	if !authorized[r] {
+		return fmt.Errorf("%w: user %q role %q", ErrNotAssigned, s.user, r)
+	}
+	if s.active[r] {
+		return fmt.Errorf("%w: session %d role %q already active", ErrExists, id, r)
+	}
+	s.active[r] = true
+	activeClosure := m.closureLocked(s.active)
+	for _, set := range m.dsd {
+		if n := set.countMembers(activeClosure); n >= set.Cardinality {
+			delete(s.active, r)
+			return fmt.Errorf("%w: activating %q in session %d gives %d roles of set %q (forbidden cardinality %d)",
+				ErrDSDViolation, r, id, n, set.Name, set.Cardinality)
+		}
+	}
+	return nil
+}
+
+// DropActiveRole deactivates a role in the session.
+func (m *Model) DropActiveRole(id SessionID, r RoleName) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	if !ok {
+		return fmt.Errorf("%w: session %d", ErrNotFound, id)
+	}
+	if !s.active[r] {
+		return fmt.Errorf("%w: session %d role %q not active", ErrNotFound, id, r)
+	}
+	delete(s.active, r)
+	return nil
+}
+
+// ActiveRoles returns the session's active roles, sorted.
+func (m *Model) ActiveRoles(id SessionID) ([]RoleName, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	s, ok := m.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: session %d", ErrNotFound, id)
+	}
+	return sortedRoles(s.active), nil
+}
+
+// CheckAccess implements the ANSI CheckAccess function: it reports
+// whether the session may perform the operation on the object, i.e.
+// whether some active role (or an inherited junior) holds the
+// permission.
+func (m *Model) CheckAccess(id SessionID, op Operation, obj Object) (bool, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	s, ok := m.sessions[id]
+	if !ok {
+		return false, fmt.Errorf("%w: session %d", ErrNotFound, id)
+	}
+	return m.rolesPermitLocked(s.active, Permission{Operation: op, Object: obj}), nil
+}
+
+// SessionCount returns the number of live sessions.
+func (m *Model) SessionCount() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.sessions)
+}
+
+// Sessions returns the live session IDs, sorted.
+func (m *Model) Sessions() []SessionID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]SessionID, 0, len(m.sessions))
+	for id := range m.sessions {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,228 @@
+package rbac
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func sessionModel(t *testing.T) *Model {
+	t.Helper()
+	m := NewModel()
+	for _, r := range []RoleName{"Clerk", "Manager", "Supervisor"} {
+		mustAdd(t, m.AddRole(r))
+	}
+	mustAdd(t, m.AddUser("carol"))
+	mustAdd(t, m.AssignRole("carol", "Clerk"))
+	mustAdd(t, m.AssignRole("carol", "Manager"))
+	mustAdd(t, m.GrantPermission("Clerk", Permission{"prepareCheck", "check"}))
+	mustAdd(t, m.GrantPermission("Manager", Permission{"approveCheck", "check"}))
+	return m
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	m := sessionModel(t)
+	sid, err := m.CreateSession("carol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SessionCount() != 1 {
+		t.Errorf("SessionCount = %d", m.SessionCount())
+	}
+	mustAdd(t, m.AddActiveRole(sid, "Clerk"))
+	roles, err := m.ActiveRoles(sid)
+	if err != nil || len(roles) != 1 || roles[0] != "Clerk" {
+		t.Fatalf("ActiveRoles = %v, %v", roles, err)
+	}
+	ok, err := m.CheckAccess(sid, "prepareCheck", "check")
+	if err != nil || !ok {
+		t.Errorf("CheckAccess clerk op = %v, %v", ok, err)
+	}
+	ok, err = m.CheckAccess(sid, "approveCheck", "check")
+	if err != nil || ok {
+		t.Errorf("CheckAccess manager op without manager active = %v, %v", ok, err)
+	}
+	mustAdd(t, m.DropActiveRole(sid, "Clerk"))
+	ok, _ = m.CheckAccess(sid, "prepareCheck", "check")
+	if ok {
+		t.Error("access after role dropped")
+	}
+	mustAdd(t, m.DeleteSession(sid))
+	if _, err := m.ActiveRoles(sid); !errors.Is(err, ErrNotFound) {
+		t.Errorf("ActiveRoles after delete: %v", err)
+	}
+	if _, err := m.CheckAccess(sid, "x", "y"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("CheckAccess after delete: %v", err)
+	}
+}
+
+func TestSessionErrors(t *testing.T) {
+	m := sessionModel(t)
+	if _, err := m.CreateSession("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("CreateSession(ghost): %v", err)
+	}
+	sid, _ := m.CreateSession("carol")
+	if err := m.AddActiveRole(sid, "Supervisor"); !errors.Is(err, ErrNotAssigned) {
+		t.Errorf("activating unassigned role: %v", err)
+	}
+	mustAdd(t, m.AddActiveRole(sid, "Clerk"))
+	if err := m.AddActiveRole(sid, "Clerk"); !errors.Is(err, ErrExists) {
+		t.Errorf("re-activating role: %v", err)
+	}
+	if err := m.DropActiveRole(sid, "Manager"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("dropping inactive role: %v", err)
+	}
+	if err := m.AddActiveRole(999, "Clerk"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown session: %v", err)
+	}
+	if err := m.DeleteSession(999); !errors.Is(err, ErrNotFound) {
+		t.Errorf("delete unknown session: %v", err)
+	}
+}
+
+func TestDSDBlocksSimultaneousActivation(t *testing.T) {
+	m := sessionModel(t)
+	mustAdd(t, m.AddDSD(SoDSet{Name: "cm", Roles: []RoleName{"Clerk", "Manager"}, Cardinality: 2}))
+	sid, _ := m.CreateSession("carol")
+	mustAdd(t, m.AddActiveRole(sid, "Clerk"))
+	if err := m.AddActiveRole(sid, "Manager"); !errors.Is(err, ErrDSDViolation) {
+		t.Fatalf("expected DSD violation, got %v", err)
+	}
+	// Failed activation must not stick.
+	roles, _ := m.ActiveRoles(sid)
+	if len(roles) != 1 {
+		t.Errorf("active roles after failed activation = %v", roles)
+	}
+}
+
+func TestDSDBlindAcrossSessions(t *testing.T) {
+	// The paper's core observation (Example 2): DSD only constrains one
+	// session. The same user can activate Clerk in session 1 and Manager
+	// in session 2 without violating ANSI DSD.
+	m := sessionModel(t)
+	mustAdd(t, m.AddDSD(SoDSet{Name: "cm", Roles: []RoleName{"Clerk", "Manager"}, Cardinality: 2}))
+	s1, _ := m.CreateSession("carol")
+	s2, _ := m.CreateSession("carol")
+	mustAdd(t, m.AddActiveRole(s1, "Clerk"))
+	if err := m.AddActiveRole(s2, "Manager"); err != nil {
+		t.Fatalf("DSD unexpectedly spans sessions: %v", err)
+	}
+}
+
+func TestDSDWithHierarchy(t *testing.T) {
+	m := NewModel()
+	for _, r := range []RoleName{"Clerk", "Manager", "Lead"} {
+		mustAdd(t, m.AddRole(r))
+	}
+	mustAdd(t, m.AddInheritance("Lead", "Manager"))
+	mustAdd(t, m.AddDSD(SoDSet{Name: "cm", Roles: []RoleName{"Clerk", "Manager"}, Cardinality: 2}))
+	mustAdd(t, m.AddUser("u"))
+	mustAdd(t, m.AssignRole("u", "Clerk"))
+	mustAdd(t, m.AssignRole("u", "Lead"))
+	sid, _ := m.CreateSession("u")
+	mustAdd(t, m.AddActiveRole(sid, "Clerk"))
+	if err := m.AddActiveRole(sid, "Lead"); !errors.Is(err, ErrDSDViolation) {
+		t.Fatalf("activating a senior of a conflicting role should violate DSD: %v", err)
+	}
+}
+
+func TestConcurrentSessions(t *testing.T) {
+	m := sessionModel(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				sid, err := m.CreateSession("carol")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := m.AddActiveRole(sid, "Clerk"); err != nil {
+					t.Error(err)
+					return
+				}
+				if ok, err := m.CheckAccess(sid, "prepareCheck", "check"); err != nil || !ok {
+					t.Errorf("CheckAccess: %v %v", ok, err)
+					return
+				}
+				if err := m.DeleteSession(sid); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if m.SessionCount() != 0 {
+		t.Errorf("leaked sessions: %d", m.SessionCount())
+	}
+}
+
+// Property: under random assign/activate sequences, no user session ever
+// holds >= cardinality active roles from a DSD set, and no user is ever
+// authorized for >= cardinality roles of an SSD set.
+func TestQuickSoDInvariant(t *testing.T) {
+	roles := []RoleName{"R0", "R1", "R2", "R3", "R4"}
+	f := func(seed int64, ops []byte) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := NewModel()
+		for _, rl := range roles {
+			if err := m.AddRole(rl); err != nil {
+				return false
+			}
+		}
+		if err := m.AddUser("u"); err != nil {
+			return false
+		}
+		ssd := SoDSet{Name: "s", Roles: []RoleName{"R0", "R1", "R2"}, Cardinality: 2}
+		dsd := SoDSet{Name: "d", Roles: []RoleName{"R3", "R4"}, Cardinality: 2}
+		if err := m.AddSSD(ssd); err != nil {
+			return false
+		}
+		if err := m.AddDSD(dsd); err != nil {
+			return false
+		}
+		sid, err := m.CreateSession("u")
+		if err != nil {
+			return false
+		}
+		for _, op := range ops {
+			role := roles[r.Intn(len(roles))]
+			switch op % 3 {
+			case 0:
+				_ = m.AssignRole("u", role) // may fail; that is the point
+			case 1:
+				_ = m.DeassignRole("u", role)
+			case 2:
+				_ = m.AddActiveRole(sid, role)
+			}
+			// Invariants.
+			auth := map[RoleName]bool{}
+			for _, rl := range m.AuthorizedRoles("u") {
+				auth[rl] = true
+			}
+			if ssd.countMembers(auth) >= ssd.Cardinality {
+				return false
+			}
+			act, err := m.ActiveRoles(sid)
+			if err != nil {
+				return false
+			}
+			actSet := map[RoleName]bool{}
+			for _, rl := range act {
+				actSet[rl] = true
+			}
+			if dsd.countMembers(actSet) >= dsd.Cardinality {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,116 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"msod/internal/bctx"
+	"msod/internal/credential"
+	"msod/internal/rbac"
+)
+
+// Client is a remote PEP's view of the PDP: it submits decision and
+// management requests over HTTP and satisfies workflow.Decider, so the
+// workflow engine can run against a remote PDP unchanged.
+type Client struct {
+	base string
+	http *http.Client
+	// Credentials, when set, are attached to every decision request
+	// (the PEP presenting the user's signed attributes).
+	Credentials []credential.Credential
+}
+
+// NewClient builds a client for the PDP at base (e.g.
+// "http://127.0.0.1:8443"). A nil httpClient uses http.DefaultClient.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: base, http: httpClient}
+}
+
+// Decision submits a decision request.
+func (c *Client) Decision(req DecisionRequest) (DecisionResponse, error) {
+	var resp DecisionResponse
+	if err := c.post(DecisionPath, req, &resp); err != nil {
+		return DecisionResponse{}, err
+	}
+	return resp, nil
+}
+
+// Advice submits a side-effect-free advisory decision request.
+func (c *Client) Advice(req DecisionRequest) (DecisionResponse, error) {
+	var resp DecisionResponse
+	if err := c.post(AdvicePath, req, &resp); err != nil {
+		return DecisionResponse{}, err
+	}
+	return resp, nil
+}
+
+// Manage submits a management request.
+func (c *Client) Manage(req ManagementWireRequest) (ManagementWireResponse, error) {
+	var resp ManagementWireResponse
+	if err := c.post(ManagementPath, req, &resp); err != nil {
+		return ManagementWireResponse{}, err
+	}
+	return resp, nil
+}
+
+// Health checks liveness and returns the server's policy ID.
+func (c *Client) Health() (string, error) {
+	httpResp, err := c.http.Get(c.base + HealthPath)
+	if err != nil {
+		return "", fmt.Errorf("server: health: %w", err)
+	}
+	defer httpResp.Body.Close()
+	var body map[string]string
+	if err := json.NewDecoder(httpResp.Body).Decode(&body); err != nil {
+		return "", fmt.Errorf("server: health decode: %w", err)
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("server: health status %d", httpResp.StatusCode)
+	}
+	return body["policy"], nil
+}
+
+// Decide implements workflow.Decider against the remote PDP.
+func (c *Client) Decide(user rbac.UserID, roles []rbac.RoleName, op rbac.Operation, target rbac.Object, ctx bctx.Name) (bool, string, error) {
+	wire := DecisionRequest{
+		User:        string(user),
+		Roles:       fromRoles(roles),
+		Credentials: c.Credentials,
+		Operation:   string(op),
+		Target:      string(target),
+		Context:     ctx.String(),
+	}
+	resp, err := c.Decision(wire)
+	if err != nil {
+		return false, "", err
+	}
+	return resp.Allowed, resp.Reason, nil
+}
+
+func (c *Client) post(path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("server: marshal request: %w", err)
+	}
+	httpResp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("server: post %s: %w", path, err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		var e errorResponse
+		if err := json.NewDecoder(httpResp.Body).Decode(&e); err == nil && e.Error != "" {
+			return fmt.Errorf("server: %s: %s (status %d)", path, e.Error, httpResp.StatusCode)
+		}
+		return fmt.Errorf("server: %s: status %d", path, httpResp.StatusCode)
+	}
+	if err := json.NewDecoder(httpResp.Body).Decode(out); err != nil {
+		return fmt.Errorf("server: decode response: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+)
+
+// MetricsPath serves operational counters in the Prometheus text
+// exposition format (counters only; no external dependency).
+const MetricsPath = "/v1/metrics"
+
+// metrics holds the server's decision counters.
+type metrics struct {
+	decisions      atomic.Int64 // total decision requests answered
+	grants         atomic.Int64
+	deniedRBAC     atomic.Int64
+	deniedMSoD     atomic.Int64
+	advisories     atomic.Int64
+	managementOps  atomic.Int64
+	requestErrors  atomic.Int64 // bad requests / no subject / internal
+	recordsWritten atomic.Int64
+	recordsPurged  atomic.Int64
+}
+
+// observe updates the counters from one decision response.
+func (m *metrics) observe(resp DecisionResponse, advisory bool) {
+	if advisory {
+		m.advisories.Add(1)
+		return
+	}
+	m.decisions.Add(1)
+	switch {
+	case resp.Allowed:
+		m.grants.Add(1)
+	case resp.Phase == "msod":
+		m.deniedMSoD.Add(1)
+	default:
+		m.deniedRBAC.Add(1)
+	}
+	m.recordsWritten.Add(int64(resp.Recorded))
+	m.recordsPurged.Add(int64(resp.Purged))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	write := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	write("msod_decisions_total", "Decision requests answered (excluding advisories).", s.metrics.decisions.Load())
+	write("msod_grants_total", "Granted decisions.", s.metrics.grants.Load())
+	write("msod_denied_rbac_total", "Decisions denied by the RBAC check.", s.metrics.deniedRBAC.Load())
+	write("msod_denied_msod_total", "Decisions denied by the MSoD algorithm.", s.metrics.deniedMSoD.Load())
+	write("msod_advisories_total", "Advisory (side-effect-free) queries answered.", s.metrics.advisories.Load())
+	write("msod_management_ops_total", "Management-port operations executed.", s.metrics.managementOps.Load())
+	write("msod_request_errors_total", "Requests rejected before a decision (bad input, no subject).", s.metrics.requestErrors.Load())
+	write("msod_adi_records_written_total", "Retained-ADI records written by grants.", s.metrics.recordsWritten.Load())
+	write("msod_adi_records_purged_total", "Retained-ADI records purged by last steps.", s.metrics.recordsPurged.Load())
+	// One gauge: the live store size.
+	fmt.Fprintf(w, "# HELP msod_adi_records Live retained-ADI records.\n# TYPE msod_adi_records gauge\nmsod_adi_records %d\n",
+		s.pdp.Store().Len())
+}

@@ -1,0 +1,103 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"testing"
+)
+
+// metricValue extracts one metric's value from the exposition body.
+func metricValue(t *testing.T, body, name string) int {
+	t.Helper()
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` (\d+)$`)
+	m := re.FindStringSubmatch(body)
+	if m == nil {
+		t.Fatalf("metric %s not found in:\n%s", name, body)
+	}
+	v, err := strconv.Atoi(m[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _ := startServer(t)
+	c := NewClient(ts.URL, nil)
+
+	scrape := func() string {
+		resp, err := http.Get(ts.URL + MetricsPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	// Fresh server: everything zero.
+	body := scrape()
+	for _, name := range []string{"msod_decisions_total", "msod_grants_total",
+		"msod_denied_msod_total", "msod_adi_records"} {
+		if v := metricValue(t, body, name); v != 0 {
+			t.Errorf("%s = %d on fresh server", name, v)
+		}
+	}
+
+	// A grant, an MSoD denial, an RBAC denial, an advisory, a bad
+	// request, and a management op.
+	prepare := DecisionRequest{
+		User: "c1", Roles: []string{"Clerk"},
+		Operation: "prepareCheck", Target: "http://www.myTaxOffice.com/Check",
+		Context: "TaxOffice=Leeds, taxRefundProcess=p1",
+	}
+	if _, err := c.Decision(prepare); err != nil {
+		t.Fatal(err)
+	}
+	confirm := prepare
+	confirm.Operation, confirm.Target = "confirmCheck", "http://secret.location.com/audit"
+	if _, err := c.Decision(confirm); err != nil {
+		t.Fatal(err)
+	}
+	wrongRole := prepare
+	wrongRole.Roles = []string{"Manager"}
+	if _, err := c.Decision(wrongRole); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Advice(prepare); err != nil {
+		t.Fatal(err)
+	}
+	bad := prepare
+	bad.Context = "==="
+	if _, err := c.Decision(bad); err == nil {
+		t.Fatal("bad context accepted")
+	}
+	if _, err := c.Manage(ManagementWireRequest{
+		User: "root", Roles: []string{"RetainedADIController"}, Operation: "stats",
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	body = scrape()
+	want := map[string]int{
+		"msod_decisions_total":           3,
+		"msod_grants_total":              1,
+		"msod_denied_msod_total":         1,
+		"msod_denied_rbac_total":         1,
+		"msod_advisories_total":          1,
+		"msod_request_errors_total":      1,
+		"msod_management_ops_total":      1,
+		"msod_adi_records_written_total": 1,
+		"msod_adi_records":               1,
+	}
+	for name, v := range want {
+		if got := metricValue(t, body, name); got != v {
+			t.Errorf("%s = %d, want %d", name, got, v)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+// Package server exposes a PDP over HTTP+JSON, and a matching client,
+// realising the distributed heterogeneous deployment the paper targets:
+// PEPs anywhere in the virtual organisation submit decision requests
+// carrying signed credentials and the business context instance, and the
+// central PDP answers grant/deny while maintaining the retained ADI.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"msod/internal/bctx"
+	"msod/internal/credential"
+	"msod/internal/pdp"
+	"msod/internal/rbac"
+)
+
+// API paths.
+const (
+	// DecisionPath serves access control decisions.
+	DecisionPath = "/v1/decision"
+	// AdvicePath serves side-effect-free advisory decisions
+	// (pdp.PDP.Advise): same request/response shape as DecisionPath.
+	AdvicePath = "/v1/advice"
+	// ManagementPath serves §4.3 retained-ADI management.
+	ManagementPath = "/v1/management"
+	// HealthPath reports liveness and policy identity.
+	HealthPath = "/v1/health"
+)
+
+// DecisionRequest is the wire form of a decision request.
+type DecisionRequest struct {
+	User        string                  `json:"user,omitempty"`
+	Roles       []string                `json:"roles,omitempty"`
+	Credentials []credential.Credential `json:"credentials,omitempty"`
+	Operation   string                  `json:"operation"`
+	Target      string                  `json:"target"`
+	Context     string                  `json:"context"`
+	Environment map[string]string       `json:"environment,omitempty"`
+}
+
+// DecisionResponse is the wire form of a decision.
+type DecisionResponse struct {
+	Allowed bool     `json:"allowed"`
+	Phase   string   `json:"phase"`
+	Reason  string   `json:"reason,omitempty"`
+	User    string   `json:"user"`
+	Roles   []string `json:"roles,omitempty"`
+	// Recorded and Purged echo the retained-ADI effects of a grant.
+	Recorded int `json:"recorded,omitempty"`
+	Purged   int `json:"purged,omitempty"`
+	// MatchedPolicies is how many MSoD policies applied.
+	MatchedPolicies int `json:"matchedPolicies,omitempty"`
+}
+
+// ManagementWireRequest is the wire form of a management operation.
+type ManagementWireRequest struct {
+	User           string                  `json:"user,omitempty"`
+	Roles          []string                `json:"roles,omitempty"`
+	Credentials    []credential.Credential `json:"credentials,omitempty"`
+	Operation      string                  `json:"operation"`
+	ContextPattern string                  `json:"contextPattern,omitempty"`
+	TargetUser     string                  `json:"targetUser,omitempty"`
+	Before         *time.Time              `json:"before,omitempty"`
+}
+
+// ManagementWireResponse is the wire form of a management result.
+type ManagementWireResponse struct {
+	Removed int `json:"removed"`
+	Records int `json:"records"`
+}
+
+// errorResponse is the wire form of request failures.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Server is the HTTP front end of a PDP.
+type Server struct {
+	pdp     *pdp.PDP
+	mux     *http.ServeMux
+	metrics metrics
+}
+
+// New wraps a PDP.
+func New(p *pdp.PDP) *Server {
+	s := &Server{pdp: p, mux: http.NewServeMux()}
+	s.mux.HandleFunc(DecisionPath, s.handleDecision)
+	s.mux.HandleFunc(AdvicePath, s.handleAdvice)
+	s.mux.HandleFunc(ManagementPath, s.handleManagement)
+	s.mux.HandleFunc(HealthPath, s.handleHealth)
+	s.mux.HandleFunc(MetricsPath, s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleDecision(w http.ResponseWriter, r *http.Request) {
+	s.serveDecision(w, r, s.pdp.Decide, false)
+}
+
+func (s *Server) handleAdvice(w http.ResponseWriter, r *http.Request) {
+	s.serveDecision(w, r, s.pdp.Advise, true)
+}
+
+func (s *Server) serveDecision(w http.ResponseWriter, r *http.Request, decide func(pdp.Request) (pdp.Decision, error), advisory bool) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST required"})
+		return
+	}
+	var wire DecisionRequest
+	if err := json.NewDecoder(r.Body).Decode(&wire); err != nil {
+		s.metrics.requestErrors.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("decode: %v", err)})
+		return
+	}
+	ctx, err := bctx.Parse(wire.Context)
+	if err != nil {
+		s.metrics.requestErrors.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("context: %v", err)})
+		return
+	}
+	req := pdp.Request{
+		Credentials: wire.Credentials,
+		User:        rbac.UserID(wire.User),
+		Roles:       toRoles(wire.Roles),
+		Operation:   rbac.Operation(wire.Operation),
+		Target:      rbac.Object(wire.Target),
+		Context:     ctx,
+		Environment: wire.Environment,
+	}
+	dec, err := decide(req)
+	if err != nil {
+		s.metrics.requestErrors.Add(1)
+		status := http.StatusInternalServerError
+		if errors.Is(err, pdp.ErrNoSubject) {
+			status = http.StatusBadRequest
+		}
+		writeJSON(w, status, errorResponse{err.Error()})
+		return
+	}
+	resp := DecisionResponse{
+		Allowed: dec.Allowed,
+		Phase:   string(dec.Phase),
+		Reason:  dec.Reason,
+		User:    string(dec.User),
+		Roles:   fromRoles(dec.Roles),
+	}
+	if dec.MSoD != nil {
+		resp.Recorded = dec.MSoD.Recorded
+		resp.Purged = dec.MSoD.Purged
+		resp.MatchedPolicies = dec.MSoD.MatchedPolicies
+	}
+	s.metrics.observe(resp, advisory)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleManagement(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST required"})
+		return
+	}
+	var wire ManagementWireRequest
+	if err := json.NewDecoder(r.Body).Decode(&wire); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("decode: %v", err)})
+		return
+	}
+	req := pdp.ManagementRequest{
+		Credentials:    wire.Credentials,
+		User:           rbac.UserID(wire.User),
+		Roles:          toRoles(wire.Roles),
+		Operation:      rbac.Operation(wire.Operation),
+		ContextPattern: wire.ContextPattern,
+		TargetUser:     rbac.UserID(wire.TargetUser),
+	}
+	if wire.Before != nil {
+		req.Before = *wire.Before
+	}
+	res, err := s.pdp.Manage(req)
+	s.metrics.managementOps.Add(1)
+	if err != nil {
+		status := http.StatusForbidden
+		if errors.Is(err, pdp.ErrNoSubject) {
+			status = http.StatusBadRequest
+		}
+		writeJSON(w, status, errorResponse{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, ManagementWireResponse{Removed: res.Removed, Records: res.Records})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{
+		"status": "ok",
+		"policy": s.pdp.PolicyID(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func toRoles(in []string) []rbac.RoleName {
+	out := make([]rbac.RoleName, len(in))
+	for i, r := range in {
+		out[i] = rbac.RoleName(r)
+	}
+	return out
+}
+
+func fromRoles(in []rbac.RoleName) []string {
+	out := make([]string, len(in))
+	for i, r := range in {
+		out[i] = string(r)
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package server
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"msod/internal/adi"
+	"msod/internal/bctx"
+	"msod/internal/pdp"
+	"msod/internal/policy"
+	"msod/internal/rbac"
+)
+
+const stressPolicyXML = `
+<RBACPolicy id="stress">
+  <RoleList>
+    <Role value="Teller"/>
+    <Role value="Auditor"/>
+  </RoleList>
+  <TargetAccessPolicy>
+    <Grant role="Teller" operation="HandleCash" target="till"/>
+    <Grant role="Auditor" operation="Audit" target="ledger"/>
+  </TargetAccessPolicy>
+  <MSoDPolicySet>
+    <MSoDPolicy BusinessContext="Branch=*, Period=!">
+      <MMER ForbiddenCardinality="2">
+        <Role type="employee" value="Teller"/>
+        <Role type="employee" value="Auditor"/>
+      </MMER>
+    </MSoDPolicy>
+  </MSoDPolicySet>
+</RBACPolicy>`
+
+// TestConcurrentRemoteDecisions hammers the HTTP PDP with conflicting
+// requests from many goroutines and verifies the MSoD safety invariant
+// holds in the retained ADI afterwards: no user ever got both
+// conflicting roles granted within the period.
+func TestConcurrentRemoteDecisions(t *testing.T) {
+	pol, err := policy.ParseRBACPolicy([]byte(stressPolicyXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := adi.NewStore()
+	p, err := pdp.New(pdp.Config{Policy: pol, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(p))
+	t.Cleanup(ts.Close)
+
+	const (
+		goroutines = 12
+		perG       = 40
+		users      = 5
+	)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		grants   int
+		denials  int
+		failures []string
+	)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := NewClient(ts.URL, nil)
+			for i := 0; i < perG; i++ {
+				user := fmt.Sprintf("user%d", (g+i)%users)
+				role, op, target := "Teller", "HandleCash", "till"
+				if (g+i)%2 == 1 {
+					role, op, target = "Auditor", "Audit", "ledger"
+				}
+				resp, err := c.Decision(DecisionRequest{
+					User: user, Roles: []string{role},
+					Operation: op, Target: target,
+					Context: "Branch=York, Period=2006",
+				})
+				if err != nil {
+					mu.Lock()
+					failures = append(failures, err.Error())
+					mu.Unlock()
+					return
+				}
+				mu.Lock()
+				if resp.Allowed {
+					grants++
+				} else {
+					denials++
+				}
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if len(failures) > 0 {
+		t.Fatalf("request failures: %v", failures[0])
+	}
+	if grants == 0 || denials == 0 {
+		t.Fatalf("degenerate stress run: grants=%d denials=%d", grants, denials)
+	}
+
+	pattern := bctx.MustParse("Branch=*, Period=2006")
+	for u := 0; u < users; u++ {
+		user := rbac.UserID(fmt.Sprintf("user%d", u))
+		hasT, _ := store.UserHasRole(user, pattern, "Teller")
+		hasA, _ := store.UserHasRole(user, pattern, "Auditor")
+		if hasT && hasA {
+			t.Errorf("%s holds both conflicting roles after concurrent remote load", user)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package vo
+
+import (
+	"msod/internal/bctx"
+	"msod/internal/rbac"
+)
+
+// Standard roles and objects used by the canonical scenarios.
+const (
+	teller  = rbac.RoleName("Teller")
+	auditor = rbac.RoleName("Auditor")
+
+	handleCash = rbac.Operation("HandleCash")
+	audit      = rbac.Operation("Audit")
+
+	till   = rbac.Object("till")
+	ledger = rbac.Object("ledger")
+)
+
+func yorkCtx() bctx.Name  { return bctx.MustParse("Branch=York, Period=2006") }
+func leedsCtx() bctx.Name { return bctx.MustParse("Branch=Leeds, Period=2006") }
+
+// Scenarios returns the canonical violation scripts of experiment E3.
+// Every script, if unenforced, ends with the user having exercised both
+// Teller and Auditor within the audit-period scope "Branch=*, Period=!".
+func Scenarios() []Scenario {
+	scope := bctx.MustParse("Branch=*, Period=!")
+	conflict := [2]rbac.RoleName{teller, auditor}
+
+	return []Scenario{
+		{
+			Name:        "S1-same-authority-simultaneous",
+			Description: "one authority assigns both roles, both used in one session",
+			Conflict:    conflict,
+			Scope:       scope,
+			Events: []Event{
+				{Kind: Assign, Authority: "hr", User: "u", Role: teller},
+				{Kind: Assign, Authority: "hr", User: "u", Role: auditor},
+				{Kind: StartSession, Session: 1, User: "u"},
+				{Kind: Activate, Session: 1, Role: teller},
+				{Kind: Operate, Session: 1, Role: teller, Operation: handleCash, Target: till, Context: yorkCtx()},
+				{Kind: Activate, Session: 1, Role: auditor},
+				{Kind: Operate, Session: 1, Role: auditor, Operation: audit, Target: ledger, Context: yorkCtx()},
+				{Kind: EndSession, Session: 1},
+			},
+		},
+		{
+			Name:        "S2-cross-authority-partial-disclosure",
+			Description: "two authorities each assign one role; user discloses one role per session",
+			Conflict:    conflict,
+			Scope:       scope,
+			Events: []Event{
+				{Kind: Assign, Authority: "hr.bankA", User: "u", Role: teller},
+				{Kind: Assign, Authority: "hr.bankB", User: "u", Role: auditor},
+				{Kind: StartSession, Session: 1, User: "u"},
+				{Kind: Activate, Session: 1, Role: teller},
+				{Kind: Operate, Session: 1, Role: teller, Operation: handleCash, Target: till, Context: yorkCtx()},
+				{Kind: EndSession, Session: 1},
+				{Kind: StartSession, Session: 2, User: "u"},
+				{Kind: Activate, Session: 2, Role: auditor},
+				{Kind: Operate, Session: 2, Role: auditor, Operation: audit, Target: ledger, Context: leedsCtx()},
+				{Kind: EndSession, Session: 2},
+			},
+		},
+		{
+			Name:        "S3-single-session-simultaneous-activation",
+			Description: "cross-authority assignment but both roles activated in one session",
+			Conflict:    conflict,
+			Scope:       scope,
+			Events: []Event{
+				{Kind: Assign, Authority: "hr.bankA", User: "u", Role: teller},
+				{Kind: Assign, Authority: "hr.bankB", User: "u", Role: auditor},
+				{Kind: StartSession, Session: 1, User: "u"},
+				{Kind: Activate, Session: 1, Role: teller},
+				{Kind: Activate, Session: 1, Role: auditor},
+				{Kind: Operate, Session: 1, Role: teller, Operation: handleCash, Target: till, Context: yorkCtx()},
+				{Kind: Operate, Session: 1, Role: auditor, Operation: audit, Target: ledger, Context: yorkCtx()},
+				{Kind: EndSession, Session: 1},
+			},
+		},
+		{
+			Name:        "S4-sequential-sessions-single-authority",
+			Description: "one authority, conflicting roles activated in different sessions",
+			Conflict:    conflict,
+			Scope:       scope,
+			Events: []Event{
+				{Kind: Assign, Authority: "hr", User: "u", Role: teller},
+				{Kind: Assign, Authority: "hr", User: "u", Role: auditor},
+				{Kind: StartSession, Session: 1, User: "u"},
+				{Kind: Activate, Session: 1, Role: teller},
+				{Kind: Operate, Session: 1, Role: teller, Operation: handleCash, Target: till, Context: yorkCtx()},
+				{Kind: EndSession, Session: 1},
+				{Kind: StartSession, Session: 2, User: "u"},
+				{Kind: Activate, Session: 2, Role: auditor},
+				{Kind: Operate, Session: 2, Role: auditor, Operation: audit, Target: ledger, Context: yorkCtx()},
+				{Kind: EndSession, Session: 2},
+			},
+		},
+		{
+			Name:        "S5-role-change-over-time",
+			Description: "Example 1: teller deassigned then promoted to auditor within the audit period",
+			Conflict:    conflict,
+			Scope:       scope,
+			Events: []Event{
+				{Kind: Assign, Authority: "hr", User: "u", Role: teller},
+				{Kind: StartSession, Session: 1, User: "u"},
+				{Kind: Activate, Session: 1, Role: teller},
+				{Kind: Operate, Session: 1, Role: teller, Operation: handleCash, Target: till, Context: yorkCtx()},
+				{Kind: EndSession, Session: 1},
+				{Kind: Deassign, Authority: "hr", User: "u", Role: teller},
+				{Kind: Assign, Authority: "hr", User: "u", Role: auditor},
+				{Kind: StartSession, Session: 2, User: "u"},
+				{Kind: Activate, Session: 2, Role: auditor},
+				{Kind: Operate, Session: 2, Role: auditor, Operation: audit, Target: ledger, Context: leedsCtx()},
+				{Kind: EndSession, Session: 2},
+			},
+		},
+	}
+}
+
+// Expected returns the paper-predicted detection matrix: scenario name
+// -> mechanism -> blocked. It is asserted by tests and printed beside
+// measured results in the E3 table.
+func Expected() map[string]map[Mechanism]bool {
+	return map[string]map[Mechanism]bool{
+		"S1-same-authority-simultaneous": {
+			SSDPerAuthority: true, SSDCentral: true, DSD: true, MSoD: true,
+		},
+		"S2-cross-authority-partial-disclosure": {
+			// No single authority sees both roles; sessions never overlap.
+			SSDPerAuthority: false, SSDCentral: true, DSD: false, MSoD: true,
+		},
+		"S3-single-session-simultaneous-activation": {
+			SSDPerAuthority: false, SSDCentral: true, DSD: true, MSoD: true,
+		},
+		"S4-sequential-sessions-single-authority": {
+			// SSD catches the assignment; DSD never sees both roles at once.
+			SSDPerAuthority: true, SSDCentral: true, DSD: false, MSoD: true,
+		},
+		"S5-role-change-over-time": {
+			// The roles never coexist, so every assignment/activation-time
+			// check passes; only history catches it (Example 1).
+			SSDPerAuthority: false, SSDCentral: false, DSD: false, MSoD: true,
+		},
+	}
+}

@@ -1,0 +1,351 @@
+// Package vo simulates the multi-authority virtual-organisation
+// environment of the paper's §1/§2.1 failure analysis: several
+// independent authorities assign roles to the same users, users disclose
+// only some roles per access-control session, and business processes
+// span many sessions. Against this environment the package runs four
+// enforcement mechanisms over the same event scripts:
+//
+//   - per-authority static SoD (what a real VO can actually deploy: each
+//     authority checks only its own assignments),
+//   - centralised static SoD (the hypothetical global administrator the
+//     ANSI model assumes),
+//   - ANSI dynamic SoD (simultaneous activation within one session), and
+//   - MSoD (decision-time, history-based, via the core engine).
+//
+// Experiment E3 tabulates which mechanism blocks which violation
+// scenario; the paper's claim is that only MSoD blocks them all.
+package vo
+
+import (
+	"fmt"
+
+	"msod/internal/adi"
+	"msod/internal/bctx"
+	"msod/internal/core"
+	"msod/internal/rbac"
+)
+
+// EventKind enumerates script events.
+type EventKind int
+
+const (
+	// Assign gives the user a role from an authority.
+	Assign EventKind = iota
+	// Deassign removes a role from the authority's records.
+	Deassign
+	// StartSession opens an access control session for the user.
+	StartSession
+	// Activate activates a role in the session (the user disclosing that
+	// role for this session).
+	Activate
+	// Operate performs an operation in the session using the activated
+	// roles, within a business context instance.
+	Operate
+	// EndSession closes the session.
+	EndSession
+)
+
+// Event is one step of a violation scenario script.
+type Event struct {
+	Kind      EventKind
+	Authority string // Assign/Deassign
+	User      rbac.UserID
+	Role      rbac.RoleName // Assign/Deassign/Activate
+	Session   int           // StartSession/Activate/Operate/EndSession
+	Operation rbac.Operation
+	Target    rbac.Object
+	Context   bctx.Name // Operate
+}
+
+// Scenario is a self-contained violation script: if no enforcement
+// intervened, the user would exercise both conflicting roles within the
+// conflict scope.
+type Scenario struct {
+	// Name and Description label the scenario in the E3 table.
+	Name        string
+	Description string
+	// Conflict is the mutually exclusive role pair.
+	Conflict [2]rbac.RoleName
+	// Scope is the business context pattern within which the conflict
+	// counts (the MSoD policy context).
+	Scope bctx.Name
+	// Events is the script.
+	Events []Event
+}
+
+// Mechanism identifies an enforcement mechanism column in the table.
+type Mechanism string
+
+const (
+	// SSDPerAuthority is static SoD checked independently by each role
+	// issuing authority.
+	SSDPerAuthority Mechanism = "SSD(per-authority)"
+	// SSDCentral is static SoD with a hypothetical global view of all
+	// assignments.
+	SSDCentral Mechanism = "SSD(central)"
+	// DSD is ANSI dynamic SoD over simultaneous in-session activations.
+	DSD Mechanism = "DSD"
+	// MSoD is the paper's mechanism.
+	MSoD Mechanism = "MSoD"
+)
+
+// Mechanisms lists the table columns in display order.
+func Mechanisms() []Mechanism {
+	return []Mechanism{SSDPerAuthority, SSDCentral, DSD, MSoD}
+}
+
+// Outcome is one cell of the detection table.
+type Outcome struct {
+	// Blocked is true when the mechanism prevented the violation (the
+	// user could not exercise both conflicting roles in scope).
+	Blocked bool
+	// DeniedEvents counts script events the mechanism refused.
+	DeniedEvents int
+}
+
+// Run executes the scenario under the mechanism and reports the outcome.
+func Run(s Scenario, m Mechanism) (Outcome, error) {
+	st, err := newState(s, m)
+	if err != nil {
+		return Outcome{}, err
+	}
+	for i, ev := range s.Events {
+		if err := st.apply(ev); err != nil {
+			return Outcome{}, fmt.Errorf("vo: scenario %q event %d: %w", s.Name, i, err)
+		}
+	}
+	return Outcome{Blocked: !st.violated(), DeniedEvents: st.denied}, nil
+}
+
+// state is the interpreter state for one (scenario, mechanism) run.
+type state struct {
+	s Scenario
+	m Mechanism
+
+	// perAuthority: authority -> user -> roles (what each issuer sees).
+	perAuthority map[string]map[rbac.UserID]map[rbac.RoleName]bool
+	// global: user -> roles (the centralised view).
+	global map[rbac.UserID]map[rbac.RoleName]bool
+	// sessions: session id -> session state.
+	sessions map[int]*session
+
+	engine *core.Engine
+	denied int
+	// used: per (user, bound scope instance), the conflict roles
+	// successfully operated with. Keying by the *bound* scope respects
+	// per-instance ("!") separation: Teller in period 2006 and Auditor
+	// in period 2007 conflict only if the scope aggregates periods.
+	used map[string]map[rbac.RoleName]bool
+}
+
+type session struct {
+	user   rbac.UserID
+	active map[rbac.RoleName]bool
+}
+
+func newState(s Scenario, m Mechanism) (*state, error) {
+	st := &state{
+		s:            s,
+		m:            m,
+		perAuthority: make(map[string]map[rbac.UserID]map[rbac.RoleName]bool),
+		global:       make(map[rbac.UserID]map[rbac.RoleName]bool),
+		sessions:     make(map[int]*session),
+		used:         make(map[string]map[rbac.RoleName]bool),
+	}
+	if m == MSoD {
+		eng, err := core.NewEngine(adi.NewStore(), []core.Policy{{
+			Context: s.Scope,
+			MMER: []core.MMERRule{{
+				Roles:       []rbac.RoleName{s.Conflict[0], s.Conflict[1]},
+				Cardinality: 2,
+			}},
+		}})
+		if err != nil {
+			return nil, err
+		}
+		st.engine = eng
+	}
+	return st, nil
+}
+
+// conflictCount returns how many of the conflict pair are present.
+func (st *state) conflictCount(roles map[rbac.RoleName]bool) int {
+	n := 0
+	for _, r := range st.s.Conflict {
+		if roles[r] {
+			n++
+		}
+	}
+	return n
+}
+
+func (st *state) apply(ev Event) error {
+	switch ev.Kind {
+	case Assign:
+		return st.assign(ev)
+	case Deassign:
+		if auth := st.perAuthority[ev.Authority]; auth != nil && auth[ev.User] != nil {
+			delete(auth[ev.User], ev.Role)
+		}
+		if st.global[ev.User] != nil {
+			delete(st.global[ev.User], ev.Role)
+		}
+		return nil
+	case StartSession:
+		st.sessions[ev.Session] = &session{user: ev.User, active: make(map[rbac.RoleName]bool)}
+		return nil
+	case Activate:
+		return st.activate(ev)
+	case Operate:
+		return st.operate(ev)
+	case EndSession:
+		delete(st.sessions, ev.Session)
+		return nil
+	default:
+		return fmt.Errorf("unknown event kind %d", ev.Kind)
+	}
+}
+
+func (st *state) assign(ev Event) error {
+	auth := st.perAuthority[ev.Authority]
+	if auth == nil {
+		auth = make(map[rbac.UserID]map[rbac.RoleName]bool)
+		st.perAuthority[ev.Authority] = auth
+	}
+	if auth[ev.User] == nil {
+		auth[ev.User] = make(map[rbac.RoleName]bool)
+	}
+	if st.global[ev.User] == nil {
+		st.global[ev.User] = make(map[rbac.RoleName]bool)
+	}
+
+	// Static SoD checks at assignment time.
+	switch st.m {
+	case SSDPerAuthority:
+		tentative := copyRoles(auth[ev.User])
+		tentative[ev.Role] = true
+		if st.conflictCount(tentative) >= 2 {
+			st.denied++
+			return nil // assignment refused
+		}
+	case SSDCentral:
+		tentative := copyRoles(st.global[ev.User])
+		tentative[ev.Role] = true
+		if st.conflictCount(tentative) >= 2 {
+			st.denied++
+			return nil
+		}
+	}
+	auth[ev.User][ev.Role] = true
+	st.global[ev.User][ev.Role] = true
+	return nil
+}
+
+func (st *state) activate(ev Event) error {
+	sess := st.sessions[ev.Session]
+	if sess == nil {
+		return fmt.Errorf("activate in unknown session %d", ev.Session)
+	}
+	// The user must hold the role from some authority.
+	if !st.global[sess.user][ev.Role] {
+		st.denied++ // role was never (successfully) assigned
+		return nil
+	}
+	if st.m == DSD {
+		tentative := copyRoles(sess.active)
+		tentative[ev.Role] = true
+		if st.conflictCount(tentative) >= 2 {
+			st.denied++
+			return nil
+		}
+	}
+	sess.active[ev.Role] = true
+	return nil
+}
+
+func (st *state) operate(ev Event) error {
+	sess := st.sessions[ev.Session]
+	if sess == nil {
+		return fmt.Errorf("operate in unknown session %d", ev.Session)
+	}
+	// The operation is performed with the event's presented role (the
+	// partial disclosure the paper describes) or, when none is named,
+	// with every active role. A role that is not active in the session
+	// cannot be presented.
+	var roles []rbac.RoleName
+	if ev.Role != "" {
+		if !sess.active[ev.Role] {
+			st.denied++
+			return nil
+		}
+		roles = []rbac.RoleName{ev.Role}
+	} else {
+		for r := range sess.active {
+			roles = append(roles, r)
+		}
+	}
+	if len(roles) == 0 {
+		st.denied++
+		return nil
+	}
+	if st.m == MSoD {
+		dec, err := st.engine.Evaluate(core.Request{
+			User:      sess.user,
+			Roles:     roles,
+			Operation: ev.Operation,
+			Target:    ev.Target,
+			Context:   ev.Context,
+		})
+		if err != nil {
+			return err
+		}
+		if dec.Effect == core.Deny {
+			st.denied++
+			return nil
+		}
+	}
+	// The operation succeeded: record which conflict roles were used,
+	// keyed by (user, bound scope instance).
+	inScope, err := bctx.MatchInstance(st.s.Scope, ev.Context)
+	if err != nil {
+		return err
+	}
+	if inScope {
+		bound, err := bctx.Bind(st.s.Scope, ev.Context)
+		if err != nil {
+			return err
+		}
+		key := string(sess.user) + "|" + bound.Key()
+		for _, cr := range st.s.Conflict {
+			for _, r := range roles {
+				if r == cr {
+					if st.used[key] == nil {
+						st.used[key] = make(map[rbac.RoleName]bool)
+					}
+					st.used[key][cr] = true
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// violated reports whether any single user exercised both conflicting
+// roles within one bound scope instance — the outcome every mechanism
+// is supposed to prevent.
+func (st *state) violated() bool {
+	for _, roles := range st.used {
+		if roles[st.s.Conflict[0]] && roles[st.s.Conflict[1]] {
+			return true
+		}
+	}
+	return false
+}
+
+func copyRoles(in map[rbac.RoleName]bool) map[rbac.RoleName]bool {
+	out := make(map[rbac.RoleName]bool, len(in)+1)
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}

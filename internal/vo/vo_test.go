@@ -1,0 +1,159 @@
+package vo
+
+import (
+	"testing"
+
+	"msod/internal/bctx"
+	"msod/internal/rbac"
+)
+
+// TestDetectionMatrix is the heart of experiment E3: every canonical
+// scenario must be blocked or missed by each mechanism exactly as the
+// paper's analysis predicts, and MSoD must block all of them.
+func TestDetectionMatrix(t *testing.T) {
+	expected := Expected()
+	for _, s := range Scenarios() {
+		want, ok := expected[s.Name]
+		if !ok {
+			t.Fatalf("no expectation for scenario %q", s.Name)
+		}
+		for _, m := range Mechanisms() {
+			out, err := Run(s, m)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", s.Name, m, err)
+			}
+			if out.Blocked != want[m] {
+				t.Errorf("%s under %s: blocked=%v, want %v (denied %d events)",
+					s.Name, m, out.Blocked, want[m], out.DeniedEvents)
+			}
+		}
+		// The headline claim: MSoD blocks every violation scenario.
+		out, err := Run(s, MSoD)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Blocked {
+			t.Errorf("MSoD missed %s", s.Name)
+		}
+	}
+}
+
+// TestBlockedScenariosDenySomething: a mechanism that blocks must have
+// denied at least one event; a mechanism that misses may have denied
+// none.
+func TestBlockedScenariosDenySomething(t *testing.T) {
+	for _, s := range Scenarios() {
+		for _, m := range Mechanisms() {
+			out, err := Run(s, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Blocked && out.DeniedEvents == 0 {
+				t.Errorf("%s under %s blocked without denying anything", s.Name, m)
+			}
+		}
+	}
+}
+
+// TestInnocentScriptPassesEverywhere: a script with no conflict must be
+// "blocked" (never violated) under every mechanism with zero denials —
+// i.e. no false positives.
+func TestInnocentScriptPassesEverywhere(t *testing.T) {
+	s := Scenario{
+		Name:     "innocent",
+		Conflict: [2]rbac.RoleName{"Teller", "Auditor"},
+		Scope:    bctx.MustParse("Branch=*, Period=!"),
+		Events: []Event{
+			{Kind: Assign, Authority: "hr", User: "u", Role: "Teller"},
+			{Kind: StartSession, Session: 1, User: "u"},
+			{Kind: Activate, Session: 1, Role: "Teller"},
+			{Kind: Operate, Session: 1, Role: "Teller", Operation: "HandleCash", Target: "till",
+				Context: bctx.MustParse("Branch=York, Period=2006")},
+			{Kind: EndSession, Session: 1},
+			// A different user audits.
+			{Kind: Assign, Authority: "hr", User: "v", Role: "Auditor"},
+			{Kind: StartSession, Session: 2, User: "v"},
+			{Kind: Activate, Session: 2, Role: "Auditor"},
+			{Kind: Operate, Session: 2, Role: "Auditor", Operation: "Audit", Target: "ledger",
+				Context: bctx.MustParse("Branch=York, Period=2006")},
+			{Kind: EndSession, Session: 2},
+		},
+	}
+	for _, m := range Mechanisms() {
+		out, err := Run(s, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Blocked {
+			t.Errorf("innocent script 'violated' under %s", m)
+		}
+		if out.DeniedEvents != 0 {
+			t.Errorf("innocent script had %d denials under %s (false positives)", out.DeniedEvents, m)
+		}
+	}
+}
+
+// TestDifferentPeriodsNoConflictUnderMSoD: MSoD's "!" scope separates
+// audit periods, so telling in 2006 and auditing in 2007 is legal. The
+// static mechanisms, which cannot express temporal scope at all,
+// over-block here — another qualitative difference the E3 table shows.
+func TestDifferentPeriodsNoConflictUnderMSoD(t *testing.T) {
+	s := Scenario{
+		Name:     "cross-period",
+		Conflict: [2]rbac.RoleName{"Teller", "Auditor"},
+		Scope:    bctx.MustParse("Branch=*, Period=!"),
+		Events: []Event{
+			{Kind: Assign, Authority: "hr", User: "u", Role: "Teller"},
+			{Kind: Assign, Authority: "hr", User: "u", Role: "Auditor"},
+			{Kind: StartSession, Session: 1, User: "u"},
+			{Kind: Activate, Session: 1, Role: "Teller"},
+			{Kind: Operate, Session: 1, Role: "Teller", Operation: "HandleCash", Target: "till",
+				Context: bctx.MustParse("Branch=York, Period=2006")},
+			{Kind: EndSession, Session: 1},
+			{Kind: StartSession, Session: 2, User: "u"},
+			{Kind: Activate, Session: 2, Role: "Auditor"},
+			{Kind: Operate, Session: 2, Role: "Auditor", Operation: "Audit", Target: "ledger",
+				Context: bctx.MustParse("Branch=York, Period=2007")},
+			{Kind: EndSession, Session: 2},
+		},
+	}
+	out, err := Run(s, MSoD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.DeniedEvents != 0 {
+		t.Errorf("MSoD denied %d events across periods", out.DeniedEvents)
+	}
+	if !out.Blocked {
+		t.Error("cross-period role use counted as a violation (per-instance scope grouping broken)")
+	}
+	// The centralised SSD cannot express "per period": it denies the
+	// Auditor assignment outright.
+	out, err = Run(s, SSDCentral)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.DeniedEvents == 0 {
+		t.Error("central SSD unexpectedly period-aware")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	s := Scenario{
+		Name:     "bad",
+		Conflict: [2]rbac.RoleName{"A", "B"},
+		Scope:    bctx.MustParse("X=!"),
+		Events:   []Event{{Kind: Activate, Session: 9, Role: "A"}},
+	}
+	if _, err := Run(s, DSD); err == nil {
+		t.Error("activate in unknown session accepted")
+	}
+	s.Events = []Event{{Kind: Operate, Session: 9}}
+	if _, err := Run(s, MSoD); err == nil {
+		t.Error("operate in unknown session accepted")
+	}
+	s.Events = []Event{{Kind: EventKind(42)}}
+	if _, err := Run(s, MSoD); err == nil {
+		t.Error("unknown event kind accepted")
+	}
+}

@@ -1,0 +1,282 @@
+// Package workflow implements a minimal task/process-instance engine:
+// enough structure to drive the paper's Example 2 (the four-task tax
+// refund process) through a PDP, and to give the Bertino-style baseline
+// (internal/bertino) the workflow knowledge it requires up front.
+//
+// The MSoD engine itself needs none of this — that is the paper's point
+// ("our approach does not require knowledge of all (or any of) the
+// workflow tasks") — so this package lives beside the core, not under it.
+package workflow
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"msod/internal/bctx"
+	"msod/internal/rbac"
+)
+
+// Errors returned by the engine.
+var (
+	// ErrNotReady is returned when a task's dependencies are incomplete.
+	ErrNotReady = errors.New("workflow: task not ready")
+	// ErrComplete is returned when a task already has all its executions.
+	ErrComplete = errors.New("workflow: task already complete")
+	// ErrDenied is returned when the access decider refuses the step.
+	ErrDenied = errors.New("workflow: access denied")
+	// ErrUnknownTask is returned for task names not in the definition.
+	ErrUnknownTask = errors.New("workflow: unknown task")
+)
+
+// Task is one step of a business process.
+type Task struct {
+	// Name identifies the task within its definition, e.g. "T1".
+	Name string
+	// Operation and Target are the privilege the task exercises.
+	Operation rbac.Operation
+	Target    rbac.Object
+	// Role is the role the executor must activate.
+	Role rbac.RoleName
+	// Executions is how many times the task must run (Example 2's T2
+	// runs twice); 0 means once.
+	Executions int
+	// DependsOn lists tasks that must be fully complete first.
+	DependsOn []string
+}
+
+// executions normalises the zero value.
+func (t Task) executions() int {
+	if t.Executions <= 0 {
+		return 1
+	}
+	return t.Executions
+}
+
+// Definition is an ordered set of tasks forming a process.
+type Definition struct {
+	// Name identifies the process type, e.g. "taxRefundProcess".
+	Name  string
+	Tasks []Task
+}
+
+// Validate checks task-name uniqueness and dependency resolution (and
+// rejects dependency cycles).
+func (d *Definition) Validate() error {
+	if d.Name == "" {
+		return fmt.Errorf("workflow: definition has no name")
+	}
+	byName := make(map[string]*Task, len(d.Tasks))
+	for i := range d.Tasks {
+		t := &d.Tasks[i]
+		if t.Name == "" {
+			return fmt.Errorf("workflow: task %d has no name", i)
+		}
+		if _, dup := byName[t.Name]; dup {
+			return fmt.Errorf("workflow: duplicate task %q", t.Name)
+		}
+		byName[t.Name] = t
+	}
+	// Cycle check by DFS colouring.
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	colour := make(map[string]int, len(d.Tasks))
+	var visit func(name string) error
+	visit = func(name string) error {
+		t, ok := byName[name]
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrUnknownTask, name)
+		}
+		switch colour[name] {
+		case grey:
+			return fmt.Errorf("workflow: dependency cycle through %q", name)
+		case black:
+			return nil
+		}
+		colour[name] = grey
+		for _, dep := range t.DependsOn {
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		colour[name] = black
+		return nil
+	}
+	for _, t := range d.Tasks {
+		if err := visit(t.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Task returns the named task.
+func (d *Definition) Task(name string) (Task, error) {
+	for _, t := range d.Tasks {
+		if t.Name == name {
+			return t, nil
+		}
+	}
+	return Task{}, fmt.Errorf("%w: %q", ErrUnknownTask, name)
+}
+
+// Decider is the access control interface the engine consults before
+// executing a step; *pdp.PDP satisfies it via an adapter, as does the
+// MSoD engine directly.
+type Decider interface {
+	// Decide returns whether the user, with the role activated, may
+	// perform the operation on the target within the context instance.
+	// The string carries a denial reason.
+	Decide(user rbac.UserID, roles []rbac.RoleName, op rbac.Operation, target rbac.Object, ctx bctx.Name) (bool, string, error)
+}
+
+// Execution records one completed step.
+type Execution struct {
+	Task string
+	User rbac.UserID
+}
+
+// Instance is a live run of a process definition bound to a business
+// context instance. Instance is safe for concurrent use.
+type Instance struct {
+	def *Definition
+	ctx bctx.Name
+
+	mu   sync.Mutex
+	done map[string][]rbac.UserID // task -> executors so far
+	log  []Execution
+}
+
+// NewInstance starts an instance of the definition in the given business
+// context instance (which the PEP attaches to every request).
+func NewInstance(def *Definition, ctx bctx.Name) (*Instance, error) {
+	if err := def.Validate(); err != nil {
+		return nil, err
+	}
+	if !ctx.IsInstance() {
+		return nil, fmt.Errorf("workflow: context %q is not an instance", ctx)
+	}
+	return &Instance{def: def, ctx: ctx, done: make(map[string][]rbac.UserID)}, nil
+}
+
+// Context returns the instance's business context.
+func (in *Instance) Context() bctx.Name { return in.ctx }
+
+// Ready reports whether the task's dependencies are complete and it
+// still needs executions.
+func (in *Instance) Ready(task string) (bool, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.readyLocked(task)
+}
+
+func (in *Instance) readyLocked(task string) (bool, error) {
+	t, err := in.def.Task(task)
+	if err != nil {
+		return false, err
+	}
+	if len(in.done[task]) >= t.executions() {
+		return false, nil
+	}
+	for _, dep := range t.DependsOn {
+		dt, err := in.def.Task(dep)
+		if err != nil {
+			return false, err
+		}
+		if len(in.done[dep]) < dt.executions() {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Execute attempts one execution of the task by the user: readiness is
+// checked, then the decider is consulted, then the execution is
+// recorded. A denial leaves the instance unchanged and returns
+// ErrDenied wrapped with the decider's reason.
+func (in *Instance) Execute(task string, user rbac.UserID, d Decider) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	ready, err := in.readyLocked(task)
+	if err != nil {
+		return err
+	}
+	t, _ := in.def.Task(task)
+	if !ready {
+		if len(in.done[task]) >= t.executions() {
+			return fmt.Errorf("%w: %q", ErrComplete, task)
+		}
+		return fmt.Errorf("%w: %q", ErrNotReady, task)
+	}
+	ok, reason, err := d.Decide(user, []rbac.RoleName{t.Role}, t.Operation, t.Target, in.ctx)
+	if err != nil {
+		return fmt.Errorf("workflow: decide %q: %w", task, err)
+	}
+	if !ok {
+		return fmt.Errorf("%w: task %q user %q: %s", ErrDenied, task, user, reason)
+	}
+	in.done[task] = append(in.done[task], user)
+	in.log = append(in.log, Execution{Task: task, User: user})
+	return nil
+}
+
+// Complete reports whether every task has all its executions.
+func (in *Instance) Complete() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, t := range in.def.Tasks {
+		if len(in.done[t.Name]) < t.executions() {
+			return false
+		}
+	}
+	return true
+}
+
+// Executions returns the execution log in order.
+func (in *Instance) Executions() []Execution {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Execution(nil), in.log...)
+}
+
+// Executors returns the users who have executed the task so far.
+func (in *Instance) Executors(task string) []rbac.UserID {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]rbac.UserID(nil), in.done[task]...)
+}
+
+// ReadyTasks lists tasks currently executable, sorted by name.
+func (in *Instance) ReadyTasks() []string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var out []string
+	for _, t := range in.def.Tasks {
+		if ok, err := in.readyLocked(t.Name); err == nil && ok {
+			out = append(out, t.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TaxRefundDefinition returns the Example 2 process: T1 prepare, T2
+// approve twice, T3 combine, T4 confirm.
+func TaxRefundDefinition() *Definition {
+	return &Definition{
+		Name: "taxRefundProcess",
+		Tasks: []Task{
+			{Name: "T1", Operation: "prepareCheck", Target: "http://www.myTaxOffice.com/Check", Role: "Clerk"},
+			{Name: "T2", Operation: "approve/disapproveCheck", Target: "http://www.myTaxOffice.com/Check", Role: "Manager",
+				Executions: 2, DependsOn: []string{"T1"}},
+			{Name: "T3", Operation: "combineResults", Target: "http://secret.location.com/results", Role: "Manager",
+				DependsOn: []string{"T2"}},
+			{Name: "T4", Operation: "confirmCheck", Target: "http://secret.location.com/audit", Role: "Clerk",
+				DependsOn: []string{"T3"}},
+		},
+	}
+}

@@ -1,0 +1,157 @@
+package workflow
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"msod/internal/bctx"
+	"msod/internal/rbac"
+)
+
+// allowAll grants everything.
+type allowAll struct{}
+
+func (allowAll) Decide(rbac.UserID, []rbac.RoleName, rbac.Operation, rbac.Object, bctx.Name) (bool, string, error) {
+	return true, "", nil
+}
+
+// denyUser denies one specific user.
+type denyUser struct{ user rbac.UserID }
+
+func (d denyUser) Decide(u rbac.UserID, _ []rbac.RoleName, _ rbac.Operation, _ rbac.Object, _ bctx.Name) (bool, string, error) {
+	if u == d.user {
+		return false, "blocked by test", nil
+	}
+	return true, "", nil
+}
+
+// failingDecider returns an error.
+type failingDecider struct{}
+
+func (failingDecider) Decide(rbac.UserID, []rbac.RoleName, rbac.Operation, rbac.Object, bctx.Name) (bool, string, error) {
+	return false, "", fmt.Errorf("decider exploded")
+}
+
+func taxInstance(t *testing.T) *Instance {
+	t.Helper()
+	in, err := NewInstance(TaxRefundDefinition(), bctx.MustParse("TaxOffice=Leeds, taxRefundProcess=p1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestDefinitionValidate(t *testing.T) {
+	if err := TaxRefundDefinition().Validate(); err != nil {
+		t.Fatalf("tax refund definition invalid: %v", err)
+	}
+	bad := []Definition{
+		{Name: "", Tasks: []Task{{Name: "a"}}},
+		{Name: "d", Tasks: []Task{{Name: ""}}},
+		{Name: "d", Tasks: []Task{{Name: "a"}, {Name: "a"}}},
+		{Name: "d", Tasks: []Task{{Name: "a", DependsOn: []string{"ghost"}}}},
+		{Name: "d", Tasks: []Task{
+			{Name: "a", DependsOn: []string{"b"}},
+			{Name: "b", DependsOn: []string{"a"}},
+		}},
+		{Name: "d", Tasks: []Task{{Name: "a", DependsOn: []string{"a"}}}},
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("bad definition %d accepted", i)
+		}
+	}
+}
+
+func TestDependencyOrdering(t *testing.T) {
+	in := taxInstance(t)
+	d := allowAll{}
+
+	// T2 before T1: not ready.
+	if err := in.Execute("T2", "m1", d); !errors.Is(err, ErrNotReady) {
+		t.Fatalf("T2 early: %v", err)
+	}
+	if got := in.ReadyTasks(); len(got) != 1 || got[0] != "T1" {
+		t.Fatalf("ReadyTasks = %v", got)
+	}
+
+	if err := in.Execute("T1", "c1", d); err != nil {
+		t.Fatal(err)
+	}
+	// T3 needs both T2 executions.
+	if err := in.Execute("T2", "m1", d); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Execute("T3", "m3", d); !errors.Is(err, ErrNotReady) {
+		t.Fatalf("T3 after one T2: %v", err)
+	}
+	if err := in.Execute("T2", "m2", d); err != nil {
+		t.Fatal(err)
+	}
+	// T2 is now complete; a third execution is refused.
+	if err := in.Execute("T2", "m4", d); !errors.Is(err, ErrComplete) {
+		t.Fatalf("third T2: %v", err)
+	}
+	if err := in.Execute("T3", "m3", d); err != nil {
+		t.Fatal(err)
+	}
+	if in.Complete() {
+		t.Fatal("complete before T4")
+	}
+	if err := in.Execute("T4", "c2", d); err != nil {
+		t.Fatal(err)
+	}
+	if !in.Complete() {
+		t.Fatal("not complete after all tasks")
+	}
+
+	log := in.Executions()
+	if len(log) != 5 || log[0].Task != "T1" || log[4].Task != "T4" {
+		t.Fatalf("log = %v", log)
+	}
+	if got := in.Executors("T2"); len(got) != 2 || got[0] != "m1" || got[1] != "m2" {
+		t.Fatalf("T2 executors = %v", got)
+	}
+}
+
+func TestDeniedExecutionLeavesStateUnchanged(t *testing.T) {
+	in := taxInstance(t)
+	if err := in.Execute("T1", "blocked", denyUser{"blocked"}); !errors.Is(err, ErrDenied) {
+		t.Fatalf("denied execution: %v", err)
+	}
+	if len(in.Executors("T1")) != 0 {
+		t.Error("denied execution recorded")
+	}
+	// Someone else can still do it.
+	if err := in.Execute("T1", "ok", denyUser{"blocked"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeciderErrorPropagates(t *testing.T) {
+	in := taxInstance(t)
+	if err := in.Execute("T1", "u", failingDecider{}); err == nil || errors.Is(err, ErrDenied) {
+		t.Fatalf("decider error: %v", err)
+	}
+}
+
+func TestUnknownTask(t *testing.T) {
+	in := taxInstance(t)
+	if err := in.Execute("T9", "u", allowAll{}); !errors.Is(err, ErrUnknownTask) {
+		t.Fatalf("unknown task: %v", err)
+	}
+	if _, err := in.Ready("T9"); !errors.Is(err, ErrUnknownTask) {
+		t.Fatalf("Ready unknown: %v", err)
+	}
+}
+
+func TestNewInstanceValidation(t *testing.T) {
+	if _, err := NewInstance(TaxRefundDefinition(), bctx.MustParse("A=*")); err == nil {
+		t.Error("wildcard context accepted")
+	}
+	bad := &Definition{Name: "d", Tasks: []Task{{Name: "a", DependsOn: []string{"ghost"}}}}
+	if _, err := NewInstance(bad, bctx.MustParse("A=1")); err == nil {
+		t.Error("invalid definition accepted")
+	}
+}

@@ -1,0 +1,91 @@
+package workflow
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strings"
+
+	"msod/internal/rbac"
+)
+
+// xmlDefinition is the declarative form of a process definition, so
+// deployments can ship workflows beside their access control policies:
+//
+//	<WorkflowDefinition name="taxRefundProcess">
+//	  <Task name="T1" operation="prepareCheck" target="..." role="Clerk"/>
+//	  <Task name="T2" operation="approve/disapproveCheck" target="..."
+//	        role="Manager" executions="2" dependsOn="T1"/>
+//	  ...
+//	</WorkflowDefinition>
+type xmlDefinition struct {
+	XMLName xml.Name  `xml:"WorkflowDefinition"`
+	Name    string    `xml:"name,attr"`
+	Tasks   []xmlTask `xml:"Task"`
+}
+
+type xmlTask struct {
+	Name       string `xml:"name,attr"`
+	Operation  string `xml:"operation,attr"`
+	Target     string `xml:"target,attr"`
+	Role       string `xml:"role,attr"`
+	Executions int    `xml:"executions,attr"`
+	DependsOn  string `xml:"dependsOn,attr"`
+}
+
+// ParseDefinition parses and validates an XML workflow definition.
+func ParseDefinition(data []byte) (*Definition, error) {
+	var xd xmlDefinition
+	if err := xml.Unmarshal(data, &xd); err != nil {
+		return nil, fmt.Errorf("workflow: parse definition: %w", err)
+	}
+	def := &Definition{Name: xd.Name}
+	for i, xt := range xd.Tasks {
+		if xt.Operation == "" || xt.Target == "" || xt.Role == "" {
+			return nil, fmt.Errorf("workflow: task %d (%q) needs operation, target and role", i, xt.Name)
+		}
+		task := Task{
+			Name:       xt.Name,
+			Operation:  rbac.Operation(xt.Operation),
+			Target:     rbac.Object(xt.Target),
+			Role:       rbac.RoleName(xt.Role),
+			Executions: xt.Executions,
+		}
+		if xt.DependsOn != "" {
+			for _, dep := range strings.Split(xt.DependsOn, ",") {
+				dep = strings.TrimSpace(dep)
+				if dep == "" {
+					return nil, fmt.Errorf("workflow: task %q has an empty dependency", xt.Name)
+				}
+				task.DependsOn = append(task.DependsOn, dep)
+			}
+		}
+		def.Tasks = append(def.Tasks, task)
+	}
+	if err := def.Validate(); err != nil {
+		return nil, err
+	}
+	return def, nil
+}
+
+// MarshalDefinition serialises a definition as indented XML.
+func MarshalDefinition(def *Definition) ([]byte, error) {
+	if err := def.Validate(); err != nil {
+		return nil, err
+	}
+	xd := xmlDefinition{Name: def.Name}
+	for _, t := range def.Tasks {
+		xd.Tasks = append(xd.Tasks, xmlTask{
+			Name:       t.Name,
+			Operation:  string(t.Operation),
+			Target:     string(t.Target),
+			Role:       string(t.Role),
+			Executions: t.Executions,
+			DependsOn:  strings.Join(t.DependsOn, ","),
+		})
+	}
+	out, err := xml.MarshalIndent(xd, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("workflow: marshal definition: %w", err)
+	}
+	return append(out, '\n'), nil
+}

@@ -1,0 +1,89 @@
+package workflow
+
+import (
+	"testing"
+)
+
+const taxXML = `
+<WorkflowDefinition name="taxRefundProcess">
+  <Task name="T1" operation="prepareCheck" target="http://www.myTaxOffice.com/Check" role="Clerk"/>
+  <Task name="T2" operation="approve/disapproveCheck" target="http://www.myTaxOffice.com/Check"
+        role="Manager" executions="2" dependsOn="T1"/>
+  <Task name="T3" operation="combineResults" target="http://secret.location.com/results"
+        role="Manager" dependsOn="T2"/>
+  <Task name="T4" operation="confirmCheck" target="http://secret.location.com/audit"
+        role="Clerk" dependsOn="T3"/>
+</WorkflowDefinition>`
+
+func TestParseDefinition(t *testing.T) {
+	def, err := ParseDefinition([]byte(taxXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Name != "taxRefundProcess" || len(def.Tasks) != 4 {
+		t.Fatalf("def = %+v", def)
+	}
+	t2, err := def.Task("T2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t2.Executions != 2 || t2.Role != "Manager" || len(t2.DependsOn) != 1 || t2.DependsOn[0] != "T1" {
+		t.Errorf("T2 = %+v", t2)
+	}
+	// The parsed definition must be structurally identical to the
+	// programmatic one.
+	want := TaxRefundDefinition()
+	for i, wt := range want.Tasks {
+		gt := def.Tasks[i]
+		if gt.Name != wt.Name || gt.Operation != wt.Operation || gt.Role != wt.Role {
+			t.Errorf("task %d: got %+v want %+v", i, gt, wt)
+		}
+	}
+}
+
+func TestParseDefinitionErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		xml  string
+	}{
+		{"malformed", `<WorkflowDefinition`},
+		{"no name", `<WorkflowDefinition><Task name="a" operation="o" target="t" role="r"/></WorkflowDefinition>`},
+		{"missing role", `<WorkflowDefinition name="d"><Task name="a" operation="o" target="t"/></WorkflowDefinition>`},
+		{"empty dep", `<WorkflowDefinition name="d"><Task name="a" operation="o" target="t" role="r" dependsOn="b,,c"/></WorkflowDefinition>`},
+		{"unknown dep", `<WorkflowDefinition name="d"><Task name="a" operation="o" target="t" role="r" dependsOn="ghost"/></WorkflowDefinition>`},
+		{"cycle", `<WorkflowDefinition name="d">
+			<Task name="a" operation="o" target="t" role="r" dependsOn="b"/>
+			<Task name="b" operation="o" target="t" role="r" dependsOn="a"/>
+		</WorkflowDefinition>`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ParseDefinition([]byte(c.xml)); err == nil {
+				t.Error("accepted")
+			}
+		})
+	}
+}
+
+func TestDefinitionRoundTrip(t *testing.T) {
+	out, err := MarshalDefinition(TaxRefundDefinition())
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := ParseDefinition(out)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, out)
+	}
+	if len(def.Tasks) != 4 || def.Name != "taxRefundProcess" {
+		t.Errorf("round trip = %+v", def)
+	}
+	t2, _ := def.Task("T2")
+	if t2.Executions != 2 {
+		t.Error("executions lost in round trip")
+	}
+	// Marshal of an invalid definition fails.
+	bad := &Definition{Name: "d", Tasks: []Task{{Name: "a", DependsOn: []string{"x"}}}}
+	if _, err := MarshalDefinition(bad); err == nil {
+		t.Error("invalid definition marshalled")
+	}
+}
