@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race cover bench fuzz experiments examples lint clean
+.PHONY: all build test test-race cover bench fuzz experiments cluster examples lint clean
 
 all: build test
 
@@ -32,6 +32,10 @@ fuzz:
 # Regenerate every EXPERIMENTS.md table.
 experiments:
 	$(GO) run ./cmd/msodbench
+
+# Cluster-scale throughput experiment (sharded gateway, E16).
+cluster:
+	$(GO) run ./cmd/msodbench -e E16
 
 examples:
 	$(GO) run ./examples/quickstart

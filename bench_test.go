@@ -12,6 +12,7 @@ import (
 	"net/http/httptest"
 
 	"path/filepath"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -20,6 +21,7 @@ import (
 	"msod/internal/audit"
 	"msod/internal/bctx"
 	"msod/internal/bertino"
+	"msod/internal/cluster"
 	"msod/internal/core"
 	"msod/internal/vo"
 	"msod/internal/workflow"
@@ -459,6 +461,56 @@ func BenchmarkE14Striped(b *testing.B) {
 			})
 		})
 	}
+}
+
+// BenchmarkE16Cluster measures gateway-routed decisions against a
+// 4-shard in-process cluster under RunParallel (the E16 harness's
+// memory-ADI configuration, as a testing.B target).
+func BenchmarkE16Cluster(b *testing.B) {
+	pol, err := msod.ParsePolicy(benchPolicyXML())
+	if err != nil {
+		b.Fatal(err)
+	}
+	shards := make([]cluster.Shard, 4)
+	for i := range shards {
+		p, err := msod.NewPDP(msod.PDPConfig{Policy: pol})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(msod.NewServer(p))
+		defer ts.Close()
+		shards[i] = cluster.Shard{ID: fmt.Sprintf("shard%02d", i), BaseURL: ts.URL}
+	}
+	gw, err := cluster.New(cluster.Config{Shards: shards})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer gw.Close()
+	gwSrv := httptest.NewServer(gw)
+	defer gwSrv.Close()
+
+	var seq atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		client := msod.NewClient(gwSrv.URL)
+		gen := workload.NewBank(workload.BankConfig{
+			Seed: 100 + seq.Add(1), Users: 512, Branches: 8, Periods: 2,
+			AuditorFraction: 0.3, Zipf: true,
+		})
+		for pb.Next() {
+			r := gen.Next()
+			roles := make([]string, len(r.Roles))
+			for i, role := range r.Roles {
+				roles[i] = string(role)
+			}
+			if _, err := client.Decision(msod.DecisionRequest{
+				User: string(r.User), Roles: roles,
+				Operation: string(r.Operation), Target: string(r.Target),
+				Context: r.Context.String(),
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func benchPolicyXML() []byte {

@@ -2,13 +2,13 @@
 //
 // Usage:
 //
-//	msodbench            # run every experiment (E1..E10)
+//	msodbench            # run every experiment (E1..E16)
 //	msodbench -e E3      # run one experiment
 //	msodbench -e E1,E4   # run a subset
 //	msodbench -list      # list experiments
 //
-// Scenario experiments (E1–E3) assert the paper's expected outcomes and
-// fail loudly on any mismatch; timing experiments (E4–E10) report
+// Scenario experiments (E1–E3, E11, E12) assert the paper's expected
+// outcomes and fail loudly on any mismatch; timing experiments report
 // machine-dependent numbers whose *shape* is what EXPERIMENTS.md
 // discusses.
 package main

@@ -237,9 +237,10 @@ func cmdDecide(args []string) error {
 	target := fs.String("target", "", "target object")
 	ctx := fs.String("context", "", "business context instance")
 	advise := fs.Bool("advise", false, "advisory only: do not record the decision")
+	timeout := fs.Duration("timeout", 10*time.Second, "request deadline (0 disables)")
 	fs.Parse(args)
 
-	client := msod.NewClient(*srv)
+	client := msod.NewClient(*srv, msod.WithClientTimeout(*timeout))
 	wire := msod.DecisionRequest{
 		User:      *user,
 		Roles:     splitList(*roles),
@@ -282,6 +283,7 @@ func cmdManage(args []string) error {
 	pattern := fs.String("pattern", "", "context pattern for purgeContext")
 	targetUser := fs.String("target-user", "", "user for purgeUser")
 	before := fs.String("before", "", "RFC3339 cutoff for purgeBefore")
+	timeout := fs.Duration("timeout", 10*time.Second, "request deadline (0 disables)")
 	fs.Parse(args)
 
 	wire := msod.ManagementWireRequest{
@@ -295,7 +297,7 @@ func cmdManage(args []string) error {
 		}
 		wire.Before = &t
 	}
-	client := msod.NewClient(*srv)
+	client := msod.NewClient(*srv, msod.WithClientTimeout(*timeout))
 	res, err := client.Manage(wire)
 	if err != nil {
 		return err
@@ -307,8 +309,9 @@ func cmdManage(args []string) error {
 func cmdHealth(args []string) error {
 	fs := flag.NewFlagSet("health", flag.ExitOnError)
 	srv := fs.String("server", "http://127.0.0.1:8443", "PDP base URL")
+	timeout := fs.Duration("timeout", 10*time.Second, "request deadline (0 disables)")
 	fs.Parse(args)
-	client := msod.NewClient(*srv)
+	client := msod.NewClient(*srv, msod.WithClientTimeout(*timeout))
 	id, err := client.Health()
 	if err != nil {
 		return err

@@ -1,0 +1,170 @@
+// Command msodgw fronts a user-sharded cluster of msodd PDP shards
+// with a consistent-hash gateway: decision and advisory requests route
+// to the shard that owns the user, management and metrics fan out to
+// every shard, and health-checked failover fails closed — a decision
+// for a user whose shard is down gets an explicit 503, never a silent
+// re-route that would evaluate MSoD against a partial retained ADI.
+//
+// Usage:
+//
+//	msodgw -addr :8440 \
+//	       -shards a=http://10.0.0.1:8443,b=http://10.0.0.2:8443
+//
+// Each -shards entry is id=url; a bare URL uses itself as the ID. IDs
+// are the stable sharding identity: restart a shard elsewhere under
+// the same ID and its users follow it.
+//
+// Endpoints (same wire protocol as msodd, so PEPs and msodctl are
+// unchanged):
+//
+//	POST /v1/decision    routed to the owning shard
+//	POST /v1/advice      routed to the owning shard
+//	POST /v1/management  fanned out to all shards (requires full cluster)
+//	GET  /v1/health      gateway + per-shard health
+//	GET  /v1/metrics     aggregated shard counters + msodgw_* series
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"msod/internal/cluster"
+)
+
+// options are the parsed command-line settings.
+type options struct {
+	addr      string
+	shards    []cluster.Shard
+	vnodes    int
+	timeout   time.Duration
+	retries   int
+	backoff   time.Duration
+	probe     time.Duration
+	failAfter int
+}
+
+// parseShards parses "id=url,id=url" (or bare URLs) into a topology.
+func parseShards(spec string) ([]cluster.Shard, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, errors.New("msodgw: -shards is required")
+	}
+	var out []cluster.Shard
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(entry, "=")
+		if !ok {
+			// Bare URL: it is its own (stable only as long as the
+			// address is) identity.
+			id, url = entry, entry
+		}
+		id, url = strings.TrimSpace(id), strings.TrimSpace(url)
+		if id == "" || url == "" {
+			return nil, fmt.Errorf("msodgw: malformed shard entry %q (want id=url)", entry)
+		}
+		out = append(out, cluster.Shard{ID: id, BaseURL: url})
+	}
+	if len(out) == 0 {
+		return nil, errors.New("msodgw: -shards is required")
+	}
+	return out, nil
+}
+
+func parseFlags(args []string) (*options, error) {
+	fs := flag.NewFlagSet("msodgw", flag.ContinueOnError)
+	o := &options{}
+	var shardSpec string
+	fs.StringVar(&o.addr, "addr", ":8440", "listen address")
+	fs.StringVar(&shardSpec, "shards", "", "comma-separated shard list, id=url each (required)")
+	fs.IntVar(&o.vnodes, "vnodes", cluster.DefaultVirtualNodes, "virtual nodes per shard on the hash ring")
+	fs.DurationVar(&o.timeout, "timeout", 5*time.Second, "per-request deadline for shard calls")
+	fs.IntVar(&o.retries, "retries", 2, "same-shard retries after a transport error (-1 disables)")
+	fs.DurationVar(&o.backoff, "retry-backoff", 25*time.Millisecond, "initial retry backoff (doubles per attempt)")
+	fs.DurationVar(&o.probe, "probe", 5*time.Second, "health-probe interval")
+	fs.IntVar(&o.failAfter, "fail-after", 2, "consecutive failures before a shard is marked down")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	shards, err := parseShards(shardSpec)
+	if err != nil {
+		return nil, err
+	}
+	o.shards = shards
+	return o, nil
+}
+
+// serve runs the gateway on the listener until ctx is cancelled, then
+// shuts down gracefully.
+func serve(ctx context.Context, ln net.Listener, gw *cluster.Gateway, logf func(string, ...any)) error {
+	srv := &http.Server{Handler: gw}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	logf("msodgw: listening on %s", ln.Addr())
+
+	select {
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		logf("msodgw: shutting down")
+		if err := srv.Shutdown(shutCtx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		<-errCh // Serve has returned ErrServerClosed
+		return nil
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}
+
+func main() {
+	o, err := parseFlags(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	gw, err := cluster.New(cluster.Config{
+		Shards:       o.shards,
+		VirtualNodes: o.vnodes,
+		Timeout:      o.timeout,
+		Retries:      o.retries,
+		RetryBackoff: o.backoff,
+		FailAfter:    o.failAfter,
+	})
+	if err != nil {
+		log.Fatalf("msodgw: %v", err)
+	}
+	defer gw.Close()
+
+	// One synchronous probe round before serving, so the first requests
+	// already see real shard state, then periodic probing.
+	gw.Checker().CheckNow()
+	for id, st := range gw.Checker().Statuses() {
+		log.Printf("msodgw: shard %s %s (policy %q)", id, st.State, st.PolicyID)
+	}
+	gw.Checker().Start(o.probe)
+
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		log.Fatalf("msodgw: listen: %v", err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := serve(ctx, ln, gw, log.Printf); err != nil {
+		log.Fatalf("msodgw: %v", err)
+	}
+}

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"msod"
+	"msod/internal/cluster"
+	"msod/internal/server"
+)
+
+func TestParseShards(t *testing.T) {
+	cases := []struct {
+		spec string
+		want []cluster.Shard
+		err  bool
+	}{
+		{"a=http://h1:1, b=http://h2:2", []cluster.Shard{
+			{ID: "a", BaseURL: "http://h1:1"}, {ID: "b", BaseURL: "http://h2:2"}}, false},
+		{"http://h1:1", []cluster.Shard{{ID: "http://h1:1", BaseURL: "http://h1:1"}}, false},
+		{"a=http://h1:1,,", []cluster.Shard{{ID: "a", BaseURL: "http://h1:1"}}, false},
+		{"", nil, true},
+		{"  ,  ", nil, true},
+		{"=http://h1:1", nil, true},
+		{"a=", nil, true},
+	}
+	for _, c := range cases {
+		got, err := parseShards(c.spec)
+		if c.err {
+			if err == nil {
+				t.Errorf("parseShards(%q) accepted", c.spec)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseShards(%q): %v", c.spec, err)
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("parseShards(%q) = %v, want %v", c.spec, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("parseShards(%q)[%d] = %v, want %v", c.spec, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestParseFlags(t *testing.T) {
+	o, err := parseFlags([]string{"-shards", "a=http://h:1", "-addr", ":0", "-retries", "-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.shards) != 1 || o.retries != -1 || o.addr != ":0" {
+		t.Errorf("options = %+v", o)
+	}
+	if _, err := parseFlags([]string{"-addr", ":0"}); err == nil {
+		t.Error("missing -shards accepted")
+	}
+}
+
+// TestServeSmoke boots a real gateway over one in-process PDP shard and
+// drives a decision through the serve loop, then shuts it down.
+func TestServeSmoke(t *testing.T) {
+	pol, err := msod.ParsePolicy([]byte(`
+<RBACPolicy id="gw-smoke">
+  <RoleList><Role value="Teller"/></RoleList>
+  <TargetAccessPolicy>
+    <Grant role="Teller" operation="HandleCash" target="till"/>
+  </TargetAccessPolicy>
+</RBACPolicy>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := msod.NewPDP(msod.PDPConfig{Policy: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard := httptest.NewServer(msod.NewServer(p))
+	defer shard.Close()
+
+	gw, err := cluster.New(cluster.Config{Shards: []cluster.Shard{{ID: "s0", BaseURL: shard.URL}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+	gw.Checker().CheckNow()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, ln, gw, func(string, ...any) {}) }()
+
+	base := fmt.Sprintf("http://%s", ln.Addr())
+	resp, err := server.NewClient(base, nil, server.WithTimeout(5*time.Second)).Decision(server.DecisionRequest{
+		User: "alice", Roles: []string{"Teller"},
+		Operation: "HandleCash", Target: "till", Context: "Branch=York, Period=2006",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Allowed {
+		t.Fatalf("decision = %+v", resp)
+	}
+	hr, err := http.Get(base + server.HealthPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status string `json:"status"`
+		Role   string `json:"role"`
+	}
+	if err := json.NewDecoder(hr.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if health.Status != "ok" || health.Role != "gateway" {
+		t.Errorf("health = %+v", health)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not shut down")
+	}
+}

@@ -59,7 +59,7 @@ func TestPerfExperimentsSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("perf experiments skipped in -short mode")
 	}
-	for _, id := range []string{"E4", "E5", "E6", "E7", "E8", "E9", "E10", "E13", "E14", "E15"} {
+	for _, id := range []string{"E4", "E5", "E6", "E7", "E8", "E9", "E10", "E13", "E14", "E15", "E16"} {
 		exp, ok := ByID(id)
 		if !ok {
 			t.Fatalf("experiment %s not registered", id)
@@ -76,7 +76,7 @@ func TestPerfExperimentsSmoke(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 15 {
+	if len(all) != 16 {
 		t.Fatalf("registered %d experiments", len(all))
 	}
 	seen := map[string]bool{}

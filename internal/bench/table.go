@@ -1,5 +1,5 @@
 // Package bench implements the experiment harness: each experiment of
-// EXPERIMENTS.md (E1–E10) is a function producing a Table that
+// EXPERIMENTS.md (E1–E16) is a function producing a Table that
 // cmd/msodbench renders. The same workloads back the testing.B
 // benchmarks in the repository root.
 //
@@ -108,6 +108,7 @@ func All() []Experiment {
 		{"E13", "MSoD cost over plain RBAC", E13},
 		{"E14", "Concurrent throughput: global lock vs striped", E14},
 		{"E15", "Latency vs active context instances", E15},
+		{"E16", "Cluster throughput vs shard count", E16},
 	}
 }
 

@@ -1,0 +1,539 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"msod/internal/credential"
+	"msod/internal/server"
+)
+
+// stubShard is a scripted PDP backend that records which users it was
+// asked to decide for.
+type stubShard struct {
+	ts       *httptest.Server
+	requests atomic.Int64
+	users    chan string // buffered log of decision users
+	delay    time.Duration
+	healthy  atomic.Bool
+	policy   string
+}
+
+func newStubShard(t *testing.T, policy string) *stubShard {
+	t.Helper()
+	s := &stubShard{users: make(chan string, 1024), policy: policy}
+	s.healthy.Store(true)
+	mux := http.NewServeMux()
+	decide := func(w http.ResponseWriter, r *http.Request) {
+		var req server.DecisionRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		s.requests.Add(1)
+		s.users <- req.User
+		if s.delay > 0 {
+			time.Sleep(s.delay)
+		}
+		json.NewEncoder(w).Encode(server.DecisionResponse{Allowed: true, Phase: "granted", User: req.User})
+	}
+	mux.HandleFunc(server.DecisionPath, decide)
+	mux.HandleFunc(server.AdvicePath, decide)
+	mux.HandleFunc(server.ManagementPath, func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(server.ManagementWireResponse{Removed: 1, Records: 2})
+	})
+	mux.HandleFunc(server.MetricsPath, func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "# HELP msod_decisions_total x\n# TYPE msod_decisions_total counter\nmsod_decisions_total %d\n", s.requests.Load())
+	})
+	mux.HandleFunc(server.HealthPath, func(w http.ResponseWriter, r *http.Request) {
+		if !s.healthy.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]string{"status": "down"})
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]string{"status": "ok", "policy": s.policy})
+	})
+	s.ts = httptest.NewServer(mux)
+	t.Cleanup(s.ts.Close)
+	return s
+}
+
+// drainUsers returns the users the shard has decided for so far.
+func (s *stubShard) drainUsers() []string {
+	var out []string
+	for {
+		select {
+		case u := <-s.users:
+			out = append(out, u)
+		default:
+			return out
+		}
+	}
+}
+
+// newTestCluster wires n stub shards behind a gateway.
+func newTestCluster(t *testing.T, n int, cfg Config) (*Gateway, *httptest.Server, []*stubShard) {
+	t.Helper()
+	shards := make([]*stubShard, n)
+	for i := range shards {
+		shards[i] = newStubShard(t, "pol-1")
+		cfg.Shards = append(cfg.Shards, Shard{ID: fmt.Sprintf("shard%02d", i), BaseURL: shards[i].ts.URL})
+	}
+	gw, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(gw.Close)
+	gts := httptest.NewServer(gw)
+	t.Cleanup(gts.Close)
+	return gw, gts, shards
+}
+
+// TestGatewayRoutesByUserConsistently: all of one user's requests land
+// on one shard, and different users spread across shards.
+func TestGatewayRoutesByUserConsistently(t *testing.T) {
+	gw, gts, shards := newTestCluster(t, 3, Config{})
+	c := server.NewClient(gts.URL, nil)
+	users := []string{"alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi"}
+	for round := 0; round < 5; round++ {
+		for _, u := range users {
+			if _, err := c.Decision(server.DecisionRequest{User: u, Operation: "op", Target: "t", Context: "P=1"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Each user appears on exactly the shard the ring names, only there.
+	owner := map[string]string{}
+	for i, s := range shards {
+		id := fmt.Sprintf("shard%02d", i)
+		for _, u := range s.drainUsers() {
+			if prev, seen := owner[u]; seen && prev != id {
+				t.Fatalf("user %q served by both %s and %s", u, prev, id)
+			}
+			owner[u] = id
+			want, _ := gw.ShardFor(u)
+			if want != id {
+				t.Fatalf("user %q on %s but ring owner is %s", u, id, want)
+			}
+		}
+	}
+	if len(owner) != len(users) {
+		t.Fatalf("served %d users, want %d", len(owner), len(users))
+	}
+}
+
+// TestGatewayRoutesByCredentialHolder: credential-only requests route
+// by the asserted holder.
+func TestGatewayRoutesByCredentialHolder(t *testing.T) {
+	gw, gts, shards := newTestCluster(t, 3, Config{})
+	c := server.NewClient(gts.URL, nil)
+	req := server.DecisionRequest{
+		Credentials: []credential.Credential{{Holder: "alice"}},
+		Operation:   "op", Target: "t", Context: "P=1",
+	}
+	if _, err := c.Decision(req); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := gw.ShardFor("alice")
+	for i, s := range shards {
+		id := fmt.Sprintf("shard%02d", i)
+		got := s.drainUsers()
+		if id == want && len(got) != 1 {
+			t.Errorf("owner %s saw %d requests", id, len(got))
+		}
+		if id != want && len(got) != 0 {
+			t.Errorf("non-owner %s saw %v", id, got)
+		}
+	}
+}
+
+// TestGatewayFailsClosedOnDownShard: a down shard's users get 503 —
+// never a grant from another shard — while other users are served.
+func TestGatewayFailsClosedOnDownShard(t *testing.T) {
+	gw, gts, shards := newTestCluster(t, 3, Config{FailAfter: 1})
+	c := server.NewClient(gts.URL, nil)
+
+	// Find one user per shard.
+	userOn := map[string]string{} // shard id -> user
+	for i := 0; len(userOn) < 3 && i < 10000; i++ {
+		u := fmt.Sprintf("user%05d", i)
+		s, _ := gw.ShardFor(u)
+		if _, ok := userOn[s]; !ok {
+			userOn[s] = u
+		}
+	}
+	victimShard := "shard01"
+	victim := userOn[victimShard]
+
+	// Kill shard01's backend and let the prober notice.
+	for i, s := range shards {
+		if fmt.Sprintf("shard%02d", i) == victimShard {
+			s.ts.Close()
+		}
+	}
+	gw.Checker().CheckNow()
+	if gw.Checker().Up(victimShard) {
+		t.Fatal("dead shard still marked up after probe")
+	}
+
+	_, err := c.Decision(server.DecisionRequest{User: victim, Operation: "op", Target: "t", Context: "P=1"})
+	var apiErr *server.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("victim decision error = %v, want 503", err)
+	}
+	if !strings.Contains(apiErr.Message, "failing closed") {
+		t.Errorf("503 message %q does not explain fail-closed", apiErr.Message)
+	}
+
+	// Users on live shards are unaffected.
+	for shard, u := range userOn {
+		if shard == victimShard {
+			continue
+		}
+		if _, err := c.Decision(server.DecisionRequest{User: u, Operation: "op", Target: "t", Context: "P=1"}); err != nil {
+			t.Errorf("user %q on live shard %s: %v", u, shard, err)
+		}
+	}
+	// And crucially: no other shard ever saw the victim user.
+	for i, s := range shards {
+		id := fmt.Sprintf("shard%02d", i)
+		for _, u := range s.drainUsers() {
+			if u == victim && id != victimShard {
+				t.Fatalf("victim user %q re-routed to %s", victim, id)
+			}
+		}
+	}
+}
+
+// TestGatewayNoRerouteWhileSlow: a shard that is merely slow (past the
+// deadline) produces a 503 for its users; the request is never handed
+// to a different shard.
+func TestGatewayNoRerouteWhileSlow(t *testing.T) {
+	gw, gts, shards := newTestCluster(t, 2, Config{
+		Timeout: 50 * time.Millisecond,
+		Retries: -1, // no retries: the test asserts routing, not persistence
+	})
+	// Make every shard slow; pick a user and stall only its owner.
+	u := "slow-user"
+	owner, _ := gw.ShardFor(u)
+	for i, s := range shards {
+		if fmt.Sprintf("shard%02d", i) == owner {
+			s.delay = 300 * time.Millisecond
+		}
+	}
+	c := server.NewClient(gts.URL, nil)
+	_, err := c.Decision(server.DecisionRequest{User: u, Operation: "op", Target: "t", Context: "P=1"})
+	var apiErr *server.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("slow-shard decision error = %v, want 503", err)
+	}
+	for i, s := range shards {
+		id := fmt.Sprintf("shard%02d", i)
+		for _, got := range s.drainUsers() {
+			if got == u && id != owner {
+				t.Fatalf("slow user re-routed to %s", id)
+			}
+		}
+	}
+}
+
+// TestGatewayRetriesSameShard: a transient transport failure is
+// retried against the same shard and succeeds.
+func TestGatewayRetriesSameShard(t *testing.T) {
+	// A backend whose first connection attempt fails at the HTTP layer:
+	// simulate with a handler that hijacks+drops the first request.
+	var drops atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc(server.DecisionPath, func(w http.ResponseWriter, r *http.Request) {
+		if drops.Add(1) == 1 {
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Fatal("no hijacker")
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				t.Fatal(err)
+			}
+			conn.Close() // abrupt close → transport error at the client
+			return
+		}
+		json.NewEncoder(w).Encode(server.DecisionResponse{Allowed: true, Phase: "granted"})
+	})
+	mux.HandleFunc(server.HealthPath, func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]string{"status": "ok", "policy": "p"})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	gw, err := New(Config{
+		Shards:       []Shard{{ID: "only", BaseURL: ts.URL}},
+		Retries:      2,
+		RetryBackoff: time.Millisecond,
+		FailAfter:    5, // stay Up through the transient failure
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(gw.Close)
+	gts := httptest.NewServer(gw)
+	t.Cleanup(gts.Close)
+
+	resp, err := server.NewClient(gts.URL, nil).Decision(server.DecisionRequest{User: "u", Operation: "op", Target: "t", Context: "P=1"})
+	if err != nil || !resp.Allowed {
+		t.Fatalf("retried decision = %+v, %v", resp, err)
+	}
+}
+
+// TestGatewayForwardsShardVerdicts: deliberate shard answers (4xx) are
+// forwarded as-is, not retried and not converted to 503.
+func TestGatewayForwardsShardVerdicts(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc(server.DecisionPath, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(map[string]string{"error": "context: bad"})
+	})
+	mux.HandleFunc(server.HealthPath, func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	gw, err := New(Config{Shards: []Shard{{ID: "only", BaseURL: ts.URL}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(gw.Close)
+	gts := httptest.NewServer(gw)
+	t.Cleanup(gts.Close)
+
+	_, err = server.NewClient(gts.URL, nil).Decision(server.DecisionRequest{User: "u", Operation: "op", Target: "t", Context: "==="})
+	var apiErr *server.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v, want forwarded 400", err)
+	}
+	if !strings.Contains(apiErr.Message, "context: bad") {
+		t.Errorf("forwarded message = %q", apiErr.Message)
+	}
+}
+
+// TestGatewayManagementFanout: aggregation over all shards, and
+// fail-closed when any shard is down.
+func TestGatewayManagementFanout(t *testing.T) {
+	gw, gts, shards := newTestCluster(t, 3, Config{FailAfter: 1})
+	c := server.NewClient(gts.URL, nil)
+	res, err := c.Manage(server.ManagementWireRequest{User: "root", Roles: []string{"RetainedADIController"}, Operation: "stats"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each stub reports Removed:1 Records:2.
+	if res.Removed != 3 || res.Records != 6 {
+		t.Errorf("aggregate = %+v", res)
+	}
+
+	shards[1].healthy.Store(false)
+	gw.Checker().CheckNow()
+	_, err = c.Manage(server.ManagementWireRequest{User: "root", Roles: []string{"RetainedADIController"}, Operation: "stats"})
+	var apiErr *server.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("management with down shard = %v, want 503", err)
+	}
+}
+
+// TestGatewayMetricsAggregation: shard series sum; gateway series
+// appear.
+func TestGatewayMetricsAggregation(t *testing.T) {
+	_, gts, _ := newTestCluster(t, 3, Config{})
+	c := server.NewClient(gts.URL, nil)
+	for i := 0; i < 6; i++ {
+		if _, err := c.Decision(server.DecisionRequest{User: fmt.Sprintf("u%d", i), Operation: "op", Target: "t", Context: "P=1"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Get(gts.URL + server.MetricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(raw)
+	if !strings.Contains(out, "msod_decisions_total 6") {
+		t.Errorf("summed shard counter missing:\n%s", out)
+	}
+	if !strings.Contains(out, "msodgw_routed_total 6") {
+		t.Errorf("gateway counter missing:\n%s", out)
+	}
+	if !strings.Contains(out, `msodgw_shard_up{shard="shard00"} 1`) {
+		t.Errorf("shard gauge missing:\n%s", out)
+	}
+}
+
+// TestGatewayHealthEndpoint: ok when all up, degraded after a loss.
+func TestGatewayHealthEndpoint(t *testing.T) {
+	gw, gts, shards := newTestCluster(t, 2, Config{FailAfter: 1})
+	gw.Checker().CheckNow()
+	get := func() map[string]any {
+		resp, err := http.Get(gts.URL + server.HealthPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	if h := get(); h["status"] != "ok" {
+		t.Errorf("healthy cluster reported %v", h)
+	}
+	shards[0].healthy.Store(false)
+	gw.Checker().CheckNow()
+	if h := get(); h["status"] != "degraded" {
+		t.Errorf("degraded cluster reported %v", h)
+	}
+}
+
+// TestGatewayBadRequests: unroutable and malformed inputs are rejected
+// at the gateway.
+func TestGatewayBadRequests(t *testing.T) {
+	_, gts, shards := newTestCluster(t, 2, Config{})
+	c := server.NewClient(gts.URL, nil)
+	_, err := c.Decision(server.DecisionRequest{Operation: "op", Target: "t", Context: "P=1"})
+	var apiErr *server.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("subject-less request = %v, want 400", err)
+	}
+	resp, err := http.Post(gts.URL+server.DecisionPath, "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body = %d", resp.StatusCode)
+	}
+	resp, err = http.Get(gts.URL + server.DecisionPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET decision = %d", resp.StatusCode)
+	}
+	for _, s := range shards {
+		if got := s.drainUsers(); len(got) != 0 {
+			t.Errorf("bad requests reached a shard: %v", got)
+		}
+	}
+}
+
+// TestGatewayShardRejoinRequiresProbe: after SetShardAddr, a Down
+// shard serves again only once a probe passes.
+func TestGatewayShardRejoinRequiresProbe(t *testing.T) {
+	gw, gts, shards := newTestCluster(t, 2, Config{FailAfter: 1, Retries: -1})
+	c := server.NewClient(gts.URL, nil)
+	u := "rejoiner"
+	owner, _ := gw.ShardFor(u)
+	var idx int
+	for i := range shards {
+		if fmt.Sprintf("shard%02d", i) == owner {
+			idx = i
+		}
+	}
+	shards[idx].ts.Close()
+	gw.Checker().CheckNow()
+
+	// Replacement backend at a new address, same shard identity.
+	repl := newStubShard(t, "pol-1")
+	if err := gw.SetShardAddr(owner, repl.ts.URL); err != nil {
+		t.Fatal(err)
+	}
+	// Still down until a probe succeeds.
+	_, err := c.Decision(server.DecisionRequest{User: u, Operation: "op", Target: "t", Context: "P=1"})
+	var apiErr *server.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("pre-probe decision = %v, want 503", err)
+	}
+	gw.Checker().CheckNow()
+	if resp, err := c.Decision(server.DecisionRequest{User: u, Operation: "op", Target: "t", Context: "P=1"}); err != nil || !resp.Allowed {
+		t.Fatalf("post-probe decision = %+v, %v", resp, err)
+	}
+	if err := gw.SetShardAddr("nope", "http://x"); err == nil {
+		t.Error("SetShardAddr accepted unknown shard")
+	}
+}
+
+// TestCheckerThresholds: failures accumulate to Down; one success
+// restores Up; periodic probing works.
+func TestCheckerThresholds(t *testing.T) {
+	var fail atomic.Bool
+	probe := func(shard string) (string, error) {
+		if fail.Load() {
+			return "", errors.New("probe down")
+		}
+		return "pol", nil
+	}
+	c := NewChecker([]string{"s"}, probe, 2)
+	if !c.Up("s") {
+		t.Fatal("fresh checker not up")
+	}
+	fail.Store(true)
+	c.CheckNow()
+	if !c.Up("s") {
+		t.Fatal("down after 1 failure with failAfter=2")
+	}
+	c.CheckNow()
+	if c.Up("s") {
+		t.Fatal("still up after 2 failures")
+	}
+	fail.Store(false)
+	c.CheckNow()
+	if !c.Up("s") {
+		t.Fatal("not restored after success")
+	}
+	// ReportFailure path.
+	c.ReportFailure("s", errors.New("conn refused"))
+	c.ReportFailure("s", errors.New("conn refused"))
+	if c.Up("s") {
+		t.Fatal("transport failures did not mark down")
+	}
+	st := c.Statuses()["s"]
+	if st.Consecutive != 2 || st.LastErr == "" {
+		t.Errorf("status = %+v", st)
+	}
+	// Periodic loop drives recovery too.
+	c.Start(5 * time.Millisecond)
+	defer c.Stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for !c.Up("s") {
+		if time.Now().After(deadline) {
+			t.Fatal("periodic probe never restored the shard")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	c.ReportFailure("ghost", errors.New("x")) // unknown shard: no panic
+}
+
+// TestNewConfigValidation: invalid topologies are rejected.
+func TestNewConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := New(Config{Shards: []Shard{{ID: "", BaseURL: "http://x"}}}); err == nil {
+		t.Error("anonymous shard accepted")
+	}
+	if _, err := New(Config{Shards: []Shard{
+		{ID: "a", BaseURL: "http://x"}, {ID: "a", BaseURL: "http://y"},
+	}}); err == nil {
+		t.Error("duplicate shard id accepted")
+	}
+}

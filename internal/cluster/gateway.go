@@ -1,0 +1,487 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"msod/internal/server"
+)
+
+// Shard names one PDP backend: a stable identity (the ring hashes the
+// ID, never the address) plus its current base URL. A shard that
+// restarts on a new address keeps its identity — and its users — via
+// Gateway.SetShardAddr.
+type Shard struct {
+	ID      string
+	BaseURL string
+}
+
+// Config assembles a Gateway.
+type Config struct {
+	// Shards is the fixed shard topology. Required, non-empty, unique
+	// IDs.
+	Shards []Shard
+	// VirtualNodes per shard on the ring (DefaultVirtualNodes if < 1).
+	VirtualNodes int
+	// Timeout bounds every request to a shard (default 5s).
+	Timeout time.Duration
+	// Retries is how many times a decision is re-sent to the SAME
+	// shard after a transport error (default 2; -1 disables retries).
+	// Retries never change the target shard.
+	Retries int
+	// RetryBackoff is the initial delay between retries, doubling each
+	// attempt (default 25ms).
+	RetryBackoff time.Duration
+	// FailAfter is the consecutive-failure threshold that marks a
+	// shard Down (default 2).
+	FailAfter int
+	// HTTPClient, when non-nil, is the shared transport for all shard
+	// traffic.
+	HTTPClient *http.Client
+}
+
+// gwMetrics are the gateway's own counters, served alongside the
+// aggregated shard metrics.
+type gwMetrics struct {
+	routed      atomic.Int64 // decision/advice requests routed to a shard
+	unavailable atomic.Int64 // requests failed closed (503)
+	retries     atomic.Int64 // same-shard transport retries
+	badRequests atomic.Int64
+	mgmtFanouts atomic.Int64
+}
+
+// Gateway fronts a user-sharded PDP cluster: it routes decision and
+// advisory requests to the owning shard by consistent hash of the
+// user, fans management and metrics out to every shard, and fails
+// closed when a shard is unavailable. It serves the same API paths as
+// internal/server, so PEPs and msodctl talk to a cluster exactly as
+// they talk to one PDP.
+type Gateway struct {
+	cfg     Config
+	ring    *Ring
+	checker *Checker
+	mux     *http.ServeMux
+	metrics gwMetrics
+
+	mu      sync.RWMutex
+	addrs   map[string]string
+	clients map[string]*server.Client
+}
+
+// New validates the topology and builds a gateway. The checker starts
+// with every shard Up; call Gateway.Checker().CheckNow() (and Start)
+// to begin probing.
+func New(cfg Config) (*Gateway, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, errors.New("cluster: no shards configured")
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	} else if cfg.Retries == 0 {
+		cfg.Retries = 2
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 25 * time.Millisecond
+	}
+	if cfg.FailAfter == 0 {
+		cfg.FailAfter = 2
+	}
+	g := &Gateway{
+		cfg:     cfg,
+		ring:    NewRing(cfg.VirtualNodes),
+		addrs:   make(map[string]string, len(cfg.Shards)),
+		clients: make(map[string]*server.Client, len(cfg.Shards)),
+	}
+	ids := make([]string, 0, len(cfg.Shards))
+	for _, s := range cfg.Shards {
+		if s.ID == "" || s.BaseURL == "" {
+			return nil, fmt.Errorf("cluster: shard needs id and url, got %+v", s)
+		}
+		if _, dup := g.addrs[s.ID]; dup {
+			return nil, fmt.Errorf("cluster: duplicate shard id %q", s.ID)
+		}
+		g.addrs[s.ID] = s.BaseURL
+		g.clients[s.ID] = server.NewClient(s.BaseURL, cfg.HTTPClient, server.WithTimeout(cfg.Timeout))
+		g.ring.Add(s.ID)
+		ids = append(ids, s.ID)
+	}
+	g.checker = NewChecker(ids, g.probe, cfg.FailAfter)
+	g.mux = http.NewServeMux()
+	g.mux.HandleFunc(server.DecisionPath, func(w http.ResponseWriter, r *http.Request) {
+		g.handleRouted(w, r, func(c *server.Client, req server.DecisionRequest) (server.DecisionResponse, error) {
+			return c.Decision(req)
+		})
+	})
+	g.mux.HandleFunc(server.AdvicePath, func(w http.ResponseWriter, r *http.Request) {
+		g.handleRouted(w, r, func(c *server.Client, req server.DecisionRequest) (server.DecisionResponse, error) {
+			return c.Advice(req)
+		})
+	})
+	g.mux.HandleFunc(server.ManagementPath, g.handleManagement)
+	g.mux.HandleFunc(server.MetricsPath, g.handleMetrics)
+	g.mux.HandleFunc(server.HealthPath, g.handleHealth)
+	return g, nil
+}
+
+// Checker exposes the health tracker (for probing control and
+// shutdown).
+func (g *Gateway) Checker() *Checker { return g.checker }
+
+// Close stops background probing.
+func (g *Gateway) Close() { g.checker.Stop() }
+
+// probe is the Checker's probe: the shard's /v1/health via its
+// deadline-bounded client.
+func (g *Gateway) probe(shard string) (string, error) {
+	c, ok := g.client(shard)
+	if !ok {
+		return "", fmt.Errorf("cluster: unknown shard %q", shard)
+	}
+	return c.Health()
+}
+
+// client returns the current client for a shard.
+func (g *Gateway) client(shard string) (*server.Client, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	c, ok := g.clients[shard]
+	return c, ok
+}
+
+// SetShardAddr points an existing shard ID at a new base URL — the
+// rejoin path for a shard restarted elsewhere. The ring position (and
+// therefore the user set) is unchanged; the shard still re-enters
+// service only after a successful health probe.
+func (g *Gateway) SetShardAddr(id, baseURL string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.addrs[id]; !ok {
+		return fmt.Errorf("cluster: unknown shard %q", id)
+	}
+	g.addrs[id] = baseURL
+	g.clients[id] = server.NewClient(baseURL, g.cfg.HTTPClient, server.WithTimeout(g.cfg.Timeout))
+	return nil
+}
+
+// ShardFor reports which shard owns a routing key (user ID).
+func (g *Gateway) ShardFor(key string) (string, bool) { return g.ring.Lookup(key) }
+
+// ServeHTTP implements http.Handler.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	g.mux.ServeHTTP(w, r)
+}
+
+// routingKey extracts the stable user identity a request routes by:
+// the pre-validated User, or the holder the credentials assert. In a
+// federation using per-authority aliases, PEPs MUST send the canonical
+// (linked) ID in User — the gateway does not run an identity linker,
+// and two unlinked aliases would route independently.
+func routingKey(req server.DecisionRequest) string {
+	if req.User != "" {
+		return req.User
+	}
+	for _, c := range req.Credentials {
+		if c.Holder != "" {
+			return c.Holder
+		}
+	}
+	return ""
+}
+
+// errorJSON mirrors the server's errorResponse shape.
+func errorJSON(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// handleRouted serves /v1/decision and /v1/advice: route to the owning
+// shard, retry transport errors against that same shard only, and fail
+// closed when the shard cannot answer. Re-routing is deliberately
+// impossible: serving user U from a second shard would evaluate MSoD
+// against a partial retained ADI and could grant what a complete
+// history denies.
+func (g *Gateway) handleRouted(w http.ResponseWriter, r *http.Request, call func(*server.Client, server.DecisionRequest) (server.DecisionResponse, error)) {
+	if r.Method != http.MethodPost {
+		errorJSON(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req server.DecisionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		g.metrics.badRequests.Add(1)
+		errorJSON(w, http.StatusBadRequest, fmt.Sprintf("decode: %v", err))
+		return
+	}
+	key := routingKey(req)
+	if key == "" {
+		g.metrics.badRequests.Add(1)
+		errorJSON(w, http.StatusBadRequest, "request has no routable subject (user or credential holder)")
+		return
+	}
+	shard, ok := g.ring.Lookup(key)
+	if !ok {
+		g.metrics.unavailable.Add(1)
+		errorJSON(w, http.StatusServiceUnavailable, "no shards in ring")
+		return
+	}
+	if !g.checker.Up(shard) {
+		g.metrics.unavailable.Add(1)
+		errorJSON(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("shard %s (owner of user %q) is down; failing closed", shard, key))
+		return
+	}
+	client, _ := g.client(shard)
+	g.metrics.routed.Add(1)
+
+	var lastErr error
+	backoff := g.cfg.RetryBackoff
+	for attempt := 0; attempt <= g.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			g.metrics.retries.Add(1)
+			time.Sleep(backoff)
+			backoff *= 2
+			if !g.checker.Up(shard) {
+				break // went down while we backed off; stop hammering
+			}
+		}
+		resp, err := call(client, req)
+		if err == nil {
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		var apiErr *server.APIError
+		if errors.As(err, &apiErr) {
+			// The shard answered deliberately (bad context, no subject,
+			// forbidden): forward its verdict, do not retry.
+			errorJSON(w, apiErr.Status, apiErr.Message)
+			return
+		}
+		lastErr = err
+		g.checker.ReportFailure(shard, err)
+	}
+	g.metrics.unavailable.Add(1)
+	errorJSON(w, http.StatusServiceUnavailable,
+		fmt.Sprintf("shard %s unreachable (%v); failing closed", shard, lastErr))
+}
+
+// handleManagement fans a §4.3 management operation out to every
+// shard and aggregates the results. It requires the whole cluster up:
+// a purge that silently skipped a down shard would leave history the
+// administrator believes gone.
+func (g *Gateway) handleManagement(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		errorJSON(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req server.ManagementWireRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		g.metrics.badRequests.Add(1)
+		errorJSON(w, http.StatusBadRequest, fmt.Sprintf("decode: %v", err))
+		return
+	}
+	shards := g.checker.Shards()
+	for _, s := range shards {
+		if !g.checker.Up(s) {
+			g.metrics.unavailable.Add(1)
+			errorJSON(w, http.StatusServiceUnavailable,
+				fmt.Sprintf("shard %s is down; management requires the full cluster (a partial purge would silently keep records)", s))
+			return
+		}
+	}
+	g.metrics.mgmtFanouts.Add(1)
+
+	type result struct {
+		shard string
+		resp  server.ManagementWireResponse
+		err   error
+	}
+	results := make([]result, len(shards))
+	var wg sync.WaitGroup
+	for i, s := range shards {
+		wg.Add(1)
+		go func(i int, s string) {
+			defer wg.Done()
+			c, _ := g.client(s)
+			resp, err := c.Manage(req)
+			results[i] = result{shard: s, resp: resp, err: err}
+		}(i, s)
+	}
+	wg.Wait()
+
+	var agg server.ManagementWireResponse
+	for _, res := range results {
+		if res.err != nil {
+			var apiErr *server.APIError
+			if errors.As(res.err, &apiErr) {
+				errorJSON(w, apiErr.Status, fmt.Sprintf("shard %s: %s", res.shard, apiErr.Message))
+				return
+			}
+			g.checker.ReportFailure(res.shard, res.err)
+			errorJSON(w, http.StatusBadGateway, fmt.Sprintf("shard %s: %v", res.shard, res.err))
+			return
+		}
+		agg.Removed += res.resp.Removed
+		agg.Records += res.resp.Records
+	}
+	writeJSON(w, http.StatusOK, agg)
+}
+
+// handleHealth reports the gateway's own view: ok only when every
+// shard is up and all report the same policy.
+func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
+	statuses := g.checker.Statuses()
+	overall := "ok"
+	policies := map[string]bool{}
+	type shardHealth struct {
+		State    string `json:"state"`
+		Policy   string `json:"policy,omitempty"`
+		LastErr  string `json:"lastError,omitempty"`
+		Failures int    `json:"consecutiveFailures,omitempty"`
+	}
+	shards := make(map[string]shardHealth, len(statuses))
+	for id, st := range statuses {
+		if st.State != Up {
+			overall = "degraded"
+		}
+		if st.PolicyID != "" {
+			policies[st.PolicyID] = true
+		}
+		shards[id] = shardHealth{
+			State: st.State.String(), Policy: st.PolicyID,
+			LastErr: st.LastErr, Failures: st.Consecutive,
+		}
+	}
+	if len(policies) > 1 {
+		overall = "degraded" // policy split-brain: shards disagree
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": overall,
+		"role":   "gateway",
+		"shards": shards,
+	})
+}
+
+// handleMetrics aggregates every live shard's /v1/metrics by summing
+// series with identical names and labels, and appends the gateway's
+// own msodgw_* series.
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	sums := make(map[string]float64)
+	var order []string
+	scraped := 0
+	for _, shard := range g.checker.Shards() {
+		if !g.checker.Up(shard) {
+			continue
+		}
+		body, err := g.scrapeShard(shard)
+		if err != nil {
+			g.checker.ReportFailure(shard, err)
+			continue
+		}
+		scraped++
+		for _, line := range strings.Split(string(body), "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			sp := strings.LastIndexByte(line, ' ')
+			if sp <= 0 {
+				continue
+			}
+			series, valStr := line[:sp], line[sp+1:]
+			v, err := strconv.ParseFloat(valStr, 64)
+			if err != nil {
+				continue
+			}
+			if _, seen := sums[series]; !seen {
+				order = append(order, series)
+			}
+			sums[series] += v
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "# msodgw: aggregated over %d live shard(s); series are sums across the cluster\n", scraped)
+	for _, series := range order {
+		fmt.Fprintf(w, "%s %s\n", series, strconv.FormatFloat(sums[series], 'g', -1, 64))
+	}
+	g.writeOwnMetrics(w)
+}
+
+// timeoutContext bounds one gateway-originated request.
+func timeoutContext(d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), d)
+}
+
+// scrapeShard fetches one shard's metrics body with the configured
+// deadline.
+func (g *Gateway) scrapeShard(shard string) ([]byte, error) {
+	g.mu.RLock()
+	base := g.addrs[shard]
+	g.mu.RUnlock()
+	hc := g.cfg.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	req, err := http.NewRequest(http.MethodGet, base+server.MetricsPath, nil)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := timeoutContext(g.cfg.Timeout)
+	defer cancel()
+	resp, err := hc.Do(req.WithContext(ctx))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("metrics status %d", resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// writeOwnMetrics emits the gateway's counters and per-shard gauges.
+func (g *Gateway) writeOwnMetrics(w io.Writer) {
+	write := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	write("msodgw_routed_total", "Decision/advice requests routed to their owning shard.", g.metrics.routed.Load())
+	write("msodgw_unavailable_total", "Requests failed closed (503) because the owning shard could not answer.", g.metrics.unavailable.Load())
+	write("msodgw_retries_total", "Same-shard transport retries.", g.metrics.retries.Load())
+	write("msodgw_bad_requests_total", "Requests rejected before routing (bad input, no subject).", g.metrics.badRequests.Load())
+	write("msodgw_management_fanouts_total", "Management operations fanned out to all shards.", g.metrics.mgmtFanouts.Load())
+	fmt.Fprintf(w, "# HELP msodgw_shard_up Shard availability (1 up, 0 down).\n# TYPE msodgw_shard_up gauge\n")
+	statuses := g.checker.Statuses()
+	ids := make([]string, 0, len(statuses))
+	for id := range statuses {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		up := 0
+		if statuses[id].State == Up {
+			up = 1
+		}
+		fmt.Fprintf(w, "msodgw_shard_up{shard=%q} %d\n", id, up)
+	}
+}

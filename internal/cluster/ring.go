@@ -1,0 +1,143 @@
+// Package cluster shards a PDP deployment by user. MSoD state — the
+// retained ADI and the MMER/MMEP history the §4.2 algorithm consults —
+// is keyed per user, so partitioning users across independent PDP
+// shards preserves the single-PDP decision semantics exactly: every
+// decision for user U sees all of U's history, because all of it lives
+// on U's shard. The package provides the three pieces a sharded
+// deployment needs: a consistent-hash ring mapping stable user IDs to
+// shards (Ring), health tracking with fail-closed semantics (Checker),
+// and an HTTP gateway fronting the shard set (Gateway).
+//
+// The one rule everything here defends: a decision for user U must
+// never be served by two shards concurrently. A split retained ADI
+// under-counts history and grants what MSoD must deny, so the gateway
+// never re-routes — a slow or dead shard yields an explicit 503 and
+// the business process waits, it does not silently proceed.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// DefaultVirtualNodes is the ring's default number of virtual nodes
+// per shard; enough to keep the per-shard key share within a few
+// percent of uniform for small clusters.
+const DefaultVirtualNodes = 64
+
+// point is one virtual node on the ring.
+type point struct {
+	hash  uint64
+	shard string
+}
+
+// Ring is a consistent-hash ring with virtual nodes. Membership
+// changes rehash deterministically: the ring is rebuilt from the
+// sorted member set, so two rings holding the same members route
+// identically regardless of the order shards were added or removed,
+// and a membership change only moves the keys that must move (those
+// owned by the arriving or departing shard).
+type Ring struct {
+	mu      sync.RWMutex
+	vnodes  int
+	members map[string]bool
+	points  []point // sorted by (hash, shard)
+}
+
+// NewRing builds an empty ring with the given number of virtual nodes
+// per shard (DefaultVirtualNodes if vnodes < 1).
+func NewRing(vnodes int) *Ring {
+	if vnodes < 1 {
+		vnodes = DefaultVirtualNodes
+	}
+	return &Ring{vnodes: vnodes, members: make(map[string]bool)}
+}
+
+// hashKey hashes a routing key or virtual-node label onto the ring.
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// Add inserts a shard; adding an existing member is a no-op.
+func (r *Ring) Add(shard string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.members[shard] {
+		return
+	}
+	r.members[shard] = true
+	r.rebuildLocked()
+}
+
+// Remove deletes a shard; removing a non-member is a no-op.
+func (r *Ring) Remove(shard string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.members[shard] {
+		return
+	}
+	delete(r.members, shard)
+	r.rebuildLocked()
+}
+
+// rebuildLocked regenerates the point set from the member set. The
+// points depend only on the members, never on mutation history.
+func (r *Ring) rebuildLocked() {
+	r.points = r.points[:0]
+	for shard := range r.members {
+		for i := 0; i < r.vnodes; i++ {
+			r.points = append(r.points, point{
+				hash:  hashKey(fmt.Sprintf("%s#%d", shard, i)),
+				shard: shard,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare) break by shard ID so ownership
+		// stays deterministic across rebuilds.
+		return r.points[i].shard < r.points[j].shard
+	})
+}
+
+// Lookup maps a routing key (a stable user ID) to its owning shard.
+// The second return is false only when the ring is empty.
+func (r *Ring) Lookup(key string) (string, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return "", false
+	}
+	h := hashKey(key)
+	// First point clockwise from h, wrapping past the top.
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard, true
+}
+
+// Members returns the shard set, sorted.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.members))
+	for m := range r.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns the number of member shards.
+func (r *Ring) Size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}

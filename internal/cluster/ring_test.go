@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// keys generates n deterministic pseudo-random user IDs.
+func keys(n int) []string {
+	rng := rand.New(rand.NewSource(7))
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("user%08d", rng.Intn(1<<30))
+	}
+	return out
+}
+
+// TestRingEveryKeyExactlyOneLiveShard is the correctness property the
+// tentpole demands: for any member set, every user routes to exactly
+// one shard and that shard is a live member.
+func TestRingEveryKeyExactlyOneLiveShard(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		r := NewRing(0)
+		members := map[string]bool{}
+		for i := 0; i < n; i++ {
+			id := fmt.Sprintf("shard%02d", i)
+			r.Add(id)
+			members[id] = true
+		}
+		for _, k := range keys(5000) {
+			s1, ok := r.Lookup(k)
+			if !ok {
+				t.Fatalf("n=%d: key %q routed nowhere", n, k)
+			}
+			if !members[s1] {
+				t.Fatalf("n=%d: key %q routed to non-member %q", n, k, s1)
+			}
+			// Exactly one: lookup is a function of (members, key), so a
+			// second call — and a call against an independently built
+			// ring with the same members — must agree.
+			if s2, _ := r.Lookup(k); s2 != s1 {
+				t.Fatalf("n=%d: key %q unstable: %q then %q", n, k, s1, s2)
+			}
+		}
+	}
+}
+
+// TestRingDeterministicAcrossBuildOrder: two rings with the same
+// members route identically regardless of Add/Remove history.
+func TestRingDeterministicAcrossBuildOrder(t *testing.T) {
+	a := NewRing(32)
+	for _, s := range []string{"s0", "s1", "s2", "s3"} {
+		a.Add(s)
+	}
+	b := NewRing(32)
+	for _, s := range []string{"s3", "s1", "extra", "s0", "s2"} {
+		b.Add(s)
+	}
+	b.Remove("extra")
+	for _, k := range keys(2000) {
+		sa, _ := a.Lookup(k)
+		sb, _ := b.Lookup(k)
+		if sa != sb {
+			t.Fatalf("key %q: order-dependent routing %q vs %q", k, sa, sb)
+		}
+	}
+}
+
+// TestRingRehashMinimalOnAdd: growing the cluster moves keys only TO
+// the new shard; nobody else's users change owner.
+func TestRingRehashMinimalOnAdd(t *testing.T) {
+	before := NewRing(0)
+	after := NewRing(0)
+	for i := 0; i < 4; i++ {
+		id := fmt.Sprintf("shard%02d", i)
+		before.Add(id)
+		after.Add(id)
+	}
+	after.Add("shard04")
+	moved := 0
+	ks := keys(8000)
+	for _, k := range ks {
+		b, _ := before.Lookup(k)
+		a, _ := after.Lookup(k)
+		if a != b {
+			if a != "shard04" {
+				t.Fatalf("key %q moved %q→%q, not to the new shard", k, b, a)
+			}
+			moved++
+		}
+	}
+	// The new shard should own roughly 1/5 of the space; allow slack.
+	if moved == 0 || moved > len(ks)/2 {
+		t.Fatalf("add moved %d/%d keys", moved, len(ks))
+	}
+}
+
+// TestRingRehashMinimalOnRemove: shrinking moves only the departed
+// shard's keys.
+func TestRingRehashMinimalOnRemove(t *testing.T) {
+	before := NewRing(0)
+	after := NewRing(0)
+	for i := 0; i < 5; i++ {
+		id := fmt.Sprintf("shard%02d", i)
+		before.Add(id)
+		after.Add(id)
+	}
+	after.Remove("shard02")
+	for _, k := range keys(8000) {
+		b, _ := before.Lookup(k)
+		a, _ := after.Lookup(k)
+		if b != "shard02" && a != b {
+			t.Fatalf("key %q on surviving shard moved %q→%q", k, b, a)
+		}
+		if b == "shard02" && a == "shard02" {
+			t.Fatalf("key %q still routed to removed shard", k)
+		}
+	}
+}
+
+// TestRingBalance: with enough virtual nodes, shard shares stay
+// within a sane factor of uniform (more vnodes → tighter balance).
+func TestRingBalance(t *testing.T) {
+	r := NewRing(256)
+	const n = 8
+	for i := 0; i < n; i++ {
+		r.Add(fmt.Sprintf("shard%02d", i))
+	}
+	counts := map[string]int{}
+	ks := keys(40000)
+	for _, k := range ks {
+		s, _ := r.Lookup(k)
+		counts[s]++
+	}
+	mean := len(ks) / n
+	for s, c := range counts {
+		if c < mean/3 || c > mean*3 {
+			t.Errorf("shard %s owns %d keys (mean %d): badly unbalanced", s, c, mean)
+		}
+	}
+	if len(counts) != n {
+		t.Errorf("only %d/%d shards own keys", len(counts), n)
+	}
+}
+
+// TestRingEdgeCases: empty ring, idempotent add/remove, members
+// listing.
+func TestRingEdgeCases(t *testing.T) {
+	r := NewRing(4)
+	if _, ok := r.Lookup("u"); ok {
+		t.Error("empty ring returned a shard")
+	}
+	r.Add("a")
+	r.Add("a")
+	r.Remove("missing")
+	if got := r.Members(); len(got) != 1 || got[0] != "a" {
+		t.Errorf("members = %v", got)
+	}
+	if r.Size() != 1 {
+		t.Errorf("size = %d", r.Size())
+	}
+	s, ok := r.Lookup("anything")
+	if !ok || s != "a" {
+		t.Errorf("single-shard lookup = %q, %v", s, ok)
+	}
+	r.Remove("a")
+	if _, ok := r.Lookup("u"); ok {
+		t.Error("emptied ring returned a shard")
+	}
+}

@@ -2,21 +2,58 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"time"
 
 	"msod/internal/bctx"
 	"msod/internal/credential"
 	"msod/internal/rbac"
 )
 
+// APIError is a response the server produced deliberately: a non-2xx
+// status with (usually) an errorResponse body. Callers that need the
+// status — the cluster gateway forwarding a shard's verdict, a PEP
+// distinguishing "denied" from "unreachable" — unwrap it with
+// errors.As; transport failures (refused connections, timeouts) are
+// never APIErrors.
+type APIError struct {
+	// Path is the API path that produced the error.
+	Path string
+	// Status is the HTTP status code.
+	Status int
+	// Message is the server's error payload, if it sent one.
+	Message string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("server: %s: %s (status %d)", e.Path, e.Message, e.Status)
+	}
+	return fmt.Sprintf("server: %s: status %d", e.Path, e.Status)
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithTimeout bounds every request the client makes with a per-request
+// deadline. Zero (the default) means no deadline — but any PEP calling
+// a remote PDP should set one: a stalled PDP otherwise blocks the PEP,
+// and with it the business process, indefinitely.
+func WithTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.timeout = d }
+}
+
 // Client is a remote PEP's view of the PDP: it submits decision and
 // management requests over HTTP and satisfies workflow.Decider, so the
 // workflow engine can run against a remote PDP unchanged.
 type Client struct {
-	base string
-	http *http.Client
+	base    string
+	http    *http.Client
+	timeout time.Duration
 	// Credentials, when set, are attached to every decision request
 	// (the PEP presenting the user's signed attributes).
 	Credentials []credential.Credential
@@ -24,11 +61,23 @@ type Client struct {
 
 // NewClient builds a client for the PDP at base (e.g.
 // "http://127.0.0.1:8443"). A nil httpClient uses http.DefaultClient.
-func NewClient(base string, httpClient *http.Client) *Client {
+func NewClient(base string, httpClient *http.Client, opts ...ClientOption) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	return &Client{base: base, http: httpClient}
+	c := &Client{base: base, http: httpClient}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// reqContext returns the context bounding one request.
+func (c *Client) reqContext() (context.Context, context.CancelFunc) {
+	if c.timeout <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), c.timeout)
 }
 
 // Decision submits a decision request.
@@ -60,7 +109,13 @@ func (c *Client) Manage(req ManagementWireRequest) (ManagementWireResponse, erro
 
 // Health checks liveness and returns the server's policy ID.
 func (c *Client) Health() (string, error) {
-	httpResp, err := c.http.Get(c.base + HealthPath)
+	ctx, cancel := c.reqContext()
+	defer cancel()
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+HealthPath, nil)
+	if err != nil {
+		return "", fmt.Errorf("server: health: %w", err)
+	}
+	httpResp, err := c.http.Do(httpReq)
 	if err != nil {
 		return "", fmt.Errorf("server: health: %w", err)
 	}
@@ -70,7 +125,7 @@ func (c *Client) Health() (string, error) {
 		return "", fmt.Errorf("server: health decode: %w", err)
 	}
 	if httpResp.StatusCode != http.StatusOK {
-		return "", fmt.Errorf("server: health status %d", httpResp.StatusCode)
+		return "", &APIError{Path: HealthPath, Status: httpResp.StatusCode, Message: body["status"]}
 	}
 	return body["policy"], nil
 }
@@ -97,17 +152,25 @@ func (c *Client) post(path string, in, out any) error {
 	if err != nil {
 		return fmt.Errorf("server: marshal request: %w", err)
 	}
-	httpResp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(body))
+	ctx, cancel := c.reqContext()
+	defer cancel()
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("server: post %s: %w", path, err)
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	httpResp, err := c.http.Do(httpReq)
 	if err != nil {
 		return fmt.Errorf("server: post %s: %w", path, err)
 	}
 	defer httpResp.Body.Close()
 	if httpResp.StatusCode != http.StatusOK {
+		apiErr := &APIError{Path: path, Status: httpResp.StatusCode}
 		var e errorResponse
-		if err := json.NewDecoder(httpResp.Body).Decode(&e); err == nil && e.Error != "" {
-			return fmt.Errorf("server: %s: %s (status %d)", path, e.Error, httpResp.StatusCode)
+		if err := json.NewDecoder(httpResp.Body).Decode(&e); err == nil {
+			apiErr.Message = e.Error
 		}
-		return fmt.Errorf("server: %s: status %d", path, httpResp.StatusCode)
+		return apiErr
 	}
 	if err := json.NewDecoder(httpResp.Body).Decode(out); err != nil {
 		return fmt.Errorf("server: decode response: %w", err)

@@ -1,0 +1,102 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestClientTimeout: a stalled PDP must not hang a deadline-bounded
+// client — every API method returns within the configured timeout.
+func TestClientTimeout(t *testing.T) {
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+	}))
+	t.Cleanup(func() { close(release); ts.Close() })
+
+	c := NewClient(ts.URL, nil, WithTimeout(50*time.Millisecond))
+	calls := map[string]func() error{
+		"decision": func() error { _, err := c.Decision(DecisionRequest{}); return err },
+		"advice":   func() error { _, err := c.Advice(DecisionRequest{}); return err },
+		"manage":   func() error { _, err := c.Manage(ManagementWireRequest{}); return err },
+		"health":   func() error { _, err := c.Health(); return err },
+	}
+	for name, call := range calls {
+		start := time.Now()
+		err := call()
+		elapsed := time.Since(start)
+		if err == nil {
+			t.Errorf("%s: stalled server returned no error", name)
+		}
+		var apiErr *APIError
+		if errors.As(err, &apiErr) {
+			t.Errorf("%s: timeout surfaced as APIError %v", name, apiErr)
+		}
+		if elapsed > 2*time.Second {
+			t.Errorf("%s: returned after %v despite 50ms deadline", name, elapsed)
+		}
+	}
+}
+
+// TestClientNoTimeoutByDefault: the zero value keeps the old
+// no-deadline behaviour (requests complete normally).
+func TestClientNoTimeoutByDefault(t *testing.T) {
+	ts, _ := startServer(t)
+	c := NewClient(ts.URL, nil)
+	if c.timeout != 0 {
+		t.Fatalf("default timeout = %v", c.timeout)
+	}
+	if _, err := c.Health(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClientAPIErrorTyping: deliberate server rejections surface as
+// *APIError with the status and message; transport failures do not.
+func TestClientAPIErrorTyping(t *testing.T) {
+	t.Run("status and message preserved", func(t *testing.T) {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusForbidden)
+			w.Write([]byte(`{"error":"not the controller"}`))
+		}))
+		t.Cleanup(ts.Close)
+		_, err := NewClient(ts.URL, nil).Manage(ManagementWireRequest{})
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) {
+			t.Fatalf("err = %v, want *APIError", err)
+		}
+		if apiErr.Status != http.StatusForbidden || apiErr.Message != "not the controller" || apiErr.Path != ManagementPath {
+			t.Errorf("apiErr = %+v", apiErr)
+		}
+	})
+
+	t.Run("non-JSON error body keeps the status", func(t *testing.T) {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusBadGateway)
+			w.Write([]byte("<html>upstream sad</html>"))
+		}))
+		t.Cleanup(ts.Close)
+		_, err := NewClient(ts.URL, nil).Decision(DecisionRequest{})
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) {
+			t.Fatalf("err = %v, want *APIError", err)
+		}
+		if apiErr.Status != http.StatusBadGateway || apiErr.Message != "" {
+			t.Errorf("apiErr = %+v", apiErr)
+		}
+	})
+
+	t.Run("connection refused is not an APIError", func(t *testing.T) {
+		_, err := NewClient("http://127.0.0.1:1", nil, WithTimeout(time.Second)).Decision(DecisionRequest{})
+		if err == nil {
+			t.Fatal("no error from unreachable host")
+		}
+		var apiErr *APIError
+		if errors.As(err, &apiErr) {
+			t.Errorf("transport failure typed as APIError: %v", apiErr)
+		}
+	})
+}

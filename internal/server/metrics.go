@@ -3,12 +3,58 @@ package server
 import (
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync/atomic"
+	"time"
 )
 
 // MetricsPath serves operational counters in the Prometheus text
-// exposition format (counters only; no external dependency).
+// exposition format (counters and one fixed-bucket histogram; no
+// external dependency).
 const MetricsPath = "/v1/metrics"
+
+// durationBuckets are the fixed upper bounds (seconds) of the decision
+// latency histogram. They span the measured range of EXPERIMENTS.md:
+// a few µs in-process through tens of ms for durable-store grants.
+var durationBuckets = [...]float64{
+	10e-6, 25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 1,
+}
+
+// histogram is a lock-free fixed-bucket latency histogram.
+type histogram struct {
+	// counts[i] is the number of observations in bucket i (non-
+	// cumulative); the final slot is the +Inf overflow bucket.
+	counts   [len(durationBuckets) + 1]atomic.Int64
+	sumNanos atomic.Int64
+}
+
+// observe records one duration.
+func (h *histogram) observe(d time.Duration) {
+	s := d.Seconds()
+	i := 0
+	for i < len(durationBuckets) && s > durationBuckets[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumNanos.Add(int64(d))
+}
+
+// write emits the histogram in Prometheus exposition format.
+func (h *histogram) write(w http.ResponseWriter, name, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum int64
+	for i, bound := range durationBuckets {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n",
+			name, strconv.FormatFloat(bound, 'g', -1, 64), cum)
+	}
+	cum += h.counts[len(durationBuckets)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", name,
+		strconv.FormatFloat(time.Duration(h.sumNanos.Load()).Seconds(), 'g', -1, 64))
+	fmt.Fprintf(w, "%s_count %d\n", name, cum)
+}
 
 // metrics holds the server's decision counters.
 type metrics struct {
@@ -21,6 +67,9 @@ type metrics struct {
 	requestErrors  atomic.Int64 // bad requests / no subject / internal
 	recordsWritten atomic.Int64
 	recordsPurged  atomic.Int64
+	// duration observes the PDP evaluation time of every decision and
+	// advisory request (not transport or JSON handling).
+	duration histogram
 }
 
 // observe updates the counters from one decision response.
@@ -56,6 +105,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	write("msod_request_errors_total", "Requests rejected before a decision (bad input, no subject).", s.metrics.requestErrors.Load())
 	write("msod_adi_records_written_total", "Retained-ADI records written by grants.", s.metrics.recordsWritten.Load())
 	write("msod_adi_records_purged_total", "Retained-ADI records purged by last steps.", s.metrics.recordsPurged.Load())
+	s.metrics.duration.write(w, "msod_decision_duration_seconds",
+		"PDP evaluation time per decision/advisory request (CVS+RBAC+MSoD, excluding transport).")
 	// One gauge: the live store size.
 	fmt.Fprintf(w, "# HELP msod_adi_records Live retained-ADI records.\n# TYPE msod_adi_records gauge\nmsod_adi_records %d\n",
 		s.pdp.Store().Len())

@@ -1,10 +1,12 @@
 package server
 
 import (
+	"fmt"
 	"io"
 	"net/http"
 	"regexp"
 	"strconv"
+	"strings"
 	"testing"
 )
 
@@ -99,5 +101,73 @@ func TestMetricsEndpoint(t *testing.T) {
 		if got := metricValue(t, body, name); got != v {
 			t.Errorf("%s = %d, want %d", name, got, v)
 		}
+	}
+}
+
+// TestMetricsDurationHistogram: decisions populate the latency
+// histogram with cumulative buckets, a +Inf catch-all, and sum/count.
+func TestMetricsDurationHistogram(t *testing.T) {
+	ts, _ := startServer(t)
+	c := NewClient(ts.URL, nil)
+
+	req := DecisionRequest{
+		User: "c1", Roles: []string{"Clerk"},
+		Operation: "prepareCheck", Target: "http://www.myTaxOffice.com/Check",
+		Context: "TaxOffice=Leeds, taxRefundProcess=p1",
+	}
+	const n = 5
+	for i := 0; i < n; i++ {
+		r := req
+		r.User = fmt.Sprintf("c%d", i)
+		if _, err := c.Decision(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + MetricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+
+	if !strings.Contains(body, "# TYPE msod_decision_duration_seconds histogram") {
+		t.Fatalf("histogram TYPE line missing:\n%s", body)
+	}
+	if got := metricValue(t, body, `msod_decision_duration_seconds_bucket{le="+Inf"}`); got != n {
+		t.Errorf("+Inf bucket = %d, want %d", got, n)
+	}
+	if got := metricValue(t, body, "msod_decision_duration_seconds_count"); got != n {
+		t.Errorf("_count = %d, want %d", got, n)
+	}
+	sumRe := regexp.MustCompile(`(?m)^msod_decision_duration_seconds_sum ([0-9.eE+-]+)$`)
+	m := sumRe.FindStringSubmatch(body)
+	if m == nil {
+		t.Fatalf("_sum missing:\n%s", body)
+	}
+	sum, err := strconv.ParseFloat(m[1], 64)
+	if err != nil || sum <= 0 {
+		t.Errorf("_sum = %q (err %v), want > 0", m[1], err)
+	}
+
+	// Buckets must be cumulative: counts monotonically non-decreasing
+	// in le order, ending at n.
+	bucketRe := regexp.MustCompile(`(?m)^msod_decision_duration_seconds_bucket\{le="([^"]+)"\} (\d+)$`)
+	prev := -1
+	last := 0
+	for _, bm := range bucketRe.FindAllStringSubmatch(body, -1) {
+		v, _ := strconv.Atoi(bm[2])
+		if v < prev {
+			t.Errorf("bucket le=%s count %d < previous %d (not cumulative)", bm[1], v, prev)
+		}
+		prev = v
+		last = v
+	}
+	if last != n {
+		t.Errorf("final bucket = %d, want %d", last, n)
 	}
 }

@@ -135,7 +135,9 @@ func (s *Server) serveDecision(w http.ResponseWriter, r *http.Request, decide fu
 		Context:     ctx,
 		Environment: wire.Environment,
 	}
+	start := time.Now()
 	dec, err := decide(req)
+	s.metrics.duration.observe(time.Since(start))
 	if err != nil {
 		s.metrics.requestErrors.Add(1)
 		status := http.StatusInternalServerError

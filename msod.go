@@ -349,13 +349,25 @@ type (
 	ManagementWireRequest = server.ManagementWireRequest
 	// ManagementWireResponse is the wire form of a management result.
 	ManagementWireResponse = server.ManagementWireResponse
+	// ClientOption configures a Client at construction.
+	ClientOption = server.ClientOption
+	// APIError is a deliberate non-2xx answer from a PDP (or gateway),
+	// carrying the HTTP status and server-reported message; transport
+	// failures are never APIErrors.
+	APIError = server.APIError
 )
 
 // NewServer wraps a PDP in an http.Handler.
 func NewServer(p *PDP) *Server { return server.New(p) }
 
-// NewClient builds a client for the PDP at base URL.
-func NewClient(base string) *Client { return server.NewClient(base, nil) }
+// NewClient builds a client for the PDP (or msodgw gateway) at base URL.
+func NewClient(base string, opts ...ClientOption) *Client {
+	return server.NewClient(base, nil, opts...)
+}
+
+// WithClientTimeout bounds every request the client makes; zero or
+// negative means no deadline.
+func WithClientTimeout(d time.Duration) ClientOption { return server.WithTimeout(d) }
 
 // PEP types (the application-side enforcement function of Figure 3).
 type (
