@@ -17,14 +17,20 @@ import (
 )
 
 // stubShard is a scripted PDP backend that records which users it was
-// asked to decide for.
+// asked to decide for. Like the real PDP it echoes the resolved
+// subject: req.User, or the first credential holder when only
+// credentials are sent; echoUser, when set, overrides it (simulating a
+// CVS that resolves the credentials to a different canonical user).
 type stubShard struct {
-	ts       *httptest.Server
-	requests atomic.Int64
-	users    chan string // buffered log of decision users
-	delay    time.Duration
-	healthy  atomic.Bool
-	policy   string
+	ts           *httptest.Server
+	requests     atomic.Int64
+	users        chan string // buffered log of decision users
+	delay        time.Duration
+	metricsDelay time.Duration
+	healthy      atomic.Bool
+	mgmtFail     atomic.Bool // management drops the connection (transport error)
+	echoUser     string
+	policy       string
 }
 
 func newStubShard(t *testing.T, policy string) *stubShard {
@@ -43,14 +49,41 @@ func newStubShard(t *testing.T, policy string) *stubShard {
 		if s.delay > 0 {
 			time.Sleep(s.delay)
 		}
-		json.NewEncoder(w).Encode(server.DecisionResponse{Allowed: true, Phase: "granted", User: req.User})
+		resolved := s.echoUser
+		if resolved == "" {
+			resolved = req.User
+		}
+		if resolved == "" {
+			for _, c := range req.Credentials {
+				if c.Holder != "" {
+					resolved = c.Holder
+					break
+				}
+			}
+		}
+		json.NewEncoder(w).Encode(server.DecisionResponse{Allowed: true, Phase: "granted", User: resolved})
 	}
 	mux.HandleFunc(server.DecisionPath, decide)
 	mux.HandleFunc(server.AdvicePath, decide)
 	mux.HandleFunc(server.ManagementPath, func(w http.ResponseWriter, r *http.Request) {
+		if s.mgmtFail.Load() {
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				panic("no hijacker")
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				panic(err)
+			}
+			conn.Close()
+			return
+		}
 		json.NewEncoder(w).Encode(server.ManagementWireResponse{Removed: 1, Records: 2})
 	})
 	mux.HandleFunc(server.MetricsPath, func(w http.ResponseWriter, r *http.Request) {
+		if s.metricsDelay > 0 {
+			time.Sleep(s.metricsDelay)
+		}
 		fmt.Fprintf(w, "# HELP msod_decisions_total x\n# TYPE msod_decisions_total counter\nmsod_decisions_total %d\n", s.requests.Load())
 	})
 	mux.HandleFunc(server.HealthPath, func(w http.ResponseWriter, r *http.Request) {
@@ -251,8 +284,14 @@ func TestGatewayRetriesSameShard(t *testing.T) {
 	// A backend whose first connection attempt fails at the HTTP layer:
 	// simulate with a handler that hijacks+drops the first request.
 	var drops atomic.Int64
+	ids := make(chan string, 8) // RequestID of every attempt that arrived
 	mux := http.NewServeMux()
 	mux.HandleFunc(server.DecisionPath, func(w http.ResponseWriter, r *http.Request) {
+		var req server.DecisionRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Error(err)
+		}
+		ids <- req.RequestID
 		if drops.Add(1) == 1 {
 			hj, ok := w.(http.Hijacker)
 			if !ok {
@@ -265,7 +304,7 @@ func TestGatewayRetriesSameShard(t *testing.T) {
 			conn.Close() // abrupt close → transport error at the client
 			return
 		}
-		json.NewEncoder(w).Encode(server.DecisionResponse{Allowed: true, Phase: "granted"})
+		json.NewEncoder(w).Encode(server.DecisionResponse{Allowed: true, Phase: "granted", User: req.User})
 	})
 	mux.HandleFunc(server.HealthPath, func(w http.ResponseWriter, r *http.Request) {
 		json.NewEncoder(w).Encode(map[string]string{"status": "ok", "policy": "p"})
@@ -289,6 +328,12 @@ func TestGatewayRetriesSameShard(t *testing.T) {
 	resp, err := server.NewClient(gts.URL, nil).Decision(server.DecisionRequest{User: "u", Operation: "op", Target: "t", Context: "P=1"})
 	if err != nil || !resp.Allowed {
 		t.Fatalf("retried decision = %+v, %v", resp, err)
+	}
+	// Both attempts must carry the same gateway-minted idempotency ID,
+	// so the shard can dedupe a retry whose first attempt committed.
+	first, second := <-ids, <-ids
+	if first == "" || first != second {
+		t.Errorf("retry idempotency IDs = %q, %q; want identical non-empty", first, second)
 	}
 }
 
@@ -535,5 +580,164 @@ func TestNewConfigValidation(t *testing.T) {
 		{ID: "a", BaseURL: "http://x"}, {ID: "a", BaseURL: "http://y"},
 	}}); err == nil {
 		t.Error("duplicate shard id accepted")
+	}
+}
+
+// TestGatewayWithholdsMisroutedAnswer: when the shard's CVS resolves
+// the subject to a user another shard owns — a forged leading
+// credential or an unlinked alias steered routing — the answer is
+// withheld (502), never forwarded as a grant.
+func TestGatewayWithholdsMisroutedAnswer(t *testing.T) {
+	gw, gts, shards := newTestCluster(t, 2, Config{})
+	// Find a routing key owned by shard00 and a canonical user owned by
+	// shard01.
+	var keyOn0, userOn1 string
+	for i := 0; (keyOn0 == "" || userOn1 == "") && i < 10000; i++ {
+		u := fmt.Sprintf("user%05d", i)
+		switch s, _ := gw.ShardFor(u); s {
+		case "shard00":
+			if keyOn0 == "" {
+				keyOn0 = u
+			}
+		case "shard01":
+			if userOn1 == "" {
+				userOn1 = u
+			}
+		}
+	}
+	// shard00 "resolves" every subject to a user shard01 owns.
+	shards[0].echoUser = userOn1
+
+	c := server.NewClient(gts.URL, nil)
+	_, err := c.Decision(server.DecisionRequest{User: keyOn0, Operation: "op", Target: "t", Context: "P=1"})
+	var apiErr *server.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadGateway {
+		t.Fatalf("misrouted decision = %v, want withheld 502", err)
+	}
+	if !strings.Contains(apiErr.Message, userOn1) || !strings.Contains(apiErr.Message, "shard01") {
+		t.Errorf("502 message %q does not name the resolved subject and its owner", apiErr.Message)
+	}
+	// The advisory path applies the same guard.
+	_, err = c.Advice(server.DecisionRequest{User: keyOn0, Operation: "op", Target: "t", Context: "P=1"})
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadGateway {
+		t.Fatalf("misrouted advice = %v, want withheld 502", err)
+	}
+	// A shard that answers without naming the resolved subject is just
+	// as untrustworthy.
+	shards[0].echoUser = ""
+	_, err = c.Decision(server.DecisionRequest{User: keyOn0, Operation: "op", Target: "t", Context: "P=1"})
+	if err != nil {
+		t.Fatalf("correctly-routed decision rejected: %v", err)
+	}
+	// And the misroutes are visible to operators.
+	resp, err := http.Get(gts.URL + server.MetricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(raw), "msodgw_misrouted_total 2") {
+		t.Errorf("misroute counter missing:\n%s", raw)
+	}
+}
+
+// TestGatewayManagementPartialFailure: when a shard fails mid-fan-out,
+// the error reports per-shard outcomes — which shards applied the
+// operation — instead of an opaque error implying nothing happened.
+func TestGatewayManagementPartialFailure(t *testing.T) {
+	_, gts, shards := newTestCluster(t, 3, Config{Retries: -1, FailAfter: 10})
+	shards[1].mgmtFail.Store(true)
+
+	resp, err := http.Post(gts.URL+server.ManagementPath, "application/json",
+		strings.NewReader(`{"user":"root","roles":["RetainedADIController"],"operation":"stats"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("partial failure status = %d, want 502", resp.StatusCode)
+	}
+	var body struct {
+		Error  string                       `json:"error"`
+		Shards map[string]ManagementOutcome `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(body.Error, "2 of 3") {
+		t.Errorf("error %q does not state how many shards applied", body.Error)
+	}
+	if len(body.Shards) != 3 {
+		t.Fatalf("outcomes = %+v, want all 3 shards", body.Shards)
+	}
+	for id, want := range map[string]bool{"shard00": true, "shard01": false, "shard02": true} {
+		got := body.Shards[id]
+		if got.Applied != want {
+			t.Errorf("shard %s applied = %v, want %v", id, got.Applied, want)
+		}
+		if !want && got.Error == "" {
+			t.Errorf("failed shard %s has no error detail", id)
+		}
+	}
+}
+
+// TestGatewayManagementUniformRefusal: when every shard refuses the
+// operation with the same deliberate status, that verdict is forwarded
+// (nothing was applied anywhere), not collapsed into a 502.
+func TestGatewayManagementUniformRefusal(t *testing.T) {
+	newRefusingShard := func() string {
+		mux := http.NewServeMux()
+		mux.HandleFunc(server.ManagementPath, func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusForbidden)
+			json.NewEncoder(w).Encode(map[string]string{"error": "not a controller"})
+		})
+		mux.HandleFunc(server.HealthPath, func(w http.ResponseWriter, r *http.Request) {
+			json.NewEncoder(w).Encode(map[string]string{"status": "ok", "policy": "p"})
+		})
+		ts := httptest.NewServer(mux)
+		t.Cleanup(ts.Close)
+		return ts.URL
+	}
+	gw, err := New(Config{Shards: []Shard{
+		{ID: "a", BaseURL: newRefusingShard()},
+		{ID: "b", BaseURL: newRefusingShard()},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(gw.Close)
+	gts := httptest.NewServer(gw)
+	t.Cleanup(gts.Close)
+
+	_, err = server.NewClient(gts.URL, nil).Manage(server.ManagementWireRequest{User: "nobody", Operation: "stats"})
+	var apiErr *server.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusForbidden {
+		t.Fatalf("uniform refusal = %v, want forwarded 403", err)
+	}
+	if !strings.Contains(apiErr.Message, "not a controller") {
+		t.Errorf("refusal message %q lost the shard's reason", apiErr.Message)
+	}
+}
+
+// TestGatewayMetricsScrapeConcurrent: slow shards are scraped in
+// parallel, so one scrape costs ~one shard's latency, not their sum.
+func TestGatewayMetricsScrapeConcurrent(t *testing.T) {
+	_, gts, shards := newTestCluster(t, 3, Config{Timeout: 2 * time.Second})
+	for _, s := range shards {
+		s.metricsDelay = 150 * time.Millisecond
+	}
+	start := time.Now()
+	resp, err := http.Get(gts.URL + server.MetricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	elapsed := time.Since(start)
+	if elapsed > 400*time.Millisecond {
+		t.Errorf("scrape of 3×150ms shards took %v; not concurrent", elapsed)
+	}
+	if !strings.Contains(string(raw), "aggregated over 3 live shard(s)") {
+		t.Errorf("concurrent scrape lost shards:\n%s", raw)
 	}
 }

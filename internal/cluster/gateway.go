@@ -2,6 +2,8 @@ package cluster
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -37,7 +39,11 @@ type Config struct {
 	Timeout time.Duration
 	// Retries is how many times a decision is re-sent to the SAME
 	// shard after a transport error (default 2; -1 disables retries).
-	// Retries never change the target shard.
+	// Retries never change the target shard, and every retry of a
+	// decision carries the same idempotency RequestID the gateway
+	// minted before the first send — a timeout that struck after the
+	// shard committed replays the committed response instead of
+	// double-recording ADI history.
 	Retries int
 	// RetryBackoff is the initial delay between retries, doubling each
 	// attempt (default 25ms).
@@ -56,6 +62,7 @@ type gwMetrics struct {
 	routed      atomic.Int64 // decision/advice requests routed to a shard
 	unavailable atomic.Int64 // requests failed closed (503)
 	retries     atomic.Int64 // same-shard transport retries
+	misrouted   atomic.Int64 // answers withheld: resolved subject owned by another shard
 	badRequests atomic.Int64
 	mgmtFanouts atomic.Int64
 }
@@ -121,12 +128,12 @@ func New(cfg Config) (*Gateway, error) {
 	g.checker = NewChecker(ids, g.probe, cfg.FailAfter)
 	g.mux = http.NewServeMux()
 	g.mux.HandleFunc(server.DecisionPath, func(w http.ResponseWriter, r *http.Request) {
-		g.handleRouted(w, r, func(c *server.Client, req server.DecisionRequest) (server.DecisionResponse, error) {
+		g.handleRouted(w, r, true, func(c *server.Client, req server.DecisionRequest) (server.DecisionResponse, error) {
 			return c.Decision(req)
 		})
 	})
 	g.mux.HandleFunc(server.AdvicePath, func(w http.ResponseWriter, r *http.Request) {
-		g.handleRouted(w, r, func(c *server.Client, req server.DecisionRequest) (server.DecisionResponse, error) {
+		g.handleRouted(w, r, false, func(c *server.Client, req server.DecisionRequest) (server.DecisionResponse, error) {
 			return c.Advice(req)
 		})
 	})
@@ -184,11 +191,14 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	g.mux.ServeHTTP(w, r)
 }
 
-// routingKey extracts the stable user identity a request routes by:
-// the pre-validated User, or the holder the credentials assert. In a
-// federation using per-authority aliases, PEPs MUST send the canonical
-// (linked) ID in User — the gateway does not run an identity linker,
-// and two unlinked aliases would route independently.
+// routingKey extracts the user identity a request routes by: the
+// pre-validated User, or the holder the credentials assert. The key is
+// a HINT, not the authority on the subject — when credentials are
+// present the shard's CVS (and identity linker) resolves the canonical
+// user itself and may disagree with an unvalidated Holder, a forged
+// leading credential, or an unlinked alias. handleRouted therefore
+// verifies after the fact that the subject the shard actually resolved
+// is owned by the routed shard, and withholds the answer otherwise.
 func routingKey(req server.DecisionRequest) string {
 	if req.User != "" {
 		return req.User
@@ -199,6 +209,17 @@ func routingKey(req server.DecisionRequest) string {
 		}
 	}
 	return ""
+}
+
+// newRequestID mints the idempotency ID attached to a decision before
+// its first send, so every retry reaches the shard under the same ID
+// and the decision commits at most once.
+func newRequestID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "" // no entropy: send without idempotency rather than fail
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // errorJSON mirrors the server's errorResponse shape.
@@ -220,7 +241,24 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // impossible: serving user U from a second shard would evaluate MSoD
 // against a partial retained ADI and could grant what a complete
 // history denies.
-func (g *Gateway) handleRouted(w http.ResponseWriter, r *http.Request, call func(*server.Client, server.DecisionRequest) (server.DecisionResponse, error)) {
+//
+// Two guards make the routing trustworthy:
+//
+//   - Ownership echo-check: the routing key is only a hint (see
+//     routingKey); the shard's CVS may resolve the credentials to a
+//     different canonical user. If the resolved subject in the
+//     response is not owned by the routed shard, the answer is
+//     withheld with a 502 — forwarding it would hand out a decision
+//     evaluated against the wrong shard's (partial) history. The
+//     stray evaluation can only over-count on a shard that never
+//     serves that user, which is deny-safe; the owner's retained ADI
+//     is untouched and the grant never reaches the PEP.
+//
+//   - Idempotent retries: decision requests (record=true) are stamped
+//     with a RequestID before the first send, so a retry after a
+//     timeout that struck post-commit replays the shard's committed
+//     response instead of double-recording ADI history.
+func (g *Gateway) handleRouted(w http.ResponseWriter, r *http.Request, record bool, call func(*server.Client, server.DecisionRequest) (server.DecisionResponse, error)) {
 	if r.Method != http.MethodPost {
 		errorJSON(w, http.StatusMethodNotAllowed, "POST required")
 		return
@@ -251,6 +289,9 @@ func (g *Gateway) handleRouted(w http.ResponseWriter, r *http.Request, call func
 	}
 	client, _ := g.client(shard)
 	g.metrics.routed.Add(1)
+	if record && req.RequestID == "" {
+		req.RequestID = newRequestID()
+	}
 
 	var lastErr error
 	backoff := g.cfg.RetryBackoff
@@ -265,6 +306,13 @@ func (g *Gateway) handleRouted(w http.ResponseWriter, r *http.Request, call func
 		}
 		resp, err := call(client, req)
 		if err == nil {
+			if owner, ok := g.ring.Lookup(resp.User); resp.User == "" || !ok || owner != shard {
+				g.metrics.misrouted.Add(1)
+				errorJSON(w, http.StatusBadGateway, fmt.Sprintf(
+					"shard %s resolved the subject to %q (owner %s); withholding the answer: routing key %q was not the canonical subject, so the decision was evaluated against the wrong shard's history",
+					shard, resp.User, owner, key))
+				return
+			}
 			writeJSON(w, http.StatusOK, resp)
 			return
 		}
@@ -283,10 +331,34 @@ func (g *Gateway) handleRouted(w http.ResponseWriter, r *http.Request, call func
 		fmt.Sprintf("shard %s unreachable (%v); failing closed", shard, lastErr))
 }
 
+// ManagementOutcome is one shard's result of a fanned-out management
+// operation. The fan-out is not atomic — shards commit independently —
+// so on any failure the gateway reports exactly which shards applied
+// the operation and which did not, instead of an opaque error that
+// hides partial state from the administrator.
+type ManagementOutcome struct {
+	Applied bool   `json:"applied"`
+	Removed int    `json:"removed,omitempty"`
+	Records int    `json:"records,omitempty"`
+	Status  int    `json:"status,omitempty"` // shard's HTTP status for deliberate refusals
+	Error   string `json:"error,omitempty"`
+}
+
+// managementErrorResponse is the error payload of a failed fan-out: the
+// usual "error" field (so server.Client surfaces it as APIError.Message)
+// plus the per-shard outcomes an administrator needs to reconcile.
+type managementErrorResponse struct {
+	Error  string                       `json:"error"`
+	Shards map[string]ManagementOutcome `json:"shards"`
+}
+
 // handleManagement fans a §4.3 management operation out to every
-// shard and aggregates the results. It requires the whole cluster up:
-// a purge that silently skipped a down shard would leave history the
-// administrator believes gone.
+// shard and aggregates the results. It requires the whole cluster up
+// before starting: a purge that silently skipped a down shard would
+// leave history the administrator believes gone. That up-front check
+// races with failures during the fan-out, so any failure after it is
+// reported per shard (see ManagementOutcome) — never collapsed into an
+// error that implies nothing happened.
 func (g *Gateway) handleManagement(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		errorJSON(w, http.StatusMethodNotAllowed, "POST required")
@@ -328,21 +400,53 @@ func (g *Gateway) handleManagement(w http.ResponseWriter, r *http.Request) {
 	wg.Wait()
 
 	var agg server.ManagementWireResponse
+	outcomes := make(map[string]ManagementOutcome, len(results))
+	failed := 0
+	allDeliberate := true
+	uniformStatus := 0 // -1 once refusal statuses diverge
+	var firstErr string
 	for _, res := range results {
-		if res.err != nil {
-			var apiErr *server.APIError
-			if errors.As(res.err, &apiErr) {
-				errorJSON(w, apiErr.Status, fmt.Sprintf("shard %s: %s", res.shard, apiErr.Message))
-				return
+		if res.err == nil {
+			outcomes[res.shard] = ManagementOutcome{
+				Applied: true, Removed: res.resp.Removed, Records: res.resp.Records,
 			}
-			g.checker.ReportFailure(res.shard, res.err)
-			errorJSON(w, http.StatusBadGateway, fmt.Sprintf("shard %s: %v", res.shard, res.err))
-			return
+			agg.Removed += res.resp.Removed
+			agg.Records += res.resp.Records
+			continue
 		}
-		agg.Removed += res.resp.Removed
-		agg.Records += res.resp.Records
+		failed++
+		if firstErr == "" {
+			firstErr = fmt.Sprintf("shard %s: %v", res.shard, res.err)
+		}
+		var apiErr *server.APIError
+		if errors.As(res.err, &apiErr) {
+			outcomes[res.shard] = ManagementOutcome{Status: apiErr.Status, Error: apiErr.Message}
+			if uniformStatus == 0 {
+				uniformStatus = apiErr.Status
+			} else if uniformStatus != apiErr.Status {
+				uniformStatus = -1
+			}
+		} else {
+			g.checker.ReportFailure(res.shard, res.err)
+			outcomes[res.shard] = ManagementOutcome{Error: res.err.Error()}
+			allDeliberate = false
+		}
 	}
-	writeJSON(w, http.StatusOK, agg)
+	if failed == 0 {
+		writeJSON(w, http.StatusOK, agg)
+		return
+	}
+	status := http.StatusBadGateway
+	msg := fmt.Sprintf("management applied on %d of %d shards (%s); per-shard outcomes in \"shards\"",
+		len(results)-failed, len(results), firstErr)
+	if failed == len(results) && allDeliberate && uniformStatus > 0 {
+		// Every shard refused identically (e.g. the admin lacks the
+		// controller role): nothing was applied anywhere, so forward
+		// the shards' own verdict rather than a 502.
+		status = uniformStatus
+		msg = fmt.Sprintf("all %d shards refused (%s)", len(results), firstErr)
+	}
+	writeJSON(w, status, managementErrorResponse{Error: msg, Shards: outcomes})
 }
 
 // handleHealth reports the gateway's own view: ok only when every
@@ -382,18 +486,38 @@ func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 // handleMetrics aggregates every live shard's /v1/metrics by summing
 // series with identical names and labels, and appends the gateway's
-// own msodgw_* series.
+// own msodgw_* series. Shards are scraped concurrently under ONE
+// overall deadline — scraping several slow shards sequentially would
+// take shards×timeout and blow a Prometheus scrape budget — and the
+// bodies are merged in shard order so the output stays deterministic.
 func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	sums := make(map[string]float64)
-	var order []string
-	scraped := 0
-	for _, shard := range g.checker.Shards() {
+	shardIDs := g.checker.Shards()
+	ctx, cancel := timeoutContext(g.cfg.Timeout)
+	defer cancel()
+	bodies := make([][]byte, len(shardIDs))
+	var wg sync.WaitGroup
+	for i, shard := range shardIDs {
 		if !g.checker.Up(shard) {
 			continue
 		}
-		body, err := g.scrapeShard(shard)
-		if err != nil {
-			g.checker.ReportFailure(shard, err)
+		wg.Add(1)
+		go func(i int, shard string) {
+			defer wg.Done()
+			body, err := g.scrapeShard(ctx, shard)
+			if err != nil {
+				g.checker.ReportFailure(shard, err)
+				return
+			}
+			bodies[i] = body
+		}(i, shard)
+	}
+	wg.Wait()
+
+	sums := make(map[string]float64)
+	var order []string
+	scraped := 0
+	for _, body := range bodies {
+		if body == nil {
 			continue
 		}
 		scraped++
@@ -433,9 +557,9 @@ func timeoutContext(d time.Duration) (context.Context, context.CancelFunc) {
 	return context.WithTimeout(context.Background(), d)
 }
 
-// scrapeShard fetches one shard's metrics body with the configured
+// scrapeShard fetches one shard's metrics body under the caller's
 // deadline.
-func (g *Gateway) scrapeShard(shard string) ([]byte, error) {
+func (g *Gateway) scrapeShard(ctx context.Context, shard string) ([]byte, error) {
 	g.mu.RLock()
 	base := g.addrs[shard]
 	g.mu.RUnlock()
@@ -447,8 +571,6 @@ func (g *Gateway) scrapeShard(shard string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctx, cancel := timeoutContext(g.cfg.Timeout)
-	defer cancel()
 	resp, err := hc.Do(req.WithContext(ctx))
 	if err != nil {
 		return nil, err
@@ -468,6 +590,7 @@ func (g *Gateway) writeOwnMetrics(w io.Writer) {
 	write("msodgw_routed_total", "Decision/advice requests routed to their owning shard.", g.metrics.routed.Load())
 	write("msodgw_unavailable_total", "Requests failed closed (503) because the owning shard could not answer.", g.metrics.unavailable.Load())
 	write("msodgw_retries_total", "Same-shard transport retries.", g.metrics.retries.Load())
+	write("msodgw_misrouted_total", "Answers withheld because the shard resolved a subject another shard owns.", g.metrics.misrouted.Load())
 	write("msodgw_bad_requests_total", "Requests rejected before routing (bad input, no subject).", g.metrics.badRequests.Load())
 	write("msodgw_management_fanouts_total", "Management operations fanned out to all shards.", g.metrics.mgmtFanouts.Load())
 	fmt.Fprintf(w, "# HELP msodgw_shard_up Shard availability (1 up, 0 down).\n# TYPE msodgw_shard_up gauge\n")

@@ -12,7 +12,13 @@
 // never be served by two shards concurrently. A split retained ADI
 // under-counts history and grants what MSoD must deny, so the gateway
 // never re-routes — a slow or dead shard yields an explicit 503 and
-// the business process waits, it does not silently proceed.
+// the business process waits, it does not silently proceed. Because
+// the routing key is extracted from the unvalidated request while the
+// shard's CVS resolves the canonical subject itself, the gateway also
+// verifies every answer's resolved subject against the ring and
+// withholds answers evaluated by a shard that does not own that user;
+// and decisions carry an idempotency RequestID so same-shard retries
+// can never commit twice.
 package cluster
 
 import (

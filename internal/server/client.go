@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"time"
 
@@ -120,12 +121,22 @@ func (c *Client) Health() (string, error) {
 		return "", fmt.Errorf("server: health: %w", err)
 	}
 	defer httpResp.Body.Close()
+	// Read the body tolerantly and check the status first: a failing
+	// server may answer with an empty or non-JSON body, and the status
+	// code must survive that so callers (the gateway's health checker,
+	// msodctl) still see a typed *APIError.
+	raw, _ := io.ReadAll(io.LimitReader(httpResp.Body, 1<<20))
 	var body map[string]string
-	if err := json.NewDecoder(httpResp.Body).Decode(&body); err != nil {
-		return "", fmt.Errorf("server: health decode: %w", err)
-	}
+	decodeErr := json.Unmarshal(raw, &body)
 	if httpResp.StatusCode != http.StatusOK {
-		return "", &APIError{Path: HealthPath, Status: httpResp.StatusCode, Message: body["status"]}
+		msg := body["status"]
+		if msg == "" {
+			msg = body["error"]
+		}
+		return "", &APIError{Path: HealthPath, Status: httpResp.StatusCode, Message: msg}
+	}
+	if decodeErr != nil {
+		return "", fmt.Errorf("server: health decode: %w", decodeErr)
 	}
 	return body["policy"], nil
 }

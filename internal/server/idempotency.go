@@ -1,0 +1,85 @@
+package server
+
+import "sync"
+
+// idemCacheSize bounds the idempotency cache. Committed responses are
+// evicted FIFO past this size, so the window in which a duplicate ID is
+// detected covers the most recent decisions — far longer than any
+// sane retry horizon — without unbounded growth.
+const idemCacheSize = 4096
+
+// idemEntry tracks one RequestID: in flight until done is closed, then
+// either a committed response to replay (ok) or a failed attempt whose
+// retry may safely re-execute (no side effects happened).
+type idemEntry struct {
+	done chan struct{}
+	resp DecisionResponse
+	ok   bool
+}
+
+// idemCache deduplicates decision requests by RequestID. A decision is
+// not idempotent — a grant commits retained-ADI records and last-step
+// purges — so a client retrying after a transport timeout cannot know
+// whether the commit happened. The cache makes the retry safe: the
+// first arrival of an ID executes, every later arrival waits for it
+// and replays the committed response instead of re-deciding.
+type idemCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*idemEntry
+	// order lists committed IDs oldest-first for FIFO eviction;
+	// in-flight entries are never evicted.
+	order []string
+}
+
+func newIdemCache(max int) *idemCache {
+	return &idemCache{max: max, entries: make(map[string]*idemEntry)}
+}
+
+// begin claims an ID. It returns (resp, true) when a committed response
+// must be replayed — waiting out a concurrent in-flight attempt if
+// necessary — or (zero, false) when the caller owns execution and must
+// call finish exactly once.
+func (c *idemCache) begin(id string) (DecisionResponse, bool) {
+	for {
+		c.mu.Lock()
+		if e, ok := c.entries[id]; ok {
+			c.mu.Unlock()
+			<-e.done
+			if e.ok {
+				return e.resp, true
+			}
+			// The attempt we waited on failed before committing;
+			// loop to claim ownership of the re-execution.
+			continue
+		}
+		e := &idemEntry{done: make(chan struct{})}
+		c.entries[id] = e
+		c.mu.Unlock()
+		return DecisionResponse{}, false
+	}
+}
+
+// finish resolves an ID begin handed to the caller: ok caches the
+// committed response for replay; !ok (the decision errored, nothing
+// committed) releases the ID so a retry re-executes.
+func (c *idemCache) finish(id string, resp DecisionResponse, ok bool) {
+	c.mu.Lock()
+	e := c.entries[id]
+	if e == nil {
+		c.mu.Unlock()
+		return
+	}
+	e.resp, e.ok = resp, ok
+	if ok {
+		c.order = append(c.order, id)
+		for len(c.order) > c.max {
+			delete(c.entries, c.order[0])
+			c.order = c.order[1:]
+		}
+	} else {
+		delete(c.entries, id)
+	}
+	c.mu.Unlock()
+	close(e.done)
+}

@@ -1,0 +1,148 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestDecisionIdempotentReplay: the same RequestID decides once; the
+// duplicate replays the committed response and writes no second ADI
+// record.
+func TestDecisionIdempotentReplay(t *testing.T) {
+	ts, p := startServer(t)
+	c := NewClient(ts.URL, nil)
+	req := DecisionRequest{
+		User: "c1", Roles: []string{"Clerk"},
+		Operation: "prepareCheck", Target: "http://www.myTaxOffice.com/Check",
+		Context:   "TaxOffice=Leeds, taxRefundProcess=p1",
+		RequestID: "retry-1",
+	}
+	first, err := c.Decision(req)
+	if err != nil || !first.Allowed {
+		t.Fatalf("first decision = %+v, %v", first, err)
+	}
+	if first.Recorded != 1 {
+		t.Fatalf("first decision recorded %d ADI records", first.Recorded)
+	}
+	second, err := c.Decision(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(second, first) {
+		t.Errorf("replay = %+v, want the committed response %+v", second, first)
+	}
+	if n := p.Store().Len(); n != 1 {
+		t.Errorf("retained ADI has %d records after replay, want 1", n)
+	}
+
+	// A different ID is a different decision: it re-executes and
+	// records its own ADI history.
+	req.RequestID = "retry-2"
+	if _, err := c.Decision(req); err != nil {
+		t.Fatal(err)
+	}
+	if n := p.Store().Len(); n != 2 {
+		t.Errorf("retained ADI has %d records after a fresh RequestID, want 2", n)
+	}
+}
+
+// TestDecisionIdempotencyConcurrent: concurrent duplicates of one
+// RequestID commit exactly once; every caller sees the same response.
+func TestDecisionIdempotencyConcurrent(t *testing.T) {
+	ts, p := startServer(t)
+	req := DecisionRequest{
+		User: "c1", Roles: []string{"Clerk"},
+		Operation: "prepareCheck", Target: "http://www.myTaxOffice.com/Check",
+		Context:   "TaxOffice=Leeds, taxRefundProcess=p1",
+		RequestID: "burst-1",
+	}
+	const n = 8
+	responses := make([]DecisionResponse, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := NewClient(ts.URL, nil).Decision(req)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			responses[i] = resp
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if !reflect.DeepEqual(responses[i], responses[0]) {
+			t.Fatalf("response %d = %+v differs from %+v", i, responses[i], responses[0])
+		}
+	}
+	if n := p.Store().Len(); n != 1 {
+		t.Errorf("retained ADI has %d records after %d duplicates, want 1", n, n)
+	}
+}
+
+// TestIdemCacheOwnership: a failed attempt releases its ID for
+// re-execution; committed IDs are evicted FIFO past the cache bound.
+func TestIdemCacheOwnership(t *testing.T) {
+	c := newIdemCache(2)
+	if _, replay := c.begin("a"); replay {
+		t.Fatal("fresh ID replayed")
+	}
+	// Failure releases the ID: the retry owns execution again.
+	c.finish("a", DecisionResponse{}, false)
+	if _, replay := c.begin("a"); replay {
+		t.Fatal("released ID replayed")
+	}
+	c.finish("a", DecisionResponse{User: "a"}, true)
+	if resp, replay := c.begin("a"); !replay || resp.User != "a" {
+		t.Fatalf("committed ID begin = %+v, %v", resp, replay)
+	}
+	// Two more commits evict "a" (max 2, FIFO).
+	for _, id := range []string{"b", "c"} {
+		if _, replay := c.begin(id); replay {
+			t.Fatalf("fresh ID %q replayed", id)
+		}
+		c.finish(id, DecisionResponse{User: id}, true)
+	}
+	if _, replay := c.begin("a"); replay {
+		t.Fatal("evicted ID still replayed")
+	}
+	c.finish("a", DecisionResponse{}, false)
+	if resp, replay := c.begin("c"); !replay || resp.User != "c" {
+		t.Fatalf("retained ID begin = %+v, %v", resp, replay)
+	}
+}
+
+// TestClientHealthStatusBeforeBody: a non-2xx health answer yields a
+// typed *APIError even when the body is empty or not JSON.
+func TestClientHealthStatusBeforeBody(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		status int
+		body   string
+	}{
+		{"empty body", http.StatusInternalServerError, ""},
+		{"non-json body", http.StatusServiceUnavailable, "<html>gateway timeout</html>"},
+		{"json status body", http.StatusServiceUnavailable, `{"status":"down"}`},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				w.WriteHeader(tc.status)
+				w.Write([]byte(tc.body))
+			}))
+			t.Cleanup(ts.Close)
+			_, err := NewClient(ts.URL, nil).Health()
+			apiErr, ok := err.(*APIError)
+			if !ok {
+				t.Fatalf("err = %v (%T), want *APIError", err, err)
+			}
+			if apiErr.Status != tc.status {
+				t.Errorf("status = %d, want %d", apiErr.Status, tc.status)
+			}
+		})
+	}
+}

@@ -58,15 +58,18 @@ func (h *histogram) write(w http.ResponseWriter, name, help string) {
 
 // metrics holds the server's decision counters.
 type metrics struct {
-	decisions      atomic.Int64 // total decision requests answered
-	grants         atomic.Int64
-	deniedRBAC     atomic.Int64
-	deniedMSoD     atomic.Int64
-	advisories     atomic.Int64
-	managementOps  atomic.Int64
-	requestErrors  atomic.Int64 // bad requests / no subject / internal
-	recordsWritten atomic.Int64
-	recordsPurged  atomic.Int64
+	decisions     atomic.Int64 // total decision requests answered
+	grants        atomic.Int64
+	deniedRBAC    atomic.Int64
+	deniedMSoD    atomic.Int64
+	advisories    atomic.Int64
+	managementOps atomic.Int64
+	requestErrors atomic.Int64 // bad requests / no subject / internal
+	// idempotentReplays counts duplicate RequestIDs answered from the
+	// idempotency cache instead of re-deciding.
+	idempotentReplays atomic.Int64
+	recordsWritten    atomic.Int64
+	recordsPurged     atomic.Int64
 	// duration observes the PDP evaluation time of every decision and
 	// advisory request (not transport or JSON handling).
 	duration histogram
@@ -103,6 +106,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	write("msod_advisories_total", "Advisory (side-effect-free) queries answered.", s.metrics.advisories.Load())
 	write("msod_management_ops_total", "Management-port operations executed.", s.metrics.managementOps.Load())
 	write("msod_request_errors_total", "Requests rejected before a decision (bad input, no subject).", s.metrics.requestErrors.Load())
+	write("msod_decision_replays_total", "Duplicate decision RequestIDs replayed from the idempotency cache.", s.metrics.idempotentReplays.Load())
 	write("msod_adi_records_written_total", "Retained-ADI records written by grants.", s.metrics.recordsWritten.Load())
 	write("msod_adi_records_purged_total", "Retained-ADI records purged by last steps.", s.metrics.recordsPurged.Load())
 	s.metrics.duration.write(w, "msod_decision_duration_seconds",

@@ -40,6 +40,13 @@ type DecisionRequest struct {
 	Target      string                  `json:"target"`
 	Context     string                  `json:"context"`
 	Environment map[string]string       `json:"environment,omitempty"`
+	// RequestID, when non-empty, makes the decision idempotent: the PDP
+	// caches the committed response under this ID and replays it when
+	// the same ID arrives again — the retry path for a PEP or gateway
+	// whose transport timed out after the shard may already have
+	// committed the grant's ADI records. Ignored on the advisory path,
+	// which has no side effects to protect.
+	RequestID string `json:"requestID,omitempty"`
 }
 
 // DecisionResponse is the wire form of a decision.
@@ -83,11 +90,12 @@ type Server struct {
 	pdp     *pdp.PDP
 	mux     *http.ServeMux
 	metrics metrics
+	idem    *idemCache
 }
 
 // New wraps a PDP.
 func New(p *pdp.PDP) *Server {
-	s := &Server{pdp: p, mux: http.NewServeMux()}
+	s := &Server{pdp: p, mux: http.NewServeMux(), idem: newIdemCache(idemCacheSize)}
 	s.mux.HandleFunc(DecisionPath, s.handleDecision)
 	s.mux.HandleFunc(AdvicePath, s.handleAdvice)
 	s.mux.HandleFunc(ManagementPath, s.handleManagement)
@@ -126,6 +134,18 @@ func (s *Server) serveDecision(w http.ResponseWriter, r *http.Request, decide fu
 		writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("context: %v", err)})
 		return
 	}
+	// Idempotency: a duplicate RequestID replays the committed response
+	// rather than re-deciding — re-execution would double-record ADI
+	// history and re-run last-step purges.
+	ownsID := false
+	if !advisory && wire.RequestID != "" {
+		if cached, replay := s.idem.begin(wire.RequestID); replay {
+			s.metrics.idempotentReplays.Add(1)
+			writeJSON(w, http.StatusOK, cached)
+			return
+		}
+		ownsID = true
+	}
 	req := pdp.Request{
 		Credentials: wire.Credentials,
 		User:        rbac.UserID(wire.User),
@@ -139,6 +159,10 @@ func (s *Server) serveDecision(w http.ResponseWriter, r *http.Request, decide fu
 	dec, err := decide(req)
 	s.metrics.duration.observe(time.Since(start))
 	if err != nil {
+		if ownsID {
+			// Nothing committed: release the ID so a retry re-executes.
+			s.idem.finish(wire.RequestID, DecisionResponse{}, false)
+		}
 		s.metrics.requestErrors.Add(1)
 		status := http.StatusInternalServerError
 		if errors.Is(err, pdp.ErrNoSubject) {
@@ -158,6 +182,9 @@ func (s *Server) serveDecision(w http.ResponseWriter, r *http.Request, decide fu
 		resp.Recorded = dec.MSoD.Recorded
 		resp.Purged = dec.MSoD.Purged
 		resp.MatchedPolicies = dec.MSoD.MatchedPolicies
+	}
+	if ownsID {
+		s.idem.finish(wire.RequestID, resp, true)
 	}
 	s.metrics.observe(resp, advisory)
 	writeJSON(w, http.StatusOK, resp)
