@@ -6,6 +6,7 @@
 //	msodbench -e E3      # run one experiment
 //	msodbench -e E1,E4   # run a subset
 //	msodbench -list      # list experiments
+//	msodbench -json out/ # also write machine-readable BENCH_<ID>.json files
 //
 // Scenario experiments (E1–E3, E11, E12) assert the paper's expected
 // outcomes and fail loudly on any mismatch; timing experiments report
@@ -24,8 +25,9 @@ import (
 
 func main() {
 	var (
-		exps = flag.String("e", "", "comma-separated experiment IDs (default: all)")
-		list = flag.Bool("list", false, "list experiments and exit")
+		exps    = flag.String("e", "", "comma-separated experiment IDs (default: all)")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		jsonDir = flag.String("json", "", "also write BENCH_<ID>.json reports to this directory")
 	)
 	flag.Parse()
 
@@ -62,6 +64,14 @@ func main() {
 		if err := tbl.Render(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "msodbench: render %s: %v\n", e.ID, err)
 			os.Exit(1)
+		}
+		if *jsonDir != "" {
+			path, err := tbl.WriteJSONFile(*jsonDir)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "msodbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "msodbench: wrote %s\n", path)
 		}
 	}
 	if failed > 0 {

@@ -29,7 +29,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"msod"
+	"msod/internal/obsv"
 )
 
 // options are the parsed command-line settings.
@@ -55,6 +56,8 @@ type options struct {
 	adiDir     string
 	adiSecret  string
 	adiSync    bool
+	slowLog    time.Duration
+	pprofAddr  string
 }
 
 func parseFlags(args []string) (*options, error) {
@@ -71,6 +74,8 @@ func parseFlags(args []string) (*options, error) {
 	fs.StringVar(&o.adiDir, "adi", "", "durable retained-ADI directory (self-recovering; overrides -recover)")
 	fs.StringVar(&o.adiSecret, "adi-secret-file", "", "file holding the durable ADI secret")
 	fs.BoolVar(&o.adiSync, "adi-sync", false, "fsync every durable-ADI mutation")
+	fs.DurationVar(&o.slowLog, "slowlog", 0, "log decisions slower than this (0 disables; 1ns logs every decision)")
+	fs.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this address (empty disables)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -269,21 +274,62 @@ func serve(ctx context.Context, ln net.Listener, cur *atomic.Pointer[msod.Server
 	}
 }
 
+// serverOptions assembles the server options shared by the initial
+// build and every SIGHUP reload: slow-decision logging and, when the
+// durable ADI is in use, its recovery-time and disk-usage gauges.
+func serverOptions(o *options, d *deps, logger *slog.Logger) []msod.ServerOption {
+	var opts []msod.ServerOption
+	if o.slowLog > 0 {
+		opts = append(opts, msod.WithDecisionLog(logger, o.slowLog))
+	}
+	if ds, ok := d.store.(*msod.ADIDurableStore); ok {
+		opts = append(opts,
+			msod.WithServerGauge("msod_adi_recovery_seconds",
+				"Time spent recovering the durable retained ADI at startup.",
+				func() float64 { return ds.RecoveryDuration().Seconds() }),
+			msod.WithServerGauge("msod_adi_durable_bytes",
+				"On-disk size of the durable retained ADI (snapshot + WAL).",
+				func() float64 { return float64(ds.DiskUsage()) }),
+		)
+	}
+	return opts
+}
+
 func main() {
 	o, err := parseFlags(os.Args[1:])
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	p, d, cleanup, err := buildPDP(o, log.Printf)
+	logger := obsv.NewLogger(os.Stderr, "msodd")
+	logf := func(format string, args ...any) { logger.Info(fmt.Sprintf(format, args...)) }
+	fatalf := func(format string, args ...any) {
+		logger.Error(fmt.Sprintf(format, args...))
+		os.Exit(1)
+	}
+	p, d, cleanup, err := buildPDP(o, logf)
 	if err != nil {
-		log.Fatalf("msodd: %v", err)
+		fatalf("msodd: %v", err)
 	}
 	defer cleanup()
-	log.Printf("msodd: policy %q loaded", p.PolicyID())
+	logf("msodd: policy %q loaded", p.PolicyID())
 
+	srvOpts := serverOptions(o, d, logger)
 	var cur atomic.Pointer[msod.Server]
-	cur.Store(msod.NewServer(p))
+	cur.Store(msod.NewServer(p, srvOpts...))
+
+	if o.pprofAddr != "" {
+		pln, err := net.Listen("tcp", o.pprofAddr)
+		if err != nil {
+			fatalf("msodd: pprof listen: %v", err)
+		}
+		logf("msodd: pprof on %s", pln.Addr())
+		go func() {
+			if err := http.Serve(pln, obsv.PprofHandler()); err != nil {
+				logf("msodd: pprof server stopped: %v", err)
+			}
+		}()
+	}
 
 	// SIGHUP hot-reloads the policy over the live store and trail; a
 	// failed reload keeps the previous policy serving.
@@ -291,23 +337,23 @@ func main() {
 	signal.Notify(hup, syscall.SIGHUP)
 	go func() {
 		for range hup {
-			np, err := reloadPDP(o, d, log.Printf)
+			np, err := reloadPDP(o, d, logf)
 			if err != nil {
-				log.Printf("msodd: policy reload failed, keeping previous: %v", err)
+				logf("msodd: policy reload failed, keeping previous: %v", err)
 				continue
 			}
-			cur.Store(msod.NewServer(np))
-			log.Printf("msodd: policy %q reloaded", np.PolicyID())
+			cur.Store(msod.NewServer(np, srvOpts...))
+			logf("msodd: policy %q reloaded", np.PolicyID())
 		}
 	}()
 
 	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
-		log.Fatalf("msodd: listen: %v", err)
+		fatalf("msodd: listen: %v", err)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	if err := serve(ctx, ln, &cur, log.Printf); err != nil {
-		log.Fatalf("msodd: %v", err)
+	if err := serve(ctx, ln, &cur, logf); err != nil {
+		fatalf("msodd: %v", err)
 	}
 }

@@ -29,7 +29,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
 	"os"
@@ -39,6 +38,7 @@ import (
 	"time"
 
 	"msod/internal/cluster"
+	"msod/internal/obsv"
 )
 
 // options are the parsed command-line settings.
@@ -51,6 +51,8 @@ type options struct {
 	backoff   time.Duration
 	probe     time.Duration
 	failAfter int
+	slowLog   time.Duration
+	pprofAddr string
 }
 
 // parseShards parses "id=url,id=url" (or bare URLs) into a topology.
@@ -94,6 +96,8 @@ func parseFlags(args []string) (*options, error) {
 	fs.DurationVar(&o.backoff, "retry-backoff", 25*time.Millisecond, "initial retry backoff (doubles per attempt)")
 	fs.DurationVar(&o.probe, "probe", 5*time.Second, "health-probe interval")
 	fs.IntVar(&o.failAfter, "fail-after", 2, "consecutive failures before a shard is marked down")
+	fs.DurationVar(&o.slowLog, "slowlog", 0, "log routed decisions slower than this (0 disables; 1ns logs every decision)")
+	fs.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this address (empty disables)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -137,6 +141,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	logger := obsv.NewLogger(os.Stderr, "msodgw")
+	logf := func(format string, args ...any) { logger.Info(fmt.Sprintf(format, args...)) }
+	fatalf := func(format string, args ...any) {
+		logger.Error(fmt.Sprintf(format, args...))
+		os.Exit(1)
+	}
+	// The logger is always wired in so refusals (fail-closed 503s,
+	// misrouted 502s) surface as warnings; per-decision lines are gated
+	// by -slowlog, with 0 pushing the threshold out of reach.
+	slow := o.slowLog
+	if slow <= 0 {
+		slow = time.Duration(1<<63 - 1)
+	}
 	gw, err := cluster.New(cluster.Config{
 		Shards:       o.shards,
 		VirtualNodes: o.vnodes,
@@ -144,27 +161,42 @@ func main() {
 		Retries:      o.retries,
 		RetryBackoff: o.backoff,
 		FailAfter:    o.failAfter,
+		Logger:       logger,
+		SlowLog:      slow,
 	})
 	if err != nil {
-		log.Fatalf("msodgw: %v", err)
+		fatalf("msodgw: %v", err)
 	}
 	defer gw.Close()
+
+	if o.pprofAddr != "" {
+		pln, err := net.Listen("tcp", o.pprofAddr)
+		if err != nil {
+			fatalf("msodgw: pprof listen: %v", err)
+		}
+		logf("msodgw: pprof on %s", pln.Addr())
+		go func() {
+			if err := http.Serve(pln, obsv.PprofHandler()); err != nil {
+				logf("msodgw: pprof server stopped: %v", err)
+			}
+		}()
+	}
 
 	// One synchronous probe round before serving, so the first requests
 	// already see real shard state, then periodic probing.
 	gw.Checker().CheckNow()
 	for id, st := range gw.Checker().Statuses() {
-		log.Printf("msodgw: shard %s %s (policy %q)", id, st.State, st.PolicyID)
+		logf("msodgw: shard %s %s (policy %q)", id, st.State, st.PolicyID)
 	}
 	gw.Checker().Start(o.probe)
 
 	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
-		log.Fatalf("msodgw: listen: %v", err)
+		fatalf("msodgw: listen: %v", err)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	if err := serve(ctx, ln, gw, log.Printf); err != nil {
-		log.Fatalf("msodgw: %v", err)
+	if err := serve(ctx, ln, gw, logf); err != nil {
+		fatalf("msodgw: %v", err)
 	}
 }

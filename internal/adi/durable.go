@@ -46,6 +46,10 @@ type DurableStore struct {
 	sync bool
 	// walOps counts mutations since the last compaction.
 	walOps int
+	// recoveryDur is how long snapshot+WAL recovery took at open —
+	// the restart cost an operator watches (exposed as the
+	// msod_adi_recovery_seconds gauge by msodd).
+	recoveryDur time.Duration
 }
 
 // walEntry is one logged mutation.
@@ -101,9 +105,11 @@ func OpenDurable(dir string, secret []byte, syncEveryWrite bool) (*DurableStore,
 	if err := ds.checkKey(); err != nil {
 		return nil, err
 	}
+	recoverStart := time.Now()
 	if err := ds.recover(); err != nil {
 		return nil, err
 	}
+	ds.recoveryDur = time.Since(recoverStart)
 	wal, err := os.OpenFile(filepath.Join(dir, durableWALName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
 	if err != nil {
 		return nil, fmt.Errorf("adi: open wal: %w", err)
@@ -396,6 +402,30 @@ func (ds *DurableStore) WALOps() int {
 	ds.mu.Lock()
 	defer ds.mu.Unlock()
 	return ds.walOps
+}
+
+// RecoveryDuration reports how long snapshot+WAL recovery took when
+// the store was opened.
+func (ds *DurableStore) RecoveryDuration() time.Duration { return ds.recoveryDur }
+
+// DiskUsage reports the store's on-disk footprint in bytes (snapshot
+// plus write-ahead log) — the growth an operator watches between
+// compactions.
+func (ds *DurableStore) DiskUsage() int64 {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	// Flush buffered WAL bytes so the reported size matches what a
+	// crash would recover.
+	if ds.w != nil {
+		_ = ds.w.Flush()
+	}
+	var total int64
+	for _, name := range []string{durableSnapshotName, durableWALName} {
+		if fi, err := os.Stat(filepath.Join(ds.dir, name)); err == nil {
+			total += fi.Size()
+		}
+	}
+	return total
 }
 
 // Compact folds the log into the snapshot: the current state is sealed

@@ -44,6 +44,12 @@ type Event struct {
 	// MatchedPolicies is how many MSoD policies matched the request; 0
 	// means the decision did not involve MSoD.
 	MatchedPolicies int `json:"matched,omitempty"`
+	// TraceID correlates this record with the gateway log line and
+	// DecisionResponse of the request that produced it (empty for
+	// untraced decisions). It is part of the event JSON, so the HMAC
+	// chain covers it: a tampered correlation fails verification like
+	// any other field.
+	TraceID string `json:"trace,omitempty"`
 }
 
 // entry is the on-disk line: the event plus its chain MAC.

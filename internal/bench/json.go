@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Report is the machine-readable form of a Table, written as
+// BENCH_<ID>.json so dashboards and regression tooling can track
+// experiment output across runs without scraping the aligned-text
+// rendering.
+type Report struct {
+	ID        string   `json:"id"`
+	Title     string   `json:"title"`
+	Ref       string   `json:"ref"`
+	Columns   []string `json:"columns"`
+	Rows      []Row    `json:"rows"`
+	Notes     []string `json:"notes,omitempty"`
+	GoVersion string   `json:"goVersion"`
+	GoOS      string   `json:"goos"`
+	GoArch    string   `json:"goarch"`
+}
+
+// Row is one table row: the rendered cells verbatim, plus a parallel
+// slice of parsed numeric values (null where a cell is not a number)
+// so consumers need not re-parse "1.23ms" or "4.0x" themselves.
+type Row struct {
+	Cells  []string   `json:"cells"`
+	Values []*float64 `json:"values"`
+}
+
+// parseCell extracts a numeric value from a rendered cell: plain
+// numbers, durations ("1.23ms" → seconds), multipliers ("4.0x"),
+// percentages ("12%" → fraction). Returns nil when the cell carries no
+// number.
+func parseCell(cell string) *float64 {
+	s := strings.TrimSpace(cell)
+	if s == "" {
+		return nil
+	}
+	scale := 1.0
+	switch {
+	case strings.HasSuffix(s, "µs"):
+		s, scale = strings.TrimSuffix(s, "µs"), 1e-6
+	case strings.HasSuffix(s, "us"):
+		s, scale = strings.TrimSuffix(s, "us"), 1e-6
+	case strings.HasSuffix(s, "ns"):
+		s, scale = strings.TrimSuffix(s, "ns"), 1e-9
+	case strings.HasSuffix(s, "ms"):
+		s, scale = strings.TrimSuffix(s, "ms"), 1e-3
+	case strings.HasSuffix(s, "s"):
+		s = strings.TrimSuffix(s, "s")
+	case strings.HasSuffix(s, "x"):
+		s = strings.TrimSuffix(s, "x")
+	case strings.HasSuffix(s, "%"):
+		s, scale = strings.TrimSuffix(s, "%"), 1e-2
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return nil
+	}
+	v *= scale
+	return &v
+}
+
+// ReportOf converts a rendered table into its machine-readable form.
+func ReportOf(t *Table) *Report {
+	r := &Report{
+		ID:        t.ID,
+		Title:     t.Title,
+		Ref:       t.Ref,
+		Columns:   t.Columns,
+		Notes:     t.Notes,
+		GoVersion: runtime.Version(),
+		GoOS:      runtime.GOOS,
+		GoArch:    runtime.GOARCH,
+	}
+	for _, cells := range t.Rows {
+		row := Row{Cells: cells, Values: make([]*float64, len(cells))}
+		for i, c := range cells {
+			row.Values[i] = parseCell(c)
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	return r
+}
+
+// WriteJSONFile writes the table's Report to dir/BENCH_<ID>.json,
+// creating dir if needed, and returns the path written.
+func (t *Table) WriteJSONFile(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("bench: create %s: %w", dir, err)
+	}
+	data, err := json.MarshalIndent(ReportOf(t), "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("bench: marshal %s: %w", t.ID, err)
+	}
+	path := filepath.Join(dir, "BENCH_"+t.ID+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("bench: write %s: %w", path, err)
+	}
+	return path, nil
+}

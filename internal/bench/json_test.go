@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseCell(t *testing.T) {
+	f := func(v float64) *float64 { return &v }
+	cases := []struct {
+		in   string
+		want *float64
+	}{
+		{"42", f(42)},
+		{"1.5", f(1.5)},
+		{"1.23ms", f(0.00123)},
+		{"4.5µs", f(4.5e-6)},
+		{"2.00s", f(2)},
+		{"4.0x", f(4)},
+		{"12%", f(0.12)},
+		{"blocked", nil},
+		{"", nil},
+		{"3 shards", nil},
+	}
+	for _, c := range cases {
+		got := parseCell(c.in)
+		switch {
+		case got == nil && c.want == nil:
+		case got == nil || c.want == nil:
+			t.Errorf("parseCell(%q) = %v, want %v", c.in, got, c.want)
+		case *got != *c.want:
+			t.Errorf("parseCell(%q) = %v, want %v", c.in, *got, *c.want)
+		}
+	}
+}
+
+func TestWriteJSONFile(t *testing.T) {
+	tbl := &Table{
+		ID:      "E99",
+		Title:   "synthetic",
+		Ref:     "test",
+		Columns: []string{"case", "latency"},
+		Rows:    [][]string{{"warm", "1.50ms"}, {"cold", "2.00s"}},
+		Notes:   []string{"synthetic table"},
+	}
+	dir := t.TempDir()
+	path, err := tbl.WriteJSONFile(dir)
+	if err != nil {
+		t.Fatalf("WriteJSONFile: %v", err)
+	}
+	if want := filepath.Join(dir, "BENCH_E99.json"); path != want {
+		t.Fatalf("path = %q, want %q", path, want)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if rep.ID != "E99" || len(rep.Rows) != 2 || rep.GoVersion == "" {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+	// "warm" carries no number, "1.50ms" parses to seconds.
+	r0 := rep.Rows[0]
+	if r0.Values[0] != nil {
+		t.Errorf("cell %q parsed to %v, want null", r0.Cells[0], *r0.Values[0])
+	}
+	if r0.Values[1] == nil || *r0.Values[1] != 0.0015 {
+		t.Errorf("cell %q did not parse to 0.0015: %v", r0.Cells[1], r0.Values[1])
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"msod/internal/credential"
+	"msod/internal/obsv"
 	"msod/internal/server"
 )
 
@@ -391,8 +392,10 @@ func TestGatewayManagementFanout(t *testing.T) {
 	}
 }
 
-// TestGatewayMetricsAggregation: shard series sum; gateway series
-// appear.
+// TestGatewayMetricsAggregation: scraped shard series carry a shard
+// label (one series per shard, summable by the scraper), family
+// headers appear exactly once, and the gateway's own series ride
+// along.
 func TestGatewayMetricsAggregation(t *testing.T) {
 	_, gts, _ := newTestCluster(t, 3, Config{})
 	c := server.NewClient(gts.URL, nil)
@@ -411,14 +414,35 @@ func TestGatewayMetricsAggregation(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := string(raw)
-	if !strings.Contains(out, "msod_decisions_total 6") {
-		t.Errorf("summed shard counter missing:\n%s", out)
+	// Every shard contributes its own labelled series; the per-shard
+	// values sum to the routed total.
+	total := 0.0
+	perShard := 0
+	for _, line := range strings.Split(out, "\n") {
+		s, ok := obsv.ParseSeries(line)
+		if !ok || s.Name != "msod_decisions_total" {
+			continue
+		}
+		if !strings.Contains(s.Labels, `shard="shard0`) {
+			t.Errorf("shard series without shard label: %q", line)
+		}
+		perShard++
+		total += s.Value
+	}
+	if perShard != 3 || total != 6 {
+		t.Errorf("msod_decisions_total: %d shard series summing to %v, want 3 summing to 6:\n%s", perShard, total, out)
+	}
+	if n := strings.Count(out, "# TYPE msod_decisions_total counter"); n != 1 {
+		t.Errorf("family header appears %d times, want 1:\n%s", n, out)
 	}
 	if !strings.Contains(out, "msodgw_routed_total 6") {
 		t.Errorf("gateway counter missing:\n%s", out)
 	}
 	if !strings.Contains(out, `msodgw_shard_up{shard="shard00"} 1`) {
 		t.Errorf("shard gauge missing:\n%s", out)
+	}
+	if !strings.Contains(out, `msod_build_info{component="msodgw"`) {
+		t.Errorf("gateway build info missing:\n%s", out)
 	}
 }
 

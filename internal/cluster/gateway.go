@@ -8,14 +8,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sort"
-	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"msod/internal/obsv"
 	"msod/internal/server"
 )
 
@@ -54,6 +55,14 @@ type Config struct {
 	// HTTPClient, when non-nil, is the shared transport for all shard
 	// traffic.
 	HTTPClient *http.Client
+	// Logger, when non-nil, enables structured logging: one line per
+	// routed decision at least SlowLog slow (zero logs every routed
+	// decision), and a warning for every fail-closed refusal and
+	// withheld misrouted answer. Each line carries the decision's
+	// trace ID.
+	Logger *slog.Logger
+	// SlowLog is the slow-decision threshold for Logger (see above).
+	SlowLog time.Duration
 }
 
 // gwMetrics are the gateway's own counters, served alongside the
@@ -79,6 +88,7 @@ type Gateway struct {
 	checker *Checker
 	mux     *http.ServeMux
 	metrics gwMetrics
+	start   time.Time
 
 	mu      sync.RWMutex
 	addrs   map[string]string
@@ -109,6 +119,7 @@ func New(cfg Config) (*Gateway, error) {
 	g := &Gateway{
 		cfg:     cfg,
 		ring:    NewRing(cfg.VirtualNodes),
+		start:   time.Now(),
 		addrs:   make(map[string]string, len(cfg.Shards)),
 		clients: make(map[string]*server.Client, len(cfg.Shards)),
 	}
@@ -128,14 +139,10 @@ func New(cfg Config) (*Gateway, error) {
 	g.checker = NewChecker(ids, g.probe, cfg.FailAfter)
 	g.mux = http.NewServeMux()
 	g.mux.HandleFunc(server.DecisionPath, func(w http.ResponseWriter, r *http.Request) {
-		g.handleRouted(w, r, true, func(c *server.Client, req server.DecisionRequest) (server.DecisionResponse, error) {
-			return c.Decision(req)
-		})
+		g.handleRouted(w, r, true, (*server.Client).DecisionCtx)
 	})
 	g.mux.HandleFunc(server.AdvicePath, func(w http.ResponseWriter, r *http.Request) {
-		g.handleRouted(w, r, false, func(c *server.Client, req server.DecisionRequest) (server.DecisionResponse, error) {
-			return c.Advice(req)
-		})
+		g.handleRouted(w, r, false, (*server.Client).AdviceCtx)
 	})
 	g.mux.HandleFunc(server.ManagementPath, g.handleManagement)
 	g.mux.HandleFunc(server.MetricsPath, g.handleMetrics)
@@ -258,7 +265,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 //     with a RequestID before the first send, so a retry after a
 //     timeout that struck post-commit replays the shard's committed
 //     response instead of double-recording ADI history.
-func (g *Gateway) handleRouted(w http.ResponseWriter, r *http.Request, record bool, call func(*server.Client, server.DecisionRequest) (server.DecisionResponse, error)) {
+func (g *Gateway) handleRouted(w http.ResponseWriter, r *http.Request, record bool, call func(*server.Client, context.Context, server.DecisionRequest) (server.DecisionResponse, error)) {
 	if r.Method != http.MethodPost {
 		errorJSON(w, http.StatusMethodNotAllowed, "POST required")
 		return
@@ -275,14 +282,28 @@ func (g *Gateway) handleRouted(w http.ResponseWriter, r *http.Request, record bo
 		errorJSON(w, http.StatusBadRequest, "request has no routable subject (user or credential holder)")
 		return
 	}
+	// The gateway is where the trace is born: adopt the PEP's
+	// traceparent or mint one, and reuse the same trace (and so the
+	// same ID) across every retry — all attempts of one decision
+	// correlate under one key, and the shard stamps it into the
+	// DecisionResponse and the audit-trail record.
+	traceID, ok := obsv.ParseTraceparent(r.Header.Get(obsv.TraceparentHeader))
+	if !ok {
+		traceID = obsv.NewTraceID()
+	}
+	trace := obsv.NewTrace(traceID)
+	ctx := obsv.WithTrace(r.Context(), trace)
+	start := time.Now()
 	shard, ok := g.ring.Lookup(key)
 	if !ok {
 		g.metrics.unavailable.Add(1)
+		g.logRefusal(traceID, key, "", "no shards in ring")
 		errorJSON(w, http.StatusServiceUnavailable, "no shards in ring")
 		return
 	}
 	if !g.checker.Up(shard) {
 		g.metrics.unavailable.Add(1)
+		g.logRefusal(traceID, key, shard, "owning shard down; failing closed")
 		errorJSON(w, http.StatusServiceUnavailable,
 			fmt.Sprintf("shard %s (owner of user %q) is down; failing closed", shard, key))
 		return
@@ -304,15 +325,18 @@ func (g *Gateway) handleRouted(w http.ResponseWriter, r *http.Request, record bo
 				break // went down while we backed off; stop hammering
 			}
 		}
-		resp, err := call(client, req)
+		resp, err := call(client, ctx, req)
 		if err == nil {
 			if owner, ok := g.ring.Lookup(resp.User); resp.User == "" || !ok || owner != shard {
 				g.metrics.misrouted.Add(1)
+				g.logRefusal(traceID, key, shard,
+					fmt.Sprintf("answer withheld: shard resolved subject %q owned by %s", resp.User, owner))
 				errorJSON(w, http.StatusBadGateway, fmt.Sprintf(
 					"shard %s resolved the subject to %q (owner %s); withholding the answer: routing key %q was not the canonical subject, so the decision was evaluated against the wrong shard's history",
 					shard, resp.User, owner, key))
 				return
 			}
+			g.logDecision(traceID, resp, shard, attempt, time.Since(start))
 			writeJSON(w, http.StatusOK, resp)
 			return
 		}
@@ -327,8 +351,39 @@ func (g *Gateway) handleRouted(w http.ResponseWriter, r *http.Request, record bo
 		g.checker.ReportFailure(shard, err)
 	}
 	g.metrics.unavailable.Add(1)
+	g.logRefusal(traceID, key, shard, fmt.Sprintf("shard unreachable (%v); failing closed", lastErr))
 	errorJSON(w, http.StatusServiceUnavailable,
 		fmt.Sprintf("shard %s unreachable (%v); failing closed", shard, lastErr))
+}
+
+// logDecision emits the structured per-decision line when the
+// decision was at least SlowLog slow (a zero threshold logs all).
+func (g *Gateway) logDecision(traceID obsv.TraceID, resp server.DecisionResponse, shard string, attempt int, elapsed time.Duration) {
+	if g.cfg.Logger == nil || elapsed < g.cfg.SlowLog {
+		return
+	}
+	g.cfg.Logger.LogAttrs(context.Background(), slog.LevelInfo, "decision",
+		slog.String("traceID", string(traceID)),
+		slog.String("shard", shard),
+		slog.String("user", resp.User),
+		slog.Bool("allowed", resp.Allowed),
+		slog.String("phase", resp.Phase),
+		slog.Int("attempts", attempt+1),
+		slog.Float64("seconds", elapsed.Seconds()))
+}
+
+// logRefusal emits a warning for every refusal the gateway itself
+// produced (fail-closed 503s, withheld misrouted answers) — these are
+// operational events regardless of any slow-log threshold.
+func (g *Gateway) logRefusal(traceID obsv.TraceID, key, shard, reason string) {
+	if g.cfg.Logger == nil {
+		return
+	}
+	g.cfg.Logger.LogAttrs(context.Background(), slog.LevelWarn, "refused",
+		slog.String("traceID", string(traceID)),
+		slog.String("user", key),
+		slog.String("shard", shard),
+		slog.String("reason", reason))
 }
 
 // ManagementOutcome is one shard's result of a fanned-out management
@@ -484,12 +539,26 @@ func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleMetrics aggregates every live shard's /v1/metrics by summing
-// series with identical names and labels, and appends the gateway's
-// own msodgw_* series. Shards are scraped concurrently under ONE
-// overall deadline — scraping several slow shards sequentially would
-// take shards×timeout and blow a Prometheus scrape budget — and the
-// bodies are merged in shard order so the output stays deterministic.
+// metricFamily is one metric family of the aggregated scrape: the
+// HELP/TYPE header from the first body that declared it, then every
+// body's sample lines in body order.
+type metricFamily struct {
+	header []string
+	series []string
+}
+
+// handleMetrics aggregates every live shard's /v1/metrics by
+// injecting a shard="<id>" label into each scraped series, so
+// per-shard load, latency and retained-ADI size stay visible through
+// one gateway scrape (summing across the cluster is the scraper's
+// job, and hides exactly the imbalance a sharded deployment must
+// watch). Families keep one HELP/TYPE header and stay contiguous.
+// Shards are scraped concurrently under ONE overall deadline —
+// scraping several slow shards sequentially would take shards×timeout
+// and blow a Prometheus scrape budget — and the bodies are merged in
+// shard order so the output stays deterministic. The gateway's own
+// msod_build_info / msod_uptime_seconds merge into the same families
+// (unlabelled); its msodgw_* counters follow at the end.
 func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	shardIDs := g.checker.Shards()
 	ctx, cancel := timeoutContext(g.cfg.Timeout)
@@ -513,38 +582,79 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	wg.Wait()
 
-	sums := make(map[string]float64)
+	fams := make(map[string]*metricFamily)
 	var order []string
+	family := func(name string) *metricFamily {
+		f, ok := fams[name]
+		if !ok {
+			f = &metricFamily{}
+			fams[name] = f
+			order = append(order, name)
+		}
+		return f
+	}
+	// merge folds one exposition body in: headers claim the family for
+	// their samples (histogram _bucket/_sum/_count lines group under
+	// the family the preceding TYPE named), and every sample gains the
+	// shard label when one is given.
+	merge := func(body, shardID string) {
+		current := ""
+		for _, line := range strings.Split(body, "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" {
+				continue
+			}
+			if strings.HasPrefix(line, "#") {
+				fields := strings.Fields(line)
+				if len(fields) >= 3 && (fields[1] == "HELP" || fields[1] == "TYPE") {
+					current = fields[2]
+					f := family(current)
+					if len(f.series) == 0 {
+						// Only the first body to declare the family
+						// contributes its header.
+						f.header = append(f.header, line)
+					}
+				}
+				continue
+			}
+			s, ok := obsv.ParseSeries(line)
+			if !ok {
+				continue
+			}
+			name := s.Name
+			if current != "" && (name == current || strings.HasPrefix(name, current+"_")) {
+				name = current
+			}
+			if shardID != "" {
+				s = s.WithLabel("shard", shardID)
+			}
+			family(name).series = append(family(name).series, s.String())
+		}
+	}
 	scraped := 0
-	for _, body := range bodies {
+	for i, body := range bodies {
 		if body == nil {
 			continue
 		}
 		scraped++
-		for _, line := range strings.Split(string(body), "\n") {
-			line = strings.TrimSpace(line)
-			if line == "" || strings.HasPrefix(line, "#") {
-				continue
-			}
-			sp := strings.LastIndexByte(line, ' ')
-			if sp <= 0 {
-				continue
-			}
-			series, valStr := line[:sp], line[sp+1:]
-			v, err := strconv.ParseFloat(valStr, 64)
-			if err != nil {
-				continue
-			}
-			if _, seen := sums[series]; !seen {
-				order = append(order, series)
-			}
-			sums[series] += v
-		}
+		merge(string(body), shardIDs[i])
 	}
+	// The gateway's own process identity joins the same families.
+	var own strings.Builder
+	obsv.WriteBuildInfo(&own, "msodgw")
+	obsv.WriteUptime(&own, g.start)
+	merge(own.String(), "")
+
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	fmt.Fprintf(w, "# msodgw: aggregated over %d live shard(s); series are sums across the cluster\n", scraped)
-	for _, series := range order {
-		fmt.Fprintf(w, "%s %s\n", series, strconv.FormatFloat(sums[series], 'g', -1, 64))
+	fmt.Fprintf(w, "# msodgw: aggregated over %d live shard(s); shard series carry a shard=\"<id>\" label\n", scraped)
+	for _, name := range order {
+		f := fams[name]
+		for _, h := range f.header {
+			fmt.Fprintln(w, h)
+		}
+		for _, s := range f.series {
+			fmt.Fprintln(w, s)
+		}
 	}
 	g.writeOwnMetrics(w)
 }

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
 	"msod/internal/adi"
 	"msod/internal/bctx"
+	"msod/internal/obsv"
 	"msod/internal/rbac"
 )
 
@@ -190,7 +192,15 @@ type action struct {
 // updated (new records and/or last-step purges); on Deny, the store is
 // untouched.
 func (e *Engine) Evaluate(req Request) (Decision, error) {
-	return e.evaluate(req, true)
+	return e.evaluate(context.Background(), req, true)
+}
+
+// EvaluateCtx is Evaluate carrying a context: when the context holds
+// an obsv.Trace, the engine records one span per matched policy and
+// an obsv.StageStore span around the retained-ADI commit phase.
+// Untraced contexts pay a single nil check.
+func (e *Engine) EvaluateCtx(ctx context.Context, req Request) (Decision, error) {
+	return e.evaluate(ctx, req, true)
 }
 
 // Peek runs the same algorithm as Evaluate but never mutates the
@@ -203,10 +213,15 @@ func (e *Engine) Evaluate(req Request) (Decision, error) {
 // Peek can become Deny by the time Evaluate runs if conflicting history
 // lands in between.
 func (e *Engine) Peek(req Request) (Decision, error) {
-	return e.evaluate(req, false)
+	return e.evaluate(context.Background(), req, false)
 }
 
-func (e *Engine) evaluate(req Request, commit bool) (Decision, error) {
+// PeekCtx is Peek carrying a context (see EvaluateCtx).
+func (e *Engine) PeekCtx(ctx context.Context, req Request) (Decision, error) {
+	return e.evaluate(ctx, req, false)
+}
+
+func (e *Engine) evaluate(ctx context.Context, req Request, commit bool) (Decision, error) {
 	if err := req.Validate(); err != nil {
 		return Decision{}, err
 	}
@@ -223,6 +238,9 @@ func (e *Engine) evaluate(req Request, commit bool) (Decision, error) {
 		dec     Decision
 		actions []action
 		now     = e.now()
+		// tr is resolved once; all per-policy and store span
+		// bookkeeping is skipped when the request is untraced.
+		tr = obsv.TraceFrom(ctx)
 	)
 
 	// Step 1: select the policies whose business context matches the
@@ -242,7 +260,14 @@ func (e *Engine) evaluate(req Request, commit bool) (Decision, error) {
 			return Decision{}, err
 		}
 
+		var endPolicy func()
+		if tr != nil {
+			endPolicy = tr.StartSpan("msod.policy:" + p.Context.String())
+		}
 		act, denial, err := e.evaluatePolicy(p, bound, req, now)
+		if endPolicy != nil {
+			endPolicy()
+		}
 		if err != nil {
 			return Decision{}, err
 		}
@@ -258,6 +283,10 @@ func (e *Engine) evaluate(req Request, commit bool) (Decision, error) {
 	// Commit phase: every matched policy granted, apply mutations in
 	// policy order. In advisory mode (Peek) the mutations are only
 	// counted, never applied.
+	if tr != nil && commit && len(actions) > 0 {
+		endStore := tr.StartSpan(obsv.StageStore)
+		defer endStore()
+	}
 	for _, act := range actions {
 		if act.purge {
 			if commit {

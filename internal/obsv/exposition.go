@@ -1,0 +1,129 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// WriteCounter emits one counter with its header.
+func WriteCounter(w io.Writer, name, help string, v int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}
+
+// WriteGauge emits one gauge with its header.
+func WriteGauge(w io.Writer, name, help string, v float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
+		name, help, name, name, FormatValue(v))
+}
+
+// FormatValue renders a sample value the way the text format expects.
+func FormatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Series is one parsed sample line of the text exposition format.
+type Series struct {
+	// Name is the metric name (msod_grants_total,
+	// msod_stage_duration_seconds_bucket, ...).
+	Name string
+	// Labels is the raw label body without braces (`stage="cvs",le="1"`);
+	// empty when the line has no labels.
+	Labels string
+	// Value is the sample value.
+	Value float64
+}
+
+// ParseSeries parses one non-comment exposition line. It returns
+// ok=false for blank lines, comments, and anything malformed —
+// callers iterate a body and keep what parses.
+func ParseSeries(line string) (Series, bool) {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return Series{}, false
+	}
+	sp := strings.LastIndexByte(line, ' ')
+	if sp <= 0 {
+		return Series{}, false
+	}
+	v, err := strconv.ParseFloat(line[sp+1:], 64)
+	if err != nil {
+		return Series{}, false
+	}
+	s := Series{Value: v}
+	id := line[:sp]
+	if open := strings.IndexByte(id, '{'); open >= 0 {
+		if !strings.HasSuffix(id, "}") {
+			return Series{}, false
+		}
+		s.Name = id[:open]
+		s.Labels = id[open+1 : len(id)-1]
+	} else {
+		s.Name = id
+	}
+	if s.Name == "" {
+		return Series{}, false
+	}
+	return s, true
+}
+
+// WithLabel returns the series with one more label appended (no
+// dedupe; callers add labels they know are absent, like the
+// gateway's shard label).
+func (s Series) WithLabel(key, value string) Series {
+	l := fmt.Sprintf("%s=%q", key, value)
+	if s.Labels != "" {
+		l = s.Labels + "," + l
+	}
+	return Series{Name: s.Name, Labels: l, Value: s.Value}
+}
+
+// String renders the series back into an exposition line.
+func (s Series) String() string {
+	if s.Labels == "" {
+		return s.Name + " " + FormatValue(s.Value)
+	}
+	return s.Name + "{" + s.Labels + "} " + FormatValue(s.Value)
+}
+
+// BuildInfoMetric and UptimeMetric are the common process-identity
+// families both daemons expose.
+const (
+	BuildInfoMetric = "msod_build_info"
+	UptimeMetric    = "msod_uptime_seconds"
+)
+
+// buildVersion resolves the module version baked into the binary
+// ("devel" for local builds without module metadata).
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		return bi.Main.Version
+	}
+	return "devel"
+}
+
+// WriteBuildInfo emits msod_build_info for one component
+// (constant 1; the information is in the labels).
+func WriteBuildInfo(w io.Writer, component string) {
+	fmt.Fprintf(w, "# HELP %s Build and runtime identity of the serving binary.\n# TYPE %s gauge\n",
+		BuildInfoMetric, BuildInfoMetric)
+	WriteBuildInfoSeries(w, component)
+}
+
+// WriteBuildInfoSeries emits only the msod_build_info sample line —
+// for writers that already emitted the family header.
+func WriteBuildInfoSeries(w io.Writer, component string) {
+	fmt.Fprintf(w, "%s{component=%q,version=%q,go_version=%q} 1\n",
+		BuildInfoMetric, component, buildVersion(), runtime.Version())
+}
+
+// WriteUptime emits msod_uptime_seconds relative to a process start
+// time.
+func WriteUptime(w io.Writer, start time.Time) {
+	WriteGauge(w, UptimeMetric, "Seconds since the serving process started.",
+		time.Since(start).Seconds())
+}

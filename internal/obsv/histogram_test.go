@@ -1,0 +1,161 @@
+package obsv
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// parseExposition is the tiny text-format parser of the satellite
+// spec: it walks a body line by line, tracks HELP/TYPE headers, and
+// fails on anything that is neither a comment nor a parsable sample.
+// It returns samples keyed by full series identity and the TYPE of
+// each family.
+func parseExposition(t *testing.T, body string) (map[string]float64, map[string]string) {
+	t.Helper()
+	samples := make(map[string]float64)
+	types := make(map[string]string)
+	for n, line := range strings.Split(body, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.Fields(line)
+			if len(f) >= 4 && f[1] == "TYPE" {
+				types[f[2]] = f[3]
+			}
+			continue
+		}
+		s, ok := ParseSeries(line)
+		if !ok {
+			t.Fatalf("line %d does not parse as a sample: %q", n+1, line)
+		}
+		key := s.Name
+		if s.Labels != "" {
+			key += "{" + s.Labels + "}"
+		}
+		if _, dup := samples[key]; dup {
+			t.Fatalf("duplicate series %q", key)
+		}
+		samples[key] = s.Value
+	}
+	return samples, types
+}
+
+// TestHistogramBoundaryObservation pins the le semantics: an
+// observation exactly on a bucket's upper bound is counted in that
+// bucket, not the next one.
+func TestHistogramBoundaryObservation(t *testing.T) {
+	h := NewHistogram(DefaultDurationBuckets)
+	// 25µs is the upper bound of bucket 1 (le="2.5e-05").
+	h.Observe(25 * time.Microsecond)
+	var buf strings.Builder
+	h.Write(&buf, "b", "boundary")
+	samples, _ := parseExposition(t, buf.String())
+	if got := samples[`b_bucket{le="1e-05"}`]; got != 0 {
+		t.Fatalf("le=1e-05 bucket = %v, want 0 (25µs must not land below its bound)", got)
+	}
+	if got := samples[`b_bucket{le="2.5e-05"}`]; got != 1 {
+		t.Fatalf("le=2.5e-05 bucket = %v, want 1 (exact-boundary observation is <= the bound)", got)
+	}
+	if got := samples[`b_count`]; got != 1 {
+		t.Fatalf("count = %v, want 1", got)
+	}
+}
+
+// TestHistogramConcurrentObserve exercises concurrent observation; the
+// -race run proves lock freedom is sound, and the final count proves
+// no observation is lost.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(DefaultDurationBuckets)
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(time.Duration(w*perWorker+i) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestHistogramExpositionParses checks the full output — buckets,
+// sum, count, cumulative monotonicity — through the test's own
+// parser.
+func TestHistogramExpositionParses(t *testing.T) {
+	h := NewHistogram(DefaultDurationBuckets)
+	for _, d := range []time.Duration{
+		3 * time.Microsecond, 40 * time.Microsecond, 2 * time.Millisecond, 3 * time.Second,
+	} {
+		h.Observe(d)
+	}
+	var buf strings.Builder
+	h.Write(&buf, "msod_test_duration_seconds", "test histogram")
+	samples, types := parseExposition(t, buf.String())
+	if types["msod_test_duration_seconds"] != "histogram" {
+		t.Fatalf("TYPE = %q, want histogram", types["msod_test_duration_seconds"])
+	}
+	// Cumulative buckets must be non-decreasing and end at the count.
+	var prev float64
+	for _, bound := range DefaultDurationBuckets {
+		key := `msod_test_duration_seconds_bucket{le="` + strconv.FormatFloat(bound, 'g', -1, 64) + `"}`
+		v, ok := samples[key]
+		if !ok {
+			t.Fatalf("missing bucket %s", key)
+		}
+		if v < prev {
+			t.Fatalf("bucket %s = %v decreases below %v", key, v, prev)
+		}
+		prev = v
+	}
+	inf := samples[`msod_test_duration_seconds_bucket{le="+Inf"}`]
+	if inf != 4 || samples["msod_test_duration_seconds_count"] != 4 {
+		t.Fatalf("+Inf bucket %v / count %v, want 4", inf, samples["msod_test_duration_seconds_count"])
+	}
+	wantSum := (3*time.Microsecond + 40*time.Microsecond + 2*time.Millisecond + 3*time.Second).Seconds()
+	if got := samples["msod_test_duration_seconds_sum"]; got != wantSum {
+		t.Fatalf("sum = %v, want %v", got, wantSum)
+	}
+}
+
+// TestStageHistogramsWrite checks the labelled family: one header,
+// every declared stage present even unobserved, labels merged before
+// le, unknown stages dropped.
+func TestStageHistogramsWrite(t *testing.T) {
+	sh := NewStageHistograms("msod_stage_duration_seconds", "Per-stage time.", Stages...)
+	sh.Observe(StageCVS, 30*time.Microsecond)
+	sh.Observe("nonexistent", time.Second) // must be ignored, not panic
+	var buf strings.Builder
+	sh.Write(&buf)
+	body := buf.String()
+	if n := strings.Count(body, "# TYPE msod_stage_duration_seconds histogram"); n != 1 {
+		t.Fatalf("TYPE header appears %d times, want 1", n)
+	}
+	samples, _ := parseExposition(t, body)
+	for _, stage := range Stages {
+		key := `msod_stage_duration_seconds_count{stage="` + stage + `"}`
+		if _, ok := samples[key]; !ok {
+			t.Fatalf("stage %q missing from exposition", stage)
+		}
+	}
+	if got := samples[`msod_stage_duration_seconds_count{stage="cvs"}`]; got != 1 {
+		t.Fatalf("cvs count = %v, want 1", got)
+	}
+	if got := samples[`msod_stage_duration_seconds_bucket{stage="cvs",le="5e-05"}`]; got != 1 {
+		t.Fatalf("cvs le=5e-05 = %v, want 1", got)
+	}
+	for key := range samples {
+		if strings.Contains(key, "nonexistent") {
+			t.Fatalf("unknown stage leaked into exposition: %s", key)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package obsv
+
+import (
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewLogger builds the JSON structured logger both daemons use: one
+// object per line on w, every record carrying the component name.
+func NewLogger(w io.Writer, component string) *slog.Logger {
+	return slog.New(slog.NewJSONHandler(w, nil)).With(slog.String("component", component))
+}
+
+// SpanAttrs renders a trace's span breakdown as one slog group attr:
+// span name → seconds (durations of same-named spans summed). It is
+// the "where did the time go" payload of a slow-decision log line.
+func SpanAttrs(t *Trace) slog.Attr {
+	sums := make(map[string]float64)
+	var order []string
+	for _, s := range t.Spans() {
+		if _, seen := sums[s.Name]; !seen {
+			order = append(order, s.Name)
+		}
+		sums[s.Name] += s.Duration.Seconds()
+	}
+	attrs := make([]any, 0, len(order))
+	for _, name := range order {
+		attrs = append(attrs, slog.Float64(name, sums[name]))
+	}
+	return slog.Group("spans", attrs...)
+}
+
+// PprofHandler returns the net/http/pprof index and profile endpoints
+// under /debug/pprof/ — the opt-in profiling listener both daemons
+// mount behind their -pprof flag. It is deliberately a separate
+// handler (own listener, never the decision port): profiling
+// endpoints can stall and leak internals, so exposure stays an
+// explicit operator decision.
+func PprofHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,198 @@
+// Package obsv is the observability layer of the MSoD deployment:
+// per-decision trace IDs and span trees carried through
+// context.Context, lock-free Prometheus-style histograms for the
+// decision pipeline's stages, structured-logging helpers, and the text
+// exposition plumbing shared by the PDP server and the cluster
+// gateway. It depends only on the standard library.
+//
+// The trace ID is the correlation key of the whole deployment: the
+// gateway mints one per routed decision (or adopts the PEP's, see
+// ParseTraceparent), forwards it to the owning shard in a
+// W3C-traceparent-style header, and the shard stamps it into both the
+// DecisionResponse and the durable audit-trail record — so one ID
+// links the gateway's log line, the shard's answer, and the
+// tamper-evident history the decision was evaluated against.
+package obsv
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// Canonical stage names of the decision pipeline, used both as span
+// names inside a trace and as the "stage" label of the per-stage
+// latency histograms. The store span is recorded inside the msod span
+// (the engine's commit phase), so msod durations include store time.
+const (
+	StageCVS   = "cvs"   // credential validation / subject resolution
+	StageRBAC  = "rbac"  // ordinary role-permission check
+	StageMSoD  = "msod"  // §4.2 MSoD algorithm against the retained ADI
+	StageStore = "store" // retained-ADI commit (appends + last-step purges)
+	StageAudit = "audit" // audit-trail append
+)
+
+// Stages lists the canonical pipeline stages in execution order.
+var Stages = []string{StageCVS, StageRBAC, StageMSoD, StageStore, StageAudit}
+
+// TraceID is a W3C trace-id: 32 lowercase hex characters, non-zero.
+type TraceID string
+
+// NewTraceID mints a random trace ID. On entropy failure it returns
+// the empty (invalid) ID rather than failing the decision path.
+func NewTraceID() TraceID {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return ""
+	}
+	return TraceID(hex.EncodeToString(b[:]))
+}
+
+// Valid reports whether the ID is 32 lowercase hex chars and non-zero.
+func (id TraceID) Valid() bool {
+	if len(id) != 32 {
+		return false
+	}
+	zero := true
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if !((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) {
+			return false
+		}
+		if c != '0' {
+			zero = false
+		}
+	}
+	return !zero
+}
+
+// TraceparentHeader is the propagation header, as in the W3C Trace
+// Context recommendation.
+const TraceparentHeader = "Traceparent"
+
+// Traceparent renders a version-00 traceparent value for this trace
+// ID with a fresh parent span ID and the sampled flag set.
+func (id TraceID) Traceparent() string {
+	var span [8]byte
+	if _, err := rand.Read(span[:]); err != nil {
+		span = [8]byte{0, 0, 0, 0, 0, 0, 0, 1}
+	}
+	return "00-" + string(id) + "-" + hex.EncodeToString(span[:]) + "-01"
+}
+
+// ParseTraceparent extracts the trace ID from a traceparent header
+// value: "00-<32 hex trace-id>-<16 hex span-id>-<flags>". It is
+// lenient about flags and trailing fields (future versions append
+// them) but rejects a malformed or all-zero trace ID.
+func ParseTraceparent(h string) (TraceID, bool) {
+	// version(2) '-' traceid(32) '-' spanid(16) '-' flags(2)
+	if len(h) < 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return "", false
+	}
+	if h[0] != '0' || h[1] != '0' {
+		return "", false // only version 00 is understood
+	}
+	id := TraceID(h[3:35])
+	if !id.Valid() {
+		return "", false
+	}
+	return id, true
+}
+
+// Span is one timed step inside a trace.
+type Span struct {
+	Name     string
+	Start    time.Time
+	Duration time.Duration
+}
+
+// Trace is the span collection of one decision. It is safe for
+// concurrent use; spans are appended in completion order.
+type Trace struct {
+	id    TraceID
+	start time.Time
+
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewTrace starts a trace under the given ID.
+func NewTrace(id TraceID) *Trace {
+	return &Trace{id: id, start: time.Now()}
+}
+
+// ID returns the trace ID.
+func (t *Trace) ID() TraceID { return t.id }
+
+// Start returns when the trace began.
+func (t *Trace) Start() time.Time { return t.start }
+
+// StartSpan begins a named span and returns the function that ends
+// it. The span is recorded only when the end function runs.
+func (t *Trace) StartSpan(name string) func() {
+	start := time.Now()
+	return func() {
+		d := time.Since(start)
+		t.mu.Lock()
+		t.spans = append(t.spans, Span{Name: name, Start: start, Duration: d})
+		t.mu.Unlock()
+	}
+}
+
+// Spans returns a copy of the completed spans.
+func (t *Trace) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// SpanDuration sums the durations of all completed spans with the
+// given name (zero when none completed).
+func (t *Trace) SpanDuration(name string) time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var total time.Duration
+	for _, s := range t.spans {
+		if s.Name == name {
+			total += s.Duration
+		}
+	}
+	return total
+}
+
+type traceKey struct{}
+
+// WithTrace attaches a trace to the context.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFrom returns the context's trace, or nil. Callers on hot paths
+// check this once and skip all span bookkeeping when untraced.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// TraceIDFrom returns the context's trace ID, or "".
+func TraceIDFrom(ctx context.Context) TraceID {
+	if t := TraceFrom(ctx); t != nil {
+		return t.id
+	}
+	return ""
+}
+
+// noopEnd is the shared no-op span terminator for untraced contexts.
+func noopEnd() {}
+
+// StartSpan begins a span on the context's trace; without a trace it
+// returns a shared no-op so untraced callers pay only a context
+// lookup.
+func StartSpan(ctx context.Context, name string) func() {
+	if t := TraceFrom(ctx); t != nil {
+		return t.StartSpan(name)
+	}
+	return noopEnd
+}

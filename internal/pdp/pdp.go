@@ -13,6 +13,7 @@
 package pdp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -23,6 +24,7 @@ import (
 	"msod/internal/bctx"
 	"msod/internal/core"
 	"msod/internal/credential"
+	"msod/internal/obsv"
 	"msod/internal/policy"
 	"msod/internal/rbac"
 )
@@ -190,18 +192,32 @@ type Decision struct {
 
 // Decide evaluates one access request: CVS → RBAC → MSoD → audit.
 func (p *PDP) Decide(req Request) (Decision, error) {
+	return p.DecideCtx(context.Background(), req)
+}
+
+// DecideCtx is Decide carrying a context. When the context holds an
+// obsv.Trace, each pipeline stage records a span (obsv.StageCVS,
+// StageRBAC, StageMSoD, StageAudit; the engine adds StageStore inside
+// the msod span), and the trace ID is stamped into the audit-trail
+// event so the durable record correlates with the gateway's log line.
+func (p *PDP) DecideCtx(ctx context.Context, req Request) (Decision, error) {
+	endCVS := obsv.StartSpan(ctx, obsv.StageCVS)
 	user, roles, err := p.subject(req)
+	endCVS()
 	if err != nil {
 		return Decision{}, err
 	}
 	dec := Decision{User: user, Roles: roles}
 
 	perm := rbac.Permission{Operation: req.Operation, Object: req.Target}
-	if !p.model.RolesPermit(roles, perm) {
+	endRBAC := obsv.StartSpan(ctx, obsv.StageRBAC)
+	permitted := p.model.RolesPermit(roles, perm)
+	endRBAC()
+	if !permitted {
 		dec.Allowed = false
 		dec.Phase = PhaseRBAC
 		dec.Reason = fmt.Sprintf("no activated role grants %s", perm)
-		p.log(req, user, roles, dec, nil)
+		p.log(ctx, req, user, roles, dec, nil)
 		return dec, nil
 	}
 
@@ -212,7 +228,9 @@ func (p *PDP) Decide(req Request) (Decision, error) {
 		Target:    req.Target,
 		Context:   req.Context,
 	}
-	mdec, err := p.engine.Evaluate(msodReq)
+	endMSoD := obsv.StartSpan(ctx, obsv.StageMSoD)
+	mdec, err := p.engine.EvaluateCtx(ctx, msodReq)
+	endMSoD()
 	if err != nil {
 		return Decision{}, err
 	}
@@ -225,7 +243,7 @@ func (p *PDP) Decide(req Request) (Decision, error) {
 		dec.Allowed = true
 		dec.Phase = PhaseGranted
 	}
-	p.log(req, user, roles, dec, &mdec)
+	p.log(ctx, req, user, roles, dec, &mdec)
 	return dec, nil
 }
 
@@ -234,21 +252,35 @@ func (p *PDP) Decide(req Request) (Decision, error) {
 // trail. It exists for UX and planning queries; the answer is advisory
 // (see core.Engine.Peek for the TOCTOU caveat).
 func (p *PDP) Advise(req Request) (Decision, error) {
+	return p.AdviseCtx(context.Background(), req)
+}
+
+// AdviseCtx is Advise carrying a context (see DecideCtx); advisory
+// traces record cvs/rbac/msod spans but never audit or store — the
+// path has no side effects.
+func (p *PDP) AdviseCtx(ctx context.Context, req Request) (Decision, error) {
+	endCVS := obsv.StartSpan(ctx, obsv.StageCVS)
 	user, roles, err := p.subject(req)
+	endCVS()
 	if err != nil {
 		return Decision{}, err
 	}
 	dec := Decision{User: user, Roles: roles}
 	perm := rbac.Permission{Operation: req.Operation, Object: req.Target}
-	if !p.model.RolesPermit(roles, perm) {
+	endRBAC := obsv.StartSpan(ctx, obsv.StageRBAC)
+	permitted := p.model.RolesPermit(roles, perm)
+	endRBAC()
+	if !permitted {
 		dec.Phase = PhaseRBAC
 		dec.Reason = fmt.Sprintf("no activated role grants %s", perm)
 		return dec, nil
 	}
-	mdec, err := p.engine.Peek(core.Request{
+	endMSoD := obsv.StartSpan(ctx, obsv.StageMSoD)
+	mdec, err := p.engine.PeekCtx(ctx, core.Request{
 		User: user, Roles: roles,
 		Operation: req.Operation, Target: req.Target, Context: req.Context,
 	})
+	endMSoD()
 	if err != nil {
 		return Decision{}, err
 	}
@@ -282,11 +314,14 @@ func (p *PDP) subject(req Request) (rbac.UserID, []rbac.RoleName, error) {
 	return req.User, append([]rbac.RoleName(nil), req.Roles...), nil
 }
 
-// log writes the decision to the audit trail if one is configured.
-func (p *PDP) log(req Request, user rbac.UserID, roles []rbac.RoleName, dec Decision, mdec *core.Decision) {
+// log writes the decision to the audit trail if one is configured,
+// stamping the context's trace ID into the event.
+func (p *PDP) log(ctx context.Context, req Request, user rbac.UserID, roles []rbac.RoleName, dec Decision, mdec *core.Decision) {
 	if p.trail == nil {
 		return
 	}
+	endAudit := obsv.StartSpan(ctx, obsv.StageAudit)
+	defer endAudit()
 	coreReq := core.Request{
 		User: user, Roles: roles,
 		Operation: req.Operation, Target: req.Target, Context: req.Context,
@@ -298,10 +333,12 @@ func (p *PDP) log(req Request, user rbac.UserID, roles []rbac.RoleName, dec Deci
 	if !dec.Allowed {
 		cd.Effect = core.Deny
 	}
+	ev := audit.NewEvent(coreReq, cd, p.clock())
+	ev.TraceID = string(obsv.TraceIDFrom(ctx))
 	// Trail write failures must not flip an access decision; the PDP
 	// surfaces them via the event error counter instead (a production
 	// system would fail-stop; the paper does not specify).
-	if _, err := p.trail.Append(audit.NewEvent(coreReq, cd, p.clock())); err != nil {
+	if _, err := p.trail.Append(ev); err != nil {
 		p.trailErrs.Add(1)
 	}
 }

@@ -11,6 +11,7 @@ import (
 
 	"msod/internal/bctx"
 	"msod/internal/credential"
+	"msod/internal/obsv"
 	"msod/internal/rbac"
 )
 
@@ -73,18 +74,27 @@ func NewClient(base string, httpClient *http.Client, opts ...ClientOption) *Clie
 	return c
 }
 
-// reqContext returns the context bounding one request.
-func (c *Client) reqContext() (context.Context, context.CancelFunc) {
+// reqContext derives the context bounding one request from the
+// caller's context.
+func (c *Client) reqContext(parent context.Context) (context.Context, context.CancelFunc) {
 	if c.timeout <= 0 {
-		return context.Background(), func() {}
+		return parent, func() {}
 	}
-	return context.WithTimeout(context.Background(), c.timeout)
+	return context.WithTimeout(parent, c.timeout)
 }
 
 // Decision submits a decision request.
 func (c *Client) Decision(req DecisionRequest) (DecisionResponse, error) {
+	return c.DecisionCtx(context.Background(), req)
+}
+
+// DecisionCtx submits a decision request under the caller's context.
+// When the context carries an obsv trace, its trace ID is propagated
+// to the PDP in the Traceparent header, so the shard's decision,
+// slow-log line and audit record correlate with the caller's trace.
+func (c *Client) DecisionCtx(ctx context.Context, req DecisionRequest) (DecisionResponse, error) {
 	var resp DecisionResponse
-	if err := c.post(DecisionPath, req, &resp); err != nil {
+	if err := c.post(ctx, DecisionPath, req, &resp); err != nil {
 		return DecisionResponse{}, err
 	}
 	return resp, nil
@@ -92,8 +102,14 @@ func (c *Client) Decision(req DecisionRequest) (DecisionResponse, error) {
 
 // Advice submits a side-effect-free advisory decision request.
 func (c *Client) Advice(req DecisionRequest) (DecisionResponse, error) {
+	return c.AdviceCtx(context.Background(), req)
+}
+
+// AdviceCtx submits an advisory request under the caller's context
+// (see DecisionCtx for trace propagation).
+func (c *Client) AdviceCtx(ctx context.Context, req DecisionRequest) (DecisionResponse, error) {
 	var resp DecisionResponse
-	if err := c.post(AdvicePath, req, &resp); err != nil {
+	if err := c.post(ctx, AdvicePath, req, &resp); err != nil {
 		return DecisionResponse{}, err
 	}
 	return resp, nil
@@ -102,7 +118,7 @@ func (c *Client) Advice(req DecisionRequest) (DecisionResponse, error) {
 // Manage submits a management request.
 func (c *Client) Manage(req ManagementWireRequest) (ManagementWireResponse, error) {
 	var resp ManagementWireResponse
-	if err := c.post(ManagementPath, req, &resp); err != nil {
+	if err := c.post(context.Background(), ManagementPath, req, &resp); err != nil {
 		return ManagementWireResponse{}, err
 	}
 	return resp, nil
@@ -110,7 +126,7 @@ func (c *Client) Manage(req ManagementWireRequest) (ManagementWireResponse, erro
 
 // Health checks liveness and returns the server's policy ID.
 func (c *Client) Health() (string, error) {
-	ctx, cancel := c.reqContext()
+	ctx, cancel := c.reqContext(context.Background())
 	defer cancel()
 	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+HealthPath, nil)
 	if err != nil {
@@ -158,18 +174,21 @@ func (c *Client) Decide(user rbac.UserID, roles []rbac.RoleName, op rbac.Operati
 	return resp.Allowed, resp.Reason, nil
 }
 
-func (c *Client) post(path string, in, out any) error {
+func (c *Client) post(parent context.Context, path string, in, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return fmt.Errorf("server: marshal request: %w", err)
 	}
-	ctx, cancel := c.reqContext()
+	ctx, cancel := c.reqContext(parent)
 	defer cancel()
 	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
 	if err != nil {
 		return fmt.Errorf("server: post %s: %w", path, err)
 	}
 	httpReq.Header.Set("Content-Type", "application/json")
+	if id := obsv.TraceIDFrom(parent); id.Valid() {
+		httpReq.Header.Set(obsv.TraceparentHeader, id.Traceparent())
+	}
 	httpResp, err := c.http.Do(httpReq)
 	if err != nil {
 		return fmt.Errorf("server: post %s: %w", path, err)

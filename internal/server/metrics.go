@@ -1,62 +1,21 @@
 package server
 
 import (
-	"fmt"
 	"net/http"
-	"strconv"
 	"sync/atomic"
 	"time"
+
+	"msod/internal/obsv"
 )
 
 // MetricsPath serves operational counters in the Prometheus text
-// exposition format (counters and one fixed-bucket histogram; no
+// exposition format (counters, gauges and fixed-bucket histograms; no
 // external dependency).
 const MetricsPath = "/v1/metrics"
 
-// durationBuckets are the fixed upper bounds (seconds) of the decision
-// latency histogram. They span the measured range of EXPERIMENTS.md:
-// a few µs in-process through tens of ms for durable-store grants.
-var durationBuckets = [...]float64{
-	10e-6, 25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
-	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 1,
-}
-
-// histogram is a lock-free fixed-bucket latency histogram.
-type histogram struct {
-	// counts[i] is the number of observations in bucket i (non-
-	// cumulative); the final slot is the +Inf overflow bucket.
-	counts   [len(durationBuckets) + 1]atomic.Int64
-	sumNanos atomic.Int64
-}
-
-// observe records one duration.
-func (h *histogram) observe(d time.Duration) {
-	s := d.Seconds()
-	i := 0
-	for i < len(durationBuckets) && s > durationBuckets[i] {
-		i++
-	}
-	h.counts[i].Add(1)
-	h.sumNanos.Add(int64(d))
-}
-
-// write emits the histogram in Prometheus exposition format.
-func (h *histogram) write(w http.ResponseWriter, name, help string) {
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
-	var cum int64
-	for i, bound := range durationBuckets {
-		cum += h.counts[i].Load()
-		fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n",
-			name, strconv.FormatFloat(bound, 'g', -1, 64), cum)
-	}
-	cum += h.counts[len(durationBuckets)].Load()
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
-	fmt.Fprintf(w, "%s_sum %s\n", name,
-		strconv.FormatFloat(time.Duration(h.sumNanos.Load()).Seconds(), 'g', -1, 64))
-	fmt.Fprintf(w, "%s_count %d\n", name, cum)
-}
-
-// metrics holds the server's decision counters.
+// metrics holds the server's decision counters and latency
+// histograms. Counters are plain atomics; the histograms come from
+// obsv and are lock-free too.
 type metrics struct {
 	decisions     atomic.Int64 // total decision requests answered
 	grants        atomic.Int64
@@ -71,8 +30,20 @@ type metrics struct {
 	recordsWritten    atomic.Int64
 	recordsPurged     atomic.Int64
 	// duration observes the PDP evaluation time of every decision and
-	// advisory request (not transport or JSON handling).
-	duration histogram
+	// advisory request (not transport or JSON handling); stages breaks
+	// the same time down by pipeline stage from the request's trace.
+	duration *obsv.Histogram
+	stages   *obsv.StageHistograms
+}
+
+// init allocates the histograms (the counters are usable zero
+// values). Called once from New; metrics is never copied afterwards —
+// its atomics pin it in place.
+func (m *metrics) init() {
+	m.duration = obsv.NewHistogram(obsv.DefaultDurationBuckets)
+	m.stages = obsv.NewStageHistograms("msod_stage_duration_seconds",
+		"Decision pipeline time per stage (cvs, rbac, msod, store, audit); store time is also inside msod.",
+		obsv.Stages...)
 }
 
 // observe updates the counters from one decision response.
@@ -94,24 +65,48 @@ func (m *metrics) observe(resp DecisionResponse, advisory bool) {
 	m.recordsPurged.Add(int64(resp.Purged))
 }
 
+// observeStages feeds the per-stage histograms from a completed
+// trace; span names outside the canonical stage set (per-policy
+// engine spans) stay trace-only detail.
+func (m *metrics) observeStages(t *obsv.Trace) {
+	for _, span := range t.Spans() {
+		m.stages.Observe(span.Name, span.Duration)
+	}
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	write := func(name, help string, v int64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
-	}
-	write("msod_decisions_total", "Decision requests answered (excluding advisories).", s.metrics.decisions.Load())
-	write("msod_grants_total", "Granted decisions.", s.metrics.grants.Load())
-	write("msod_denied_rbac_total", "Decisions denied by the RBAC check.", s.metrics.deniedRBAC.Load())
-	write("msod_denied_msod_total", "Decisions denied by the MSoD algorithm.", s.metrics.deniedMSoD.Load())
-	write("msod_advisories_total", "Advisory (side-effect-free) queries answered.", s.metrics.advisories.Load())
-	write("msod_management_ops_total", "Management-port operations executed.", s.metrics.managementOps.Load())
-	write("msod_request_errors_total", "Requests rejected before a decision (bad input, no subject).", s.metrics.requestErrors.Load())
-	write("msod_decision_replays_total", "Duplicate decision RequestIDs replayed from the idempotency cache.", s.metrics.idempotentReplays.Load())
-	write("msod_adi_records_written_total", "Retained-ADI records written by grants.", s.metrics.recordsWritten.Load())
-	write("msod_adi_records_purged_total", "Retained-ADI records purged by last steps.", s.metrics.recordsPurged.Load())
-	s.metrics.duration.write(w, "msod_decision_duration_seconds",
+	obsv.WriteCounter(w, "msod_decisions_total", "Decision requests answered (excluding advisories).", s.metrics.decisions.Load())
+	obsv.WriteCounter(w, "msod_grants_total", "Granted decisions.", s.metrics.grants.Load())
+	obsv.WriteCounter(w, "msod_denied_rbac_total", "Decisions denied by the RBAC check.", s.metrics.deniedRBAC.Load())
+	obsv.WriteCounter(w, "msod_denied_msod_total", "Decisions denied by the MSoD algorithm.", s.metrics.deniedMSoD.Load())
+	obsv.WriteCounter(w, "msod_advisories_total", "Advisory (side-effect-free) queries answered.", s.metrics.advisories.Load())
+	obsv.WriteCounter(w, "msod_management_ops_total", "Management-port operations executed.", s.metrics.managementOps.Load())
+	obsv.WriteCounter(w, "msod_request_errors_total", "Requests rejected before a decision (bad input, no subject).", s.metrics.requestErrors.Load())
+	obsv.WriteCounter(w, "msod_decision_replays_total", "Duplicate decision RequestIDs replayed from the idempotency cache.", s.metrics.idempotentReplays.Load())
+	obsv.WriteCounter(w, "msod_adi_records_written_total", "Retained-ADI records written by grants.", s.metrics.recordsWritten.Load())
+	obsv.WriteCounter(w, "msod_adi_records_purged_total", "Retained-ADI records purged by last steps.", s.metrics.recordsPurged.Load())
+	obsv.WriteCounter(w, "msod_audit_trail_errors_total", "Audit-trail appends that failed (decisions served, history NOT durably logged — alert on any increase).", s.pdp.TrailErrors())
+	s.metrics.duration.Write(w, "msod_decision_duration_seconds",
 		"PDP evaluation time per decision/advisory request (CVS+RBAC+MSoD, excluding transport).")
-	// One gauge: the live store size.
-	fmt.Fprintf(w, "# HELP msod_adi_records Live retained-ADI records.\n# TYPE msod_adi_records gauge\nmsod_adi_records %d\n",
-		s.pdp.Store().Len())
+	s.metrics.stages.Write(w)
+	obsv.WriteGauge(w, "msod_adi_records", "Live retained-ADI records.", float64(s.pdp.Store().Len()))
+	for _, g := range s.gauges {
+		obsv.WriteGauge(w, g.name, g.help, g.fn())
+	}
+	obsv.WriteBuildInfo(w, "msodd")
+	obsv.WriteUptime(w, s.start)
+}
+
+// slowLogEnabled reports whether a decision of the given duration
+// should produce a structured log line.
+func (s *Server) slowLogEnabled(elapsed time.Duration) bool {
+	return s.log != nil && elapsed >= s.slowLog
+}
+
+// extraGauge is an operator-registered gauge (see WithGauge) — the
+// daemon uses it for durable-store size and recovery duration.
+type extraGauge struct {
+	name, help string
+	fn         func() float64
 }

@@ -1,0 +1,152 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"msod/internal/obsv"
+	"msod/internal/pdp"
+	"msod/internal/policy"
+)
+
+// startObservedServer builds a server with decision logging at
+// threshold zero (log every decision) into the returned buffer.
+func startObservedServer(t *testing.T) (*Client, *bytes.Buffer) {
+	t.Helper()
+	pol, err := policy.ParseRBACPolicy([]byte(taxPolicyXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pdp.New(pdp.Config{Policy: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	ts := httptest.NewServer(New(p, WithDecisionLog(obsv.NewLogger(&buf, "msodd"), 0)))
+	t.Cleanup(ts.Close)
+	return NewClient(ts.URL, nil), &buf
+}
+
+func TestDecisionSlowLogCarriesTraceAndSpans(t *testing.T) {
+	c, buf := startObservedServer(t)
+	resp, err := c.Decision(DecisionRequest{
+		User: "c1", Roles: []string{"Clerk"},
+		Operation: "prepareCheck", Target: "http://www.myTaxOffice.com/Check",
+		Context: "TaxOffice=Leeds, taxRefundProcess=p1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !obsv.TraceID(resp.TraceID).Valid() {
+		t.Fatalf("response trace ID %q invalid", resp.TraceID)
+	}
+
+	var line map[string]any
+	dec := json.NewDecoder(strings.NewReader(buf.String()))
+	found := false
+	for dec.More() {
+		if err := dec.Decode(&line); err != nil {
+			t.Fatal(err)
+		}
+		if line["msg"] == "decision" && line["traceID"] == resp.TraceID {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no decision log line for trace %s\nlog: %s", resp.TraceID, buf.String())
+	}
+	spans, ok := line["spans"].(map[string]any)
+	if !ok {
+		t.Fatalf("log line has no spans group: %v", line)
+	}
+	for _, stage := range []string{obsv.StageCVS, obsv.StageRBAC, obsv.StageMSoD} {
+		if _, ok := spans[stage]; !ok {
+			t.Errorf("spans group missing %q: %v", stage, spans)
+		}
+	}
+	if line["allowed"] != true || line["phase"] != "granted" {
+		t.Errorf("log line fields = %v", line)
+	}
+}
+
+func TestDecisionAdoptsCallerTraceparent(t *testing.T) {
+	c, _ := startObservedServer(t)
+	id := obsv.NewTraceID()
+	ctx := obsv.WithTrace(context.Background(), obsv.NewTrace(id))
+	resp, err := c.DecisionCtx(ctx, DecisionRequest{
+		User: "c1", Roles: []string{"Clerk"},
+		Operation: "prepareCheck", Target: "http://www.myTaxOffice.com/Check",
+		Context: "TaxOffice=York, taxRefundProcess=p9",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.TraceID != string(id) {
+		t.Fatalf("trace ID = %q, want caller's %q", resp.TraceID, id)
+	}
+}
+
+func TestMetricsExposesStageAndTrailFamilies(t *testing.T) {
+	ts, _ := startServer(t)
+	c := NewClient(ts.URL, nil)
+	if _, err := c.Decision(DecisionRequest{
+		User: "c1", Roles: []string{"Clerk"},
+		Operation: "prepareCheck", Target: "http://www.myTaxOffice.com/Check",
+		Context: "TaxOffice=Leeds, taxRefundProcess=p1",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + MetricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		`msod_stage_duration_seconds_bucket{stage="cvs"`,
+		`msod_stage_duration_seconds_bucket{stage="rbac"`,
+		`msod_stage_duration_seconds_bucket{stage="msod"`,
+		`msod_stage_duration_seconds_bucket{stage="store"`,
+		`msod_stage_duration_seconds_bucket{stage="audit"`,
+		"msod_audit_trail_errors_total",
+		`msod_build_info{component="msodd"`,
+		"msod_uptime_seconds",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %s", want)
+		}
+	}
+}
+
+func TestWithGaugeAppearsOnMetrics(t *testing.T) {
+	pol, err := policy.ParseRBACPolicy([]byte(taxPolicyXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pdp.New(pdp.Config{Policy: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(p, WithGauge("msod_test_gauge", "A test gauge.", func() float64 { return 42 })))
+	t.Cleanup(ts.Close)
+	resp, err := http.Get(ts.URL + MetricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(raw), "msod_test_gauge 42") {
+		t.Errorf("metrics missing registered gauge:\n%s", raw)
+	}
+}

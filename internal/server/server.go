@@ -6,14 +6,17 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"time"
 
 	"msod/internal/bctx"
 	"msod/internal/credential"
+	"msod/internal/obsv"
 	"msod/internal/pdp"
 	"msod/internal/rbac"
 )
@@ -61,6 +64,12 @@ type DecisionResponse struct {
 	Purged   int `json:"purged,omitempty"`
 	// MatchedPolicies is how many MSoD policies applied.
 	MatchedPolicies int `json:"matchedPolicies,omitempty"`
+	// TraceID correlates this response with the server's slow-log
+	// line and the audit-trail record of the same decision. It echoes
+	// the caller's Traceparent header trace ID when one was sent
+	// (minted fresh otherwise); a replayed idempotent response carries
+	// the trace ID of the execution that actually committed.
+	TraceID string `json:"traceID,omitempty"`
 }
 
 // ManagementWireRequest is the wire form of a management operation.
@@ -91,11 +100,47 @@ type Server struct {
 	mux     *http.ServeMux
 	metrics metrics
 	idem    *idemCache
+	start   time.Time
+
+	// log + slowLog drive the per-decision structured log line (see
+	// WithDecisionLog); gauges are operator extras on /v1/metrics.
+	log     *slog.Logger
+	slowLog time.Duration
+	gauges  []extraGauge
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithDecisionLog installs a structured logger for decisions: every
+// decision or advisory slower than threshold emits one line carrying
+// the trace ID, subject, outcome, and per-stage span breakdown. A
+// zero threshold logs every decision — useful for tests and debug,
+// far too chatty for a production decision rate.
+func WithDecisionLog(logger *slog.Logger, threshold time.Duration) Option {
+	return func(s *Server) {
+		s.log = logger
+		s.slowLog = threshold
+	}
+}
+
+// WithGauge adds an operator-supplied gauge to /v1/metrics, read at
+// scrape time. The daemon registers durable-store disk size and
+// recovery duration this way, keeping the server package free of
+// storage knowledge.
+func WithGauge(name, help string, fn func() float64) Option {
+	return func(s *Server) {
+		s.gauges = append(s.gauges, extraGauge{name: name, help: help, fn: fn})
+	}
 }
 
 // New wraps a PDP.
-func New(p *pdp.PDP) *Server {
-	s := &Server{pdp: p, mux: http.NewServeMux(), idem: newIdemCache(idemCacheSize)}
+func New(p *pdp.PDP, opts ...Option) *Server {
+	s := &Server{pdp: p, mux: http.NewServeMux(), idem: newIdemCache(idemCacheSize), start: time.Now()}
+	s.metrics.init()
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.mux.HandleFunc(DecisionPath, s.handleDecision)
 	s.mux.HandleFunc(AdvicePath, s.handleAdvice)
 	s.mux.HandleFunc(ManagementPath, s.handleManagement)
@@ -110,14 +155,14 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDecision(w http.ResponseWriter, r *http.Request) {
-	s.serveDecision(w, r, s.pdp.Decide, false)
+	s.serveDecision(w, r, s.pdp.DecideCtx, false)
 }
 
 func (s *Server) handleAdvice(w http.ResponseWriter, r *http.Request) {
-	s.serveDecision(w, r, s.pdp.Advise, true)
+	s.serveDecision(w, r, s.pdp.AdviseCtx, true)
 }
 
-func (s *Server) serveDecision(w http.ResponseWriter, r *http.Request, decide func(pdp.Request) (pdp.Decision, error), advisory bool) {
+func (s *Server) serveDecision(w http.ResponseWriter, r *http.Request, decide func(context.Context, pdp.Request) (pdp.Decision, error), advisory bool) {
 	if r.Method != http.MethodPost {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST required"})
 		return
@@ -155,15 +200,34 @@ func (s *Server) serveDecision(w http.ResponseWriter, r *http.Request, decide fu
 		Context:     ctx,
 		Environment: wire.Environment,
 	}
+	// Every request is traced: adopt the caller's traceparent trace ID
+	// (the gateway's, or a PEP's own) or mint one, so the response, the
+	// slow-log line and the audit-trail record share a correlation key.
+	traceID, ok := obsv.ParseTraceparent(r.Header.Get(obsv.TraceparentHeader))
+	if !ok {
+		traceID = obsv.NewTraceID()
+	}
+	trace := obsv.NewTrace(traceID)
 	start := time.Now()
-	dec, err := decide(req)
-	s.metrics.duration.observe(time.Since(start))
+	dec, err := decide(obsv.WithTrace(r.Context(), trace), req)
+	elapsed := time.Since(start)
+	s.metrics.duration.Observe(elapsed)
+	s.metrics.observeStages(trace)
 	if err != nil {
 		if ownsID {
 			// Nothing committed: release the ID so a retry re-executes.
 			s.idem.finish(wire.RequestID, DecisionResponse{}, false)
 		}
 		s.metrics.requestErrors.Add(1)
+		if s.slowLogEnabled(elapsed) {
+			s.log.LogAttrs(r.Context(), slog.LevelWarn, "decision error",
+				slog.String("traceID", string(traceID)),
+				slog.String("user", wire.User),
+				slog.Bool("advisory", advisory),
+				slog.String("error", err.Error()),
+				slog.Float64("seconds", elapsed.Seconds()),
+				obsv.SpanAttrs(trace))
+		}
 		status := http.StatusInternalServerError
 		if errors.Is(err, pdp.ErrNoSubject) {
 			status = http.StatusBadRequest
@@ -177,6 +241,7 @@ func (s *Server) serveDecision(w http.ResponseWriter, r *http.Request, decide fu
 		Reason:  dec.Reason,
 		User:    string(dec.User),
 		Roles:   fromRoles(dec.Roles),
+		TraceID: string(traceID),
 	}
 	if dec.MSoD != nil {
 		resp.Recorded = dec.MSoD.Recorded
@@ -187,6 +252,19 @@ func (s *Server) serveDecision(w http.ResponseWriter, r *http.Request, decide fu
 		s.idem.finish(wire.RequestID, resp, true)
 	}
 	s.metrics.observe(resp, advisory)
+	if s.slowLogEnabled(elapsed) {
+		s.log.LogAttrs(r.Context(), slog.LevelInfo, "decision",
+			slog.String("traceID", string(traceID)),
+			slog.String("user", resp.User),
+			slog.String("operation", wire.Operation),
+			slog.String("target", wire.Target),
+			slog.String("context", wire.Context),
+			slog.Bool("allowed", resp.Allowed),
+			slog.String("phase", resp.Phase),
+			slog.Bool("advisory", advisory),
+			slog.Float64("seconds", elapsed.Seconds()),
+			obsv.SpanAttrs(trace))
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 

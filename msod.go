@@ -34,6 +34,7 @@
 package msod
 
 import (
+	"log/slog"
 	"time"
 
 	"msod/internal/adi"
@@ -355,10 +356,26 @@ type (
 	// carrying the HTTP status and server-reported message; transport
 	// failures are never APIErrors.
 	APIError = server.APIError
+	// ServerOption configures a Server at construction (decision
+	// slow-logging, extra metrics gauges).
+	ServerOption = server.Option
 )
 
 // NewServer wraps a PDP in an http.Handler.
-func NewServer(p *PDP) *Server { return server.New(p) }
+func NewServer(p *PDP, opts ...ServerOption) *Server { return server.New(p, opts...) }
+
+// WithDecisionLog makes the server emit one structured log line per
+// decision at least threshold slow (zero logs every decision), each
+// carrying the trace ID and per-stage span breakdown.
+func WithDecisionLog(logger *slog.Logger, threshold time.Duration) ServerOption {
+	return server.WithDecisionLog(logger, threshold)
+}
+
+// WithServerGauge adds an operator-defined gauge to the server's
+// /v1/metrics endpoint, read at scrape time.
+func WithServerGauge(name, help string, fn func() float64) ServerOption {
+	return server.WithGauge(name, help, fn)
+}
 
 // NewClient builds a client for the PDP (or msodgw gateway) at base URL.
 func NewClient(base string, opts ...ClientOption) *Client {
