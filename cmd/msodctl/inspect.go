@@ -1,0 +1,155 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"msod"
+)
+
+// cmdTail follows the decision event stream of a PDP or gateway
+// (msodctl tail -server ... [-user u] [-context pat] [-outcome deny]
+// [-replay n] [-json]), printing one line per decision until
+// interrupted.
+func cmdTail(args []string) error {
+	fs := flag.NewFlagSet("tail", flag.ExitOnError)
+	srv := fs.String("server", "http://127.0.0.1:8443", "PDP or gateway base URL")
+	user := fs.String("user", "", "only this user's decisions")
+	ctxPat := fs.String("context", "", "only decisions in contexts matching this pattern (wildcards allowed)")
+	outcome := fs.String("outcome", "", "only this outcome: grant | deny")
+	replay := fs.Int("replay", 0, "start with up to N recent retained events")
+	jsonOut := fs.Bool("json", false, "print events as JSON lines")
+	fs.Parse(args)
+
+	// Validate the filter locally for an immediate error message instead
+	// of a stream-open failure.
+	if _, err := msod.NewEventFilter(*user, *ctxPat, *outcome); err != nil {
+		return fmt.Errorf("tail: %w", err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	client := msod.NewClient(*srv)
+	enc := json.NewEncoder(os.Stdout)
+	err := client.StreamEvents(ctx, msod.StreamEventsOptions{
+		User: *user, Context: *ctxPat, Outcome: *outcome, Replay: *replay,
+	}, func(ev msod.DecisionEvent) error {
+		if *jsonOut {
+			return enc.Encode(ev)
+		}
+		fmt.Println(formatEvent(ev))
+		return nil
+	})
+	if errors.Is(err, context.Canceled) {
+		return nil // interrupted: a clean exit for a follow command
+	}
+	return err
+}
+
+// formatEvent renders one decision event as a human-readable line.
+func formatEvent(ev msod.DecisionEvent) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %-5s user=%s", ev.Time.Format(time.RFC3339), strings.ToUpper(ev.Effect), ev.User)
+	if len(ev.Roles) > 0 {
+		fmt.Fprintf(&b, " roles=%s", strings.Join(ev.Roles, ","))
+	}
+	fmt.Fprintf(&b, " op=%s target=%s", ev.Operation, ev.Target)
+	if ev.Context != "" {
+		fmt.Fprintf(&b, " ctx=%q", ev.Context)
+	}
+	if ev.Stage != "" {
+		fmt.Fprintf(&b, " stage=%s", ev.Stage)
+	}
+	if ev.Shard != "" {
+		fmt.Fprintf(&b, " shard=%s", ev.Shard)
+	}
+	if ev.TraceID != "" {
+		fmt.Fprintf(&b, " trace=%s", ev.TraceID)
+	}
+	if ev.Reason != "" {
+		fmt.Fprintf(&b, " reason=%q", ev.Reason)
+	}
+	return b.String()
+}
+
+// cmdState queries live retained-ADI state: per-user with -user, or
+// per-context (wildcards allowed) with -context.
+func cmdState(args []string) error {
+	fs := flag.NewFlagSet("state", flag.ExitOnError)
+	srv := fs.String("server", "http://127.0.0.1:8443", "PDP or gateway base URL")
+	user := fs.String("user", "", "user ID to inspect")
+	ctxPat := fs.String("context", "", "business context pattern to inspect")
+	timeout := fs.Duration("timeout", 10*time.Second, "request deadline (0 disables)")
+	jsonOut := fs.Bool("json", false, "print the raw JSON answer")
+	fs.Parse(args)
+	if (*user == "") == (*ctxPat == "") {
+		return fmt.Errorf("state: exactly one of -user or -context is required")
+	}
+	client := msod.NewClient(*srv, msod.WithClientTimeout(*timeout))
+
+	if *user != "" {
+		st, err := client.UserState(*user)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			return printJSON(st)
+		}
+		printUserState(st, "")
+		return nil
+	}
+	st, err := client.ContextState(*ctxPat)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		return printJSON(st)
+	}
+	fmt.Printf("context %q: %d open instance(s), %d user(s)\n", st.Context, len(st.Instances), len(st.Users))
+	for _, inst := range st.Instances {
+		fmt.Printf("  instance %q\n", inst)
+	}
+	for _, u := range st.Users {
+		printUserState(u, "  ")
+	}
+	return nil
+}
+
+func printJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// printUserState renders one user's records and constraint progress.
+func printUserState(st msod.UserStateView, indent string) {
+	fmt.Printf("%suser %s: %d retained record(s), %d tracked constraint(s)\n",
+		indent, st.User, len(st.Records), len(st.Constraints))
+	for _, rec := range st.Records {
+		fmt.Printf("%s  record: roles=%s op=%s target=%s ctx=%q at %s\n",
+			indent, strings.Join(rec.Roles, ","), rec.Operation, rec.Target,
+			rec.Context, rec.Time.Format(time.RFC3339))
+	}
+	for _, c := range st.Constraints {
+		consumed := c.Roles
+		if c.Kind == "MMEP" {
+			consumed = c.Privileges
+		}
+		mark := ""
+		if c.NearLimit {
+			mark = "  <- NEAR LIMIT (next conflicting activation is denied)"
+		}
+		fmt.Printf("%s  constraint %s @ %q (policy %s): %d of %d consumed [%s]%s\n",
+			indent, c.Rule, c.Bound, c.Policy, c.K, c.M, strings.Join(consumed, ", "), mark)
+		if c.LastTraceID != "" {
+			fmt.Printf("%s    last decision trace: %s\n", indent, c.LastTraceID)
+		}
+	}
+}

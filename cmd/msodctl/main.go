@@ -28,6 +28,16 @@
 //
 //	msodctl health -server http://host:8443
 //	    Check liveness and print the loaded policy ID.
+//
+//	msodctl tail -server http://host:8443 [-user u] [-context "Branch=*"] \
+//	        [-outcome deny] [-replay 50] [-json]
+//	    Follow the live decision event stream (of one msodd, or of a
+//	    whole cluster through msodgw, where events carry shard labels).
+//
+//	msodctl state -server http://host:8443 -user alice
+//	msodctl state -server http://host:8443 -context "Branch=*, Period=2006"
+//	    Show live retained-ADI state: records and per-constraint progress
+//	    (k of m roles/privileges consumed, near-limit warnings).
 package main
 
 import (
@@ -61,6 +71,10 @@ func main() {
 		err = cmdManage(os.Args[2:])
 	case "health":
 		err = cmdHealth(os.Args[2:])
+	case "tail":
+		err = cmdTail(os.Args[2:])
+	case "state":
+		err = cmdState(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -76,7 +90,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: msodctl <validate|lint|verify-trail|replay|decide|manage|health> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: msodctl <validate|lint|verify-trail|replay|decide|manage|health|tail|state> [flags]")
 }
 
 func cmdLint(args []string) error {

@@ -17,11 +17,19 @@
 //
 // Endpoints:
 //
-//	POST /v1/decision    access control decisions
-//	POST /v1/advice      advisory (side-effect-free) decisions
-//	POST /v1/management  retained-ADI management (§4.3)
-//	GET  /v1/health      liveness + policy ID
-//	GET  /v1/metrics     decision counters (Prometheus text format)
+//	POST /v1/decision              access control decisions
+//	POST /v1/advice                advisory (side-effect-free) decisions
+//	POST /v1/management            retained-ADI management (§4.3)
+//	GET  /v1/health                liveness + policy ID
+//	GET  /v1/metrics               decision counters (Prometheus text format)
+//	GET  /v1/state/users/{user}    live retained-ADI and constraint progress
+//	GET  /v1/state/contexts/{bc}   per-context state (wildcards allowed)
+//	GET  /v1/events                decision event stream (SSE)
+//
+// The decision event stream is always on. The audit-chain sentinel
+// (-sentinel-interval) incrementally re-verifies the HMAC chain while
+// the daemon runs; with -sentinel-fail-closed a detected tamper makes
+// the daemon refuse further decisions.
 package main
 
 import (
@@ -45,19 +53,22 @@ import (
 
 // options are the parsed command-line settings.
 type options struct {
-	policyPath string
-	addr       string
-	trailDir   string
-	keyFile    string
-	recover    string
-	snapPath   string
-	snapSecret string
-	segSize    int
-	adiDir     string
-	adiSecret  string
-	adiSync    bool
-	slowLog    time.Duration
-	pprofAddr  string
+	policyPath         string
+	addr               string
+	trailDir           string
+	keyFile            string
+	recover            string
+	snapPath           string
+	snapSecret         string
+	segSize            int
+	adiDir             string
+	adiSecret          string
+	adiSync            bool
+	slowLog            time.Duration
+	pprofAddr          string
+	pprofAllowRemote   bool
+	sentinelInterval   time.Duration
+	sentinelFailClosed bool
 }
 
 func parseFlags(args []string) (*options, error) {
@@ -75,7 +86,10 @@ func parseFlags(args []string) (*options, error) {
 	fs.StringVar(&o.adiSecret, "adi-secret-file", "", "file holding the durable ADI secret")
 	fs.BoolVar(&o.adiSync, "adi-sync", false, "fsync every durable-ADI mutation")
 	fs.DurationVar(&o.slowLog, "slowlog", 0, "log decisions slower than this (0 disables; 1ns logs every decision)")
-	fs.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this address (empty disables)")
+	fs.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this address (empty disables; binds loopback unless -pprof-allow-remote)")
+	fs.BoolVar(&o.pprofAllowRemote, "pprof-allow-remote", false, "allow -pprof to bind a non-loopback address (profiling endpoints expose process internals)")
+	fs.DurationVar(&o.sentinelInterval, "sentinel-interval", 0, "audit-chain sentinel check interval (0 disables; needs -trail)")
+	fs.BoolVar(&o.sentinelFailClosed, "sentinel-fail-closed", false, "refuse decisions once the sentinel detects audit-chain tampering")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -109,6 +123,20 @@ func loadPolicy(path string, logf func(format string, args ...any)) (*msod.Polic
 type deps struct {
 	store msod.ADIRecorder
 	trail *msod.AuditWriter
+	// trailKey is retained for the audit-chain sentinel, which verifies
+	// the same trail the writer appends to.
+	trailKey []byte
+	// broker fans decision events out to /v1/events subscribers; it is
+	// always on and carries over policy reloads so subscribers keep
+	// their stream.
+	broker *msod.EventBroker
+	// sentinel, when enabled, continuously verifies the audit chain.
+	sentinel *msod.AuditSentinel
+}
+
+// observer adapts the broker to the PDP's Observer hook.
+func (d *deps) observer() func(msod.DecisionEvent) {
+	return func(ev msod.DecisionEvent) { d.broker.Publish(ev) }
 }
 
 // buildPDP assembles the PDP from options, returning the reusable
@@ -225,11 +253,18 @@ func buildPDP(o *options, logf func(format string, args ...any)) (*msod.PDP, *de
 		// Pin the store so policy hot-reloads keep the same history.
 		cfg.Store = msod.NewADIStore()
 	}
+	d := &deps{
+		store:    cfg.Store,
+		trail:    cfg.Trail,
+		trailKey: trailKey,
+		broker:   msod.NewEventBroker(0),
+	}
+	cfg.Observer = d.observer()
 	p, err := msod.NewPDP(cfg)
 	if err != nil {
 		return fail(fmt.Errorf("build PDP: %w", err))
 	}
-	return p, &deps{store: cfg.Store, trail: cfg.Trail}, cleanup, nil
+	return p, d, cleanup, nil
 }
 
 // reloadPDP builds a fresh PDP from the current policy file over the
@@ -242,7 +277,9 @@ func reloadPDP(o *options, d *deps, logf func(format string, args ...any)) (*mso
 	if err != nil {
 		return nil, err
 	}
-	return msod.NewPDP(msod.PDPConfig{Policy: pol, Store: d.store, Trail: d.trail})
+	return msod.NewPDP(msod.PDPConfig{
+		Policy: pol, Store: d.store, Trail: d.trail, Observer: d.observer(),
+	})
 }
 
 // serve runs the HTTP server on the listener until ctx is cancelled,
@@ -278,7 +315,10 @@ func serve(ctx context.Context, ln net.Listener, cur *atomic.Pointer[msod.Server
 // build and every SIGHUP reload: slow-decision logging and, when the
 // durable ADI is in use, its recovery-time and disk-usage gauges.
 func serverOptions(o *options, d *deps, logger *slog.Logger) []msod.ServerOption {
-	var opts []msod.ServerOption
+	opts := []msod.ServerOption{msod.WithServerEventBroker(d.broker)}
+	if d.sentinel != nil {
+		opts = append(opts, msod.WithServerSentinel(d.sentinel, o.sentinelFailClosed))
+	}
 	if o.slowLog > 0 {
 		opts = append(opts, msod.WithDecisionLog(logger, o.slowLog))
 	}
@@ -314,12 +354,37 @@ func main() {
 	defer cleanup()
 	logf("msodd: policy %q loaded", p.PolicyID())
 
+	if o.sentinelInterval > 0 {
+		if o.trailDir == "" || len(d.trailKey) == 0 {
+			fatalf("msodd: -sentinel-interval needs -trail and -trail-key-file")
+		}
+		sent, err := msod.NewAuditSentinel(msod.AuditSentinelConfig{
+			Dir: o.trailDir, Key: d.trailKey, Interval: o.sentinelInterval, Logger: logger,
+		})
+		if err != nil {
+			fatalf("msodd: sentinel: %v", err)
+		}
+		sent.Start()
+		defer sent.Stop()
+		d.sentinel = sent
+		logf("msodd: audit-chain sentinel checking every %s (fail-closed=%v)",
+			o.sentinelInterval, o.sentinelFailClosed)
+	}
+
 	srvOpts := serverOptions(o, d, logger)
 	var cur atomic.Pointer[msod.Server]
 	cur.Store(msod.NewServer(p, srvOpts...))
 
 	if o.pprofAddr != "" {
-		pln, err := net.Listen("tcp", o.pprofAddr)
+		addr, warn, err := obsv.SanitizePprofAddr(o.pprofAddr, o.pprofAllowRemote)
+		if err != nil {
+			fatalf("msodd: %v", err)
+		}
+		if warn {
+			logger.Warn("pprof bound to a non-loopback address; profiling endpoints expose process internals",
+				slog.String("addr", addr))
+		}
+		pln, err := net.Listen("tcp", addr)
 		if err != nil {
 			fatalf("msodd: pprof listen: %v", err)
 		}

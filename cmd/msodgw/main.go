@@ -17,11 +17,15 @@
 // Endpoints (same wire protocol as msodd, so PEPs and msodctl are
 // unchanged):
 //
-//	POST /v1/decision    routed to the owning shard
-//	POST /v1/advice      routed to the owning shard
-//	POST /v1/management  fanned out to all shards (requires full cluster)
-//	GET  /v1/health      gateway + per-shard health
-//	GET  /v1/metrics     aggregated shard counters + msodgw_* series
+//	POST /v1/decision              routed to the owning shard
+//	POST /v1/advice                routed to the owning shard
+//	POST /v1/management            fanned out to all shards (requires full cluster)
+//	GET  /v1/health                gateway + per-shard health
+//	GET  /v1/metrics               aggregated shard counters + msodgw_* series
+//	GET  /v1/state/users/{user}    routed to the owning shard
+//	GET  /v1/state/contexts/{bc}   fanned out and merged (requires full cluster)
+//	GET  /v1/events                all live shards' event streams fanned in,
+//	                               each event re-labelled with its shard ID
 package main
 
 import (
@@ -29,6 +33,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -43,16 +48,17 @@ import (
 
 // options are the parsed command-line settings.
 type options struct {
-	addr      string
-	shards    []cluster.Shard
-	vnodes    int
-	timeout   time.Duration
-	retries   int
-	backoff   time.Duration
-	probe     time.Duration
-	failAfter int
-	slowLog   time.Duration
-	pprofAddr string
+	addr             string
+	shards           []cluster.Shard
+	vnodes           int
+	timeout          time.Duration
+	retries          int
+	backoff          time.Duration
+	probe            time.Duration
+	failAfter        int
+	slowLog          time.Duration
+	pprofAddr        string
+	pprofAllowRemote bool
 }
 
 // parseShards parses "id=url,id=url" (or bare URLs) into a topology.
@@ -97,7 +103,8 @@ func parseFlags(args []string) (*options, error) {
 	fs.DurationVar(&o.probe, "probe", 5*time.Second, "health-probe interval")
 	fs.IntVar(&o.failAfter, "fail-after", 2, "consecutive failures before a shard is marked down")
 	fs.DurationVar(&o.slowLog, "slowlog", 0, "log routed decisions slower than this (0 disables; 1ns logs every decision)")
-	fs.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this address (empty disables)")
+	fs.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this address (empty disables; binds loopback unless -pprof-allow-remote)")
+	fs.BoolVar(&o.pprofAllowRemote, "pprof-allow-remote", false, "allow -pprof to bind a non-loopback address (profiling endpoints expose process internals)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -170,7 +177,15 @@ func main() {
 	defer gw.Close()
 
 	if o.pprofAddr != "" {
-		pln, err := net.Listen("tcp", o.pprofAddr)
+		addr, warn, err := obsv.SanitizePprofAddr(o.pprofAddr, o.pprofAllowRemote)
+		if err != nil {
+			fatalf("msodgw: %v", err)
+		}
+		if warn {
+			logger.Warn("pprof bound to a non-loopback address; profiling endpoints expose process internals",
+				slog.String("addr", addr))
+		}
+		pln, err := net.Listen("tcp", addr)
 		if err != nil {
 			fatalf("msodgw: pprof listen: %v", err)
 		}

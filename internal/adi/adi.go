@@ -430,6 +430,7 @@ func (s *Store) Reset() {
 	s.byUser = make(map[rbac.UserID][]Record)
 	s.ctxRef = make(map[string]int)
 	s.ctxName = make(map[string]bctx.Name)
+	s.ctxComp = make(map[string]map[string]bool)
 	s.n = 0
 }
 

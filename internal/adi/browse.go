@@ -1,0 +1,160 @@
+package adi
+
+import (
+	"sort"
+
+	"msod/internal/bctx"
+	"msod/internal/rbac"
+)
+
+// Browser is the read-only introspection surface of a retained-ADI
+// store: enough to enumerate who holds history in which context
+// instances without exposing any mutation path. All four store
+// implementations (Store, LinearStore, ShardedStore, DurableStore)
+// satisfy it; internal/inspect builds the /v1/state API on top.
+type Browser interface {
+	// UserRecords returns copies of the user's records whose context
+	// instance falls within pattern, in insertion order.
+	UserRecords(user rbac.UserID, pattern bctx.Name) []Record
+	// Instances returns the distinct context instances that currently
+	// hold retained records, sorted by name.
+	Instances() []bctx.Name
+	// UserIDs returns the distinct users with retained records, sorted.
+	UserIDs() []rbac.UserID
+}
+
+var (
+	_ Browser = (*Store)(nil)
+	_ Browser = (*LinearStore)(nil)
+	_ Browser = (*ShardedStore)(nil)
+	_ Browser = (*DurableStore)(nil)
+)
+
+// Instances implements Browser from the context reference index, so it
+// never scans records.
+func (s *Store) Instances() []bctx.Name {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]bctx.Name, 0, len(s.ctxName))
+	for _, n := range s.ctxName {
+		out = append(out, n)
+	}
+	sortInstances(out)
+	return out
+}
+
+// UserIDs implements Browser.
+func (s *Store) UserIDs() []rbac.UserID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]rbac.UserID, 0, len(s.byUser))
+	for u := range s.byUser {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// UserRecords implements Browser by scanning every record (the linear
+// store has no per-user index to use).
+func (s *LinearStore) UserRecords(user rbac.UserID, pattern bctx.Name) []Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Record
+	for _, rec := range s.recs {
+		if rec.User == user && matchPattern(pattern, rec) {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// Instances implements Browser.
+func (s *LinearStore) Instances() []bctx.Name {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	seen := make(map[string]bool)
+	var out []bctx.Name
+	for _, rec := range s.recs {
+		if key := rec.Context.Key(); !seen[key] {
+			seen[key] = true
+			out = append(out, rec.Context)
+		}
+	}
+	sortInstances(out)
+	return out
+}
+
+// UserIDs implements Browser.
+func (s *LinearStore) UserIDs() []rbac.UserID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	seen := make(map[rbac.UserID]bool)
+	var out []rbac.UserID
+	for _, rec := range s.recs {
+		if !seen[rec.User] {
+			seen[rec.User] = true
+			out = append(out, rec.User)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// UserRecords implements Browser on the user's shard.
+func (s *ShardedStore) UserRecords(user rbac.UserID, pattern bctx.Name) []Record {
+	return s.shardFor(user).UserRecords(user, pattern)
+}
+
+// Instances implements Browser as the deduplicated union of every
+// shard's instances (an instance spans shards when different users act
+// in it).
+func (s *ShardedStore) Instances() []bctx.Name {
+	seen := make(map[string]bool)
+	var out []bctx.Name
+	for _, shard := range s.shards {
+		for _, n := range shard.Instances() {
+			if key := n.Key(); !seen[key] {
+				seen[key] = true
+				out = append(out, n)
+			}
+		}
+	}
+	sortInstances(out)
+	return out
+}
+
+// UserIDs implements Browser (user buckets never span shards, so the
+// concatenation has no duplicates).
+func (s *ShardedStore) UserIDs() []rbac.UserID {
+	var out []rbac.UserID
+	for _, shard := range s.shards {
+		out = append(out, shard.UserIDs()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// UserRecords implements Browser.
+func (ds *DurableStore) UserRecords(user rbac.UserID, pattern bctx.Name) []Record {
+	return ds.mem.UserRecords(user, pattern)
+}
+
+// Instances implements Browser.
+func (ds *DurableStore) Instances() []bctx.Name { return ds.mem.Instances() }
+
+// UserIDs implements Browser.
+func (ds *DurableStore) UserIDs() []rbac.UserID { return ds.mem.UserIDs() }
+
+// BrowserFor returns the introspection surface of a store, if it has
+// one: either the store implements Browser itself, or it is one of the
+// known wrappers. The second return is false for stores with no
+// read-only browse surface.
+func BrowserFor(store Recorder) (Browser, bool) {
+	b, ok := store.(Browser)
+	return b, ok
+}
+
+func sortInstances(names []bctx.Name) {
+	sort.Slice(names, func(i, j int) bool { return names[i].Key() < names[j].Key() })
+}

@@ -64,6 +64,12 @@ var (
 	ErrTampered = errors.New("audit: trail tampered")
 	// ErrBadSequence is returned when entries are not contiguous.
 	ErrBadSequence = errors.New("audit: sequence gap")
+	// ErrTruncated is returned when the newest segment ends with a
+	// partial entry (no terminating newline): a torn write from a crash,
+	// reported distinctly from deliberate tampering because the chain up
+	// to the last complete entry is intact and recovery can resume from
+	// there (NewWriter does so automatically).
+	ErrTruncated = errors.New("audit: trail truncated mid-entry")
 )
 
 // chainMAC computes the entry MAC: HMAC-SHA256(key, prevMAC || canonical

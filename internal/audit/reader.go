@@ -1,7 +1,7 @@
 package audit
 
 import (
-	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -25,31 +25,40 @@ func NewReader(dir string, key []byte) (*Reader, error) {
 
 // Verify checks the full MAC chain across every segment and returns the
 // number of entries verified. It fails with ErrTampered on any chain
-// break and ErrBadSequence on sequence gaps.
+// break, ErrBadSequence on sequence gaps, and ErrTruncated when the
+// newest segment ends in a partial entry (a torn crash write — the
+// chain up to it is intact).
 func (r *Reader) Verify() (int, error) {
-	events, _, err := r.verifyAll()
+	events, _, torn, err := r.verifyAllDetail()
 	if err != nil {
 		return 0, err
+	}
+	if torn != nil {
+		return len(events), fmt.Errorf("%w: %s: partial final entry at byte %d (%d complete entries verified)",
+			ErrTruncated, torn.seg, torn.off, len(events))
 	}
 	return len(events), nil
 }
 
-// All verifies the full chain and returns every event, oldest first.
+// All verifies the full chain and returns every event, oldest first. A
+// torn final entry (crash mid-write) is dropped: reconstruction resumes
+// from the last complete entry, per §5.2 recovery.
 func (r *Reader) All() ([]Event, error) {
-	events, _, err := r.verifyAll()
+	events, _, _, err := r.verifyAllDetail()
 	return events, err
 }
 
 // Since verifies the full chain and returns the events from the last n
 // segments (n <= 0 means all) whose time is not before t — the "last n
-// audit trails starting from time t" recovery parameters of §5.2.
+// audit trails starting from time t" recovery parameters of §5.2. Like
+// All, it tolerates a torn final entry.
 func (r *Reader) Since(t time.Time, n int) ([]Event, error) {
 	segs, err := Segments(r.dir)
 	if err != nil {
 		return nil, err
 	}
 	// The chain must be verified from genesis regardless of the window.
-	events, _, err := r.verifyAll()
+	events, _, _, err := r.verifyAllDetail()
 	if err != nil {
 		return nil, err
 	}
@@ -77,67 +86,87 @@ func (r *Reader) Since(t time.Time, n int) ([]Event, error) {
 	return out, nil
 }
 
-// verifyAll walks every segment in order, verifying the chain, and
-// returns the events and the final MAC (the chain head for a resuming
-// Writer).
-func (r *Reader) verifyAll() ([]Event, []byte, error) {
+// tornTail locates a partial final entry: the newest segment's trailing
+// bytes past the last newline, which a crashed writer left behind.
+type tornTail struct {
+	seg string // segment file name
+	off int64  // byte offset where the torn bytes begin
+}
+
+// verifyAllDetail walks every segment in order, verifying the chain,
+// and returns the complete events, the final MAC (the chain head for a
+// resuming Writer), and the location of a torn final entry if the
+// newest segment does not end in a newline. Unterminated bytes inside a
+// sealed (non-final) segment are tampering — the writer only ever
+// leaves a partial line at the very end of the trail.
+func (r *Reader) verifyAllDetail() ([]Event, []byte, *tornTail, error) {
 	segs, err := Segments(r.dir)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	prev := genesisMAC(r.key)
 	var (
 		events  []Event
 		lastSeq uint64
+		torn    *tornTail
 	)
-	for _, seg := range segs {
+	for si, seg := range segs {
 		path := filepath.Join(r.dir, seg)
-		f, err := os.Open(path)
+		data, err := os.ReadFile(path)
 		if err != nil {
-			return nil, nil, fmt.Errorf("audit: open segment %s: %w", seg, err)
+			return nil, nil, nil, fmt.Errorf("audit: read segment %s: %w", seg, err)
 		}
-		sc := bufio.NewScanner(f)
-		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		final := si == len(segs)-1
+		var off int64
 		line := 0
-		for sc.Scan() {
-			if len(sc.Bytes()) == 0 {
+		for len(data) > 0 {
+			nl := bytes.IndexByte(data, '\n')
+			if nl < 0 {
+				// Unterminated trailing bytes. Whitespace is ignorable;
+				// content is a torn write if this is the newest segment,
+				// tampering otherwise.
+				if len(bytes.TrimSpace(data)) == 0 {
+					break
+				}
+				if !final {
+					return nil, nil, nil, fmt.Errorf("%w: %s: unterminated entry at byte %d inside sealed segment", ErrTampered, seg, off)
+				}
+				torn = &tornTail{seg: seg, off: off}
+				break
+			}
+			raw := data[:nl]
+			data = data[nl+1:]
+			lineLen := int64(nl + 1)
+			if len(bytes.TrimSpace(raw)) == 0 {
+				off += lineLen
 				continue
 			}
 			line++
 			var e entry
-			if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
-				f.Close()
-				return nil, nil, fmt.Errorf("%w: %s line %d: %v", ErrTampered, seg, line, err)
+			if err := json.Unmarshal(raw, &e); err != nil {
+				return nil, nil, nil, fmt.Errorf("%w: %s line %d: %v", ErrTampered, seg, line, err)
 			}
 			want, err := chainMAC(r.key, prev, e.Event)
 			if err != nil {
-				f.Close()
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
 			got, err := decodeMAC(e.MAC)
 			if err != nil {
-				f.Close()
-				return nil, nil, fmt.Errorf("%w: %s line %d: bad mac encoding", ErrTampered, seg, line)
+				return nil, nil, nil, fmt.Errorf("%w: %s line %d: bad mac encoding", ErrTampered, seg, line)
 			}
 			if !macEqual(want, got) {
-				f.Close()
-				return nil, nil, fmt.Errorf("%w: %s line %d (seq %d)", ErrTampered, seg, line, e.Event.Seq)
+				return nil, nil, nil, fmt.Errorf("%w: %s line %d (seq %d)", ErrTampered, seg, line, e.Event.Seq)
 			}
 			if e.Event.Seq != lastSeq+1 {
-				f.Close()
-				return nil, nil, fmt.Errorf("%w: %s line %d: seq %d after %d", ErrBadSequence, seg, line, e.Event.Seq, lastSeq)
+				return nil, nil, nil, fmt.Errorf("%w: %s line %d: seq %d after %d", ErrBadSequence, seg, line, e.Event.Seq, lastSeq)
 			}
 			lastSeq = e.Event.Seq
 			prev = want
 			events = append(events, e.Event)
+			off += lineLen
 		}
-		if err := sc.Err(); err != nil {
-			f.Close()
-			return nil, nil, fmt.Errorf("audit: read segment %s: %w", seg, err)
-		}
-		f.Close()
 	}
-	return events, prev, nil
+	return events, prev, torn, nil
 }
 
 func macEqual(a, b []byte) bool {

@@ -1,0 +1,200 @@
+package audit
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTrail appends n grant events and closes the writer.
+func writeTrail(t *testing.T, dir string, n, segSize int) {
+	t.Helper()
+	w, err := NewWriter(dir, testKey, segSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := w.Append(ev(fmt.Sprintf("u%d", i), "Teller", "op", EffectGrant, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// tearTail simulates a crash mid-append: the final line of the newest
+// segment loses its trailing bytes (including the newline).
+func tearTail(t *testing.T, dir string, drop int64) string {
+	t.Helper()
+	segs, err := Segments(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segments: %v (%d)", err, len(segs))
+	}
+	path := filepath.Join(dir, segs[len(segs)-1])
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-drop); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestVerifyReportsTruncationDistinctFromTamper(t *testing.T) {
+	dir := t.TempDir()
+	writeTrail(t, dir, 5, 0)
+	tearTail(t, dir, 10)
+
+	r, err := NewReader(dir, testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := r.Verify()
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("Verify on torn tail = %v, want ErrTruncated", err)
+	}
+	if errors.Is(err, ErrTampered) {
+		t.Fatal("torn tail misreported as tampering")
+	}
+	if n != 4 {
+		t.Errorf("verified %d complete entries, want 4", n)
+	}
+	if !strings.Contains(err.Error(), "partial final entry") {
+		t.Errorf("error lacks diagnostics: %v", err)
+	}
+}
+
+func TestVerifyStillReportsTamperOnContentChange(t *testing.T) {
+	dir := t.TempDir()
+	writeTrail(t, dir, 5, 0)
+	segs, _ := Segments(dir)
+	path := filepath.Join(dir, segs[0])
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated := strings.Replace(string(data), `"user":"u2"`, `"user":"ux"`, 1)
+	if mutated == string(data) {
+		t.Fatal("tamper target missing")
+	}
+	if err := os.WriteFile(path, []byte(mutated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := NewReader(dir, testKey)
+	if _, err := r.Verify(); !errors.Is(err, ErrTampered) {
+		t.Fatalf("Verify on edited content = %v, want ErrTampered", err)
+	}
+}
+
+func TestUnterminatedSealedSegmentIsTamper(t *testing.T) {
+	dir := t.TempDir()
+	// Two entries per segment: 5 entries → segments 1,2 sealed, 3 open.
+	writeTrail(t, dir, 5, 2)
+	segs, _ := Segments(dir)
+	if len(segs) < 2 {
+		t.Fatalf("want multiple segments, got %v", segs)
+	}
+	// A torn line inside a SEALED segment cannot be a crash artefact —
+	// the writer only ever appends to the newest segment.
+	sealed := filepath.Join(dir, segs[0])
+	info, _ := os.Stat(sealed)
+	if err := os.Truncate(sealed, info.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := NewReader(dir, testKey)
+	if _, err := r.Verify(); !errors.Is(err, ErrTampered) {
+		t.Fatalf("torn sealed segment = %v, want ErrTampered", err)
+	}
+}
+
+func TestAllTolerantOfTornTail(t *testing.T) {
+	dir := t.TempDir()
+	writeTrail(t, dir, 5, 0)
+	tearTail(t, dir, 10)
+	r, _ := NewReader(dir, testKey)
+	events, err := r.All()
+	if err != nil {
+		t.Fatalf("All on torn tail: %v", err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("All returned %d events, want the 4 complete ones", len(events))
+	}
+	if events[3].User != "u3" {
+		t.Errorf("last complete entry = %q, want u3", events[3].User)
+	}
+}
+
+func TestWriterResumesFromLastCompleteEntry(t *testing.T) {
+	dir := t.TempDir()
+	writeTrail(t, dir, 5, 0)
+	tearTail(t, dir, 10)
+
+	// Reopening simulates a daemon restart after the crash: the torn
+	// entry is discarded and the chain resumes after the last complete
+	// one.
+	w, err := NewWriter(dir, testKey, 0)
+	if err != nil {
+		t.Fatalf("resume over torn tail: %v", err)
+	}
+	seq, err := w.Append(ev("u9", "Teller", "op", EffectGrant, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 5 {
+		t.Errorf("resumed seq = %d, want 5 (entry 5 was torn and dropped)", seq)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The repaired trail verifies cleanly end to end.
+	r, _ := NewReader(dir, testKey)
+	n, err := r.Verify()
+	if err != nil {
+		t.Fatalf("Verify after resume: %v", err)
+	}
+	if n != 5 {
+		t.Errorf("verified %d entries, want 5", n)
+	}
+	events, _ := r.All()
+	if events[4].User != "u9" || events[3].User != "u3" {
+		t.Errorf("resumed history wrong: %q then %q", events[3].User, events[4].User)
+	}
+}
+
+func TestIncrementalVerifierToleratesInFlightTail(t *testing.T) {
+	dir := t.TempDir()
+	writeTrail(t, dir, 3, 0)
+	// An unterminated line on the newest segment looks exactly like an
+	// append in progress; the incremental verifier must not flag it.
+	segs, _ := Segments(dir)
+	f, err := os.OpenFile(filepath.Join(dir, segs[len(segs)-1]), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"event":{"seq":4`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	iv, err := NewIncrementalVerifier(dir, testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := iv.Advance()
+	if err != nil {
+		t.Fatalf("Advance over in-flight tail: %v", err)
+	}
+	if n != 3 || iv.VerifiedSeq() != 3 {
+		t.Errorf("verified %d/seq %d, want 3/3", n, iv.VerifiedSeq())
+	}
+	// Re-advancing re-examines the same partial line without error.
+	if _, err := iv.Advance(); err != nil {
+		t.Fatalf("second Advance: %v", err)
+	}
+}

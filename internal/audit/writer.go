@@ -60,9 +60,18 @@ func NewWriter(dir string, key []byte, segmentSize int) (*Writer, error) {
 		// resumption verifies from genesis; we verify all segments to
 		// guarantee a consistent restart (cost measured in E5/E9).
 		r := &Reader{dir: dir, key: w.key}
-		events, tail, err := r.verifyAll()
+		events, tail, torn, err := r.verifyAllDetail()
 		if err != nil {
 			return nil, err
+		}
+		if torn != nil {
+			// A crash tore the final entry mid-write. The chain up to the
+			// last complete entry verified, so drop the partial bytes and
+			// resume from there (the paper's §5.2 reconstruction point).
+			path := filepath.Join(dir, torn.seg)
+			if err := os.Truncate(path, torn.off); err != nil {
+				return nil, fmt.Errorf("audit: discard torn entry in %s: %w", torn.seg, err)
+			}
 		}
 		w.lastMAC = tail
 		if n := len(events); n > 0 {

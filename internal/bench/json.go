@@ -6,8 +6,10 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Report is the machine-readable form of a Table, written as
@@ -15,15 +17,33 @@ import (
 // experiment output across runs without scraping the aligned-text
 // rendering.
 type Report struct {
-	ID        string   `json:"id"`
-	Title     string   `json:"title"`
-	Ref       string   `json:"ref"`
-	Columns   []string `json:"columns"`
-	Rows      []Row    `json:"rows"`
-	Notes     []string `json:"notes,omitempty"`
-	GoVersion string   `json:"goVersion"`
-	GoOS      string   `json:"goos"`
-	GoArch    string   `json:"goarch"`
+	ID      string   `json:"id"`
+	Title   string   `json:"title"`
+	Ref     string   `json:"ref"`
+	Columns []string `json:"columns"`
+	Rows    []Row    `json:"rows"`
+	Notes   []string `json:"notes,omitempty"`
+	// Provenance: the toolchain, build commit and generation time, so a
+	// result file is traceable to the code that produced it.
+	GoVersion   string `json:"go_version"`
+	GoOS        string `json:"goos"`
+	GoArch      string `json:"goarch"`
+	GitCommit   string `json:"git_commit"`
+	GeneratedAt string `json:"generated_at"`
+}
+
+// gitCommit reports the VCS revision stamped into the binary, or
+// "unknown" when built without VCS information (e.g. from a source
+// tarball or with -buildvcs=false).
+func gitCommit() string {
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				return s.Value
+			}
+		}
+	}
+	return "unknown"
 }
 
 // Row is one table row: the rendered cells verbatim, plus a parallel
@@ -71,14 +91,16 @@ func parseCell(cell string) *float64 {
 // ReportOf converts a rendered table into its machine-readable form.
 func ReportOf(t *Table) *Report {
 	r := &Report{
-		ID:        t.ID,
-		Title:     t.Title,
-		Ref:       t.Ref,
-		Columns:   t.Columns,
-		Notes:     t.Notes,
-		GoVersion: runtime.Version(),
-		GoOS:      runtime.GOOS,
-		GoArch:    runtime.GOARCH,
+		ID:          t.ID,
+		Title:       t.Title,
+		Ref:         t.Ref,
+		Columns:     t.Columns,
+		Notes:       t.Notes,
+		GoVersion:   runtime.Version(),
+		GoOS:        runtime.GOOS,
+		GoArch:      runtime.GOARCH,
+		GitCommit:   gitCommit(),
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 	}
 	for _, cells := range t.Rows {
 		row := Row{Cells: cells, Values: make([]*float64, len(cells))}

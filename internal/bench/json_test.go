@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 func TestParseCell(t *testing.T) {
@@ -63,6 +64,24 @@ func TestWriteJSONFile(t *testing.T) {
 	}
 	if rep.ID != "E99" || len(rep.Rows) != 2 || rep.GoVersion == "" {
 		t.Fatalf("unexpected report: %+v", rep)
+	}
+	// Provenance fields: snake_case keys on the wire, a parseable
+	// RFC3339 timestamp, and a commit (or the "unknown" fallback when
+	// the test binary was built without VCS stamping).
+	var keys map[string]any
+	if err := json.Unmarshal(raw, &keys); err != nil {
+		t.Fatalf("unmarshal raw: %v", err)
+	}
+	for _, k := range []string{"go_version", "git_commit", "generated_at"} {
+		if _, ok := keys[k]; !ok {
+			t.Errorf("report JSON missing %q key", k)
+		}
+	}
+	if rep.GitCommit == "" {
+		t.Error("git_commit empty; want a revision or \"unknown\"")
+	}
+	if _, err := time.Parse(time.RFC3339, rep.GeneratedAt); err != nil {
+		t.Errorf("generated_at %q is not RFC3339: %v", rep.GeneratedAt, err)
 	}
 	// "warm" carries no number, "1.50ms" parses to seconds.
 	r0 := rep.Rows[0]

@@ -74,6 +74,10 @@ type gwMetrics struct {
 	misrouted   atomic.Int64 // answers withheld: resolved subject owned by another shard
 	badRequests atomic.Int64
 	mgmtFanouts atomic.Int64
+	// stateQueries counts /v1/state lookups (routed or fanned out);
+	// eventStreams counts /v1/events fan-in connections opened.
+	stateQueries atomic.Int64
+	eventStreams atomic.Int64
 }
 
 // Gateway fronts a user-sharded PDP cluster: it routes decision and
@@ -147,6 +151,9 @@ func New(cfg Config) (*Gateway, error) {
 	g.mux.HandleFunc(server.ManagementPath, g.handleManagement)
 	g.mux.HandleFunc(server.MetricsPath, g.handleMetrics)
 	g.mux.HandleFunc(server.HealthPath, g.handleHealth)
+	g.mux.HandleFunc(server.StateUsersPath, g.handleStateUser)
+	g.mux.HandleFunc(server.StateContextsPath, g.handleStateContext)
+	g.mux.HandleFunc(server.EventsPath, g.handleEvents)
 	return g, nil
 }
 
@@ -703,6 +710,8 @@ func (g *Gateway) writeOwnMetrics(w io.Writer) {
 	write("msodgw_misrouted_total", "Answers withheld because the shard resolved a subject another shard owns.", g.metrics.misrouted.Load())
 	write("msodgw_bad_requests_total", "Requests rejected before routing (bad input, no subject).", g.metrics.badRequests.Load())
 	write("msodgw_management_fanouts_total", "Management operations fanned out to all shards.", g.metrics.mgmtFanouts.Load())
+	write("msodgw_state_queries_total", "Introspection state lookups served (routed or fanned out).", g.metrics.stateQueries.Load())
+	write("msodgw_event_streams_total", "Decision event fan-in streams opened.", g.metrics.eventStreams.Load())
 	fmt.Fprintf(w, "# HELP msodgw_shard_up Shard availability (1 up, 0 down).\n# TYPE msodgw_shard_up gauge\n")
 	statuses := g.checker.Statuses()
 	ids := make([]string, 0, len(statuses))

@@ -1,0 +1,253 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"msod/internal/inspect"
+	"msod/internal/server"
+)
+
+// eventsFanInBuffer is the merged event channel's capacity; a consumer
+// slower than the cluster's decision rate drops the connection rather
+// than stalling shard tails forever.
+const eventsFanInBuffer = 256
+
+// eventsReconnectBackoff paces re-dials of a shard whose event stream
+// dropped (restart, transient network failure).
+const eventsReconnectBackoff = 500 * time.Millisecond
+
+// handleStateUser proxies /v1/state/users/{user} to the single shard
+// that owns the user — the only shard holding their retained ADI.
+func (g *Gateway) handleStateUser(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		errorJSON(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	user := strings.TrimPrefix(r.URL.Path, server.StateUsersPath)
+	if user == "" {
+		errorJSON(w, http.StatusBadRequest, "user ID required: GET "+server.StateUsersPath+"{user}")
+		return
+	}
+	g.metrics.stateQueries.Add(1)
+	shard, ok := g.ring.Lookup(user)
+	if !ok {
+		errorJSON(w, http.StatusServiceUnavailable, "no shards in ring")
+		return
+	}
+	if !g.checker.Up(shard) {
+		g.metrics.unavailable.Add(1)
+		errorJSON(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("shard %s (owner of user %q) is down; failing closed", shard, user))
+		return
+	}
+	c, _ := g.client(shard)
+	st, err := c.UserState(user)
+	if err != nil {
+		var apiErr *server.APIError
+		if errors.As(err, &apiErr) {
+			errorJSON(w, apiErr.Status, apiErr.Message)
+			return
+		}
+		g.checker.ReportFailure(shard, err)
+		errorJSON(w, http.StatusBadGateway, fmt.Sprintf("shard %s: %v", shard, err))
+		return
+	}
+	w.Header().Set("X-Msod-Shard", shard)
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleStateContext fans /v1/state/contexts/{bc} out to every shard
+// and merges the answers: a context instance spans shards whenever
+// different users act in it, so a single-shard answer would silently
+// hide participants. Like management, it requires the full cluster up —
+// a merged answer missing a down shard's users would misreport who is
+// close to a violation.
+func (g *Gateway) handleStateContext(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		errorJSON(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	pattern := strings.TrimPrefix(r.URL.Path, server.StateContextsPath)
+	if pattern == "" {
+		errorJSON(w, http.StatusBadRequest, "context pattern required: GET "+server.StateContextsPath+"{bc}")
+		return
+	}
+	g.metrics.stateQueries.Add(1)
+	shards := g.checker.Shards()
+	for _, s := range shards {
+		if !g.checker.Up(s) {
+			g.metrics.unavailable.Add(1)
+			errorJSON(w, http.StatusServiceUnavailable,
+				fmt.Sprintf("shard %s is down; context state requires the full cluster (a partial answer would hide that shard's users)", s))
+			return
+		}
+	}
+	type result struct {
+		shard string
+		state inspect.ContextState
+		err   error
+	}
+	results := make([]result, len(shards))
+	var wg sync.WaitGroup
+	for i, s := range shards {
+		wg.Add(1)
+		go func(i int, s string) {
+			defer wg.Done()
+			c, _ := g.client(s)
+			st, err := c.ContextState(pattern)
+			results[i] = result{shard: s, state: st, err: err}
+		}(i, s)
+	}
+	wg.Wait()
+
+	merged := inspect.ContextState{Context: pattern}
+	instances := map[string]bool{}
+	for _, res := range results {
+		if res.err != nil {
+			var apiErr *server.APIError
+			if errors.As(res.err, &apiErr) {
+				errorJSON(w, apiErr.Status, fmt.Sprintf("shard %s: %s", res.shard, apiErr.Message))
+				return
+			}
+			g.checker.ReportFailure(res.shard, res.err)
+			errorJSON(w, http.StatusBadGateway, fmt.Sprintf("shard %s: %v", res.shard, res.err))
+			return
+		}
+		merged.Context = res.state.Context // canonical form from the shards
+		for _, inst := range res.state.Instances {
+			instances[inst] = true
+		}
+		// Users never span shards, so concatenation has no duplicates.
+		merged.Users = append(merged.Users, res.state.Users...)
+	}
+	for inst := range instances {
+		merged.Instances = append(merged.Instances, inst)
+	}
+	sort.Strings(merged.Instances)
+	sort.Slice(merged.Users, func(i, j int) bool { return merged.Users[i].User < merged.Users[j].User })
+	writeJSON(w, http.StatusOK, merged)
+}
+
+// handleEvents fans in every live shard's /v1/events stream, stamping
+// each event with shard="<id>" before re-emitting it on one merged SSE
+// stream. Shards that drop (or come up later) are re-dialled in the
+// background for as long as the client stays connected.
+func (g *Gateway) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		errorJSON(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	q := r.URL.Query()
+	// Validate filters locally so a bad pattern is a 400 here, not a
+	// per-shard error after the stream has started.
+	if _, err := inspect.NewFilter(q.Get("user"), q.Get("context"), q.Get("outcome")); err != nil {
+		errorJSON(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	opts := server.StreamEventsOptions{
+		User:    q.Get("user"),
+		Context: q.Get("context"),
+		Outcome: q.Get("outcome"),
+	}
+	if v := q.Get("replay"); v != "" {
+		replay, err := strconv.Atoi(v)
+		if err != nil || replay < 0 {
+			errorJSON(w, http.StatusBadRequest, "replay must be a non-negative integer")
+			return
+		}
+		opts.Replay = replay
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		errorJSON(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	g.metrics.eventStreams.Add(1)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	ctx := r.Context()
+	events := make(chan inspect.DecisionEvent, eventsFanInBuffer)
+	for _, shard := range g.checker.Shards() {
+		go g.tailShard(ctx, shard, opts, events)
+	}
+	heartbeat := time.NewTicker(15 * time.Second)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case ev := <-events:
+			payload, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "data: %s\n\n", payload); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-heartbeat.C:
+			if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}
+
+// tailShard keeps one shard's event stream flowing into out until the
+// consumer's context ends, reconnecting with backoff across shard
+// restarts. Replay is only requested on the first connection — a
+// reconnect replaying history would duplicate events the consumer has
+// already seen.
+func (g *Gateway) tailShard(ctx context.Context, shard string, opts server.StreamEventsOptions, out chan<- inspect.DecisionEvent) {
+	first := true
+	for ctx.Err() == nil {
+		if !first {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(eventsReconnectBackoff):
+			}
+		}
+		connOpts := opts
+		if !first {
+			connOpts.Replay = 0
+		}
+		first = false
+		if !g.checker.Up(shard) {
+			continue
+		}
+		c, ok := g.client(shard)
+		if !ok {
+			return
+		}
+		err := c.StreamEvents(ctx, connOpts, func(ev inspect.DecisionEvent) error {
+			ev.Shard = shard
+			select {
+			case out <- ev:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		})
+		if ctx.Err() != nil {
+			return
+		}
+		if err != nil {
+			g.checker.ReportFailure(shard, err)
+		}
+	}
+}

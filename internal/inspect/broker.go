@@ -1,0 +1,293 @@
+// Package inspect provides live observability over MSoD state: a
+// retained-ADI introspection API (per user × context instance
+// constraint progress, the operator's "how close is this user to a
+// violation" view), a bounded decision event broker feeding /v1/events
+// subscribers, and an audit-chain integrity sentinel that continuously
+// re-verifies the HMAC chain the paper only checks at start-up
+// reconstruction (§5.2).
+package inspect
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"msod/internal/bctx"
+)
+
+// Decision outcomes as they appear in events and filters (matching the
+// audit trail's effect vocabulary).
+const (
+	OutcomeGrant = "grant"
+	OutcomeDeny  = "deny"
+)
+
+// DecisionEvent is one PDP decision as published to the event stream.
+// It mirrors the audit event's request echo, with the denial stage and
+// reason added so a tailing operator sees *why* without opening the
+// trail.
+type DecisionEvent struct {
+	// Seq is the broker-assigned publication number (1-based,
+	// per-broker; not the audit trail sequence).
+	Seq uint64 `json:"seq"`
+	// Time is the decision time.
+	Time time.Time `json:"time"`
+	// TraceID correlates the event with the DecisionResponse, gateway
+	// log line and audit record of the same request.
+	TraceID string `json:"trace,omitempty"`
+	// User, Roles, Operation, Target, Context echo the request.
+	User      string   `json:"user"`
+	Roles     []string `json:"roles,omitempty"`
+	Operation string   `json:"op"`
+	Target    string   `json:"target"`
+	Context   string   `json:"ctx"`
+	// Effect is OutcomeGrant or OutcomeDeny.
+	Effect string `json:"effect"`
+	// Stage names the pipeline stage that denied (cvs, rbac, msod);
+	// empty on grants.
+	Stage string `json:"stage,omitempty"`
+	// Reason is the denial explanation; empty on grants.
+	Reason string `json:"reason,omitempty"`
+	// MatchedPolicies is how many MSoD policies matched the request.
+	MatchedPolicies int `json:"matched,omitempty"`
+	// Shard is stamped by the gateway fan-in with the shard ID the
+	// event came from; empty on a shard's own stream.
+	Shard string `json:"shard,omitempty"`
+}
+
+// Filter selects a subset of the event stream. The zero Filter matches
+// everything. Construct with NewFilter to validate and compile the
+// context pattern.
+type Filter struct {
+	// User, when non-empty, matches only that user's decisions.
+	User string
+	// Outcome, when non-empty, is OutcomeGrant or OutcomeDeny.
+	Outcome string
+
+	ctx    bctx.Name
+	hasCtx bool
+}
+
+// NewFilter compiles a filter from query-style string parameters. The
+// context parameter is a business-context pattern (wildcards allowed);
+// events whose instance falls within it match.
+func NewFilter(user, ctxPattern, outcome string) (Filter, error) {
+	f := Filter{User: user, Outcome: outcome}
+	switch outcome {
+	case "", OutcomeGrant, OutcomeDeny:
+	default:
+		return Filter{}, fmt.Errorf("inspect: outcome %q is not %q or %q", outcome, OutcomeGrant, OutcomeDeny)
+	}
+	if ctxPattern != "" {
+		pat, err := bctx.Parse(ctxPattern)
+		if err != nil {
+			return Filter{}, fmt.Errorf("inspect: context filter: %w", err)
+		}
+		f.ctx, f.hasCtx = pat, true
+	}
+	return f, nil
+}
+
+// Match reports whether the event passes the filter.
+func (f Filter) Match(ev DecisionEvent) bool {
+	if f.User != "" && ev.User != f.User {
+		return false
+	}
+	if f.Outcome != "" && ev.Effect != f.Outcome {
+		return false
+	}
+	if f.hasCtx {
+		inst, err := bctx.Parse(ev.Context)
+		if err != nil {
+			return false
+		}
+		ok, err := bctx.MatchInstance(f.ctx, inst)
+		if err != nil || !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Subscriber is one live consumer of the event stream. Events arrive on
+// Events(); a consumer that falls behind loses events (counted by
+// Dropped) rather than back-pressuring the PDP.
+type Subscriber struct {
+	ch      chan DecisionEvent
+	filter  Filter
+	dropped atomic.Uint64
+}
+
+// Events is the subscriber's delivery channel. It is closed by
+// Unsubscribe (or Close on the broker).
+func (s *Subscriber) Events() <-chan DecisionEvent { return s.ch }
+
+// Dropped returns how many matching events were discarded because the
+// subscriber's buffer was full.
+func (s *Subscriber) Dropped() uint64 { return s.dropped.Load() }
+
+// DefaultBrokerCapacity is the ring size used when NewBroker is given a
+// non-positive capacity.
+const DefaultBrokerCapacity = 1024
+
+// Broker is a bounded ring-buffer event broker: the PDP publishes every
+// decision, subscribers tail the stream, and the ring retains the most
+// recent events for replay and last-trace lookups. Publishing never
+// blocks on consumers. Broker is safe for concurrent use.
+type Broker struct {
+	mu     sync.Mutex
+	ring   []DecisionEvent
+	head   int // index of the oldest retained event
+	size   int
+	seq    uint64
+	subs   map[*Subscriber]struct{}
+	closed bool
+}
+
+// NewBroker returns a broker retaining up to capacity events.
+func NewBroker(capacity int) *Broker {
+	if capacity <= 0 {
+		capacity = DefaultBrokerCapacity
+	}
+	return &Broker{
+		ring: make([]DecisionEvent, capacity),
+		subs: make(map[*Subscriber]struct{}),
+	}
+}
+
+// Publish assigns the event its sequence number, retains it in the ring
+// and fans it out to matching subscribers without blocking. It returns
+// the assigned sequence number.
+func (b *Broker) Publish(ev DecisionEvent) uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return 0
+	}
+	b.seq++
+	ev.Seq = b.seq
+	if ev.Time.IsZero() {
+		ev.Time = time.Now()
+	}
+	if b.size < len(b.ring) {
+		b.ring[(b.head+b.size)%len(b.ring)] = ev
+		b.size++
+	} else {
+		b.ring[b.head] = ev
+		b.head = (b.head + 1) % len(b.ring)
+	}
+	for s := range b.subs {
+		if !s.filter.Match(ev) {
+			continue
+		}
+		select {
+		case s.ch <- ev:
+		default:
+			s.dropped.Add(1)
+		}
+	}
+	return ev.Seq
+}
+
+// Subscribe registers a consumer. Up to replay of the most recent
+// retained events matching the filter are queued first (oldest first),
+// so a tail can show recent history before going live.
+func (b *Broker) Subscribe(f Filter, replay int) *Subscriber {
+	if replay < 0 {
+		replay = 0
+	}
+	if replay > len(b.ring) {
+		replay = len(b.ring)
+	}
+	buf := replay + 64
+	s := &Subscriber{ch: make(chan DecisionEvent, buf), filter: f}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		close(s.ch)
+		return s
+	}
+	if replay > 0 {
+		// Collect the newest `replay` matches, then enqueue oldest first.
+		matches := make([]DecisionEvent, 0, replay)
+		for i := b.size - 1; i >= 0 && len(matches) < replay; i-- {
+			ev := b.ring[(b.head+i)%len(b.ring)]
+			if f.Match(ev) {
+				matches = append(matches, ev)
+			}
+		}
+		for i := len(matches) - 1; i >= 0; i-- {
+			s.ch <- matches[i]
+		}
+	}
+	b.subs[s] = struct{}{}
+	return s
+}
+
+// Unsubscribe removes the consumer and closes its channel.
+func (b *Broker) Unsubscribe(s *Subscriber) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.subs[s]; !ok {
+		return
+	}
+	delete(b.subs, s)
+	close(s.ch)
+}
+
+// Close closes every subscriber and stops accepting events.
+func (b *Broker) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for s := range b.subs {
+		delete(b.subs, s)
+		close(s.ch)
+	}
+}
+
+// Recent returns up to n of the most recent retained events matching
+// the filter, oldest first.
+func (b *Broker) Recent(f Filter, n int) []DecisionEvent {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if n <= 0 || n > b.size {
+		n = b.size
+	}
+	matches := make([]DecisionEvent, 0, n)
+	for i := b.size - 1; i >= 0 && len(matches) < n; i-- {
+		ev := b.ring[(b.head+i)%len(b.ring)]
+		if f.Match(ev) {
+			matches = append(matches, ev)
+		}
+	}
+	for i, j := 0, len(matches)-1; i < j; i, j = i+1, j-1 {
+		matches[i], matches[j] = matches[j], matches[i]
+	}
+	return matches
+}
+
+// LastMatch returns the most recent retained event for which match
+// returns true.
+func (b *Broker) LastMatch(match func(DecisionEvent) bool) (DecisionEvent, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i := b.size - 1; i >= 0; i-- {
+		ev := b.ring[(b.head+i)%len(b.ring)]
+		if match(ev) {
+			return ev, true
+		}
+	}
+	return DecisionEvent{}, false
+}
+
+// Seq returns the last published sequence number.
+func (b *Broker) Seq() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.seq
+}

@@ -1,0 +1,157 @@
+package inspect
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func ev(user, effect, ctx string) DecisionEvent {
+	return DecisionEvent{
+		User: user, Effect: effect, Context: ctx,
+		Operation: "op", Target: "t", Time: time.Unix(1, 0),
+	}
+}
+
+func TestBrokerPublishAssignsSequence(t *testing.T) {
+	b := NewBroker(8)
+	for i := 1; i <= 3; i++ {
+		if got := b.Publish(ev("u", OutcomeGrant, "P=1")); got != uint64(i) {
+			t.Fatalf("Publish #%d assigned seq %d", i, got)
+		}
+	}
+	if b.Seq() != 3 {
+		t.Errorf("Seq() = %d, want 3", b.Seq())
+	}
+}
+
+func TestBrokerRingOverwritesOldest(t *testing.T) {
+	b := NewBroker(4)
+	for i := 0; i < 10; i++ {
+		b.Publish(ev(fmt.Sprintf("u%d", i), OutcomeGrant, "P=1"))
+	}
+	recent := b.Recent(Filter{}, 100)
+	if len(recent) != 4 {
+		t.Fatalf("Recent returned %d events, want capacity 4", len(recent))
+	}
+	// Oldest-first, only the newest four survive.
+	for i, e := range recent {
+		if want := fmt.Sprintf("u%d", 6+i); e.User != want {
+			t.Errorf("recent[%d].User = %q, want %q", i, e.User, want)
+		}
+	}
+}
+
+func TestBrokerSubscribeReceivesLive(t *testing.T) {
+	b := NewBroker(8)
+	sub := b.Subscribe(Filter{}, 0)
+	defer b.Unsubscribe(sub)
+	b.Publish(ev("alice", OutcomeDeny, "P=1"))
+	select {
+	case got := <-sub.Events():
+		if got.User != "alice" || got.Effect != OutcomeDeny || got.Seq != 1 {
+			t.Fatalf("received %+v", got)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no event delivered")
+	}
+}
+
+func TestBrokerReplayThenLive(t *testing.T) {
+	b := NewBroker(16)
+	b.Publish(ev("a", OutcomeGrant, "P=1"))
+	b.Publish(ev("b", OutcomeGrant, "P=1"))
+	b.Publish(ev("c", OutcomeGrant, "P=1"))
+	sub := b.Subscribe(Filter{}, 2)
+	defer b.Unsubscribe(sub)
+	b.Publish(ev("d", OutcomeGrant, "P=1"))
+	want := []string{"b", "c", "d"} // newest 2 replayed oldest-first, then live
+	for i, u := range want {
+		select {
+		case got := <-sub.Events():
+			if got.User != u {
+				t.Fatalf("event %d: user %q, want %q", i, got.User, u)
+			}
+		case <-time.After(time.Second):
+			t.Fatalf("event %d (%q) never arrived", i, u)
+		}
+	}
+}
+
+func TestBrokerFilters(t *testing.T) {
+	mk := func(user, ctxPat, outcome string) Filter {
+		t.Helper()
+		f, err := NewFilter(user, ctxPat, outcome)
+		if err != nil {
+			t.Fatalf("NewFilter(%q,%q,%q): %v", user, ctxPat, outcome, err)
+		}
+		return f
+	}
+	grant := ev("alice", OutcomeGrant, "Branch=York, Period=2006")
+	deny := ev("bob", OutcomeDeny, "Branch=Leeds, Period=2006")
+	cases := []struct {
+		name  string
+		f     Filter
+		event DecisionEvent
+		want  bool
+	}{
+		{"empty matches all", mk("", "", ""), grant, true},
+		{"user match", mk("alice", "", ""), grant, true},
+		{"user mismatch", mk("alice", "", ""), deny, false},
+		{"outcome match", mk("", "", "deny"), deny, true},
+		{"outcome mismatch", mk("", "", "deny"), grant, false},
+		{"context wildcard", mk("", "Branch=*", ""), grant, true},
+		{"context exact mismatch", mk("", "Branch=Leeds", ""), grant, false},
+	}
+	for _, c := range cases {
+		if got := c.f.Match(c.event); got != c.want {
+			t.Errorf("%s: Match = %v, want %v", c.name, got, c.want)
+		}
+	}
+	if _, err := NewFilter("", "", "maybe"); err == nil {
+		t.Error("NewFilter accepted outcome \"maybe\"")
+	}
+	if _, err := NewFilter("", "Branch", ""); err == nil {
+		t.Error("NewFilter accepted malformed context pattern")
+	}
+}
+
+func TestBrokerSlowSubscriberDropsNotBlocks(t *testing.T) {
+	b := NewBroker(8)
+	sub := b.Subscribe(Filter{}, 0)
+	defer b.Unsubscribe(sub)
+	// Never drain; far more events than the subscriber buffer holds.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			b.Publish(ev("u", OutcomeGrant, "P=1"))
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Publish blocked on a slow subscriber")
+	}
+	if sub.Dropped() == 0 {
+		t.Error("slow subscriber reported zero drops after 500 undrained events")
+	}
+}
+
+func TestBrokerLastMatch(t *testing.T) {
+	b := NewBroker(8)
+	first := ev("alice", OutcomeGrant, "P=1")
+	first.TraceID = "t-old"
+	second := ev("alice", OutcomeDeny, "P=1")
+	second.TraceID = "t-new"
+	b.Publish(first)
+	b.Publish(second)
+	b.Publish(ev("bob", OutcomeGrant, "P=1"))
+	got, ok := b.LastMatch(func(e DecisionEvent) bool { return e.User == "alice" })
+	if !ok || got.TraceID != "t-new" {
+		t.Fatalf("LastMatch = %+v ok=%v, want newest alice event t-new", got, ok)
+	}
+	if _, ok := b.LastMatch(func(e DecisionEvent) bool { return e.User == "nobody" }); ok {
+		t.Error("LastMatch found an event for an unseen user")
+	}
+}

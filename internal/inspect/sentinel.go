@@ -1,0 +1,191 @@
+package inspect
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"msod/internal/audit"
+	"msod/internal/obsv"
+)
+
+// Sentinel metric family names.
+const (
+	// VerifiedSeqMetric is the last audit sequence number the chain has
+	// been verified through.
+	VerifiedSeqMetric = "msod_audit_chain_verified_seq"
+	// CheckDurationMetric is the incremental check latency histogram.
+	CheckDurationMetric = "msod_audit_chain_check_duration_seconds"
+	// TamperDetectedMetric is the latched tamper alarm (0 or 1; once 1,
+	// it stays 1 until restart).
+	TamperDetectedMetric = "msod_audit_chain_tamper_detected"
+)
+
+// DefaultSentinelInterval is used when SentinelConfig.Interval is not
+// positive.
+const DefaultSentinelInterval = 10 * time.Second
+
+// SentinelConfig configures an audit-chain integrity sentinel.
+type SentinelConfig struct {
+	// Dir and Key locate and verify the trail (same values as the
+	// audit.Writer's).
+	Dir string
+	Key []byte
+	// Interval is the background check period (DefaultSentinelInterval
+	// when <= 0).
+	Interval time.Duration
+	// Logger receives check errors; nil discards them.
+	Logger *slog.Logger
+	// OnTamper, when non-nil, is called exactly once, from the checking
+	// goroutine, when tampering is first detected. The server uses it
+	// to flip fail-closed.
+	OnTamper func(error)
+}
+
+// Sentinel continuously re-verifies the audit trail's HMAC chain while
+// the daemon runs: an incremental pass over newly appended entries on
+// every interval, with a latched alarm on the first chain break. The
+// paper's implementation only verifies the trail during start-up
+// reconstruction, leaving a window where on-disk tampering goes
+// unnoticed until the next restart; the sentinel closes that window.
+type Sentinel struct {
+	cfg SentinelConfig
+
+	mu        sync.Mutex // serialises checks; guards iv and tamperErr
+	iv        *audit.IncrementalVerifier
+	tamperErr error
+
+	tampered    atomic.Bool
+	verifiedSeq atomic.Uint64
+	checks      atomic.Int64
+	hist        *obsv.Histogram
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewSentinel builds a sentinel; call Start to begin background checks,
+// or drive it manually with CheckNow.
+func NewSentinel(cfg SentinelConfig) (*Sentinel, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("inspect: sentinel needs a trail directory")
+	}
+	iv, err := audit.NewIncrementalVerifier(cfg.Dir, cfg.Key)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultSentinelInterval
+	}
+	return &Sentinel{
+		cfg:  cfg,
+		iv:   iv,
+		hist: obsv.NewHistogram(obsv.DefaultDurationBuckets),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}, nil
+}
+
+// Start launches the background checking goroutine (idempotent).
+func (s *Sentinel) Start() {
+	s.startOnce.Do(func() {
+		go s.run()
+	})
+}
+
+// Stop terminates the background goroutine and waits for it (idempotent,
+// safe without Start).
+func (s *Sentinel) Stop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.startOnce.Do(func() { close(s.done) }) // never started: unblock the wait
+	<-s.done
+}
+
+func (s *Sentinel) run() {
+	defer close(s.done)
+	t := time.NewTicker(s.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.CheckNow()
+		}
+	}
+}
+
+// CheckNow runs one incremental verification pass immediately. After
+// tampering has latched, it returns the original tamper error without
+// touching the trail again.
+func (s *Sentinel) CheckNow() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tamperErr != nil {
+		return s.tamperErr
+	}
+	start := time.Now()
+	_, err := s.iv.Advance()
+	s.hist.Observe(time.Since(start))
+	s.checks.Add(1)
+	s.verifiedSeq.Store(s.iv.VerifiedSeq())
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, audit.ErrTampered) || errors.Is(err, audit.ErrBadSequence) {
+		s.tamperErr = fmt.Errorf("audit chain integrity failure: %w", err)
+		s.tampered.Store(true)
+		if s.cfg.Logger != nil {
+			s.cfg.Logger.Error("audit chain tamper detected",
+				"err", err, "verified_seq", s.iv.VerifiedSeq())
+		}
+		if s.cfg.OnTamper != nil {
+			s.cfg.OnTamper(s.tamperErr)
+		}
+		return s.tamperErr
+	}
+	// Transient I/O trouble: report, do not latch.
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Warn("audit chain check failed", "err", err)
+	}
+	return err
+}
+
+// Tampered reports whether the latched alarm has fired.
+func (s *Sentinel) Tampered() bool { return s.tampered.Load() }
+
+// TamperError returns the latched tamper error (nil before detection).
+func (s *Sentinel) TamperError() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tamperErr
+}
+
+// VerifiedSeq returns the last sequence number verified.
+func (s *Sentinel) VerifiedSeq() uint64 { return s.verifiedSeq.Load() }
+
+// Checks returns how many verification passes have run.
+func (s *Sentinel) Checks() int64 { return s.checks.Load() }
+
+// WriteMetrics emits the sentinel's metric families in Prometheus text
+// format.
+func (s *Sentinel) WriteMetrics(w io.Writer) {
+	obsv.WriteGauge(w, VerifiedSeqMetric,
+		"Last audit trail sequence number verified by the integrity sentinel.",
+		float64(s.VerifiedSeq()))
+	s.hist.Write(w, CheckDurationMetric,
+		"Duration of incremental audit chain verification passes.")
+	tampered := 0.0
+	if s.Tampered() {
+		tampered = 1
+	}
+	obsv.WriteGauge(w, TamperDetectedMetric,
+		"1 once the audit chain has failed verification (latched until restart).",
+		tampered)
+}

@@ -1,0 +1,212 @@
+package inspect
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"msod/internal/audit"
+)
+
+var sentinelKey = []byte("sentinel-test-key")
+
+func appendEvents(t *testing.T, w *audit.Writer, n int, user string) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		_, err := w.Append(audit.Event{
+			Time: time.Unix(int64(i), 0), User: user,
+			Operation: "op", Target: "t", Context: "P=1", Effect: "grant",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func newTrailSentinel(t *testing.T) (string, *audit.Writer, *Sentinel) {
+	t.Helper()
+	dir := t.TempDir()
+	w, err := audit.NewWriter(dir, sentinelKey, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	s, err := NewSentinel(SentinelConfig{Dir: dir, Key: sentinelKey, Interval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir, w, s
+}
+
+func TestSentinelAdvancesOverAppends(t *testing.T) {
+	_, w, s := newTrailSentinel(t)
+	appendEvents(t, w, 6, "alice")
+	if err := s.CheckNow(); err != nil {
+		t.Fatalf("first check: %v", err)
+	}
+	if s.VerifiedSeq() != 6 {
+		t.Fatalf("VerifiedSeq = %d, want 6", s.VerifiedSeq())
+	}
+	// Incremental: new entries appended after the checkpoint are picked
+	// up by the next check without re-reading history.
+	appendEvents(t, w, 3, "bob")
+	if err := s.CheckNow(); err != nil {
+		t.Fatalf("second check: %v", err)
+	}
+	if s.VerifiedSeq() != 9 {
+		t.Fatalf("VerifiedSeq = %d, want 9", s.VerifiedSeq())
+	}
+	if s.Tampered() {
+		t.Error("Tampered() on a clean trail")
+	}
+	if s.Checks() != 2 {
+		t.Errorf("Checks = %d, want 2", s.Checks())
+	}
+}
+
+// corruptNewestEntry flips content inside the last complete line of the
+// newest segment — a region the sentinel has not verified yet.
+func corruptNewestEntry(t *testing.T, dir string) {
+	t.Helper()
+	segs, err := audit.Segments(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segments: %v (%d)", err, len(segs))
+	}
+	path := filepath.Join(dir, segs[len(segs)-1])
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated := strings.Replace(string(data), `"user":"mallory"`, `"user":"innocent"`, 1)
+	if mutated == string(data) {
+		t.Fatal("corruption target not found in newest segment")
+	}
+	if err := os.WriteFile(path, []byte(mutated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSentinelDetectsMidRunTamperAndLatches(t *testing.T) {
+	dir, w, s := newTrailSentinel(t)
+	appendEvents(t, w, 3, "alice")
+	if err := s.CheckNow(); err != nil {
+		t.Fatalf("clean check: %v", err)
+	}
+
+	var tamperCalls int
+	s.cfg.OnTamper = func(error) { tamperCalls++ }
+
+	// Mid-run: entries appended after the last check are rewritten
+	// before the sentinel sees them.
+	appendEvents(t, w, 2, "mallory")
+	corruptNewestEntry(t, dir)
+
+	err := s.CheckNow()
+	if !errors.Is(err, audit.ErrTampered) {
+		t.Fatalf("CheckNow after tamper = %v, want ErrTampered", err)
+	}
+	if !s.Tampered() || s.TamperError() == nil {
+		t.Fatal("tamper did not latch")
+	}
+	if tamperCalls != 1 {
+		t.Fatalf("OnTamper called %d times, want 1", tamperCalls)
+	}
+
+	// Latched: every later check reports the same failure without
+	// re-running verification, even though the writer keeps appending.
+	appendEvents(t, w, 1, "alice")
+	err2 := s.CheckNow()
+	if !errors.Is(err2, audit.ErrTampered) {
+		t.Fatalf("latched CheckNow = %v", err2)
+	}
+	if tamperCalls != 1 {
+		t.Errorf("OnTamper re-fired on latched alarm (%d calls)", tamperCalls)
+	}
+}
+
+func TestSentinelDetectsSegmentShrink(t *testing.T) {
+	dir, w, s := newTrailSentinel(t)
+	appendEvents(t, w, 3, "alice")
+	if err := s.CheckNow(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := audit.Segments(dir)
+	path := filepath.Join(dir, segs[len(segs)-1])
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckNow(); !errors.Is(err, audit.ErrTampered) {
+		t.Fatalf("CheckNow after shrink = %v, want ErrTampered", err)
+	}
+}
+
+func TestSentinelWriteMetrics(t *testing.T) {
+	_, w, s := newTrailSentinel(t)
+	appendEvents(t, w, 5, "alice")
+	if err := s.CheckNow(); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	s.WriteMetrics(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		VerifiedSeqMetric + " 5",
+		TamperDetectedMetric + " 0",
+		CheckDurationMetric + "_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSentinelBackgroundLoop(t *testing.T) {
+	dir := t.TempDir()
+	w, err := audit.NewWriter(dir, sentinelKey, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	s, err := NewSentinel(SentinelConfig{Dir: dir, Key: sentinelKey, Interval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendEvents(t, w, 4, "alice")
+	s.Start()
+	defer s.Stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.VerifiedSeq() < 4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("sentinel loop never verified: seq=%d", s.VerifiedSeq())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestSentinelStopWithoutStart(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := audit.NewWriter(dir, sentinelKey, 4); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSentinel(SentinelConfig{Dir: dir, Key: sentinelKey})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Stop() // must not hang or panic
+}
+
+func TestSentinelConfigValidation(t *testing.T) {
+	if _, err := NewSentinel(SentinelConfig{Dir: "", Key: sentinelKey}); err == nil {
+		t.Error("NewSentinel accepted empty dir")
+	}
+	if _, err := NewSentinel(SentinelConfig{Dir: t.TempDir(), Key: nil}); err == nil {
+		t.Error("NewSentinel accepted empty key")
+	}
+}

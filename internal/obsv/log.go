@@ -1,8 +1,10 @@
 package obsv
 
 import (
+	"fmt"
 	"io"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 )
@@ -46,4 +48,37 @@ func PprofHandler() http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// SanitizePprofAddr resolves the listen address for a -pprof flag
+// under the loopback-by-default policy: a bare port (":6060") binds
+// 127.0.0.1, and a non-loopback host is an error unless the operator
+// passed the explicit allow-remote opt-in. The returned warn flag tells
+// the caller to log that profiling internals are network-exposed.
+// Profiling endpoints leak memory contents and can stall the process,
+// so reaching them from off-host must be two deliberate decisions, not
+// a default.
+func SanitizePprofAddr(addr string, allowRemote bool) (resolved string, warn bool, err error) {
+	host, port, splitErr := net.SplitHostPort(addr)
+	if splitErr != nil {
+		return "", false, fmt.Errorf("pprof address %q: %w", addr, splitErr)
+	}
+	if host == "" {
+		if allowRemote {
+			return addr, true, nil // all interfaces, explicitly requested
+		}
+		return net.JoinHostPort("127.0.0.1", port), false, nil
+	}
+	loopback := host == "localhost"
+	if ip := net.ParseIP(host); ip != nil {
+		loopback = ip.IsLoopback()
+	}
+	if loopback {
+		return addr, false, nil
+	}
+	if !allowRemote {
+		return "", false, fmt.Errorf(
+			"pprof address %q is not loopback; profiling endpoints expose process internals — pass the allow-remote flag to bind it anyway", addr)
+	}
+	return addr, true, nil
 }

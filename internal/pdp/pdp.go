@@ -24,6 +24,7 @@ import (
 	"msod/internal/bctx"
 	"msod/internal/core"
 	"msod/internal/credential"
+	"msod/internal/inspect"
 	"msod/internal/obsv"
 	"msod/internal/policy"
 	"msod/internal/rbac"
@@ -51,6 +52,11 @@ type Config struct {
 	Linker *credential.Linker
 	// Clock overrides the time source; defaults to time.Now.
 	Clock func() time.Time
+	// Observer, when non-nil, is called synchronously with an event for
+	// every Decide outcome — grants and denials, with or without a
+	// trail — feeding the live /v1/events stream. It must not block
+	// (the inspect.Broker's Publish does not).
+	Observer func(inspect.DecisionEvent)
 	// HierarchyAwareMSoD expands activated roles through the policy's
 	// role hierarchy before MMER matching, so a senior role conflicts
 	// like the juniors it inherits (extension; see
@@ -66,6 +72,7 @@ type PDP struct {
 	engine    *core.Engine
 	store     adi.Recorder
 	trail     *audit.Writer
+	observer  func(inspect.DecisionEvent)
 	clock     func() time.Time
 	trailErrs atomic.Int64
 }
@@ -118,6 +125,7 @@ func New(cfg Config) (*PDP, error) {
 		engine:   engine,
 		store:    store,
 		trail:    cfg.Trail,
+		observer: cfg.Observer,
 		clock:    clock,
 	}, nil
 }
@@ -314,14 +322,13 @@ func (p *PDP) subject(req Request) (rbac.UserID, []rbac.RoleName, error) {
 	return req.User, append([]rbac.RoleName(nil), req.Roles...), nil
 }
 
-// log writes the decision to the audit trail if one is configured,
-// stamping the context's trace ID into the event.
+// log writes the decision to the audit trail if one is configured and
+// publishes it to the observer, stamping the context's trace ID into
+// both so the durable record and the live event stream correlate.
 func (p *PDP) log(ctx context.Context, req Request, user rbac.UserID, roles []rbac.RoleName, dec Decision, mdec *core.Decision) {
-	if p.trail == nil {
+	if p.trail == nil && p.observer == nil {
 		return
 	}
-	endAudit := obsv.StartSpan(ctx, obsv.StageAudit)
-	defer endAudit()
 	coreReq := core.Request{
 		User: user, Roles: roles,
 		Operation: req.Operation, Target: req.Target, Context: req.Context,
@@ -335,10 +342,32 @@ func (p *PDP) log(ctx context.Context, req Request, user rbac.UserID, roles []rb
 	}
 	ev := audit.NewEvent(coreReq, cd, p.clock())
 	ev.TraceID = string(obsv.TraceIDFrom(ctx))
-	// Trail write failures must not flip an access decision; the PDP
-	// surfaces them via the event error counter instead (a production
-	// system would fail-stop; the paper does not specify).
-	if _, err := p.trail.Append(ev); err != nil {
-		p.trailErrs.Add(1)
+	if p.trail != nil {
+		endAudit := obsv.StartSpan(ctx, obsv.StageAudit)
+		// Trail write failures must not flip an access decision; the PDP
+		// surfaces them via the event error counter instead (a production
+		// system would fail-stop; the paper does not specify).
+		if _, err := p.trail.Append(ev); err != nil {
+			p.trailErrs.Add(1)
+		}
+		endAudit()
+	}
+	if p.observer != nil {
+		out := inspect.DecisionEvent{
+			Time:            ev.Time,
+			TraceID:         ev.TraceID,
+			User:            ev.User,
+			Roles:           ev.Roles,
+			Operation:       ev.Operation,
+			Target:          ev.Target,
+			Context:         ev.Context,
+			Effect:          ev.Effect,
+			MatchedPolicies: ev.MatchedPolicies,
+		}
+		if !dec.Allowed {
+			out.Stage = string(dec.Phase)
+			out.Reason = dec.Reason
+		}
+		p.observer(out)
 	}
 }

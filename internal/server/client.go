@@ -1,16 +1,21 @@
 package server
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
 	"time"
 
 	"msod/internal/bctx"
 	"msod/internal/credential"
+	"msod/internal/inspect"
 	"msod/internal/obsv"
 	"msod/internal/rbac"
 )
@@ -172,6 +177,123 @@ func (c *Client) Decide(user rbac.UserID, roles []rbac.RoleName, op rbac.Operati
 		return false, "", err
 	}
 	return resp.Allowed, resp.Reason, nil
+}
+
+// UserState fetches the user's retained-ADI state from /v1/state/users.
+func (c *Client) UserState(user string) (inspect.UserState, error) {
+	var out inspect.UserState
+	err := c.get(context.Background(), StateUsersPath+url.PathEscape(user), &out)
+	return out, err
+}
+
+// ContextState fetches state for a business-context pattern from
+// /v1/state/contexts.
+func (c *Client) ContextState(pattern string) (inspect.ContextState, error) {
+	var out inspect.ContextState
+	err := c.get(context.Background(), StateContextsPath+url.PathEscape(pattern), &out)
+	return out, err
+}
+
+// StreamEventsOptions filter a /v1/events subscription.
+type StreamEventsOptions struct {
+	// User, Context, Outcome become the server-side filter parameters.
+	User    string
+	Context string
+	Outcome string
+	// Replay asks for up to that many recent retained events first.
+	Replay int
+}
+
+// StreamEvents subscribes to the server's decision event stream and
+// calls fn for each event until the context is cancelled, the server
+// closes the stream, or fn returns an error (which StreamEvents then
+// returns). The client's request timeout deliberately does not apply —
+// the stream is long-lived; bound it with the context.
+func (c *Client) StreamEvents(ctx context.Context, opts StreamEventsOptions, fn func(inspect.DecisionEvent) error) error {
+	q := url.Values{}
+	if opts.User != "" {
+		q.Set("user", opts.User)
+	}
+	if opts.Context != "" {
+		q.Set("context", opts.Context)
+	}
+	if opts.Outcome != "" {
+		q.Set("outcome", opts.Outcome)
+	}
+	if opts.Replay > 0 {
+		q.Set("replay", strconv.Itoa(opts.Replay))
+	}
+	target := c.base + EventsPath
+	if len(q) > 0 {
+		target += "?" + q.Encode()
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, target, nil)
+	if err != nil {
+		return fmt.Errorf("server: events: %w", err)
+	}
+	httpReq.Header.Set("Accept", "text/event-stream")
+	httpResp, err := c.http.Do(httpReq)
+	if err != nil {
+		return fmt.Errorf("server: events: %w", err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		apiErr := &APIError{Path: EventsPath, Status: httpResp.StatusCode}
+		var e errorResponse
+		if err := json.NewDecoder(httpResp.Body).Decode(&e); err == nil {
+			apiErr.Message = e.Error
+		}
+		return apiErr
+	}
+	sc := bufio.NewScanner(httpResp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		// SSE framing: data lines carry payloads; comments (heartbeats)
+		// and blank separators are skipped. Multi-line data is not used
+		// by the server.
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev inspect.DecisionEvent
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			return fmt.Errorf("server: events decode: %w", err)
+		}
+		if err := fn(ev); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return fmt.Errorf("server: events: %w", err)
+	}
+	return ctx.Err()
+}
+
+// get performs a GET under the client timeout, decoding a JSON answer.
+func (c *Client) get(parent context.Context, path string, out any) error {
+	ctx, cancel := c.reqContext(parent)
+	defer cancel()
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return fmt.Errorf("server: get %s: %w", path, err)
+	}
+	httpResp, err := c.http.Do(httpReq)
+	if err != nil {
+		return fmt.Errorf("server: get %s: %w", path, err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		apiErr := &APIError{Path: path, Status: httpResp.StatusCode}
+		var e errorResponse
+		if err := json.NewDecoder(httpResp.Body).Decode(&e); err == nil {
+			apiErr.Message = e.Error
+		}
+		return apiErr
+	}
+	if err := json.NewDecoder(httpResp.Body).Decode(out); err != nil {
+		return fmt.Errorf("server: decode response: %w", err)
+	}
+	return nil
 }
 
 func (c *Client) post(parent context.Context, path string, in, out any) error {

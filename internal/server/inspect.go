@@ -1,0 +1,181 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"msod/internal/adi"
+	"msod/internal/bctx"
+	"msod/internal/inspect"
+	"msod/internal/rbac"
+)
+
+// Introspection API paths.
+const (
+	// StateUsersPath serves per-user retained-ADI state; the user ID is
+	// the path suffix (GET /v1/state/users/{user}).
+	StateUsersPath = "/v1/state/users/"
+	// StateContextsPath serves per-context state; the business context
+	// pattern is the path suffix (GET /v1/state/contexts/{bc},
+	// wildcards allowed).
+	StateContextsPath = "/v1/state/contexts/"
+	// EventsPath streams decision events as Server-Sent Events with
+	// optional user/context/outcome filter parameters and a replay
+	// parameter for recent history.
+	EventsPath = "/v1/events"
+)
+
+// eventsHeartbeat is the SSE keep-alive comment interval.
+const eventsHeartbeat = 15 * time.Second
+
+// WithIntrospection overrides the retained-ADI browse surface backing
+// /v1/state. Without this option, New derives it from the PDP's store
+// automatically (every store shipped with the repo supports browsing),
+// so the option exists for tests and exotic Recorder implementations.
+func WithIntrospection(b adi.Browser) Option {
+	return func(s *Server) { s.browser = b }
+}
+
+// WithEventBroker attaches a decision event broker: /v1/events streams
+// it, and state answers gain last-trace correlation. The caller is
+// responsible for feeding the broker (normally by wiring it as the
+// PDP's Observer).
+func WithEventBroker(b *inspect.Broker) Option {
+	return func(s *Server) { s.broker = b }
+}
+
+// WithSentinel attaches an audit-chain integrity sentinel: its metric
+// families join /v1/metrics, and with failClosed the server refuses
+// decision and advisory requests (503) once tampering has latched —
+// a shard whose history's source of truth is compromised cannot be
+// trusted to answer history-dependent questions.
+func WithSentinel(sentinel *inspect.Sentinel, failClosed bool) Option {
+	return func(s *Server) {
+		s.sentinel = sentinel
+		s.sentinelFailClosed = failClosed
+	}
+}
+
+// refuseTampered answers true after writing the 503 when the sentinel
+// has latched and the server is fail-closed.
+func (s *Server) refuseTampered(w http.ResponseWriter) bool {
+	if s.sentinel == nil || !s.sentinelFailClosed || !s.sentinel.Tampered() {
+		return false
+	}
+	s.metrics.sentinelRefusals.Add(1)
+	writeJSON(w, http.StatusServiceUnavailable,
+		errorResponse{"audit chain tamper detected; refusing decisions (fail-closed)"})
+	return true
+}
+
+func (s *Server) handleStateUser(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"GET required"})
+		return
+	}
+	if s.inspector == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{"state introspection not available"})
+		return
+	}
+	user := strings.TrimPrefix(r.URL.Path, StateUsersPath)
+	if user == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"user ID required: GET " + StateUsersPath + "{user}"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.inspector.UserState(rbac.UserID(user)))
+}
+
+func (s *Server) handleStateContext(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"GET required"})
+		return
+	}
+	if s.inspector == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{"state introspection not available"})
+		return
+	}
+	raw := strings.TrimPrefix(r.URL.Path, StateContextsPath)
+	if raw == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"context pattern required: GET " + StateContextsPath + "{bc}"})
+		return
+	}
+	pattern, err := bctx.Parse(raw)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("context: %v", err)})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.inspector.ContextState(pattern))
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"GET required"})
+		return
+	}
+	if s.broker == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{"event stream not enabled"})
+		return
+	}
+	q := r.URL.Query()
+	filter, err := inspect.NewFilter(q.Get("user"), q.Get("context"), q.Get("outcome"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	replay := 0
+	if v := q.Get("replay"); v != "" {
+		replay, err = strconv.Atoi(v)
+		if err != nil || replay < 0 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{"replay must be a non-negative integer"})
+			return
+		}
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{"streaming unsupported"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	sub := s.broker.Subscribe(filter, replay)
+	defer s.broker.Unsubscribe(sub)
+	heartbeat := time.NewTicker(eventsHeartbeat)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, open := <-sub.Events():
+			if !open {
+				return
+			}
+			if err := writeSSE(w, ev); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-heartbeat.C:
+			if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}
+
+// writeSSE emits one event in SSE framing: "data: <json>\n\n".
+func writeSSE(w http.ResponseWriter, ev inspect.DecisionEvent) error {
+	payload, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "data: %s\n\n", payload)
+	return err
+}

@@ -1,0 +1,357 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"msod/internal/audit"
+	"msod/internal/inspect"
+	"msod/internal/pdp"
+	"msod/internal/policy"
+)
+
+// startInspectServer wires a PDP with an event broker (and optionally a
+// trail) into a server, the way msodd does.
+func startInspectServer(t *testing.T, opts ...Option) (*httptest.Server, *inspect.Broker) {
+	t.Helper()
+	pol, err := policy.ParseRBACPolicy([]byte(taxPolicyXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	broker := inspect.NewBroker(64)
+	p, err := pdp.New(pdp.Config{
+		Policy:   pol,
+		Observer: func(ev inspect.DecisionEvent) { broker.Publish(ev) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(p, append([]Option{WithEventBroker(broker)}, opts...)...))
+	t.Cleanup(ts.Close)
+	return ts, broker
+}
+
+func prepareAndConfirm(t *testing.T, c *Client, ctx string) (prepare, confirm DecisionResponse) {
+	t.Helper()
+	var err error
+	prepare, err = c.Decision(DecisionRequest{
+		User: "c1", Roles: []string{"Clerk"},
+		Operation: "prepareCheck", Target: "http://www.myTaxOffice.com/Check",
+		Context: ctx,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prepare.Allowed {
+		t.Fatalf("prepare denied: %+v", prepare)
+	}
+	confirm, err = c.Decision(DecisionRequest{
+		User: "c1", Roles: []string{"Clerk"},
+		Operation: "confirmCheck", Target: "http://secret.location.com/audit",
+		Context: ctx,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if confirm.Allowed {
+		t.Fatalf("confirm by preparer granted: %+v", confirm)
+	}
+	return prepare, confirm
+}
+
+func TestStateUserEndpoint(t *testing.T) {
+	ts, _ := startInspectServer(t)
+	c := NewClient(ts.URL, nil)
+	prepareAndConfirm(t, c, "TaxOffice=Leeds, taxRefundProcess=p1")
+
+	st, err := c.UserState("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.User != "c1" || len(st.Records) != 1 {
+		t.Fatalf("state = %+v, want one retained record", st)
+	}
+	var mmep *inspect.ConstraintProgress
+	for i := range st.Constraints {
+		if st.Constraints[i].Rule == "MMEP[0]" {
+			mmep = &st.Constraints[i]
+		}
+	}
+	if mmep == nil {
+		t.Fatalf("no MMEP[0] progress in %+v", st.Constraints)
+	}
+	if mmep.K != 1 || mmep.M != 2 || !mmep.NearLimit {
+		t.Errorf("MMEP progress = %+v, want 1 of 2, near limit", mmep)
+	}
+	if mmep.LastTraceID == "" {
+		t.Error("constraint has no last trace ID despite broker-retained events")
+	}
+
+	// Unknown users answer an empty state, not an error.
+	empty, err := c.UserState("nobody")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty.Records) != 0 || len(empty.Constraints) != 0 {
+		t.Errorf("unknown user state = %+v", empty)
+	}
+}
+
+func TestStateContextEndpoint(t *testing.T) {
+	ts, _ := startInspectServer(t)
+	c := NewClient(ts.URL, nil)
+	prepareAndConfirm(t, c, "TaxOffice=Leeds, taxRefundProcess=p1")
+
+	st, err := c.ContextState("TaxOffice=*, taxRefundProcess=*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Instances) != 1 || len(st.Users) != 1 || st.Users[0].User != "c1" {
+		t.Fatalf("context state = %+v", st)
+	}
+
+	// A malformed pattern is a 400, surfaced as a typed APIError.
+	_, err = c.ContextState("not a pattern")
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("bad pattern error = %v", err)
+	}
+}
+
+func TestEventsStreamDeliversDecisions(t *testing.T) {
+	ts, _ := startInspectServer(t)
+	c := NewClient(ts.URL, nil)
+	_, confirm := prepareAndConfirm(t, c, "TaxOffice=Leeds, taxRefundProcess=p1")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	var events []inspect.DecisionEvent
+	errDone := errors.New("done")
+	err := c.StreamEvents(ctx, StreamEventsOptions{Replay: 10}, func(ev inspect.DecisionEvent) error {
+		events = append(events, ev)
+		if len(events) == 2 {
+			return errDone
+		}
+		return nil
+	})
+	if !errors.Is(err, errDone) {
+		t.Fatalf("StreamEvents = %v", err)
+	}
+	if events[0].Effect != inspect.OutcomeGrant || events[1].Effect != inspect.OutcomeDeny {
+		t.Fatalf("replayed effects = %s, %s", events[0].Effect, events[1].Effect)
+	}
+	deny := events[1]
+	if deny.User != "c1" || deny.Stage != "msod" || !strings.Contains(deny.Reason, "MMEP") {
+		t.Errorf("deny event = %+v", deny)
+	}
+	// The streamed trace ID is the same one the decision response (and
+	// therefore the audit record) carries.
+	if deny.TraceID == "" || deny.TraceID != confirm.TraceID {
+		t.Errorf("deny trace = %q, response trace = %q", deny.TraceID, confirm.TraceID)
+	}
+}
+
+func TestEventsStreamFilters(t *testing.T) {
+	ts, _ := startInspectServer(t)
+	c := NewClient(ts.URL, nil)
+	prepareAndConfirm(t, c, "TaxOffice=Leeds, taxRefundProcess=p1")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	errDone := errors.New("done")
+	var got []inspect.DecisionEvent
+	err := c.StreamEvents(ctx, StreamEventsOptions{Outcome: "deny", Replay: 10}, func(ev inspect.DecisionEvent) error {
+		got = append(got, ev)
+		return errDone
+	})
+	if !errors.Is(err, errDone) {
+		t.Fatalf("StreamEvents = %v", err)
+	}
+	if len(got) != 1 || got[0].Effect != inspect.OutcomeDeny {
+		t.Fatalf("filtered events = %+v", got)
+	}
+
+	// Invalid filters are rejected before the stream starts.
+	err = c.StreamEvents(ctx, StreamEventsOptions{Outcome: "bogus"}, func(inspect.DecisionEvent) error { return nil })
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("bogus outcome error = %v", err)
+	}
+}
+
+func TestMetricsIntrospectionGauges(t *testing.T) {
+	ts, _ := startInspectServer(t)
+	c := NewClient(ts.URL, nil)
+	prepareAndConfirm(t, c, "TaxOffice=Leeds, taxRefundProcess=p1")
+
+	body := scrapeMetrics(t, ts.URL)
+	for _, want := range []string{
+		"msod_context_instances_open 1",
+		"msod_constraints_tracked",
+		"msod_constraints_near_limit 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func scrapeMetrics(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + MetricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+// TestSentinelFailClosedRefusesDecisions drives the full tamper path: a
+// PDP writing a real trail, a sentinel over the same directory, a
+// mid-run tamper, and the server flipping to 503s.
+func TestSentinelFailClosedRefusesDecisions(t *testing.T) {
+	dir := t.TempDir()
+	key := []byte("server-test-trail-key")
+	trail, err := audit.NewWriter(dir, key, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer trail.Close()
+
+	pol, err := policy.ParseRBACPolicy([]byte(taxPolicyXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pdp.New(pdp.Config{Policy: pol, Trail: trail})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sentinel, err := inspect.NewSentinel(inspect.SentinelConfig{Dir: dir, Key: key, Interval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sentinel.Stop()
+	ts := httptest.NewServer(New(p, WithSentinel(sentinel, true)))
+	defer ts.Close()
+	c := NewClient(ts.URL, nil)
+
+	req := DecisionRequest{
+		User: "c1", Roles: []string{"Clerk"},
+		Operation: "prepareCheck", Target: "http://www.myTaxOffice.com/Check",
+		Context: "TaxOffice=Leeds, taxRefundProcess=p1",
+	}
+	if _, err := c.Decision(req); err != nil {
+		t.Fatalf("decision before tamper: %v", err)
+	}
+	if err := sentinel.CheckNow(); err != nil {
+		t.Fatalf("clean check: %v", err)
+	}
+
+	// Tamper with an entry appended after the last check.
+	req2 := req
+	req2.User, req2.Roles = "m1", []string{"Manager"}
+	req2.Operation, req2.Target = "approve/disapproveCheck", "http://www.myTaxOffice.com/Check"
+	if _, err := c.Decision(req2); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := audit.Segments(dir)
+	path := filepath.Join(dir, segs[len(segs)-1])
+	data, _ := os.ReadFile(path)
+	mutated := strings.Replace(string(data), `"user":"m1"`, `"user":"mx"`, 1)
+	if mutated == string(data) {
+		t.Fatal("tamper target not found")
+	}
+	if err := os.WriteFile(path, []byte(mutated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := sentinel.CheckNow(); !errors.Is(err, audit.ErrTampered) {
+		t.Fatalf("CheckNow after tamper = %v", err)
+	}
+
+	// Decisions AND advisories now fail closed with an explicit 503.
+	_, err = c.Decision(req)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("decision after tamper = %v, want 503", err)
+	}
+	if !strings.Contains(apiErr.Message, "tamper") {
+		t.Errorf("503 message = %q", apiErr.Message)
+	}
+	if _, err := c.Advice(req); !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("advice after tamper = %v, want 503", err)
+	}
+
+	body := scrapeMetrics(t, ts.URL)
+	for _, want := range []string{
+		inspect.TamperDetectedMetric + " 1",
+		"msod_sentinel_refusals_total 2",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestSentinelOpenKeepsServing: without fail-closed the alarm is
+// observable but decisions continue (monitor-only deployments).
+func TestSentinelOpenKeepsServing(t *testing.T) {
+	dir := t.TempDir()
+	key := []byte("server-test-trail-key")
+	trail, err := audit.NewWriter(dir, key, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer trail.Close()
+	pol, _ := policy.ParseRBACPolicy([]byte(taxPolicyXML))
+	p, err := pdp.New(pdp.Config{Policy: pol, Trail: trail})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sentinel, err := inspect.NewSentinel(inspect.SentinelConfig{Dir: dir, Key: key, Interval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sentinel.Stop()
+	ts := httptest.NewServer(New(p, WithSentinel(sentinel, false)))
+	defer ts.Close()
+	c := NewClient(ts.URL, nil)
+
+	req := DecisionRequest{
+		User: "c1", Roles: []string{"Clerk"},
+		Operation: "prepareCheck", Target: "http://www.myTaxOffice.com/Check",
+		Context: fmt.Sprintf("TaxOffice=Leeds, taxRefundProcess=p%d", 1),
+	}
+	if _, err := c.Decision(req); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := audit.Segments(dir)
+	data, _ := os.ReadFile(filepath.Join(dir, segs[0]))
+	mutated := strings.Replace(string(data), `"user":"c1"`, `"user":"cx"`, 1)
+	if err := os.WriteFile(filepath.Join(dir, segs[0]), []byte(mutated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := sentinel.CheckNow(); !errors.Is(err, audit.ErrTampered) {
+		t.Fatalf("CheckNow = %v", err)
+	}
+	// Still serving: fail-open only surfaces the gauge.
+	req.Context = "TaxOffice=York, taxRefundProcess=p2"
+	if _, err := c.Decision(req); err != nil {
+		t.Fatalf("fail-open decision after tamper: %v", err)
+	}
+	if !strings.Contains(scrapeMetrics(t, ts.URL), inspect.TamperDetectedMetric+" 1") {
+		t.Error("tamper gauge not exported")
+	}
+}

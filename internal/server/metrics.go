@@ -27,8 +27,11 @@ type metrics struct {
 	// idempotentReplays counts duplicate RequestIDs answered from the
 	// idempotency cache instead of re-deciding.
 	idempotentReplays atomic.Int64
-	recordsWritten    atomic.Int64
-	recordsPurged     atomic.Int64
+	// sentinelRefusals counts decision/advisory requests refused because
+	// the audit-chain sentinel latched under fail-closed.
+	sentinelRefusals atomic.Int64
+	recordsWritten   atomic.Int64
+	recordsPurged    atomic.Int64
 	// duration observes the PDP evaluation time of every decision and
 	// advisory request (not transport or JSON handling); stages breaks
 	// the same time down by pipeline stage from the request's trace.
@@ -91,6 +94,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"PDP evaluation time per decision/advisory request (CVS+RBAC+MSoD, excluding transport).")
 	s.metrics.stages.Write(w)
 	obsv.WriteGauge(w, "msod_adi_records", "Live retained-ADI records.", float64(s.pdp.Store().Len()))
+	if s.inspector != nil {
+		sum := s.inspector.Summary()
+		obsv.WriteGauge(w, "msod_context_instances_open",
+			"Distinct business context instances with retained-ADI records.", float64(sum.InstancesOpen))
+		obsv.WriteGauge(w, "msod_constraints_tracked",
+			"(user, policy, bound context, rule) tuples with at least one consumed role/privilege.", float64(sum.ConstraintsTracked))
+		obsv.WriteGauge(w, "msod_constraints_near_limit",
+			"Tracked constraint tuples at k == m-1: the next conflicting activation is denied.", float64(sum.ConstraintsNearLimit))
+	}
+	if s.sentinel != nil {
+		s.sentinel.WriteMetrics(w)
+		obsv.WriteCounter(w, "msod_sentinel_refusals_total",
+			"Decision/advisory requests refused because the audit chain failed verification (fail-closed).",
+			s.metrics.sentinelRefusals.Load())
+	}
 	for _, g := range s.gauges {
 		obsv.WriteGauge(w, g.name, g.help, g.fn())
 	}

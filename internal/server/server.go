@@ -14,8 +14,10 @@ import (
 	"net/http"
 	"time"
 
+	"msod/internal/adi"
 	"msod/internal/bctx"
 	"msod/internal/credential"
+	"msod/internal/inspect"
 	"msod/internal/obsv"
 	"msod/internal/pdp"
 	"msod/internal/rbac"
@@ -107,6 +109,15 @@ type Server struct {
 	log     *slog.Logger
 	slowLog time.Duration
 	gauges  []extraGauge
+
+	// Introspection surface: the browser backs /v1/state (derived from
+	// the PDP's store unless overridden), the broker backs /v1/events,
+	// and the sentinel guards the audit chain (see internal/inspect).
+	browser            adi.Browser
+	inspector          *inspect.Inspector
+	broker             *inspect.Broker
+	sentinel           *inspect.Sentinel
+	sentinelFailClosed bool
 }
 
 // Option configures a Server.
@@ -141,11 +152,23 @@ func New(p *pdp.PDP, opts ...Option) *Server {
 	for _, opt := range opts {
 		opt(s)
 	}
+	if s.browser == nil {
+		// Every store shipped with the repo exposes the read-only browse
+		// surface, so introspection is on by default; a custom Recorder
+		// without it just loses /v1/state.
+		s.browser, _ = adi.BrowserFor(p.Store())
+	}
+	if s.browser != nil {
+		s.inspector = inspect.NewInspector(p.Engine(), s.browser, s.broker)
+	}
 	s.mux.HandleFunc(DecisionPath, s.handleDecision)
 	s.mux.HandleFunc(AdvicePath, s.handleAdvice)
 	s.mux.HandleFunc(ManagementPath, s.handleManagement)
 	s.mux.HandleFunc(HealthPath, s.handleHealth)
 	s.mux.HandleFunc(MetricsPath, s.handleMetrics)
+	s.mux.HandleFunc(StateUsersPath, s.handleStateUser)
+	s.mux.HandleFunc(StateContextsPath, s.handleStateContext)
+	s.mux.HandleFunc(EventsPath, s.handleEvents)
 	return s
 }
 
@@ -165,6 +188,12 @@ func (s *Server) handleAdvice(w http.ResponseWriter, r *http.Request) {
 func (s *Server) serveDecision(w http.ResponseWriter, r *http.Request, decide func(context.Context, pdp.Request) (pdp.Decision, error), advisory bool) {
 	if r.Method != http.MethodPost {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST required"})
+		return
+	}
+	if s.refuseTampered(w) {
+		// Fail-closed: a trail that no longer verifies means the retained
+		// history cannot be trusted, so neither can any history-dependent
+		// answer (advisories included).
 		return
 	}
 	var wire DecisionRequest

@@ -43,6 +43,7 @@ import (
 	"msod/internal/core"
 	"msod/internal/credential"
 	"msod/internal/directory"
+	"msod/internal/inspect"
 	"msod/internal/pdp"
 	"msod/internal/pep"
 	"msod/internal/policy"
@@ -385,6 +386,71 @@ func NewClient(base string, opts ...ClientOption) *Client {
 // WithClientTimeout bounds every request the client makes; zero or
 // negative means no deadline.
 func WithClientTimeout(d time.Duration) ClientOption { return server.WithTimeout(d) }
+
+// Introspection, event-streaming and audit-sentinel types (live MSoD
+// state: who is how close to which constraint limit, streamed decision
+// events, and continuous audit-chain verification).
+type (
+	// UserStateView is one user's retained-ADI records and per-constraint
+	// progress (k of m roles/privileges consumed), as served by
+	// /v1/state/users/{user}.
+	UserStateView = inspect.UserState
+	// ContextStateView is the per-context view: every matching instance
+	// and every participating user's progress, as served by
+	// /v1/state/contexts/{bc}.
+	ContextStateView = inspect.ContextState
+	// ConstraintProgress is one (policy, bound context, rule) tuple's
+	// consumption state for one user.
+	ConstraintProgress = inspect.ConstraintProgress
+	// DecisionEvent is one decision outcome on the event stream.
+	DecisionEvent = inspect.DecisionEvent
+	// EventBroker fans decision events out to subscribers over a bounded
+	// ring buffer; wire it as PDPConfig.Observer and into the server with
+	// WithServerEventBroker.
+	EventBroker = inspect.Broker
+	// EventFilter selects a subset of decision events by user, context
+	// pattern and outcome.
+	EventFilter = inspect.Filter
+	// AuditSentinel continuously verifies the audit trail's HMAC chain in
+	// the background and latches on tampering.
+	AuditSentinel = inspect.Sentinel
+	// AuditSentinelConfig parameterises an AuditSentinel.
+	AuditSentinelConfig = inspect.SentinelConfig
+	// StreamEventsOptions filter a Client.StreamEvents subscription.
+	StreamEventsOptions = server.StreamEventsOptions
+)
+
+// Decision event outcomes (EventFilter / /v1/events outcome parameter).
+const (
+	EventOutcomeGrant = inspect.OutcomeGrant
+	EventOutcomeDeny  = inspect.OutcomeDeny
+)
+
+// NewEventBroker returns a decision event broker retaining up to
+// capacity recent events (<=0 uses a default).
+func NewEventBroker(capacity int) *EventBroker { return inspect.NewBroker(capacity) }
+
+// NewEventFilter builds an event filter; empty strings mean "any".
+func NewEventFilter(user, ctxPattern, outcome string) (EventFilter, error) {
+	return inspect.NewFilter(user, ctxPattern, outcome)
+}
+
+// NewAuditSentinel builds (but does not start) an audit-chain integrity
+// sentinel over a trail directory.
+func NewAuditSentinel(cfg AuditSentinelConfig) (*AuditSentinel, error) {
+	return inspect.NewSentinel(cfg)
+}
+
+// WithServerEventBroker attaches a decision event broker to a server:
+// /v1/events streams it and state answers gain last-trace correlation.
+func WithServerEventBroker(b *EventBroker) ServerOption { return server.WithEventBroker(b) }
+
+// WithServerSentinel attaches an audit sentinel to a server: its metric
+// families join /v1/metrics and, with failClosed, a latched tamper alarm
+// makes the server refuse decisions (503).
+func WithServerSentinel(s *AuditSentinel, failClosed bool) ServerOption {
+	return server.WithSentinel(s, failClosed)
+}
 
 // PEP types (the application-side enforcement function of Figure 3).
 type (
