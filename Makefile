@@ -45,8 +45,9 @@ examples:
 	$(GO) run ./examples/procurement
 
 lint:
-	gofmt -l .
+	test -z "$$(gofmt -l .)" || { gofmt -l .; exit 1; }
 	$(GO) vet ./...
+	$(GO) run ./cmd/msodvet ./...
 
 clean:
 	rm -f cover.out

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// chdir moves the process into dir for the test's duration (the driver
+// discovers the module from the working directory).
+func chdir(t *testing.T, dir string) {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(old) })
+}
+
+// writeModule lays out a throwaway module for the driver to analyse.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestDriverFailsOnSeededViolation(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module seeded\n\ngo 1.22\n",
+		"internal/pdp/pdp.go": `package pdp
+
+type Decision struct{ Allowed bool }
+
+func Decide(err error) Decision {
+	if err != nil {
+		return Decision{Allowed: true}
+	}
+	return Decision{}
+}
+`,
+	})
+	chdir(t, dir)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "[failclosed]") {
+		t.Errorf("stdout missing failclosed finding:\n%s", stdout.String())
+	}
+}
+
+func TestDriverCleanModuleExitsZero(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module clean\n\ngo 1.22\n",
+		"internal/pdp/pdp.go": `package pdp
+
+type Decision struct{ Allowed bool }
+
+func Decide(err error) Decision {
+	if err != nil {
+		return Decision{}
+	}
+	return Decision{Allowed: true}
+}
+`,
+	})
+	chdir(t, dir)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0; stdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+}
+
+func TestDriverUnknownAnalyzer(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-run", "nosuch"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown analyzer") {
+		t.Errorf("stderr missing unknown-analyzer message: %s", stderr.String())
+	}
+}
+
+func TestDriverList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, name := range []string{"failclosed", "auditerr", "clockuse", "metricname", "lockspan"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, stdout.String())
+		}
+	}
+}

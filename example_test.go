@@ -130,5 +130,6 @@ func ExampleLintPolicy() {
 		}
 	}
 	// Output:
+	// warning: MSoDPolicy[0]: unpurgeable business context "Period=!": no policy's last step terminates it, so retained history grows without bound until an administrative purge (§4.3, §6)
 	// warning: MSoDPolicy[0].MMER[0]: role "Auditr" is not declared in RoleList; the constraint can never match it
 }

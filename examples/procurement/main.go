@@ -129,7 +129,11 @@ func main() {
 
 	ts2, store2 := newService()
 	defer ts2.Close()
-	defer store2.Close()
+	defer func() {
+		if err := store2.Close(); err != nil {
+			log.Printf("close durable store: %v", err)
+		}
+	}()
 	fmt.Printf("recovered %d retained record(s)\n", store2.Len())
 	call(ts2, "/approve", "dave", "7001") // still denied after restart
 	call(ts2, "/approve", "erin", "7001") // a second person approves (last step: purge)

@@ -105,7 +105,7 @@ func OpenDurable(dir string, secret []byte, syncEveryWrite bool) (*DurableStore,
 	if err := ds.checkKey(); err != nil {
 		return nil, err
 	}
-	recoverStart := time.Now()
+	recoverStart := time.Now() //msod:ignore clockuse startup-recovery telemetry only; never retained in ADI records or trail ordering
 	if err := ds.recover(); err != nil {
 		return nil, err
 	}

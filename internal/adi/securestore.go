@@ -64,6 +64,7 @@ func NewSecureStore(path string, secret []byte) (*SecureStore, error) {
 // Save seals the given records into the snapshot file, replacing any
 // previous snapshot atomically (write to temp file then rename).
 func (ss *SecureStore) Save(recs []Record) error {
+	//msod:ignore clockuse snapshot-file Saved stamp is operator metadata; record timestamps inside are preserved verbatim
 	snap := snapshot{Version: snapshotVersion, Saved: time.Now().UTC(), Records: make([]wireRecord, len(recs))}
 	for i, r := range recs {
 		snap.Records[i] = toWire(r)

@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer diagnostic, positioned in the module source.
+type Finding struct {
+	// Analyzer names the analyzer that produced the finding ("ignore"
+	// for violations of the suppression contract itself).
+	Analyzer string
+	// Pos locates the finding.
+	Pos token.Position
+	// Message explains the violated invariant at this site.
+	Message string
+}
+
+// String renders the finding in the canonical
+// "file:line: [analyzer] message" form, with the file path relative to
+// base when possible.
+func (f Finding) String(base string) string {
+	file := f.Pos.Filename
+	if base != "" {
+		if rel, err := filepath.Rel(base, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+	}
+	return fmt.Sprintf("%s:%d: [%s] %s", file, f.Pos.Line, f.Analyzer, f.Message)
+}
+
+// Pass is one analyzer's view of one package.
+type Pass struct {
+	Pkg  *Package
+	Fset *token.FileSet
+	// Reportf records a finding at pos.
+	Reportf func(pos token.Pos, format string, args ...any)
+}
+
+// TypeOf returns the type of an expression (nil when unknown).
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Pkg.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// CalleeFunc resolves a call expression to the *types.Func it invokes
+// (functions and methods, through selections and conversions). It
+// returns nil for calls of function-typed variables, built-ins and type
+// conversions — sites the analyzers treat as opaque.
+func (p *Pass) CalleeFunc(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.Pkg.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// Analyzer is one pluggable invariant checker.
+type Analyzer interface {
+	// Name is the analyzer's identifier (used in findings and in
+	// //msod:ignore directives).
+	Name() string
+	// Doc is a one-line description of the invariant.
+	Doc() string
+	// Applies reports whether the analyzer runs on a package, by its
+	// module-relative path.
+	Applies(relPath string) bool
+	// Run analyses one package.
+	Run(pass *Pass)
+}
+
+// Finisher is implemented by analyzers that accumulate cross-package
+// state (metricname's exactly-once registration check) and report after
+// every package has been analysed.
+type Finisher interface {
+	Finish(reportf func(pos token.Pos, format string, args ...any))
+}
+
+// Result is one driver run's outcome.
+type Result struct {
+	// Findings are the unsuppressed diagnostics, sorted by position.
+	Findings []Finding
+	// Suppressed counts findings silenced by valid //msod:ignore
+	// directives.
+	Suppressed int
+}
+
+// Run loads every package under the loader and applies the analyzers,
+// honouring //msod:ignore suppressions. Analyzer order does not affect
+// the output: findings are sorted by file, line, analyzer.
+func Run(l *Loader, analyzers []Analyzer) (*Result, error) {
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		return nil, err
+	}
+	return RunPackages(l.Fset(), pkgs, analyzers)
+}
+
+// RunPackages applies the analyzers to already-loaded packages.
+func RunPackages(fset *token.FileSet, pkgs []*Package, analyzers []Analyzer) (*Result, error) {
+	byName := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		byName[a.Name()] = true
+	}
+
+	var raw []Finding
+	var directives []*directive
+	collect := func(name string) func(pos token.Pos, format string, args ...any) {
+		return func(pos token.Pos, format string, args ...any) {
+			raw = append(raw, Finding{
+				Analyzer: name,
+				Pos:      fset.Position(pos),
+				Message:  fmt.Sprintf(format, args...),
+			})
+		}
+	}
+
+	for _, pkg := range pkgs {
+		ds, bad := collectDirectives(fset, pkg, byName)
+		directives = append(directives, ds...)
+		raw = append(raw, bad...)
+		for _, a := range analyzers {
+			if !a.Applies(pkg.RelPath) {
+				continue
+			}
+			a.Run(&Pass{Pkg: pkg, Fset: fset, Reportf: collect(a.Name())})
+		}
+	}
+	for _, a := range analyzers {
+		if f, ok := a.(Finisher); ok {
+			f.Finish(collect(a.Name()))
+		}
+	}
+
+	res := &Result{}
+	for _, f := range raw {
+		if f.Analyzer != ignoreAnalyzerName && suppress(directives, f) {
+			res.Suppressed++
+			continue
+		}
+		res.Findings = append(res.Findings, f)
+	}
+	// Unused directives are findings themselves: a suppression that
+	// silences nothing is stale and must be removed, not accumulated.
+	for _, d := range directives {
+		if !d.used {
+			res.Findings = append(res.Findings, Finding{
+				Analyzer: ignoreAnalyzerName,
+				Pos:      d.pos,
+				Message:  fmt.Sprintf("unused //msod:ignore %s directive: no %s finding on this or the next line", d.analyzer, d.analyzer),
+			})
+		}
+	}
+	sort.Slice(res.Findings, func(i, j int) bool {
+		a, b := res.Findings[i], res.Findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return res, nil
+}
+
+// suppress marks the first directive covering the finding used and
+// reports whether one was found. A directive covers findings of its
+// analyzer on its own line (trailing comment) and on the line
+// immediately below (comment above the statement).
+func suppress(directives []*directive, f Finding) bool {
+	for _, d := range directives {
+		if d.analyzer != f.Analyzer || d.pos.Filename != f.Pos.Filename {
+			continue
+		}
+		if d.pos.Line == f.Pos.Line || d.pos.Line+1 == f.Pos.Line {
+			d.used = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// Failclosed proves the PDP's core safety property syntactically: in
+// the decision-serving packages, no branch dominated by a non-nil
+// error may construct or assign a decision with Allowed: true. An
+// error path that grants is exactly the failure mode ISO 10181-3's
+// fail-closed model forbids — when the retained ADI cannot be
+// consulted, the only safe answer is deny.
+type Failclosed struct {
+	// Packages are the module-relative paths the analyzer runs on.
+	Packages []string
+}
+
+// DefaultFailclosedPackages are the decision-serving packages of this
+// module.
+var DefaultFailclosedPackages = []string{
+	"internal/pdp", "internal/server", "internal/cluster", "internal/pep",
+}
+
+func (*Failclosed) Name() string { return "failclosed" }
+func (*Failclosed) Doc() string {
+	return "no branch dominated by a non-nil error may construct a decision with Allowed: true"
+}
+
+func (f *Failclosed) Applies(rel string) bool { return appliesTo(f.Packages, rel) }
+
+func (f *Failclosed) Run(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ifStmt, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			nonNil, nilBranch := errorComparisons(pass, ifStmt.Cond)
+			if nonNil {
+				f.checkDominated(pass, ifStmt.Body)
+			}
+			if nilBranch && ifStmt.Else != nil {
+				f.checkDominated(pass, ifStmt.Else)
+			}
+			return true
+		})
+	}
+}
+
+// errorComparisons reports whether the condition contains an
+// `err != nil` comparison (its then-branch is error-dominated) or an
+// `err == nil` comparison (its else-branch is error-dominated), for
+// any operand of type error.
+func errorComparisons(pass *Pass, cond ast.Expr) (nonNil, isNil bool) {
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		if be.Op != token.NEQ && be.Op != token.EQL {
+			return true
+		}
+		var operand ast.Expr
+		switch {
+		case isNilExpr(pass, be.Y):
+			operand = be.X
+		case isNilExpr(pass, be.X):
+			operand = be.Y
+		default:
+			return true
+		}
+		if !isErrorType(pass.TypeOf(operand)) {
+			return true
+		}
+		if be.Op == token.NEQ {
+			nonNil = true
+		} else {
+			isNil = true
+		}
+		return true
+	})
+	return nonNil, isNil
+}
+
+// checkDominated flags Allowed-granting constructs anywhere inside an
+// error-dominated statement tree.
+func (f *Failclosed) checkDominated(pass *Pass, body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A function literal defined here runs later, possibly
+			// outside the error path; its body is not dominated.
+			return false
+		case *ast.CompositeLit:
+			f.checkComposite(pass, n)
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				sel, ok := lhs.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Allowed" {
+					continue
+				}
+				if i < len(n.Rhs) && isTrue(pass, n.Rhs[i]) {
+					pass.Reportf(n.Pos(),
+						"error-dominated branch sets %s.Allowed = true; error paths must fail closed (deny)",
+						exprString(pass, sel.X))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkComposite flags composite literals that set an Allowed field to
+// true.
+func (f *Failclosed) checkComposite(pass *Pass, lit *ast.CompositeLit) {
+	t := pass.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	allowedIdx := -1
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == "Allowed" {
+			allowedIdx = i
+			break
+		}
+	}
+	if allowedIdx < 0 {
+		return
+	}
+	for i, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Allowed" && isTrue(pass, kv.Value) {
+				pass.Reportf(kv.Pos(),
+					"error-dominated branch constructs %s with Allowed: true; error paths must fail closed (deny)",
+					t.String())
+			}
+			continue
+		}
+		if i == allowedIdx && isTrue(pass, elt) {
+			pass.Reportf(elt.Pos(),
+				"error-dominated branch constructs %s with Allowed set true; error paths must fail closed (deny)",
+				t.String())
+		}
+	}
+}
+
+// isTrue reports whether an expression is the compile-time constant
+// true (covers the literal and named constants).
+func isTrue(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Pkg.Info.Types[e]
+	return ok && tv.Value != nil && tv.Value.Kind() == constant.Bool && constant.BoolVal(tv.Value)
+}
+
+func isNilExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Pkg.Info.Types[e]
+	return ok && tv.IsNil()
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Implements(t, errorIface)
+}
+
+// appliesTo reports whether rel is one of (or nested under) the listed
+// module-relative package paths.
+func appliesTo(paths []string, rel string) bool {
+	for _, p := range paths {
+		if rel == p || (len(rel) > len(p) && rel[:len(p)] == p && rel[len(p)] == '/') {
+			return true
+		}
+	}
+	return false
+}
+
+// exprString renders a short source form of an expression for messages.
+func exprString(pass *Pass, e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(pass, e.X) + "." + e.Sel.Name
+	default:
+		return "decision"
+	}
+}

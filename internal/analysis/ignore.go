@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// The suppression contract: a finding may be silenced only by an
+// explicit comment
+//
+//	//msod:ignore <analyzer> <reason>
+//
+// on the same line as the finding or on the line directly above it.
+// The analyzer name must be one of the loaded analyzers and the reason
+// is mandatory — the driver rejects bare ignores, ignores of unknown
+// analyzers, and ignores that suppress nothing (stale directives are
+// findings too). Suppressions are counted and reported in the summary
+// so a creeping ignore-pile stays visible.
+
+// ignorePrefix is the directive marker (no space after //, like
+// //go:build and //nolint).
+const ignorePrefix = "//msod:ignore"
+
+// ignoreAnalyzerName tags findings about the suppression contract
+// itself.
+const ignoreAnalyzerName = "ignore"
+
+// directive is one parsed //msod:ignore comment.
+type directive struct {
+	analyzer string
+	reason   string
+	pos      token.Position
+	used     bool
+}
+
+// collectDirectives parses every //msod:ignore comment in the package.
+// Malformed directives (missing analyzer, unknown analyzer, missing
+// reason) come back as findings, not directives — a broken suppression
+// must never silently suppress.
+func collectDirectives(fset *token.FileSet, pkg *Package, analyzers map[string]bool) ([]*directive, []Finding) {
+	var ds []*directive
+	var bad []Finding
+	report := func(pos token.Pos, msg string) {
+		bad = append(bad, Finding{Analyzer: ignoreAnalyzerName, Pos: fset.Position(pos), Message: msg})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //msod:ignorexyz — not the directive
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					report(c.Pos(), "//msod:ignore needs an analyzer name and a reason")
+					continue
+				}
+				name := fields[0]
+				if !analyzers[name] {
+					report(c.Pos(), "//msod:ignore names unknown analyzer "+quote(name))
+					continue
+				}
+				if len(fields) < 2 {
+					report(c.Pos(), "//msod:ignore "+name+" needs a reason: every suppression must say why the invariant does not apply")
+					continue
+				}
+				ds = append(ds, &directive{
+					analyzer: name,
+					reason:   strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), name)),
+					pos:      fset.Position(c.Pos()),
+				})
+			}
+		}
+	}
+	return ds, bad
+}
+
+// quote wraps a name in quotes for a message.
+func quote(s string) string { return "\"" + s + "\"" }

@@ -1,0 +1,226 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/printer"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Lockspan guards the deadlock/latency class the runbooks keep dodging
+// by review: while a store or broker mutex is held, the code must not
+// perform an audit-trail append, an SSE broadcast (ResponseWriter /
+// Flusher traffic), or an outbound HTTP call. Any of those under a hot
+// mutex turns one slow disk or one slow subscriber into a stalled PDP —
+// and an audit append under a store lock inverts the engine's
+// lock-then-log ordering.
+//
+// The analysis is intraprocedural and syntactic: a region starts at
+// mu.Lock()/mu.RLock() and ends at the matching Unlock on the same
+// receiver expression; `defer mu.Unlock()` extends the region to the
+// end of the enclosing function.
+type Lockspan struct{}
+
+func (*Lockspan) Name() string { return "lockspan" }
+func (*Lockspan) Doc() string {
+	return "no audit append, SSE broadcast, or HTTP call while a store/broker mutex is held"
+}
+
+// Applies runs module-wide.
+func (*Lockspan) Applies(string) bool { return true }
+
+func (l *Lockspan) Run(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				l.checkBlock(pass, body, nil)
+			}
+			return true
+		})
+	}
+}
+
+// checkBlock walks one statement list tracking which mutexes are held.
+// held maps the printed receiver expression to true while locked.
+func (l *Lockspan) checkBlock(pass *Pass, block *ast.BlockStmt, held map[string]bool) {
+	if held == nil {
+		held = make(map[string]bool)
+	} else {
+		// Copy: sibling branches must not see each other's lock state.
+		copied := make(map[string]bool, len(held))
+		for k, v := range held {
+			copied[k] = v
+		}
+		held = copied
+	}
+	for _, stmt := range block.List {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if recv, op := l.lockOp(pass, s.X); op != "" {
+				switch op {
+				case "Lock", "RLock":
+					held[recv] = true
+				case "Unlock", "RUnlock":
+					delete(held, recv)
+				}
+				continue
+			}
+		case *ast.DeferStmt:
+			if recv, op := l.lockOp(pass, s.Call); op == "Unlock" || op == "RUnlock" {
+				// The lock stays held to the end of the function; keep
+				// it in the held set for all following statements.
+				_ = recv
+				continue
+			}
+		}
+		if len(held) > 0 {
+			l.checkStmt(pass, stmt, held)
+		} else if inner, ok := stmt.(*ast.BlockStmt); ok {
+			l.checkBlock(pass, inner, held)
+		} else {
+			// Descend into nested blocks (if/for/switch bodies) so a
+			// Lock inside them opens its own region.
+			ast.Inspect(stmt, func(n ast.Node) bool {
+				if b, ok := n.(*ast.BlockStmt); ok {
+					l.checkBlock(pass, b, held)
+					return false
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkStmt flags forbidden calls anywhere under stmt while locks are
+// held. Function literals are skipped: they run later, when the lock
+// may be released (deferred unlocks are precisely that pattern).
+func (l *Lockspan) checkStmt(pass *Pass, stmt ast.Stmt, held map[string]bool) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if recv, op := l.lockOp(pass, n); op != "" {
+				if op == "Unlock" || op == "RUnlock" {
+					delete(held, recv)
+				}
+				return true
+			}
+			if len(held) == 0 {
+				return true
+			}
+			if why := l.forbidden(pass, n); why != "" {
+				pass.Reportf(n.Pos(),
+					"%s while holding mutex %s; release the lock first (slow I/O under a hot mutex stalls every decision behind it)",
+					why, heldNames(held))
+			}
+		}
+		return true
+	})
+}
+
+// lockOp recognises sync.Mutex/RWMutex Lock/Unlock/RLock/RUnlock calls
+// and returns the printed receiver and operation.
+func (l *Lockspan) lockOp(pass *Pass, e ast.Expr) (string, string) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", ""
+	}
+	fn := pass.CalleeFunc(call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", ""
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	return printedExpr(pass, sel.X), fn.Name()
+}
+
+// forbidden classifies a call as audit append, SSE broadcast, or HTTP
+// traffic. It returns "" for everything else.
+func (l *Lockspan) forbidden(pass *Pass, call *ast.CallExpr) string {
+	fn := pass.CalleeFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	path, name := fn.Pkg().Path(), fn.Name()
+	switch {
+	case name == "Append" && (path == "internal/audit" || strings.HasSuffix(path, "/internal/audit")):
+		return "audit-trail append (audit." + recvTypeName(fn) + ".Append)"
+	case name == "Publish" && (path == "internal/inspect" || strings.HasSuffix(path, "/internal/inspect")):
+		return "event broadcast (inspect." + recvTypeName(fn) + ".Publish)"
+	case path == "net/http":
+		switch name {
+		case "Do", "Get", "Post", "PostForm", "Head":
+			return "outbound HTTP call (http." + recvPrefix(fn) + name + ")"
+		case "Write", "WriteHeader", "Flush":
+			// ResponseWriter / Flusher methods: the SSE broadcast path.
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return "HTTP response write (http." + recvPrefix(fn) + name + ")"
+			}
+		}
+	}
+	return ""
+}
+
+// recvTypeName returns the receiver type's bare name ("Writer").
+func recvTypeName(fn *types.Func) string {
+	sig := fn.Type().(*types.Signature)
+	recv := sig.Recv()
+	if recv == nil {
+		return ""
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// recvPrefix renders "Type." for methods, "" for package functions.
+func recvPrefix(fn *types.Func) string {
+	if n := recvTypeName(fn); n != "" {
+		return n + "."
+	}
+	return ""
+}
+
+// heldNames renders the held mutex set for messages.
+func heldNames(held map[string]bool) string {
+	names := make([]string, 0, len(held))
+	for n := range held {
+		names = append(names, n)
+	}
+	if len(names) == 1 {
+		return names[0]
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// printedExpr renders an expression as written (receiver identity for
+// lock matching).
+func printedExpr(pass *Pass, e ast.Expr) string {
+	var sb strings.Builder
+	_ = printer.Fprint(&sb, pass.Fset, e)
+	return sb.String()
+}

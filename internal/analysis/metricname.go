@@ -1,0 +1,247 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metricname keeps the OPERATIONS.md alert rules honest: every metric
+// family this module emits must be a compile-time constant matching
+// ^msod(gw)?_[a-z0-9_]+$, must be emitted by exactly one site in the
+// module, and must keep one stable label-key set. A renamed, duplicated
+// or relabelled family silently breaks the recording and alerting rules
+// built on it — precisely the class of drift a reviewer never catches.
+//
+// Registration sites are: calls to the obsv emit helpers (WriteCounter,
+// WriteGauge, Histogram.Write, NewStageHistograms), server.WithGauge,
+// and literal "# TYPE <family> <kind>" exposition headers inside format
+// strings. Label-key sets are collected from literal `family{k=...}`
+// sample lines.
+type Metricname struct {
+	families map[string][]regSite              // family -> emit sites
+	labels   map[string]map[string][]token.Pos // family -> label-key-set -> sites
+}
+
+type regSite struct {
+	pos token.Pos
+	// where renders the site's position for duplicate messages (the
+	// fset is not available in Finish, so it is resolved at Run time).
+	where string
+}
+
+// familyPattern is the naming invariant.
+var familyPattern = regexp.MustCompile(`^msod(gw)?_[a-z0-9_]+$`)
+
+// typeHeaderPattern finds literal exposition headers in strings.
+var typeHeaderPattern = regexp.MustCompile(`# (?:TYPE|HELP) ([a-zA-Z_][a-zA-Z0-9_]*) `)
+
+// samplePattern finds literal labelled samples in strings.
+var samplePattern = regexp.MustCompile(`(msod(?:gw)?_[a-z0-9_]+)\{([^}]*)\}`)
+
+// metricEmitter describes one known family-emitting function: the
+// callee's package (by module-relative suffix; "" means the module
+// root facade), its name, and which argument carries the family name.
+type metricEmitter struct {
+	pkgSuffix string
+	name      string
+	argIdx    int
+}
+
+var metricEmitters = []metricEmitter{
+	{"internal/obsv", "WriteCounter", 1},
+	{"internal/obsv", "WriteGauge", 1},
+	{"internal/obsv", "Write", 1}, // (*Histogram).Write(w, name, help)
+	{"internal/obsv", "NewStageHistograms", 0},
+	{"internal/server", "WithGauge", 0},
+	{"", "WithServerGauge", 0}, // root facade forwarding to server.WithGauge
+}
+
+// emitterMatches reports whether the callee's package path matches the
+// emitter's package suffix ("" matches the module root: a path with no
+// slash).
+func emitterMatches(e metricEmitter, pkgPath string) bool {
+	if e.pkgSuffix == "" {
+		return !strings.Contains(pkgPath, "/")
+	}
+	return pkgPath == e.pkgSuffix || strings.HasSuffix(pkgPath, "/"+e.pkgSuffix)
+}
+
+func (*Metricname) Name() string { return "metricname" }
+func (*Metricname) Doc() string {
+	return "metric families are literal ^msod(gw)?_ names, emitted exactly once, with stable label sets"
+}
+
+// Applies runs module-wide except inside the obsv exposition package
+// and the root facade, whose generic helpers forward caller-supplied
+// names (the forwarded names are checked at their call sites).
+func (*Metricname) Applies(rel string) bool { return rel != "internal/obsv" && rel != "" }
+
+func (m *Metricname) Run(pass *Pass) {
+	if m.families == nil {
+		m.families = make(map[string][]regSite)
+		m.labels = make(map[string]map[string][]token.Pos)
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				m.checkEmitter(pass, n)
+			case *ast.BasicLit:
+				if n.Kind == token.STRING {
+					m.scanLiteral(pass, n)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkEmitter validates the family-name argument of known emit calls
+// and records the registration site.
+func (m *Metricname) checkEmitter(pass *Pass, call *ast.CallExpr) {
+	fn := pass.CalleeFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	var argIdx = -1
+	for _, e := range metricEmitters {
+		if fn.Name() == e.name && emitterMatches(e, fn.Pkg().Path()) {
+			argIdx = e.argIdx
+			break
+		}
+	}
+	if argIdx < 0 || argIdx >= len(call.Args) {
+		return
+	}
+	arg := call.Args[argIdx]
+	tv, ok := pass.Pkg.Info.Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		pass.Reportf(arg.Pos(),
+			"metric family name passed to %s is not a compile-time constant; alert rules cannot be audited against dynamic names",
+			calleeName(fn))
+		return
+	}
+	name := constant.StringVal(tv.Value)
+	if !familyPattern.MatchString(name) {
+		pass.Reportf(arg.Pos(),
+			"metric family %q does not match ^msod(gw)?_[a-z0-9_]+$", name)
+		return
+	}
+	m.register(pass, name, arg.Pos())
+}
+
+// scanLiteral extracts exposition "# TYPE family kind" headers and
+// labelled `family{k=v}` samples from a string literal.
+func (m *Metricname) scanLiteral(pass *Pass, lit *ast.BasicLit) {
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	seen := map[string]bool{}
+	for _, match := range typeHeaderPattern.FindAllStringSubmatch(s, -1) {
+		name := match[1]
+		if seen[name] {
+			continue // HELP + TYPE in the same literal is one site
+		}
+		seen[name] = true
+		if !familyPattern.MatchString(name) {
+			pass.Reportf(lit.Pos(),
+				"exposition header declares family %q, which does not match ^msod(gw)?_[a-z0-9_]+$", name)
+			continue
+		}
+		m.register(pass, name, lit.Pos())
+	}
+	for _, match := range samplePattern.FindAllStringSubmatch(s, -1) {
+		family, body := match[1], match[2]
+		keys := labelKeys(body)
+		set := strings.Join(keys, ",")
+		if m.labels[family] == nil {
+			m.labels[family] = make(map[string][]token.Pos)
+		}
+		m.labels[family][set] = append(m.labels[family][set], lit.Pos())
+	}
+}
+
+func (m *Metricname) register(pass *Pass, name string, pos token.Pos) {
+	m.families[name] = append(m.families[name], regSite{
+		pos:   pos,
+		where: pass.Fset.Position(pos).String(),
+	})
+}
+
+// shortSite trims a full position to file base name + line/column, so
+// messages (and the golden files pinning them) stay machine-independent.
+func shortSite(where string) string {
+	if i := strings.LastIndexByte(where, '/'); i >= 0 {
+		return where[i+1:]
+	}
+	return where
+}
+
+// labelKeys extracts the sorted label-key names from a literal sample
+// body like `shard="a",status=%q`.
+func labelKeys(body string) []string {
+	var keys []string
+	for _, part := range strings.Split(body, ",") {
+		eq := strings.IndexByte(part, '=')
+		if eq < 0 {
+			continue
+		}
+		key := strings.TrimSpace(part[:eq])
+		if key != "" {
+			keys = append(keys, key)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Finish reports duplicate registrations and unstable label sets across
+// the whole module.
+func (m *Metricname) Finish(reportf func(pos token.Pos, format string, args ...any)) {
+	names := make([]string, 0, len(m.families))
+	for name := range m.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		sites := m.families[name]
+		if len(sites) < 2 {
+			continue
+		}
+		sort.Slice(sites, func(i, j int) bool { return sites[i].where < sites[j].where })
+		for _, dup := range sites[1:] {
+			reportf(dup.pos,
+				"metric family %q is emitted by more than one site (first at %s); a family must have exactly one emitter or scrapes double-count",
+				name, shortSite(sites[0].where))
+		}
+	}
+	families := make([]string, 0, len(m.labels))
+	for f := range m.labels {
+		families = append(families, f)
+	}
+	sort.Strings(families)
+	for _, family := range families {
+		sets := m.labels[family]
+		if len(sets) < 2 {
+			continue
+		}
+		keys := make([]string, 0, len(sets))
+		for set := range sets {
+			keys = append(keys, set)
+		}
+		sort.Strings(keys)
+		for _, set := range keys[1:] {
+			for _, pos := range sets[set] {
+				reportf(pos,
+					"metric family %q uses label keys {%s} here but {%s} elsewhere; label sets must stay stable or queries silently miss series",
+					family, set, keys[0])
+			}
+		}
+	}
+}

@@ -1,0 +1,17 @@
+// Package extra duplicates a metric family and destabilises a label
+// set for the metricname finisher.
+package extra
+
+import (
+	"io"
+
+	"badmod/internal/obsv"
+)
+
+// Emit re-emits msod_dup (already emitted by internal/server) and
+// declares msod_thing_total with two different label-key sets.
+func Emit(w io.Writer) {
+	obsv.WriteGauge(w, "msod_dup", "h", 4)
+	io.WriteString(w, `msod_thing_total{shard="a"} 1`)
+	io.WriteString(w, `msod_thing_total{zone="b"} 1`)
+}

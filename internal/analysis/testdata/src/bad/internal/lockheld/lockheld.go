@@ -1,0 +1,29 @@
+// Package lockheld seeds the lockspan violation: an audit append while
+// a store mutex is held via defer-Unlock.
+package lockheld
+
+import (
+	"sync"
+
+	"badmod/internal/audit"
+)
+
+// Store mimics a locked store wrapping the trail writer.
+type Store struct {
+	mu sync.Mutex
+	w  *audit.Writer
+}
+
+// Record appends under the lock: the violation.
+func (s *Store) Record(rec string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Append(rec)
+}
+
+// RecordSafe releases the lock before appending: clean.
+func (s *Store) RecordSafe(rec string) error {
+	s.mu.Lock()
+	s.mu.Unlock()
+	return s.w.Append(rec)
+}

@@ -1,0 +1,11 @@
+// Package obsv is a fixture stand-in for the exposition helpers the
+// metricname analyzer treats as family emitters.
+package obsv
+
+import "io"
+
+// WriteCounter mimics the counter emitter (family name at arg 1).
+func WriteCounter(w io.Writer, name, help string, v int64) {}
+
+// WriteGauge mimics the gauge emitter (family name at arg 1).
+func WriteGauge(w io.Writer, name, help string, v float64) {}

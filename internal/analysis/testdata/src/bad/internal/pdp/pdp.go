@@ -1,0 +1,50 @@
+// Package pdp seeds failclosed, clockuse, auditerr and directive
+// violations for the analyzer golden test.
+package pdp
+
+import (
+	"time"
+
+	"badmod/internal/adi"
+	"badmod/internal/audit"
+)
+
+// Decision mimics the real decision shape.
+type Decision struct {
+	Allowed bool
+	Reason  string
+}
+
+// Decide grants on the error path: the failclosed violation.
+func Decide(err error) Decision {
+	if err != nil {
+		return Decision{Allowed: true, Reason: "store down, waving through"}
+	}
+	return Decision{Allowed: true}
+}
+
+// DecideElse grants in the else of an err == nil check: also dominated.
+func DecideElse(err error) Decision {
+	var d Decision
+	if err == nil {
+		d.Allowed = true
+	} else {
+		d.Allowed = true
+	}
+	return d
+}
+
+// Stamp calls time.Now() directly in a decision-path package.
+func Stamp() time.Time { return time.Now() }
+
+// Flush drops guarded audit/ADI errors two ways.
+func Flush(w *audit.Writer) {
+	w.Append("rec")
+	_ = adi.Save(nil)
+}
+
+//msod:ignore clockuse
+func malformedDirective() {}
+
+//msod:ignore failclosed nothing on this line violates failclosed
+var unusedDirective = 1

@@ -1,0 +1,27 @@
+// Package server seeds the discarded-BrowserFor-ok bug and the
+// metricname violations.
+package server
+
+import (
+	"io"
+
+	"badmod/internal/adi"
+	"badmod/internal/obsv"
+)
+
+// Server mimics the HTTP facade.
+type Server struct{ b *adi.Browser }
+
+// New discards the must-check ok: the seeded introspection bug.
+func New() *Server {
+	s := &Server{}
+	s.b, _ = adi.BrowserFor(nil)
+	return s
+}
+
+// Metrics emits one family with a bad name and one from a non-constant.
+func Metrics(w io.Writer, name string) {
+	obsv.WriteCounter(w, "badly_named_total", "h", 1)
+	obsv.WriteCounter(w, name, "h", 2)
+	obsv.WriteGauge(w, "msod_dup", "h", 3)
+}

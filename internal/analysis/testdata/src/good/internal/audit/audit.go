@@ -1,0 +1,8 @@
+// Package audit is the clean fixture's trail-writer stand-in.
+package audit
+
+// Writer mimics the HMAC-chained trail writer.
+type Writer struct{}
+
+// Append mimics the guarded trail append.
+func (w *Writer) Append(rec string) error { return nil }

@@ -1,0 +1,7 @@
+// Package obsv is the clean fixture's exposition stand-in.
+package obsv
+
+import "io"
+
+// WriteCounter mimics the counter emitter (family name at arg 1).
+func WriteCounter(w io.Writer, name, help string, v int64) {}

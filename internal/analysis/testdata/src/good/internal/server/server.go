@@ -1,0 +1,32 @@
+// Package server is the compliant mirror: the family name is a literal
+// emitted exactly once, and the append happens after the lock is
+// released.
+package server
+
+import (
+	"io"
+	"sync"
+
+	"goodmod/internal/audit"
+	"goodmod/internal/obsv"
+)
+
+// Metrics emits one well-named family from a literal.
+func Metrics(w io.Writer) {
+	obsv.WriteCounter(w, "msod_fixture_total", "Fixture counter.", 1)
+}
+
+// Store appends outside its critical section.
+type Store struct {
+	mu sync.Mutex
+	n  int
+	w  *audit.Writer
+}
+
+// Record mutates under the lock, appends after releasing it.
+func (s *Store) Record(rec string) error {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	return s.w.Append(rec)
+}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"log"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -71,7 +72,11 @@ func E16() (*Table, error) {
 				if err != nil {
 					return 0, err
 				}
-				closers = append(closers, func() { ds.Close() })
+				closers = append(closers, func() {
+					if err := ds.Close(); err != nil {
+						log.Printf("bench: close durable shard store: %v", err)
+					}
+				})
 				store = ds
 			} else {
 				store = adi.NewStore()

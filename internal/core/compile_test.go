@@ -115,7 +115,7 @@ func TestPolicyValidate(t *testing.T) {
 	cases := []Policy{
 		{}, // no constraints
 		{MMER: []MMERRule{{Roles: []rbac.RoleName{"A"}, Cardinality: 2}}},
-		{MMER: []MMERRule{{Roles: []rbac.RoleName{"A", "B"}, Cardinality: 1}}},
+		{MMER: []MMERRule{{Roles: []rbac.RoleName{"A", "B"}, Cardinality: 0}}},
 		{MMER: []MMERRule{{Roles: []rbac.RoleName{"A", "B"}, Cardinality: 3}}},
 		{MMER: []MMERRule{{Roles: []rbac.RoleName{"A", "A"}, Cardinality: 2}}},
 		{MMEP: []MMEPRule{{Privileges: []rbac.Permission{{Operation: "o", Object: "t"}}, Cardinality: 2}}},

@@ -29,7 +29,7 @@ var ErrCompile = errors.New("core: compile")
 type MMERRule struct {
 	// Roles are the mutually exclusive roles (distinct, n >= 2).
 	Roles []rbac.RoleName
-	// Cardinality is the forbidden cardinality m (1 < m <= n).
+	// Cardinality is the forbidden cardinality m (1 <= m <= n).
 	Cardinality int
 }
 
@@ -41,7 +41,7 @@ type MMERRule struct {
 type MMEPRule struct {
 	// Privileges is the privilege multiset (n >= 2, duplicates allowed).
 	Privileges []rbac.Permission
-	// Cardinality is the forbidden cardinality m (1 < m <= n).
+	// Cardinality is the forbidden cardinality m (1 <= m <= n).
 	Cardinality int
 }
 
@@ -85,8 +85,12 @@ func (p *Policy) Validate() error {
 		if len(r.Roles) < 2 {
 			return fmt.Errorf("%w: policy %q MMER %d needs >= 2 roles", ErrCompile, p.Context, i)
 		}
-		if r.Cardinality < 2 || r.Cardinality > len(r.Roles) {
-			return fmt.Errorf("%w: policy %q MMER %d cardinality %d outside 2..%d",
+		// Cardinality 1 is legal and denies every listed role once the
+		// context instance has history (count >= 1-nr always holds);
+		// only the context-opening request, recorded in step 4 before
+		// constraints apply, is exempt. policy.Lint warns.
+		if r.Cardinality < 1 || r.Cardinality > len(r.Roles) {
+			return fmt.Errorf("%w: policy %q MMER %d cardinality %d outside 1..%d",
 				ErrCompile, p.Context, i, r.Cardinality, len(r.Roles))
 		}
 		seen := make(map[rbac.RoleName]bool, len(r.Roles))
@@ -101,8 +105,8 @@ func (p *Policy) Validate() error {
 		if len(r.Privileges) < 2 {
 			return fmt.Errorf("%w: policy %q MMEP %d needs >= 2 privileges", ErrCompile, p.Context, i)
 		}
-		if r.Cardinality < 2 || r.Cardinality > len(r.Privileges) {
-			return fmt.Errorf("%w: policy %q MMEP %d cardinality %d outside 2..%d",
+		if r.Cardinality < 1 || r.Cardinality > len(r.Privileges) {
+			return fmt.Errorf("%w: policy %q MMEP %d cardinality %d outside 1..%d",
 				ErrCompile, p.Context, i, r.Cardinality, len(r.Privileges))
 		}
 	}

@@ -143,6 +143,9 @@ type Broker struct {
 	seq    uint64
 	subs   map[*Subscriber]struct{}
 	closed bool
+	// now stamps events published without a time; injectable so the
+	// event stream stays deterministic under replay (see SetClock).
+	now func() time.Time
 }
 
 // NewBroker returns a broker retaining up to capacity events.
@@ -153,6 +156,18 @@ func NewBroker(capacity int) *Broker {
 	return &Broker{
 		ring: make([]DecisionEvent, capacity),
 		subs: make(map[*Subscriber]struct{}),
+		now:  time.Now,
+	}
+}
+
+// SetClock replaces the time source used to stamp events published
+// without an explicit Time. The PDP passes its injected clock through
+// so trail records and streamed events carry the same timestamps.
+func (b *Broker) SetClock(now func() time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if now != nil {
+		b.now = now
 	}
 }
 
@@ -168,7 +183,7 @@ func (b *Broker) Publish(ev DecisionEvent) uint64 {
 	b.seq++
 	ev.Seq = b.seq
 	if ev.Time.IsZero() {
-		ev.Time = time.Now()
+		ev.Time = b.now()
 	}
 	if b.size < len(b.ring) {
 		b.ring[(b.head+b.size)%len(b.ring)] = ev

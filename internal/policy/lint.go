@@ -139,11 +139,24 @@ func lintMSoD(p *RBACPolicy, declaredRoles map[string]bool, grants map[[2]string
 						fmt.Sprintf("role %q is not declared in RoleList; the constraint can never match it", r.Value)})
 				}
 			}
+			// 3b. ForbiddenCardinality 1 is not a separation: the first
+			// activation of any listed role is already at the forbidden
+			// count, so the rule denies those roles to everyone.
+			if m.ForbiddenCardinality == 1 {
+				out = append(out, Finding{Warn, fmt.Sprintf("%s.MMER[%d]", where, j),
+					"ForbiddenCardinality 1 denies every listed role to every user once the context has opened; this is a blanket deny, not a separation of duties (did you mean 2?)"})
+			}
 		}
 
 		// 4. MMEP privileges that no grant allows can never be exercised,
 		// so the constraint position is dead (often a target URI typo).
 		for j, m := range mp.MMEP {
+			// 4b. Same blanket-deny trap as 3b, for privileges: the
+			// current request alone reaches cardinality 1.
+			if m.ForbiddenCardinality == 1 {
+				out = append(out, Finding{Warn, fmt.Sprintf("%s.MMEP[%d]", where, j),
+					"ForbiddenCardinality 1 denies every listed privilege to every user once the context has opened; this is a blanket deny, not a separation of duties (did you mean 2?)"})
+			}
 			seen := map[PrivilegeRef]bool{}
 			for _, pr := range m.AllPrivileges() {
 				if seen[pr] {
@@ -171,10 +184,37 @@ func lintMSoD(p *RBACPolicy, declaredRoles map[string]bool, grants map[[2]string
 			}
 		}
 
-		// 6. No last step means unbounded history (§4.3) — worth flagging.
-		if mp.LastStep == nil {
+	}
+
+	// 6. Purgeability: a policy without a LastStep never terminates its
+	// own context instances (§4.3). If another policy's last step covers
+	// an equal-or-broader context, its purge also clears this policy's
+	// records — that is only an Info. If no policy can ever purge the
+	// context, its retained ADI grows without bound (§6's storage
+	// concern): Warn.
+	for i, mp := range p.MSoD.Policies {
+		if mp.LastStep != nil || contexts[i].Len() == 0 {
+			continue
+		}
+		where := fmt.Sprintf("MSoDPolicy[%d]", i)
+		purger := -1
+		for j, other := range p.MSoD.Policies {
+			if j == i || other.LastStep == nil || contexts[j].Len() == 0 {
+				continue
+			}
+			if contexts[j].Equal(contexts[i]) || bctx.Subsumes(contexts[j], contexts[i]) {
+				purger = j
+				break
+			}
+		}
+		if purger >= 0 {
 			out = append(out, Finding{Info, where,
-				"no LastStep: retained history for this context grows until an administrative purge (§4.3)"})
+				fmt.Sprintf("no LastStep, but MSoDPolicy[%d]'s last step terminates an equal-or-broader context (%q); its purge also clears this policy's records",
+					purger, contexts[purger])})
+		} else {
+			out = append(out, Finding{Warn, where,
+				fmt.Sprintf("unpurgeable business context %q: no policy's last step terminates it, so retained history grows without bound until an administrative purge (§4.3, §6)",
+					contexts[i])})
 		}
 	}
 

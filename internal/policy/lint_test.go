@@ -112,8 +112,64 @@ func TestLintMissingLastStep(t *testing.T) {
   </MSoDPolicySet>
 </RBACPolicy>`
 	fs := lint(t, doc)
-	if !hasFinding(fs, Info, "no LastStep") {
-		t.Errorf("missing unbounded-history note: %v", fs)
+	if !hasFinding(fs, Warn, "unpurgeable business context") {
+		t.Errorf("missing unpurgeable-context warning: %v", fs)
+	}
+}
+
+func TestLintPurgeableByBroaderPolicy(t *testing.T) {
+	// The second policy has no LastStep, but the first terminates an
+	// equal-or-broader context ("P=!" subsumes "P=!, Q=!"), so its purge
+	// also clears the second policy's records: Info, not Warn.
+	doc := `
+<RBACPolicy id="p">
+  <RoleList><Role value="A"/><Role value="B"/></RoleList>
+  <TargetAccessPolicy>
+    <Grant role="A" operation="op" target="t"/>
+    <Grant role="B" operation="op" target="t"/>
+    <Grant role="A" operation="finish" target="t"/>
+  </TargetAccessPolicy>
+  <MSoDPolicySet>
+    <MSoDPolicy BusinessContext="P=!">
+      <LastStep operation="finish" targetURI="t"/>
+      <MMER ForbiddenCardinality="2"><Role type="e" value="A"/><Role type="e" value="B"/></MMER>
+    </MSoDPolicy>
+    <MSoDPolicy BusinessContext="P=!, Q=!">
+      <MMER ForbiddenCardinality="2"><Role type="e" value="A"/><Role type="e" value="B"/></MMER>
+    </MSoDPolicy>
+  </MSoDPolicySet>
+</RBACPolicy>`
+	fs := lint(t, doc)
+	if !hasFinding(fs, Info, "also clears this policy's records") {
+		t.Errorf("missing purgeable-by-broader-policy note: %v", fs)
+	}
+	if hasFinding(fs, Warn, "unpurgeable business context") {
+		t.Errorf("unexpected unpurgeable warning when a broader last step exists: %v", fs)
+	}
+}
+
+func TestLintCardinalityOneBlanketDeny(t *testing.T) {
+	doc := `
+<RBACPolicy id="p">
+  <RoleList><Role value="A"/><Role value="B"/></RoleList>
+  <TargetAccessPolicy>
+    <Grant role="A" operation="op" target="t"/>
+    <Grant role="B" operation="op2" target="t"/>
+  </TargetAccessPolicy>
+  <MSoDPolicySet>
+    <MSoDPolicy BusinessContext="P=!">
+      <LastStep operation="op2" targetURI="t"/>
+      <MMER ForbiddenCardinality="1"><Role type="e" value="A"/><Role type="e" value="B"/></MMER>
+      <MMEP ForbiddenCardinality="1"><Privilege operation="op" target="t"/><Privilege operation="op2" target="t"/></MMEP>
+    </MSoDPolicy>
+  </MSoDPolicySet>
+</RBACPolicy>`
+	fs := lint(t, doc)
+	if !hasFinding(fs, Warn, "denies every listed role") {
+		t.Errorf("missing MMER blanket-deny warning: %v", fs)
+	}
+	if !hasFinding(fs, Warn, "denies every listed privilege") {
+		t.Errorf("missing MMEP blanket-deny warning: %v", fs)
 	}
 }
 

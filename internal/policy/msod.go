@@ -163,8 +163,12 @@ func (p *MSoDPolicy) Validate() error {
 		if len(m.Roles) < 2 {
 			return fmt.Errorf("%w: MMER %d has %d roles, need >= 2", ErrInvalid, i, len(m.Roles))
 		}
-		if m.ForbiddenCardinality < 2 || m.ForbiddenCardinality > len(m.Roles) {
-			return fmt.Errorf("%w: MMER %d cardinality %d outside 2..%d", ErrInvalid, i, m.ForbiddenCardinality, len(m.Roles))
+		// Cardinality 1 is structurally legal — it denies every
+		// constrained request after the context-opening one (which the
+		// engine records without a constraint check, §4.2 step 4) —
+		// but almost never the intent; Lint warns on it.
+		if m.ForbiddenCardinality < 1 || m.ForbiddenCardinality > len(m.Roles) {
+			return fmt.Errorf("%w: MMER %d cardinality %d outside 1..%d", ErrInvalid, i, m.ForbiddenCardinality, len(m.Roles))
 		}
 		seen := make(map[RoleRef]bool, len(m.Roles))
 		for _, r := range m.Roles {
@@ -182,8 +186,8 @@ func (p *MSoDPolicy) Validate() error {
 		if len(privs) < 2 {
 			return fmt.Errorf("%w: MMEP %d has %d privileges, need >= 2", ErrInvalid, i, len(privs))
 		}
-		if m.ForbiddenCardinality < 2 || m.ForbiddenCardinality > len(privs) {
-			return fmt.Errorf("%w: MMEP %d cardinality %d outside 2..%d", ErrInvalid, i, m.ForbiddenCardinality, len(privs))
+		if m.ForbiddenCardinality < 1 || m.ForbiddenCardinality > len(privs) {
+			return fmt.Errorf("%w: MMEP %d cardinality %d outside 1..%d", ErrInvalid, i, m.ForbiddenCardinality, len(privs))
 		}
 		for j, pr := range privs {
 			if pr.Operation == "" || pr.Target == "" {

@@ -130,8 +130,8 @@ func TestMSoDValidationErrors(t *testing.T) {
 		{"one role", `<MSoDPolicySet><MSoDPolicy BusinessContext="A=!">
 			<MMER ForbiddenCardinality="2"><Role type="t" value="a"/></MMER>
 			</MSoDPolicy></MSoDPolicySet>`},
-		{"cardinality 1", `<MSoDPolicySet><MSoDPolicy BusinessContext="A=!">
-			<MMER ForbiddenCardinality="1"><Role type="t" value="a"/><Role type="t" value="b"/></MMER>
+		{"cardinality 0", `<MSoDPolicySet><MSoDPolicy BusinessContext="A=!">
+			<MMER ForbiddenCardinality="0"><Role type="t" value="a"/><Role type="t" value="b"/></MMER>
 			</MSoDPolicy></MSoDPolicySet>`},
 		{"cardinality too big", `<MSoDPolicySet><MSoDPolicy BusinessContext="A=!">
 			<MMER ForbiddenCardinality="3"><Role type="t" value="a"/><Role type="t" value="b"/></MMER>

@@ -103,6 +103,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		obsv.WriteGauge(w, "msod_constraints_near_limit",
 			"Tracked constraint tuples at k == m-1: the next conflicting activation is denied.", float64(sum.ConstraintsNearLimit))
 	}
+	degraded := 0.0
+	if s.introspectionDegraded {
+		degraded = 1
+	}
+	obsv.WriteGauge(w, "msod_introspection_degraded",
+		"1 when the PDP store exposes no browse surface (no /v1/state, no context gauges).", degraded)
 	if s.sentinel != nil {
 		s.sentinel.WriteMetrics(w)
 		obsv.WriteCounter(w, "msod_sentinel_refusals_total",
@@ -110,6 +116,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			s.metrics.sentinelRefusals.Load())
 	}
 	for _, g := range s.gauges {
+		//msod:ignore metricname forwarding loop: each name is vetted as a literal at its WithGauge registration site
 		obsv.WriteGauge(w, g.name, g.help, g.fn())
 	}
 	obsv.WriteBuildInfo(w, "msodd")

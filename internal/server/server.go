@@ -118,6 +118,12 @@ type Server struct {
 	broker             *inspect.Broker
 	sentinel           *inspect.Sentinel
 	sentinelFailClosed bool
+
+	// introspectionDegraded is set when the PDP's store exposes no
+	// browse surface, so /v1/state (and the inspector summary gauges)
+	// are disabled. Exported as msod_introspection_degraded so the
+	// operator sees the loss instead of silently missing series.
+	introspectionDegraded bool
 }
 
 // Option configures a Server.
@@ -155,8 +161,16 @@ func New(p *pdp.PDP, opts ...Option) *Server {
 	if s.browser == nil {
 		// Every store shipped with the repo exposes the read-only browse
 		// surface, so introspection is on by default; a custom Recorder
-		// without it just loses /v1/state.
-		s.browser, _ = adi.BrowserFor(p.Store())
+		// without it loses /v1/state — surfaced, not silent.
+		browser, ok := adi.BrowserFor(p.Store())
+		if ok {
+			s.browser = browser
+		} else {
+			s.introspectionDegraded = true
+			if s.log != nil {
+				s.log.Warn("introspection degraded: PDP store exposes no browse surface; /v1/state and context gauges disabled")
+			}
+		}
 	}
 	if s.browser != nil {
 		s.inspector = inspect.NewInspector(p.Engine(), s.browser, s.broker)
