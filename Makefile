@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race cover bench fuzz experiments cluster examples lint clean
+.PHONY: all build test test-race cover bench fuzz experiments cluster chaos examples lint clean
 
 all: build test
 
@@ -36,6 +36,13 @@ experiments:
 # Cluster-scale throughput experiment (sharded gateway, E16).
 cluster:
 	$(GO) run ./cmd/msodbench -e E16
+
+# Full fault-injection torture: power-loss crash-recovery schedules,
+# chaotic transport, overload shedding, degraded read-only mode.
+chaos:
+	$(GO) test -race -count=1 ./internal/fault
+	$(GO) test -race -run 'TestAdmission|TestClientRetriesShedRequest|TestDegradedReadOnlyLatch' ./internal/server
+	$(GO) test -race -run 'TestClusterShed|TestClusterChaoticTransport|TestBreaker' ./internal/cluster
 
 examples:
 	$(GO) run ./examples/quickstart

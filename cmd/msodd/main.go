@@ -64,6 +64,8 @@ type options struct {
 	adiDir             string
 	adiSecret          string
 	adiSync            bool
+	maxInFlight        int
+	shedRetryAfter     time.Duration
 	slowLog            time.Duration
 	pprofAddr          string
 	pprofAllowRemote   bool
@@ -85,6 +87,8 @@ func parseFlags(args []string) (*options, error) {
 	fs.StringVar(&o.adiDir, "adi", "", "durable retained-ADI directory (self-recovering; overrides -recover)")
 	fs.StringVar(&o.adiSecret, "adi-secret-file", "", "file holding the durable ADI secret")
 	fs.BoolVar(&o.adiSync, "adi-sync", false, "fsync every durable-ADI mutation")
+	fs.IntVar(&o.maxInFlight, "max-inflight", 0, "shed decision/management requests beyond this many in flight (0 = unbounded)")
+	fs.DurationVar(&o.shedRetryAfter, "shed-retry-after", time.Second, "Retry-After hint on shed (503) responses")
 	fs.DurationVar(&o.slowLog, "slowlog", 0, "log decisions slower than this (0 disables; 1ns logs every decision)")
 	fs.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this address (empty disables; binds loopback unless -pprof-allow-remote)")
 	fs.BoolVar(&o.pprofAllowRemote, "pprof-allow-remote", false, "allow -pprof to bind a non-loopback address (profiling endpoints expose process internals)")
@@ -321,6 +325,9 @@ func serverOptions(o *options, d *deps, logger *slog.Logger) []msod.ServerOption
 	}
 	if o.slowLog > 0 {
 		opts = append(opts, msod.WithDecisionLog(logger, o.slowLog))
+	}
+	if o.maxInFlight > 0 {
+		opts = append(opts, msod.WithServerAdmissionLimit(o.maxInFlight, o.shedRetryAfter))
 	}
 	if ds, ok := d.store.(*msod.ADIDurableStore); ok {
 		opts = append(opts,

@@ -56,6 +56,8 @@ type options struct {
 	backoff          time.Duration
 	probe            time.Duration
 	failAfter        int
+	breakerAfter     int
+	breakerCooldown  time.Duration
 	slowLog          time.Duration
 	pprofAddr        string
 	pprofAllowRemote bool
@@ -102,6 +104,8 @@ func parseFlags(args []string) (*options, error) {
 	fs.DurationVar(&o.backoff, "retry-backoff", 25*time.Millisecond, "initial retry backoff (doubles per attempt)")
 	fs.DurationVar(&o.probe, "probe", 5*time.Second, "health-probe interval")
 	fs.IntVar(&o.failAfter, "fail-after", 2, "consecutive failures before a shard is marked down")
+	fs.IntVar(&o.breakerAfter, "breaker-after", 5, "consecutive transport failures before a shard's circuit breaker opens")
+	fs.DurationVar(&o.breakerCooldown, "breaker-cooldown", 5*time.Second, "how long an open circuit refuses traffic before a half-open probe")
 	fs.DurationVar(&o.slowLog, "slowlog", 0, "log routed decisions slower than this (0 disables; 1ns logs every decision)")
 	fs.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this address (empty disables; binds loopback unless -pprof-allow-remote)")
 	fs.BoolVar(&o.pprofAllowRemote, "pprof-allow-remote", false, "allow -pprof to bind a non-loopback address (profiling endpoints expose process internals)")
@@ -162,14 +166,16 @@ func main() {
 		slow = time.Duration(1<<63 - 1)
 	}
 	gw, err := cluster.New(cluster.Config{
-		Shards:       o.shards,
-		VirtualNodes: o.vnodes,
-		Timeout:      o.timeout,
-		Retries:      o.retries,
-		RetryBackoff: o.backoff,
-		FailAfter:    o.failAfter,
-		Logger:       logger,
-		SlowLog:      slow,
+		Shards:          o.shards,
+		VirtualNodes:    o.vnodes,
+		Timeout:         o.timeout,
+		Retries:         o.retries,
+		RetryBackoff:    o.backoff,
+		FailAfter:       o.failAfter,
+		BreakerAfter:    o.breakerAfter,
+		BreakerCooldown: o.breakerCooldown,
+		Logger:          logger,
+		SlowLog:         slow,
 	})
 	if err != nil {
 		fatalf("msodgw: %v", err)

@@ -8,6 +8,7 @@ import (
 	"crypto/sha256"
 	"encoding/base64"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -16,8 +17,17 @@ import (
 	"time"
 
 	"msod/internal/bctx"
+	"msod/internal/fsx"
 	"msod/internal/rbac"
 )
+
+// ErrWriteFailed marks a durable-store mutation that failed at the
+// disk layer (EIO, ENOSPC, failed fsync). The acknowledged state is
+// unchanged — the mutation was refused, not half-applied — but the
+// store can no longer promise durability for new writes, so callers
+// (the PDP server) treat it as the trigger for degraded read-only
+// mode. Test with errors.Is.
+var ErrWriteFailed = errors.New("adi: durable write failed")
 
 // DurableStore is the paper's §6 successor design for the retained ADI:
 // instead of rebuilding history from audit trails at every start-up, the
@@ -39,8 +49,9 @@ type DurableStore struct {
 	dir  string
 	aead cipher.AEAD
 	snap *SecureStore
+	fs   fsx.FS
 
-	wal *os.File
+	wal fsx.File
 	w   *bufio.Writer
 	// sync makes every mutation fsync before returning.
 	sync bool
@@ -76,10 +87,17 @@ const (
 // whether each mutation is fsynced (durable against power loss) or only
 // flushed to the OS (durable against process crash).
 func OpenDurable(dir string, secret []byte, syncEveryWrite bool) (*DurableStore, error) {
+	return OpenDurableFS(dir, secret, syncEveryWrite, fsx.OS)
+}
+
+// OpenDurableFS is OpenDurable over an injected filesystem. The fault
+// torture tests use it to crash the store at every write, fsync and
+// rename and then reopen over the surviving bytes.
+func OpenDurableFS(dir string, secret []byte, syncEveryWrite bool, fs fsx.FS) (*DurableStore, error) {
 	if len(secret) == 0 {
 		return nil, fmt.Errorf("adi: empty durable store secret")
 	}
-	if err := os.MkdirAll(dir, 0o700); err != nil {
+	if err := fs.MkdirAll(dir, 0o700); err != nil {
 		return nil, fmt.Errorf("adi: create durable dir: %w", err)
 	}
 	key := sha256.Sum256(append([]byte("msod-durable-wal:"), secret...))
@@ -91,7 +109,7 @@ func OpenDurable(dir string, secret []byte, syncEveryWrite bool) (*DurableStore,
 	if err != nil {
 		return nil, fmt.Errorf("adi: gcm: %w", err)
 	}
-	snap, err := NewSecureStore(filepath.Join(dir, durableSnapshotName), secret)
+	snap, err := NewSecureStoreFS(filepath.Join(dir, durableSnapshotName), secret, fs)
 	if err != nil {
 		return nil, err
 	}
@@ -100,6 +118,7 @@ func OpenDurable(dir string, secret []byte, syncEveryWrite bool) (*DurableStore,
 		dir:  dir,
 		aead: aead,
 		snap: snap,
+		fs:   fs,
 		sync: syncEveryWrite,
 	}
 	if err := ds.checkKey(); err != nil {
@@ -110,7 +129,7 @@ func OpenDurable(dir string, secret []byte, syncEveryWrite bool) (*DurableStore,
 		return nil, err
 	}
 	ds.recoveryDur = time.Since(recoverStart)
-	wal, err := os.OpenFile(filepath.Join(dir, durableWALName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
+	wal, err := fs.OpenFile(filepath.Join(dir, durableWALName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
 	if err != nil {
 		return nil, fmt.Errorf("adi: open wal: %w", err)
 	}
@@ -124,16 +143,29 @@ func OpenDurable(dir string, secret []byte, syncEveryWrite bool) (*DurableStore,
 const durableKeyCheckName = "keycheck.sealed"
 
 // checkKey verifies (or, for a fresh store, installs) the key-check
-// marker.
+// marker. The install is a durable write — a torn marker after power
+// loss would make every later open fail as a secret mismatch.
 func (ds *DurableStore) checkKey() error {
 	path := filepath.Join(ds.dir, durableKeyCheckName)
-	sealed, err := os.ReadFile(path)
+	sealed, err := ds.fs.ReadFile(path)
 	if os.IsNotExist(err) {
 		line, serr := ds.sealEntry(walEntry{Op: "keycheck"})
 		if serr != nil {
 			return serr
 		}
-		return os.WriteFile(path, line, 0o600)
+		f, werr := ds.fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o600)
+		if werr != nil {
+			return fmt.Errorf("adi: create keycheck: %w", werr)
+		}
+		if _, werr := f.Write(line); werr != nil {
+			f.Close()
+			return fmt.Errorf("adi: write keycheck: %w", werr)
+		}
+		if werr := f.Sync(); werr != nil {
+			f.Close()
+			return fmt.Errorf("adi: sync keycheck: %w", werr)
+		}
+		return f.Close()
 	}
 	if err != nil {
 		return fmt.Errorf("adi: read keycheck: %w", err)
@@ -153,7 +185,7 @@ func (ds *DurableStore) recover() error {
 		return fmt.Errorf("adi: durable recovery: %w", err)
 	}
 	walPath := filepath.Join(ds.dir, durableWALName)
-	f, err := os.Open(walPath)
+	f, err := ds.fs.Open(walPath)
 	if os.IsNotExist(err) {
 		return nil
 	}
@@ -187,7 +219,7 @@ func (ds *DurableStore) recover() error {
 				return fmt.Errorf("adi: wal line %d corrupt mid-log: %w", lineNo, err)
 			}
 			// Torn tail: truncate it away and finish recovery.
-			if terr := os.Truncate(walPath, goodBytes); terr != nil {
+			if terr := ds.fs.Truncate(walPath, goodBytes); terr != nil {
 				return fmt.Errorf("adi: truncate torn wal: %w", terr)
 			}
 			ds.walOps = lineNo - 1
@@ -294,14 +326,14 @@ func (ds *DurableStore) logLocked(e walEntry) error {
 		return err
 	}
 	if _, err := ds.w.Write(append(line, '\n')); err != nil {
-		return fmt.Errorf("adi: write wal: %w", err)
+		return fmt.Errorf("%w: write wal: %w", ErrWriteFailed, err)
 	}
 	if err := ds.w.Flush(); err != nil {
-		return fmt.Errorf("adi: flush wal: %w", err)
+		return fmt.Errorf("%w: flush wal: %w", ErrWriteFailed, err)
 	}
 	if ds.sync {
 		if err := ds.wal.Sync(); err != nil {
-			return fmt.Errorf("adi: sync wal: %w", err)
+			return fmt.Errorf("%w: sync wal: %w", ErrWriteFailed, err)
 		}
 	}
 	if err := ds.applyEntry(e); err != nil {
@@ -421,7 +453,7 @@ func (ds *DurableStore) DiskUsage() int64 {
 	}
 	var total int64
 	for _, name := range []string{durableSnapshotName, durableWALName} {
-		if fi, err := os.Stat(filepath.Join(ds.dir, name)); err == nil {
+		if fi, err := ds.fs.Stat(filepath.Join(ds.dir, name)); err == nil {
 			total += fi.Size()
 		}
 	}
@@ -435,14 +467,14 @@ func (ds *DurableStore) Compact() error {
 	ds.mu.Lock()
 	defer ds.mu.Unlock()
 	if err := ds.w.Flush(); err != nil {
-		return fmt.Errorf("adi: flush before compact: %w", err)
+		return fmt.Errorf("%w: flush before compact: %w", ErrWriteFailed, err)
 	}
 	if err := ds.snap.Save(ds.mem.All()); err != nil {
-		return err
+		return fmt.Errorf("%w: %w", ErrWriteFailed, err)
 	}
 	// Snapshot durably installed; the log can be reset.
 	if err := ds.wal.Truncate(0); err != nil {
-		return fmt.Errorf("adi: truncate wal: %w", err)
+		return fmt.Errorf("%w: truncate wal: %w", ErrWriteFailed, err)
 	}
 	if _, err := ds.wal.Seek(0, 0); err != nil {
 		return fmt.Errorf("adi: rewind wal: %w", err)

@@ -8,7 +8,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
+
+	"msod/internal/fsx"
 )
 
 // SecureStore persists retained-ADI snapshots to an AES-256-GCM
@@ -19,6 +22,7 @@ import (
 type SecureStore struct {
 	path string
 	aead cipher.AEAD
+	fs   fsx.FS
 }
 
 // wireRecord is the serialised form of a Record; the business context is
@@ -46,6 +50,12 @@ const snapshotVersion = 1
 // the PDP's storage credential; key management proper is outside the
 // paper's scope.
 func NewSecureStore(path string, secret []byte) (*SecureStore, error) {
+	return NewSecureStoreFS(path, secret, fsx.OS)
+}
+
+// NewSecureStoreFS is NewSecureStore over an injected filesystem, so
+// fault-injection tests can fail or tear the snapshot's writes.
+func NewSecureStoreFS(path string, secret []byte, fs fsx.FS) (*SecureStore, error) {
 	if len(secret) == 0 {
 		return nil, fmt.Errorf("adi: empty secure store secret")
 	}
@@ -58,11 +68,15 @@ func NewSecureStore(path string, secret []byte) (*SecureStore, error) {
 	if err != nil {
 		return nil, fmt.Errorf("adi: gcm: %w", err)
 	}
-	return &SecureStore{path: path, aead: aead}, nil
+	return &SecureStore{path: path, aead: aead, fs: fs}, nil
 }
 
 // Save seals the given records into the snapshot file, replacing any
-// previous snapshot atomically (write to temp file then rename).
+// previous snapshot atomically: write to a temp file, fsync it, rename
+// over the target, then fsync the parent directory. Without the two
+// fsyncs a power failure can leave the "atomic" snapshot torn (temp
+// content not on disk at rename) or lost (directory entry not on
+// disk).
 func (ss *SecureStore) Save(recs []Record) error {
 	//msod:ignore clockuse snapshot-file Saved stamp is operator metadata; record timestamps inside are preserved verbatim
 	snap := snapshot{Version: snapshotVersion, Saved: time.Now().UTC(), Records: make([]wireRecord, len(recs))}
@@ -79,20 +93,49 @@ func (ss *SecureStore) Save(recs []Record) error {
 	}
 	sealed := ss.aead.Seal(nonce, nonce, plain, nil)
 	tmp := ss.path + ".tmp"
-	if err := os.WriteFile(tmp, sealed, 0o600); err != nil {
+	f, err := ss.fs.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o600)
+	if err != nil {
+		return fmt.Errorf("adi: create snapshot temp: %w", err)
+	}
+	if _, err := f.Write(sealed); err != nil {
+		f.Close()
 		return fmt.Errorf("adi: write snapshot: %w", err)
 	}
-	if err := os.Rename(tmp, ss.path); err != nil {
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("adi: sync snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("adi: close snapshot temp: %w", err)
+	}
+	if err := ss.fs.Rename(tmp, ss.path); err != nil {
 		return fmt.Errorf("adi: install snapshot: %w", err)
 	}
+	if err := syncDir(ss.fs, filepath.Dir(ss.path)); err != nil {
+		return fmt.Errorf("adi: sync snapshot dir: %w", err)
+	}
 	return nil
+}
+
+// syncDir fsyncs a directory so a just-completed rename inside it is
+// durable.
+func syncDir(fs fsx.FS, dir string) error {
+	d, err := fs.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
 }
 
 // Load opens and verifies the snapshot file and returns its records. A
 // missing file yields an empty slice and no error; a tampered or
 // wrongly-keyed file yields an error.
 func (ss *SecureStore) Load() ([]Record, error) {
-	sealed, err := os.ReadFile(ss.path)
+	sealed, err := ss.fs.ReadFile(ss.path)
 	if os.IsNotExist(err) {
 		return nil, nil
 	}

@@ -9,9 +9,15 @@ import (
 )
 
 // Emit re-emits msod_dup (already emitted by internal/server) and
-// declares msod_thing_total with two different label-key sets.
+// declares msod_thing_total with two different label-key sets. The
+// degradation families repeat both sins: msod_shed_total gains a
+// second emitter (internal/server has the first) and the breaker
+// gauge destabilises its label keys.
 func Emit(w io.Writer) {
 	obsv.WriteGauge(w, "msod_dup", "h", 4)
 	io.WriteString(w, `msod_thing_total{shard="a"} 1`)
 	io.WriteString(w, `msod_thing_total{zone="b"} 1`)
+	obsv.WriteCounter(w, "msod_shed_total", "h", 5)
+	io.WriteString(w, `msodgw_breaker_state{shard="a"} 2`)
+	io.WriteString(w, `msodgw_breaker_state{state="open"} 1`)
 }

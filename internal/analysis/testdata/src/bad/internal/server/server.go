@@ -19,9 +19,12 @@ func New() *Server {
 	return s
 }
 
-// Metrics emits one family with a bad name and one from a non-constant.
+// Metrics emits one family with a bad name, one from a non-constant,
+// and the first of msod_shed_total's two emitters (internal/extra has
+// the other).
 func Metrics(w io.Writer, name string) {
 	obsv.WriteCounter(w, "badly_named_total", "h", 1)
 	obsv.WriteCounter(w, name, "h", 2)
 	obsv.WriteGauge(w, "msod_dup", "h", 3)
+	obsv.WriteCounter(w, "msod_shed_total", "h", 9)
 }

@@ -5,3 +5,6 @@ import "io"
 
 // WriteCounter mimics the counter emitter (family name at arg 1).
 func WriteCounter(w io.Writer, name, help string, v int64) {}
+
+// WriteGauge mimics the gauge emitter (family name at arg 1).
+func WriteGauge(w io.Writer, name, help string, v float64) {}

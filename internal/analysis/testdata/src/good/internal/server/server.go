@@ -4,6 +4,7 @@
 package server
 
 import (
+	"fmt"
 	"io"
 	"sync"
 
@@ -11,9 +12,15 @@ import (
 	"goodmod/internal/obsv"
 )
 
-// Metrics emits one well-named family from a literal.
+// Metrics emits one well-named family from a literal, the degradation
+// families, and a labelled gauge whose label-key set stays stable
+// across series — the msodgw_breaker_state idiom.
 func Metrics(w io.Writer) {
 	obsv.WriteCounter(w, "msod_fixture_total", "Fixture counter.", 1)
+	obsv.WriteCounter(w, "msod_shed_total", "Requests shed by admission control.", 0)
+	obsv.WriteGauge(w, "msod_degraded_readonly", "Durable-write-failure read-only latch.", 0)
+	fmt.Fprintf(w, "msodgw_breaker_state{shard=%q} %d\n", "a", 0)
+	fmt.Fprintf(w, "msodgw_breaker_state{shard=%q} %d\n", "b", 2)
 }
 
 // Store appends outside its critical section.

@@ -9,6 +9,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"msod/internal/fsx"
 )
 
 // Writer appends decision events to HMAC-chained trail segments in a
@@ -23,8 +25,9 @@ type Writer struct {
 	dir     string
 	key     []byte
 	segSize int
+	fs      fsx.FS
 
-	f       *os.File
+	f       fsx.File
 	w       *bufio.Writer
 	seq     uint64 // last sequence number written
 	lastMAC []byte
@@ -39,16 +42,24 @@ const DefaultSegmentSize = 4096
 // NewWriter opens (or creates) the trail directory and positions the
 // writer after the last existing entry.
 func NewWriter(dir string, key []byte, segmentSize int) (*Writer, error) {
+	return NewWriterFS(dir, key, segmentSize, fsx.OS)
+}
+
+// NewWriterFS is NewWriter over an injected filesystem: the write path
+// (segment opens, appends, the torn-tail truncation at resume) goes
+// through fs so fault tests can fail or tear it, while verification
+// reads stay on the real filesystem they share with the Reader.
+func NewWriterFS(dir string, key []byte, segmentSize int, fs fsx.FS) (*Writer, error) {
 	if len(key) == 0 {
 		return nil, fmt.Errorf("audit: empty trail key")
 	}
 	if segmentSize <= 0 {
 		segmentSize = DefaultSegmentSize
 	}
-	if err := os.MkdirAll(dir, 0o700); err != nil {
+	if err := fs.MkdirAll(dir, 0o700); err != nil {
 		return nil, fmt.Errorf("audit: create trail dir: %w", err)
 	}
-	w := &Writer{dir: dir, key: append([]byte(nil), key...), segSize: segmentSize, lastMAC: genesisMAC(key)}
+	w := &Writer{dir: dir, key: append([]byte(nil), key...), segSize: segmentSize, fs: fs, lastMAC: genesisMAC(key)}
 
 	segs, err := Segments(dir)
 	if err != nil {
@@ -69,7 +80,7 @@ func NewWriter(dir string, key []byte, segmentSize int) (*Writer, error) {
 			// last complete entry verified, so drop the partial bytes and
 			// resume from there (the paper's §5.2 reconstruction point).
 			path := filepath.Join(dir, torn.seg)
-			if err := os.Truncate(path, torn.off); err != nil {
+			if err := fs.Truncate(path, torn.off); err != nil {
 				return nil, fmt.Errorf("audit: discard torn entry in %s: %w", torn.seg, err)
 			}
 		}
@@ -153,7 +164,7 @@ func (w *Writer) ensureSegmentLocked() error {
 		w.inSeg = 0
 	}
 	name := segmentName(w.segIdx)
-	f, err := os.OpenFile(filepath.Join(w.dir, name), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
+	f, err := w.fs.OpenFile(filepath.Join(w.dir, name), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
 	if err != nil {
 		return fmt.Errorf("audit: open segment %s: %w", name, err)
 	}
@@ -176,6 +187,13 @@ func (w *Writer) closeSegmentLocked() error {
 	}
 	if err := w.w.Flush(); err != nil {
 		return fmt.Errorf("audit: flush segment: %w", err)
+	}
+	// Sealing is a durability point: once the writer moves on to the
+	// next segment, this one is never appended to again, and a power
+	// loss that tore its un-fsynced tail would read as tampering (an
+	// unrepairable chain break) instead of a truncated live segment.
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("audit: sync segment: %w", err)
 	}
 	if err := w.f.Close(); err != nil {
 		return fmt.Errorf("audit: close segment: %w", err)

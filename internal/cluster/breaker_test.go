@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// testClock is a manually advanced clock for breaker tests.
+type testClock struct{ t time.Time }
+
+func (c *testClock) now() time.Time          { return c.t }
+func (c *testClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newTestBreaker(threshold int, cooldown time.Duration) (*Breaker, *testClock) {
+	b := NewBreaker([]string{"s1", "s2"}, threshold, cooldown)
+	clk := &testClock{t: time.Unix(1_000_000, 0)}
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Minute)
+	for i := 0; i < 2; i++ {
+		if !b.Allow("s1") {
+			t.Fatalf("refused while closed (failure %d)", i)
+		}
+		b.Failure("s1")
+	}
+	if st := b.State("s1"); st != BreakerClosed {
+		t.Fatalf("state after 2 failures = %v", st)
+	}
+	b.Failure("s1")
+	if st := b.State("s1"); st != BreakerOpen {
+		t.Fatalf("state after 3 failures = %v", st)
+	}
+	if b.Allow("s1") {
+		t.Fatal("open circuit allowed a request")
+	}
+	// The other shard's circuit is independent.
+	if !b.Allow("s2") {
+		t.Fatal("s2 tripped by s1's failures")
+	}
+}
+
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Minute)
+	b.Failure("s1")
+	if b.Allow("s1") {
+		t.Fatal("open circuit allowed a request")
+	}
+	clk.advance(time.Minute)
+	if st := b.State("s1"); st != BreakerHalfOpen {
+		t.Fatalf("state after cooldown = %v", st)
+	}
+	if !b.Allow("s1") {
+		t.Fatal("half-open refused the probe")
+	}
+	// Only one probe until its outcome lands.
+	if b.Allow("s1") {
+		t.Fatal("half-open allowed a second concurrent probe")
+	}
+	b.Success("s1")
+	if st := b.State("s1"); st != BreakerClosed {
+		t.Fatalf("state after probe success = %v", st)
+	}
+	if !b.Allow("s1") {
+		t.Fatal("closed circuit refused")
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Minute)
+	b.Failure("s1")
+	clk.advance(time.Minute)
+	if !b.Allow("s1") {
+		t.Fatal("probe refused")
+	}
+	b.Failure("s1")
+	if st := b.State("s1"); st != BreakerOpen {
+		t.Fatalf("state after failed probe = %v", st)
+	}
+	if b.Allow("s1") {
+		t.Fatal("reopened circuit allowed a request")
+	}
+	// Cooldown restarts from the probe failure.
+	clk.advance(30 * time.Second)
+	if b.Allow("s1") {
+		t.Fatal("allowed before restarted cooldown elapsed")
+	}
+	clk.advance(30 * time.Second)
+	if !b.Allow("s1") {
+		t.Fatal("probe refused after restarted cooldown")
+	}
+}
+
+func TestBreakerSuccessResetsConsecutive(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Minute)
+	b.Failure("s1")
+	b.Failure("s1")
+	b.Success("s1")
+	b.Failure("s1")
+	b.Failure("s1")
+	if st := b.State("s1"); st != BreakerClosed {
+		t.Fatalf("state = %v, want closed (streak broken by success)", st)
+	}
+}
+
+func TestBreakerRetryAfter(t *testing.T) {
+	b, clk := newTestBreaker(1, 10*time.Second)
+	b.Failure("s1")
+	if d := b.RetryAfter("s1"); d != 10*time.Second {
+		t.Fatalf("RetryAfter = %v, want 10s", d)
+	}
+	clk.advance(7 * time.Second)
+	if d := b.RetryAfter("s1"); d != 3*time.Second {
+		t.Fatalf("RetryAfter = %v, want 3s", d)
+	}
+	clk.advance(4 * time.Second)
+	if d := b.RetryAfter("s1"); d != time.Second {
+		t.Fatalf("RetryAfter past cooldown = %v, want the 1s floor", d)
+	}
+	if d := b.RetryAfter("unknown"); d != time.Second {
+		t.Fatalf("RetryAfter unknown shard = %v", d)
+	}
+}
+
+func TestBreakerUnknownShardAlwaysAllowed(t *testing.T) {
+	b, _ := newTestBreaker(1, time.Minute)
+	if !b.Allow("nope") {
+		t.Fatal("unknown shard refused")
+	}
+	b.Failure("nope") // must not panic or create state
+	if st := b.State("nope"); st != BreakerClosed {
+		t.Fatalf("unknown shard state = %v", st)
+	}
+}
+
+func TestBreakerStatesSnapshot(t *testing.T) {
+	b, _ := newTestBreaker(1, time.Minute)
+	b.Failure("s2")
+	got := b.States()
+	if got["s1"] != BreakerClosed || got["s2"] != BreakerOpen {
+		t.Fatalf("States = %v", got)
+	}
+	if BreakerClosed.GaugeValue() != 0 || BreakerHalfOpen.GaugeValue() != 1 || BreakerOpen.GaugeValue() != 2 {
+		t.Fatal("gauge encoding changed; update msodgw_breaker_state HELP text")
+	}
+}
+
+func TestJitterBackoffBounds(t *testing.T) {
+	base := 100 * time.Millisecond
+	for i := 0; i < 200; i++ {
+		d := jitterBackoff(base)
+		if d < 75*time.Millisecond || d > 125*time.Millisecond {
+			t.Fatalf("jitterBackoff(%v) = %v outside ±25%%", base, d)
+		}
+	}
+	if jitterBackoff(0) != 0 {
+		t.Fatal("jitterBackoff(0) != 0")
+	}
+}

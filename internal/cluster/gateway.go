@@ -9,8 +9,10 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	mrand "math/rand"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -52,6 +54,14 @@ type Config struct {
 	// FailAfter is the consecutive-failure threshold that marks a
 	// shard Down (default 2).
 	FailAfter int
+	// BreakerAfter is the consecutive transport-failure threshold that
+	// opens a shard's circuit breaker on the request path (default 5).
+	// The breaker trips faster than the probe-driven Checker and sheds
+	// load off a failing shard between probes.
+	BreakerAfter int
+	// BreakerCooldown is how long an open circuit refuses traffic
+	// before admitting a half-open probe request (default 5s).
+	BreakerCooldown time.Duration
 	// HTTPClient, when non-nil, is the shared transport for all shard
 	// traffic.
 	HTTPClient *http.Client
@@ -72,6 +82,7 @@ type gwMetrics struct {
 	unavailable atomic.Int64 // requests failed closed (503)
 	retries     atomic.Int64 // same-shard transport retries
 	misrouted   atomic.Int64 // answers withheld: resolved subject owned by another shard
+	broken      atomic.Int64 // requests refused by an open circuit breaker
 	badRequests atomic.Int64
 	mgmtFanouts atomic.Int64
 	// stateQueries counts /v1/state lookups (routed or fanned out);
@@ -90,6 +101,7 @@ type Gateway struct {
 	cfg     Config
 	ring    *Ring
 	checker *Checker
+	breaker *Breaker
 	mux     *http.ServeMux
 	metrics gwMetrics
 	start   time.Time
@@ -120,6 +132,12 @@ func New(cfg Config) (*Gateway, error) {
 	if cfg.FailAfter == 0 {
 		cfg.FailAfter = 2
 	}
+	if cfg.BreakerAfter <= 0 {
+		cfg.BreakerAfter = 5
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 5 * time.Second
+	}
 	g := &Gateway{
 		cfg:     cfg,
 		ring:    NewRing(cfg.VirtualNodes),
@@ -136,11 +154,15 @@ func New(cfg Config) (*Gateway, error) {
 			return nil, fmt.Errorf("cluster: duplicate shard id %q", s.ID)
 		}
 		g.addrs[s.ID] = s.BaseURL
-		g.clients[s.ID] = server.NewClient(s.BaseURL, cfg.HTTPClient, server.WithTimeout(cfg.Timeout))
+		// Shed retries are off on shard clients: when a shard sheds load
+		// (503 + Retry-After), the gateway forwards the hint to the PEP
+		// instead of blocking a gateway worker on the shard's backlog.
+		g.clients[s.ID] = server.NewClient(s.BaseURL, cfg.HTTPClient, server.WithTimeout(cfg.Timeout), server.WithShedRetries(0))
 		g.ring.Add(s.ID)
 		ids = append(ids, s.ID)
 	}
 	g.checker = NewChecker(ids, g.probe, cfg.FailAfter)
+	g.breaker = NewBreaker(ids, cfg.BreakerAfter, cfg.BreakerCooldown)
 	g.mux = http.NewServeMux()
 	g.mux.HandleFunc(server.DecisionPath, func(w http.ResponseWriter, r *http.Request) {
 		g.handleRouted(w, r, true, (*server.Client).DecisionCtx)
@@ -160,6 +182,10 @@ func New(cfg Config) (*Gateway, error) {
 // Checker exposes the health tracker (for probing control and
 // shutdown).
 func (g *Gateway) Checker() *Checker { return g.checker }
+
+// Breaker exposes the per-shard circuit breaker (for tests and
+// introspection).
+func (g *Gateway) Breaker() *Breaker { return g.breaker }
 
 // Close stops background probing.
 func (g *Gateway) Close() { g.checker.Stop() }
@@ -193,7 +219,7 @@ func (g *Gateway) SetShardAddr(id, baseURL string) error {
 		return fmt.Errorf("cluster: unknown shard %q", id)
 	}
 	g.addrs[id] = baseURL
-	g.clients[id] = server.NewClient(baseURL, g.cfg.HTTPClient, server.WithTimeout(g.cfg.Timeout))
+	g.clients[id] = server.NewClient(baseURL, g.cfg.HTTPClient, server.WithTimeout(g.cfg.Timeout), server.WithShedRetries(0))
 	return nil
 }
 
@@ -315,6 +341,15 @@ func (g *Gateway) handleRouted(w http.ResponseWriter, r *http.Request, record bo
 			fmt.Sprintf("shard %s (owner of user %q) is down; failing closed", shard, key))
 		return
 	}
+	if !g.breaker.Allow(shard) {
+		g.metrics.broken.Add(1)
+		g.metrics.unavailable.Add(1)
+		g.logRefusal(traceID, key, shard, "circuit breaker open; failing closed")
+		w.Header().Set("Retry-After", strconv.Itoa(int(g.breaker.RetryAfter(shard)/time.Second)))
+		errorJSON(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("shard %s (owner of user %q) circuit open after repeated transport failures; failing closed", shard, key))
+		return
+	}
 	client, _ := g.client(shard)
 	g.metrics.routed.Add(1)
 	if record && req.RequestID == "" {
@@ -326,14 +361,21 @@ func (g *Gateway) handleRouted(w http.ResponseWriter, r *http.Request, record bo
 	for attempt := 0; attempt <= g.cfg.Retries; attempt++ {
 		if attempt > 0 {
 			g.metrics.retries.Add(1)
-			time.Sleep(backoff)
+			// Context-aware, jittered backoff: a dead client connection
+			// stops retrying immediately, and the ±25% jitter keeps a
+			// recovering shard from being hit by a synchronized wave of
+			// retries from every waiting request.
+			if !sleepContext(ctx, jitterBackoff(backoff)) {
+				break
+			}
 			backoff *= 2
-			if !g.checker.Up(shard) {
+			if !g.checker.Up(shard) || g.breaker.State(shard) == BreakerOpen {
 				break // went down while we backed off; stop hammering
 			}
 		}
 		resp, err := call(client, ctx, req)
 		if err == nil {
+			g.breaker.Success(shard)
 			if owner, ok := g.ring.Lookup(resp.User); resp.User == "" || !ok || owner != shard {
 				g.metrics.misrouted.Add(1)
 				g.logRefusal(traceID, key, shard,
@@ -350,17 +392,49 @@ func (g *Gateway) handleRouted(w http.ResponseWriter, r *http.Request, record bo
 		var apiErr *server.APIError
 		if errors.As(err, &apiErr) {
 			// The shard answered deliberately (bad context, no subject,
-			// forbidden): forward its verdict, do not retry.
+			// forbidden, shedding): forward its verdict — including any
+			// Retry-After hint — and do not retry.
+			g.breaker.Success(shard)
+			if apiErr.RetryAfter > 0 {
+				w.Header().Set("Retry-After", strconv.Itoa(int(apiErr.RetryAfter/time.Second)))
+			}
 			errorJSON(w, apiErr.Status, apiErr.Message)
 			return
 		}
 		lastErr = err
 		g.checker.ReportFailure(shard, err)
+		g.breaker.Failure(shard)
 	}
 	g.metrics.unavailable.Add(1)
 	g.logRefusal(traceID, key, shard, fmt.Sprintf("shard unreachable (%v); failing closed", lastErr))
 	errorJSON(w, http.StatusServiceUnavailable,
 		fmt.Sprintf("shard %s unreachable (%v); failing closed", shard, lastErr))
+}
+
+// jitterBackoff spreads one backoff delay uniformly over ±25%, so
+// retries from many concurrent requests against the same recovering
+// shard don't land as one synchronized wave.
+func jitterBackoff(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return d*3/4 + time.Duration(mrand.Int63n(int64(d)/2+1))
+}
+
+// sleepContext waits out d unless the context ends first, reporting
+// whether the full wait completed.
+func sleepContext(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
 }
 
 // logDecision emits the structured per-decision line when the
@@ -519,20 +593,25 @@ func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
 	policies := map[string]bool{}
 	type shardHealth struct {
 		State    string `json:"state"`
+		Breaker  string `json:"breaker,omitempty"`
 		Policy   string `json:"policy,omitempty"`
 		LastErr  string `json:"lastError,omitempty"`
 		Failures int    `json:"consecutiveFailures,omitempty"`
 	}
+	breakers := g.breaker.States()
 	shards := make(map[string]shardHealth, len(statuses))
 	for id, st := range statuses {
 		if st.State != Up {
+			overall = "degraded"
+		}
+		if breakers[id] != BreakerClosed {
 			overall = "degraded"
 		}
 		if st.PolicyID != "" {
 			policies[st.PolicyID] = true
 		}
 		shards[id] = shardHealth{
-			State: st.State.String(), Policy: st.PolicyID,
+			State: st.State.String(), Breaker: breakers[id].String(), Policy: st.PolicyID,
 			LastErr: st.LastErr, Failures: st.Consecutive,
 		}
 	}
@@ -711,6 +790,7 @@ func (g *Gateway) writeOwnMetrics(w io.Writer) {
 	obsv.WriteCounter(w, "msodgw_management_fanouts_total", "Management operations fanned out to all shards.", g.metrics.mgmtFanouts.Load())
 	obsv.WriteCounter(w, "msodgw_state_queries_total", "Introspection state lookups served (routed or fanned out).", g.metrics.stateQueries.Load())
 	obsv.WriteCounter(w, "msodgw_event_streams_total", "Decision event fan-in streams opened.", g.metrics.eventStreams.Load())
+	obsv.WriteCounter(w, "msodgw_breaker_refused_total", "Requests refused by an open circuit breaker (also counted in msodgw_unavailable_total).", g.metrics.broken.Load())
 	fmt.Fprintf(w, "# HELP msodgw_shard_up Shard availability (1 up, 0 down).\n# TYPE msodgw_shard_up gauge\n")
 	statuses := g.checker.Statuses()
 	ids := make([]string, 0, len(statuses))
@@ -724,5 +804,10 @@ func (g *Gateway) writeOwnMetrics(w io.Writer) {
 			up = 1
 		}
 		fmt.Fprintf(w, "msodgw_shard_up{shard=%q} %d\n", id, up)
+	}
+	fmt.Fprintf(w, "# HELP msodgw_breaker_state Per-shard circuit state (0 closed, 1 half-open, 2 open).\n# TYPE msodgw_breaker_state gauge\n")
+	states := g.breaker.States()
+	for _, id := range ids {
+		fmt.Fprintf(w, "msodgw_breaker_state{shard=%q} %d\n", id, states[id].GaugeValue())
 	}
 }

@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"msod/internal/fault"
+	"msod/internal/server"
+)
+
+// newFaultCluster wires one stub shard behind a gateway whose shard
+// traffic runs through a fault-injecting transport. Retries are
+// disabled and the Checker threshold set high so the breaker — not the
+// retry loop or the health checker — is the mechanism under test.
+func newFaultCluster(t *testing.T, cooldown time.Duration) (*Gateway, string, *fault.RoundTripper, *stubShard) {
+	t.Helper()
+	rt := fault.NewRoundTripper(nil, 1)
+	shard := newStubShard(t, "pol-1")
+	gw, err := New(Config{
+		Shards:          []Shard{{ID: "shard00", BaseURL: shard.ts.URL}},
+		Retries:         -1,
+		FailAfter:       1000,
+		BreakerAfter:    3,
+		BreakerCooldown: cooldown,
+		HTTPClient:      &http.Client{Transport: rt},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(gw.Close)
+	gts := httptest.NewServer(gw)
+	t.Cleanup(gts.Close)
+	return gw, gts.URL, rt, shard
+}
+
+func decisionReq(user string) server.DecisionRequest {
+	return server.DecisionRequest{
+		User:      user,
+		Roles:     []string{"Teller"},
+		Operation: "open-account",
+		Target:    "acct",
+		Context:   "Branch=York, Period=2006",
+	}
+}
+
+// TestGatewayBreakerTripsOnResets drives injected connection resets
+// through the gateway until the shard's circuit opens, then checks the
+// fail-fast 503 (with Retry-After), the /v1/metrics gauge, and the
+// half-open recovery once the transport heals.
+func TestGatewayBreakerTripsOnResets(t *testing.T) {
+	gw, gts, rt, shard := newFaultCluster(t, 300*time.Millisecond)
+	// First three shard requests die as connection resets.
+	for i := 1; i <= 3; i++ {
+		rt.InjectAt(i, fault.Trip{Kind: fault.TripReset})
+	}
+	// Shed retries off: the raw 503s are the thing under test.
+	cli := server.NewClient(gts, nil, server.WithShedRetries(0))
+
+	for i := 0; i < 3; i++ {
+		_, err := cli.Decision(decisionReq("alice"))
+		var apiErr *server.APIError
+		if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+			t.Fatalf("request %d: err = %v, want transport-failure 503", i, err)
+		}
+	}
+	if st := gw.Breaker().State("shard00"); st != BreakerOpen {
+		t.Fatalf("breaker state after 3 resets = %v, want open", st)
+	}
+
+	// Open circuit: refused before the shard is contacted, with a
+	// Retry-After hint.
+	before := rt.Requests()
+	_, err := cli.Decision(decisionReq("alice"))
+	var apiErr *server.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("breaker-open err = %v, want 503", err)
+	}
+	if !strings.Contains(apiErr.Message, "circuit open") {
+		t.Fatalf("breaker-open message = %q", apiErr.Message)
+	}
+	if apiErr.RetryAfter <= 0 {
+		t.Fatalf("breaker-open 503 missing Retry-After hint (got %v)", apiErr.RetryAfter)
+	}
+	if rt.Requests() != before {
+		t.Fatal("open breaker still sent the request to the shard")
+	}
+
+	// The gauge is observable on the gateway's own scrape (the shard
+	// scrape rides the same faulty-but-healed transport).
+	body := getBody(t, gts+server.MetricsPath)
+	if !strings.Contains(body, `msodgw_breaker_state{shard="shard00"} 2`) {
+		t.Fatalf("metrics missing open breaker gauge:\n%s", body)
+	}
+	if !strings.Contains(body, "msodgw_breaker_refused_total 1") {
+		t.Fatalf("metrics missing breaker refusal counter:\n%s", body)
+	}
+
+	// After the cooldown the next request is the half-open probe; the
+	// transport is healed, so it closes the circuit.
+	time.Sleep(350 * time.Millisecond)
+	resp, err := cli.Decision(decisionReq("alice"))
+	if err != nil || !resp.Allowed {
+		t.Fatalf("probe decision after cooldown: %+v, %v", resp, err)
+	}
+	if st := gw.Breaker().State("shard00"); st != BreakerClosed {
+		t.Fatalf("breaker state after successful probe = %v, want closed", st)
+	}
+	body = getBody(t, gts+server.MetricsPath)
+	if !strings.Contains(body, `msodgw_breaker_state{shard="shard00"} 0`) {
+		t.Fatalf("metrics missing closed breaker gauge:\n%s", body)
+	}
+	if got := len(shard.drainUsers()); got != 1 {
+		t.Fatalf("shard served %d decisions, want exactly the probe", got)
+	}
+}
+
+// TestClientWaitsOutBreakerRetryAfter is the shed-retry satellite end
+// to end: a client with its default shed-retry budget sees the
+// breaker's 503 + Retry-After, waits it out, and transparently gets
+// the decision once the circuit admits its probe.
+func TestClientWaitsOutBreakerRetryAfter(t *testing.T) {
+	gw, gts, rt, _ := newFaultCluster(t, 500*time.Millisecond)
+	for i := 1; i <= 3; i++ {
+		rt.InjectAt(i, fault.Trip{Kind: fault.TripReset})
+	}
+	cli := server.NewClient(gts, nil, server.WithShedRetries(0))
+	for i := 0; i < 3; i++ {
+		if _, err := cli.Decision(decisionReq("alice")); err == nil {
+			t.Fatal("expected transport-failure 503")
+		}
+	}
+	if st := gw.Breaker().State("shard00"); st != BreakerOpen {
+		t.Fatalf("breaker state = %v, want open", st)
+	}
+
+	// Default client: the breaker-open 503 carries Retry-After (floor
+	// 1s > cooldown), so one transparent retry lands as the probe.
+	patient := server.NewClient(gts, nil)
+	start := time.Now()
+	resp, err := patient.Decision(decisionReq("alice"))
+	if err != nil || !resp.Allowed {
+		t.Fatalf("decision through shed retry: %+v, %v", resp, err)
+	}
+	if waited := time.Since(start); waited < 500*time.Millisecond {
+		t.Fatalf("client answered in %v — it cannot have waited out Retry-After", waited)
+	}
+}
+
+func getBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

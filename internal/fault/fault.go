@@ -1,0 +1,63 @@
+// Package fault is a deterministic, seeded fault-injection layer for
+// the durability and transport paths: a filesystem (FS) that can fail
+// or tear writes, fail fsyncs, and simulate a whole-process crash with
+// power-loss semantics at an exact operation index, and an HTTP
+// RoundTripper that injects delays, connection resets and 5xx answers.
+//
+// Everything is driven by an explicit per-operation plan plus a seeded
+// PRNG for tear points, so a failing schedule replays bit-for-bit from
+// its seed. The package is stdlib-only and imports nothing above
+// internal/fsx, so any layer of the tree can use it in tests.
+package fault
+
+import "errors"
+
+// Kind is one injectable filesystem fault.
+type Kind int
+
+const (
+	// None leaves the operation untouched.
+	None Kind = iota
+	// EIO fails the operation outright; nothing reaches the disk.
+	EIO
+	// ENoSpace writes a torn prefix of the data, then fails — the
+	// classic disk-full mid-append.
+	ENoSpace
+	// SyncFail makes an fsync report failure without making the data
+	// durable; on a non-sync operation it behaves like EIO.
+	SyncFail
+	// Crash simulates power loss at this operation: a torn prefix of
+	// the in-flight write may reach the disk, every file loses a
+	// random-length tail of its un-fsynced bytes, un-fsynced renames
+	// may be rolled back, and every later operation fails ErrCrashed.
+	Crash
+)
+
+// String names the kind for test logs.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case EIO:
+		return "eio"
+	case ENoSpace:
+		return "enospc"
+	case SyncFail:
+		return "syncfail"
+	case Crash:
+		return "crash"
+	}
+	return "unknown"
+}
+
+// Injected fault errors. They deliberately do not implement any
+// net/os error interfaces: callers must treat them as opaque I/O
+// failures, exactly as they would a real EIO.
+var (
+	// ErrEIO is the injected generic I/O failure.
+	ErrEIO = errors.New("fault: injected I/O error")
+	// ErrNoSpace is the injected disk-full failure.
+	ErrNoSpace = errors.New("fault: injected ENOSPC")
+	// ErrCrashed fails every operation after an injected crash point.
+	ErrCrashed = errors.New("fault: filesystem crashed")
+)

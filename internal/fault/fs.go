@@ -1,0 +1,470 @@
+package fault
+
+import (
+	"fmt"
+	"io/fs"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"msod/internal/fsx"
+)
+
+// FS wraps a base filesystem (usually fsx.OS over a temp directory)
+// and injects faults according to a per-operation plan. Mutating
+// operations — file writes, fsyncs, truncates, renames, whole-file
+// writes — are numbered from 1 in execution order; InjectAt arms a
+// fault at one of those indices. Reads are never faulted and never
+// counted, so recovery code sharing the FS observes exactly what a
+// real disk would hold.
+//
+// Durability model: bytes written to a file are volatile until a
+// successful Sync on that file; a rename is volatile until a
+// successful Sync on its parent directory. An injected Crash keeps a
+// seeded-random prefix of each file's volatile tail (torn writes) and
+// rolls un-fsynced renames back with a seeded coin flip, then fails
+// every subsequent operation with ErrCrashed. After a crash the
+// backing directory holds exactly the surviving bytes, so the system
+// under test is reopened over it with the plain OS filesystem.
+//
+// FS is safe for concurrent use; a crash point makes the interleaving
+// deterministic only under a sequential workload, which is what the
+// torture tests run.
+type FS struct {
+	base fsx.FS
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	plan    map[int]Kind
+	ops     int
+	crashed bool
+	files   map[string]*fileState
+	renames []renameRec
+}
+
+// fileState tracks one path's durability horizon.
+type fileState struct {
+	// syncedLen is the byte length guaranteed to survive a crash.
+	syncedLen int64
+}
+
+// renameRec is one rename whose directory entry is not yet durable.
+type renameRec struct {
+	oldPath, newPath string
+	prevNew          []byte
+	prevNewExisted   bool
+}
+
+// NewFS builds a fault-injecting filesystem over base. The seed fixes
+// every random choice (tear points, rename rollback), so one (seed,
+// plan, workload) triple replays identically.
+func NewFS(base fsx.FS, seed int64) *FS {
+	return &FS{
+		base:  base,
+		rng:   rand.New(rand.NewSource(seed)),
+		plan:  make(map[int]Kind),
+		files: make(map[string]*fileState),
+	}
+}
+
+// InjectAt arms a fault at the op-th mutating operation (1-based).
+func (f *FS) InjectAt(op int, kind Kind) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.plan[op] = kind
+}
+
+// Ops reports how many mutating operations have been issued so far —
+// run a workload once fault-free to learn its op count, then pick
+// crash points inside it.
+func (f *FS) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Crashed reports whether an injected crash point has fired.
+func (f *FS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// CrashNow triggers the crash semantics immediately, outside any
+// planned operation index.
+func (f *FS) CrashNow() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashLocked()
+}
+
+// next advances the op counter and returns the armed fault.
+func (f *FS) nextLocked() Kind {
+	f.ops++
+	k, ok := f.plan[f.ops]
+	if !ok {
+		return None
+	}
+	return k
+}
+
+// touchLocked returns (creating if needed) the durability state for a
+// path, seeding the horizon with the file's current size: bytes that
+// pre-exist the FS are treated as durable.
+func (f *FS) touchLocked(path string) *fileState {
+	st, ok := f.files[path]
+	if !ok {
+		st = &fileState{}
+		if fi, err := f.base.Stat(path); err == nil && !fi.IsDir() {
+			st.syncedLen = fi.Size()
+		}
+		f.files[path] = st
+	}
+	return st
+}
+
+// crashLocked applies power-loss semantics: roll back volatile
+// renames (coin flip each), then truncate every tracked file to its
+// durable horizon plus a random torn tail.
+func (f *FS) crashLocked() {
+	if f.crashed {
+		return
+	}
+	f.crashed = true
+	for i := len(f.renames) - 1; i >= 0; i-- {
+		r := f.renames[i]
+		if f.rng.Intn(2) == 0 {
+			continue // the directory entry made it to disk anyway
+		}
+		// Lost rename: the content moves back to the old name and the
+		// previous target content (if any) reappears.
+		if data, err := f.base.ReadFile(r.newPath); err == nil {
+			_ = f.base.WriteFile(r.oldPath, data, 0o600)
+		}
+		if r.prevNewExisted {
+			_ = f.base.WriteFile(r.newPath, r.prevNew, 0o600)
+		} else {
+			_ = f.base.Remove(r.newPath)
+		}
+	}
+	f.renames = nil
+	for path, st := range f.files {
+		fi, err := f.base.Stat(path)
+		if err != nil || fi.IsDir() {
+			continue
+		}
+		size := fi.Size()
+		if size <= st.syncedLen {
+			continue
+		}
+		keep := st.syncedLen + f.rng.Int63n(size-st.syncedLen+1)
+		_ = f.base.Truncate(path, keep)
+	}
+}
+
+// statSize returns a path's current size (0 when absent).
+func (f *FS) statSize(path string) int64 {
+	if fi, err := f.base.Stat(path); err == nil {
+		return fi.Size()
+	}
+	return 0
+}
+
+// --- fsx.FS implementation ---
+
+// OpenFile opens a file through the fault layer. Opening with O_TRUNC
+// resets the durable horizon: the emptied state is as volatile as a
+// fresh write.
+func (f *FS) OpenFile(name string, flag int, perm fs.FileMode) (fsx.File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return nil, ErrCrashed
+	}
+	file, err := f.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	st := f.touchLocked(name)
+	if flag&os.O_TRUNC != 0 {
+		st.syncedLen = 0
+	}
+	return &faultFile{fs: f, f: file, path: name}, nil
+}
+
+// Open opens a file or directory read-only (reads are never faulted,
+// but the handle still routes Sync through the fault layer so
+// directory fsyncs are observable).
+func (f *FS) Open(name string) (fsx.File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return nil, ErrCrashed
+	}
+	file, err := f.base.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, f: file, path: name}, nil
+}
+
+// ReadFile passes through (reads see the real bytes).
+func (f *FS) ReadFile(name string) ([]byte, error) {
+	f.mu.Lock()
+	crashed := f.crashed
+	f.mu.Unlock()
+	if crashed {
+		return nil, ErrCrashed
+	}
+	return f.base.ReadFile(name)
+}
+
+// WriteFile writes a whole file as one mutating operation; the new
+// content is entirely volatile until a Sync on the file.
+func (f *FS) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	st := f.touchLocked(name)
+	switch k := f.nextLocked(); k {
+	case EIO, SyncFail:
+		return ErrEIO
+	case ENoSpace:
+		st.syncedLen = 0
+		_ = f.base.WriteFile(name, data[:f.rng.Intn(len(data)+1)], perm)
+		return ErrNoSpace
+	case Crash:
+		st.syncedLen = 0
+		_ = f.base.WriteFile(name, data[:f.rng.Intn(len(data)+1)], perm)
+		f.crashLocked()
+		return ErrCrashed
+	}
+	st.syncedLen = 0
+	return f.base.WriteFile(name, data, perm)
+}
+
+// Rename performs the rename but records it as volatile until the
+// parent directory of the new path is fsynced.
+func (f *FS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	switch f.nextLocked() {
+	case EIO, SyncFail, ENoSpace:
+		return ErrEIO
+	case Crash:
+		f.crashLocked()
+		return ErrCrashed
+	}
+	rec := renameRec{oldPath: oldpath, newPath: newpath}
+	if data, err := f.base.ReadFile(newpath); err == nil {
+		rec.prevNew, rec.prevNewExisted = data, true
+	}
+	if err := f.base.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	// The old path's durability state now describes the new path.
+	if st, ok := f.files[oldpath]; ok {
+		f.files[newpath] = st
+		delete(f.files, oldpath)
+	} else {
+		f.touchLocked(newpath)
+	}
+	f.renames = append(f.renames, rec)
+	return nil
+}
+
+// Truncate shrinks (or grows) a path as one mutating operation.
+func (f *FS) Truncate(name string, size int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	switch f.nextLocked() {
+	case EIO, SyncFail, ENoSpace:
+		return ErrEIO
+	case Crash:
+		f.crashLocked()
+		return ErrCrashed
+	}
+	if err := f.base.Truncate(name, size); err != nil {
+		return err
+	}
+	st := f.touchLocked(name)
+	if size < st.syncedLen {
+		st.syncedLen = size
+	}
+	return nil
+}
+
+// MkdirAll passes through uncounted (directory creation is assumed
+// durable; modelling lost directories adds nothing the stores check).
+func (f *FS) MkdirAll(path string, perm fs.FileMode) error {
+	f.mu.Lock()
+	crashed := f.crashed
+	f.mu.Unlock()
+	if crashed {
+		return ErrCrashed
+	}
+	return f.base.MkdirAll(path, perm)
+}
+
+// Stat passes through.
+func (f *FS) Stat(name string) (fs.FileInfo, error) {
+	f.mu.Lock()
+	crashed := f.crashed
+	f.mu.Unlock()
+	if crashed {
+		return nil, ErrCrashed
+	}
+	return f.base.Stat(name)
+}
+
+// Remove deletes a path as one mutating operation.
+func (f *FS) Remove(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	switch f.nextLocked() {
+	case EIO, SyncFail, ENoSpace:
+		return ErrEIO
+	case Crash:
+		f.crashLocked()
+		return ErrCrashed
+	}
+	delete(f.files, name)
+	return f.base.Remove(name)
+}
+
+var _ fsx.FS = (*FS)(nil)
+
+// faultFile is one open handle routed through the fault layer.
+type faultFile struct {
+	fs   *FS
+	f    fsx.File
+	path string
+}
+
+func (ff *faultFile) Read(p []byte) (int, error) { return ff.f.Read(p) }
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	ff.fs.mu.Lock()
+	defer ff.fs.mu.Unlock()
+	if ff.fs.crashed {
+		return 0, ErrCrashed
+	}
+	ff.fs.touchLocked(ff.path)
+	switch ff.fs.nextLocked() {
+	case EIO, SyncFail:
+		return 0, ErrEIO
+	case ENoSpace:
+		n := ff.fs.rng.Intn(len(p) + 1)
+		if n > 0 {
+			_, _ = ff.f.Write(p[:n])
+		}
+		return n, ErrNoSpace
+	case Crash:
+		if n := ff.fs.rng.Intn(len(p) + 1); n > 0 {
+			_, _ = ff.f.Write(p[:n])
+		}
+		ff.fs.crashLocked()
+		return 0, ErrCrashed
+	}
+	return ff.f.Write(p)
+}
+
+// Sync advances the durability horizon — or, on a directory, makes
+// pending renames inside it durable.
+func (ff *faultFile) Sync() error {
+	ff.fs.mu.Lock()
+	defer ff.fs.mu.Unlock()
+	if ff.fs.crashed {
+		return ErrCrashed
+	}
+	switch ff.fs.nextLocked() {
+	case EIO, SyncFail, ENoSpace:
+		return ErrEIO
+	case Crash:
+		ff.fs.crashLocked()
+		return ErrCrashed
+	}
+	if err := ff.f.Sync(); err != nil {
+		return err
+	}
+	if fi, err := ff.fs.base.Stat(ff.path); err == nil && fi.IsDir() {
+		kept := ff.fs.renames[:0]
+		for _, r := range ff.fs.renames {
+			if filepath.Dir(r.newPath) != filepath.Clean(ff.path) {
+				kept = append(kept, r)
+			}
+		}
+		ff.fs.renames = kept
+		return nil
+	}
+	st := ff.fs.touchLocked(ff.path)
+	st.syncedLen = ff.fs.statSize(ff.path)
+	return nil
+}
+
+func (ff *faultFile) Truncate(size int64) error {
+	ff.fs.mu.Lock()
+	defer ff.fs.mu.Unlock()
+	if ff.fs.crashed {
+		return ErrCrashed
+	}
+	switch ff.fs.nextLocked() {
+	case EIO, SyncFail, ENoSpace:
+		return ErrEIO
+	case Crash:
+		ff.fs.crashLocked()
+		return ErrCrashed
+	}
+	if err := ff.f.Truncate(size); err != nil {
+		return err
+	}
+	st := ff.fs.touchLocked(ff.path)
+	if size < st.syncedLen {
+		st.syncedLen = size
+	}
+	return nil
+}
+
+func (ff *faultFile) Seek(offset int64, whence int) (int64, error) {
+	return ff.f.Seek(offset, whence)
+}
+
+func (ff *faultFile) Close() error {
+	// Close is not a durability point: closing never fsyncs.
+	return ff.f.Close()
+}
+
+func (ff *faultFile) Name() string { return ff.path }
+
+var _ fsx.File = (*faultFile)(nil)
+
+// DescribePlan renders a plan for test failure messages, ordered by
+// operation index.
+func DescribePlan(plan map[int]Kind) string {
+	ops := make([]int, 0, len(plan))
+	for op := range plan {
+		ops = append(ops, op)
+	}
+	sort.Ints(ops)
+	out := ""
+	for _, op := range ops {
+		if out != "" {
+			out += ","
+		}
+		out += fmt.Sprintf("%d:%s", op, plan[op])
+	}
+	return out
+}

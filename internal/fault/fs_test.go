@@ -1,0 +1,339 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"msod/internal/fsx"
+)
+
+func writeAll(t *testing.T, f fsx.File, data []byte) {
+	t.Helper()
+	if _, err := f.Write(data); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+}
+
+func TestFSPassthroughWhenUnarmed(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFS(fsx.OS, 1)
+	path := filepath.Join(dir, "a.txt")
+
+	f, err := ffs.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o600)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	writeAll(t, f, []byte("hello"))
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	got, err := ffs.ReadFile(path)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read back: %q, %v", got, err)
+	}
+	if ffs.Ops() != 2 { // write + sync
+		t.Fatalf("ops = %d, want 2", ffs.Ops())
+	}
+}
+
+func TestFSInjectEIO(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFS(fsx.OS, 1)
+	ffs.InjectAt(1, EIO)
+	path := filepath.Join(dir, "a.txt")
+
+	f, err := ffs.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o600)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := f.Write([]byte("hello")); !errors.Is(err, ErrEIO) {
+		t.Fatalf("write err = %v, want ErrEIO", err)
+	}
+	// Nothing reached the disk.
+	if got, _ := ffs.ReadFile(path); len(got) != 0 {
+		t.Fatalf("EIO leaked bytes: %q", got)
+	}
+	// The next write succeeds: the fault is one-shot.
+	writeAll(t, f, []byte("hello"))
+}
+
+func TestFSInjectENoSpaceTearsWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.txt")
+	data := []byte("0123456789")
+
+	torn := false
+	for seed := int64(1); seed <= 20; seed++ {
+		ffs := NewFS(fsx.OS, seed)
+		ffs.InjectAt(1, ENoSpace)
+		f, err := ffs.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o600)
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		n, err := f.Write(data)
+		if !errors.Is(err, ErrNoSpace) {
+			t.Fatalf("write err = %v, want ErrNoSpace", err)
+		}
+		f.Close()
+		got, rerr := os.ReadFile(path)
+		if rerr != nil {
+			t.Fatalf("read back: %v", rerr)
+		}
+		if len(got) != n || n > len(data) {
+			t.Fatalf("seed %d: reported n=%d but %d bytes on disk", seed, n, len(got))
+		}
+		if n > 0 && n < len(data) {
+			torn = true
+		}
+	}
+	if !torn {
+		t.Fatal("no seed in 1..20 produced a strictly-torn ENOSPC write")
+	}
+}
+
+func TestFSCrashLosesUnsyncedTail(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFS(fsx.OS, 7)
+	path := filepath.Join(dir, "wal")
+
+	f, err := ffs.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o600)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	writeAll(t, f, []byte("durable|")) // op 1
+	if err := f.Sync(); err != nil {   // op 2
+		t.Fatalf("sync: %v", err)
+	}
+	writeAll(t, f, []byte("volatile")) // op 3, never synced
+	ffs.InjectAt(4, Crash)
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crash write err = %v", err)
+	}
+	if !ffs.Crashed() {
+		t.Fatal("Crashed() = false after crash point")
+	}
+	// Every later op fails.
+	if _, err := ffs.OpenFile(path, os.O_RDWR, 0o600); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash open err = %v", err)
+	}
+	if _, err := ffs.ReadFile(path); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash read err = %v", err)
+	}
+
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read survivor: %v", err)
+	}
+	if len(got) < len("durable|") {
+		t.Fatalf("crash lost fsynced bytes: %q", got)
+	}
+	if string(got[:8]) != "durable|" {
+		t.Fatalf("durable prefix corrupted: %q", got)
+	}
+	if len(got) > len("durable|volatilex") {
+		t.Fatalf("crash grew the file: %q", got)
+	}
+}
+
+func TestFSCrashDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) string {
+		dir := t.TempDir()
+		ffs := NewFS(fsx.OS, seed)
+		path := filepath.Join(dir, "wal")
+		f, _ := ffs.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o600)
+		writeAll(t, f, []byte("aaaa"))
+		_ = f.Sync()
+		writeAll(t, f, []byte("bbbbbbbb"))
+		ffs.InjectAt(4, Crash)
+		_, _ = f.Write([]byte("cccc"))
+		got, _ := os.ReadFile(path)
+		return string(got)
+	}
+	if a, b := run(42), run(42); a != b {
+		t.Fatalf("same seed diverged: %q vs %q", a, b)
+	}
+}
+
+func TestFSRenameRollbackOnCrash(t *testing.T) {
+	// An un-fsynced rename must roll back for at least one seed and
+	// survive for at least one other — both outcomes are legal power-
+	// loss results and recovery must handle either.
+	rolledBack, survived := false, false
+	for seed := int64(1); seed <= 30 && (!rolledBack || !survived); seed++ {
+		dir := t.TempDir()
+		ffs := NewFS(fsx.OS, seed)
+		oldp := filepath.Join(dir, "snap.tmp")
+		newp := filepath.Join(dir, "snap")
+		if err := os.WriteFile(newp, []byte("old"), 0o600); err != nil {
+			t.Fatal(err)
+		}
+		if err := ffs.WriteFile(oldp, []byte("new"), 0o600); err != nil {
+			t.Fatalf("write tmp: %v", err)
+		}
+		// fsync the temp file so its content is durable either way.
+		f, err := ffs.OpenFile(oldp, os.O_RDWR, 0o600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		if err := ffs.Rename(oldp, newp); err != nil {
+			t.Fatalf("rename: %v", err)
+		}
+		ffs.CrashNow()
+		got, err := os.ReadFile(newp)
+		if err != nil {
+			t.Fatalf("seed %d: target vanished: %v", seed, err)
+		}
+		switch string(got) {
+		case "old":
+			rolledBack = true
+		case "new":
+			survived = true
+		default:
+			t.Fatalf("seed %d: target neither old nor new: %q", seed, got)
+		}
+	}
+	if !rolledBack || !survived {
+		t.Fatalf("rename crash outcomes not diverse: rolledBack=%v survived=%v", rolledBack, survived)
+	}
+}
+
+func TestFSDirSyncMakesRenameDurable(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		dir := t.TempDir()
+		ffs := NewFS(fsx.OS, seed)
+		oldp := filepath.Join(dir, "snap.tmp")
+		newp := filepath.Join(dir, "snap")
+		if err := ffs.WriteFile(oldp, []byte("new"), 0o600); err != nil {
+			t.Fatal(err)
+		}
+		f, err := ffs.OpenFile(oldp, os.O_RDWR, 0o600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		if err := ffs.Rename(oldp, newp); err != nil {
+			t.Fatal(err)
+		}
+		d, err := ffs.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		d.Close()
+		ffs.CrashNow()
+		got, err := os.ReadFile(newp)
+		if err != nil || string(got) != "new" {
+			t.Fatalf("seed %d: fsynced rename lost: %q, %v", seed, got, err)
+		}
+	}
+}
+
+func TestFSSyncFail(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFS(fsx.OS, 3)
+	path := filepath.Join(dir, "a")
+	f, err := ffs.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, f, []byte("data")) // op 1
+	ffs.InjectAt(2, SyncFail)
+	if err := f.Sync(); !errors.Is(err, ErrEIO) {
+		t.Fatalf("sync err = %v, want ErrEIO", err)
+	}
+	// The failed fsync left the bytes volatile: a crash may drop them.
+	ffs.CrashNow()
+	got, _ := os.ReadFile(path)
+	if len(got) > 4 {
+		t.Fatalf("file grew: %q", got)
+	}
+}
+
+func TestFSPreexistingBytesAreDurable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a")
+	if err := os.WriteFile(path, []byte("existing"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	ffs := NewFS(fsx.OS, 9)
+	f, err := ffs.OpenFile(path, os.O_RDWR|os.O_APPEND, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, f, []byte("-tail"))
+	ffs.CrashNow()
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) < len("existing") || string(got[:8]) != "existing" {
+		t.Fatalf("pre-existing bytes lost: %q", got)
+	}
+}
+
+func TestFSOpenTruncResetsHorizon(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a")
+	if err := os.WriteFile(path, []byte("existing"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	ffs := NewFS(fsx.OS, 5)
+	f, err := ffs.OpenFile(path, os.O_RDWR|os.O_TRUNC, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, f, []byte("n"))
+	ffs.CrashNow()
+	got, _ := os.ReadFile(path)
+	if string(got) == "existing" {
+		t.Fatalf("O_TRUNC horizon not reset: %q", got)
+	}
+	if len(got) > 1 {
+		t.Fatalf("unexpected survivor: %q", got)
+	}
+	_ = f
+}
+
+func TestFSSeekAndReadPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFS(fsx.OS, 2)
+	path := filepath.Join(dir, "a")
+	f, err := ffs.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, f, []byte("abcdef"))
+	if _, err := f.Seek(2, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 3)
+	if _, err := io.ReadFull(f, buf); err != nil || string(buf) != "cde" {
+		t.Fatalf("read after seek: %q, %v", buf, err)
+	}
+	if f.Name() != path {
+		t.Fatalf("Name = %q", f.Name())
+	}
+}
+
+func TestDescribePlan(t *testing.T) {
+	got := DescribePlan(map[int]Kind{7: Crash, 2: ENoSpace, 4: EIO})
+	want := "2:enospc,4:eio,7:crash"
+	if got != want {
+		t.Fatalf("DescribePlan = %q, want %q", got, want)
+	}
+}

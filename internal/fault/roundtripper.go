@@ -1,0 +1,156 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ErrReset is the injected transport failure (connection reset /
+// broken pipe class). http.Client surfaces it wrapped in *url.Error,
+// exactly like a real peer reset, so callers exercise their
+// transport-error paths — retries, breakers, fail-closed refusals.
+var ErrReset = errors.New("fault: injected connection reset")
+
+// TripKind is one injectable transport fault.
+type TripKind int
+
+const (
+	// TripNone forwards the request untouched.
+	TripNone TripKind = iota
+	// TripDelay sleeps before forwarding (slow shard / saturated link).
+	TripDelay
+	// TripReset fails the request with ErrReset without forwarding it.
+	TripReset
+	// Trip5xx synthesizes an HTTP error response without forwarding.
+	Trip5xx
+)
+
+// Trip configures one injected transport fault.
+type Trip struct {
+	Kind TripKind
+	// Delay is the TripDelay sleep (also applied before a Trip5xx when
+	// set, modelling a slow failing backend).
+	Delay time.Duration
+	// Status is the Trip5xx status code (503 when zero).
+	Status int
+	// RetryAfter, when non-empty, is sent as the Trip5xx response's
+	// Retry-After header.
+	RetryAfter string
+	// Body is the Trip5xx response body (a JSON error object when
+	// empty).
+	Body string
+}
+
+// RoundTripper wraps a base http.RoundTripper and injects transport
+// faults per request index (1-based, in execution order) or at a
+// seeded random rate. Deterministic under a sequential request
+// stream.
+type RoundTripper struct {
+	base http.RoundTripper
+
+	mu   sync.Mutex
+	rng  *rand.Rand
+	plan map[int]Trip
+	rate float64
+	ratT Trip
+	reqs int
+}
+
+// NewRoundTripper builds a fault-injecting transport over base (nil
+// means http.DefaultTransport), seeding its random choices.
+func NewRoundTripper(base http.RoundTripper, seed int64) *RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &RoundTripper{
+		base: base,
+		rng:  rand.New(rand.NewSource(seed)),
+		plan: make(map[int]Trip),
+	}
+}
+
+// InjectAt arms a fault at the n-th request (1-based).
+func (rt *RoundTripper) InjectAt(n int, trip Trip) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.plan[n] = trip
+}
+
+// InjectRate arms a fault on a seeded-random fraction of requests
+// with no per-index plan entry (0 disables).
+func (rt *RoundTripper) InjectRate(rate float64, trip Trip) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.rate, rt.ratT = rate, trip
+}
+
+// Requests reports how many requests have passed through.
+func (rt *RoundTripper) Requests() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.reqs
+}
+
+// RoundTrip implements http.RoundTripper.
+func (rt *RoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	rt.mu.Lock()
+	rt.reqs++
+	trip, planned := rt.plan[rt.reqs]
+	if !planned && rt.rate > 0 && rt.rng.Float64() < rt.rate {
+		trip = rt.ratT
+	}
+	rt.mu.Unlock()
+
+	if trip.Delay > 0 {
+		t := time.NewTimer(trip.Delay)
+		select {
+		case <-req.Context().Done():
+			t.Stop()
+			return nil, req.Context().Err()
+		case <-t.C:
+		}
+	}
+	switch trip.Kind {
+	case TripReset:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, ErrReset
+	case Trip5xx:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		status := trip.Status
+		if status == 0 {
+			status = http.StatusServiceUnavailable
+		}
+		body := trip.Body
+		if body == "" {
+			body = fmt.Sprintf("{\"error\":\"fault: injected %d\"}", status)
+		}
+		resp := &http.Response{
+			StatusCode: status,
+			Status:     fmt.Sprintf("%d %s", status, http.StatusText(status)),
+			Proto:      "HTTP/1.1",
+			ProtoMajor: 1,
+			ProtoMinor: 1,
+			Header:     make(http.Header),
+			Body:       io.NopCloser(bytes.NewReader([]byte(body))),
+			Request:    req,
+		}
+		resp.Header.Set("Content-Type", "application/json")
+		if trip.RetryAfter != "" {
+			resp.Header.Set("Retry-After", trip.RetryAfter)
+		}
+		return resp, nil
+	}
+	return rt.base.RoundTrip(req)
+}
+
+var _ http.RoundTripper = (*RoundTripper)(nil)

@@ -1,0 +1,132 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestRoundTripperPassthrough(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	rt := NewRoundTripper(nil, 1)
+	client := &http.Client{Transport: rt}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || string(body) != "ok" {
+		t.Fatalf("status %d body %q", resp.StatusCode, body)
+	}
+	if rt.Requests() != 1 {
+		t.Fatalf("Requests = %d", rt.Requests())
+	}
+}
+
+func TestRoundTripperReset(t *testing.T) {
+	hits := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+	}))
+	defer srv.Close()
+
+	rt := NewRoundTripper(nil, 1)
+	rt.InjectAt(1, Trip{Kind: TripReset})
+	client := &http.Client{Transport: rt}
+	if _, err := client.Get(srv.URL); err == nil || !errors.Is(err, ErrReset) {
+		t.Fatalf("err = %v, want wrapped ErrReset", err)
+	}
+	if hits != 0 {
+		t.Fatalf("request reached server despite reset")
+	}
+	// Next request flows normally.
+	resp, err := client.Get(srv.URL)
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("second get: %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestRoundTripper5xx(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t.Fatal("request must not reach the server")
+	}))
+	defer srv.Close()
+
+	rt := NewRoundTripper(nil, 1)
+	rt.InjectAt(1, Trip{Kind: Trip5xx, Status: 503, RetryAfter: "2"})
+	client := &http.Client{Transport: rt}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "2" {
+		t.Fatalf("Retry-After = %q", got)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if len(body) == 0 {
+		t.Fatal("empty synthesized body")
+	}
+}
+
+func TestRoundTripperDelayHonorsContext(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+
+	rt := NewRoundTripper(nil, 1)
+	rt.InjectAt(1, Trip{Kind: TripDelay, Delay: 10 * time.Second})
+	client := &http.Client{Transport: rt}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	start := time.Now()
+	_, err := client.Do(req)
+	if err == nil {
+		t.Fatal("expected context deadline error")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("delay ignored context cancellation")
+	}
+}
+
+func TestRoundTripperRateDeterministic(t *testing.T) {
+	count := func(seed int64) int {
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+		defer srv.Close()
+		rt := NewRoundTripper(nil, seed)
+		rt.InjectRate(0.5, Trip{Kind: Trip5xx, Status: 500})
+		client := &http.Client{Transport: rt}
+		n := 0
+		for i := 0; i < 40; i++ {
+			resp, err := client.Get(srv.URL)
+			if err != nil {
+				t.Fatalf("get: %v", err)
+			}
+			if resp.StatusCode == 500 {
+				n++
+			}
+			resp.Body.Close()
+		}
+		return n
+	}
+	a, b := count(11), count(11)
+	if a != b {
+		t.Fatalf("same seed diverged: %d vs %d", a, b)
+	}
+	if a == 0 || a == 40 {
+		t.Fatalf("rate injection degenerate: %d/40", a)
+	}
+}

@@ -1,0 +1,300 @@
+package fault_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"msod/internal/adi"
+	"msod/internal/audit"
+	"msod/internal/bctx"
+	"msod/internal/fault"
+	"msod/internal/fsx"
+	"msod/internal/pdp"
+	"msod/internal/policy"
+	"msod/internal/rbac"
+)
+
+// The crash-recovery torture: a PDP over the durable store and audit
+// trail, both on one fault-injected filesystem, is driven through a
+// seeded workload until a crash cuts power at a random disk operation.
+// The surviving bytes are reopened with the plain filesystem — the
+// restart after the outage — and the recovered PDP is checked against
+// a shadow PDP that saw exactly the acknowledged decisions:
+//
+//   - the recovered retained ADI holds exactly the acknowledged
+//     grants' records (no lost acks, no phantom half-writes), and
+//   - every probe request gets the same answer from both PDPs — in
+//     particular, nothing the shadow denies is granted after recovery
+//     (zero false grants), and
+//   - the audit chain verifies, or is a clean truncation that the
+//     next writer repairs to a verifying chain.
+//
+// The workload avoids last-step operations: a last step purges the
+// context in a WAL entry separate from the decision's record, and a
+// crash between the two is a (documented) atomicity gap of the
+// purge+append pair, not of single-entry commits. The durable store
+// commits each Append as one sealed WAL line, so the invariant here
+// is exact equality.
+
+const torturePolicyXML = `
+<RBACPolicy id="torture-1">
+  <RoleList>
+    <Role value="Clerk"/>
+    <Role value="Manager"/>
+  </RoleList>
+  <RoleAssignmentPolicy>
+    <Assignment soa="gov.tax.example" role="Clerk"/>
+    <Assignment soa="gov.tax.example" role="Manager"/>
+  </RoleAssignmentPolicy>
+  <TargetAccessPolicy>
+    <Grant role="Clerk" operation="prepareCheck" target="http://www.myTaxOffice.com/Check"/>
+    <Grant role="Manager" operation="approveCheck" target="http://www.myTaxOffice.com/Check"/>
+    <Grant role="Manager" operation="combineResults" target="http://secret.location.com/results"/>
+  </TargetAccessPolicy>
+  <MSoDPolicySet>
+    <MSoDPolicy BusinessContext="TaxOffice=!, taxRefundProcess=!">
+      <FirstStep operation="prepareCheck" targetURI="http://www.myTaxOffice.com/Check"/>
+      <MMEP ForbiddenCardinality="2">
+        <Operation value="prepareCheck" target="http://www.myTaxOffice.com/Check"/>
+        <Operation value="approveCheck" target="http://www.myTaxOffice.com/Check"/>
+      </MMEP>
+      <MMEP ForbiddenCardinality="2">
+        <Operation value="approveCheck" target="http://www.myTaxOffice.com/Check"/>
+        <Operation value="combineResults" target="http://secret.location.com/results"/>
+      </MMEP>
+    </MSoDPolicy>
+  </MSoDPolicySet>
+</RBACPolicy>`
+
+// tortureStep is one workload request plus the role that issues it.
+type tortureStep struct {
+	user rbac.UserID
+	role rbac.RoleName
+	op   rbac.Operation
+	tgt  rbac.Object
+	inst string
+}
+
+func (s tortureStep) request() pdp.Request {
+	return pdp.Request{
+		User:      s.user,
+		Roles:     []rbac.RoleName{s.role},
+		Operation: s.op,
+		Target:    s.tgt,
+		Context:   bctx.MustParse("TaxOffice=Leeds, taxRefundProcess=" + s.inst),
+	}
+}
+
+// genWorkload draws n seeded steps over a small population of clerks
+// and managers and four process instances — enough collisions that
+// MMEP denials, repeat grants and cross-context history all occur.
+func genWorkload(rng *rand.Rand, n int) []tortureStep {
+	clerks := []rbac.UserID{"c0", "c1", "c2", "c3"}
+	managers := []rbac.UserID{"m0", "m1", "m2"}
+	insts := []string{"p0", "p1", "p2", "p3"}
+	steps := make([]tortureStep, n)
+	for i := range steps {
+		inst := insts[rng.Intn(len(insts))]
+		switch rng.Intn(3) {
+		case 0:
+			steps[i] = tortureStep{
+				user: clerks[rng.Intn(len(clerks))], role: "Clerk",
+				op: "prepareCheck", tgt: "http://www.myTaxOffice.com/Check", inst: inst,
+			}
+		case 1:
+			steps[i] = tortureStep{
+				user: managers[rng.Intn(len(managers))], role: "Manager",
+				op: "approveCheck", tgt: "http://www.myTaxOffice.com/Check", inst: inst,
+			}
+		default:
+			steps[i] = tortureStep{
+				user: managers[rng.Intn(len(managers))], role: "Manager",
+				op: "combineResults", tgt: "http://secret.location.com/results", inst: inst,
+			}
+		}
+	}
+	return steps
+}
+
+// probeSteps is the full user x operation x instance grid used to
+// compare two PDPs advisory-for-advisory.
+func probeSteps() []tortureStep {
+	var probes []tortureStep
+	for _, inst := range []string{"p0", "p1", "p2", "p3"} {
+		for _, c := range []rbac.UserID{"c0", "c1", "c2", "c3"} {
+			probes = append(probes, tortureStep{
+				user: c, role: "Clerk",
+				op: "prepareCheck", tgt: "http://www.myTaxOffice.com/Check", inst: inst,
+			})
+		}
+		for _, m := range []rbac.UserID{"m0", "m1", "m2"} {
+			probes = append(probes,
+				tortureStep{user: m, role: "Manager", op: "approveCheck",
+					tgt: "http://www.myTaxOffice.com/Check", inst: inst},
+				tortureStep{user: m, role: "Manager", op: "combineResults",
+					tgt: "http://secret.location.com/results", inst: inst})
+		}
+	}
+	return probes
+}
+
+func TestCrashRecoveryTorture(t *testing.T) {
+	seeds := 60
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := 1; seed <= seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%02d", seed), func(t *testing.T) {
+			t.Parallel()
+			tortureOne(t, int64(seed))
+		})
+	}
+}
+
+func tortureOne(t *testing.T, seed int64) {
+	pol, err := policy.ParseRBACPolicy([]byte(torturePolicyXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	dir := t.TempDir()
+	adiDir := filepath.Join(dir, "adi")
+	trailDir := filepath.Join(dir, "trail")
+	secret := []byte("torture-secret")
+	trailKey := []byte("torture-trail-key")
+	clock := func() time.Time { return time.Unix(1_700_000_000, 0) }
+
+	ffs := fault.NewFS(fsx.OS, seed)
+	ds, err := adi.OpenDurableFS(adiDir, secret, true, ffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trail, err := audit.NewWriterFS(trailDir, trailKey, 16, ffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, err := pdp.New(pdp.Config{Policy: pol, Store: ds, Trail: trail, Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The shadow PDP sees exactly the acknowledged decisions, on an
+	// in-memory store no fault can touch.
+	shadowStore := adi.NewStore()
+	shadow, err := pdp.New(pdp.Config{Policy: pol, Store: shadowStore, Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Arm the crash at a random mutating disk operation ahead — it may
+	// land on a WAL write, flush, fsync or a trail append, whichever
+	// the workload reaches.
+	ffs.InjectAt(ffs.Ops()+1+rng.Intn(80), fault.Crash)
+
+	steps := genWorkload(rng, 120)
+	resume := len(steps)
+	for i, step := range steps {
+		vd, verr := victim.Decide(step.request())
+		if verr != nil {
+			if !ffs.Crashed() {
+				t.Fatalf("step %d: decision failed without a crash: %v", i, verr)
+			}
+			if !errors.Is(verr, adi.ErrWriteFailed) {
+				t.Fatalf("step %d: post-crash store failure not ErrWriteFailed: %v", i, verr)
+			}
+			resume = i
+			break
+		}
+		// Acknowledged: the shadow must agree and absorb the same step.
+		sd, serr := shadow.Decide(step.request())
+		if serr != nil {
+			t.Fatalf("step %d: shadow decision failed: %v", i, serr)
+		}
+		if vd.Allowed != sd.Allowed || vd.Phase != sd.Phase {
+			t.Fatalf("step %d: victim %v/%s, shadow %v/%s — nondeterministic PDP",
+				i, vd.Allowed, vd.Phase, sd.Allowed, sd.Phase)
+		}
+	}
+	// A crash during a trail append is swallowed (the decision is
+	// served, msod_audit_trail_errors_total counts it) and denials
+	// never touch the store, so the loop can finish with the disk
+	// already dead. Either way the simulated machine is now off.
+	trail.Close()
+	ds.Close()
+	if !ffs.Crashed() {
+		ffs.CrashNow()
+	}
+
+	// Power restored: reopen the surviving bytes with the real
+	// filesystem, as the restarted daemon would.
+	recovered, err := adi.OpenDurable(adiDir, secret, true)
+	if err != nil {
+		t.Fatalf("recovery open failed: %v", err)
+	}
+	defer recovered.Close()
+
+	if got, want := recovered.Len(), shadowStore.Len(); got != want {
+		t.Fatalf("recovered %d retained-ADI records, shadow has %d (acked writes lost or phantom writes surfaced)", got, want)
+	}
+	recPDP, err := pdp.New(pdp.Config{Policy: pol, Store: recovered, Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Probe the full request grid advisory-for-advisory: any request
+	// the shadow denies but the recovered PDP grants is a false grant.
+	for _, probe := range probeSteps() {
+		rd, rerr := recPDP.Advise(probe.request())
+		sd, serr := shadow.Advise(probe.request())
+		if rerr != nil || serr != nil {
+			t.Fatalf("probe %+v: advise errors %v / %v", probe, rerr, serr)
+		}
+		if rd.Allowed != sd.Allowed || rd.Phase != sd.Phase {
+			t.Fatalf("probe %+v: recovered %v/%s, shadow %v/%s after crash recovery",
+				probe, rd.Allowed, rd.Phase, sd.Allowed, sd.Phase)
+		}
+	}
+
+	// Resume the interrupted workload (the crashed request first — the
+	// PEP's retry) on the recovered PDP; it must track the shadow.
+	for i, step := range steps[resume:] {
+		rd, rerr := recPDP.Decide(step.request())
+		sd, serr := shadow.Decide(step.request())
+		if rerr != nil || serr != nil {
+			t.Fatalf("resumed step %d: decide errors %v / %v", i, rerr, serr)
+		}
+		if rd.Allowed != sd.Allowed || rd.Phase != sd.Phase {
+			t.Fatalf("resumed step %d: recovered %v/%s, shadow %v/%s",
+				i, rd.Allowed, rd.Phase, sd.Allowed, sd.Phase)
+		}
+	}
+
+	// The audit chain either verifies or was torn mid-entry by the
+	// crash; a torn tail must be repaired by the next writer so the
+	// chain verifies again.
+	verifyTrail := func() error {
+		rdr, err := audit.NewReader(trailDir, trailKey)
+		if err != nil {
+			return err
+		}
+		_, err = rdr.Verify()
+		return err
+	}
+	if err := verifyTrail(); err != nil {
+		if !errors.Is(err, audit.ErrTruncated) {
+			t.Fatalf("audit chain after crash: %v (only clean truncation is acceptable)", err)
+		}
+		w, err := audit.NewWriter(trailDir, trailKey, 16)
+		if err != nil {
+			t.Fatalf("reopen trail for repair: %v", err)
+		}
+		w.Close()
+		if err := verifyTrail(); err != nil {
+			t.Fatalf("audit chain still broken after writer repair: %v", err)
+		}
+	}
+}

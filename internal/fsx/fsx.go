@@ -1,0 +1,72 @@
+// Package fsx is the narrow filesystem seam the durability layer is
+// built over: the retained-ADI stores and the audit-trail writer
+// perform every mutation through an FS, so tests (internal/fault) can
+// interpose deterministic EIO/ENOSPC/torn-write/crash faults without
+// touching the production code path. The default implementation, OS,
+// is a zero-cost passthrough to package os.
+package fsx
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// File is the writable-file surface the stores need: sequential and
+// positioned I/O, truncation, and durability (Sync).
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	io.Seeker
+	// Sync flushes the file's data to stable storage (fsync).
+	Sync() error
+	// Truncate changes the file's size.
+	Truncate(size int64) error
+	// Name returns the path the file was opened with.
+	Name() string
+}
+
+// FS is the mutation-capable filesystem interface. Read helpers are
+// included so a faulty store and its recovery path can share one
+// injected filesystem.
+type FS interface {
+	// OpenFile is os.OpenFile.
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// Open opens a file (or directory, for directory fsync) read-only.
+	Open(name string) (File, error)
+	// ReadFile is os.ReadFile.
+	ReadFile(name string) ([]byte, error)
+	// WriteFile is os.WriteFile.
+	WriteFile(name string, data []byte, perm fs.FileMode) error
+	// Rename is os.Rename.
+	Rename(oldpath, newpath string) error
+	// Truncate is os.Truncate.
+	Truncate(name string, size int64) error
+	// MkdirAll is os.MkdirAll.
+	MkdirAll(path string, perm fs.FileMode) error
+	// Stat is os.Stat.
+	Stat(name string) (fs.FileInfo, error)
+	// Remove is os.Remove.
+	Remove(name string) error
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+// osFS passes every call through to package os.
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) Open(name string) (File, error)       { return os.Open(name) }
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+func (osFS) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Truncate(name string, size int64) error       { return os.Truncate(name, size) }
+func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) Stat(name string) (fs.FileInfo, error)        { return os.Stat(name) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }

@@ -1,0 +1,94 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"msod/internal/adi"
+)
+
+// Graceful degradation under overload and storage failure. Two
+// mechanisms, both fail-closed in the MSoD sense — a request the PDP
+// cannot answer safely is refused, never silently granted:
+//
+//   - Admission control (WithAdmissionLimit) bounds concurrent
+//     decision, advisory and management requests. Excess load is shed
+//     with 503 + Retry-After before any PDP work happens, so the
+//     requests that are admitted keep their latency instead of all
+//     requests timing out together. Shed requests are transient by
+//     contract: the Retry-After hint tells the PEP (and server.Client
+//     honours it) to come back.
+//
+//   - Degraded read-only mode latches when a durable retained-ADI
+//     write fails (adi.ErrWriteFailed — disk full, I/O error, failed
+//     fsync). A PDP that cannot record a grant's ADI effects must not
+//     keep granting: later conflicting activations would be checked
+//     against an incomplete history. Once latched, decisions and
+//     management are refused with 503 (no Retry-After — the condition
+//     needs an operator, not a retry), while advisories,
+//     introspection, metrics and health stay up so the operator can
+//     inspect the wounded PDP. A restart, after the disk is fixed,
+//     recovers the store and clears the mode.
+
+// WithAdmissionLimit bounds in-flight decision, advisory and
+// management requests to maxInFlight; excess requests are shed with
+// 503 and a Retry-After of retryAfter (floored to one second, the
+// header's granularity). maxInFlight <= 0 leaves admission unbounded.
+func WithAdmissionLimit(maxInFlight int, retryAfter time.Duration) Option {
+	return func(s *Server) {
+		s.maxInFlight = maxInFlight
+		if retryAfter < time.Second {
+			retryAfter = time.Second
+		}
+		s.shedRetryAfter = retryAfter
+	}
+}
+
+// admit claims an in-flight slot, shedding the request with 503 +
+// Retry-After when the server is at capacity. On ok the caller must
+// defer release; on !ok the response has been written.
+func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
+	if s.maxInFlight <= 0 {
+		return func() {}, true
+	}
+	if s.inFlight.Add(1) > int64(s.maxInFlight) {
+		s.inFlight.Add(-1)
+		s.metrics.shed.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.shedRetryAfter/time.Second)))
+		writeJSON(w, http.StatusServiceUnavailable,
+			errorResponse{"server at capacity; request shed, retry after the hinted delay"})
+		return nil, false
+	}
+	return func() { s.inFlight.Add(-1) }, true
+}
+
+// refuseReadOnly refuses the request when degraded read-only mode has
+// latched, reporting whether it wrote the refusal. Deliberately no
+// Retry-After: the failure needs operator intervention, so the client
+// should surface the error rather than retry into it.
+func (s *Server) refuseReadOnly(w http.ResponseWriter) bool {
+	if !s.degraded.Load() {
+		return false
+	}
+	writeJSON(w, http.StatusServiceUnavailable,
+		errorResponse{"PDP degraded to read-only: a durable retained-ADI write failed; decisions and management are refused until the store is repaired and the daemon restarted (advisories and introspection still served)"})
+	return true
+}
+
+// noteWriteFailure latches degraded read-only mode when err is (or
+// wraps) a durable-store write failure, reporting whether it did.
+func (s *Server) noteWriteFailure(err error) bool {
+	if !errors.Is(err, adi.ErrWriteFailed) {
+		return false
+	}
+	if s.degraded.CompareAndSwap(false, true) && s.log != nil {
+		s.log.Error("durable retained-ADI write failed; latching degraded read-only mode",
+			"error", err.Error())
+	}
+	return true
+}
+
+// Degraded reports whether the server has latched read-only mode.
+func (s *Server) Degraded() bool { return s.degraded.Load() }

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -33,6 +34,11 @@ type APIError struct {
 	Status int
 	// Message is the server's error payload, if it sent one.
 	Message string
+	// RetryAfter is the server's Retry-After hint (zero when absent).
+	// A 429/503 carrying it is load shedding — transient by contract —
+	// and the client retries it transparently (see WithShedRetries); a
+	// 503 without it (shard down, degraded read-only) is terminal.
+	RetryAfter time.Duration
 }
 
 // Error implements error.
@@ -41,6 +47,20 @@ func (e *APIError) Error() string {
 		return fmt.Sprintf("server: %s: %s (status %d)", e.Path, e.Message, e.Status)
 	}
 	return fmt.Sprintf("server: %s: status %d", e.Path, e.Status)
+}
+
+// newAPIError builds the typed error for a non-2xx response, decoding
+// the errorResponse body and the Retry-After header (whole seconds).
+func newAPIError(path string, resp *http.Response) *APIError {
+	apiErr := &APIError{Path: path, Status: resp.StatusCode}
+	var e errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err == nil {
+		apiErr.Message = e.Error
+	}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		apiErr.RetryAfter = time.Duration(secs) * time.Second
+	}
+	return apiErr
 }
 
 // ClientOption configures a Client.
@@ -54,13 +74,22 @@ func WithTimeout(d time.Duration) ClientOption {
 	return func(c *Client) { c.timeout = d }
 }
 
+// WithShedRetries sets how many times a POST the server shed with
+// 429/503 + Retry-After is transparently retried after waiting out the
+// hint (default 2; 0 disables). Shed responses are refused before any
+// processing, so the retry is safe even for recording decisions.
+func WithShedRetries(n int) ClientOption {
+	return func(c *Client) { c.shedRetries = n }
+}
+
 // Client is a remote PEP's view of the PDP: it submits decision and
 // management requests over HTTP and satisfies workflow.Decider, so the
 // workflow engine can run against a remote PDP unchanged.
 type Client struct {
-	base    string
-	http    *http.Client
-	timeout time.Duration
+	base        string
+	http        *http.Client
+	timeout     time.Duration
+	shedRetries int
 	// Credentials, when set, are attached to every decision request
 	// (the PEP presenting the user's signed attributes).
 	Credentials []credential.Credential
@@ -72,7 +101,7 @@ func NewClient(base string, httpClient *http.Client, opts ...ClientOption) *Clie
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	c := &Client{base: base, http: httpClient}
+	c := &Client{base: base, http: httpClient, shedRetries: 2}
 	for _, opt := range opts {
 		opt(c)
 	}
@@ -238,12 +267,7 @@ func (c *Client) StreamEvents(ctx context.Context, opts StreamEventsOptions, fn 
 	}
 	defer httpResp.Body.Close()
 	if httpResp.StatusCode != http.StatusOK {
-		apiErr := &APIError{Path: EventsPath, Status: httpResp.StatusCode}
-		var e errorResponse
-		if err := json.NewDecoder(httpResp.Body).Decode(&e); err == nil {
-			apiErr.Message = e.Error
-		}
-		return apiErr
+		return newAPIError(EventsPath, httpResp)
 	}
 	sc := bufio.NewScanner(httpResp.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
@@ -283,12 +307,7 @@ func (c *Client) get(parent context.Context, path string, out any) error {
 	}
 	defer httpResp.Body.Close()
 	if httpResp.StatusCode != http.StatusOK {
-		apiErr := &APIError{Path: path, Status: httpResp.StatusCode}
-		var e errorResponse
-		if err := json.NewDecoder(httpResp.Body).Decode(&e); err == nil {
-			apiErr.Message = e.Error
-		}
-		return apiErr
+		return newAPIError(path, httpResp)
 	}
 	if err := json.NewDecoder(httpResp.Body).Decode(out); err != nil {
 		return fmt.Errorf("server: decode response: %w", err)
@@ -296,11 +315,46 @@ func (c *Client) get(parent context.Context, path string, out any) error {
 	return nil
 }
 
+// maxShedWait caps how long one shed retry waits, whatever the server
+// hinted.
+const maxShedWait = 10 * time.Second
+
+// post performs a POST under the client timeout. A response the server
+// shed (429/503 with a Retry-After hint) is waited out and retried up
+// to the shed-retry budget; every other outcome — success, transport
+// failure, or a deliberate verdict including a hint-less 503 — returns
+// immediately.
 func (c *Client) post(parent context.Context, path string, in, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return fmt.Errorf("server: marshal request: %w", err)
 	}
+	for attempt := 0; ; attempt++ {
+		err := c.postOnce(parent, path, body, out)
+		var apiErr *APIError
+		if err == nil || !errors.As(err, &apiErr) {
+			return err
+		}
+		shed := apiErr.Status == http.StatusTooManyRequests || apiErr.Status == http.StatusServiceUnavailable
+		if !shed || apiErr.RetryAfter <= 0 || attempt >= c.shedRetries {
+			return err
+		}
+		wait := apiErr.RetryAfter
+		if wait > maxShedWait {
+			wait = maxShedWait
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-parent.Done():
+			t.Stop()
+			return err
+		case <-t.C:
+		}
+	}
+}
+
+// postOnce sends one POST attempt.
+func (c *Client) postOnce(parent context.Context, path string, body []byte, out any) error {
 	ctx, cancel := c.reqContext(parent)
 	defer cancel()
 	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
@@ -317,12 +371,7 @@ func (c *Client) post(parent context.Context, path string, in, out any) error {
 	}
 	defer httpResp.Body.Close()
 	if httpResp.StatusCode != http.StatusOK {
-		apiErr := &APIError{Path: path, Status: httpResp.StatusCode}
-		var e errorResponse
-		if err := json.NewDecoder(httpResp.Body).Decode(&e); err == nil {
-			apiErr.Message = e.Error
-		}
-		return apiErr
+		return newAPIError(path, httpResp)
 	}
 	if err := json.NewDecoder(httpResp.Body).Decode(out); err != nil {
 		return fmt.Errorf("server: decode response: %w", err)

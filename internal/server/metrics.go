@@ -30,8 +30,11 @@ type metrics struct {
 	// sentinelRefusals counts decision/advisory requests refused because
 	// the audit-chain sentinel latched under fail-closed.
 	sentinelRefusals atomic.Int64
-	recordsWritten   atomic.Int64
-	recordsPurged    atomic.Int64
+	// shed counts requests refused by admission control (503 +
+	// Retry-After) before any PDP work — see WithAdmissionLimit.
+	shed           atomic.Int64
+	recordsWritten atomic.Int64
+	recordsPurged  atomic.Int64
 	// duration observes the PDP evaluation time of every decision and
 	// advisory request (not transport or JSON handling); stages breaks
 	// the same time down by pipeline stage from the request's trace.
@@ -103,12 +106,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		obsv.WriteGauge(w, "msod_constraints_near_limit",
 			"Tracked constraint tuples at k == m-1: the next conflicting activation is denied.", float64(sum.ConstraintsNearLimit))
 	}
+	obsv.WriteCounter(w, "msod_shed_total",
+		"Requests shed by admission control with 503 + Retry-After (server at its in-flight cap).",
+		s.metrics.shed.Load())
 	degraded := 0.0
 	if s.introspectionDegraded {
 		degraded = 1
 	}
 	obsv.WriteGauge(w, "msod_introspection_degraded",
 		"1 when the PDP store exposes no browse surface (no /v1/state, no context gauges).", degraded)
+	readonly := 0.0
+	if s.degraded.Load() {
+		readonly = 1
+	}
+	obsv.WriteGauge(w, "msod_degraded_readonly",
+		"1 when a durable retained-ADI write failure latched read-only mode (decisions and management refused; advisories and introspection still served).", readonly)
 	if s.sentinel != nil {
 		s.sentinel.WriteMetrics(w)
 		obsv.WriteCounter(w, "msod_sentinel_refusals_total",

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"msod/internal/adi"
@@ -124,6 +125,18 @@ type Server struct {
 	// are disabled. Exported as msod_introspection_degraded so the
 	// operator sees the loss instead of silently missing series.
 	introspectionDegraded bool
+
+	// Admission control (WithAdmissionLimit): at most maxInFlight
+	// decision/advisory/management requests run concurrently; excess
+	// load is shed with 503 + Retry-After of shedRetryAfter.
+	maxInFlight    int
+	inFlight       atomic.Int64
+	shedRetryAfter time.Duration
+
+	// degraded latches read-only mode after a durable-store write
+	// failure (see admission.go): decisions and management refuse,
+	// advisories and introspection keep serving.
+	degraded atomic.Bool
 }
 
 // Option configures a Server.
@@ -204,10 +217,21 @@ func (s *Server) serveDecision(w http.ResponseWriter, r *http.Request, decide fu
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST required"})
 		return
 	}
+	release, admitted := s.admit(w)
+	if !admitted {
+		return
+	}
+	defer release()
 	if s.refuseTampered(w) {
 		// Fail-closed: a trail that no longer verifies means the retained
 		// history cannot be trusted, so neither can any history-dependent
 		// answer (advisories included).
+		return
+	}
+	if !advisory && s.refuseReadOnly(w) {
+		// Degraded read-only: a PDP that cannot record grants must not
+		// grant. Advisories stay up — they are side-effect-free and read
+		// the (intact, in-memory) retained ADI.
 		return
 	}
 	var wire DecisionRequest
@@ -272,8 +296,14 @@ func (s *Server) serveDecision(w http.ResponseWriter, r *http.Request, decide fu
 				obsv.SpanAttrs(trace))
 		}
 		status := http.StatusInternalServerError
-		if errors.Is(err, pdp.ErrNoSubject) {
+		switch {
+		case errors.Is(err, pdp.ErrNoSubject):
 			status = http.StatusBadRequest
+		case s.noteWriteFailure(err):
+			// The write failure that latches degraded mode: this request
+			// committed nothing (Append is atomic), and subsequent ones
+			// are refused up front by refuseReadOnly.
+			status = http.StatusServiceUnavailable
 		}
 		writeJSON(w, status, errorResponse{err.Error()})
 		return
@@ -316,6 +346,16 @@ func (s *Server) handleManagement(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST required"})
 		return
 	}
+	release, admitted := s.admit(w)
+	if !admitted {
+		return
+	}
+	defer release()
+	if s.refuseReadOnly(w) {
+		// Management mutates the retained ADI (purges), so it shares the
+		// decision path's read-only refusal.
+		return
+	}
 	var wire ManagementWireRequest
 	if err := json.NewDecoder(r.Body).Decode(&wire); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("decode: %v", err)})
@@ -336,8 +376,11 @@ func (s *Server) handleManagement(w http.ResponseWriter, r *http.Request) {
 	s.metrics.managementOps.Add(1)
 	if err != nil {
 		status := http.StatusForbidden
-		if errors.Is(err, pdp.ErrNoSubject) {
+		switch {
+		case errors.Is(err, pdp.ErrNoSubject):
 			status = http.StatusBadRequest
+		case s.noteWriteFailure(err):
+			status = http.StatusServiceUnavailable
 		}
 		writeJSON(w, status, errorResponse{err.Error()})
 		return
@@ -346,8 +389,14 @@ func (s *Server) handleManagement(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.degraded.Load() {
+		// Live (the process answers) but wounded: load balancers should
+		// drain decision traffic while operators keep introspection.
+		status = "degraded-readonly"
+	}
 	writeJSON(w, http.StatusOK, map[string]string{
-		"status": "ok",
+		"status": status,
 		"policy": s.pdp.PolicyID(),
 	})
 }

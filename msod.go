@@ -378,6 +378,15 @@ func WithServerGauge(name, help string, fn func() float64) ServerOption {
 	return server.WithGauge(name, help, fn)
 }
 
+// WithServerAdmissionLimit bounds concurrent decision, advisory and
+// management requests: excess load is shed with 503 + Retry-After of
+// retryAfter instead of queueing until everything times out. Shed
+// requests never touch the PDP, and Client transparently retries them
+// after the hinted delay. maxInFlight <= 0 leaves admission unbounded.
+func WithServerAdmissionLimit(maxInFlight int, retryAfter time.Duration) ServerOption {
+	return server.WithAdmissionLimit(maxInFlight, retryAfter)
+}
+
 // NewClient builds a client for the PDP (or msodgw gateway) at base URL.
 func NewClient(base string, opts ...ClientOption) *Client {
 	return server.NewClient(base, nil, opts...)
