@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race cover bench fuzz experiments cluster chaos examples lint clean
+.PHONY: all build test test-race cover bench fuzz experiments cluster chaos replica examples lint clean
 
 all: build test
 
@@ -43,6 +43,16 @@ chaos:
 	$(GO) test -race -count=1 ./internal/fault
 	$(GO) test -race -run 'TestAdmission|TestClientRetriesShedRequest|TestDegradedReadOnlyLatch' ./internal/server
 	$(GO) test -race -run 'TestClusterShed|TestClusterChaoticTransport|TestBreaker' ./internal/cluster
+
+# Advisory read-replica tier smoke: deterministic mirror replay and the
+# bounded-staleness contract (unit + gateway routing + integration),
+# the embedded PEP preflight, and the replica-fed advisory experiment.
+replica:
+	$(GO) test -race -count=1 ./internal/replica
+	$(GO) test -race -count=1 -run 'TestGatewayAdvice|TestGatewayReplicaPool|TestGatewayStateUserReplica|TestGatewayDecisionsNeverRoute|TestConfigReplica' ./internal/cluster
+	$(GO) test -race -count=1 -run 'TestPreflight' ./internal/pep
+	$(GO) test -race -count=1 -run 'TestClusterReplica' ./internal/integration
+	$(GO) run ./cmd/msodbench -e E17
 
 examples:
 	$(GO) run ./examples/quickstart

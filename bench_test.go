@@ -8,6 +8,7 @@
 package msod_test
 
 import (
+	"context"
 	"fmt"
 	"net/http/httptest"
 
@@ -507,6 +508,116 @@ func BenchmarkE16Cluster(b *testing.B) {
 				Operation: string(r.Operation), Target: string(r.Target),
 				Context: r.Context.String(),
 			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// remoteAdvisor adapts a server client to the PEP's Decider and
+// Advisor interfaces, so the "remote" configuration of
+// BenchmarkReplicaPreflight measures the same Preflight call with the
+// advisory answer coming over HTTP from the owner instead of from the
+// embedded mirror.
+type remoteAdvisor struct{ c *msod.Client }
+
+func (r remoteAdvisor) wire(req msod.Request) msod.DecisionRequest {
+	roles := make([]string, len(req.Roles))
+	for i, role := range req.Roles {
+		roles[i] = string(role)
+	}
+	return msod.DecisionRequest{
+		User: string(req.User), Roles: roles,
+		Operation: string(req.Operation), Target: string(req.Target),
+		Context: req.Context.String(),
+	}
+}
+
+func (r remoteAdvisor) Decide(req msod.Request) (msod.Decision, error) {
+	resp, err := r.c.Decision(r.wire(req))
+	if err != nil {
+		return msod.Decision{}, err
+	}
+	return msod.Decision{Allowed: resp.Allowed, Reason: resp.Reason}, nil
+}
+
+func (r remoteAdvisor) Advise(req msod.Request) (msod.Decision, error) {
+	resp, err := r.c.AdviceCtx(context.Background(), r.wire(req))
+	if err != nil {
+		return msod.Decision{}, err
+	}
+	return msod.Decision{Allowed: resp.Allowed, Reason: resp.Reason}, nil
+}
+
+// BenchmarkReplicaPreflight measures Enforcer.Preflight against a
+// seeded owner: "mirror" answers from an embedded advisory mirror (an
+// in-process event-fed replica — no network round trip), "remote" asks
+// the owner's advisory endpoint over HTTP loopback. The gap is the
+// latency a PEP saves per near-limit probe by hosting its own mirror.
+func BenchmarkReplicaPreflight(b *testing.B) {
+	pol, err := msod.ParsePolicy(benchPolicyXML())
+	if err != nil {
+		b.Fatal(err)
+	}
+	broker := msod.NewEventBroker(4096)
+	p, err := msod.NewPDP(msod.PDPConfig{
+		Policy:   pol,
+		Observer: func(ev msod.DecisionEvent) { broker.Publish(ev) },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(msod.NewServer(p, msod.WithServerEventBroker(broker)))
+	defer ts.Close()
+
+	// Seed retained-ADI history so advisory answers consult real state.
+	gen := workload.NewBank(workload.BankConfig{
+		Seed: 1800, Users: 256, Branches: 8, Periods: 2, AuditorFraction: 0.3, Zipf: true,
+	})
+	for _, r := range gen.Stream(1000) {
+		if _, err := p.Decide(msod.Request{User: r.User, Roles: r.Roles,
+			Operation: r.Operation, Target: r.Target, Context: r.Context}); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	mirror, err := msod.NewAdvisoryMirror(msod.AdvisoryMirrorConfig{
+		Owner: ts.URL, Policy: pol,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer mirror.Close()
+	warmCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := mirror.WaitFresh(warmCtx); err != nil {
+		b.Fatal(err)
+	}
+
+	subject := msod.Subject{User: "u1", Roles: []msod.RoleName{"Teller"}}
+	bc := msod.MustContext("Branch=York, Period=2006")
+
+	b.Run("mirror", func(b *testing.B) {
+		enf, err := msod.NewEnforcer(p, subject, bc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		enf = enf.WithAdvisory(mirror)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := enf.Preflight("HandleCash", "till"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("remote", func(b *testing.B) {
+		enf, err := msod.NewEnforcer(remoteAdvisor{c: msod.NewClient(ts.URL)}, subject, bc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := enf.Preflight("HandleCash", "till"); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -2,11 +2,12 @@
 //
 // Usage:
 //
-//	msodbench            # run every experiment (E1..E16)
-//	msodbench -e E3      # run one experiment
-//	msodbench -e E1,E4   # run a subset
-//	msodbench -list      # list experiments
-//	msodbench -json out/ # also write machine-readable BENCH_<ID>.json files
+//	msodbench                        # run every experiment (E1..E17)
+//	msodbench -e E3                  # run one experiment
+//	msodbench -e E1,E4               # run a subset
+//	msodbench -list                  # list experiments
+//	msodbench -json out/             # also write machine-readable BENCH_<ID>.json files
+//	msodbench -trajectory BENCH_6.json  # bundle the run into one checked-in trajectory point
 //
 // Scenario experiments (E1–E3, E11, E12) assert the paper's expected
 // outcomes and fail loudly on any mismatch; timing experiments report
@@ -18,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"msod/internal/bench"
@@ -25,9 +27,10 @@ import (
 
 func main() {
 	var (
-		exps    = flag.String("e", "", "comma-separated experiment IDs (default: all)")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		jsonDir = flag.String("json", "", "also write BENCH_<ID>.json reports to this directory")
+		exps       = flag.String("e", "", "comma-separated experiment IDs (default: all)")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		jsonDir    = flag.String("json", "", "also write BENCH_<ID>.json reports to this directory")
+		trajectory = flag.String("trajectory", "", "bundle the selected experiments' reports into this single JSON file (one checked-in perf trajectory point, e.g. BENCH_6.json)")
 	)
 	flag.Parse()
 
@@ -54,6 +57,7 @@ func main() {
 	}
 
 	failed := 0
+	var tables []*bench.Table
 	for _, e := range selected {
 		tbl, err := e.Run()
 		if err != nil {
@@ -65,6 +69,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "msodbench: render %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
+		tables = append(tables, tbl)
 		if *jsonDir != "" {
 			path, err := tbl.WriteJSONFile(*jsonDir)
 			if err != nil {
@@ -77,5 +82,13 @@ func main() {
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "msodbench: %d experiment(s) failed\n", failed)
 		os.Exit(1)
+	}
+	if *trajectory != "" {
+		label := strings.TrimSuffix(filepath.Base(*trajectory), ".json")
+		if err := bench.WriteTrajectoryFile(*trajectory, label, tables); err != nil {
+			fmt.Fprintf(os.Stderr, "msodbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "msodbench: wrote %s\n", *trajectory)
 	}
 }

@@ -38,7 +38,12 @@ func cmdTail(args []string) error {
 	defer stop()
 	client := msod.NewClient(*srv)
 	enc := json.NewEncoder(os.Stdout)
-	err := client.StreamEvents(ctx, msod.StreamEventsOptions{
+	// FollowEvents reconnects dropped streams with sequence resume, so
+	// a server restart or network blip no longer silently skips the
+	// events published while the tail was down. Only an unrecoverable
+	// gap (events rotated past the server's retained ring) ends the
+	// command, with an explanation rather than a quiet hole.
+	err := client.FollowEvents(ctx, msod.FollowEventsOptions{
 		User: *user, Context: *ctxPat, Outcome: *outcome, Replay: *replay,
 	}, func(ev msod.DecisionEvent) error {
 		if *jsonOut {
@@ -47,8 +52,11 @@ func cmdTail(args []string) error {
 		fmt.Println(formatEvent(ev))
 		return nil
 	})
-	if errors.Is(err, context.Canceled) {
+	switch {
+	case errors.Is(err, context.Canceled):
 		return nil // interrupted: a clean exit for a follow command
+	case errors.Is(err, msod.ErrEventGap):
+		return fmt.Errorf("tail: the stream could not resume where it left off — events were dropped while disconnected and have rotated out of the server's retained ring: %w (re-run tail to rejoin live)", err)
 	}
 	return err
 }

@@ -71,6 +71,8 @@ type options struct {
 	pprofAllowRemote   bool
 	sentinelInterval   time.Duration
 	sentinelFailClosed bool
+	replicaOf          string
+	maxStaleness       time.Duration
 }
 
 func parseFlags(args []string) (*options, error) {
@@ -94,11 +96,30 @@ func parseFlags(args []string) (*options, error) {
 	fs.BoolVar(&o.pprofAllowRemote, "pprof-allow-remote", false, "allow -pprof to bind a non-loopback address (profiling endpoints expose process internals)")
 	fs.DurationVar(&o.sentinelInterval, "sentinel-interval", 0, "audit-chain sentinel check interval (0 disables; needs -trail)")
 	fs.BoolVar(&o.sentinelFailClosed, "sentinel-fail-closed", false, "refuse decisions once the sentinel detects audit-chain tampering")
+	fs.StringVar(&o.replicaOf, "replica-of", "", "run as an advisory read replica of the shard at this base URL (no authoritative decisions)")
+	fs.DurationVar(&o.maxStaleness, "max-staleness", 0, "replica staleness bound: refuse answers once the owner has been silent this long (0 = 30s default; negative disables)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
 	if o.policyPath == "" {
 		return nil, errors.New("msodd: -policy is required")
+	}
+	if o.replicaOf != "" {
+		// A replica holds no authority and writes nothing: every flag
+		// implying authoritative state is a configuration error, not a
+		// silent no-op.
+		switch {
+		case o.trailDir != "":
+			return nil, errors.New("msodd: -replica-of conflicts with -trail (replicas write no audit trail)")
+		case o.adiDir != "":
+			return nil, errors.New("msodd: -replica-of conflicts with -adi (the mirror is rebuilt from the owner, never persisted)")
+		case o.recover != "none":
+			return nil, errors.New("msodd: -replica-of conflicts with -recover (replicas bootstrap from the owner's snapshot)")
+		case o.snapPath != "" || o.snapSecret != "":
+			return nil, errors.New("msodd: -replica-of conflicts with -snapshot")
+		case o.sentinelInterval > 0:
+			return nil, errors.New("msodd: -replica-of conflicts with -sentinel-interval (replicas hold no trail to verify)")
+		}
 	}
 	return o, nil
 }
@@ -287,12 +308,9 @@ func reloadPDP(o *options, d *deps, logf func(format string, args ...any)) (*mso
 }
 
 // serve runs the HTTP server on the listener until ctx is cancelled,
-// then shuts down gracefully. The handler is read through the pointer
-// on every request, so a SIGHUP policy reload swaps it atomically.
-func serve(ctx context.Context, ln net.Listener, cur *atomic.Pointer[msod.Server], logf func(string, ...any)) error {
-	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		cur.Load().ServeHTTP(w, r)
-	})}
+// then shuts down gracefully.
+func serve(ctx context.Context, ln net.Listener, handler http.Handler, logf func(string, ...any)) error {
+	srv := &http.Server{Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
 	logf("msodd: listening on %s", ln.Addr())
@@ -353,6 +371,10 @@ func main() {
 	fatalf := func(format string, args ...any) {
 		logger.Error(fmt.Sprintf(format, args...))
 		os.Exit(1)
+	}
+	if o.replicaOf != "" {
+		runReplica(o, logger, logf, fatalf)
+		return
 	}
 	p, d, cleanup, err := buildPDP(o, logf)
 	if err != nil {
@@ -425,7 +447,54 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	if err := serve(ctx, ln, &cur, logf); err != nil {
+	// The handler is read through the pointer on every request, so a
+	// SIGHUP policy reload swaps it atomically.
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cur.Load().ServeHTTP(w, r)
+	})
+	if err := serve(ctx, ln, handler, logf); err != nil {
+		fatalf("msodd: %v", err)
+	}
+}
+
+// runReplica is the -replica-of mode: bootstrap a retained-ADI mirror
+// from the owner's snapshot, tail its event stream with sequence
+// resume, and serve the advisory/state surface under the bounded
+// staleness contract. Decision and management POSTs are refused with
+// 421 — a replica never answers authoritatively.
+func runReplica(o *options, logger *slog.Logger, logf func(string, ...any), fatalf func(string, ...any)) {
+	pol, err := loadPolicy(o.policyPath, logf)
+	if err != nil {
+		fatalf("msodd: %v", err)
+	}
+	f, err := msod.NewReplicaFollower(msod.ReplicaConfig{
+		Owner:        o.replicaOf,
+		Policy:       pol,
+		MaxStaleness: o.maxStaleness,
+		Logger:       logger,
+	})
+	if err != nil {
+		fatalf("msodd: replica: %v", err)
+	}
+	logf("msodd: replica of %s (policy %q, max staleness %s)",
+		o.replicaOf, pol.ID, f.MaxStaleness())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		if err := f.Run(ctx); err != nil && ctx.Err() == nil {
+			// Terminal follower error (the owner runs a different
+			// policy): serving would answer from alien history.
+			logger.Error(fmt.Sprintf("msodd: replica follower stopped: %v", err))
+			stop()
+		}
+	}()
+
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		fatalf("msodd: listen: %v", err)
+	}
+	if err := serve(ctx, ln, msod.NewReplicaServer(f), logf); err != nil {
 		fatalf("msodd: %v", err)
 	}
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -163,7 +164,10 @@ func TestServeGracefulShutdown(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- serve(ctx, ln, &cur, discardLog) }()
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cur.Load().ServeHTTP(w, r)
+	})
+	go func() { done <- serve(ctx, ln, handler, discardLog) }()
 
 	client := msod.NewClient("http://" + ln.Addr().String())
 	deadline := time.Now().Add(5 * time.Second)

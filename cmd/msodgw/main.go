@@ -50,6 +50,7 @@ import (
 type options struct {
 	addr             string
 	shards           []cluster.Shard
+	replicas         map[string][]string
 	vnodes           int
 	timeout          time.Duration
 	retries          int
@@ -92,12 +93,46 @@ func parseShards(spec string) ([]cluster.Shard, error) {
 	return out, nil
 }
 
+// repeatedFlag collects every occurrence of a repeatable flag.
+type repeatedFlag []string
+
+func (r *repeatedFlag) String() string     { return strings.Join(*r, ",") }
+func (r *repeatedFlag) Set(v string) error { *r = append(*r, v); return nil }
+
+// parseReplicas parses -replicas values ("shardID=replicaURL", comma
+// separated, flag repeatable; repeat a shard ID to give it several
+// replicas) into the gateway's replica map. Shard-ID validation
+// happens in cluster.New, where the topology is known.
+func parseReplicas(specs []string) (map[string][]string, error) {
+	out := map[string][]string{}
+	for _, spec := range specs {
+		for _, entry := range strings.Split(spec, ",") {
+			entry = strings.TrimSpace(entry)
+			if entry == "" {
+				continue
+			}
+			id, url, ok := strings.Cut(entry, "=")
+			id, url = strings.TrimSpace(id), strings.TrimSpace(url)
+			if !ok || id == "" || url == "" {
+				return nil, fmt.Errorf("msodgw: malformed replica entry %q (want shardID=url)", entry)
+			}
+			out[id] = append(out[id], url)
+		}
+	}
+	if len(out) == 0 {
+		return nil, nil
+	}
+	return out, nil
+}
+
 func parseFlags(args []string) (*options, error) {
 	fs := flag.NewFlagSet("msodgw", flag.ContinueOnError)
 	o := &options{}
 	var shardSpec string
+	var replicaSpecs repeatedFlag
 	fs.StringVar(&o.addr, "addr", ":8440", "listen address")
 	fs.StringVar(&shardSpec, "shards", "", "comma-separated shard list, id=url each (required)")
+	fs.Var(&replicaSpecs, "replicas", "advisory read replicas, shardID=url each (comma separated; repeatable; repeat a shard ID for several replicas)")
 	fs.IntVar(&o.vnodes, "vnodes", cluster.DefaultVirtualNodes, "virtual nodes per shard on the hash ring")
 	fs.DurationVar(&o.timeout, "timeout", 5*time.Second, "per-request deadline for shard calls")
 	fs.IntVar(&o.retries, "retries", 2, "same-shard retries after a transport error (-1 disables)")
@@ -117,6 +152,11 @@ func parseFlags(args []string) (*options, error) {
 		return nil, err
 	}
 	o.shards = shards
+	replicas, err := parseReplicas(replicaSpecs)
+	if err != nil {
+		return nil, err
+	}
+	o.replicas = replicas
 	return o, nil
 }
 
@@ -167,6 +207,7 @@ func main() {
 	}
 	gw, err := cluster.New(cluster.Config{
 		Shards:          o.shards,
+		Replicas:        o.replicas,
 		VirtualNodes:    o.vnodes,
 		Timeout:         o.timeout,
 		Retries:         o.retries,

@@ -1,0 +1,27 @@
+// Package replica seeds the msod_replica_* metricname violations: a
+// family emitted from two sites (double-counted on scrape), a name
+// breaking the ^msod_ convention, and one family whose label-key set
+// drifts between series.
+package replica
+
+import (
+	"fmt"
+	"io"
+
+	"badmod/internal/obsv"
+)
+
+// Metrics emits msod_replica_lag_seconds here AND in Health below, and
+// a family with an uppercase segment.
+func Metrics(w io.Writer) {
+	obsv.WriteGauge(w, "msod_replica_lag_seconds", "h", 0)
+	obsv.WriteCounter(w, "msod_replica_Resyncs_total", "h", 1)
+	fmt.Fprintf(w, "msod_replica_reads{kind=%q} %d\n", "advice", 7)
+}
+
+// Health re-emits the lag family and drifts the label-key set of
+// msod_replica_reads from {kind} to {shard}.
+func Health(w io.Writer) {
+	obsv.WriteGauge(w, "msod_replica_lag_seconds", "h", 1)
+	fmt.Fprintf(w, "msod_replica_reads{shard=%q} %d\n", "a", 3)
+}

@@ -1,0 +1,20 @@
+// Package replica is the compliant mirror for the msod_replica_*
+// family: every family a read replica exposes is a literal name with
+// exactly one emitter and a stable label-key set.
+package replica
+
+import (
+	"fmt"
+	"io"
+
+	"goodmod/internal/obsv"
+)
+
+// Metrics emits the replica staleness-contract families once each.
+func Metrics(w io.Writer) {
+	obsv.WriteGauge(w, "msod_replica_lag_seconds", "Seconds since last owner contact.", 0)
+	obsv.WriteGauge(w, "msod_replica_applied_seq", "Last broker sequence applied to the mirror.", 42)
+	obsv.WriteCounter(w, "msod_replica_resyncs_total", "Full state resyncs (bootstrap, gap, divergence).", 1)
+	fmt.Fprintf(w, "msod_replica_reads{kind=%q} %d\n", "advice", 7)
+	fmt.Fprintf(w, "msod_replica_reads{kind=%q} %d\n", "state", 3)
+}

@@ -76,7 +76,7 @@ func TestPerfExperimentsSmoke(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 16 {
+	if len(all) != 17 {
 		t.Fatalf("registered %d experiments", len(all))
 	}
 	seen := map[string]bool{}

@@ -112,6 +112,54 @@ func ReportOf(t *Table) *Report {
 	return r
 }
 
+// Trajectory is one point of the repository's performance trajectory:
+// the Reports of one msodbench run bundled into a single file that is
+// checked in (BENCH_<n>.json, n = the PR that produced it), so
+// successive PRs' numbers can be compared without re-running old
+// commits. Cross-machine comparisons are meaningless — the provenance
+// block says what produced the numbers; compare shapes, or points from
+// the same host.
+type Trajectory struct {
+	Label       string    `json:"label"`
+	GoVersion   string    `json:"go_version"`
+	GoOS        string    `json:"goos"`
+	GoArch      string    `json:"goarch"`
+	NumCPU      int       `json:"num_cpu"`
+	GitCommit   string    `json:"git_commit"`
+	GeneratedAt string    `json:"generated_at"`
+	Experiments []*Report `json:"experiments"`
+}
+
+// WriteTrajectoryFile bundles the tables into one trajectory snapshot
+// at path, creating parent directories as needed.
+func WriteTrajectoryFile(path, label string, tables []*Table) error {
+	tr := &Trajectory{
+		Label:       label,
+		GoVersion:   runtime.Version(),
+		GoOS:        runtime.GOOS,
+		GoArch:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		GitCommit:   gitCommit(),
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, t := range tables {
+		tr.Experiments = append(tr.Experiments, ReportOf(t))
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("bench: create %s: %w", dir, err)
+		}
+	}
+	data, err := json.MarshalIndent(tr, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: marshal trajectory: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("bench: write %s: %w", path, err)
+	}
+	return nil
+}
+
 // WriteJSONFile writes the table's Report to dir/BENCH_<ID>.json,
 // creating dir if needed, and returns the path written.
 func (t *Table) WriteJSONFile(dir string) (string, error) {

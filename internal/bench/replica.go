@@ -1,0 +1,197 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"time"
+
+	"msod/internal/adi"
+	"msod/internal/cluster"
+	"msod/internal/inspect"
+	"msod/internal/pdp"
+	"msod/internal/policy"
+	"msod/internal/replica"
+	"msod/internal/server"
+	"msod/internal/workload"
+)
+
+// E17 measures advisory read throughput against replica count: one
+// owning PDP shard seeded with retained-ADI history, fronted by the
+// gateway, with 0, 1, 2 and 4 event-fed read replicas attached. The
+// gateway serves /v1/advice replica-first, so every added replica is
+// another independent mirror answering near-limit probes — while the
+// authoritative decision path stays single-writer on the owner. The
+// owner's own advisory path is the baseline; the table quantifies how
+// much advisory capacity the replica tier adds without touching the
+// decision path's correctness story.
+func E17() (*Table, error) {
+	t := &Table{
+		ID:      "E17",
+		Title:   "Advisory throughput vs read-replica count (gateway, replica-first reads)",
+		Ref:     "§6 scalability (extension: advisory read-replica tier)",
+		Columns: []string{"replicas", "advisory throughput", "speedup"},
+	}
+	const (
+		workers    = 8
+		perWorker  = 400
+		users      = 256
+		seedGrants = 1500
+	)
+
+	pol, err := policy.ParseRBACPolicy([]byte(benchBankPolicyXML))
+	if err != nil {
+		return nil, err
+	}
+
+	run := func(replicaCount int) (float64, error) {
+		// closers run LIFO, like defers: the follower context must be
+		// cancelled (ending replica SSE streams) before the owner server
+		// closes, or owner.Close blocks on the live event connections.
+		var closers []func()
+		defer func() {
+			for i := len(closers) - 1; i >= 0; i-- {
+				closers[i]()
+			}
+		}()
+
+		// The owner: one in-memory shard with the event broker attached
+		// (replicas bootstrap from its snapshot and tail its stream).
+		broker := inspect.NewBroker(4096)
+		p, err := pdp.New(pdp.Config{
+			Policy:   pol,
+			Store:    adi.NewStore(),
+			Observer: func(ev inspect.DecisionEvent) { broker.Publish(ev) },
+		})
+		if err != nil {
+			return 0, err
+		}
+		owner := httptest.NewServer(server.New(p, server.WithEventBroker(broker)))
+		closers = append(closers, owner.Close)
+
+		// Seed retained-ADI history so mirrors carry real state and
+		// advisory answers consult a non-trivial history.
+		seedGen := workload.NewBank(workload.BankConfig{
+			Seed: 1700, Users: users, Branches: 8, Periods: 2,
+			AuditorFraction: 0.3, Zipf: true,
+		})
+		for _, r := range seedGen.Stream(seedGrants) {
+			if _, err := p.Decide(pdp.Request{
+				User: r.User, Roles: r.Roles,
+				Operation: r.Operation, Target: r.Target, Context: r.Context,
+			}); err != nil {
+				return 0, err
+			}
+		}
+
+		// Replicas: bootstrap each from the owner's snapshot, tail the
+		// stream, and wait until every mirror has applied through the
+		// owner's current sequence number — the measured region reads
+		// converged mirrors, not mirrors still catching up.
+		ctx, cancel := context.WithCancel(context.Background())
+		closers = append(closers, cancel)
+		replicaURLs := make([]string, 0, replicaCount)
+		followers := make([]*replica.Follower, 0, replicaCount)
+		for i := 0; i < replicaCount; i++ {
+			f, err := replica.New(replica.Config{Owner: owner.URL, Policy: pol})
+			if err != nil {
+				return 0, err
+			}
+			go func() { _ = f.Run(ctx) }()
+			rs := httptest.NewServer(replica.NewServer(f))
+			closers = append(closers, rs.Close)
+			replicaURLs = append(replicaURLs, rs.URL)
+			followers = append(followers, f)
+		}
+		target := broker.Seq()
+		deadline := time.Now().Add(15 * time.Second)
+		for _, f := range followers {
+			for f.Mirror().AppliedSeq() < target || !f.Fresh() {
+				if time.Now().After(deadline) {
+					return 0, fmt.Errorf("replica did not converge: applied %d of %d", f.Mirror().AppliedSeq(), target)
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}
+
+		cfg := cluster.Config{Shards: []cluster.Shard{{ID: "shard00", BaseURL: owner.URL}}}
+		if replicaCount > 0 {
+			cfg.Replicas = map[string][]string{"shard00": replicaURLs}
+		}
+		gw, err := cluster.New(cfg)
+		if err != nil {
+			return 0, err
+		}
+		gwSrv := httptest.NewServer(gw)
+		closers = append(closers, gwSrv.Close, gw.Close)
+
+		// Pre-generate per-worker advisory streams (generation outside
+		// the timed region, as in E16).
+		streams := make([][]server.DecisionRequest, workers)
+		for w := range streams {
+			gen := workload.NewBank(workload.BankConfig{
+				Seed: int64(1710 + w), Users: users, Branches: 8, Periods: 2,
+				AuditorFraction: 0.3, Zipf: true,
+			})
+			for _, r := range gen.Stream(perWorker) {
+				roles := make([]string, len(r.Roles))
+				for i, role := range r.Roles {
+					roles[i] = string(role)
+				}
+				streams[w] = append(streams[w], server.DecisionRequest{
+					User: string(r.User), Roles: roles,
+					Operation: string(r.Operation), Target: string(r.Target),
+					Context: r.Context.String(),
+				})
+			}
+		}
+		client := server.NewClient(gwSrv.URL, nil)
+		var wg sync.WaitGroup
+		errs := make(chan error, workers)
+		start := time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for _, req := range streams[w] {
+					if _, err := client.AdviceCtx(context.Background(), req); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		select {
+		case err := <-errs:
+			return 0, err
+		default:
+		}
+		return float64(workers*perWorker) / elapsed.Seconds(), nil
+	}
+
+	var base float64
+	for _, n := range []int{0, 1, 2, 4} {
+		thr, err := run(n)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			base = thr
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.0f/s", thr),
+			fmt.Sprintf("%.2fx", thr/base),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"row 0 is the owner's own advisory path through the gateway — the single-shard baseline",
+		"every replica answer is a fresh mirror read stamped with X-Msod-Replica-Seq/Lag; the gateway rotates across the pool per request",
+		"decisions are untouched: /v1/decision still routes to the owner only, and a replica answering it would get 421",
+		fmt.Sprintf("GOMAXPROCS=%d on this host — owner, replicas and gateway share one process here, so scaling requires spare cores; a deployment puts replicas on separate hosts", runtime.GOMAXPROCS(0)))
+	return t, nil
+}

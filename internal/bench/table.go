@@ -1,5 +1,5 @@
 // Package bench implements the experiment harness: each experiment of
-// EXPERIMENTS.md (E1–E16) is a function producing a Table that
+// EXPERIMENTS.md (E1–E17) is a function producing a Table that
 // cmd/msodbench renders. The same workloads back the testing.B
 // benchmarks in the repository root.
 //
@@ -109,6 +109,7 @@ func All() []Experiment {
 		{"E14", "Concurrent throughput: global lock vs striped", E14},
 		{"E15", "Latency vs active context instances", E15},
 		{"E16", "Cluster throughput vs shard count", E16},
+		{"E17", "Advisory throughput vs replica count", E17},
 	}
 }
 

@@ -36,6 +36,13 @@ type Config struct {
 	// Shards is the fixed shard topology. Required, non-empty, unique
 	// IDs.
 	Shards []Shard
+	// Replicas maps a shard ID to the base URLs of its advisory read
+	// replicas (msodd -replica-of instances following that shard).
+	// Optional. When present, advisory and state reads for users owned
+	// by that shard are served replica-first with owner fallback;
+	// decisions and management are NEVER routed to a replica — a
+	// replica holds no authority and refuses them with 421 anyway.
+	Replicas map[string][]string
 	// VirtualNodes per shard on the ring (DefaultVirtualNodes if < 1).
 	VirtualNodes int
 	// Timeout bounds every request to a shard (default 5s).
@@ -89,6 +96,11 @@ type gwMetrics struct {
 	// eventStreams counts /v1/events fan-in connections opened.
 	stateQueries atomic.Int64
 	eventStreams atomic.Int64
+	// replicaReads counts advisory/state answers served by a read
+	// replica; replicaFallbacks counts reads that had replicas
+	// configured but ended up answered by the owning shard.
+	replicaReads     atomic.Int64
+	replicaFallbacks atomic.Int64
 }
 
 // Gateway fronts a user-sharded PDP cluster: it routes decision and
@@ -105,6 +117,10 @@ type Gateway struct {
 	mux     *http.ServeMux
 	metrics gwMetrics
 	start   time.Time
+
+	// replicas maps shard ID to its advisory replica set; read-only
+	// after New.
+	replicas map[string]*replicaSet
 
 	mu      sync.RWMutex
 	addrs   map[string]string
@@ -161,15 +177,29 @@ func New(cfg Config) (*Gateway, error) {
 		g.ring.Add(s.ID)
 		ids = append(ids, s.ID)
 	}
+	g.replicas = make(map[string]*replicaSet)
+	for shardID, urls := range cfg.Replicas {
+		if _, ok := g.addrs[shardID]; !ok {
+			return nil, fmt.Errorf("cluster: replicas configured for unknown shard %q", shardID)
+		}
+		set := &replicaSet{}
+		for _, u := range urls {
+			if u == "" {
+				return nil, fmt.Errorf("cluster: empty replica URL for shard %q", shardID)
+			}
+			set.urls = append(set.urls, u)
+		}
+		if len(set.urls) > 0 {
+			g.replicas[shardID] = set
+		}
+	}
 	g.checker = NewChecker(ids, g.probe, cfg.FailAfter)
 	g.breaker = NewBreaker(ids, cfg.BreakerAfter, cfg.BreakerCooldown)
 	g.mux = http.NewServeMux()
 	g.mux.HandleFunc(server.DecisionPath, func(w http.ResponseWriter, r *http.Request) {
 		g.handleRouted(w, r, true, (*server.Client).DecisionCtx)
 	})
-	g.mux.HandleFunc(server.AdvicePath, func(w http.ResponseWriter, r *http.Request) {
-		g.handleRouted(w, r, false, (*server.Client).AdviceCtx)
-	})
+	g.mux.HandleFunc(server.AdvicePath, g.handleAdvice)
 	g.mux.HandleFunc(server.ManagementPath, g.handleManagement)
 	g.mux.HandleFunc(server.MetricsPath, g.handleMetrics)
 	g.mux.HandleFunc(server.HealthPath, g.handleHealth)
@@ -299,21 +329,32 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 //     timeout that struck post-commit replays the shard's committed
 //     response instead of double-recording ADI history.
 func (g *Gateway) handleRouted(w http.ResponseWriter, r *http.Request, record bool, call func(*server.Client, context.Context, server.DecisionRequest) (server.DecisionResponse, error)) {
+	req, key, traceID, ok := g.admitRouted(w, r)
+	if !ok {
+		return
+	}
+	g.routeDecision(w, r, req, key, traceID, record, call)
+}
+
+// admitRouted performs the shared request admission for the routed
+// paths: method check, decode, routing-key extraction, and trace
+// adoption. A false return means the refusal has been written.
+func (g *Gateway) admitRouted(w http.ResponseWriter, r *http.Request) (server.DecisionRequest, string, obsv.TraceID, bool) {
 	if r.Method != http.MethodPost {
 		errorJSON(w, http.StatusMethodNotAllowed, "POST required")
-		return
+		return server.DecisionRequest{}, "", "", false
 	}
 	var req server.DecisionRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		g.metrics.badRequests.Add(1)
 		errorJSON(w, http.StatusBadRequest, fmt.Sprintf("decode: %v", err))
-		return
+		return server.DecisionRequest{}, "", "", false
 	}
 	key := routingKey(req)
 	if key == "" {
 		g.metrics.badRequests.Add(1)
 		errorJSON(w, http.StatusBadRequest, "request has no routable subject (user or credential holder)")
-		return
+		return server.DecisionRequest{}, "", "", false
 	}
 	// The gateway is where the trace is born: adopt the PEP's
 	// traceparent or mint one, and reuse the same trace (and so the
@@ -324,6 +365,12 @@ func (g *Gateway) handleRouted(w http.ResponseWriter, r *http.Request, record bo
 	if !ok {
 		traceID = obsv.NewTraceID()
 	}
+	return req, key, traceID, true
+}
+
+// routeDecision is the owner-routed tail of handleRouted: everything
+// after admission, from ring lookup through retries to the response.
+func (g *Gateway) routeDecision(w http.ResponseWriter, r *http.Request, req server.DecisionRequest, key string, traceID obsv.TraceID, record bool, call func(*server.Client, context.Context, server.DecisionRequest) (server.DecisionResponse, error)) {
 	trace := obsv.NewTrace(traceID)
 	ctx := obsv.WithTrace(r.Context(), trace)
 	start := time.Now()
@@ -791,6 +838,8 @@ func (g *Gateway) writeOwnMetrics(w io.Writer) {
 	obsv.WriteCounter(w, "msodgw_state_queries_total", "Introspection state lookups served (routed or fanned out).", g.metrics.stateQueries.Load())
 	obsv.WriteCounter(w, "msodgw_event_streams_total", "Decision event fan-in streams opened.", g.metrics.eventStreams.Load())
 	obsv.WriteCounter(w, "msodgw_breaker_refused_total", "Requests refused by an open circuit breaker (also counted in msodgw_unavailable_total).", g.metrics.broken.Load())
+	obsv.WriteCounter(w, "msodgw_replica_reads_total", "Advisory/state reads served by a shard's read replica.", g.metrics.replicaReads.Load())
+	obsv.WriteCounter(w, "msodgw_replica_fallbacks_total", "Reads with replicas configured that were answered by the owning shard instead.", g.metrics.replicaFallbacks.Load())
 	fmt.Fprintf(w, "# HELP msodgw_shard_up Shard availability (1 up, 0 down).\n# TYPE msodgw_shard_up gauge\n")
 	statuses := g.checker.Statuses()
 	ids := make([]string, 0, len(statuses))

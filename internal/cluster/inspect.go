@@ -43,6 +43,12 @@ func (g *Gateway) handleStateUser(w http.ResponseWriter, r *http.Request) {
 		errorJSON(w, http.StatusServiceUnavailable, "no shards in ring")
 		return
 	}
+	// Replica-first: a fresh replica of the owning shard answers the
+	// read (stamped with its applied seq and lag); any replica failure
+	// falls through to the owner below.
+	if g.tryReplicaStateUser(w, r, shard, user) {
+		return
+	}
 	if !g.checker.Up(shard) {
 		g.metrics.unavailable.Add(1)
 		errorJSON(w, http.StatusServiceUnavailable,
@@ -98,10 +104,20 @@ func (g *Gateway) handleStateContext(w http.ResponseWriter, r *http.Request) {
 	}
 	results := make([]result, len(shards))
 	var wg sync.WaitGroup
+	fanCtx, cancel := requestTimeout(r.Context(), g.cfg.Timeout)
+	defer cancel()
 	for i, s := range shards {
 		wg.Add(1)
 		go func(i int, s string) {
 			defer wg.Done()
+			// Each shard's slice comes from one of its replicas when a
+			// fresh one answers, so a cluster-wide query mostly reads
+			// replicas; the shard itself is only asked when its
+			// replicas cannot answer.
+			if st, ok := g.replicaContextState(fanCtx, s, pattern); ok {
+				results[i] = result{shard: s, state: st}
+				return
+			}
 			c, _ := g.client(s)
 			st, err := c.ContextState(pattern)
 			results[i] = result{shard: s, state: st, err: err}
@@ -208,33 +224,41 @@ func (g *Gateway) handleEvents(w http.ResponseWriter, r *http.Request) {
 }
 
 // tailShard keeps one shard's event stream flowing into out until the
-// consumer's context ends, reconnecting with backoff across shard
-// restarts. Replay is only requested on the first connection — a
-// reconnect replaying history would duplicate events the consumer has
-// already seen.
+// consumer's context ends. FollowEvents reconnects transport drops
+// internally with sequence resume, so a shard restart or network blip
+// no longer loses the events published while the tail was down — the
+// old StreamEvents loop reconnected without resume and silently
+// skipped them. The last sequence seen here carries across outer
+// retries too (a deliberate shard refusal ends FollowEvents entirely);
+// only a resume gap — events rotated past the owner's ring, or the
+// shard restarted its broker — drops the cursor, because the history
+// is genuinely gone and rejoining live beats never rejoining.
 func (g *Gateway) tailShard(ctx context.Context, shard string, opts server.StreamEventsOptions, out chan<- inspect.DecisionEvent) {
-	first := true
+	fopts := server.FollowEventsOptions{
+		User:             opts.User,
+		Context:          opts.Context,
+		Outcome:          opts.Outcome,
+		Replay:           opts.Replay,
+		ReconnectBackoff: eventsReconnectBackoff,
+	}
 	for ctx.Err() == nil {
-		if !first {
+		if !g.checker.Up(shard) {
 			select {
 			case <-ctx.Done():
 				return
 			case <-time.After(eventsReconnectBackoff):
 			}
-		}
-		connOpts := opts
-		if !first {
-			connOpts.Replay = 0
-		}
-		first = false
-		if !g.checker.Up(shard) {
 			continue
 		}
 		c, ok := g.client(shard)
 		if !ok {
 			return
 		}
-		err := c.StreamEvents(ctx, connOpts, func(ev inspect.DecisionEvent) error {
+		err := c.FollowEvents(ctx, fopts, func(ev inspect.DecisionEvent) error {
+			if ev.Seq > 0 {
+				fopts.Resume = true
+				fopts.ResumeAfter = ev.Seq
+			}
 			ev.Shard = shard
 			select {
 			case out <- ev:
@@ -246,8 +270,23 @@ func (g *Gateway) tailShard(ctx context.Context, shard string, opts server.Strea
 		if ctx.Err() != nil {
 			return
 		}
-		if err != nil {
+		switch {
+		case errors.Is(err, server.ErrEventGap):
+			// The resume point rotated out of the shard's ring (or the
+			// shard restarted): the missed events are unrecoverable, so
+			// rejoin live rather than stay disconnected.
+			fopts.Resume = false
+			fopts.ResumeAfter = 0
+		case err != nil:
 			g.checker.ReportFailure(shard, err)
+		}
+		// Replay is a first-connection courtesy only; an outer retry
+		// re-replaying history would duplicate events already delivered.
+		fopts.Replay = 0
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(eventsReconnectBackoff):
 		}
 	}
 }

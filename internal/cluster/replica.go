@@ -1,0 +1,224 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/url"
+	"sync/atomic"
+	"time"
+
+	"msod/internal/inspect"
+	"msod/internal/obsv"
+	"msod/internal/replica"
+	"msod/internal/server"
+)
+
+// replicaSet is one shard's advisory replica pool. next rotates the
+// starting replica per read so load spreads across the pool instead of
+// hammering the first URL while the rest idle.
+type replicaSet struct {
+	urls []string
+	next atomic.Uint64
+}
+
+// ordered returns the pool rotated to this read's starting replica.
+func (rs *replicaSet) ordered() []string {
+	n := len(rs.urls)
+	if n <= 1 {
+		return rs.urls
+	}
+	start := int((rs.next.Add(1) - 1) % uint64(n))
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, rs.urls[(start+i)%n])
+	}
+	return out
+}
+
+// replicaAnswer is one raw replica response: enough to forward the
+// body and the bounded-staleness stamps without re-interpreting them.
+type replicaAnswer struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+// replicaDo performs one bounded request against a replica. Any
+// transport or read error just disqualifies this replica for this
+// read — replicas are an optimisation, never a dependency, so errors
+// here are not reported to the shard checker or breaker.
+func (g *Gateway) replicaDo(ctx context.Context, method, rawURL string, traceID obsv.TraceID, body []byte) (replicaAnswer, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, rawURL, rd)
+	if err != nil {
+		return replicaAnswer{}, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if traceID.Valid() {
+		req.Header.Set(obsv.TraceparentHeader, traceID.Traceparent())
+	}
+	hc := g.cfg.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return replicaAnswer{}, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return replicaAnswer{}, err
+	}
+	return replicaAnswer{status: resp.StatusCode, header: resp.Header, body: b}, nil
+}
+
+// forwardReplicaAnswer writes a replica's 200 through to the caller,
+// preserving the staleness-contract stamps and naming the shard whose
+// state the answer mirrors.
+func forwardReplicaAnswer(w http.ResponseWriter, shard string, ans replicaAnswer) {
+	if v := ans.header.Get(replica.ReplicaSeqHeader); v != "" {
+		w.Header().Set(replica.ReplicaSeqHeader, v)
+	}
+	if v := ans.header.Get(replica.ReplicaLagHeader); v != "" {
+		w.Header().Set(replica.ReplicaLagHeader, v)
+	}
+	w.Header().Set("X-Msod-Shard", shard)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(ans.body)
+}
+
+// requestTimeout bounds a replica read under the caller's context.
+func requestTimeout(parent context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return context.WithCancel(parent)
+	}
+	return context.WithTimeout(parent, d)
+}
+
+// handleAdvice serves /v1/advice replica-first: when the owning shard
+// has advisory replicas configured, a fresh replica answers from its
+// mirror (the answer carries the X-Msod-Replica-Seq/Lag stamps so the
+// caller can see what it got); any replica failure — stale refusal,
+// transport error, resync in progress — falls back to the owning shard
+// exactly as if no replicas existed. Decisions never come here:
+// /v1/decision routes to the owner unconditionally, because a replica
+// grant would be a false grant.
+func (g *Gateway) handleAdvice(w http.ResponseWriter, r *http.Request) {
+	req, key, traceID, ok := g.admitRouted(w, r)
+	if !ok {
+		return
+	}
+	if shard, ok := g.ring.Lookup(key); ok {
+		if set := g.replicas[shard]; set != nil {
+			if g.tryReplicaAdvice(w, r, shard, set, req, traceID) {
+				return
+			}
+			g.metrics.replicaFallbacks.Add(1)
+		}
+	}
+	g.routeDecision(w, r, req, key, traceID, false, (*server.Client).AdviceCtx)
+}
+
+// tryReplicaAdvice asks the shard's replicas in rotated order and
+// forwards the first trustworthy 200. Only a 200 is ever forwarded:
+// a replica's refusals (503 stale, 421) and errors are its own
+// business — the owner remains the authority on every refusal, so the
+// caller sees the owner's verdict, not a replica's. The same ownership
+// echo-check as the owner path applies: an answer resolving a subject
+// the routed shard does not own is dropped, and the owner path decides
+// what that misroute means.
+func (g *Gateway) tryReplicaAdvice(w http.ResponseWriter, r *http.Request, shard string, set *replicaSet, req server.DecisionRequest, traceID obsv.TraceID) bool {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return false
+	}
+	ctx, cancel := requestTimeout(r.Context(), g.cfg.Timeout)
+	defer cancel()
+	for _, base := range set.ordered() {
+		ans, err := g.replicaDo(ctx, http.MethodPost, base+server.AdvicePath, traceID, body)
+		if err != nil || ans.status != http.StatusOK {
+			continue
+		}
+		var resp server.DecisionResponse
+		if err := json.Unmarshal(ans.body, &resp); err != nil {
+			continue
+		}
+		if owner, ok := g.ring.Lookup(resp.User); resp.User == "" || !ok || owner != shard {
+			return false
+		}
+		g.metrics.replicaReads.Add(1)
+		forwardReplicaAnswer(w, shard, ans)
+		return true
+	}
+	return false
+}
+
+// tryReplicaStateUser proxies one /v1/state/users read to the shard's
+// replicas, forwarding the first 200 with its staleness stamps.
+func (g *Gateway) tryReplicaStateUser(w http.ResponseWriter, r *http.Request, shard, user string) bool {
+	set := g.replicas[shard]
+	if set == nil {
+		return false
+	}
+	ctx, cancel := requestTimeout(r.Context(), g.cfg.Timeout)
+	defer cancel()
+	for _, base := range set.ordered() {
+		ans, err := g.replicaDo(ctx, http.MethodGet, base+server.StateUsersPath+url.PathEscape(user), "", nil)
+		if err != nil || ans.status != http.StatusOK {
+			continue
+		}
+		g.metrics.replicaReads.Add(1)
+		forwardReplicaAnswer(w, shard, ans)
+		return true
+	}
+	g.metrics.replicaFallbacks.Add(1)
+	return false
+}
+
+// replicaContextState fetches one shard's slice of a context-state
+// fan-out from its replicas, reporting whether a fresh replica
+// answered. Used per shard inside handleStateContext's fan-out, so a
+// cluster-wide context query mostly reads replicas and only bothers
+// owners whose replicas cannot answer.
+func (g *Gateway) replicaContextState(ctx context.Context, shard, pattern string) (inspect.ContextState, bool) {
+	set := g.replicas[shard]
+	if set == nil {
+		return inspect.ContextState{}, false
+	}
+	for _, base := range set.ordered() {
+		ans, err := g.replicaDo(ctx, http.MethodGet, base+server.StateContextsPath+url.PathEscape(pattern), "", nil)
+		if err != nil || ans.status != http.StatusOK {
+			continue
+		}
+		var st inspect.ContextState
+		if err := json.Unmarshal(ans.body, &st); err != nil {
+			continue
+		}
+		g.metrics.replicaReads.Add(1)
+		return st, true
+	}
+	g.metrics.replicaFallbacks.Add(1)
+	return inspect.ContextState{}, false
+}
+
+// ReplicasFor reports the configured replica URLs for a shard (for
+// introspection and tests).
+func (g *Gateway) ReplicasFor(shard string) []string {
+	set := g.replicas[shard]
+	if set == nil {
+		return nil
+	}
+	out := make([]string, len(set.urls))
+	copy(out, set.urls)
+	return out
+}

@@ -1,0 +1,317 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"msod/internal/inspect"
+	"msod/internal/replica"
+	"msod/internal/server"
+)
+
+// stubReplica is a scripted advisory replica: fresh by default, it
+// answers advice and state reads with bounded-staleness stamps; with
+// stale set it refuses 503 like the real replica server; authoritative
+// paths always get 421.
+type stubReplica struct {
+	ts        *httptest.Server
+	advice    atomic.Int64
+	state     atomic.Int64
+	misdirect atomic.Int64
+	stale     atomic.Bool
+	echoUser  atomic.Value // string: User echoed in advice answers
+}
+
+func newStubReplica(t *testing.T) *stubReplica {
+	t.Helper()
+	s := &stubReplica{}
+	s.echoUser.Store("alice")
+	stamp := func(w http.ResponseWriter) {
+		w.Header().Set(replica.ReplicaSeqHeader, "42")
+		w.Header().Set(replica.ReplicaLagHeader, "0.010")
+	}
+	refuse := func(w http.ResponseWriter) bool {
+		if !s.stale.Load() {
+			return false
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]string{"error": "replica stale"})
+		return true
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc(server.AdvicePath, func(w http.ResponseWriter, r *http.Request) {
+		s.advice.Add(1)
+		if refuse(w) {
+			return
+		}
+		stamp(w)
+		json.NewEncoder(w).Encode(server.DecisionResponse{
+			Allowed: false, Phase: "advisory", Reason: "replica says no",
+			User: s.echoUser.Load().(string),
+		})
+	})
+	mux.HandleFunc(server.StateUsersPath, func(w http.ResponseWriter, r *http.Request) {
+		s.state.Add(1)
+		if refuse(w) {
+			return
+		}
+		stamp(w)
+		user := strings.TrimPrefix(r.URL.Path, server.StateUsersPath)
+		json.NewEncoder(w).Encode(inspect.UserState{User: user})
+	})
+	misdirected := func(w http.ResponseWriter, r *http.Request) {
+		s.misdirect.Add(1)
+		w.WriteHeader(http.StatusMisdirectedRequest)
+	}
+	mux.HandleFunc(server.DecisionPath, misdirected)
+	mux.HandleFunc(server.ManagementPath, misdirected)
+	s.ts = httptest.NewServer(mux)
+	t.Cleanup(s.ts.Close)
+	return s
+}
+
+func adviceViaGateway(t *testing.T, gtsURL string) *http.Response {
+	t.Helper()
+	body, _ := json.Marshal(server.DecisionRequest{
+		User: "alice", Roles: []string{"Teller"},
+		Operation: "HandleCash", Target: "till",
+		Context: "Branch=York, Period=2006",
+	})
+	resp, err := http.Post(gtsURL+server.AdvicePath, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func gatewayCounter(t *testing.T, gtsURL, name string) string {
+	t.Helper()
+	resp, err := http.Get(gtsURL + server.MetricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	for _, line := range strings.Split(string(b), "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			return strings.TrimPrefix(line, name+" ")
+		}
+	}
+	t.Fatalf("gateway metrics missing %s", name)
+	return ""
+}
+
+// TestGatewayAdviceReplicaFirst: with a fresh replica configured, the
+// gateway serves /v1/advice from it — staleness stamps forwarded, the
+// owning shard never asked — and counts the replica read.
+func TestGatewayAdviceReplicaFirst(t *testing.T) {
+	rep := newStubReplica(t)
+	_, gts, shards := newTestCluster(t, 1, Config{
+		Replicas: map[string][]string{"shard00": {rep.ts.URL}},
+	})
+
+	resp := adviceViaGateway(t, gts.URL)
+	var dec server.DecisionResponse
+	if err := json.NewDecoder(resp.Body).Decode(&dec); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || dec.Reason != "replica says no" {
+		t.Fatalf("advice = %d %+v, want the replica's answer", resp.StatusCode, dec)
+	}
+	if got := resp.Header.Get(replica.ReplicaSeqHeader); got != "42" {
+		t.Errorf("%s = %q, want forwarded 42", replica.ReplicaSeqHeader, got)
+	}
+	if resp.Header.Get(replica.ReplicaLagHeader) == "" {
+		t.Errorf("replica lag stamp not forwarded")
+	}
+	if got := resp.Header.Get("X-Msod-Shard"); got != "shard00" {
+		t.Errorf("X-Msod-Shard = %q", got)
+	}
+	if n := shards[0].requests.Load(); n != 0 {
+		t.Errorf("owning shard saw %d advisory requests, want 0", n)
+	}
+	if got := gatewayCounter(t, gts.URL, "msodgw_replica_reads_total"); got != "1" {
+		t.Errorf("msodgw_replica_reads_total = %s, want 1", got)
+	}
+}
+
+// TestGatewayAdviceFallsBackToOwner: every replica failure mode — stale
+// refusal, dead listener, an answer that resolves no subject — ends
+// with the owner serving the read, stamped as an owner answer (no
+// replica seq), and counted as a fallback.
+func TestGatewayAdviceFallsBackToOwner(t *testing.T) {
+	rep := newStubReplica(t)
+	_, gts, shards := newTestCluster(t, 1, Config{
+		Replicas: map[string][]string{"shard00": {rep.ts.URL}},
+	})
+
+	check := func(stage string, wantOwnerHits int64) {
+		t.Helper()
+		resp := adviceViaGateway(t, gts.URL)
+		var dec server.DecisionResponse
+		if err := json.NewDecoder(resp.Body).Decode(&dec); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || !dec.Allowed {
+			t.Fatalf("%s: owner fallback = %d %+v", stage, resp.StatusCode, dec)
+		}
+		if resp.Header.Get(replica.ReplicaSeqHeader) != "" {
+			t.Errorf("%s: owner answer carries a replica seq stamp", stage)
+		}
+		if n := shards[0].requests.Load(); n != wantOwnerHits {
+			t.Errorf("%s: owner hits = %d, want %d", stage, n, wantOwnerHits)
+		}
+	}
+
+	rep.stale.Store(true)
+	check("stale replica", 1)
+	rep.stale.Store(false)
+	rep.echoUser.Store("") // answer resolves no subject: dropped
+	check("subjectless replica answer", 2)
+	rep.ts.Close() // dead listener: transport error disqualifies it
+	check("dead replica", 3)
+
+	if got := gatewayCounter(t, gts.URL, "msodgw_replica_fallbacks_total"); got != "3" {
+		t.Errorf("msodgw_replica_fallbacks_total = %s, want 3", got)
+	}
+	if got := gatewayCounter(t, gts.URL, "msodgw_replica_reads_total"); got != "0" {
+		t.Errorf("msodgw_replica_reads_total = %s, want 0", got)
+	}
+}
+
+// TestGatewayReplicaPoolRotation: with a stale first replica, a fresh
+// pool-mate answers — the pool degrades member by member, not as a
+// unit.
+func TestGatewayReplicaPoolRotation(t *testing.T) {
+	repA, repB := newStubReplica(t), newStubReplica(t)
+	repA.stale.Store(true)
+	_, gts, shards := newTestCluster(t, 1, Config{
+		Replicas: map[string][]string{"shard00": {repA.ts.URL, repB.ts.URL}},
+	})
+	for i := 0; i < 4; i++ {
+		resp := adviceViaGateway(t, gts.URL)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("read %d = %d", i, resp.StatusCode)
+		}
+	}
+	if n := shards[0].requests.Load(); n != 0 {
+		t.Errorf("owner served %d reads despite a fresh pool-mate", n)
+	}
+	if repB.advice.Load() != 4 {
+		t.Errorf("fresh replica served %d of 4 reads", repB.advice.Load())
+	}
+}
+
+// TestGatewayDecisionsNeverRouteToReplicas: commit-point decisions and
+// management go to owners unconditionally — the replicas see nothing.
+func TestGatewayDecisionsNeverRouteToReplicas(t *testing.T) {
+	rep := newStubReplica(t)
+	_, gts, shards := newTestCluster(t, 1, Config{
+		Replicas: map[string][]string{"shard00": {rep.ts.URL}},
+	})
+	body, _ := json.Marshal(server.DecisionRequest{
+		User: "alice", Roles: []string{"Teller"},
+		Operation: "HandleCash", Target: "till",
+		Context: "Branch=York, Period=2006",
+	})
+	resp, err := http.Post(gts.URL+server.DecisionPath, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("decision = %d", resp.StatusCode)
+	}
+	if n := shards[0].requests.Load(); n != 1 {
+		t.Errorf("owner decisions = %d, want 1", n)
+	}
+	if n := rep.advice.Load() + rep.misdirect.Load() + rep.state.Load(); n != 0 {
+		t.Errorf("replica saw %d requests from a decision, want 0", n)
+	}
+}
+
+// TestGatewayStateUserReplicaFirst: user-state reads come from the
+// replica while it is fresh and from the owner once it is not.
+func TestGatewayStateUserReplicaFirst(t *testing.T) {
+	rep := newStubReplica(t)
+	_, gts, _ := newTestCluster(t, 1, Config{
+		Replicas: map[string][]string{"shard00": {rep.ts.URL}},
+	})
+
+	resp, err := http.Get(gts.URL + server.StateUsersPath + "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st inspect.UserState
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || st.User != "alice" {
+		t.Fatalf("replica state read = %d %+v", resp.StatusCode, st)
+	}
+	if resp.Header.Get(replica.ReplicaSeqHeader) != "42" {
+		t.Errorf("state read missing replica stamp")
+	}
+	if rep.state.Load() != 1 {
+		t.Errorf("replica state hits = %d", rep.state.Load())
+	}
+
+	// Stale replica: the owner answers. The stub owner has no state
+	// endpoint, so the read must at least *reach* it — a 404 from the
+	// owner proves the fallback routed there, and no replica stamp leaks.
+	rep.stale.Store(true)
+	resp, err = http.Get(gts.URL + server.StateUsersPath + "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.Header.Get(replica.ReplicaSeqHeader) != "" {
+		t.Errorf("owner-path state answer carries a replica stamp")
+	}
+	if rep.state.Load() != 2 {
+		t.Errorf("stale replica was not even asked: hits = %d", rep.state.Load())
+	}
+	if got := gatewayCounter(t, gts.URL, "msodgw_replica_fallbacks_total"); got != "1" {
+		t.Errorf("msodgw_replica_fallbacks_total = %s, want 1", got)
+	}
+}
+
+// TestConfigReplicaValidation: replicas for unknown shards and empty
+// URLs are configuration errors.
+func TestConfigReplicaValidation(t *testing.T) {
+	base := Config{Shards: []Shard{{ID: "s0", BaseURL: "http://127.0.0.1:1"}}}
+	bad := base
+	bad.Replicas = map[string][]string{"nope": {"http://127.0.0.1:2"}}
+	if _, err := New(bad); err == nil || !strings.Contains(err.Error(), "unknown shard") {
+		t.Errorf("unknown shard accepted: %v", err)
+	}
+	bad = base
+	bad.Replicas = map[string][]string{"s0": {""}}
+	if _, err := New(bad); err == nil || !strings.Contains(err.Error(), "empty replica URL") {
+		t.Errorf("empty URL accepted: %v", err)
+	}
+	good := base
+	good.Replicas = map[string][]string{"s0": {"http://127.0.0.1:2", "http://127.0.0.1:3"}}
+	gw, err := New(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+	if got := gw.ReplicasFor("s0"); len(got) != 2 {
+		t.Errorf("ReplicasFor = %v", got)
+	}
+	if got := gw.ReplicasFor("s1"); got != nil {
+		t.Errorf("ReplicasFor unknown = %v", got)
+	}
+}

@@ -8,6 +8,7 @@
 package inspect
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -17,11 +18,21 @@ import (
 )
 
 // Decision outcomes as they appear in events and filters (matching the
-// audit trail's effect vocabulary).
+// audit trail's effect vocabulary). OutcomePurge extends it: management
+// purges mutate the retained ADI without being decisions, and a mirror
+// replaying the stream must see them or silently diverge.
 const (
 	OutcomeGrant = "grant"
 	OutcomeDeny  = "deny"
+	OutcomePurge = "purge"
 )
+
+// ErrGap reports that a sequence-resumed subscription cannot be
+// satisfied: the events after the requested sequence have rotated out
+// of the ring (or the broker restarted and its numbering reset), so
+// resuming would silently skip history. Callers must fall back to a
+// full state resync instead.
+var ErrGap = errors.New("inspect: resume gap: requested sequence is no longer retained")
 
 // DecisionEvent is one PDP decision as published to the event stream.
 // It mirrors the audit event's request echo, with the denial stage and
@@ -51,6 +62,15 @@ type DecisionEvent struct {
 	Reason string `json:"reason,omitempty"`
 	// MatchedPolicies is how many MSoD policies matched the request.
 	MatchedPolicies int `json:"matched,omitempty"`
+	// Recorded and Purged echo the decision's retained-ADI effects
+	// (records appended, records removed by a last-step or management
+	// purge). A mirror replaying the stream compares its own effects
+	// against these to detect divergence instead of drifting silently.
+	Recorded int `json:"recorded,omitempty"`
+	Purged   int `json:"purged,omitempty"`
+	// Before is the cutoff of a purge-before management event; nil
+	// otherwise.
+	Before *time.Time `json:"before,omitempty"`
 	// Shard is stamped by the gateway fan-in with the shard ID the
 	// event came from; empty on a shard's own stream.
 	Shard string `json:"shard,omitempty"`
@@ -75,9 +95,9 @@ type Filter struct {
 func NewFilter(user, ctxPattern, outcome string) (Filter, error) {
 	f := Filter{User: user, Outcome: outcome}
 	switch outcome {
-	case "", OutcomeGrant, OutcomeDeny:
+	case "", OutcomeGrant, OutcomeDeny, OutcomePurge:
 	default:
-		return Filter{}, fmt.Errorf("inspect: outcome %q is not %q or %q", outcome, OutcomeGrant, OutcomeDeny)
+		return Filter{}, fmt.Errorf("inspect: outcome %q is not %q, %q or %q", outcome, OutcomeGrant, OutcomeDeny, OutcomePurge)
 	}
 	if ctxPattern != "" {
 		pat, err := bctx.Parse(ctxPattern)
@@ -238,6 +258,43 @@ func (b *Broker) Subscribe(f Filter, replay int) *Subscriber {
 	}
 	b.subs[s] = struct{}{}
 	return s
+}
+
+// SubscribeFrom registers a consumer resuming after a known sequence
+// number: every retained event with Seq > afterSeq that matches the
+// filter is queued first (oldest first, gap-free), then the
+// subscription goes live. It returns ErrGap when the span after
+// afterSeq is no longer fully retained — either the ring rotated past
+// it or the broker restarted and afterSeq is from a previous
+// incarnation — because resuming would silently skip events; callers
+// must fall back to a full state resync. afterSeq 0 means "from the
+// oldest retained event" and gaps once the ring has rotated at all.
+func (b *Broker) SubscribeFrom(f Filter, afterSeq uint64) (*Subscriber, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		s := &Subscriber{ch: make(chan DecisionEvent), filter: f}
+		close(s.ch)
+		return s, nil
+	}
+	if afterSeq > b.seq {
+		return nil, fmt.Errorf("%w: resume after seq %d, but this broker is at seq %d (restarted?)",
+			ErrGap, afterSeq, b.seq)
+	}
+	pending := b.seq - afterSeq
+	if pending > uint64(b.size) {
+		return nil, fmt.Errorf("%w: resume after seq %d needs %d events but only %d are retained (oldest retained seq %d)",
+			ErrGap, afterSeq, pending, b.size, b.seq-uint64(b.size)+1)
+	}
+	s := &Subscriber{ch: make(chan DecisionEvent, int(pending)+64), filter: f}
+	for i := b.size - int(pending); i < b.size; i++ {
+		ev := b.ring[(b.head+i)%len(b.ring)]
+		if f.Match(ev) {
+			s.ch <- ev
+		}
+	}
+	b.subs[s] = struct{}{}
+	return s, nil
 }
 
 // Unsubscribe removes the consumer and closes its channel.

@@ -1,6 +1,7 @@
 package inspect
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 	"time"
@@ -135,6 +136,262 @@ func TestBrokerSlowSubscriberDropsNotBlocks(t *testing.T) {
 	}
 	if sub.Dropped() == 0 {
 		t.Error("slow subscriber reported zero drops after 500 undrained events")
+	}
+}
+
+// drain reads queued events until the channel would block, returning
+// the users in arrival order.
+func drain(t *testing.T, sub *Subscriber) []string {
+	t.Helper()
+	var users []string
+	for {
+		select {
+		case e, ok := <-sub.Events():
+			if !ok {
+				return users
+			}
+			users = append(users, e.User)
+		default:
+			return users
+		}
+	}
+}
+
+// TestBrokerReplayBoundary pins the replay-window arithmetic at its
+// edges: replay == everything retained, replay == capacity after the
+// ring has rotated, and replay beyond capacity clamping — the
+// off-by-one class of bug where a subscriber gets one event too few
+// (silent loss) or a stale slot from the rotated-out past.
+func TestBrokerReplayBoundary(t *testing.T) {
+	// Ring not yet full: replay == size returns every event, in order.
+	b := NewBroker(8)
+	for _, u := range []string{"a", "b", "c"} {
+		b.Publish(ev(u, OutcomeGrant, "P=1"))
+	}
+	sub := b.Subscribe(Filter{}, 3)
+	if got := drain(t, sub); len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Fatalf("replay==size: got %v, want [a b c]", got)
+	}
+	b.Unsubscribe(sub)
+
+	// Ring exactly full: replay == capacity returns all capacity events.
+	b2 := NewBroker(4)
+	for i := 0; i < 4; i++ {
+		b2.Publish(ev(fmt.Sprintf("u%d", i), OutcomeGrant, "P=1"))
+	}
+	sub = b2.Subscribe(Filter{}, 4)
+	if got := drain(t, sub); len(got) != 4 || got[0] != "u0" || got[3] != "u3" {
+		t.Fatalf("replay==capacity(full): got %v, want [u0 u1 u2 u3]", got)
+	}
+	b2.Unsubscribe(sub)
+
+	// Rotated ring: only the surviving window replays — never an
+	// overwritten slot, never fewer than retained.
+	for i := 4; i < 7; i++ { // seq 5..7 overwrite u0..u2
+		b2.Publish(ev(fmt.Sprintf("u%d", i), OutcomeGrant, "P=1"))
+	}
+	sub = b2.Subscribe(Filter{}, 100) // clamped to capacity
+	if got := drain(t, sub); len(got) != 4 || got[0] != "u3" || got[3] != "u6" {
+		t.Fatalf("replay>capacity(rotated): got %v, want [u3 u4 u5 u6]", got)
+	}
+	b2.Unsubscribe(sub)
+
+	// replay 0 and negative: nothing queued.
+	for _, n := range []int{0, -5} {
+		sub = b2.Subscribe(Filter{}, n)
+		if got := drain(t, sub); len(got) != 0 {
+			t.Fatalf("replay=%d queued %v, want nothing", n, got)
+		}
+		b2.Unsubscribe(sub)
+	}
+}
+
+// TestBrokerDroppedAccounting pins the exact drop count: a subscriber
+// with an undrained buffer loses precisely the overflow — no
+// double-counting, no uncounted loss — and keeps receiving once it
+// drains again.
+func TestBrokerDroppedAccounting(t *testing.T) {
+	b := NewBroker(512)
+	sub := b.Subscribe(Filter{}, 0) // buffer is 0+64
+	defer b.Unsubscribe(sub)
+	const total = 100
+	for i := 0; i < total; i++ {
+		b.Publish(ev(fmt.Sprintf("u%d", i), OutcomeGrant, "P=1"))
+	}
+	if got := sub.Dropped(); got != total-64 {
+		t.Fatalf("Dropped() = %d, want exactly %d (buffer 64 of %d events)", got, total-64, total)
+	}
+	// The buffered prefix is intact and in order: drops happen at the
+	// tail (newest events), never by corrupting what was queued.
+	got := drain(t, sub)
+	if len(got) != 64 || got[0] != "u0" || got[63] != "u63" {
+		t.Fatalf("buffered prefix = %d events [%s..%s], want 64 [u0..u63]",
+			len(got), got[0], got[len(got)-1])
+	}
+	// Drained: delivery resumes, and the drop counter stays put.
+	b.Publish(ev("fresh", OutcomeGrant, "P=1"))
+	select {
+	case e := <-sub.Events():
+		if e.User != "fresh" {
+			t.Fatalf("post-drain event = %q, want fresh", e.User)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no delivery after draining a slow subscriber")
+	}
+	if got := sub.Dropped(); got != total-64 {
+		t.Errorf("Dropped() moved to %d after recovery, want still %d", got, total-64)
+	}
+}
+
+// TestBrokerRecentMatchesSubscribeReplay: Recent(f, n) and the replayed
+// prefix of Subscribe(f, n) are two views of the same ring — they must
+// agree event-for-event, including under a filter that skips ring slots.
+func TestBrokerRecentMatchesSubscribeReplay(t *testing.T) {
+	b := NewBroker(16)
+	for i := 0; i < 12; i++ {
+		user := "other"
+		if i%3 == 0 {
+			user = "alice"
+		}
+		b.Publish(ev(user, OutcomeGrant, "P=1"))
+	}
+	f, err := NewFilter("alice", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 4, 100} {
+		recent := b.Recent(f, n)
+		sub := b.Subscribe(f, n)
+		replayed := drain(t, sub)
+		b.Unsubscribe(sub)
+		if len(recent) != len(replayed) {
+			t.Fatalf("n=%d: Recent %d events, Subscribe replayed %d", n, len(recent), len(replayed))
+		}
+		for i := range recent {
+			if recent[i].User != replayed[i] {
+				t.Errorf("n=%d event %d: Recent %q vs replay %q", n, i, recent[i].User, replayed[i])
+			}
+		}
+	}
+}
+
+// TestBrokerSubscribeFromResume: resuming after a known sequence queues
+// exactly the retained span after it, gap-free and in order, then goes
+// live.
+func TestBrokerSubscribeFromResume(t *testing.T) {
+	b := NewBroker(16)
+	for i := 1; i <= 10; i++ {
+		b.Publish(ev(fmt.Sprintf("u%d", i), OutcomeGrant, "P=1"))
+	}
+	sub, err := b.SubscribeFrom(Filter{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, sub)
+	want := []string{"u6", "u7", "u8", "u9", "u10"}
+	if len(got) != len(want) {
+		t.Fatalf("resumed %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("resumed %v, want %v", got, want)
+		}
+	}
+	// Live after the catch-up.
+	b.Publish(ev("u11", OutcomeGrant, "P=1"))
+	select {
+	case e := <-sub.Events():
+		if e.User != "u11" || e.Seq != 11 {
+			t.Fatalf("live event after resume = %+v", e)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no live delivery after resume")
+	}
+	b.Unsubscribe(sub)
+
+	// Resuming exactly at the head queues nothing.
+	sub, err = b.SubscribeFrom(Filter{}, b.Seq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(t, sub); len(got) != 0 {
+		t.Fatalf("resume at head queued %v", got)
+	}
+	b.Unsubscribe(sub)
+}
+
+// TestBrokerSubscribeFromGap: every way a resume point can be
+// unservable must fail with ErrGap — never a silently shortened replay.
+func TestBrokerSubscribeFromGap(t *testing.T) {
+	b := NewBroker(4)
+	for i := 1; i <= 10; i++ { // seq 1..10; only 7..10 retained
+		b.Publish(ev(fmt.Sprintf("u%d", i), OutcomeGrant, "P=1"))
+	}
+	// Rotated past: seq 2 needs 3..10 but only 7..10 survive.
+	if _, err := b.SubscribeFrom(Filter{}, 2); !errors.Is(err, ErrGap) {
+		t.Errorf("rotated-out resume: err = %v, want ErrGap", err)
+	}
+	// Boundary: the oldest retained event is seq 7, so afterSeq 6 is the
+	// oldest servable resume — and 5 is one too old.
+	if _, err := b.SubscribeFrom(Filter{}, 6); err != nil {
+		t.Errorf("oldest servable resume refused: %v", err)
+	}
+	if _, err := b.SubscribeFrom(Filter{}, 5); !errors.Is(err, ErrGap) {
+		t.Errorf("one-past-oldest resume: err = %v, want ErrGap", err)
+	}
+	// Ahead of the broker: a seq from a previous incarnation.
+	if _, err := b.SubscribeFrom(Filter{}, 99); !errors.Is(err, ErrGap) {
+		t.Errorf("future resume: err = %v, want ErrGap", err)
+	}
+	// afterSeq 0 ("everything") gaps once the ring has rotated at all…
+	if _, err := b.SubscribeFrom(Filter{}, 0); !errors.Is(err, ErrGap) {
+		t.Errorf("from-zero resume on rotated ring: err = %v, want ErrGap", err)
+	}
+	// …but works on a broker that still retains its full history.
+	b2 := NewBroker(8)
+	b2.Publish(ev("a", OutcomeGrant, "P=1"))
+	sub, err := b2.SubscribeFrom(Filter{}, 0)
+	if err != nil {
+		t.Fatalf("from-zero resume with full history: %v", err)
+	}
+	if got := drain(t, sub); len(got) != 1 || got[0] != "a" {
+		t.Errorf("from-zero replay = %v, want [a]", got)
+	}
+}
+
+// TestBrokerSubscribeFromFiltered: the filter prunes the catch-up span
+// without disturbing its order, and a closed broker hands back a closed
+// channel rather than an error.
+func TestBrokerSubscribeFromFiltered(t *testing.T) {
+	b := NewBroker(16)
+	for i := 1; i <= 8; i++ {
+		user := "other"
+		if i%2 == 0 {
+			user = "alice"
+		}
+		b.Publish(ev(user, OutcomeGrant, "P=1"))
+	}
+	f, err := NewFilter("alice", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := b.SubscribeFrom(f, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, sub)
+	if len(got) != 3 { // seqs 4, 6, 8
+		t.Fatalf("filtered resume delivered %v, want 3 alice events", got)
+	}
+	b.Unsubscribe(sub)
+
+	b.Close()
+	sub, err = b.SubscribeFrom(Filter{}, 0)
+	if err != nil {
+		t.Fatalf("SubscribeFrom on closed broker: %v", err)
+	}
+	if _, ok := <-sub.Events(); ok {
+		t.Error("closed broker delivered an event")
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"msod/internal/adi"
 	"msod/internal/bctx"
 	"msod/internal/credential"
+	"msod/internal/inspect"
 	"msod/internal/rbac"
 )
 
@@ -76,13 +77,30 @@ func (p *PDP) Manage(req ManagementRequest) (ManagementResult, error) {
 		return ManagementResult{}, fmt.Errorf("%w: user %q roles %v not permitted %s", ErrManagement, user, roles, perm)
 	}
 
+	// Purges mutate the retained ADI outside the decision path, so each
+	// one publishes an OutcomePurge event under the commit lock — the
+	// mutation and its event are atomic with respect to decisions, and
+	// a mirror replaying the stream applies the same purge at the same
+	// point (without these events it would silently diverge).
 	switch req.Operation {
 	case OpPurgeContext:
 		pattern, err := bctx.Parse(req.ContextPattern)
 		if err != nil {
 			return ManagementResult{}, fmt.Errorf("%w: %v", ErrManagement, err)
 		}
-		n, err := p.store.PurgeContext(pattern)
+		var n int
+		p.commitMu.Lock()
+		n, err = p.store.PurgeContext(pattern)
+		if err == nil {
+			p.publishPurge(inspect.DecisionEvent{
+				Operation: string(OpPurgeContext),
+				Target:    string(RetainedADITarget),
+				Context:   pattern.String(),
+				Purged:    n,
+				Reason:    fmt.Sprintf("management purge by %q", user),
+			})
+		}
+		p.commitMu.Unlock()
 		if err != nil {
 			return ManagementResult{}, fmt.Errorf("%w: %v", ErrManagement, err)
 		}
@@ -96,7 +114,16 @@ func (p *PDP) Manage(req ManagementRequest) (ManagementResult, error) {
 		if !ok {
 			return ManagementResult{}, fmt.Errorf("%w: store does not support purgeUser", ErrManagement)
 		}
+		p.commitMu.Lock()
 		n := s.PurgeUser(req.TargetUser)
+		p.publishPurge(inspect.DecisionEvent{
+			Operation: string(OpPurgeUser),
+			Target:    string(RetainedADITarget),
+			User:      string(req.TargetUser),
+			Purged:    n,
+			Reason:    fmt.Sprintf("management purge by %q", user),
+		})
+		p.commitMu.Unlock()
 		return ManagementResult{Removed: n, Records: p.store.Len()}, nil
 
 	case OpPurgeBefore:
@@ -107,7 +134,17 @@ func (p *PDP) Manage(req ManagementRequest) (ManagementResult, error) {
 		if !ok {
 			return ManagementResult{}, fmt.Errorf("%w: store does not support purgeBefore", ErrManagement)
 		}
-		n := s.PurgeBefore(req.Before)
+		before := req.Before
+		p.commitMu.Lock()
+		n := s.PurgeBefore(before)
+		p.publishPurge(inspect.DecisionEvent{
+			Operation: string(OpPurgeBefore),
+			Target:    string(RetainedADITarget),
+			Before:    &before,
+			Purged:    n,
+			Reason:    fmt.Sprintf("management purge by %q", user),
+		})
+		p.commitMu.Unlock()
 		return ManagementResult{Removed: n, Records: p.store.Len()}, nil
 
 	case OpStats:
@@ -116,4 +153,15 @@ func (p *PDP) Manage(req ManagementRequest) (ManagementResult, error) {
 	default:
 		return ManagementResult{}, fmt.Errorf("%w: unknown operation %q", ErrManagement, req.Operation)
 	}
+}
+
+// publishPurge emits a management purge to the event stream; no-op
+// without an observer. The caller holds commitMu.
+func (p *PDP) publishPurge(ev inspect.DecisionEvent) {
+	if p.observer == nil {
+		return
+	}
+	ev.Effect = inspect.OutcomePurge
+	ev.Time = p.clock()
+	p.observer(ev)
 }

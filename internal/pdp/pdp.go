@@ -16,6 +16,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -66,14 +67,20 @@ type Config struct {
 
 // PDP is a ready decision point.
 type PDP struct {
-	policyID  string
-	model     *rbac.Model
-	cvs       *credential.CVS
-	engine    *core.Engine
-	store     adi.Recorder
-	trail     *audit.Writer
-	observer  func(inspect.DecisionEvent)
-	clock     func() time.Time
+	policyID string
+	model    *rbac.Model
+	cvs      *credential.CVS
+	engine   *core.Engine
+	store    adi.Recorder
+	trail    *audit.Writer
+	observer func(inspect.DecisionEvent)
+	clock    func() time.Time
+	// commitMu makes a decision's store commit and its event
+	// publication atomic with respect to other decisions, so broker
+	// sequence order equals store commit order — the invariant that
+	// lets a replica replay the stream in seq order and reconstruct the
+	// exact store state. Taken only when an Observer is attached.
+	commitMu  sync.Mutex
 	trailErrs atomic.Int64
 }
 
@@ -225,7 +232,15 @@ func (p *PDP) DecideCtx(ctx context.Context, req Request) (Decision, error) {
 		dec.Allowed = false
 		dec.Phase = PhaseRBAC
 		dec.Reason = fmt.Sprintf("no activated role grants %s", perm)
-		p.log(ctx, req, user, roles, dec, nil)
+		// RBAC denials never touch the store, so they need no commit
+		// ordering: publish and append directly.
+		if p.trail != nil || p.observer != nil {
+			ev := p.event(ctx, req, user, roles, dec, nil)
+			if p.observer != nil {
+				p.publish(ev, dec)
+			}
+			p.appendTrail(ctx, ev)
+		}
 		return dec, nil
 	}
 
@@ -237,9 +252,20 @@ func (p *PDP) DecideCtx(ctx context.Context, req Request) (Decision, error) {
 		Context:   req.Context,
 	}
 	endMSoD := obsv.StartSpan(ctx, obsv.StageMSoD)
+	// The commit lock spans evaluation (which may commit a record) and
+	// event publication — see the commitMu field comment. The audit
+	// append stays outside: durable I/O under the lock would gate every
+	// decision's latency on disk, and the trail has its own ordering.
+	locked := p.observer != nil
+	if locked {
+		p.commitMu.Lock()
+	}
 	mdec, err := p.engine.EvaluateCtx(ctx, msodReq)
-	endMSoD()
 	if err != nil {
+		if locked {
+			p.commitMu.Unlock()
+		}
+		endMSoD()
 		return Decision{}, err
 	}
 	dec.MSoD = &mdec
@@ -251,8 +277,33 @@ func (p *PDP) DecideCtx(ctx context.Context, req Request) (Decision, error) {
 		dec.Allowed = true
 		dec.Phase = PhaseGranted
 	}
-	p.log(ctx, req, user, roles, dec, &mdec)
+	var ev audit.Event
+	if locked || p.trail != nil {
+		ev = p.event(ctx, req, user, roles, dec, &mdec)
+	}
+	if locked {
+		p.publish(ev, dec)
+		p.commitMu.Unlock()
+	}
+	endMSoD()
+	if p.trail != nil {
+		p.appendTrail(ctx, ev)
+	}
 	return dec, nil
+}
+
+// WithCommitLock runs fn while holding the decision commit lock: no
+// decision can sit between its store commit and its event publication
+// while fn runs. The replica snapshot endpoint uses this to capture a
+// store dump and a broker sequence number that are consistent with
+// each other. Keep fn short — decisions block for its duration. The
+// guarantee is meaningful only when the PDP has an Observer (without
+// one, decisions skip the lock — and there is no event stream to be
+// consistent with).
+func (p *PDP) WithCommitLock(fn func()) {
+	p.commitMu.Lock()
+	defer p.commitMu.Unlock()
+	fn()
 }
 
 // Advise answers "would Decide grant this?" without any side effects:
@@ -322,13 +373,9 @@ func (p *PDP) subject(req Request) (rbac.UserID, []rbac.RoleName, error) {
 	return req.User, append([]rbac.RoleName(nil), req.Roles...), nil
 }
 
-// log writes the decision to the audit trail if one is configured and
-// publishes it to the observer, stamping the context's trace ID into
-// both so the durable record and the live event stream correlate.
-func (p *PDP) log(ctx context.Context, req Request, user rbac.UserID, roles []rbac.RoleName, dec Decision, mdec *core.Decision) {
-	if p.trail == nil && p.observer == nil {
-		return
-	}
+// event builds the audit record for a decision, stamping the context's
+// trace ID so the durable record and the live event stream correlate.
+func (p *PDP) event(ctx context.Context, req Request, user rbac.UserID, roles []rbac.RoleName, dec Decision, mdec *core.Decision) audit.Event {
 	coreReq := core.Request{
 		User: user, Roles: roles,
 		Operation: req.Operation, Target: req.Target, Context: req.Context,
@@ -342,32 +389,48 @@ func (p *PDP) log(ctx context.Context, req Request, user rbac.UserID, roles []rb
 	}
 	ev := audit.NewEvent(coreReq, cd, p.clock())
 	ev.TraceID = string(obsv.TraceIDFrom(ctx))
-	if p.trail != nil {
-		endAudit := obsv.StartSpan(ctx, obsv.StageAudit)
-		// Trail write failures must not flip an access decision; the PDP
-		// surfaces them via the event error counter instead (a production
-		// system would fail-stop; the paper does not specify).
-		if _, err := p.trail.Append(ev); err != nil {
-			p.trailErrs.Add(1)
-		}
-		endAudit()
+	return ev
+}
+
+// publish converts the audit record to a stream event — with the
+// decision's retained-ADI effects echoed for mirror divergence checks —
+// and hands it to the observer. For decisions that can commit, the
+// caller holds commitMu so sequence numbers are assigned in commit
+// order.
+func (p *PDP) publish(ev audit.Event, dec Decision) {
+	out := inspect.DecisionEvent{
+		Time:            ev.Time,
+		TraceID:         ev.TraceID,
+		User:            ev.User,
+		Roles:           ev.Roles,
+		Operation:       ev.Operation,
+		Target:          ev.Target,
+		Context:         ev.Context,
+		Effect:          ev.Effect,
+		MatchedPolicies: ev.MatchedPolicies,
 	}
-	if p.observer != nil {
-		out := inspect.DecisionEvent{
-			Time:            ev.Time,
-			TraceID:         ev.TraceID,
-			User:            ev.User,
-			Roles:           ev.Roles,
-			Operation:       ev.Operation,
-			Target:          ev.Target,
-			Context:         ev.Context,
-			Effect:          ev.Effect,
-			MatchedPolicies: ev.MatchedPolicies,
-		}
-		if !dec.Allowed {
-			out.Stage = string(dec.Phase)
-			out.Reason = dec.Reason
-		}
-		p.observer(out)
+	if dec.MSoD != nil {
+		out.Recorded = dec.MSoD.Recorded
+		out.Purged = dec.MSoD.Purged
 	}
+	if !dec.Allowed {
+		out.Stage = string(dec.Phase)
+		out.Reason = dec.Reason
+	}
+	p.observer(out)
+}
+
+// appendTrail writes the decision to the audit trail if one is
+// configured. Trail write failures must not flip an access decision;
+// the PDP surfaces them via the event error counter instead (a
+// production system would fail-stop; the paper does not specify).
+func (p *PDP) appendTrail(ctx context.Context, ev audit.Event) {
+	if p.trail == nil {
+		return
+	}
+	endAudit := obsv.StartSpan(ctx, obsv.StageAudit)
+	if _, err := p.trail.Append(ev); err != nil {
+		p.trailErrs.Add(1)
+	}
+	endAudit()
 }

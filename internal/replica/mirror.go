@@ -1,0 +1,241 @@
+// Package replica implements the advisory read-replica tier: a
+// follower subscribes to an owning shard's decision event stream,
+// applies the events to a read-only retained-ADI mirror, and serves
+// the advisory surface (near-limit probes, /v1/state introspection)
+// under an explicit bounded-staleness contract. Authoritative
+// decisions stay single-writer on the owner; every replica answer is
+// stamped with the applied broker sequence number and lag, and a
+// replica that cannot prove freshness refuses — failing toward "ask
+// the owner" — rather than answering stale.
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"msod/internal/adi"
+	"msod/internal/bctx"
+	"msod/internal/core"
+	"msod/internal/inspect"
+	"msod/internal/pdp"
+	"msod/internal/policy"
+	"msod/internal/rbac"
+	"msod/internal/server"
+)
+
+// ErrDiverged reports that applying an event produced different
+// retained-ADI effects than the owner recorded for it. The mirror's
+// state can no longer be trusted and must be rebuilt from a snapshot;
+// the follower does exactly that. Test with errors.Is.
+var ErrDiverged = errors.New("replica: mirror diverged from owner")
+
+// Mirror is a local retained-ADI copy maintained by deterministic
+// replay: grant events are re-evaluated through an engine compiled
+// from the same policy, with the clock pinned to each event's
+// timestamp, so the mirror commits exactly the records the owner did —
+// and proves it by comparing its recorded/purged counts against the
+// owner's echoes in every event. Denials never mutate and are skipped;
+// management purges arrive as their own events.
+//
+// The mirror is the advisory decision surface too: Advise answers
+// "would the owner grant this?" from local state with zero side
+// effects.
+type Mirror struct {
+	pdp   *pdp.PDP
+	store *adi.Store
+
+	// mu serialises Apply and Reset; reads (Advise, browsing) go
+	// through the store's own locks and may interleave.
+	mu sync.Mutex
+	// applyTime pins the engine clock to the event being applied, so
+	// replayed records carry the owner's timestamps, not replay time.
+	applyTime  atomic.Pointer[time.Time]
+	appliedSeq atomic.Uint64
+}
+
+// NewMirror compiles the policy into a fresh mirror. The policy (and
+// hierarchyAware, mirroring the owner's -hierarchy-msod setting) must
+// match the owner's: same events through a different policy is a
+// different history.
+func NewMirror(pol *policy.RBACPolicy, hierarchyAware bool) (*Mirror, error) {
+	m := &Mirror{store: adi.NewStore()}
+	p, err := pdp.New(pdp.Config{
+		Policy:             pol,
+		Store:              m.store,
+		Clock:              m.clock,
+		HierarchyAwareMSoD: hierarchyAware,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m.pdp = p
+	return m, nil
+}
+
+// clock is the mirror PDP's time source: the event timestamp during
+// replay, wall time otherwise (advisory evaluations never commit, so
+// wall time is only cosmetic there).
+func (m *Mirror) clock() time.Time {
+	if t := m.applyTime.Load(); t != nil {
+		return *t
+	}
+	return time.Now()
+}
+
+// PolicyID returns the compiled policy's identifier.
+func (m *Mirror) PolicyID() string { return m.pdp.PolicyID() }
+
+// AppliedSeq returns the owner sequence number the mirror has applied
+// through.
+func (m *Mirror) AppliedSeq() uint64 { return m.appliedSeq.Load() }
+
+// Records returns the mirror's retained record count.
+func (m *Mirror) Records() int { return m.store.Len() }
+
+// Browser exposes the mirror's read-only browse surface for state
+// introspection.
+func (m *Mirror) Browser() adi.Browser { return m.store }
+
+// Engine exposes the mirror's MSoD engine (for the inspector's
+// near-limit computation).
+func (m *Mirror) Engine() *core.Engine { return m.pdp.Engine() }
+
+// Advise answers a side-effect-free advisory decision from mirror
+// state. Freshness is the caller's concern (see Follower.Advise).
+func (m *Mirror) Advise(req pdp.Request) (pdp.Decision, error) {
+	return m.pdp.Advise(req)
+}
+
+// Apply replays one owner event into the mirror. Events must arrive in
+// sequence order with no holes (the resumable stream guarantees it).
+// An ErrDiverged return means the mirror refused the event because its
+// effects did not match the owner's echoes; the mirror must be Reset
+// from a fresh snapshot.
+func (m *Mirror) Apply(ev inspect.DecisionEvent) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ev.Seq != 0 && ev.Seq <= m.appliedSeq.Load() {
+		// Already applied (an overlapping replay); skipping is safe
+		// because application is deterministic.
+		return nil
+	}
+	var err error
+	switch ev.Effect {
+	case inspect.OutcomeDeny:
+		// Denials never touch the retained ADI.
+	case inspect.OutcomeGrant:
+		err = m.applyGrant(ev)
+	case inspect.OutcomePurge:
+		err = m.applyPurge(ev)
+	default:
+		err = fmt.Errorf("%w: unknown effect %q at seq %d", ErrDiverged, ev.Effect, ev.Seq)
+	}
+	if err != nil {
+		return err
+	}
+	if ev.Seq != 0 {
+		m.appliedSeq.Store(ev.Seq)
+	}
+	return nil
+}
+
+func (m *Mirror) applyGrant(ev inspect.DecisionEvent) error {
+	ctxName, err := bctx.Parse(ev.Context)
+	if err != nil {
+		return fmt.Errorf("%w: seq %d has unparseable context %q: %v", ErrDiverged, ev.Seq, ev.Context, err)
+	}
+	t := ev.Time
+	m.applyTime.Store(&t)
+	defer m.applyTime.Store((*time.Time)(nil))
+	roles := make([]rbac.RoleName, len(ev.Roles))
+	for i, r := range ev.Roles {
+		roles[i] = rbac.RoleName(r)
+	}
+	dec, err := m.pdp.Engine().Evaluate(core.Request{
+		User:      rbac.UserID(ev.User),
+		Roles:     roles,
+		Operation: rbac.Operation(ev.Operation),
+		Target:    rbac.Object(ev.Target),
+		Context:   ctxName,
+	})
+	if err != nil {
+		return fmt.Errorf("replica: apply seq %d: %w", ev.Seq, err)
+	}
+	if dec.Effect != core.Grant {
+		return fmt.Errorf("%w: owner granted seq %d (%s on %s by %s in %q) but the mirror denies: %v",
+			ErrDiverged, ev.Seq, ev.Operation, ev.Target, ev.User, ev.Context, dec.Denial)
+	}
+	if dec.Recorded != ev.Recorded || dec.Purged != ev.Purged {
+		return fmt.Errorf("%w: seq %d effects differ: owner recorded=%d purged=%d, mirror recorded=%d purged=%d",
+			ErrDiverged, ev.Seq, ev.Recorded, ev.Purged, dec.Recorded, dec.Purged)
+	}
+	return nil
+}
+
+func (m *Mirror) applyPurge(ev inspect.DecisionEvent) error {
+	var n int
+	switch rbac.Operation(ev.Operation) {
+	case pdp.OpPurgeContext:
+		pattern, err := bctx.Parse(ev.Context)
+		if err != nil {
+			return fmt.Errorf("%w: purge seq %d has unparseable pattern %q: %v", ErrDiverged, ev.Seq, ev.Context, err)
+		}
+		n, err = m.store.PurgeContext(pattern)
+		if err != nil {
+			return fmt.Errorf("replica: apply purge seq %d: %w", ev.Seq, err)
+		}
+	case pdp.OpPurgeUser:
+		n = m.store.PurgeUser(rbac.UserID(ev.User))
+	case pdp.OpPurgeBefore:
+		if ev.Before == nil {
+			return fmt.Errorf("%w: purgeBefore event seq %d carries no cutoff", ErrDiverged, ev.Seq)
+		}
+		n = m.store.PurgeBefore(*ev.Before)
+	default:
+		return fmt.Errorf("%w: unknown purge operation %q at seq %d", ErrDiverged, ev.Operation, ev.Seq)
+	}
+	if n != ev.Purged {
+		return fmt.Errorf("%w: purge seq %d removed %d records on the mirror, %d on the owner",
+			ErrDiverged, ev.Seq, n, ev.Purged)
+	}
+	return nil
+}
+
+// Reset replaces the mirror's state with a snapshot: the store is
+// reloaded from the dump and the applied sequence jumps to the
+// snapshot's. Readers may observe the brief empty window; the follower
+// marks itself syncing (and therefore refuses to serve) around Reset.
+func (m *Mirror) Reset(snap server.ReplicaSnapshot) error {
+	recs := make([]adi.Record, 0, len(snap.Records))
+	for _, sr := range snap.Records {
+		ctxName, err := bctx.Parse(sr.Context)
+		if err != nil {
+			return fmt.Errorf("replica: snapshot record context %q: %w", sr.Context, err)
+		}
+		roles := make([]rbac.RoleName, len(sr.Roles))
+		for i, r := range sr.Roles {
+			roles[i] = rbac.RoleName(r)
+		}
+		recs = append(recs, adi.Record{
+			User:      rbac.UserID(sr.User),
+			Roles:     roles,
+			Operation: rbac.Operation(sr.Operation),
+			Target:    rbac.Object(sr.Target),
+			Context:   ctxName,
+			Time:      sr.Time,
+		})
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.store.Reset()
+	if len(recs) > 0 {
+		if err := m.store.Append(recs...); err != nil {
+			return fmt.Errorf("replica: load snapshot: %w", err)
+		}
+	}
+	m.appliedSeq.Store(snap.Seq)
+	return nil
+}

@@ -237,21 +237,160 @@ type StreamEventsOptions struct {
 // calls fn for each event until the context is cancelled, the server
 // closes the stream, or fn returns an error (which StreamEvents then
 // returns). The client's request timeout deliberately does not apply —
-// the stream is long-lived; bound it with the context.
+// the stream is long-lived; bound it with the context. StreamEvents
+// makes a single connection; use FollowEvents for a stream that
+// survives reconnects without losing events.
 func (c *Client) StreamEvents(ctx context.Context, opts StreamEventsOptions, fn func(inspect.DecisionEvent) error) error {
+	return unwrapCallback(c.streamOnce(ctx, eventsQuery(opts.User, opts.Context, opts.Outcome, opts.Replay), nil, nil, nil, fn))
+}
+
+// ErrEventGap reports that a resumed event stream cannot be continued
+// without loss: the events after the resume point have left the
+// server's ring buffer (or the server restarted and renumbered).
+// A consumer mirroring state from the stream must fall back to a full
+// resync; a consumer that only tails can restart live, knowing events
+// were missed. Returned wrapped; test with errors.Is.
+var ErrEventGap = errors.New("server: event stream gap: resume point no longer retained")
+
+// defaultStreamBackoff is the reconnect pause FollowEvents uses when
+// the options leave it zero.
+const defaultStreamBackoff = 500 * time.Millisecond
+
+// FollowEventsOptions configure a resumable event stream.
+type FollowEventsOptions struct {
+	// User, Context, Outcome become the server-side filter parameters.
+	User    string
+	Context string
+	Outcome string
+	// Replay asks for up to that many recent retained events on the
+	// first connection; ignored when Resume is set.
+	Replay int
+	// Resume starts the stream just after sequence number ResumeAfter
+	// instead of live: the server replays every retained event with a
+	// greater seq first, or the call fails with ErrEventGap when that
+	// span is no longer fully retained. ResumeAfter 0 with Resume set
+	// means "from the oldest retained event".
+	Resume      bool
+	ResumeAfter uint64
+	// ReconnectBackoff is the pause between reconnect attempts
+	// (default 500ms).
+	ReconnectBackoff time.Duration
+	// OnHeartbeat, when non-nil, is called on every sign of life from
+	// the server — connection established, keep-alive comment, event
+	// received — so a consumer with a staleness bound can track last
+	// contact without parsing events.
+	OnHeartbeat func()
+}
+
+// FollowEvents streams decision events like StreamEvents but survives
+// broken connections: after a transport failure or server-side close
+// it reconnects (waiting ReconnectBackoff between attempts) and
+// resumes just after the last sequence number it delivered, so no
+// event is lost or duplicated across reconnects. It returns when the
+// context is cancelled (ctx.Err()), fn returns an error (that error),
+// the resume span has left the server's ring (ErrEventGap, wrapped),
+// or the server rejects the stream outright (*APIError — e.g. events
+// not enabled).
+func (c *Client) FollowEvents(ctx context.Context, opts FollowEventsOptions, fn func(inspect.DecisionEvent) error) error {
+	backoff := opts.ReconnectBackoff
+	if backoff <= 0 {
+		backoff = defaultStreamBackoff
+	}
+	st := &streamState{last: opts.ResumeAfter, resuming: opts.Resume}
+	first := true
+	for {
+		q := eventsQuery(opts.User, opts.Context, opts.Outcome, 0)
+		var resume *uint64
+		switch {
+		case st.resuming:
+			after := st.last
+			resume = &after
+		case first && opts.Replay > 0:
+			q.Set("replay", strconv.Itoa(opts.Replay))
+		}
+		err := c.streamOnce(ctx, q, resume, st, opts.OnHeartbeat, fn)
+		first = false
+		var apiErr *APIError
+		switch {
+		case ctx.Err() != nil:
+			return ctx.Err()
+		case err == nil:
+			// Server closed the stream cleanly (e.g. shutting down):
+			// reconnect and resume.
+		case errors.As(err, &apiErr):
+			if apiErr.Status == http.StatusGone {
+				return fmt.Errorf("%w: %v", ErrEventGap, apiErr)
+			}
+			// Any other deliberate refusal (stream not enabled, bad
+			// filter) will not heal by retrying.
+			return err
+		case isCallbackError(err):
+			return unwrapCallback(err)
+		}
+		// Transport failure or clean close: wait and reconnect.
+		t := time.NewTimer(backoff)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// callbackError marks an error as originating from the caller's fn, so
+// FollowEvents can tell "consumer wants out" from "connection broke".
+type callbackError struct{ err error }
+
+func (e callbackError) Error() string { return e.err.Error() }
+func (e callbackError) Unwrap() error { return e.err }
+
+func isCallbackError(err error) bool {
+	var cb callbackError
+	return errors.As(err, &cb)
+}
+
+// unwrapCallback returns the caller's original error when err is a
+// callbackError, err otherwise.
+func unwrapCallback(err error) error {
+	var cb callbackError
+	if errors.As(err, &cb) {
+		return cb.err
+	}
+	return err
+}
+
+// streamState carries resume progress across reconnects.
+type streamState struct {
+	// last is the last sequence number delivered (or the caller's
+	// starting point); resuming says whether it is meaningful.
+	last     uint64
+	resuming bool
+}
+
+// eventsQuery builds the /v1/events filter parameters.
+func eventsQuery(user, context, outcome string, replay int) url.Values {
 	q := url.Values{}
-	if opts.User != "" {
-		q.Set("user", opts.User)
+	if user != "" {
+		q.Set("user", user)
 	}
-	if opts.Context != "" {
-		q.Set("context", opts.Context)
+	if context != "" {
+		q.Set("context", context)
 	}
-	if opts.Outcome != "" {
-		q.Set("outcome", opts.Outcome)
+	if outcome != "" {
+		q.Set("outcome", outcome)
 	}
-	if opts.Replay > 0 {
-		q.Set("replay", strconv.Itoa(opts.Replay))
+	if replay > 0 {
+		q.Set("replay", strconv.Itoa(replay))
 	}
+	return q
+}
+
+// streamOnce makes one connection to /v1/events and pumps it until it
+// ends. resume, when non-nil, is sent as the Last-Event-ID header; st,
+// when non-nil, records the last delivered sequence number; fn errors
+// come back wrapped as callbackError.
+func (c *Client) streamOnce(ctx context.Context, q url.Values, resume *uint64, st *streamState, onHeartbeat func(), fn func(inspect.DecisionEvent) error) error {
 	target := c.base + EventsPath
 	if len(q) > 0 {
 		target += "?" + q.Encode()
@@ -261,6 +400,9 @@ func (c *Client) StreamEvents(ctx context.Context, opts StreamEventsOptions, fn 
 		return fmt.Errorf("server: events: %w", err)
 	}
 	httpReq.Header.Set("Accept", "text/event-stream")
+	if resume != nil {
+		httpReq.Header.Set(LastEventIDHeader, strconv.FormatUint(*resume, 10))
+	}
 	httpResp, err := c.http.Do(httpReq)
 	if err != nil {
 		return fmt.Errorf("server: events: %w", err)
@@ -269,28 +411,51 @@ func (c *Client) StreamEvents(ctx context.Context, opts StreamEventsOptions, fn 
 	if httpResp.StatusCode != http.StatusOK {
 		return newAPIError(EventsPath, httpResp)
 	}
+	if onHeartbeat != nil {
+		onHeartbeat()
+	}
 	sc := bufio.NewScanner(httpResp.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
-		// SSE framing: data lines carry payloads; comments (heartbeats)
-		// and blank separators are skipped. Multi-line data is not used
-		// by the server.
-		if !strings.HasPrefix(line, "data: ") {
-			continue
-		}
-		var ev inspect.DecisionEvent
-		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
-			return fmt.Errorf("server: events decode: %w", err)
-		}
-		if err := fn(ev); err != nil {
-			return err
+		switch {
+		case strings.HasPrefix(line, "data: "):
+			var ev inspect.DecisionEvent
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				return fmt.Errorf("server: events decode: %w", err)
+			}
+			if st != nil && ev.Seq > 0 {
+				st.last, st.resuming = ev.Seq, true
+			}
+			if onHeartbeat != nil {
+				onHeartbeat()
+			}
+			if err := fn(ev); err != nil {
+				return callbackError{err}
+			}
+		case strings.HasPrefix(line, ":"):
+			// Keep-alive comment: a sign of life, not an event.
+			if onHeartbeat != nil {
+				onHeartbeat()
+			}
+		default:
+			// "id:" lines duplicate the payload's seq; blank separators
+			// and unknown fields are skipped per the SSE contract.
 		}
 	}
 	if err := sc.Err(); err != nil && ctx.Err() == nil {
 		return fmt.Errorf("server: events: %w", err)
 	}
 	return ctx.Err()
+}
+
+// ReplicaSnapshot fetches the consistent retained-ADI dump a replica
+// bootstraps from. The snapshot can be large; the client's request
+// timeout applies, so size it generously on followers of big shards.
+func (c *Client) ReplicaSnapshot(ctx context.Context) (ReplicaSnapshot, error) {
+	var out ReplicaSnapshot
+	err := c.get(ctx, ReplicaSnapshotPath, &out)
+	return out, err
 }
 
 // get performs a GET under the client timeout, decoding a JSON answer.

@@ -32,6 +32,13 @@ const (
 // eventsHeartbeat is the SSE keep-alive comment interval.
 const eventsHeartbeat = 15 * time.Second
 
+// LastEventIDHeader is the standard SSE resume header: a client
+// reconnecting to EventsPath sends the last sequence number it saw and
+// the stream resumes gap-free after it — or answers 410 Gone when that
+// span has left the ring, telling the client its copy of history is
+// unrecoverable through the stream (a replica must resync).
+const LastEventIDHeader = "Last-Event-ID"
+
 // WithIntrospection overrides the retained-ADI browse surface backing
 // /v1/state. Without this option, New derives it from the PDP's store
 // automatically (every store shipped with the repo supports browsing),
@@ -134,6 +141,23 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	var sub *inspect.Subscriber
+	if raw := r.Header.Get(LastEventIDHeader); raw != "" {
+		after, perr := strconv.ParseUint(raw, 10, 64)
+		if perr != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{LastEventIDHeader + " must be a sequence number"})
+			return
+		}
+		sub, err = s.broker.SubscribeFrom(filter, after)
+		if err != nil {
+			// The span after the client's last seq has left the ring (or
+			// the broker restarted): 410 Gone, not an empty stream — the
+			// client must know its history has a hole it cannot stream
+			// over.
+			writeJSON(w, http.StatusGone, errorResponse{err.Error()})
+			return
+		}
+	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {
 		writeJSON(w, http.StatusInternalServerError, errorResponse{"streaming unsupported"})
@@ -145,7 +169,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
 
-	sub := s.broker.Subscribe(filter, replay)
+	if sub == nil {
+		sub = s.broker.Subscribe(filter, replay)
+	}
 	defer s.broker.Unsubscribe(sub)
 	heartbeat := time.NewTicker(eventsHeartbeat)
 	defer heartbeat.Stop()
@@ -170,10 +196,17 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// writeSSE emits one event in SSE framing: "data: <json>\n\n".
+// writeSSE emits one event in SSE framing. The "id:" line carries the
+// broker sequence number so standard SSE resume (Last-Event-ID)
+// works; the gateway fan-in, which merges streams with unrelated
+// sequence spaces, strips it.
 func writeSSE(w http.ResponseWriter, ev inspect.DecisionEvent) error {
 	payload, err := json.Marshal(ev)
 	if err != nil {
+		return err
+	}
+	if ev.Seq > 0 && ev.Shard == "" {
+		_, err = fmt.Fprintf(w, "id: %d\ndata: %s\n\n", ev.Seq, payload)
 		return err
 	}
 	_, err = fmt.Fprintf(w, "data: %s\n\n", payload)

@@ -188,6 +188,158 @@ func TestEventsStreamFilters(t *testing.T) {
 	}
 }
 
+// TestEventsStreamResume: /v1/events honours Last-Event-ID — the
+// stream restarts just after the client's last seen sequence number,
+// each event carries its "id:" line, and a resume point that has left
+// the ring is refused with 410 Gone rather than an amnesiac stream.
+func TestEventsStreamResume(t *testing.T) {
+	ts, broker := startInspectServer(t)
+	c := NewClient(ts.URL, nil)
+	prepareAndConfirm(t, c, "TaxOffice=Leeds, taxRefundProcess=p1") // seq 1 grant, seq 2 deny
+
+	req, err := http.NewRequest(http.MethodGet, ts.URL+EventsPath, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(LastEventIDHeader, "1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("resume status = %d", resp.StatusCode)
+	}
+	// The first frame must be seq 2 (the event after the resume point),
+	// preceded by its id: line.
+	buf := make([]byte, 4096)
+	n, _ := resp.Body.Read(buf)
+	frame := string(buf[:n])
+	if !strings.HasPrefix(frame, "id: 2\n") {
+		t.Errorf("resumed frame does not lead with id: 2:\n%s", frame)
+	}
+	if !strings.Contains(frame, `"seq":2`) || strings.Contains(frame, `"seq":1`) {
+		t.Errorf("resumed frame = %q, want only the event after seq 1", frame)
+	}
+
+	// A malformed resume header is a 400, not a guess.
+	req2, _ := http.NewRequest(http.MethodGet, ts.URL+EventsPath, nil)
+	req2.Header.Set(LastEventIDHeader, "not-a-seq")
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed Last-Event-ID status = %d, want 400", resp2.StatusCode)
+	}
+
+	// A resume point ahead of the broker (a previous incarnation's seq)
+	// is a 410: the client must resync, not stream over the hole.
+	req3, _ := http.NewRequest(http.MethodGet, ts.URL+EventsPath, nil)
+	req3.Header.Set(LastEventIDHeader, fmt.Sprintf("%d", broker.Seq()+100))
+	resp3, err := http.DefaultClient.Do(req3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusGone {
+		t.Errorf("gapped resume status = %d, want 410", resp3.StatusCode)
+	}
+}
+
+// sseEvent writes one complete SSE frame (with id: line) and flushes.
+func sseEvent(t *testing.T, w http.ResponseWriter, seq uint64) {
+	t.Helper()
+	if err := writeSSE(w, inspect.DecisionEvent{Seq: seq, User: fmt.Sprintf("u%d", seq)}); err != nil {
+		t.Errorf("writeSSE: %v", err)
+	}
+	w.(http.Flusher).Flush()
+}
+
+// TestFollowEventsReconnectsWithResume: FollowEvents survives a
+// server-side close by reconnecting with Last-Event-ID set to the last
+// sequence it delivered — the consumer sees every event exactly once
+// across the break.
+func TestFollowEventsReconnectsWithResume(t *testing.T) {
+	var conns int
+	resumeHeaders := make([]string, 0, 2)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conns++
+		resumeHeaders = append(resumeHeaders, r.Header.Get(LastEventIDHeader))
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.WriteHeader(http.StatusOK)
+		switch conns {
+		case 1:
+			for seq := uint64(1); seq <= 3; seq++ {
+				sseEvent(t, w, seq)
+			}
+			// Return: the server drops the stream mid-flight.
+		default:
+			for seq := uint64(4); seq <= 5; seq++ {
+				sseEvent(t, w, seq)
+			}
+			<-r.Context().Done()
+		}
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var seqs []uint64
+	errDone := errors.New("done")
+	err := c.FollowEvents(ctx, FollowEventsOptions{ReconnectBackoff: 10 * time.Millisecond},
+		func(ev inspect.DecisionEvent) error {
+			seqs = append(seqs, ev.Seq)
+			if ev.Seq == 5 {
+				return errDone
+			}
+			return nil
+		})
+	if !errors.Is(err, errDone) {
+		t.Fatalf("FollowEvents = %v", err)
+	}
+	if len(seqs) != 5 {
+		t.Fatalf("delivered seqs = %v, want 1..5 exactly once", seqs)
+	}
+	for i, s := range seqs {
+		if s != uint64(i+1) {
+			t.Fatalf("delivered seqs = %v, want 1..5 in order", seqs)
+		}
+	}
+	if len(resumeHeaders) < 2 || resumeHeaders[0] != "" || resumeHeaders[1] != "3" {
+		t.Errorf("resume headers = %q, want first connection bare, second resuming after 3", resumeHeaders)
+	}
+}
+
+// TestFollowEventsSurfacesGap: when the reconnect's resume point has
+// rotated out server-side (410), FollowEvents stops with ErrEventGap
+// instead of silently rejoining live with a hole in the stream.
+func TestFollowEventsSurfacesGap(t *testing.T) {
+	var conns int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conns++
+		if conns == 1 {
+			w.Header().Set("Content-Type", "text/event-stream")
+			w.WriteHeader(http.StatusOK)
+			sseEvent(t, w, 7)
+			return // dropped; the client will reconnect with Last-Event-ID: 7
+		}
+		writeJSON(w, http.StatusGone, errorResponse{"resume after seq 7 is no longer retained"})
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err := c.FollowEvents(ctx, FollowEventsOptions{ReconnectBackoff: 10 * time.Millisecond},
+		func(ev inspect.DecisionEvent) error { return nil })
+	if !errors.Is(err, ErrEventGap) {
+		t.Fatalf("FollowEvents after 410 = %v, want ErrEventGap", err)
+	}
+}
+
 func TestMetricsIntrospectionGauges(t *testing.T) {
 	ts, _ := startInspectServer(t)
 	c := NewClient(ts.URL, nil)

@@ -196,6 +196,7 @@ func New(p *pdp.PDP, opts ...Option) *Server {
 	s.mux.HandleFunc(StateUsersPath, s.handleStateUser)
 	s.mux.HandleFunc(StateContextsPath, s.handleStateContext)
 	s.mux.HandleFunc(EventsPath, s.handleEvents)
+	s.mux.HandleFunc(ReplicaSnapshotPath, s.handleReplicaSnapshot)
 	return s
 }
 

@@ -1,0 +1,83 @@
+package server
+
+import (
+	"net/http"
+	"time"
+
+	"msod/internal/adi"
+	"msod/internal/bctx"
+)
+
+// ReplicaSnapshotPath serves a consistent retained-ADI dump for replica
+// bootstrap and resync (GET).
+const ReplicaSnapshotPath = "/v1/replica/snapshot"
+
+// SnapshotRecord is the wire form of one retained-ADI record in a
+// replica snapshot.
+type SnapshotRecord struct {
+	User      string    `json:"user"`
+	Roles     []string  `json:"roles,omitempty"`
+	Operation string    `json:"op"`
+	Target    string    `json:"target"`
+	Context   string    `json:"ctx"`
+	Time      time.Time `json:"time"`
+}
+
+// ReplicaSnapshot is a full retained-ADI dump paired with the broker
+// sequence number it is consistent with: a mirror that loads Records
+// and then applies events with Seq > Seq reconstructs the owner's
+// store exactly.
+type ReplicaSnapshot struct {
+	// Policy is the owner's policy ID; a replica refuses to follow an
+	// owner running a different policy (same events, different
+	// semantics).
+	Policy string `json:"policy"`
+	// Seq is the last event sequence number reflected in Records.
+	Seq uint64 `json:"seq"`
+	// Records is the complete retained ADI at Seq.
+	Records []SnapshotRecord `json:"records"`
+}
+
+// handleReplicaSnapshot dumps the retained ADI under the PDP's commit
+// lock, so the captured broker sequence number and store contents are
+// consistent with each other — no decision can commit between the two
+// reads. Decisions block for the duration of the dump; resyncs are
+// rare (bootstrap, stream gap, divergence) so the trade is acceptable.
+func (s *Server) handleReplicaSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"GET required"})
+		return
+	}
+	if s.browser == nil || s.broker == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{"replica snapshots need state introspection and an event broker"})
+		return
+	}
+	if s.refuseTampered(w) {
+		// A tampered owner must not seed replicas with history it cannot
+		// vouch for.
+		return
+	}
+	snap := ReplicaSnapshot{Policy: s.pdp.PolicyID()}
+	s.pdp.WithCommitLock(func() {
+		snap.Seq = s.broker.Seq()
+		snap.Records = dumpRecords(s.browser)
+	})
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func dumpRecords(b adi.Browser) []SnapshotRecord {
+	var out []SnapshotRecord
+	for _, user := range b.UserIDs() {
+		for _, rec := range b.UserRecords(user, bctx.Universal) {
+			out = append(out, SnapshotRecord{
+				User:      string(rec.User),
+				Roles:     fromRoles(rec.Roles),
+				Operation: string(rec.Operation),
+				Target:    string(rec.Target),
+				Context:   rec.Context.String(),
+				Time:      rec.Time,
+			})
+		}
+	}
+	return out
+}

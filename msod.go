@@ -48,6 +48,7 @@ import (
 	"msod/internal/pep"
 	"msod/internal/policy"
 	"msod/internal/rbac"
+	"msod/internal/replica"
 	"msod/internal/server"
 	"msod/internal/workflow"
 )
@@ -459,6 +460,72 @@ func WithServerEventBroker(b *EventBroker) ServerOption { return server.WithEven
 // makes the server refuse decisions (503).
 func WithServerSentinel(s *AuditSentinel, failClosed bool) ServerOption {
 	return server.WithSentinel(s, failClosed)
+}
+
+// Advisory read-replica types: event-fed retained-ADI mirrors serving
+// the advisory and state surfaces under a bounded-staleness contract.
+// Authoritative decisions stay single-writer on the owning shard; a
+// replica that cannot prove freshness refuses rather than answering
+// stale. See docs/OPERATIONS.md for the deployment runbook.
+type (
+	// ReplicaConfig assembles a ReplicaFollower.
+	ReplicaConfig = replica.Config
+	// ReplicaFollower keeps a local retained-ADI mirror converged with
+	// its owning shard (snapshot bootstrap, then resumable event
+	// tailing) and answers advisory decisions from it.
+	ReplicaFollower = replica.Follower
+	// ReplicaStatus is a follower's health snapshot (applied sequence,
+	// staleness, resync/divergence counters).
+	ReplicaStatus = replica.Status
+	// ReplicaServer is the replica's HTTP surface: the shard's advisory
+	// and state paths with staleness stamps, plus explicit refusals for
+	// everything authoritative.
+	ReplicaServer = replica.Server
+	// ReplicaSnapshotView is the wire form of an owner's consistent
+	// (seq, retained-ADI) snapshot, served at ReplicaSnapshotPath.
+	ReplicaSnapshotView = server.ReplicaSnapshot
+	// FollowEventsOptions configure Client.FollowEvents: a resumable,
+	// auto-reconnecting /v1/events subscription.
+	FollowEventsOptions = server.FollowEventsOptions
+	// AdvisoryMirror embeds a replica follower in a PEP process so
+	// Enforcer.Preflight answers from local memory.
+	AdvisoryMirror = pep.AdvisoryMirror
+	// AdvisoryMirrorConfig assembles an AdvisoryMirror.
+	AdvisoryMirrorConfig = pep.AdvisoryMirrorConfig
+)
+
+// Replica wire constants: the owner's snapshot endpoint and the
+// staleness-contract headers every replica answer carries.
+const (
+	ReplicaSnapshotPath = server.ReplicaSnapshotPath
+	ReplicaSeqHeader    = replica.ReplicaSeqHeader
+	ReplicaLagHeader    = replica.ReplicaLagHeader
+)
+
+// Replica sentinel errors (test with errors.Is).
+var (
+	// ErrReplicaStale is a replica's refusal to answer beyond its
+	// staleness bound ("ask the owner").
+	ErrReplicaStale = replica.ErrStale
+	// ErrReplicaDiverged reports a mirror whose replay stopped matching
+	// the owner's echoes; the follower resyncs automatically.
+	ErrReplicaDiverged = replica.ErrDiverged
+	// ErrEventGap reports a /v1/events resume past the owner's retained
+	// ring: the missed events are unrecoverable over the stream.
+	ErrEventGap = server.ErrEventGap
+)
+
+// NewReplicaFollower builds (but does not start) a replica follower;
+// call Run to bootstrap and tail the owner.
+func NewReplicaFollower(cfg ReplicaConfig) (*ReplicaFollower, error) { return replica.New(cfg) }
+
+// NewReplicaServer wraps a follower in the replica HTTP surface.
+func NewReplicaServer(f *ReplicaFollower) *ReplicaServer { return replica.NewServer(f) }
+
+// NewAdvisoryMirror builds an embedded advisory mirror and starts its
+// follower; attach it with Enforcer.WithAdvisory and call Preflight.
+func NewAdvisoryMirror(cfg AdvisoryMirrorConfig) (*AdvisoryMirror, error) {
+	return pep.NewAdvisoryMirror(cfg)
 }
 
 // PEP types (the application-side enforcement function of Figure 3).
