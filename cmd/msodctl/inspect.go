@@ -81,6 +81,11 @@ func formatEvent(ev msod.DecisionEvent) string {
 	if ev.TraceID != "" {
 		fmt.Fprintf(&b, " trace=%s", ev.TraceID)
 	}
+	if ev.Rule != "" {
+		// The refusing MSoD constraint, inline: which rule denied and how
+		// full its k-of-m counter already was.
+		fmt.Fprintf(&b, " rule=%s k=%d/%d", ev.Rule, ev.K, ev.M)
+	}
 	if ev.Reason != "" {
 		fmt.Fprintf(&b, " reason=%q", ev.Reason)
 	}

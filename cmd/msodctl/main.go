@@ -38,6 +38,11 @@
 //	msodctl state -server http://host:8443 -context "Branch=*, Period=2006"
 //	    Show live retained-ADI state: records and per-constraint progress
 //	    (k of m roles/privileges consumed, near-limit warnings).
+//
+//	msodctl explain -server http://host:8443 -request <requestID>
+//	    Show one decision's provenance: the rules evaluated, their k-of-m
+//	    counter state before and after, and the governing constraint.
+//	    Against msodgw the query fans out to the shard that decided.
 package main
 
 import (
@@ -75,6 +80,8 @@ func main() {
 		err = cmdTail(os.Args[2:])
 	case "state":
 		err = cmdState(os.Args[2:])
+	case "explain":
+		err = cmdExplain(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -90,7 +97,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: msodctl <validate|lint|verify-trail|replay|decide|manage|health|tail|state> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: msodctl <validate|lint|verify-trail|replay|decide|manage|health|tail|state|explain> [flags]")
 }
 
 func cmdLint(args []string) error {
@@ -250,12 +257,14 @@ func cmdDecide(args []string) error {
 	op := fs.String("op", "", "operation")
 	target := fs.String("target", "", "target object")
 	ctx := fs.String("context", "", "business context instance")
+	reqID := fs.String("request-id", "", "idempotency/explain key for this decision (server assigns the trace ID when empty)")
 	advise := fs.Bool("advise", false, "advisory only: do not record the decision")
 	timeout := fs.Duration("timeout", 10*time.Second, "request deadline (0 disables)")
 	fs.Parse(args)
 
 	client := msod.NewClient(*srv, msod.WithClientTimeout(*timeout))
 	wire := msod.DecisionRequest{
+		RequestID: *reqID,
 		User:      *user,
 		Roles:     splitList(*roles),
 		Operation: *op,
@@ -284,6 +293,9 @@ func cmdDecide(args []string) error {
 	}
 	if resp.Recorded > 0 || resp.Purged > 0 {
 		fmt.Printf("  retained ADI: +%d recorded, -%d purged\n", resp.Recorded, resp.Purged)
+	}
+	if resp.RequestID != "" {
+		fmt.Printf("  explain: msodctl explain -server %s -request %s\n", *srv, resp.RequestID)
 	}
 	return nil
 }

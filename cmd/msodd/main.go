@@ -25,6 +25,7 @@
 //	GET  /v1/state/users/{user}    live retained-ADI and constraint progress
 //	GET  /v1/state/contexts/{bc}   per-context state (wildcards allowed)
 //	GET  /v1/events                decision event stream (SSE)
+//	GET  /v1/explain/{requestID}   decision provenance: rules, k-of-m state, governing constraint
 //
 // The decision event stream is always on. The audit-chain sentinel
 // (-sentinel-interval) incrementally re-verifies the HMAC chain while
@@ -73,6 +74,10 @@ type options struct {
 	sentinelFailClosed bool
 	replicaOf          string
 	maxStaleness       time.Duration
+	explainCapacity    int
+	sloLatencyP99      time.Duration
+	sloGoal            float64
+	sloWindow          time.Duration
 }
 
 func parseFlags(args []string) (*options, error) {
@@ -98,6 +103,10 @@ func parseFlags(args []string) (*options, error) {
 	fs.BoolVar(&o.sentinelFailClosed, "sentinel-fail-closed", false, "refuse decisions once the sentinel detects audit-chain tampering")
 	fs.StringVar(&o.replicaOf, "replica-of", "", "run as an advisory read replica of the shard at this base URL (no authoritative decisions)")
 	fs.DurationVar(&o.maxStaleness, "max-staleness", 0, "replica staleness bound: refuse answers once the owner has been silent this long (0 = 30s default; negative disables)")
+	fs.IntVar(&o.explainCapacity, "explain-capacity", 0, "decision provenance records retained for /v1/explain (0 = 1024 default; negative disables explain)")
+	fs.DurationVar(&o.sloLatencyP99, "slo-latency-p99", 0, "declared per-decision latency objective; enables the msod_slo_* metric families (0 disables the SLO layer)")
+	fs.Float64Var(&o.sloGoal, "slo-goal", 0.999, "declared good-request target fraction for the SLO layer")
+	fs.DurationVar(&o.sloWindow, "slo-window", time.Hour, "rolling error-budget window for the SLO layer (fast burn-rate window is 1/12 of this)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -338,6 +347,16 @@ func serve(ctx context.Context, ln net.Listener, handler http.Handler, logf func
 // durable ADI is in use, its recovery-time and disk-usage gauges.
 func serverOptions(o *options, d *deps, logger *slog.Logger) []msod.ServerOption {
 	opts := []msod.ServerOption{msod.WithServerEventBroker(d.broker)}
+	if o.explainCapacity != 0 {
+		opts = append(opts, msod.WithServerExplainCapacity(o.explainCapacity))
+	}
+	if o.sloLatencyP99 > 0 {
+		// One SLO tracker per process: built here (not per reload) so the
+		// error-budget window survives SIGHUP policy reloads.
+		opts = append(opts, msod.WithServerSLO(msod.NewSLO(msod.SLOConfig{
+			Goal: o.sloGoal, Latency: o.sloLatencyP99, Window: o.sloWindow,
+		})))
+	}
 	if d.sentinel != nil {
 		opts = append(opts, msod.WithServerSentinel(d.sentinel, o.sentinelFailClosed))
 	}

@@ -55,7 +55,8 @@ type metricEmitter struct {
 var metricEmitters = []metricEmitter{
 	{"internal/obsv", "WriteCounter", 1},
 	{"internal/obsv", "WriteGauge", 1},
-	{"internal/obsv", "Write", 1}, // (*Histogram).Write(w, name, help)
+	{"internal/obsv", "Write", 1},           // (*Histogram).Write(w, name, help)
+	{"internal/obsv", "WriteExposition", 1}, // (*Histogram).WriteExposition(w, name, help, openMetrics)
 	{"internal/obsv", "NewStageHistograms", 0},
 	{"internal/server", "WithGauge", 0},
 	{"", "WithServerGauge", 0}, // root facade forwarding to server.WithGauge

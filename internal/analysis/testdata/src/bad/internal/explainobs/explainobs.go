@@ -1,0 +1,22 @@
+// Package explainobs seeds the explain/SLO metricname violations: a
+// dynamic family name through the exemplar-emitting exposition path,
+// a mis-cased explain family, a twice-emitted explain family, and an
+// SLO family whose label-key set drifts between series.
+package explainobs
+
+import (
+	"fmt"
+	"io"
+
+	"badmod/internal/obsv"
+)
+
+// Metrics emits each seeded violation once.
+func Metrics(w io.Writer, h *obsv.Histogram, name string) {
+	h.WriteExposition(w, name, "h", true)
+	obsv.WriteCounter(w, "msod_Explain_misses_total", "h", 1)
+	obsv.WriteCounter(w, "msod_explain_queries_total", "h", 2)
+	h.WriteExposition(w, "msod_explain_queries_total", "h", false)
+	fmt.Fprintf(w, "msod_slo_burn_rate{slo=%q} 0\n", "availability")
+	fmt.Fprintf(w, "msod_slo_burn_rate{window=%q} 0\n", "fast")
+}

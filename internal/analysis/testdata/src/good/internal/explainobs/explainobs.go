@@ -1,0 +1,23 @@
+// Package explainobs is the compliant mirror for the explain and SLO
+// families: literal names through the exemplar-capable exposition
+// path, one emitter per family, and label-key sets that stay stable
+// across every series.
+package explainobs
+
+import (
+	"fmt"
+	"io"
+
+	"goodmod/internal/obsv"
+)
+
+// Metrics emits the clean idiom: the dialect flag may vary at the
+// call site, the family name never does.
+func Metrics(w io.Writer, h *obsv.Histogram, openMetrics bool) {
+	h.WriteExposition(w, "msod_fixture_duration_seconds", "Evaluation time.", openMetrics)
+	obsv.WriteCounter(w, "msod_explain_queries_total", "Explain lookups served.", 0)
+	obsv.WriteCounter(w, "msod_explain_misses_total", "Explain lookups that found no record.", 0)
+	obsv.WriteGauge(w, "msod_explain_records_retained", "Provenance records in the ring.", 0)
+	fmt.Fprintf(w, "msod_slo_burn_rate{slo=%q,window=%q} 0\n", "availability", "fast")
+	fmt.Fprintf(w, "msod_slo_burn_rate{slo=%q,window=%q} 0\n", "latency", "slow")
+}

@@ -8,3 +8,10 @@ func WriteCounter(w io.Writer, name, help string, v int64) {}
 
 // WriteGauge mimics the gauge emitter (family name at arg 1).
 func WriteGauge(w io.Writer, name, help string, v float64) {}
+
+// Histogram mimics the exemplar-capable histogram.
+type Histogram struct{}
+
+// WriteExposition mimics the dialect-negotiated histogram emitter
+// (family name at arg 1).
+func (h *Histogram) WriteExposition(w io.Writer, name, help string, openMetrics bool) {}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"msod/internal/credential"
+	"msod/internal/explain"
 	"msod/internal/obsv"
 	"msod/internal/server"
 )
@@ -32,6 +33,7 @@ type stubShard struct {
 	mgmtFail     atomic.Bool // management drops the connection (transport error)
 	echoUser     string
 	policy       string
+	explainID    string // requestID this shard holds a provenance record for
 }
 
 func newStubShard(t *testing.T, policy string) *stubShard {
@@ -81,11 +83,27 @@ func newStubShard(t *testing.T, policy string) *stubShard {
 		}
 		json.NewEncoder(w).Encode(server.ManagementWireResponse{Removed: 1, Records: 2})
 	})
+	mux.HandleFunc(server.ExplainPath, func(w http.ResponseWriter, r *http.Request) {
+		id := strings.TrimPrefix(r.URL.Path, server.ExplainPath)
+		if s.explainID == "" || id != s.explainID {
+			http.Error(w, "no record", http.StatusNotFound)
+			return
+		}
+		json.NewEncoder(w).Encode(explain.Record{RequestID: id, User: "c1", Outcome: "grant"})
+	})
 	mux.HandleFunc(server.MetricsPath, func(w http.ResponseWriter, r *http.Request) {
 		if s.metricsDelay > 0 {
 			time.Sleep(s.metricsDelay)
 		}
 		fmt.Fprintf(w, "# HELP msod_decisions_total x\n# TYPE msod_decisions_total counter\nmsod_decisions_total %d\n", s.requests.Load())
+		if obsv.WantOpenMetrics(r.Header.Get("Accept")) {
+			// A shard speaking OpenMetrics annotates buckets with
+			// exemplars and terminates with EOF; the gateway must forward
+			// the former and strip the latter from the merged body.
+			fmt.Fprintf(w, "# HELP msod_decision_duration_seconds x\n# TYPE msod_decision_duration_seconds histogram\n")
+			fmt.Fprintf(w, "msod_decision_duration_seconds_bucket{le=\"+Inf\"} %d # {trace_id=\"stub-trace\"} 0.001\n", s.requests.Load())
+			fmt.Fprintf(w, "# EOF\n")
+		}
 	})
 	mux.HandleFunc(server.HealthPath, func(w http.ResponseWriter, r *http.Request) {
 		if !s.healthy.Load() {

@@ -93,9 +93,11 @@ type gwMetrics struct {
 	badRequests atomic.Int64
 	mgmtFanouts atomic.Int64
 	// stateQueries counts /v1/state lookups (routed or fanned out);
-	// eventStreams counts /v1/events fan-in connections opened.
-	stateQueries atomic.Int64
-	eventStreams atomic.Int64
+	// eventStreams counts /v1/events fan-in connections opened;
+	// explainQueries counts /v1/explain provenance fan-outs.
+	stateQueries   atomic.Int64
+	eventStreams   atomic.Int64
+	explainQueries atomic.Int64
 	// replicaReads counts advisory/state answers served by a read
 	// replica; replicaFallbacks counts reads that had replicas
 	// configured but ended up answered by the owning shard.
@@ -206,6 +208,7 @@ func New(cfg Config) (*Gateway, error) {
 	g.mux.HandleFunc(server.StateUsersPath, g.handleStateUser)
 	g.mux.HandleFunc(server.StateContextsPath, g.handleStateContext)
 	g.mux.HandleFunc(server.EventsPath, g.handleEvents)
+	g.mux.HandleFunc(server.ExplainPath, g.handleExplain)
 	return g, nil
 }
 
@@ -693,6 +696,14 @@ type metricFamily struct {
 // msod_build_info / msod_uptime_seconds merge into the same families
 // (unlabelled); its msodgw_* counters follow at the end.
 func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// The scraper's dialect is forwarded to the shards: an OpenMetrics
+	// scrape pulls exemplar-annotated histograms out of each shard, and
+	// ParseSeries carries the exemplars through the shard-label rewrite.
+	om := obsv.WantOpenMetrics(r.Header.Get("Accept"))
+	accept := ""
+	if om {
+		accept = obsv.OpenMetricsContentType
+	}
 	shardIDs := g.checker.Shards()
 	ctx, cancel := timeoutContext(g.cfg.Timeout)
 	defer cancel()
@@ -705,7 +716,7 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int, shard string) {
 			defer wg.Done()
-			body, err := g.scrapeShard(ctx, shard)
+			body, err := g.scrapeShard(ctx, shard, accept)
 			if err != nil {
 				g.checker.ReportFailure(shard, err)
 				return
@@ -778,7 +789,11 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	obsv.WriteUptime(&own, g.start)
 	merge(own.String(), "")
 
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if om {
+		w.Header().Set("Content-Type", obsv.OpenMetricsContentType)
+	} else {
+		w.Header().Set("Content-Type", obsv.TextContentType)
+	}
 	fmt.Fprintf(w, "# msodgw: aggregated over %d live shard(s); shard series carry a shard=\"<id>\" label\n", scraped)
 	for _, name := range order {
 		f := fams[name]
@@ -790,6 +805,9 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	g.writeOwnMetrics(w)
+	if om {
+		obsv.WriteOpenMetricsEOF(w)
+	}
 }
 
 // timeoutContext bounds one gateway-originated request.
@@ -801,8 +819,8 @@ func timeoutContext(d time.Duration) (context.Context, context.CancelFunc) {
 }
 
 // scrapeShard fetches one shard's metrics body under the caller's
-// deadline.
-func (g *Gateway) scrapeShard(ctx context.Context, shard string) ([]byte, error) {
+// deadline, forwarding the negotiated Accept dialect when non-empty.
+func (g *Gateway) scrapeShard(ctx context.Context, shard, accept string) ([]byte, error) {
 	g.mu.RLock()
 	base := g.addrs[shard]
 	g.mu.RUnlock()
@@ -813,6 +831,9 @@ func (g *Gateway) scrapeShard(ctx context.Context, shard string) ([]byte, error)
 	req, err := http.NewRequest(http.MethodGet, base+server.MetricsPath, nil)
 	if err != nil {
 		return nil, err
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
 	}
 	resp, err := hc.Do(req.WithContext(ctx))
 	if err != nil {
@@ -837,6 +858,7 @@ func (g *Gateway) writeOwnMetrics(w io.Writer) {
 	obsv.WriteCounter(w, "msodgw_management_fanouts_total", "Management operations fanned out to all shards.", g.metrics.mgmtFanouts.Load())
 	obsv.WriteCounter(w, "msodgw_state_queries_total", "Introspection state lookups served (routed or fanned out).", g.metrics.stateQueries.Load())
 	obsv.WriteCounter(w, "msodgw_event_streams_total", "Decision event fan-in streams opened.", g.metrics.eventStreams.Load())
+	obsv.WriteCounter(w, "msodgw_explain_queries_total", "Decision provenance (/v1/explain) queries fanned out to the cluster.", g.metrics.explainQueries.Load())
 	obsv.WriteCounter(w, "msodgw_breaker_refused_total", "Requests refused by an open circuit breaker (also counted in msodgw_unavailable_total).", g.metrics.broken.Load())
 	obsv.WriteCounter(w, "msodgw_replica_reads_total", "Advisory/state reads served by a shard's read replica.", g.metrics.replicaReads.Load())
 	obsv.WriteCounter(w, "msodgw_replica_fallbacks_total", "Reads with replicas configured that were answered by the owning shard instead.", g.metrics.replicaFallbacks.Load())

@@ -8,6 +8,7 @@ import (
 
 	"msod/internal/adi"
 	"msod/internal/bctx"
+	"msod/internal/explain"
 	"msod/internal/obsv"
 	"msod/internal/rbac"
 )
@@ -69,6 +70,12 @@ type Denial struct {
 	BoundContext bctx.Name
 	// Rule identifies the violated constraint: "MMER[i]" or "MMEP[i]".
 	Rule string
+	// Held is the conflict count the algorithm found in the retained
+	// history (conflicting roles already held, or conflicting privilege
+	// positions already exercised) — the k that tripped the constraint.
+	Held int
+	// Cardinality is the rule's forbidden cardinality m.
+	Cardinality int
 	// Reason is a human-readable explanation.
 	Reason string
 }
@@ -239,8 +246,12 @@ func (e *Engine) evaluate(ctx context.Context, req Request, commit bool) (Decisi
 		actions []action
 		now     = e.now()
 		// tr is resolved once; all per-policy and store span
-		// bookkeeping is skipped when the request is untraced.
+		// bookkeeping is skipped when the request is untraced. xr is
+		// the decision's explain record (nil when the request is not
+		// being explained — advisories, and servers without a
+		// recorder); per-rule counter capture is skipped entirely then.
 		tr = obsv.TraceFrom(ctx)
+		xr = explain.FromContext(ctx)
 	)
 
 	// Step 1: select the policies whose business context matches the
@@ -264,7 +275,7 @@ func (e *Engine) evaluate(ctx context.Context, req Request, commit bool) (Decisi
 		if tr != nil {
 			endPolicy = tr.StartSpan("msod.policy:" + p.Context.String())
 		}
-		act, denial, err := e.evaluatePolicy(p, bound, req, now)
+		act, denial, err := e.evaluatePolicy(p, bound, req, now, xr)
 		if endPolicy != nil {
 			endPolicy()
 		}
@@ -295,6 +306,12 @@ func (e *Engine) evaluate(ctx context.Context, req Request, commit bool) (Decisi
 					return Decision{}, fmt.Errorf("core: purge %q: %w", act.pattern, err)
 				}
 				dec.Purged += n
+				if xr != nil {
+					// Recorded at commit (not evaluation) time so a
+					// later policy's denial cannot leave a phantom
+					// termination in the explain record.
+					xr.Terminate(act.pattern.String())
+				}
 			}
 			continue
 		}
@@ -313,7 +330,9 @@ func (e *Engine) evaluate(ctx context.Context, req Request, commit bool) (Decisi
 
 // evaluatePolicy runs steps 3–7 for one matched policy with its bound
 // context. It returns the deferred store action for a grant, or a denial.
-func (e *Engine) evaluatePolicy(p *Policy, bound bctx.Name, req Request, now time.Time) (*action, *Denial, error) {
+// When xr is non-nil, every consulted constraint is appended to the
+// explain record with its k-of-m counter state before and after.
+func (e *Engine) evaluatePolicy(p *Policy, bound bctx.Name, req Request, now time.Time, xr *explain.Record) (*action, *Denial, error) {
 	// Step 7 precheck: a granted last step terminates the context
 	// instance — the §4.2 text orders this after the constraint checks,
 	// and the PERMIS implementation (§5.2) flushes on recording the
@@ -338,10 +357,20 @@ func (e *Engine) evaluatePolicy(p *Policy, bound bctx.Name, req Request, now tim
 				// so cross-user commit order cannot change outcomes (see
 				// WithStriping).
 				if i, bad := selfConflict(p, req.Roles); bad {
+					if xr != nil {
+						xr.Rule(explain.RuleEval{
+							Policy: p.Context.String(), Bound: bound.String(),
+							Rule: fmt.Sprintf("MMER[%d]", i), Kind: explain.KindMMER,
+							K: 0, KAfter: 0, M: p.MMER[i].Cardinality,
+							Matched: roleStrings(req.Roles), Denied: true,
+						})
+					}
 					return nil, &Denial{
 						PolicyContext: p.Context,
 						BoundContext:  bound,
 						Rule:          fmt.Sprintf("MMER[%d]", i),
+						Held:          0,
+						Cardinality:   p.MMER[i].Cardinality,
 						Reason: fmt.Sprintf("user %q activates %d or more mutually exclusive roles in one request",
 							req.User, p.MMER[i].Cardinality),
 					}, nil
@@ -351,6 +380,13 @@ func (e *Engine) evaluatePolicy(p *Policy, bound bctx.Name, req Request, now tim
 				// First operation is also the last step: the instance
 				// terminates immediately; nothing to retain.
 				return &action{purge: true, pattern: bound}, nil, nil
+			}
+			if xr != nil {
+				// The opening record seeds the k-of-m counters that
+				// later requests are judged against, so the provenance
+				// trace shows which constraints now track this context
+				// and where their counters land (k 0 -> nr).
+				explainOpening(p, bound, req, xr)
 			}
 			return &action{records: []adi.Record{newRecord(req, now)}}, nil, nil
 		}
@@ -386,11 +422,28 @@ func (e *Engine) evaluatePolicy(p *Policy, bound bctx.Name, req Request, now tim
 				count++
 			}
 		}
-		if count >= rule.Cardinality-nr {
+		denied := count >= rule.Cardinality-nr
+		if xr != nil {
+			after := count
+			if !denied {
+				// A grant records every matched role (step 5.iv), so the
+				// user then holds all of them in the bound context.
+				after = count + nr
+			}
+			xr.Rule(explain.RuleEval{
+				Policy: p.Context.String(), Bound: bound.String(),
+				Rule: fmt.Sprintf("MMER[%d]", i), Kind: explain.KindMMER,
+				K: count, KAfter: after, M: rule.Cardinality,
+				Matched: roleStrings(matchedRoles), Denied: denied,
+			})
+		}
+		if denied {
 			return nil, &Denial{
 				PolicyContext: p.Context,
 				BoundContext:  bound,
 				Rule:          fmt.Sprintf("MMER[%d]", i),
+				Held:          count,
+				Cardinality:   rule.Cardinality,
 				Reason: fmt.Sprintf("user %q activating %v already holds %d conflicting role(s) in this context (forbidden cardinality %d)",
 					req.User, matchedRoles, count, rule.Cardinality),
 			}, nil
@@ -446,11 +499,26 @@ func (e *Engine) evaluatePolicy(p *Policy, bound bctx.Name, req Request, now tim
 			}
 			count += n
 		}
-		if count >= rule.Cardinality-1 {
+		denied := count >= rule.Cardinality-1
+		if xr != nil {
+			after := count
+			if !denied {
+				after = count + 1 // this request consumes one position
+			}
+			xr.Rule(explain.RuleEval{
+				Policy: p.Context.String(), Bound: bound.String(),
+				Rule: fmt.Sprintf("MMEP[%d]", i), Kind: explain.KindMMEP,
+				K: count, KAfter: after, M: rule.Cardinality,
+				Matched: []string{fmt.Sprint(reqPriv)}, Denied: denied,
+			})
+		}
+		if denied {
 			return nil, &Denial{
 				PolicyContext: p.Context,
 				BoundContext:  bound,
 				Rule:          fmt.Sprintf("MMEP[%d]", i),
+				Held:          count,
+				Cardinality:   rule.Cardinality,
 				Reason: fmt.Sprintf("user %q requesting %v already exercised %d conflicting privilege(s) in this context (forbidden cardinality %d)",
 					req.User, reqPriv, count, rule.Cardinality),
 			}, nil
@@ -466,6 +534,51 @@ func (e *Engine) evaluatePolicy(p *Policy, bound bctx.Name, req Request, now tim
 	return &action{records: pending}, nil, nil
 }
 
+// explainOpening appends the rule evaluations of a context-opening
+// grant (step 4: no retained history, so every consulted counter is
+// zero). The opening record supports later UserHasRole /
+// CountUserPrivilege counts, so KAfter reflects the state the grant
+// leaves behind: nr matched roles for MMER, one consumed position for
+// MMEP.
+func explainOpening(p *Policy, bound bctx.Name, req Request, xr *explain.Record) {
+	for i, rule := range p.MMER {
+		var matched []rbac.RoleName
+		for _, role := range rule.Roles {
+			if containsRole(req.Roles, role) {
+				matched = append(matched, role)
+			}
+		}
+		if len(matched) == 0 {
+			continue
+		}
+		xr.Rule(explain.RuleEval{
+			Policy: p.Context.String(), Bound: bound.String(),
+			Rule: fmt.Sprintf("MMER[%d]", i), Kind: explain.KindMMER,
+			K: 0, KAfter: len(matched), M: rule.Cardinality,
+			Matched: roleStrings(matched),
+		})
+	}
+	reqPriv := rbac.Permission{Operation: req.Operation, Object: req.Target}
+	for i, rule := range p.MMEP {
+		listed := false
+		for _, priv := range rule.Privileges {
+			if priv == reqPriv {
+				listed = true
+				break
+			}
+		}
+		if !listed {
+			continue
+		}
+		xr.Rule(explain.RuleEval{
+			Policy: p.Context.String(), Bound: bound.String(),
+			Rule: fmt.Sprintf("MMEP[%d]", i), Kind: explain.KindMMEP,
+			K: 0, KAfter: 1, M: rule.Cardinality,
+			Matched: []string{fmt.Sprint(reqPriv)},
+		})
+	}
+}
+
 // newRecord builds the §4.2 six-tuple for the request. The stored
 // context is the request's concrete instance, so that future policies
 // binding different patterns can still match it.
@@ -478,6 +591,17 @@ func newRecord(req Request, now time.Time) adi.Record {
 		Context:   req.Context,
 		Time:      now,
 	}
+}
+
+// roleStrings renders a role list for an explain record; only called
+// on the explained path, so unexplained decisions never pay the
+// conversion.
+func roleStrings(roles []rbac.RoleName) []string {
+	out := make([]string, len(roles))
+	for i, r := range roles {
+		out[i] = string(r)
+	}
+	return out
 }
 
 func containsRole(roles []rbac.RoleName, r rbac.RoleName) bool {

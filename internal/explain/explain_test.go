@@ -1,0 +1,215 @@
+package explain
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecorderRoundtrip(t *testing.T) {
+	rc := NewRecorder(8)
+	rec := rc.Begin()
+	rec.RequestID = "req-1"
+	rec.User = "alice"
+	rec.Rule(RuleEval{Policy: "P", Bound: "B", Rule: "MMEP[0]", Kind: KindMMEP, K: 1, KAfter: 1, M: 2, Denied: true})
+	rc.Commit(rec)
+
+	got, ok := rc.Get("req-1")
+	if !ok {
+		t.Fatal("committed record not found")
+	}
+	if got.User != "alice" || len(got.Rules) != 1 {
+		t.Fatalf("got %+v", got)
+	}
+	if got.Governing == nil || got.Governing.Rule != "MMEP[0]" || !got.Governing.Denied {
+		t.Fatalf("governing = %+v, want the denying rule", got.Governing)
+	}
+	if _, ok := rc.Get("unknown"); ok {
+		t.Fatal("lookup of unknown ID succeeded")
+	}
+	if rc.Len() != 1 || rc.Evicted() != 0 {
+		t.Fatalf("len=%d evicted=%d", rc.Len(), rc.Evicted())
+	}
+}
+
+func TestGoverningPicksTightestOnGrant(t *testing.T) {
+	rec := &Record{}
+	rec.Rule(RuleEval{Rule: "MMER[0]", K: 0, KAfter: 1, M: 4}) // 0.25
+	rec.Rule(RuleEval{Rule: "MMEP[0]", K: 1, KAfter: 2, M: 3}) // 0.667 <- tightest
+	rec.Rule(RuleEval{Rule: "MMEP[1]", K: 0, KAfter: 1, M: 2}) // 0.5
+	rec.finalize()
+	if rec.Governing == nil || rec.Governing.Rule != "MMEP[0]" {
+		t.Fatalf("governing = %+v, want MMEP[0] (highest kAfter/m)", rec.Governing)
+	}
+	if rec.Governing.Denied {
+		t.Fatal("grant's governing rule marked denied")
+	}
+}
+
+func TestGoverningNilWithoutRules(t *testing.T) {
+	rec := &Record{Governing: &RuleEval{Rule: "stale"}}
+	rec.finalize()
+	if rec.Governing != nil {
+		t.Fatalf("governing = %+v, want nil when no constraint applied", rec.Governing)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	const capacity = 4
+	rc := NewRecorder(capacity)
+	for i := 0; i < 10; i++ {
+		rec := rc.Begin()
+		rec.RequestID = fmt.Sprintf("req-%d", i)
+		rec.User = fmt.Sprintf("user-%d", i)
+		rc.Commit(rec)
+	}
+	if rc.Len() != capacity {
+		t.Fatalf("len = %d, want %d", rc.Len(), capacity)
+	}
+	if rc.Evicted() != 10-capacity {
+		t.Fatalf("evicted = %d, want %d", rc.Evicted(), 10-capacity)
+	}
+	for i := 0; i < 10; i++ {
+		id := fmt.Sprintf("req-%d", i)
+		got, ok := rc.Get(id)
+		if i < 10-capacity {
+			if ok {
+				t.Errorf("%s still retrievable after eviction", id)
+			}
+			continue
+		}
+		if !ok {
+			t.Errorf("%s missing from ring", id)
+		} else if got.User != fmt.Sprintf("user-%d", i) {
+			t.Errorf("%s resolved to %q", id, got.User)
+		}
+	}
+}
+
+// TestPooledReuseNoLeakage drives many concurrent begin/fill/commit/get
+// cycles through a small ring (constant eviction and pool reuse) and
+// checks every retrieved record carries exactly the content its own
+// request wrote — run under -race, this is the cross-request leakage
+// proof for the pooling scheme.
+func TestPooledReuseNoLeakage(t *testing.T) {
+	rc := NewRecorder(8)
+	const (
+		workers = 8
+		rounds  = 200
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				id := fmt.Sprintf("w%d-r%d", w, i)
+				rec := rc.Begin()
+				if rec.RequestID != "" || len(rec.Rules) != 0 || len(rec.Terminated) != 0 || rec.Governing != nil {
+					errs <- fmt.Errorf("Begin returned a dirty record: %+v", rec)
+					return
+				}
+				rec.RequestID = id
+				rec.User = id
+				nrules := w%3 + 1
+				for r := 0; r < nrules; r++ {
+					rec.Rule(RuleEval{Rule: fmt.Sprintf("%s-rule-%d", id, r), K: r, KAfter: r + 1, M: 5, Matched: []string{id}})
+				}
+				rc.Commit(rec)
+				got, ok := rc.Get(id)
+				if !ok {
+					continue // evicted by concurrent commits: fine
+				}
+				if got.User != id || len(got.Rules) != nrules {
+					errs <- fmt.Errorf("record %s holds foreign content: user=%q rules=%d (want %d)", id, got.User, len(got.Rules), nrules)
+					return
+				}
+				for r, ev := range got.Rules {
+					if want := fmt.Sprintf("%s-rule-%d", id, r); ev.Rule != want || len(ev.Matched) != 1 || ev.Matched[0] != id {
+						errs <- fmt.Errorf("record %s rule %d leaked: %+v", id, r, ev)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestGetReturnsDeepCopy(t *testing.T) {
+	rc := NewRecorder(4)
+	rec := rc.Begin()
+	rec.RequestID = "req-1"
+	rec.Roles = []string{"Clerk"}
+	rec.Rule(RuleEval{Rule: "MMEP[0]", M: 2, Matched: []string{"prepareCheck"}})
+	rc.Commit(rec)
+
+	a, _ := rc.Get("req-1")
+	a.Roles[0] = "CLOBBERED"
+	a.Rules[0].Matched[0] = "CLOBBERED"
+	a.Rules[0].Rule = "CLOBBERED"
+
+	b, _ := rc.Get("req-1")
+	if b.Roles[0] != "Clerk" || b.Rules[0].Matched[0] != "prepareCheck" || b.Rules[0].Rule != "MMEP[0]" {
+		t.Fatalf("mutating a served copy reached the retained record: %+v", b)
+	}
+}
+
+func TestDiscardReturnsCleanRecord(t *testing.T) {
+	rc := NewRecorder(4)
+	rec := rc.Begin()
+	rec.RequestID = "doomed"
+	rec.Rule(RuleEval{Rule: "MMER[0]"})
+	rc.Discard(rec)
+	if _, ok := rc.Get("doomed"); ok {
+		t.Fatal("discarded record is queryable")
+	}
+	fresh := rc.Begin()
+	if fresh.RequestID != "" || len(fresh.Rules) != 0 {
+		t.Fatalf("Begin after Discard returned a dirty record: %+v", fresh)
+	}
+}
+
+func TestDuplicateRequestIDNewestWins(t *testing.T) {
+	rc := NewRecorder(2)
+	for _, user := range []string{"first", "second"} {
+		rec := rc.Begin()
+		rec.RequestID = "dup"
+		rec.User = user
+		rc.Commit(rec)
+	}
+	got, ok := rc.Get("dup")
+	if !ok || got.User != "second" {
+		t.Fatalf("got %+v ok=%v, want the newer commit", got, ok)
+	}
+	// Rotate both duplicates out; the identity check must not delete the
+	// newer map entry while evicting the older ring slot prematurely.
+	for i := 0; i < 2; i++ {
+		rec := rc.Begin()
+		rec.RequestID = fmt.Sprintf("filler-%d", i)
+		rc.Commit(rec)
+	}
+	if _, ok := rc.Get("dup"); ok {
+		t.Fatal("fully rotated duplicate still queryable")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Record
+	r.Rule(RuleEval{Rule: "MMER[0]"}) // must not panic
+	r.Terminate("B")                  // must not panic
+	if FromContext(context.Background()) != nil {
+		t.Fatal("FromContext on a bare context returned a record")
+	}
+	rec := &Record{Time: time.Now()}
+	if got := FromContext(WithRecord(context.Background(), rec)); got != rec {
+		t.Fatalf("FromContext = %p, want %p", got, rec)
+	}
+}

@@ -60,6 +60,14 @@ type DecisionEvent struct {
 	Stage string `json:"stage,omitempty"`
 	// Reason is the denial explanation; empty on grants.
 	Reason string `json:"reason,omitempty"`
+	// Rule, K and M identify the refusing MSoD constraint on an msod
+	// denial — the rule's ID within its policy ("MMER[0]", "MMEP[1]"),
+	// the conflict count already consumed, and the forbidden
+	// cardinality — so a tailing operator sees which k-of-m counter
+	// tripped without fetching the full explain record.
+	Rule string `json:"rule,omitempty"`
+	K    int    `json:"k,omitempty"`
+	M    int    `json:"m,omitempty"`
 	// MatchedPolicies is how many MSoD policies matched the request.
 	MatchedPolicies int `json:"matched,omitempty"`
 	// Recorded and Purged echo the decision's retained-ADI effects

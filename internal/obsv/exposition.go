@@ -36,15 +36,26 @@ type Series struct {
 	Labels string
 	// Value is the sample value.
 	Value float64
+	// Exemplar is the raw OpenMetrics exemplar suffix
+	// (`{trace_id="..."} 0.0042`) when the line carried one; String
+	// re-emits it, so a merging proxy (the gateway) forwards shard
+	// exemplars instead of dropping them.
+	Exemplar string
 }
 
 // ParseSeries parses one non-comment exposition line. It returns
 // ok=false for blank lines, comments, and anything malformed —
-// callers iterate a body and keep what parses.
+// callers iterate a body and keep what parses. An OpenMetrics
+// exemplar suffix is split off into Series.Exemplar.
 func ParseSeries(line string) (Series, bool) {
 	line = strings.TrimSpace(line)
 	if line == "" || strings.HasPrefix(line, "#") {
 		return Series{}, false
+	}
+	exemplar := ""
+	if i := strings.Index(line, " # {"); i >= 0 {
+		exemplar = strings.TrimSpace(line[i+3:])
+		line = strings.TrimSpace(line[:i])
 	}
 	sp := strings.LastIndexByte(line, ' ')
 	if sp <= 0 {
@@ -54,7 +65,7 @@ func ParseSeries(line string) (Series, bool) {
 	if err != nil {
 		return Series{}, false
 	}
-	s := Series{Value: v}
+	s := Series{Value: v, Exemplar: exemplar}
 	id := line[:sp]
 	if open := strings.IndexByte(id, '{'); open >= 0 {
 		if !strings.HasSuffix(id, "}") {
@@ -79,15 +90,40 @@ func (s Series) WithLabel(key, value string) Series {
 	if s.Labels != "" {
 		l = s.Labels + "," + l
 	}
-	return Series{Name: s.Name, Labels: l, Value: s.Value}
+	return Series{Name: s.Name, Labels: l, Value: s.Value, Exemplar: s.Exemplar}
 }
 
 // String renders the series back into an exposition line.
 func (s Series) String() string {
-	if s.Labels == "" {
-		return s.Name + " " + FormatValue(s.Value)
+	suffix := ""
+	if s.Exemplar != "" {
+		suffix = " # " + s.Exemplar
 	}
-	return s.Name + "{" + s.Labels + "} " + FormatValue(s.Value)
+	if s.Labels == "" {
+		return s.Name + " " + FormatValue(s.Value) + suffix
+	}
+	return s.Name + "{" + s.Labels + "} " + FormatValue(s.Value) + suffix
+}
+
+// Content types of the two exposition dialects /v1/metrics speaks.
+// The classic dialect is the default; the OpenMetrics dialect is
+// served only when the scraper asks for it (see WantOpenMetrics) and
+// differs by carrying histogram exemplars and a trailing EOF marker —
+// the classic text parser rejects both.
+const (
+	TextContentType        = "text/plain; version=0.0.4"
+	OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+// WantOpenMetrics reports whether an Accept header negotiates the
+// OpenMetrics exposition dialect (and with it, exemplars).
+func WantOpenMetrics(accept string) bool {
+	return strings.Contains(accept, "application/openmetrics-text")
+}
+
+// WriteOpenMetricsEOF terminates an OpenMetrics exposition body.
+func WriteOpenMetricsEOF(w io.Writer) {
+	io.WriteString(w, "# EOF\n")
 }
 
 // BuildInfoMetric and UptimeMetric are the common process-identity

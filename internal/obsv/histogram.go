@@ -27,6 +27,22 @@ type Histogram struct {
 	// +Inf overflow bucket.
 	counts   []atomic.Int64
 	sumNanos atomic.Int64
+	// exemplars[i] is the most recent traced observation that fell in
+	// bucket i (nil until one lands there): one lock-free pointer store
+	// per ObserveExemplar, emitted as an OpenMetrics exemplar
+	// (`# {trace_id="..."} value`) so a dashboard can jump from a slow
+	// bucket to a concrete trace.
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar is one concrete traced observation attached to a histogram
+// bucket.
+type Exemplar struct {
+	// TraceID is the W3C trace ID of the request that produced the
+	// observation.
+	TraceID string
+	// Value is the observed value in the histogram's unit (seconds).
+	Value float64
 }
 
 // NewHistogram builds a histogram over the given upper bounds
@@ -41,14 +57,27 @@ func NewHistogram(bounds []float64) *Histogram {
 		}
 	}
 	return &Histogram{
-		bounds: append([]float64(nil), bounds...),
-		counts: make([]atomic.Int64, len(bounds)+1),
+		bounds:    append([]float64(nil), bounds...),
+		counts:    make([]atomic.Int64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1),
 	}
 }
 
 // Observe records one duration. An observation exactly on a bucket's
 // upper bound lands in that bucket (le = less-or-equal semantics).
 func (h *Histogram) Observe(d time.Duration) {
+	h.observe(d, "")
+}
+
+// ObserveExemplar records one duration and retains it as the bucket's
+// exemplar under the given trace ID (an empty ID observes without an
+// exemplar). The exemplar store is a single atomic pointer swap, so
+// the hot path cost over Observe is one small allocation.
+func (h *Histogram) ObserveExemplar(d time.Duration, traceID string) {
+	h.observe(d, traceID)
+}
+
+func (h *Histogram) observe(d time.Duration, traceID string) {
 	s := d.Seconds()
 	i := 0
 	for i < len(h.bounds) && s > h.bounds[i] {
@@ -56,6 +85,22 @@ func (h *Histogram) Observe(d time.Duration) {
 	}
 	h.counts[i].Add(1)
 	h.sumNanos.Add(int64(d))
+	if traceID != "" {
+		h.exemplars[i].Store(&Exemplar{TraceID: traceID, Value: s})
+	}
+}
+
+// BucketExemplar returns the retained exemplar of bucket i (the +Inf
+// bucket is index len(bounds)); ok is false until a traced
+// observation lands there.
+func (h *Histogram) BucketExemplar(i int) (Exemplar, bool) {
+	if i < 0 || i >= len(h.exemplars) {
+		return Exemplar{}, false
+	}
+	if e := h.exemplars[i].Load(); e != nil {
+		return *e, true
+	}
+	return Exemplar{}, false
 }
 
 // Count returns the total number of observations.
@@ -70,25 +115,51 @@ func (h *Histogram) Count() int64 {
 // Write emits the histogram with its HELP/TYPE header.
 func (h *Histogram) Write(w io.Writer, name, help string) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
-	h.WriteSeries(w, name, "")
+	h.writeSeries(w, name, "", false)
+}
+
+// WriteExposition is Write with the exposition dialect negotiated by
+// the caller: when openMetrics is true, bucket lines that retain an
+// exemplar get it appended (`... # {trace_id="..."} value`). Only
+// scrapes that negotiated the OpenMetrics content type may see
+// exemplars — the classic text parser rejects the suffix. This is the
+// single emitter call for a family served in both dialects, so
+// msodvet's exactly-once rule still holds.
+func (h *Histogram) WriteExposition(w io.Writer, name, help string, openMetrics bool) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	h.writeSeries(w, name, "", openMetrics)
 }
 
 // WriteSeries emits only the series lines, with extra labels (e.g.
 // `stage="cvs"`) merged into every line — the building block for
 // multi-series families that share one header.
 func (h *Histogram) WriteSeries(w io.Writer, name, labels string) {
+	h.writeSeries(w, name, labels, false)
+}
+
+func (h *Histogram) writeSeries(w io.Writer, name, labels string, withExemplars bool) {
 	sep := ""
 	if labels != "" {
 		sep = ","
 	}
+	exemplar := func(i int) string {
+		if !withExemplars {
+			return ""
+		}
+		e := h.exemplars[i].Load()
+		if e == nil {
+			return ""
+		}
+		return fmt.Sprintf(" # {trace_id=%q} %s", e.TraceID, FormatValue(e.Value))
+	}
 	var cum int64
 	for i, bound := range h.bounds {
 		cum += h.counts[i].Load()
-		fmt.Fprintf(w, "%s_bucket{%sle=\"%s\"} %d\n",
-			name, labels+sep, strconv.FormatFloat(bound, 'g', -1, 64), cum)
+		fmt.Fprintf(w, "%s_bucket{%sle=\"%s\"} %d%s\n",
+			name, labels+sep, strconv.FormatFloat(bound, 'g', -1, 64), cum, exemplar(i))
 	}
 	cum += h.counts[len(h.bounds)].Load()
-	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, labels+sep, cum)
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d%s\n", name, labels+sep, cum, exemplar(len(h.bounds)))
 	if labels == "" {
 		fmt.Fprintf(w, "%s_sum %s\n", name,
 			strconv.FormatFloat(time.Duration(h.sumNanos.Load()).Seconds(), 'g', -1, 64))

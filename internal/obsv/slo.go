@@ -1,0 +1,209 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// SLO defaults.
+const (
+	// DefaultSLOGoal is the target good-request fraction when the
+	// configuration leaves it zero.
+	DefaultSLOGoal = 0.999
+	// DefaultSLOWindow is the error-budget window when the
+	// configuration leaves it zero.
+	DefaultSLOWindow = time.Hour
+	// sloSlots is the ring resolution: the window is tracked in this
+	// many rotating slots, and the fast burn-rate window is
+	// sloSlots/sloFastDivisor of them.
+	sloSlots       = 60
+	sloFastDivisor = 12
+)
+
+// SLO names as they appear in the slo="..." label.
+const (
+	SLOAvailability = "availability"
+	SLOLatency      = "latency"
+)
+
+// SLOConfig declares the service-level objectives the PDP is held to.
+type SLOConfig struct {
+	// Goal is the target good fraction for both objectives (0.999
+	// means at most 1 in 1000 requests may breach). Defaults to
+	// DefaultSLOGoal.
+	Goal float64
+	// Latency is the per-request latency objective (the declared p99
+	// target): a request slower than this is a latency error even when
+	// it answered correctly. Required — a zero Latency disables the
+	// latency objective's meaning, so NewSLO rejects it.
+	Latency time.Duration
+	// Window is the rolling error-budget window. Defaults to
+	// DefaultSLOWindow. The fast burn-rate window is Window/12, the
+	// slow one is the full Window (the two-window alert pattern).
+	Window time.Duration
+	// Clock overrides the time source (deterministic tests).
+	Clock func() time.Time
+}
+
+// sloSlot is one time-bucket of request outcomes.
+type sloSlot struct {
+	epoch  int64 // slot index since the unix epoch; stale slots are lazily reset
+	total  int64
+	failed int64 // availability errors (5xx / refused)
+	slow   int64 // latency errors (answered, but over the objective)
+}
+
+// SLO tracks request outcomes against declared objectives and exposes
+// the msod_slo_* metric families: cumulative request/error counters,
+// per-objective error-budget-remaining gauges over the window, and
+// fast/slow burn rates for multi-window alerting. Observe takes one
+// short mutex-guarded slot update; WriteMetrics computes the derived
+// series at scrape time.
+type SLO struct {
+	goal    float64
+	latency time.Duration
+	window  time.Duration
+	slotDur time.Duration
+	clock   func() time.Time
+
+	mu    sync.Mutex
+	slots [sloSlots]sloSlot
+	// cumulative (monotonic) counters for the _total families
+	total, failed, slow int64
+}
+
+// NewSLO validates the configuration and builds the tracker. It
+// returns nil when Latency is zero or negative — the caller-visible
+// "SLO layer disabled" state, safe to pass around (Observe and
+// WriteMetrics are nil-safe).
+func NewSLO(cfg SLOConfig) *SLO {
+	if cfg.Latency <= 0 {
+		return nil
+	}
+	goal := cfg.Goal
+	if goal <= 0 || goal >= 1 {
+		goal = DefaultSLOGoal
+	}
+	window := cfg.Window
+	if window <= 0 {
+		window = DefaultSLOWindow
+	}
+	slotDur := window / sloSlots
+	if slotDur < time.Second {
+		slotDur = time.Second
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	return &SLO{goal: goal, latency: cfg.Latency, window: window, slotDur: slotDur, clock: clock}
+}
+
+// Goal returns the configured good-request target.
+func (s *SLO) Goal() float64 { return s.goal }
+
+// Latency returns the configured per-request latency objective.
+func (s *SLO) Latency() time.Duration { return s.latency }
+
+// Window returns the effective error-budget window.
+func (s *SLO) Window() time.Duration { return s.slotDur * sloSlots }
+
+// Observe records one request outcome: failed marks an availability
+// error (the request was refused or errored); a non-failed request
+// slower than the latency objective is a latency error. Nil-safe, so
+// callers without an SLO layer pay one branch.
+func (s *SLO) Observe(d time.Duration, failed bool) {
+	if s == nil {
+		return
+	}
+	epoch := s.clock().UnixNano() / int64(s.slotDur)
+	slow := !failed && d > s.latency
+	s.mu.Lock()
+	slot := &s.slots[epoch%sloSlots]
+	if slot.epoch != epoch {
+		*slot = sloSlot{epoch: epoch}
+	}
+	slot.total++
+	s.total++
+	if failed {
+		slot.failed++
+		s.failed++
+	}
+	if slow {
+		slot.slow++
+		s.slow++
+	}
+	s.mu.Unlock()
+}
+
+// tally sums the most recent span slots (ending at the current one).
+// Caller holds mu.
+func (s *SLO) tally(epoch int64, span int) (total, failed, slow int64) {
+	lo := epoch - int64(span) + 1
+	for i := range s.slots {
+		sl := &s.slots[i]
+		if sl.epoch >= lo && sl.epoch <= epoch {
+			total += sl.total
+			failed += sl.failed
+			slow += sl.slow
+		}
+	}
+	return total, failed, slow
+}
+
+// burnRate is the observed error rate divided by the budgeted error
+// rate: 1.0 burns the budget exactly over the window, >1 burns it
+// faster. Zero traffic burns nothing.
+func (s *SLO) burnRate(errs, total int64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return (float64(errs) / float64(total)) / (1 - s.goal)
+}
+
+// budgetRemaining is the window's unconsumed error-budget fraction:
+// 1 with no errors, 0 when exactly spent, negative when overspent.
+// Zero traffic leaves the budget whole.
+func (s *SLO) budgetRemaining(errs, total int64) float64 {
+	if total == 0 {
+		return 1
+	}
+	budget := float64(total) * (1 - s.goal)
+	return 1 - float64(errs)/budget
+}
+
+// WriteMetrics emits the msod_slo_* families. Nil-safe (emits
+// nothing). This package is outside msodvet's metricname scope, like
+// the histogram writer; the analyzer's golden corpus covers misuse of
+// these family names from enforced packages instead.
+func (s *SLO) WriteMetrics(w io.Writer) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	epoch := s.clock().UnixNano() / int64(s.slotDur)
+	total, failed, slow := s.total, s.failed, s.slow
+	fastTotal, fastFailed, fastSlow := s.tally(epoch, sloSlots/sloFastDivisor)
+	slowTotal, slowFailed, slowSlow := s.tally(epoch, sloSlots)
+	s.mu.Unlock()
+
+	WriteGauge(w, "msod_slo_goal",
+		"Declared good-request target fraction for both objectives.", s.goal)
+	WriteGauge(w, "msod_slo_latency_objective_seconds",
+		"Declared per-request latency objective (the p99 target).", s.latency.Seconds())
+	WriteCounter(w, "msod_slo_requests_total",
+		"Requests observed by the SLO layer (decisions and advisories, including refused ones).", total)
+	fmt.Fprintf(w, "# HELP msod_slo_errors_total Requests that breached an objective: slo=\"availability\" (refused/errored) or slo=\"latency\" (answered over the latency objective).\n# TYPE msod_slo_errors_total counter\n")
+	fmt.Fprintf(w, "msod_slo_errors_total{slo=%q} %d\n", SLOAvailability, failed)
+	fmt.Fprintf(w, "msod_slo_errors_total{slo=%q} %d\n", SLOLatency, slow)
+	fmt.Fprintf(w, "# HELP msod_slo_error_budget_remaining Unconsumed error-budget fraction over the rolling window (1 untouched, 0 spent, negative overspent).\n# TYPE msod_slo_error_budget_remaining gauge\n")
+	fmt.Fprintf(w, "msod_slo_error_budget_remaining{slo=%q} %s\n", SLOAvailability, FormatValue(s.budgetRemaining(slowFailed, slowTotal)))
+	fmt.Fprintf(w, "msod_slo_error_budget_remaining{slo=%q} %s\n", SLOLatency, FormatValue(s.budgetRemaining(slowSlow, slowTotal)))
+	fmt.Fprintf(w, "# HELP msod_slo_burn_rate Error-budget burn rate (observed error rate over budgeted rate; 1.0 spends the budget exactly over the window) per objective and window (window=\"fast\" is 1/12 of window=\"slow\").\n# TYPE msod_slo_burn_rate gauge\n")
+	fmt.Fprintf(w, "msod_slo_burn_rate{slo=%q,window=\"fast\"} %s\n", SLOAvailability, FormatValue(s.burnRate(fastFailed, fastTotal)))
+	fmt.Fprintf(w, "msod_slo_burn_rate{slo=%q,window=\"slow\"} %s\n", SLOAvailability, FormatValue(s.burnRate(slowFailed, slowTotal)))
+	fmt.Fprintf(w, "msod_slo_burn_rate{slo=%q,window=\"fast\"} %s\n", SLOLatency, FormatValue(s.burnRate(fastSlow, fastTotal)))
+	fmt.Fprintf(w, "msod_slo_burn_rate{slo=%q,window=\"slow\"} %s\n", SLOLatency, FormatValue(s.burnRate(slowSlow, slowTotal)))
+}

@@ -1,0 +1,179 @@
+package obsv
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// sloAt builds an SLO with a controllable clock starting at a fixed
+// instant, returning the tracker and a function to advance time.
+func sloAt(cfg SLOConfig) (*SLO, func(time.Duration)) {
+	now := time.Unix(1_700_000_000, 0)
+	cfg.Clock = func() time.Time { return now }
+	s := NewSLO(cfg)
+	return s, func(d time.Duration) { now = now.Add(d) }
+}
+
+func TestNewSLODisabledWithoutLatency(t *testing.T) {
+	if s := NewSLO(SLOConfig{}); s != nil {
+		t.Fatal("NewSLO without a latency objective must return nil")
+	}
+	// The nil tracker must be inert, not a panic source.
+	var s *SLO
+	s.Observe(time.Millisecond, false)
+	var buf strings.Builder
+	s.WriteMetrics(&buf)
+	if buf.Len() != 0 {
+		t.Fatalf("nil SLO wrote metrics: %q", buf.String())
+	}
+}
+
+func TestNewSLODefaults(t *testing.T) {
+	s := NewSLO(SLOConfig{Latency: 50 * time.Millisecond})
+	if s.Goal() != DefaultSLOGoal {
+		t.Fatalf("goal = %v, want %v", s.Goal(), DefaultSLOGoal)
+	}
+	if s.Window() != DefaultSLOWindow {
+		t.Fatalf("window = %v, want %v", s.Window(), DefaultSLOWindow)
+	}
+	// Out-of-range goals fall back too.
+	for _, g := range []float64{-1, 0, 1, 2} {
+		if s := NewSLO(SLOConfig{Latency: time.Millisecond, Goal: g}); s.Goal() != DefaultSLOGoal {
+			t.Fatalf("goal %v accepted as %v", g, s.Goal())
+		}
+	}
+	// Tiny windows clamp the slot duration to a second, stretching the
+	// effective window rather than spinning sub-second slots.
+	if s := NewSLO(SLOConfig{Latency: time.Millisecond, Window: time.Second}); s.Window() != sloSlots*time.Second {
+		t.Fatalf("clamped window = %v, want %v", s.Window(), sloSlots*time.Second)
+	}
+}
+
+func TestSLOClassification(t *testing.T) {
+	s, _ := sloAt(SLOConfig{Goal: 0.9, Latency: 10 * time.Millisecond, Window: time.Hour})
+	s.Observe(time.Millisecond, false)    // good
+	s.Observe(20*time.Millisecond, false) // latency error
+	s.Observe(time.Millisecond, true)     // availability error
+	s.Observe(time.Hour, true)            // failed AND slow: counts once, as availability
+	var buf strings.Builder
+	s.WriteMetrics(&buf)
+	samples, types := parseExposition(t, buf.String())
+	if types["msod_slo_requests_total"] != "counter" || types["msod_slo_burn_rate"] != "gauge" {
+		t.Fatalf("types = %v", types)
+	}
+	if got := samples["msod_slo_requests_total"]; got != 4 {
+		t.Fatalf("requests = %v, want 4", got)
+	}
+	if got := samples[`msod_slo_errors_total{slo="availability"}`]; got != 2 {
+		t.Fatalf("availability errors = %v, want 2", got)
+	}
+	if got := samples[`msod_slo_errors_total{slo="latency"}`]; got != 1 {
+		t.Fatalf("latency errors = %v, want 1 (a failed slow request is not double-counted)", got)
+	}
+	if got := samples["msod_slo_goal"]; got != 0.9 {
+		t.Fatalf("goal = %v", got)
+	}
+	if got := samples["msod_slo_latency_objective_seconds"]; got != 0.01 {
+		t.Fatalf("latency objective = %v", got)
+	}
+}
+
+func TestSLOBurnRateAndBudget(t *testing.T) {
+	// Goal 0.99 budgets 1% errors. 100 requests with 2 availability
+	// errors = 2% observed -> burn rate 2.0, budget remaining -1.
+	s, _ := sloAt(SLOConfig{Goal: 0.99, Latency: 10 * time.Millisecond, Window: time.Hour})
+	for i := 0; i < 100; i++ {
+		s.Observe(time.Millisecond, i < 2)
+	}
+	var buf strings.Builder
+	s.WriteMetrics(&buf)
+	samples, _ := parseExposition(t, buf.String())
+	near := func(got, want float64) bool { d := got - want; return d < 1e-9 && d > -1e-9 }
+	if got := samples[`msod_slo_burn_rate{slo="availability",window="slow"}`]; !near(got, 2.0) {
+		t.Fatalf("slow availability burn = %v, want 2.0", got)
+	}
+	if got := samples[`msod_slo_burn_rate{slo="availability",window="fast"}`]; !near(got, 2.0) {
+		t.Fatalf("fast availability burn = %v, want 2.0 (all traffic inside the fast window)", got)
+	}
+	if got := samples[`msod_slo_error_budget_remaining{slo="availability"}`]; !near(got, -1.0) {
+		t.Fatalf("availability budget = %v, want -1 (overspent 2x)", got)
+	}
+	if got := samples[`msod_slo_burn_rate{slo="latency",window="slow"}`]; got != 0 {
+		t.Fatalf("latency burn = %v, want 0", got)
+	}
+	if got := samples[`msod_slo_error_budget_remaining{slo="latency"}`]; got != 1 {
+		t.Fatalf("latency budget = %v, want 1 (untouched)", got)
+	}
+}
+
+func TestSLOZeroTraffic(t *testing.T) {
+	s, _ := sloAt(SLOConfig{Latency: 10 * time.Millisecond})
+	var buf strings.Builder
+	s.WriteMetrics(&buf)
+	samples, _ := parseExposition(t, buf.String())
+	if got := samples[`msod_slo_burn_rate{slo="availability",window="fast"}`]; got != 0 {
+		t.Fatalf("zero-traffic burn = %v, want 0", got)
+	}
+	if got := samples[`msod_slo_error_budget_remaining{slo="availability"}`]; got != 1 {
+		t.Fatalf("zero-traffic budget = %v, want 1", got)
+	}
+}
+
+// TestSLOWindowsDiverge pins the two-window mechanics: errors older
+// than the fast window stop burning it but keep burning the slow one,
+// and errors past the whole window drop out entirely as their slots
+// are lazily reclaimed.
+func TestSLOWindowsDiverge(t *testing.T) {
+	// Window 1h over 60 slots = 1-minute slots; fast window = 5 slots.
+	s, advance := sloAt(SLOConfig{Goal: 0.9, Latency: 10 * time.Millisecond, Window: time.Hour})
+	s.Observe(time.Millisecond, true) // one availability error, now
+	advance(10 * time.Minute)         // past the 5-minute fast window
+	for i := 0; i < 9; i++ {
+		s.Observe(time.Millisecond, false)
+	}
+	var buf strings.Builder
+	s.WriteMetrics(&buf)
+	samples, _ := parseExposition(t, buf.String())
+	if got := samples[`msod_slo_burn_rate{slo="availability",window="fast"}`]; got != 0 {
+		t.Fatalf("fast burn = %v, want 0 (error aged out of the fast window)", got)
+	}
+	// Slow window still sees 1 error in 10 requests = 10% against a 10%
+	// budget -> burn rate 1.
+	if got := samples[`msod_slo_burn_rate{slo="availability",window="slow"}`]; got < 1-1e-9 || got > 1+1e-9 {
+		t.Fatalf("slow burn = %v, want 1", got)
+	}
+
+	// Age everything past the slow window: the rolling series go quiet,
+	// but the cumulative counters must not regress.
+	advance(2 * time.Hour)
+	s.Observe(time.Millisecond, false)
+	buf.Reset()
+	s.WriteMetrics(&buf)
+	samples, _ = parseExposition(t, buf.String())
+	if got := samples[`msod_slo_burn_rate{slo="availability",window="slow"}`]; got != 0 {
+		t.Fatalf("slow burn after window rollover = %v, want 0", got)
+	}
+	if got := samples["msod_slo_requests_total"]; got != 11 {
+		t.Fatalf("cumulative requests = %v, want 11 (counters are monotonic)", got)
+	}
+	if got := samples[`msod_slo_errors_total{slo="availability"}`]; got != 1 {
+		t.Fatalf("cumulative errors = %v, want 1", got)
+	}
+}
+
+// TestSLOSlotReuse pins lazy slot reclamation: a slot revisited a full
+// ring-rotation later must shed its old tallies, not merge epochs.
+func TestSLOSlotReuse(t *testing.T) {
+	s, advance := sloAt(SLOConfig{Goal: 0.9, Latency: 10 * time.Millisecond, Window: time.Hour})
+	s.Observe(time.Millisecond, true)
+	advance(time.Duration(sloSlots) * time.Minute) // same slot index, new epoch
+	s.Observe(time.Millisecond, false)
+	var buf strings.Builder
+	s.WriteMetrics(&buf)
+	samples, _ := parseExposition(t, buf.String())
+	// Only the fresh observation is in the window: no errors.
+	if got := samples[`msod_slo_burn_rate{slo="availability",window="slow"}`]; got != 0 {
+		t.Fatalf("burn after slot reuse = %v, want 0 (stale tally leaked into the new epoch)", got)
+	}
+}

@@ -416,6 +416,14 @@ func (p *PDP) publish(ev audit.Event, dec Decision) {
 	if !dec.Allowed {
 		out.Stage = string(dec.Phase)
 		out.Reason = dec.Reason
+		if dec.MSoD != nil && dec.MSoD.Denial != nil {
+			// Surface the refusing constraint's identity and k-of-m state
+			// inline, mirroring the explain record's governing rule.
+			d := dec.MSoD.Denial
+			out.Rule = d.Rule
+			out.K = d.Held
+			out.M = d.Cardinality
+		}
 	}
 	p.observer(out)
 }

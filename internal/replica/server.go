@@ -63,6 +63,9 @@ func NewServer(f *Follower) *Server {
 	s.mux.HandleFunc(server.MetricsPath, s.handleMetrics)
 	s.mux.HandleFunc(server.DecisionPath, s.refuseAuthoritative)
 	s.mux.HandleFunc(server.ManagementPath, s.refuseAuthoritative)
+	// Explain records live where the decision executed; a replica never
+	// executed one, so it refuses like the other authoritative paths.
+	s.mux.HandleFunc(server.ExplainPath, s.refuseAuthoritative)
 	s.mux.HandleFunc(server.EventsPath, func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, map[string]string{
 			"error": "replicas do not re-serve the event stream; subscribe to the owner at " + s.follower.Owner(),

@@ -16,6 +16,7 @@ import (
 
 	"msod/internal/bctx"
 	"msod/internal/credential"
+	"msod/internal/explain"
 	"msod/internal/inspect"
 	"msod/internal/obsv"
 	"msod/internal/rbac"
@@ -447,6 +448,22 @@ func (c *Client) streamOnce(ctx context.Context, q url.Values, resume *uint64, s
 		return fmt.Errorf("server: events: %w", err)
 	}
 	return ctx.Err()
+}
+
+// Explain fetches the provenance record of a past decision by its
+// requestID (GET /v1/explain/{requestID}). A 404 *APIError means the
+// record rotated out of this server's ring — or, against a shard, that
+// the decision was executed elsewhere.
+func (c *Client) Explain(requestID string) (explain.Record, error) {
+	return c.ExplainCtx(context.Background(), requestID)
+}
+
+// ExplainCtx is Explain under the caller's context (the gateway fans
+// one query out to every shard under a shared deadline).
+func (c *Client) ExplainCtx(ctx context.Context, requestID string) (explain.Record, error) {
+	var out explain.Record
+	err := c.get(ctx, ExplainPath+url.PathEscape(requestID), &out)
+	return out, err
 }
 
 // ReplicaSnapshot fetches the consistent retained-ADI dump a replica

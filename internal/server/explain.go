@@ -1,0 +1,63 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+
+	"msod/internal/explain"
+	"msod/internal/obsv"
+)
+
+// ExplainPath serves per-decision provenance records
+// (GET /v1/explain/{requestID}): the resolved subject, the policies
+// and MSoD rules evaluated with their k-of-m counter state before and
+// after the decision, and the exact constraint that produced the
+// grant or refusal. Records live in a bounded in-memory ring — old
+// decisions rotate out, and a shard only holds records for decisions
+// it executed itself, which is why the gateway fans an explain query
+// out across the cluster.
+const ExplainPath = "/v1/explain/"
+
+// WithExplainCapacity sizes the per-shard explain ring: how many
+// recent decisions stay queryable at /v1/explain/{requestID}. Zero
+// keeps the default (explain.DefaultCapacity); negative disables
+// explain recording entirely, removing its (small) per-decision cost.
+func WithExplainCapacity(n int) Option {
+	return func(s *Server) { s.explainCap = n }
+}
+
+// WithSLO attaches a service-level-objective tracker: every decision,
+// advisory and refusal feeds it, and /v1/metrics grows the msod_slo_*
+// families (error budget remaining, fast/slow burn rates). A nil
+// tracker is accepted and leaves the SLO layer off.
+func WithSLO(slo *obsv.SLO) Option {
+	return func(s *Server) { s.slo = slo }
+}
+
+// Explain exposes the server's explain recorder (nil when disabled) —
+// for the embedding daemon and tests; HTTP callers use ExplainPath.
+func (s *Server) Explain() *explain.Recorder { return s.explain }
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"GET required"})
+		return
+	}
+	if s.explain == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{"explain recording disabled on this server"})
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, ExplainPath)
+	if id == "" || strings.Contains(id, "/") {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"request ID required: GET " + ExplainPath + "{requestID}"})
+		return
+	}
+	s.metrics.explainQueries.Add(1)
+	rec, ok := s.explain.Get(id)
+	if !ok {
+		s.metrics.explainMisses.Add(1)
+		writeJSON(w, http.StatusNotFound, errorResponse{"no explain record for request ID " + id + " on this shard (rotated out, or decided elsewhere)"})
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}

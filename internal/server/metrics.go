@@ -30,6 +30,11 @@ type metrics struct {
 	// sentinelRefusals counts decision/advisory requests refused because
 	// the audit-chain sentinel latched under fail-closed.
 	sentinelRefusals atomic.Int64
+	// explainQueries/explainMisses count /v1/explain lookups and the
+	// subset that found no record (rotated out, or owned by another
+	// shard).
+	explainQueries atomic.Int64
+	explainMisses  atomic.Int64
 	// shed counts requests refused by admission control (503 +
 	// Retry-After) before any PDP work — see WithAdmissionLimit.
 	shed           atomic.Int64
@@ -81,7 +86,16 @@ func (m *metrics) observeStages(t *obsv.Trace) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	// Content negotiation: classic text format by default; scrapers
+	// that ask for OpenMetrics additionally get histogram exemplars
+	// (trace IDs on the decision-latency buckets) and the # EOF
+	// terminator.
+	om := obsv.WantOpenMetrics(r.Header.Get("Accept"))
+	if om {
+		w.Header().Set("Content-Type", obsv.OpenMetricsContentType)
+	} else {
+		w.Header().Set("Content-Type", obsv.TextContentType)
+	}
 	obsv.WriteCounter(w, "msod_decisions_total", "Decision requests answered (excluding advisories).", s.metrics.decisions.Load())
 	obsv.WriteCounter(w, "msod_grants_total", "Granted decisions.", s.metrics.grants.Load())
 	obsv.WriteCounter(w, "msod_denied_rbac_total", "Decisions denied by the RBAC check.", s.metrics.deniedRBAC.Load())
@@ -93,9 +107,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	obsv.WriteCounter(w, "msod_adi_records_written_total", "Retained-ADI records written by grants.", s.metrics.recordsWritten.Load())
 	obsv.WriteCounter(w, "msod_adi_records_purged_total", "Retained-ADI records purged by last steps.", s.metrics.recordsPurged.Load())
 	obsv.WriteCounter(w, "msod_audit_trail_errors_total", "Audit-trail appends that failed (decisions served, history NOT durably logged — alert on any increase).", s.pdp.TrailErrors())
-	s.metrics.duration.Write(w, "msod_decision_duration_seconds",
-		"PDP evaluation time per decision/advisory request (CVS+RBAC+MSoD, excluding transport).")
+	s.metrics.duration.WriteExposition(w, "msod_decision_duration_seconds",
+		"PDP evaluation time per decision/advisory request (CVS+RBAC+MSoD, excluding transport).", om)
 	s.metrics.stages.Write(w)
+	if s.explain != nil {
+		obsv.WriteGauge(w, "msod_explain_records_retained",
+			"Decision provenance records currently queryable at /v1/explain/{requestID}.",
+			float64(s.explain.Len()))
+		obsv.WriteCounter(w, "msod_explain_evicted_total",
+			"Provenance records rotated out of the bounded explain ring.", s.explain.Evicted())
+		obsv.WriteCounter(w, "msod_explain_queries_total",
+			"/v1/explain lookups served.", s.metrics.explainQueries.Load())
+		obsv.WriteCounter(w, "msod_explain_misses_total",
+			"/v1/explain lookups that found no record (rotated out, or decided on another shard).",
+			s.metrics.explainMisses.Load())
+	}
+	s.slo.WriteMetrics(w)
 	obsv.WriteGauge(w, "msod_adi_records", "Live retained-ADI records.", float64(s.pdp.Store().Len()))
 	if s.inspector != nil {
 		sum := s.inspector.Summary()
@@ -133,6 +160,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	obsv.WriteBuildInfo(w, "msodd")
 	obsv.WriteUptime(w, s.start)
+	if om {
+		obsv.WriteOpenMetricsEOF(w)
+	}
 }
 
 // slowLogEnabled reports whether a decision of the given duration

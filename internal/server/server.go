@@ -18,6 +18,7 @@ import (
 	"msod/internal/adi"
 	"msod/internal/bctx"
 	"msod/internal/credential"
+	"msod/internal/explain"
 	"msod/internal/inspect"
 	"msod/internal/obsv"
 	"msod/internal/pdp"
@@ -73,6 +74,12 @@ type DecisionResponse struct {
 	// (minted fresh otherwise); a replayed idempotent response carries
 	// the trace ID of the execution that actually committed.
 	TraceID string `json:"traceID,omitempty"`
+	// RequestID is the key under which this decision's provenance
+	// record is queryable (GET /v1/explain/{requestID}): the caller's
+	// idempotency RequestID when one was sent, the trace ID otherwise.
+	// Empty on advisories (side-effect-free, not explained) and when
+	// explain recording is disabled.
+	RequestID string `json:"requestID,omitempty"`
 }
 
 // ManagementWireRequest is the wire form of a management operation.
@@ -104,6 +111,14 @@ type Server struct {
 	metrics metrics
 	idem    *idemCache
 	start   time.Time
+
+	// explain retains per-decision provenance records for
+	// /v1/explain/{requestID}; nil when disabled (explainCap < 0).
+	// slo, when set, scores every request against the declared
+	// objectives (see WithSLO).
+	explain    *explain.Recorder
+	explainCap int
+	slo        *obsv.SLO
 
 	// log + slowLog drive the per-decision structured log line (see
 	// WithDecisionLog); gauges are operator extras on /v1/metrics.
@@ -171,6 +186,13 @@ func New(p *pdp.PDP, opts ...Option) *Server {
 	for _, opt := range opts {
 		opt(s)
 	}
+	if s.explainCap >= 0 {
+		capacity := s.explainCap
+		if capacity == 0 {
+			capacity = explain.DefaultCapacity
+		}
+		s.explain = explain.NewRecorder(capacity)
+	}
 	if s.browser == nil {
 		// Every store shipped with the repo exposes the read-only browse
 		// surface, so introspection is on by default; a custom Recorder
@@ -196,6 +218,7 @@ func New(p *pdp.PDP, opts ...Option) *Server {
 	s.mux.HandleFunc(StateUsersPath, s.handleStateUser)
 	s.mux.HandleFunc(StateContextsPath, s.handleStateContext)
 	s.mux.HandleFunc(EventsPath, s.handleEvents)
+	s.mux.HandleFunc(ExplainPath, s.handleExplain)
 	s.mux.HandleFunc(ReplicaSnapshotPath, s.handleReplicaSnapshot)
 	return s
 }
@@ -220,6 +243,7 @@ func (s *Server) serveDecision(w http.ResponseWriter, r *http.Request, decide fu
 	}
 	release, admitted := s.admit(w)
 	if !admitted {
+		s.slo.Observe(0, true)
 		return
 	}
 	defer release()
@@ -227,12 +251,14 @@ func (s *Server) serveDecision(w http.ResponseWriter, r *http.Request, decide fu
 		// Fail-closed: a trail that no longer verifies means the retained
 		// history cannot be trusted, so neither can any history-dependent
 		// answer (advisories included).
+		s.slo.Observe(0, true)
 		return
 	}
 	if !advisory && s.refuseReadOnly(w) {
 		// Degraded read-only: a PDP that cannot record grants must not
 		// grant. Advisories stay up — they are side-effect-free and read
 		// the (intact, in-memory) retained ADI.
+		s.slo.Observe(0, true)
 		return
 	}
 	var wire DecisionRequest
@@ -254,6 +280,10 @@ func (s *Server) serveDecision(w http.ResponseWriter, r *http.Request, decide fu
 	if !advisory && wire.RequestID != "" {
 		if cached, replay := s.idem.begin(wire.RequestID); replay {
 			s.metrics.idempotentReplays.Add(1)
+			// A replay serves the committed execution's response (and its
+			// explain record stays the queryable one); it still counts as a
+			// served request for the SLO.
+			s.slo.Observe(0, false)
 			writeJSON(w, http.StatusOK, cached)
 			return
 		}
@@ -276,12 +306,31 @@ func (s *Server) serveDecision(w http.ResponseWriter, r *http.Request, decide fu
 		traceID = obsv.NewTraceID()
 	}
 	trace := obsv.NewTrace(traceID)
+	// The decision's provenance is keyed by the caller's idempotency
+	// RequestID when one was sent, by the trace ID otherwise — either
+	// way the response echoes the key so the caller (or msodctl) can
+	// fetch GET /v1/explain/{requestID}.
+	rid := wire.RequestID
+	if rid == "" {
+		rid = string(traceID)
+	}
+	reqCtx := obsv.WithTrace(r.Context(), trace)
+	var xrec *explain.Record
+	if !advisory && s.explain != nil {
+		xrec = s.explain.Begin()
+		reqCtx = explain.WithRecord(reqCtx, xrec)
+	}
 	start := time.Now()
-	dec, err := decide(obsv.WithTrace(r.Context(), trace), req)
+	dec, err := decide(reqCtx, req)
 	elapsed := time.Since(start)
-	s.metrics.duration.Observe(elapsed)
+	s.metrics.duration.ObserveExemplar(elapsed, string(traceID))
 	s.metrics.observeStages(trace)
 	if err != nil {
+		if xrec != nil {
+			// Nothing to explain: return the pooled record unpublished.
+			s.explain.Discard(xrec)
+		}
+		s.slo.Observe(elapsed, true)
 		if ownsID {
 			// Nothing committed: release the ID so a retry re-executes.
 			s.idem.finish(wire.RequestID, DecisionResponse{}, false)
@@ -322,9 +371,35 @@ func (s *Server) serveDecision(w http.ResponseWriter, r *http.Request, decide fu
 		resp.Purged = dec.MSoD.Purged
 		resp.MatchedPolicies = dec.MSoD.MatchedPolicies
 	}
+	if xrec != nil {
+		// The engine filled the rule evaluations during decide; the
+		// request/response envelope is stamped here, then Commit derives
+		// the governing constraint and publishes the record.
+		xrec.RequestID = rid
+		xrec.TraceID = string(traceID)
+		xrec.Time = start
+		xrec.User = resp.User
+		xrec.Roles = resp.Roles
+		xrec.Operation = wire.Operation
+		xrec.Target = wire.Target
+		xrec.Context = wire.Context
+		xrec.Outcome = explain.OutcomeDeny
+		if resp.Allowed {
+			xrec.Outcome = explain.OutcomeGrant
+		}
+		xrec.Phase = resp.Phase
+		xrec.Reason = resp.Reason
+		xrec.MatchedPolicies = resp.MatchedPolicies
+		xrec.Recorded = resp.Recorded
+		xrec.Purged = resp.Purged
+		xrec.ElapsedSeconds = elapsed.Seconds()
+		s.explain.Commit(xrec)
+		resp.RequestID = rid
+	}
 	if ownsID {
 		s.idem.finish(wire.RequestID, resp, true)
 	}
+	s.slo.Observe(elapsed, false)
 	s.metrics.observe(resp, advisory)
 	if s.slowLogEnabled(elapsed) {
 		s.log.LogAttrs(r.Context(), slog.LevelInfo, "decision",

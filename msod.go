@@ -43,7 +43,9 @@ import (
 	"msod/internal/core"
 	"msod/internal/credential"
 	"msod/internal/directory"
+	"msod/internal/explain"
 	"msod/internal/inspect"
+	"msod/internal/obsv"
 	"msod/internal/pdp"
 	"msod/internal/pep"
 	"msod/internal/policy"
@@ -461,6 +463,42 @@ func WithServerEventBroker(b *EventBroker) ServerOption { return server.WithEven
 func WithServerSentinel(s *AuditSentinel, failClosed bool) ServerOption {
 	return server.WithSentinel(s, failClosed)
 }
+
+// Decision provenance (explain) and SLO types: every authoritative
+// decision leaves a structured evaluation trace — which policies and
+// MSoD rules applied, the k-of-m counter state before and after, and
+// the constraint that governed the outcome — queryable at
+// /v1/explain/{requestID} (msodctl explain renders it); the SLO
+// tracker scores every request against declared availability and
+// latency objectives and exposes the msod_slo_* metric families.
+type (
+	// ExplainRecord is one decision's full provenance trace.
+	ExplainRecord = explain.Record
+	// ExplainRuleEval is one MSoD rule evaluation within a record.
+	ExplainRuleEval = explain.RuleEval
+	// ExplainRecorder is the bounded per-server ring retaining records.
+	ExplainRecorder = explain.Recorder
+	// SLO tracks request outcomes against declared objectives.
+	SLO = obsv.SLO
+	// SLOConfig declares the objectives an SLO tracker enforces.
+	SLOConfig = obsv.SLOConfig
+)
+
+// ExplainPath is the provenance endpoint prefix
+// (GET /v1/explain/{requestID}).
+const ExplainPath = server.ExplainPath
+
+// NewSLO builds an SLO tracker; it returns nil (a valid, disabled
+// tracker) when the config declares no latency objective.
+func NewSLO(cfg SLOConfig) *SLO { return obsv.NewSLO(cfg) }
+
+// WithServerExplainCapacity sizes the server's explain ring (0 keeps
+// the default; negative disables explain recording).
+func WithServerExplainCapacity(n int) ServerOption { return server.WithExplainCapacity(n) }
+
+// WithServerSLO attaches an SLO tracker to a server; its msod_slo_*
+// families join /v1/metrics.
+func WithServerSLO(s *SLO) ServerOption { return server.WithSLO(s) }
 
 // Advisory read-replica types: event-fed retained-ADI mirrors serving
 // the advisory and state surfaces under a bounded-staleness contract.
