@@ -43,6 +43,12 @@
 //	    Show one decision's provenance: the rules evaluated, their k-of-m
 //	    counter state before and after, and the governing constraint.
 //	    Against msodgw the query fans out to the shard that decided.
+//
+//	msodctl trace -server http://host:8443 <traceID>
+//	    Render a tail-sampled decision's span tree as a waterfall:
+//	    pipeline stages indented under their parents with duration
+//	    bars. Against msodgw the per-shard span sets are merged and
+//	    each span carries shard attribution.
 package main
 
 import (
@@ -82,6 +88,8 @@ func main() {
 		err = cmdState(os.Args[2:])
 	case "explain":
 		err = cmdExplain(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -97,7 +105,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: msodctl <validate|lint|verify-trail|replay|decide|manage|health|tail|state|explain> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: msodctl <validate|lint|verify-trail|replay|decide|manage|health|tail|state|explain|trace> [flags]")
 }
 
 func cmdLint(args []string) error {

@@ -26,6 +26,7 @@
 //	GET  /v1/state/contexts/{bc}   per-context state (wildcards allowed)
 //	GET  /v1/events                decision event stream (SSE)
 //	GET  /v1/explain/{requestID}   decision provenance: rules, k-of-m state, governing constraint
+//	GET  /v1/traces/{traceID}      retained span tree of a tail-sampled decision
 //
 // The decision event stream is always on. The audit-chain sentinel
 // (-sentinel-interval) incrementally re-verifies the HMAC chain while
@@ -75,6 +76,9 @@ type options struct {
 	replicaOf          string
 	maxStaleness       time.Duration
 	explainCapacity    int
+	traceCapacity      int
+	traceSample        int
+	traceSlow          time.Duration
 	sloLatencyP99      time.Duration
 	sloGoal            float64
 	sloWindow          time.Duration
@@ -104,6 +108,9 @@ func parseFlags(args []string) (*options, error) {
 	fs.StringVar(&o.replicaOf, "replica-of", "", "run as an advisory read replica of the shard at this base URL (no authoritative decisions)")
 	fs.DurationVar(&o.maxStaleness, "max-staleness", 0, "replica staleness bound: refuse answers once the owner has been silent this long (0 = 30s default; negative disables)")
 	fs.IntVar(&o.explainCapacity, "explain-capacity", 0, "decision provenance records retained for /v1/explain (0 = 1024 default; negative disables explain)")
+	fs.IntVar(&o.traceCapacity, "trace-capacity", 0, "tail-sampled span trees retained for /v1/traces (0 = 1024 default; negative disables trace retention)")
+	fs.IntVar(&o.traceSample, "trace-sample", 0, "keep a deterministic 1-in-N sample of fast grants' span trees (0 keeps none; refusals, errors and slow decisions are always kept)")
+	fs.DurationVar(&o.traceSlow, "trace-slow-threshold", 0, "always keep span trees of decisions slower than this (0 disables the slow criterion)")
 	fs.DurationVar(&o.sloLatencyP99, "slo-latency-p99", 0, "declared per-decision latency objective; enables the msod_slo_* metric families (0 disables the SLO layer)")
 	fs.Float64Var(&o.sloGoal, "slo-goal", 0.999, "declared good-request target fraction for the SLO layer")
 	fs.DurationVar(&o.sloWindow, "slo-window", time.Hour, "rolling error-budget window for the SLO layer (fast burn-rate window is 1/12 of this)")
@@ -349,6 +356,15 @@ func serverOptions(o *options, d *deps, logger *slog.Logger) []msod.ServerOption
 	opts := []msod.ServerOption{msod.WithServerEventBroker(d.broker)}
 	if o.explainCapacity != 0 {
 		opts = append(opts, msod.WithServerExplainCapacity(o.explainCapacity))
+	}
+	if o.traceCapacity >= 0 {
+		// One trace store per process: built here (not per reload) so
+		// retained span trees survive SIGHUP policy reloads.
+		opts = append(opts, msod.WithServerTraceStore(msod.NewTraceStore(msod.TraceStoreConfig{
+			Capacity:      o.traceCapacity,
+			SampleEvery:   o.traceSample,
+			SlowThreshold: o.traceSlow,
+		})))
 	}
 	if o.sloLatencyP99 > 0 {
 		// One SLO tracker per process: built here (not per reload) so the

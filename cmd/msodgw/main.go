@@ -26,6 +26,9 @@
 //	GET  /v1/state/contexts/{bc}   fanned out and merged (requires full cluster)
 //	GET  /v1/events                all live shards' event streams fanned in,
 //	                               each event re-labelled with its shard ID
+//	GET  /v1/explain/{requestID}   fanned out; the shard holding the record answers
+//	GET  /v1/traces/{traceID}      fanned out; per-shard span sets merged into one
+//	                               tree with X-Msod-Shard attribution
 package main
 
 import (

@@ -18,6 +18,7 @@
 package adi
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -112,6 +113,15 @@ type Recorder interface {
 	PurgeContext(pattern bctx.Name) (int, error)
 	// Len returns the number of retained records.
 	Len() int
+}
+
+// CtxAppender is the optional context-aware extension of Recorder: a
+// store that implements it gets the decision's context (and so its
+// obsv.Trace) on the commit path, letting it record sub-spans like the
+// durable WAL round trip. The engine type-asserts once and falls back
+// to plain Append for stores that don't.
+type CtxAppender interface {
+	AppendCtx(ctx context.Context, recs ...Record) error
 }
 
 // matchPattern reports whether the record's instance is within pattern.

@@ -2,6 +2,7 @@ package adi
 
 import (
 	"bufio"
+	"context"
 	"crypto/aes"
 	"crypto/cipher"
 	"crypto/rand"
@@ -18,6 +19,7 @@ import (
 
 	"msod/internal/bctx"
 	"msod/internal/fsx"
+	"msod/internal/obsv"
 	"msod/internal/rbac"
 )
 
@@ -341,6 +343,17 @@ func (ds *DurableStore) logLocked(e walEntry) error {
 	}
 	ds.walOps++
 	return nil
+}
+
+// AppendCtx is Append carrying a context: when the context holds an
+// obsv.Trace, the whole WAL round trip (seal, write, flush, optional
+// fsync, in-memory apply) is recorded as a SpanStoreWAL span — nested
+// inside the engine's store span, so an operator reading a retained
+// trace can tell WAL latency apart from in-memory commit work.
+// Untraced contexts pay a single nil check.
+func (ds *DurableStore) AppendCtx(ctx context.Context, recs ...Record) error {
+	defer obsv.StartSpan(ctx, obsv.SpanStoreWAL)()
+	return ds.Append(recs...)
 }
 
 // Append implements Recorder.

@@ -1,0 +1,22 @@
+// Package traceobs seeds the trace-store and runtime-telemetry
+// metricname violations: a twice-emitted trace eviction counter, a
+// mis-cased runtime gauge, and a tail-sampling family whose label-key
+// set drifts between series.
+package traceobs
+
+import (
+	"fmt"
+	"io"
+
+	"badmod/internal/obsv"
+)
+
+// Metrics emits each seeded violation once.
+func Metrics(w io.Writer, h *obsv.Histogram) {
+	obsv.WriteCounter(w, "msod_trace_evicted_total", "h", 1)
+	obsv.WriteCounter(w, "msod_trace_evicted_total", "h", 2)
+	obsv.WriteGauge(w, "msod_go_Heap_bytes", "h", 0)
+	h.WriteExposition(w, "msod_go_gc_pause_seconds", "h", true)
+	fmt.Fprintf(w, "msod_trace_sampled_total{reason=%q} 0\n", "refusal")
+	fmt.Fprintf(w, "msod_trace_sampled_total{verdict=%q} 0\n", "slow")
+}

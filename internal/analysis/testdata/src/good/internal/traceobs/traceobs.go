@@ -1,0 +1,24 @@
+// Package traceobs is the compliant mirror for the trace-store and
+// runtime-telemetry families: one emitter per family and a tail-
+// sampling counter whose reason label keeps the same key across every
+// series it emits.
+package traceobs
+
+import (
+	"fmt"
+	"io"
+
+	"goodmod/internal/obsv"
+)
+
+// Metrics emits the clean idiom: one site per family, the reason
+// label enumerated from a single loop-style literal.
+func Metrics(w io.Writer, h *obsv.Histogram, openMetrics bool) {
+	obsv.WriteCounter(w, "msod_trace_evicted_total", "Sampled traces evicted from the ring.", 0)
+	obsv.WriteGauge(w, "msod_trace_store_spans", "Spans retained across all sampled traces.", 0)
+	obsv.WriteGauge(w, "msod_go_goroutines", "Live goroutines.", 0)
+	obsv.WriteGauge(w, "msod_go_heap_bytes", "Heap in use.", 0)
+	h.WriteExposition(w, "msod_go_gc_pause_seconds", "GC stop-the-world pauses.", openMetrics)
+	fmt.Fprintf(w, "msod_trace_sampled_total{reason=%q} 0\n", "refusal")
+	fmt.Fprintf(w, "msod_trace_sampled_total{reason=%q} 0\n", "slow")
+}

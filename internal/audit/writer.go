@@ -2,6 +2,7 @@ package audit
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -11,6 +12,7 @@ import (
 	"sync"
 
 	"msod/internal/fsx"
+	"msod/internal/obsv"
 )
 
 // Writer appends decision events to HMAC-chained trail segments in a
@@ -102,6 +104,20 @@ func NewWriterFS(dir string, key []byte, segmentSize int, fs fsx.FS) (*Writer, e
 // caller's Seq field is overwritten). The entry is flushed to the OS
 // before Append returns.
 func (w *Writer) Append(ev Event) (uint64, error) {
+	return w.append(context.Background(), ev)
+}
+
+// AppendCtx is Append carrying a context: when the context holds an
+// obsv.Trace and this append crosses the segment boundary, the
+// rotation (close, fsync, reopen) is recorded as a SpanAuditRotate
+// span nested inside the pipeline's audit span — rotation is the rare
+// slow case of an otherwise cheap append, and a retained trace should
+// say so. Untraced contexts pay a single nil check.
+func (w *Writer) AppendCtx(ctx context.Context, ev Event) (uint64, error) {
+	return w.append(ctx, ev)
+}
+
+func (w *Writer) append(ctx context.Context, ev Event) (uint64, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if err := w.ensureSegmentLocked(); err != nil {
@@ -126,7 +142,10 @@ func (w *Writer) Append(ev Event) (uint64, error) {
 	w.lastMAC = mac
 	w.inSeg++
 	if w.inSeg >= w.segSize {
-		if err := w.rotateLocked(); err != nil {
+		endRotate := obsv.StartSpan(ctx, obsv.SpanAuditRotate)
+		err := w.rotateLocked()
+		endRotate()
+		if err != nil {
 			return 0, err
 		}
 	}

@@ -98,6 +98,8 @@ type gwMetrics struct {
 	stateQueries   atomic.Int64
 	eventStreams   atomic.Int64
 	explainQueries atomic.Int64
+	// traceQueries counts /v1/traces assembly fan-outs.
+	traceQueries atomic.Int64
 	// replicaReads counts advisory/state answers served by a read
 	// replica; replicaFallbacks counts reads that had replicas
 	// configured but ended up answered by the owning shard.
@@ -123,6 +125,10 @@ type Gateway struct {
 	// replicas maps shard ID to its advisory replica set; read-only
 	// after New.
 	replicas map[string]*replicaSet
+
+	// runtime samples the gateway's own Go runtime health
+	// (goroutines, heap, GC pauses) on every metrics scrape.
+	runtime *obsv.RuntimeStats
 
 	mu      sync.RWMutex
 	addrs   map[string]string
@@ -160,6 +166,7 @@ func New(cfg Config) (*Gateway, error) {
 		cfg:     cfg,
 		ring:    NewRing(cfg.VirtualNodes),
 		start:   time.Now(),
+		runtime: obsv.NewRuntimeStats(),
 		addrs:   make(map[string]string, len(cfg.Shards)),
 		clients: make(map[string]*server.Client, len(cfg.Shards)),
 	}
@@ -209,6 +216,7 @@ func New(cfg Config) (*Gateway, error) {
 	g.mux.HandleFunc(server.StateContextsPath, g.handleStateContext)
 	g.mux.HandleFunc(server.EventsPath, g.handleEvents)
 	g.mux.HandleFunc(server.ExplainPath, g.handleExplain)
+	g.mux.HandleFunc(server.TracesPath, g.handleTraces)
 	return g, nil
 }
 
@@ -783,10 +791,13 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		scraped++
 		merge(string(body), shardIDs[i])
 	}
-	// The gateway's own process identity joins the same families.
+	// The gateway's own process identity and runtime health join the
+	// same families: its msod_go_* series merge unlabeled next to the
+	// shard="..." series scraped from each shard.
 	var own strings.Builder
 	obsv.WriteBuildInfo(&own, "msodgw")
 	obsv.WriteUptime(&own, g.start)
+	g.runtime.Write(&own)
 	merge(own.String(), "")
 
 	if om {
@@ -859,6 +870,7 @@ func (g *Gateway) writeOwnMetrics(w io.Writer) {
 	obsv.WriteCounter(w, "msodgw_state_queries_total", "Introspection state lookups served (routed or fanned out).", g.metrics.stateQueries.Load())
 	obsv.WriteCounter(w, "msodgw_event_streams_total", "Decision event fan-in streams opened.", g.metrics.eventStreams.Load())
 	obsv.WriteCounter(w, "msodgw_explain_queries_total", "Decision provenance (/v1/explain) queries fanned out to the cluster.", g.metrics.explainQueries.Load())
+	obsv.WriteCounter(w, "msodgw_trace_queries_total", "Trace assembly (/v1/traces) queries fanned out to the cluster.", g.metrics.traceQueries.Load())
 	obsv.WriteCounter(w, "msodgw_breaker_refused_total", "Requests refused by an open circuit breaker (also counted in msodgw_unavailable_total).", g.metrics.broken.Load())
 	obsv.WriteCounter(w, "msodgw_replica_reads_total", "Advisory/state reads served by a shard's read replica.", g.metrics.replicaReads.Load())
 	obsv.WriteCounter(w, "msodgw_replica_fallbacks_total", "Reads with replicas configured that were answered by the owning shard instead.", g.metrics.replicaFallbacks.Load())

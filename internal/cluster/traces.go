@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"msod/internal/server"
+	"msod/internal/trace"
+)
+
+// handleTraces resolves /v1/traces/{traceID} across the cluster. A
+// trace ID does not hash to a shard (the decision was routed by its
+// *user*, which the ID does not reveal), so the query fans out to
+// every shard; unlike explain — where exactly one shard holds the
+// record — the span sets of every shard that saw the trace are merged
+// into one assembled tree, each span stamped with the shard it ran
+// on. Like the other introspection fan-outs it requires the full
+// cluster up before reporting anything — with a shard down, part of
+// the tree may be unreachable, and a confident answer (or 404) would
+// misstate where the decision spent its time.
+func (g *Gateway) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		errorJSON(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, server.TracesPath)
+	if id == "" || strings.Contains(id, "/") {
+		errorJSON(w, http.StatusBadRequest, "trace ID required: GET "+server.TracesPath+"{traceID}")
+		return
+	}
+	g.metrics.traceQueries.Add(1)
+	shards := g.checker.Shards()
+	if len(shards) == 0 {
+		errorJSON(w, http.StatusServiceUnavailable, "no shards in ring")
+		return
+	}
+	for _, s := range shards {
+		if !g.checker.Up(s) {
+			g.metrics.unavailable.Add(1)
+			errorJSON(w, http.StatusServiceUnavailable,
+				fmt.Sprintf("shard %s is down; trace assembly requires the full cluster (part of the tree may live on the down shard)", s))
+			return
+		}
+	}
+	type result struct {
+		shard string
+		rec   trace.Record
+		err   error
+	}
+	results := make([]result, len(shards))
+	var wg sync.WaitGroup
+	fanCtx, cancel := timeoutContext(g.cfg.Timeout)
+	defer cancel()
+	for i, s := range shards {
+		wg.Add(1)
+		go func(i int, s string) {
+			defer wg.Done()
+			c, _ := g.client(s)
+			rec, err := c.TraceCtx(fanCtx, id)
+			results[i] = result{shard: s, rec: rec, err: err}
+		}(i, s)
+	}
+	wg.Wait()
+
+	var hits []result
+	var transportErr error
+	var deliberate *server.APIError
+	deliberateShard := ""
+	for _, res := range results {
+		if res.err == nil {
+			hits = append(hits, res)
+			continue
+		}
+		var apiErr *server.APIError
+		switch {
+		case errors.As(res.err, &apiErr):
+			if apiErr.Status != http.StatusNotFound && deliberate == nil {
+				deliberate = apiErr
+				deliberateShard = res.shard
+			}
+		default:
+			g.checker.ReportFailure(res.shard, res.err)
+			if transportErr == nil {
+				transportErr = fmt.Errorf("shard %s: %w", res.shard, res.err)
+			}
+		}
+	}
+	if len(hits) > 0 {
+		merged := make([]traceHit, len(hits))
+		for i, h := range hits {
+			merged[i] = traceHit{shard: h.shard, rec: h.rec}
+		}
+		assembled := assembleTrace(merged)
+		w.Header().Set("X-Msod-Shard", strings.Join(assembled.Shards, ","))
+		writeJSON(w, http.StatusOK, assembled)
+		return
+	}
+	switch {
+	case transportErr != nil:
+		// A shard that could hold spans of this trace did not answer:
+		// absence is unproven, so fail closed rather than report
+		// not-found.
+		g.metrics.unavailable.Add(1)
+		errorJSON(w, http.StatusBadGateway, fmt.Sprintf("trace fan-out incomplete (%v); trace absence unproven", transportErr))
+	case deliberate != nil:
+		errorJSON(w, deliberate.Status, fmt.Sprintf("shard %s: %s", deliberateShard, deliberate.Message))
+	default:
+		errorJSON(w, http.StatusNotFound,
+			fmt.Sprintf("no shard holds a trace for ID %s (not sampled, rotated out of every ring, or never decided here)", id))
+	}
+}
+
+// traceHit is one shard's copy of (part of) a trace.
+type traceHit struct {
+	shard string
+	rec   trace.Record
+}
+
+// assembleTrace merges the span sets returned by every shard that saw
+// the trace into one tree: the earliest record anchors the envelope
+// (subject, outcome, wall-clock zero), every span is stamped with the
+// shard it ran on, offsets are rebased onto the anchor's clock, and
+// the merged set is sorted by start offset so a waterfall renders in
+// execution order. In the common case exactly one shard decided and
+// the merge is the identity plus attribution.
+func assembleTrace(hits []traceHit) trace.Record {
+	base := hits[0]
+	for _, h := range hits[1:] {
+		if h.rec.Time.Before(base.rec.Time) {
+			base = h
+		}
+	}
+	out := base.rec
+	out.Spans = nil
+	out.Shards = nil
+	seen := map[string]bool{}
+	for _, h := range hits {
+		if !seen[h.shard] {
+			seen[h.shard] = true
+			out.Shards = append(out.Shards, h.shard)
+		}
+		// Rebase onto the anchor's clock so spans from different
+		// shards order sensibly (modulo clock skew).
+		skew := h.rec.Time.Sub(base.rec.Time).Microseconds()
+		for _, sp := range h.rec.Spans {
+			sp.Shard = h.shard
+			sp.StartOffsetUS += skew
+			out.Spans = append(out.Spans, sp)
+		}
+	}
+	sort.Strings(out.Shards)
+	sort.SliceStable(out.Spans, func(i, j int) bool {
+		return out.Spans[i].StartOffsetUS < out.Spans[j].StartOffsetUS
+	})
+	return out
+}

@@ -111,6 +111,7 @@ type Engine struct {
 	mu        sync.Mutex
 	policies  []Policy
 	store     adi.Recorder
+	ctxStore  adi.CtxAppender // non-nil when store supports ctx-aware appends
 	now       func() time.Time
 	expand    func([]rbac.RoleName) []rbac.RoleName
 	naiveMMEP bool
@@ -172,6 +173,9 @@ func NewEngine(store adi.Recorder, policies []Policy, opts ...Option) (*Engine, 
 		store:    store,
 		now:      time.Now,
 	}
+	// Resolved once here so the commit path pays no per-decision
+	// type assertion.
+	e.ctxStore, _ = store.(adi.CtxAppender)
 	for _, o := range opts {
 		o(e)
 	}
@@ -317,7 +321,15 @@ func (e *Engine) evaluate(ctx context.Context, req Request, commit bool) (Decisi
 		}
 		if len(act.records) > 0 {
 			if commit {
-				if err := e.store.Append(act.records...); err != nil {
+				var err error
+				if e.ctxStore != nil {
+					// Context-aware stores (the durable ADI) record the
+					// WAL round trip as a sub-span of the store stage.
+					err = e.ctxStore.AppendCtx(ctx, act.records...)
+				} else {
+					err = e.store.Append(act.records...)
+				}
+				if err != nil {
 					return Decision{}, fmt.Errorf("core: record decision: %w", err)
 				}
 			}

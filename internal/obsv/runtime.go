@@ -1,0 +1,65 @@
+package obsv
+
+import (
+	"io"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// gcPauseBuckets are the upper bounds (seconds) of the GC-pause
+// histogram. Go's collector pauses are typically tens of microseconds;
+// the top buckets exist to make a pathological pause unmissable.
+var gcPauseBuckets = []float64{
+	10e-6, 25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 5e-3, 25e-3, 100e-3,
+}
+
+// RuntimeStats samples Go runtime health on scrape and renders the
+// shared msod_go_* families: goroutine count, live heap bytes, and a
+// histogram of GC stop-the-world pauses. Both daemons embed one so a
+// trace-level latency spike can be correlated with GC pressure on the
+// same scrape. It is safe for concurrent use; pause observations are
+// deduplicated across scrapes via the runtime's GC cycle counter.
+type RuntimeStats struct {
+	mu        sync.Mutex
+	lastNumGC uint32
+	pauses    *Histogram
+}
+
+// NewRuntimeStats returns a sampler with an empty pause histogram.
+func NewRuntimeStats() *RuntimeStats {
+	return &RuntimeStats{pauses: NewHistogram(gcPauseBuckets)}
+}
+
+// Write samples the runtime and emits the msod_go_* families. The
+// pause histogram is cumulative: each call feeds only the GC cycles
+// completed since the previous call, so scraping twice never counts a
+// pause twice. runtime.MemStats keeps the last 256 pauses; under more
+// than 256 GC cycles between scrapes the overflow is silently dropped
+// (the bucket counts stay a sample, the _count stays exact per cycle
+// observed).
+func (r *RuntimeStats) Write(w io.Writer) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+
+	r.mu.Lock()
+	fresh := ms.NumGC - r.lastNumGC
+	if fresh > 256 {
+		fresh = 256
+	}
+	for i := uint32(0); i < fresh; i++ {
+		// Most recent pause is at (NumGC+255)%256; walk backwards.
+		pause := ms.PauseNs[(ms.NumGC-1-i)%256]
+		r.pauses.Observe(time.Duration(pause))
+	}
+	r.lastNumGC = ms.NumGC
+	r.mu.Unlock()
+
+	WriteGauge(w, "msod_go_goroutines",
+		"Live goroutines in this process.", float64(runtime.NumGoroutine()))
+	WriteGauge(w, "msod_go_heap_bytes",
+		"Bytes of live heap objects (runtime HeapAlloc).", float64(ms.HeapAlloc))
+	r.pauses.Write(w, "msod_go_gc_pause_seconds",
+		"Stop-the-world GC pause durations, fed on scrape.")
+}

@@ -1,0 +1,61 @@
+package obsv
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestRuntimeStatsWrite(t *testing.T) {
+	rs := NewRuntimeStats()
+	runtime.GC() // guarantee at least one pause to observe
+
+	var buf bytes.Buffer
+	rs.Write(&buf)
+	body := buf.String()
+
+	for _, fam := range []string{
+		"msod_go_goroutines", "msod_go_heap_bytes", "msod_go_gc_pause_seconds",
+	} {
+		if !strings.Contains(body, "# TYPE "+fam+" ") {
+			t.Fatalf("family %s missing:\n%s", fam, body)
+		}
+	}
+
+	var goroutines, heap, pauseCount float64
+	for _, line := range strings.Split(body, "\n") {
+		if s, ok := ParseSeries(line); ok {
+			switch s.Name {
+			case "msod_go_goroutines":
+				goroutines = s.Value
+			case "msod_go_heap_bytes":
+				heap = s.Value
+			case "msod_go_gc_pause_seconds_count":
+				pauseCount = s.Value
+			}
+		}
+	}
+	if goroutines < 1 {
+		t.Fatalf("goroutines = %v, want >= 1", goroutines)
+	}
+	if heap <= 0 {
+		t.Fatalf("heap bytes = %v, want > 0", heap)
+	}
+	if pauseCount < 1 {
+		t.Fatalf("gc pause count = %v, want >= 1 after runtime.GC()", pauseCount)
+	}
+
+	// A second scrape with no GC in between must not recount pauses.
+	var buf2 bytes.Buffer
+	rs.Write(&buf2)
+	var pauseCount2 float64
+	for _, line := range strings.Split(buf2.String(), "\n") {
+		if s, ok := ParseSeries(line); ok && s.Name == "msod_go_gc_pause_seconds_count" {
+			pauseCount2 = s.Value
+		}
+	}
+	if pauseCount2 < pauseCount {
+		t.Fatalf("pause count went backwards: %v then %v", pauseCount, pauseCount2)
+	}
+}

@@ -17,8 +17,11 @@ package obsv
 import (
 	"context"
 	"crypto/rand"
+	"encoding/binary"
 	"encoding/hex"
+	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -37,16 +40,60 @@ const (
 // Stages lists the canonical pipeline stages in execution order.
 var Stages = []string{StageCVS, StageRBAC, StageMSoD, StageStore, StageAudit}
 
+// Sub-span names recorded inside (or alongside) the canonical stages
+// when the corresponding subsystem is active. They appear in retained
+// traces, not as histogram labels.
+const (
+	SpanStoreWAL     = "store.wal"     // durable-ADI WAL round trip, nested in store
+	SpanAuditRotate  = "audit.rotate"  // audit segment rotation, nested in audit
+	SpanReplicaApply = "replica.apply" // mirror event-apply on a read replica
+)
+
 // TraceID is a W3C trace-id: 32 lowercase hex characters, non-zero.
 type TraceID string
 
-// NewTraceID mints a random trace ID. On entropy failure it returns
-// the empty (invalid) ID rather than failing the decision path.
+// randRead is the entropy source behind NewTraceID, swappable so tests
+// can exercise the fallback path without breaking the process's real
+// entropy.
+var randRead = rand.Read
+
+// Fallback trace-ID state: a per-process boot nonce mixed with a
+// monotonic counter, used only when the entropy source fails. IDs from
+// the fallback are valid and unique within the process (the counter)
+// and unlikely to collide across processes (the nonce), which is what
+// correlation needs — they are not unguessable, which correlation does
+// not.
+var (
+	fallbackOnce  sync.Once
+	fallbackNonce [8]byte
+	fallbackCtr   atomic.Uint64
+)
+
+// initFallbackNonce derives the boot nonce: real entropy when any is
+// available, else the boot time mixed with the PID — distinct processes
+// still get distinct nonces with overwhelming likelihood.
+func initFallbackNonce() {
+	if _, err := rand.Read(fallbackNonce[:]); err == nil {
+		return
+	}
+	binary.BigEndian.PutUint64(fallbackNonce[:], uint64(time.Now().UnixNano())^uint64(os.Getpid())<<32)
+}
+
+// NewTraceID mints a random trace ID. On entropy failure it falls back
+// to a process-local monotonic counter mixed with the boot nonce — a
+// valid, unique ID — rather than returning the empty invalid ID and
+// silently breaking correlation for every decision until entropy
+// recovers.
 func NewTraceID() TraceID {
 	var b [16]byte
-	if _, err := rand.Read(b[:]); err != nil {
-		return ""
+	if _, err := randRead(b[:]); err == nil {
+		return TraceID(hex.EncodeToString(b[:]))
 	}
+	fallbackOnce.Do(initFallbackNonce)
+	copy(b[:8], fallbackNonce[:])
+	// The counter starts at 1, so the low 8 bytes are never all zero
+	// and the ID always passes Valid even with an all-zero nonce.
+	binary.BigEndian.PutUint64(b[8:], fallbackCtr.Add(1))
 	return TraceID(hex.EncodeToString(b[:]))
 }
 
@@ -101,21 +148,30 @@ func ParseTraceparent(h string) (TraceID, bool) {
 	return id, true
 }
 
-// Span is one timed step inside a trace.
+// Span is one timed step inside a trace. Parent is the name of the
+// span that was still open when this one started ("" for a root span),
+// giving the completed trace a tree shape a waterfall view can indent
+// by — e.g. the engine's store span nests under the msod span.
 type Span struct {
 	Name     string
+	Parent   string
 	Start    time.Time
 	Duration time.Duration
 }
 
 // Trace is the span collection of one decision. It is safe for
-// concurrent use; spans are appended in completion order.
+// concurrent use; spans are appended in completion order. Parent
+// attribution assumes the spans of one trace nest on a single
+// goroutine (the decision pipeline's shape) — spans opened
+// concurrently from several goroutines still record, but their parent
+// is whichever span happened to be newest when they started.
 type Trace struct {
 	id    TraceID
 	start time.Time
 
-	mu    sync.Mutex
-	spans []Span
+	mu     sync.Mutex
+	spans  []Span
+	active []string // open span names, innermost last
 }
 
 // NewTrace starts a trace under the given ID.
@@ -130,13 +186,27 @@ func (t *Trace) ID() TraceID { return t.id }
 func (t *Trace) Start() time.Time { return t.start }
 
 // StartSpan begins a named span and returns the function that ends
-// it. The span is recorded only when the end function runs.
+// it. The span is recorded only when the end function runs; its parent
+// is the innermost span still open at start time.
 func (t *Trace) StartSpan(name string) func() {
+	t.mu.Lock()
+	parent := ""
+	if n := len(t.active); n > 0 {
+		parent = t.active[n-1]
+	}
+	t.active = append(t.active, name)
+	t.mu.Unlock()
 	start := time.Now()
 	return func() {
 		d := time.Since(start)
 		t.mu.Lock()
-		t.spans = append(t.spans, Span{Name: name, Start: start, Duration: d})
+		for i := len(t.active) - 1; i >= 0; i-- {
+			if t.active[i] == name {
+				t.active = append(t.active[:i], t.active[i+1:]...)
+				break
+			}
+		}
+		t.spans = append(t.spans, Span{Name: name, Parent: parent, Start: start, Duration: d})
 		t.mu.Unlock()
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -65,6 +66,60 @@ func TestTraceSpansAndContext(t *testing.T) {
 		t.Fatal("empty context must carry no trace")
 	}
 	StartSpan(context.Background(), "x")() // must not panic
+}
+
+func TestNewTraceIDEntropyFallback(t *testing.T) {
+	real := randRead
+	randRead = func([]byte) (int, error) { return 0, errors.New("entropy exhausted") }
+	defer func() { randRead = real }()
+
+	a := NewTraceID()
+	b := NewTraceID()
+	if !a.Valid() || !b.Valid() {
+		t.Fatalf("fallback IDs must stay valid: %q %q", a, b)
+	}
+	if a == b {
+		t.Fatalf("fallback IDs must be unique, both %q", a)
+	}
+	// Same boot nonce, monotonic counter: prefixes match, suffixes grow.
+	if a[:16] != b[:16] {
+		t.Fatalf("fallback nonce changed between IDs: %q vs %q", a, b)
+	}
+	if !(string(a[16:]) < string(b[16:])) {
+		t.Fatalf("fallback counter not monotonic: %q then %q", a, b)
+	}
+
+	// Entropy recovers: real randomness resumes without restart.
+	randRead = real
+	if c := NewTraceID(); !c.Valid() {
+		t.Fatalf("post-recovery ID invalid: %q", c)
+	}
+}
+
+func TestTraceSpanParents(t *testing.T) {
+	tr := NewTrace(NewTraceID())
+	endMSoD := tr.StartSpan(StageMSoD)
+	tr.StartSpan("msod.policy:ctx1")()
+	endStore := tr.StartSpan(StageStore)
+	endStore()
+	endMSoD()
+	tr.StartSpan(StageAudit)()
+
+	parents := map[string]string{}
+	for _, s := range tr.Spans() {
+		parents[s.Name] = s.Parent
+	}
+	want := map[string]string{
+		StageMSoD:          "",
+		"msod.policy:ctx1": StageMSoD,
+		StageStore:         StageMSoD,
+		StageAudit:         "",
+	}
+	for name, parent := range want {
+		if parents[name] != parent {
+			t.Fatalf("span %q parent = %q, want %q (all: %v)", name, parents[name], parent, parents)
+		}
+	}
 }
 
 func TestSeriesParseAndLabelInjection(t *testing.T) {

@@ -437,7 +437,7 @@ func (p *PDP) appendTrail(ctx context.Context, ev audit.Event) {
 		return
 	}
 	endAudit := obsv.StartSpan(ctx, obsv.StageAudit)
-	if _, err := p.trail.Append(ev); err != nil {
+	if _, err := p.trail.AppendCtx(ctx, ev); err != nil {
 		p.trailErrs.Add(1)
 	}
 	endAudit()

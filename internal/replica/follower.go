@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"msod/internal/inspect"
+	"msod/internal/obsv"
 	"msod/internal/pdp"
 	"msod/internal/policy"
 	"msod/internal/server"
@@ -82,6 +83,12 @@ type Follower struct {
 	resyncs     atomic.Int64
 	applied     atomic.Int64
 	divergences atomic.Int64
+
+	// applyHist times each mirror event-apply (the replica-side
+	// analogue of the owner's store stage), with the owner's trace ID
+	// as exemplar — so a latency spike here points straight at a
+	// retained trace on the owner via msodctl trace.
+	applyHist *obsv.Histogram
 }
 
 // Status is a consistent-enough snapshot of follower state for health
@@ -133,10 +140,11 @@ func New(cfg Config) (*Follower, error) {
 		log = slog.New(discardHandler{})
 	}
 	f := &Follower{
-		cfg:    cfg,
-		mirror: mirror,
-		client: server.NewClient(cfg.Owner, cfg.HTTPClient, server.WithTimeout(cfg.SnapshotTimeout)),
-		log:    log,
+		cfg:       cfg,
+		mirror:    mirror,
+		client:    server.NewClient(cfg.Owner, cfg.HTTPClient, server.WithTimeout(cfg.SnapshotTimeout)),
+		log:       log,
+		applyHist: obsv.NewHistogram(obsv.DefaultDurationBuckets),
 	}
 	f.syncing.Store(true)
 	return f, nil
@@ -294,9 +302,13 @@ func (f *Follower) follow(ctx context.Context) error {
 		ReconnectBackoff: f.cfg.ReconnectBackoff,
 		OnHeartbeat:      f.touch,
 	}, func(ev inspect.DecisionEvent) error {
+		start := time.Now()
 		if err := f.mirror.Apply(ev); err != nil {
 			return err
 		}
+		// The owner's trace ID rides along as exemplar: a slow apply
+		// on a replica points straight at the owner's retained trace.
+		f.applyHist.ObserveExemplar(time.Since(start), ev.TraceID)
 		f.applied.Add(1)
 		f.touch()
 		return nil

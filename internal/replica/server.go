@@ -66,6 +66,10 @@ func NewServer(f *Follower) *Server {
 	// Explain records live where the decision executed; a replica never
 	// executed one, so it refuses like the other authoritative paths.
 	s.mux.HandleFunc(server.ExplainPath, s.refuseAuthoritative)
+	// Likewise traces: a replica retains no span trees of its own, and
+	// serving an empty 404 would look like rotation rather than the
+	// truth — the decision (and its trace) lives on the owner.
+	s.mux.HandleFunc(server.TracesPath, s.refuseAuthoritative)
 	s.mux.HandleFunc(server.EventsPath, func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, map[string]string{
 			"error": "replicas do not re-serve the event stream; subscribe to the owner at " + s.follower.Owner(),
@@ -283,6 +287,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	obsv.WriteCounter(w, "msod_replica_authoritative_refusals_total",
 		"Decision/management requests refused — replicas never serve authority.",
 		s.authoritativeRefusals.Load())
+	s.follower.applyHist.Write(w, "msod_replica_apply_seconds",
+		"Mirror event-apply latency (the replica-side analogue of the owner's store stage).")
 	obsv.WriteBuildInfo(w, "msod-replica")
 	obsv.WriteUptime(w, s.start)
 }

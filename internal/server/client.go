@@ -20,6 +20,7 @@ import (
 	"msod/internal/inspect"
 	"msod/internal/obsv"
 	"msod/internal/rbac"
+	"msod/internal/trace"
 )
 
 // APIError is a response the server produced deliberately: a non-2xx
@@ -463,6 +464,22 @@ func (c *Client) Explain(requestID string) (explain.Record, error) {
 func (c *Client) ExplainCtx(ctx context.Context, requestID string) (explain.Record, error) {
 	var out explain.Record
 	err := c.get(ctx, ExplainPath+url.PathEscape(requestID), &out)
+	return out, err
+}
+
+// Trace fetches the retained span tree of a past decision by its
+// trace ID (GET /v1/traces/{traceID}). A 404 *APIError means the
+// decision was not sampled, rotated out of this server's ring — or,
+// against a shard, that it was executed elsewhere.
+func (c *Client) Trace(traceID string) (trace.Record, error) {
+	return c.TraceCtx(context.Background(), traceID)
+}
+
+// TraceCtx is Trace under the caller's context (the gateway fans one
+// query out to every shard under a shared deadline).
+func (c *Client) TraceCtx(ctx context.Context, traceID string) (trace.Record, error) {
+	var out trace.Record
+	err := c.get(ctx, TracesPath+url.PathEscape(traceID), &out)
 	return out, err
 }
 

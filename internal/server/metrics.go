@@ -1,11 +1,13 @@
 package server
 
 import (
+	"fmt"
 	"net/http"
 	"sync/atomic"
 	"time"
 
 	"msod/internal/obsv"
+	"msod/internal/trace"
 )
 
 // MetricsPath serves operational counters in the Prometheus text
@@ -35,6 +37,9 @@ type metrics struct {
 	// shard).
 	explainQueries atomic.Int64
 	explainMisses  atomic.Int64
+	// traceQueries/traceMisses are the same pair for /v1/traces.
+	traceQueries atomic.Int64
+	traceMisses  atomic.Int64
 	// shed counts requests refused by admission control (503 +
 	// Retry-After) before any PDP work — see WithAdmissionLimit.
 	shed           atomic.Int64
@@ -122,6 +127,27 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"/v1/explain lookups that found no record (rotated out, or decided on another shard).",
 			s.metrics.explainMisses.Load())
 	}
+	if s.traces != nil {
+		fmt.Fprintf(w, "# HELP msod_trace_sampled_total Tail-sampling keep decisions by retention reason (refusals and errors are always kept).\n# TYPE msod_trace_sampled_total counter\n")
+		for _, reason := range trace.Reasons {
+			fmt.Fprintf(w, "msod_trace_sampled_total{reason=%q} %d\n", reason, s.traces.SampledTotal(reason))
+		}
+		obsv.WriteCounter(w, "msod_trace_dropped_total",
+			"Decisions the tail sampler chose not to retain (fast grants outside the 1-in-N sample).",
+			s.traces.Dropped())
+		obsv.WriteCounter(w, "msod_trace_evicted_total",
+			"Retained span trees rotated out of the bounded trace ring (persistent burn means -trace-capacity is undersized for the refusal/slow rate).",
+			s.traces.Evicted())
+		obsv.WriteGauge(w, "msod_trace_store_spans",
+			"Spans currently held across all retained traces.", float64(s.traces.SpanCount()))
+		obsv.WriteGauge(w, "msod_trace_records_retained",
+			"Span trees currently queryable at /v1/traces/{traceID}.", float64(s.traces.Len()))
+		obsv.WriteCounter(w, "msod_trace_queries_total",
+			"/v1/traces lookups served.", s.metrics.traceQueries.Load())
+		obsv.WriteCounter(w, "msod_trace_misses_total",
+			"/v1/traces lookups that found no trace (not sampled, rotated out, or decided on another shard).",
+			s.metrics.traceMisses.Load())
+	}
 	s.slo.WriteMetrics(w)
 	obsv.WriteGauge(w, "msod_adi_records", "Live retained-ADI records.", float64(s.pdp.Store().Len()))
 	if s.inspector != nil {
@@ -158,6 +184,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		//msod:ignore metricname forwarding loop: each name is vetted as a literal at its WithGauge registration site
 		obsv.WriteGauge(w, g.name, g.help, g.fn())
 	}
+	s.runtime.Write(w)
 	obsv.WriteBuildInfo(w, "msodd")
 	obsv.WriteUptime(w, s.start)
 	if om {

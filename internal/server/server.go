@@ -23,6 +23,7 @@ import (
 	"msod/internal/obsv"
 	"msod/internal/pdp"
 	"msod/internal/rbac"
+	"msod/internal/trace"
 )
 
 // API paths.
@@ -120,6 +121,14 @@ type Server struct {
 	explainCap int
 	slo        *obsv.SLO
 
+	// traces retains tail-sampled span trees for
+	// /v1/traces/{traceID}; nil when disabled (see WithTraceStore).
+	traces *trace.Store
+
+	// runtime samples Go runtime health (goroutines, heap, GC pauses)
+	// on every /v1/metrics scrape.
+	runtime *obsv.RuntimeStats
+
 	// log + slowLog drive the per-decision structured log line (see
 	// WithDecisionLog); gauges are operator extras on /v1/metrics.
 	log     *slog.Logger
@@ -181,7 +190,7 @@ func WithGauge(name, help string, fn func() float64) Option {
 
 // New wraps a PDP.
 func New(p *pdp.PDP, opts ...Option) *Server {
-	s := &Server{pdp: p, mux: http.NewServeMux(), idem: newIdemCache(idemCacheSize), start: time.Now()}
+	s := &Server{pdp: p, mux: http.NewServeMux(), idem: newIdemCache(idemCacheSize), start: time.Now(), runtime: obsv.NewRuntimeStats()}
 	s.metrics.init()
 	for _, opt := range opts {
 		opt(s)
@@ -219,6 +228,7 @@ func New(p *pdp.PDP, opts ...Option) *Server {
 	s.mux.HandleFunc(StateContextsPath, s.handleStateContext)
 	s.mux.HandleFunc(EventsPath, s.handleEvents)
 	s.mux.HandleFunc(ExplainPath, s.handleExplain)
+	s.mux.HandleFunc(TracesPath, s.handleTraces)
 	s.mux.HandleFunc(ReplicaSnapshotPath, s.handleReplicaSnapshot)
 	return s
 }
@@ -330,6 +340,10 @@ func (s *Server) serveDecision(w http.ResponseWriter, r *http.Request, decide fu
 			// Nothing to explain: return the pooled record unpublished.
 			s.explain.Discard(xrec)
 		}
+		// Errored decisions are always retained by the tail sampler —
+		// they are exactly what an operator holding the trace ID from
+		// the error log investigates.
+		s.recordTrace(trace, &wire, rid, "error", err.Error(), advisory, false, true, elapsed)
 		s.slo.Observe(elapsed, true)
 		if ownsID {
 			// Nothing committed: release the ID so a retry re-executes.
@@ -399,6 +413,11 @@ func (s *Server) serveDecision(w http.ResponseWriter, r *http.Request, decide fu
 	if ownsID {
 		s.idem.finish(wire.RequestID, resp, true)
 	}
+	outcome := "deny"
+	if resp.Allowed {
+		outcome = "grant"
+	}
+	s.recordTrace(trace, &wire, rid, outcome, resp.Reason, advisory, !resp.Allowed, false, elapsed)
 	s.slo.Observe(elapsed, false)
 	s.metrics.observe(resp, advisory)
 	if s.slowLogEnabled(elapsed) {

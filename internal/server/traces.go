@@ -1,0 +1,89 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"time"
+
+	"msod/internal/obsv"
+	"msod/internal/trace"
+)
+
+// TracesPath serves retained span trees (GET /v1/traces/{traceID}):
+// the per-stage timing breakdown of one decision, kept by the
+// tail sampler — every refusal and error, every decision over the
+// slow threshold, plus a deterministic 1-in-N sample of fast grants.
+// Trees live in a bounded in-memory ring — old traces rotate out, and
+// a shard only holds trees for decisions it executed itself, which is
+// why the gateway fans a trace query out across the cluster and
+// merges the span sets it gets back.
+const TracesPath = "/v1/traces/"
+
+// WithTraceStore attaches a tail-sampled span store: every completed
+// decision (and advisory) runs the store's sampling decision, and
+// retained trees become queryable at /v1/traces/{traceID}. A nil
+// store leaves tracing retention off — spans are still measured for
+// the stage histograms, but the trees are discarded and the decision
+// path pays a single nil check.
+func WithTraceStore(st *trace.Store) Option {
+	return func(s *Server) { s.traces = st }
+}
+
+// Traces exposes the server's trace store (nil when disabled) — for
+// the embedding daemon and tests; HTTP callers use TracesPath.
+func (s *Server) Traces() *trace.Store { return s.traces }
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"GET required"})
+		return
+	}
+	if s.traces == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{"trace retention disabled on this server"})
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, TracesPath)
+	if id == "" || strings.Contains(id, "/") {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"trace ID required: GET " + TracesPath + "{traceID}"})
+		return
+	}
+	s.metrics.traceQueries.Add(1)
+	rec, ok := s.traces.Get(id)
+	if !ok {
+		s.metrics.traceMisses.Add(1)
+		writeJSON(w, http.StatusNotFound, errorResponse{"no trace for ID " + id + " on this shard (not sampled, rotated out, or decided elsewhere)"})
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+// recordTrace runs the tail-sampling decision for a completed request
+// and, when the sampler keeps it, files the span tree in the store.
+// Called after the stage histograms are fed, on both the error and
+// the answer path; a nil store costs one comparison.
+func (s *Server) recordTrace(tr *obsv.Trace, wire *DecisionRequest, rid, outcome, reason string, advisory, refused, errored bool, elapsed time.Duration) {
+	if s.traces == nil {
+		return
+	}
+	sampledFor, keep := s.traces.Sample(string(tr.ID()), refused, errored, elapsed)
+	if !keep {
+		return
+	}
+	rec := s.traces.Begin()
+	rec.TraceID = string(tr.ID())
+	if !advisory {
+		rec.RequestID = rid
+	}
+	rec.Time = tr.Start()
+	rec.User = wire.User
+	rec.Operation = wire.Operation
+	rec.Target = wire.Target
+	rec.Context = wire.Context
+	rec.Outcome = outcome
+	rec.Reason = reason
+	rec.SampledFor = sampledFor
+	rec.Advisory = advisory
+	rec.ElapsedSeconds = elapsed.Seconds()
+	rec.SetSpans(tr.Spans())
+	s.traces.Commit(rec)
+}

@@ -52,6 +52,7 @@ import (
 	"msod/internal/rbac"
 	"msod/internal/replica"
 	"msod/internal/server"
+	"msod/internal/trace"
 	"msod/internal/workflow"
 )
 
@@ -499,6 +500,34 @@ func WithServerExplainCapacity(n int) ServerOption { return server.WithExplainCa
 // WithServerSLO attaches an SLO tracker to a server; its msod_slo_*
 // families join /v1/metrics.
 func WithServerSLO(s *SLO) ServerOption { return server.WithSLO(s) }
+
+// Tail-sampled span retention: after a decision completes, its full
+// span tree is kept if the decision was refused, errored, or slow,
+// plus a deterministic 1-in-N sample of fast grants — queryable at
+// GET /v1/traces/{traceID} and assembled cluster-wide by the gateway.
+type (
+	// TraceStore is the bounded per-server ring retaining span trees.
+	TraceStore = trace.Store
+	// TraceStoreConfig sizes the store and sets its sampling policy.
+	TraceStoreConfig = trace.Config
+	// TraceRecord is one retained span tree with its decision envelope.
+	TraceRecord = trace.Record
+	// TraceSpan is one timed step of a retained trace.
+	TraceSpan = trace.Span
+)
+
+// TracesPath is the retained-trace endpoint prefix
+// (GET /v1/traces/{traceID}).
+const TracesPath = server.TracesPath
+
+// NewTraceStore builds a tail-sampled span store. Build it once per
+// process (not per policy reload) so retained traces survive SIGHUP.
+func NewTraceStore(cfg TraceStoreConfig) *TraceStore { return trace.NewStore(cfg) }
+
+// WithServerTraceStore attaches a trace store to a server, enabling
+// retention and /v1/traces. A nil store leaves tracing retention off
+// at zero per-decision cost.
+func WithServerTraceStore(st *TraceStore) ServerOption { return server.WithTraceStore(st) }
 
 // Advisory read-replica types: event-fed retained-ADI mirrors serving
 // the advisory and state surfaces under a bounded-staleness contract.
