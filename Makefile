@@ -65,6 +65,7 @@ lint:
 	test -z "$$(gofmt -l .)" || { gofmt -l .; exit 1; }
 	$(GO) vet ./...
 	$(GO) run ./cmd/msodvet ./...
+	$(GO) run ./cmd/msodvet -policies policies
 
 clean:
 	rm -f cover.out

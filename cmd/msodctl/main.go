@@ -119,27 +119,30 @@ func cmdLint(args []string) error {
 	if err != nil {
 		return err
 	}
-	pol, err := msod.ParsePolicy(raw)
+	// Full verification: declaration lint, the semantic model check, and
+	// the document's msod:ignore suppressions.
+	res, err := msod.VerifyPolicySource(raw)
 	if err != nil {
 		return err
 	}
-	findings, err := msod.LintPolicy(pol)
-	if err != nil {
-		return err
-	}
-	if len(findings) == 0 {
-		fmt.Println("no findings")
+	if len(res.Findings) == 0 {
+		if res.Suppressed > 0 {
+			fmt.Printf("no findings (%d suppressed)\n", res.Suppressed)
+		} else {
+			fmt.Println("no findings")
+		}
 		return nil
 	}
-	warnings := 0
-	for _, f := range findings {
+	for _, f := range res.Findings {
 		fmt.Println(f)
-		if f.Severity == msod.LintWarn {
-			warnings++
-		}
 	}
-	if warnings > 0 {
-		return fmt.Errorf("%d warning(s)", warnings)
+	// Errors are provable defects, warnings probable ones; both fail the
+	// lint so scripted pipelines catch them.
+	if n := res.Errors(); n > 0 {
+		return fmt.Errorf("%d error(s), %d warning(s)", n, res.Warnings())
+	}
+	if n := res.Warnings(); n > 0 {
+		return fmt.Errorf("%d warning(s)", n)
 	}
 	return nil
 }

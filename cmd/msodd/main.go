@@ -32,6 +32,14 @@
 // (-sentinel-interval) incrementally re-verifies the HMAC chain while
 // the daemon runs; with -sentinel-fail-closed a detected tamper makes
 // the daemon refuse further decisions.
+//
+// -verify-policies gates boot (and every SIGHUP reload) on the policy
+// model checker: error-severity findings — unsatisfiable or
+// unfinishable business methods, unpurgeable contexts — refuse the
+// policy outright (fail closed), warnings are logged, and the outcome
+// is surfaced on /v1/health and the msod_policy_verification_* metric
+// families. A failed verification during reload keeps the previous,
+// verified policy serving.
 package main
 
 import (
@@ -82,6 +90,7 @@ type options struct {
 	sloLatencyP99      time.Duration
 	sloGoal            float64
 	sloWindow          time.Duration
+	verifyPolicies     bool
 }
 
 func parseFlags(args []string) (*options, error) {
@@ -114,6 +123,7 @@ func parseFlags(args []string) (*options, error) {
 	fs.DurationVar(&o.sloLatencyP99, "slo-latency-p99", 0, "declared per-decision latency objective; enables the msod_slo_* metric families (0 disables the SLO layer)")
 	fs.Float64Var(&o.sloGoal, "slo-goal", 0.999, "declared good-request target fraction for the SLO layer")
 	fs.DurationVar(&o.sloWindow, "slo-window", time.Hour, "rolling error-budget window for the SLO layer (fast burn-rate window is 1/12 of this)")
+	fs.BoolVar(&o.verifyPolicies, "verify-policies", false, "model-check the policy at boot and on reload; refuse to serve on error-severity findings (fail closed)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -140,11 +150,31 @@ func parseFlags(args []string) (*options, error) {
 	return o, nil
 }
 
-// loadPolicy reads, parses and lints the policy file.
-func loadPolicy(path string, logf func(format string, args ...any)) (*msod.Policy, error) {
+// loadPolicy reads, parses and lints the policy file. With verify on
+// (-verify-policies), the full model check runs instead — honouring the
+// document's msod:ignore suppressions — and error-severity findings
+// refuse the policy (fail closed); the outcome lands in status when one
+// is supplied.
+func loadPolicy(path string, verify bool, status *msod.PolicyVerificationStatus, logf func(format string, args ...any)) (*msod.Policy, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("read policy: %w", err)
+	}
+	if verify {
+		res, err := msod.VerifyPolicySource(raw)
+		if err != nil {
+			return nil, fmt.Errorf("parse policy: %w", err)
+		}
+		for _, f := range res.Findings {
+			logf("msodd: policy %s", f)
+		}
+		if n := res.Errors(); n > 0 {
+			return nil, fmt.Errorf("policy verification failed: %d error-severity finding(s); refusing to serve an unenforceable policy (fail closed)", n)
+		}
+		if status != nil {
+			status.Set(res.Warnings(), res.Suppressed)
+		}
+		return res.Policy, nil
 	}
 	pol, err := msod.ParsePolicy(raw)
 	if err != nil {
@@ -173,6 +203,10 @@ type deps struct {
 	broker *msod.EventBroker
 	// sentinel, when enabled, continuously verifies the audit chain.
 	sentinel *msod.AuditSentinel
+	// verify, when -verify-policies is on, carries the latest boot-gate
+	// outcome to the server's health and metrics surfaces across
+	// reloads.
+	verify *msod.PolicyVerificationStatus
 }
 
 // observer adapts the broker to the PDP's Observer hook.
@@ -184,7 +218,11 @@ func (d *deps) observer() func(msod.DecisionEvent) {
 // dependencies and a cleanup function that flushes stores and trails on
 // shutdown.
 func buildPDP(o *options, logf func(format string, args ...any)) (*msod.PDP, *deps, func(), error) {
-	pol, err := loadPolicy(o.policyPath, logf)
+	var verifyStatus *msod.PolicyVerificationStatus
+	if o.verifyPolicies {
+		verifyStatus = &msod.PolicyVerificationStatus{}
+	}
+	pol, err := loadPolicy(o.policyPath, o.verifyPolicies, verifyStatus, logf)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -299,6 +337,7 @@ func buildPDP(o *options, logf func(format string, args ...any)) (*msod.PDP, *de
 		trail:    cfg.Trail,
 		trailKey: trailKey,
 		broker:   msod.NewEventBroker(0),
+		verify:   verifyStatus,
 	}
 	cfg.Observer = d.observer()
 	p, err := msod.NewPDP(cfg)
@@ -314,7 +353,7 @@ func buildPDP(o *options, logf func(format string, args ...any)) (*msod.PDP, *de
 // the policy swap (and a changed MSoD set applies to the existing
 // history immediately, as §5.2's restart semantics do).
 func reloadPDP(o *options, d *deps, logf func(format string, args ...any)) (*msod.PDP, error) {
-	pol, err := loadPolicy(o.policyPath, logf)
+	pol, err := loadPolicy(o.policyPath, o.verifyPolicies, d.verify, logf)
 	if err != nil {
 		return nil, err
 	}
@@ -354,6 +393,9 @@ func serve(ctx context.Context, ln net.Listener, handler http.Handler, logf func
 // durable ADI is in use, its recovery-time and disk-usage gauges.
 func serverOptions(o *options, d *deps, logger *slog.Logger) []msod.ServerOption {
 	opts := []msod.ServerOption{msod.WithServerEventBroker(d.broker)}
+	if d.verify != nil {
+		opts = append(opts, msod.WithServerPolicyVerification(d.verify))
+	}
 	if o.explainCapacity != 0 {
 		opts = append(opts, msod.WithServerExplainCapacity(o.explainCapacity))
 	}
@@ -498,7 +540,7 @@ func main() {
 // staleness contract. Decision and management POSTs are refused with
 // 421 — a replica never answers authoritatively.
 func runReplica(o *options, logger *slog.Logger, logf func(string, ...any), fatalf func(string, ...any)) {
-	pol, err := loadPolicy(o.policyPath, logf)
+	pol, err := loadPolicy(o.policyPath, o.verifyPolicies, nil, logf)
 	if err != nil {
 		fatalf("msodd: %v", err)
 	}

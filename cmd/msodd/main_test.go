@@ -265,3 +265,72 @@ func TestReloadPDPKeepsHistory(t *testing.T) {
 		t.Fatal("broken policy reloaded")
 	}
 }
+
+// A policy with a provable defect (the LastStep privilege is granted
+// to nobody) must refuse to boot under -verify-policies, while plain
+// boot (lint only) accepts it.
+const dBrokenPolicyXML = `
+<RBACPolicy id="msodd-broken">
+  <RoleList><Role value="Clerk"/></RoleList>
+  <TargetAccessPolicy><Grant role="Clerk" operation="prepare" target="check"/></TargetAccessPolicy>
+  <MSoDPolicySet>
+    <MSoDPolicy BusinessContext="P=!">
+      <LastStep operation="confirm" targetURI="audit"/>
+      <MMEP ForbiddenCardinality="2">
+        <Privilege operation="prepare" target="check"/>
+        <Privilege operation="confirm" target="audit"/>
+      </MMEP>
+    </MSoDPolicy>
+  </MSoDPolicySet>
+</RBACPolicy>`
+
+func TestVerifyPoliciesGate(t *testing.T) {
+	dir := t.TempDir()
+	broken := writeFile(t, dir, "broken.xml", dBrokenPolicyXML)
+
+	// Without the gate: lint findings log, the policy loads.
+	if _, err := loadPolicy(broken, false, nil, discardLog); err != nil {
+		t.Fatalf("ungated load refused: %v", err)
+	}
+
+	// With the gate: the error finding refuses the policy, fail closed.
+	_, err := loadPolicy(broken, true, nil, discardLog)
+	if err == nil || !strings.Contains(err.Error(), "refusing to serve") {
+		t.Fatalf("gated load of a broken policy: err = %v, want refusal", err)
+	}
+
+	// A clean policy passes the gate and publishes its outcome.
+	clean := writeFile(t, dir, "clean.xml", dPolicyXML)
+	status := &msod.PolicyVerificationStatus{}
+	pol, err := loadPolicy(clean, true, status, discardLog)
+	if err != nil {
+		t.Fatalf("gated load of a clean policy refused: %v", err)
+	}
+	if pol.ID != "msodd-test" {
+		t.Fatalf("loaded policy ID = %q", pol.ID)
+	}
+}
+
+func TestVerifyPoliciesReloadKeepsPrevious(t *testing.T) {
+	dir := t.TempDir()
+	policyPath := writeFile(t, dir, "policy.xml", dPolicyXML)
+	o := &options{policyPath: policyPath, recover: "none", verifyPolicies: true}
+	p, d, cleanup, err := buildPDP(o, discardLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	if d.verify == nil {
+		t.Fatal("gate on but deps carry no verification status")
+	}
+
+	// Swap in a provably broken policy: the reload must refuse, so the
+	// daemon keeps serving the previous verified policy.
+	writeFile(t, dir, "policy.xml", dBrokenPolicyXML)
+	if _, err := reloadPDP(o, d, discardLog); err == nil {
+		t.Fatal("broken policy passed the reload gate")
+	}
+	if got := p.PolicyID(); got != "msodd-test" {
+		t.Fatalf("serving policy = %q, want msodd-test", got)
+	}
+}

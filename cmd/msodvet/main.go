@@ -9,6 +9,7 @@
 //
 //	go run ./cmd/msodvet ./...
 //	go run ./cmd/msodvet -run failclosed,auditerr ./internal/pdp/...
+//	go run ./cmd/msodvet -policies policies
 //
 // Findings print as "file:line: [analyzer] message". Exit status is 1
 // when findings exist, 2 when the module fails to load, 0 otherwise.
@@ -19,6 +20,13 @@
 //
 // Unused or malformed directives are findings themselves. See
 // docs/ANALYZERS.md for the invariant catalogue.
+//
+// -policies switches from Go sources to policy XML documents: every
+// *.xml under the directory is parsed, linted and model-checked
+// (internal/policycheck) and the run fails on any error- or
+// warning-severity finding. Suppressions use XML comments:
+//
+//	<!-- msod:ignore <check> <where-prefix|*> <reason> -->
 package main
 
 import (
@@ -28,9 +36,11 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"msod/internal/analysis"
+	"msod/internal/policycheck"
 )
 
 func main() {
@@ -42,12 +52,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	runList := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
 	list := fs.Bool("list", false, "list analyzers and exit")
+	policiesDir := fs.String("policies", "", "verify every policy XML document under this directory instead of analysing Go packages")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: msodvet [-run a,b] [-list] [packages]")
+		fmt.Fprintln(stderr, "usage: msodvet [-run a,b] [-list] [-policies dir] [packages]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *policiesDir != "" {
+		return runPolicies(*policiesDir, stdout, stderr)
 	}
 
 	analyzers := analysis.DefaultAnalyzers()
@@ -109,6 +124,58 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stderr, "msodvet: ok (%d package(s), %d finding(s) suppressed by //msod:ignore)\n",
 		len(selected), res.Suppressed)
+	return 0
+}
+
+// runPolicies is the -policies mode: verify every *.xml under dir with
+// the policy model checker. Error- and warning-severity findings fail
+// the run; info notes print but do not.
+func runPolicies(dir string, stdout, stderr io.Writer) int {
+	var files []string
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".xml") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "msodvet: %v\n", err)
+		return 2
+	}
+	if len(files) == 0 {
+		fmt.Fprintf(stderr, "msodvet: no policy documents (*.xml) under %s\n", dir)
+		return 2
+	}
+	sort.Strings(files)
+
+	failing, suppressed := 0, 0
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintf(stderr, "msodvet: %v\n", err)
+			return 2
+		}
+		res, err := policycheck.CheckSource(data, policycheck.Config{})
+		if err != nil {
+			fmt.Fprintf(stderr, "msodvet: %s: %v\n", file, err)
+			return 2
+		}
+		for _, f := range res.Findings {
+			fmt.Fprintf(stdout, "%s: %s\n", file, f)
+		}
+		failing += res.Errors() + res.Warnings()
+		suppressed += res.Suppressed
+	}
+	if failing > 0 {
+		fmt.Fprintf(stderr, "msodvet: %d failing finding(s) in %d policy document(s), %d suppressed\n",
+			failing, len(files), suppressed)
+		return 1
+	}
+	fmt.Fprintf(stderr, "msodvet: ok (%d policy document(s), %d finding(s) suppressed by msod:ignore)\n",
+		len(files), suppressed)
 	return 0
 }
 

@@ -107,3 +107,66 @@ func TestDriverList(t *testing.T) {
 		}
 	}
 }
+
+func TestDriverPoliciesCleanDir(t *testing.T) {
+	dir := t.TempDir()
+	clean := `<RBACPolicy id="p">
+  <RoleList><Role value="A"/><Role value="B"/></RoleList>
+  <TargetAccessPolicy>
+    <Grant role="A" operation="op" target="t"/>
+    <Grant role="B" operation="end" target="t"/>
+  </TargetAccessPolicy>
+  <MSoDPolicySet>
+    <MSoDPolicy BusinessContext="P=!">
+      <LastStep operation="end" targetURI="t"/>
+      <MMER ForbiddenCardinality="2"><Role type="e" value="A"/><Role type="e" value="B"/></MMER>
+    </MSoDPolicy>
+  </MSoDPolicySet>
+</RBACPolicy>`
+	if err := os.WriteFile(filepath.Join(dir, "clean.xml"), []byte(clean), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-policies", dir}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0; stdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "ok (1 policy document(s)") {
+		t.Errorf("missing ok summary: %s", stderr.String())
+	}
+}
+
+func TestDriverPoliciesSeededDefectFails(t *testing.T) {
+	dir := t.TempDir()
+	// The LastStep privilege is granted to nobody: a provable
+	// unpurgeable-context defect the gate must refuse.
+	bad := `<RBACPolicy id="p">
+  <RoleList><Role value="A"/></RoleList>
+  <TargetAccessPolicy><Grant role="A" operation="op" target="t"/></TargetAccessPolicy>
+  <MSoDPolicySet>
+    <MSoDPolicy BusinessContext="P=!">
+      <LastStep operation="finish" targetURI="t"/>
+      <MMEP ForbiddenCardinality="2">
+        <Privilege operation="op" target="t"/>
+        <Privilege operation="finish" target="t"/>
+      </MMEP>
+    </MSoDPolicy>
+  </MSoDPolicySet>
+</RBACPolicy>`
+	if err := os.WriteFile(filepath.Join(dir, "bad.xml"), []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-policies", dir}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1; stdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "[unpurgeable]") {
+		t.Errorf("expected an unpurgeable finding, got:\n%s", stdout.String())
+	}
+}
+
+func TestDriverPoliciesEmptyDir(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-policies", t.TempDir()}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr:\n%s", code, stderr.String())
+	}
+}

@@ -155,3 +155,69 @@ func TestFacadeSurface(t *testing.T) {
 		t.Fatalf("verify = %d, %v", n, err)
 	}
 }
+
+// TestFacadeVerifySurface exercises the policy-verification facade: the
+// model checker via VerifyPolicy/VerifyPolicySource, the error
+// severity, and the suppression accounting msodd's boot gate relies on.
+func TestFacadeVerifySurface(t *testing.T) {
+	// A provably broken policy: the LastStep is granted to nobody.
+	broken := []byte(`
+<RBACPolicy id="broken">
+  <RoleList><Role value="Clerk"/></RoleList>
+  <TargetAccessPolicy><Grant role="Clerk" operation="prepare" target="check"/></TargetAccessPolicy>
+  <MSoDPolicySet>
+    <MSoDPolicy BusinessContext="P=!">
+      <LastStep operation="confirm" targetURI="audit"/>
+      <MMEP ForbiddenCardinality="2">
+        <Privilege operation="prepare" target="check"/>
+        <Privilege operation="confirm" target="audit"/>
+      </MMEP>
+    </MSoDPolicy>
+  </MSoDPolicySet>
+</RBACPolicy>`)
+	res, err := msod.VerifyPolicySource(broken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors() == 0 {
+		t.Fatalf("broken policy verified clean: %v", res.Findings)
+	}
+	hasError := false
+	for _, f := range res.Findings {
+		if f.Severity == msod.LintError {
+			hasError = true
+		}
+	}
+	if !hasError {
+		t.Errorf("no LintError-severity finding: %v", res.Findings)
+	}
+
+	// The semantic pass alone agrees.
+	deep, err := msod.VerifyPolicy(res.Policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range deep {
+		if f.Severity == msod.LintError && f.Check != "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("VerifyPolicy reported no checked error finding: %v", deep)
+	}
+
+	// LintPolicy inherits the deep findings through the facade link.
+	lint, err := msod.LintPolicy(res.Policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lint) < len(deep) {
+		t.Errorf("LintPolicy (%d findings) lost the deep findings (%d)", len(lint), len(deep))
+	}
+
+	// The verification status feeds the server surface.
+	vs := &msod.PolicyVerificationStatus{}
+	vs.Set(res.Warnings(), res.Suppressed)
+	_ = msod.WithServerPolicyVerification(vs)
+}

@@ -9,6 +9,7 @@ func DefaultAnalyzers() []Analyzer {
 		&Failclosed{Packages: DefaultFailclosedPackages},
 		&Auditerr{AuditPackages: DefaultAuditPackages},
 		&Clockuse{Packages: DefaultClockusePackages},
+		&Ctxflow{Packages: DefaultCtxflowPackages},
 		&Metricname{},
 		&Lockspan{},
 	}

@@ -1,0 +1,34 @@
+// Ctxflow seeds: request-path functions that mint fresh root contexts
+// while a caller's context is already in scope.
+package server
+
+import (
+	"context"
+	"net/http"
+)
+
+// Refresh receives the caller's context but detaches its downstream
+// call from it.
+func Refresh(ctx context.Context) error {
+	detached := context.Background()
+	return ping(detached)
+}
+
+// Handle has the request's context one call away (r.Context()) but
+// mints a TODO root instead.
+func Handle(w http.ResponseWriter, r *http.Request) {
+	_ = ping(context.TODO())
+}
+
+// Fanout's closure inherits ctx from its environment; the Background
+// root inside it is just as detached as in Refresh.
+func Fanout(ctx context.Context) {
+	go func() {
+		_ = ping(context.Background())
+	}()
+}
+
+func ping(ctx context.Context) error {
+	_ = ctx
+	return nil
+}

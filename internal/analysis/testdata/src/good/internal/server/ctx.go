@@ -1,0 +1,22 @@
+// Ctxflow mirrors: compliant context handling on the request path.
+package server
+
+import "context"
+
+// Derive wraps the caller's context instead of detaching from it.
+func Derive(ctx context.Context) error {
+	sub, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return use(sub)
+}
+
+// Start is a lifecycle root with no inbound context; minting the root
+// here is exactly what Background is for.
+func Start() error {
+	return use(context.Background())
+}
+
+func use(ctx context.Context) error {
+	_ = ctx
+	return nil
+}

@@ -18,11 +18,18 @@ import (
 type Severity string
 
 const (
+	// Error findings are provable defects: the policy cannot do what it
+	// declares (a step nobody can ever perform, a context that can never
+	// close). Deployment gates (msodd -verify-policies) refuse on these.
+	Error Severity = "error"
 	// Warn findings usually indicate a broken intent.
 	Warn Severity = "warning"
 	// Info findings are stylistic or redundancy notes.
 	Info Severity = "info"
 )
+
+// severityRank orders severities worst-first for the deterministic sort.
+var severityRank = map[Severity]int{Error: 0, Warn: 1, Info: 2}
 
 // Finding is one lint diagnostic.
 type Finding struct {
@@ -31,16 +38,75 @@ type Finding struct {
 	Where string
 	// Message explains the problem and its consequence.
 	Message string
+	// Check names the semantic check class that produced a deep finding
+	// ("unsatisfiable", "shadowed-rule", ...). Empty for the declaration
+	// checks in this file; policycheck suppression directives key on it.
+	Check string
 }
 
 // String renders the finding.
 func (f Finding) String() string {
+	if f.Check != "" {
+		return fmt.Sprintf("%s: %s: [%s] %s", f.Severity, f.Where, f.Check, f.Message)
+	}
 	return fmt.Sprintf("%s: %s: %s", f.Severity, f.Where, f.Message)
 }
 
+// deepLint, when registered, contributes semantic verification findings
+// (satisfiability, finishability, shadowing, purge safety) on top of the
+// declaration checks below. internal/policycheck registers itself here
+// from an init function, so any caller that links it — the msod facade,
+// msodvet, msodd — inherits the deep findings from plain Lint. The
+// indirection avoids an import cycle: policycheck depends on this
+// package for the policy types.
+var deepLint func(*RBACPolicy) []Finding
+
+// RegisterDeepLint installs the semantic checker invoked by Lint. The
+// function must be pure (no retained state) and deterministic; passing
+// nil uninstalls it.
+func RegisterDeepLint(fn func(*RBACPolicy) []Finding) { deepLint = fn }
+
+// SortFindings orders findings deterministically: severity (worst
+// first), then location, then check, then message. Lint returns findings
+// already sorted; callers that merge finding slices from several sources
+// re-sort with this.
+func SortFindings(fs []Finding) {
+	sort.SliceStable(fs, func(i, j int) bool {
+		if fs[i].Severity != fs[j].Severity {
+			return severityRank[fs[i].Severity] < severityRank[fs[j].Severity]
+		}
+		if fs[i].Where != fs[j].Where {
+			return fs[i].Where < fs[j].Where
+		}
+		if fs[i].Check != fs[j].Check {
+			return fs[i].Check < fs[j].Check
+		}
+		return fs[i].Message < fs[j].Message
+	})
+}
+
+// mk builds a shallow finding (empty Check: these are the declaration
+// checks; deep findings carry their check class).
+func mk(sev Severity, where, msg string) Finding {
+	return Finding{Severity: sev, Where: where, Message: msg}
+}
+
 // Lint analyses a validated policy and returns findings sorted by
-// severity then location. A nil slice means nothing to report.
+// severity then location. A nil slice means nothing to report. When a
+// deep checker is registered (see RegisterDeepLint), its semantic
+// findings are included.
 func Lint(p *RBACPolicy) ([]Finding, error) {
+	return runLint(p, true)
+}
+
+// LintShallow runs only this package's declaration checks, without the
+// registered deep checker — for callers (like policycheck.CheckSource
+// with a custom Config) that combine the passes themselves.
+func LintShallow(p *RBACPolicy) ([]Finding, error) {
+	return runLint(p, false)
+}
+
+func runLint(p *RBACPolicy, deep bool) ([]Finding, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -88,8 +154,8 @@ func Lint(p *RBACPolicy) ([]Finding, error) {
 	for _, r := range p.Roles {
 		hasGrant := reach(r.Value, map[string]bool{})
 		if !hasGrant && !assignableRoles[r.Value] {
-			out = append(out, Finding{Info, "RoleList",
-				fmt.Sprintf("role %q has no grants (direct or inherited) and no assignment trust", r.Value)})
+			out = append(out, mk(Info, "RoleList",
+				fmt.Sprintf("role %q has no grants (direct or inherited) and no assignment trust", r.Value)))
 		}
 	}
 
@@ -97,8 +163,8 @@ func Lint(p *RBACPolicy) ([]Finding, error) {
 	// issuers can mint the role, holders can do nothing with it.
 	for role := range assignableRoles {
 		if !reach(role, map[string]bool{}) {
-			out = append(out, Finding{Info, "RoleAssignmentPolicy",
-				fmt.Sprintf("role %q is assignable but grants nothing", role)})
+			out = append(out, mk(Info, "RoleAssignmentPolicy",
+				fmt.Sprintf("role %q is assignable but grants nothing", role)))
 		}
 	}
 
@@ -106,15 +172,11 @@ func Lint(p *RBACPolicy) ([]Finding, error) {
 		out = append(out, lintMSoD(p, declaredRoles, grants)...)
 	}
 
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Severity != out[j].Severity {
-			return out[i].Severity == Warn
-		}
-		if out[i].Where != out[j].Where {
-			return out[i].Where < out[j].Where
-		}
-		return out[i].Message < out[j].Message
-	})
+	if deep && deepLint != nil {
+		out = append(out, deepLint(p)...)
+	}
+
+	SortFindings(out)
 	return out, nil
 }
 
@@ -135,16 +197,16 @@ func lintMSoD(p *RBACPolicy, declaredRoles map[string]bool, grants map[[2]string
 		for j, m := range mp.MMER {
 			for _, r := range m.Roles {
 				if !declaredRoles[r.Value] {
-					out = append(out, Finding{Warn, fmt.Sprintf("%s.MMER[%d]", where, j),
-						fmt.Sprintf("role %q is not declared in RoleList; the constraint can never match it", r.Value)})
+					out = append(out, mk(Warn, fmt.Sprintf("%s.MMER[%d]", where, j),
+						fmt.Sprintf("role %q is not declared in RoleList; the constraint can never match it", r.Value)))
 				}
 			}
 			// 3b. ForbiddenCardinality 1 is not a separation: the first
 			// activation of any listed role is already at the forbidden
 			// count, so the rule denies those roles to everyone.
 			if m.ForbiddenCardinality == 1 {
-				out = append(out, Finding{Warn, fmt.Sprintf("%s.MMER[%d]", where, j),
-					"ForbiddenCardinality 1 denies every listed role to every user once the context has opened; this is a blanket deny, not a separation of duties (did you mean 2?)"})
+				out = append(out, mk(Warn, fmt.Sprintf("%s.MMER[%d]", where, j),
+					"ForbiddenCardinality 1 denies every listed role to every user once the context has opened; this is a blanket deny, not a separation of duties (did you mean 2?)"))
 			}
 		}
 
@@ -154,8 +216,8 @@ func lintMSoD(p *RBACPolicy, declaredRoles map[string]bool, grants map[[2]string
 			// 4b. Same blanket-deny trap as 3b, for privileges: the
 			// current request alone reaches cardinality 1.
 			if m.ForbiddenCardinality == 1 {
-				out = append(out, Finding{Warn, fmt.Sprintf("%s.MMEP[%d]", where, j),
-					"ForbiddenCardinality 1 denies every listed privilege to every user once the context has opened; this is a blanket deny, not a separation of duties (did you mean 2?)"})
+				out = append(out, mk(Warn, fmt.Sprintf("%s.MMEP[%d]", where, j),
+					"ForbiddenCardinality 1 denies every listed privilege to every user once the context has opened; this is a blanket deny, not a separation of duties (did you mean 2?)"))
 			}
 			seen := map[PrivilegeRef]bool{}
 			for _, pr := range m.AllPrivileges() {
@@ -164,8 +226,8 @@ func lintMSoD(p *RBACPolicy, declaredRoles map[string]bool, grants map[[2]string
 				}
 				seen[pr] = true
 				if len(grants) > 0 && !grants[[2]string{pr.Operation, pr.Target}] {
-					out = append(out, Finding{Warn, fmt.Sprintf("%s.MMEP[%d]", where, j),
-						fmt.Sprintf("privilege %s@%s is granted to no role; the position can never be exercised", pr.Operation, pr.Target)})
+					out = append(out, mk(Warn, fmt.Sprintf("%s.MMEP[%d]", where, j),
+						fmt.Sprintf("privilege %s@%s is granted to no role; the position can never be exercised", pr.Operation, pr.Target)))
 				}
 			}
 		}
@@ -177,10 +239,10 @@ func lintMSoD(p *RBACPolicy, declaredRoles map[string]bool, grants map[[2]string
 				continue
 			}
 			if len(grants) > 0 && !grants[[2]string{step.Operation, step.TargetURI}] {
-				out = append(out, Finding{Warn, where + "." + name,
+				out = append(out, mk(Warn, where+"."+name,
 					fmt.Sprintf("step %s@%s is granted to no role; the context can never %s",
 						step.Operation, step.TargetURI,
-						map[string]string{"FirstStep": "start", "LastStep": "terminate"}[name])})
+						map[string]string{"FirstStep": "start", "LastStep": "terminate"}[name])))
 			}
 		}
 
@@ -208,13 +270,13 @@ func lintMSoD(p *RBACPolicy, declaredRoles map[string]bool, grants map[[2]string
 			}
 		}
 		if purger >= 0 {
-			out = append(out, Finding{Info, where,
+			out = append(out, mk(Info, where,
 				fmt.Sprintf("no LastStep, but MSoDPolicy[%d]'s last step terminates an equal-or-broader context (%q); its purge also clears this policy's records",
-					purger, contexts[purger])})
+					purger, contexts[purger])))
 		} else {
-			out = append(out, Finding{Warn, where,
+			out = append(out, mk(Warn, where,
 				fmt.Sprintf("unpurgeable business context %q: no policy's last step terminates it, so retained history grows without bound until an administrative purge (§4.3, §6)",
-					contexts[i])})
+					contexts[i])))
 		}
 	}
 
@@ -227,9 +289,9 @@ func lintMSoD(p *RBACPolicy, declaredRoles map[string]bool, grants map[[2]string
 				continue
 			}
 			if !contexts[i].Equal(contexts[j]) && bctx.Subsumes(contexts[i], contexts[j]) {
-				out = append(out, Finding{Info, fmt.Sprintf("MSoDPolicy[%d]", j),
+				out = append(out, mk(Info, fmt.Sprintf("MSoDPolicy[%d]", j),
 					fmt.Sprintf("context %q is subsumed by MSoDPolicy[%d] (%q); both policies apply to its requests",
-						contexts[j], i, contexts[i])})
+						contexts[j], i, contexts[i])))
 			}
 		}
 	}

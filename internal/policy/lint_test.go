@@ -239,8 +239,41 @@ func TestLintRejectsInvalidPolicy(t *testing.T) {
 }
 
 func TestFindingString(t *testing.T) {
-	f := Finding{Warn, "here", "msg"}
+	f := Finding{Severity: Warn, Where: "here", Message: "msg"}
 	if got := f.String(); got != "warning: here: msg" {
 		t.Errorf("String = %q", got)
+	}
+	f.Check = "unsatisfiable"
+	if got := f.String(); got != "warning: here: [unsatisfiable] msg" {
+		t.Errorf("String with check = %q", got)
+	}
+}
+
+func TestSortFindingsDeterministic(t *testing.T) {
+	fs := []Finding{
+		{Severity: Info, Where: "b", Message: "2"},
+		{Severity: Warn, Where: "b", Message: "1"},
+		{Severity: Error, Where: "c", Message: "3"},
+		{Severity: Warn, Where: "a", Message: "4"},
+		{Severity: Warn, Where: "a", Message: "0", Check: "x"},
+		{Severity: Error, Where: "a", Message: "5"},
+	}
+	SortFindings(fs)
+	var got []string
+	for _, f := range fs {
+		got = append(got, f.String())
+	}
+	want := []string{
+		"error: a: 5",
+		"error: c: 3",
+		"warning: a: 4",
+		"warning: a: [x] 0",
+		"warning: b: 1",
+		"info: b: 2",
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order[%d] = %q, want %q (all: %v)", i, got[i], want[i], got)
+		}
 	}
 }

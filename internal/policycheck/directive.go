@@ -1,0 +1,202 @@
+package policycheck
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"strings"
+
+	"msod/internal/policy"
+)
+
+// Policy XML documents carry suppressions as XML comments, mirroring
+// the //msod:ignore contract of the Go-code analyzers (see
+// internal/analysis/ignore.go): every suppression names the check it
+// silences, the location it applies to, and a mandatory reason, and a
+// directive that matches nothing is itself a finding.
+//
+//	<!-- msod:ignore <check> <where-prefix|*> <reason...> -->
+//
+// <check> is one of KnownChecks ("lint" silences policy.Lint's shallow
+// findings). <where-prefix> matches findings whose Where starts with it
+// ("MSoDPolicy[1]" covers the policy and all its rules); "*" matches
+// any location.
+const directivePrefix = "msod:ignore"
+
+// directive is one parsed suppression comment.
+type directive struct {
+	check  string
+	where  string
+	reason string
+	index  int // comment position in document order, for diagnostics
+	used   bool
+}
+
+// CheckResult is CheckSource's outcome.
+type CheckResult struct {
+	// Policy is the parsed document.
+	Policy *policy.RBACPolicy
+	// Findings holds the unsuppressed lint + semantic findings plus any
+	// directive diagnostics, sorted by policy.SortFindings.
+	Findings []policy.Finding
+	// Suppressed counts findings silenced by msod:ignore directives.
+	Suppressed int
+}
+
+// Errors reports whether any finding is at Error severity — the
+// fail-closed boot-gate criterion of msodd -verify-policies.
+func (r *CheckResult) Errors() int { return r.count(policy.Error) }
+
+// Warnings counts Warn findings.
+func (r *CheckResult) Warnings() int { return r.count(policy.Warn) }
+
+func (r *CheckResult) count(sev policy.Severity) int {
+	n := 0
+	for _, f := range r.Findings {
+		if f.Severity == sev {
+			n++
+		}
+	}
+	return n
+}
+
+// CheckSource parses a policy XML document, runs the shallow lint and
+// the semantic checks, and applies the document's msod:ignore
+// suppression comments. Parse and validation failures return an error;
+// policy defects come back as findings.
+func CheckSource(data []byte, cfg Config) (*CheckResult, error) {
+	p, err := policy.ParseRBACPolicy(data)
+	if err != nil {
+		return nil, err
+	}
+	// Lint includes the deep checks through the RegisterDeepLint hook
+	// (installed by this package's init), so shallow and semantic
+	// findings arrive merged and deduplicated at the source.
+	findings, err := lintWithConfig(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	directives, bad := parseDirectives(data)
+	res := &CheckResult{Policy: p}
+	for _, f := range findings {
+		if d := match(directives, f); d != nil {
+			d.used = true
+			res.Suppressed++
+			continue
+		}
+		res.Findings = append(res.Findings, f)
+	}
+	res.Findings = append(res.Findings, bad...)
+	for _, d := range directives {
+		if !d.used {
+			res.Findings = append(res.Findings, policy.Finding{
+				Severity: policy.Warn,
+				Where:    fmt.Sprintf("Comment[%d]", d.index),
+				Check:    CheckDirective,
+				Message:  fmt.Sprintf("unused msod:ignore directive: no %s finding matches location prefix %q", d.check, d.where),
+			})
+		}
+	}
+	policy.SortFindings(res.Findings)
+	return res, nil
+}
+
+// lintWithConfig combines the shallow declaration lint with the
+// semantic checks under cfg. For the default config this is exactly
+// policy.Lint (whose registered deep hook runs with defaults); a custom
+// config runs the two passes explicitly and merges.
+func lintWithConfig(p *policy.RBACPolicy, cfg Config) ([]policy.Finding, error) {
+	if cfg == (Config{}) {
+		return policy.Lint(p)
+	}
+	shallow, err := policy.LintShallow(p)
+	if err != nil {
+		return nil, err
+	}
+	deep, err := CheckWithConfig(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := append(shallow, deep...)
+	policy.SortFindings(out)
+	return out, nil
+}
+
+// match returns the first directive suppressing the finding, if any.
+func match(directives []*directive, f policy.Finding) *directive {
+	check := f.Check
+	if check == "" {
+		check = CheckLint
+	}
+	if check == CheckDirective {
+		return nil // directive diagnostics are not suppressible
+	}
+	for _, d := range directives {
+		if d.check != check {
+			continue
+		}
+		if d.where == "*" || strings.HasPrefix(f.Where, d.where) {
+			return d
+		}
+	}
+	return nil
+}
+
+// parseDirectives extracts msod:ignore comments from the document.
+// Malformed directives (missing fields, unknown check names) are
+// returned as Error findings — a suppression that silently fails to
+// parse must not silently unsuppress.
+func parseDirectives(data []byte) ([]*directive, []policy.Finding) {
+	var (
+		out   []*directive
+		bad   []policy.Finding
+		index int
+	)
+	dec := xml.NewDecoder(bytes.NewReader(data))
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			break
+		}
+		comment, ok := tok.(xml.Comment)
+		if !ok {
+			continue
+		}
+		index++
+		text := strings.TrimSpace(string(comment))
+		if !strings.HasPrefix(text, directivePrefix) {
+			continue
+		}
+		where := fmt.Sprintf("Comment[%d]", index)
+		fields := strings.Fields(strings.TrimPrefix(text, directivePrefix))
+		if len(fields) < 3 {
+			bad = append(bad, policy.Finding{
+				Severity: policy.Error, Where: where, Check: CheckDirective,
+				Message: fmt.Sprintf("malformed msod:ignore directive %q: want \"msod:ignore <check> <where-prefix|*> <reason>\"", text),
+			})
+			continue
+		}
+		check := fields[0]
+		if !knownCheck(check) {
+			bad = append(bad, policy.Finding{
+				Severity: policy.Error, Where: where, Check: CheckDirective,
+				Message: fmt.Sprintf("msod:ignore names unknown check %q (known: %s)", check, strings.Join(KnownChecks, ", ")),
+			})
+			continue
+		}
+		out = append(out, &directive{
+			check: check, where: fields[1],
+			reason: strings.Join(fields[2:], " "), index: index,
+		})
+	}
+	return out, bad
+}
+
+func knownCheck(name string) bool {
+	for _, k := range KnownChecks {
+		if k == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,88 @@
+package policycheck
+
+import (
+	"testing"
+
+	"msod/internal/policy"
+)
+
+// FuzzPolicyCheck checks the model checker never panics on any policy
+// the parser accepts, and that it is deterministic: repeated runs and a
+// marshal/reparse round trip of the same policy produce byte-identical
+// findings. A small evaluation budget keeps pathological fuzz inputs
+// (deep search trees) fast; budget exhaustion is itself a deterministic
+// finding, so the equality checks still hold.
+func FuzzPolicyCheck(f *testing.F) {
+	f.Add(`<RBACPolicy id="p"><RoleList><Role value="A"/><Role value="B"/></RoleList>
+		<TargetAccessPolicy><Grant role="A" operation="o" target="t"/>
+		<Grant role="B" operation="end" target="t"/></TargetAccessPolicy>
+		<MSoDPolicySet><MSoDPolicy BusinessContext="P=!">
+		<LastStep operation="end" targetURI="t"/>
+		<MMER ForbiddenCardinality="2"><Role type="e" value="A"/><Role type="e" value="B"/></MMER>
+		</MSoDPolicy></MSoDPolicySet></RBACPolicy>`)
+	f.Add(`<RBACPolicy id="p"><RoleList><Role value="A"/></RoleList>
+		<TargetAccessPolicy><Grant role="A" operation="a" target="t"/>
+		<Grant role="A" operation="b" target="t"/></TargetAccessPolicy>
+		<MSoDPolicySet><MSoDPolicy BusinessContext="P=!">
+		<FirstStep operation="a" targetURI="t"/>
+		<MMEP ForbiddenCardinality="1"><Privilege operation="a" target="t"/>
+		<Privilege operation="b" target="t"/></MMEP>
+		</MSoDPolicy></MSoDPolicySet></RBACPolicy>`)
+	f.Add(`<RBACPolicy id="p"><RoleList><Role value="A"/><Role value="S"/></RoleList>
+		<RoleHierarchy><Inherits senior="S" junior="A"/></RoleHierarchy>
+		<SSDPolicy><SSD name="s" cardinality="2">
+		<Role type="e" value="A"/><Role type="e" value="S"/></SSD></SSDPolicy>
+		<TargetAccessPolicy><Grant role="S" operation="o" target="t"/></TargetAccessPolicy>
+		<MSoDPolicySet><MSoDPolicy BusinessContext="P=!">
+		<LastStep operation="o" targetURI="t"/>
+		<MMER ForbiddenCardinality="2"><Role type="e" value="A"/><Role type="e" value="S"/></MMER>
+		</MSoDPolicy></MSoDPolicySet></RBACPolicy>`)
+	f.Add(`<RBACPolicy/>`)
+	f.Add(`<!-- msod:ignore lint * fuzz --><RBACPolicy id="p"/>`)
+	f.Add(`garbage`)
+	cfg := Config{MaxEvals: 500}
+	f.Fuzz(func(t *testing.T, in string) {
+		res, err := CheckSource([]byte(in), cfg)
+		if err != nil {
+			return // parse/validation rejection is fine; panics are not
+		}
+		again, err := CheckSource([]byte(in), cfg)
+		if err != nil {
+			t.Fatalf("second CheckSource run errored: %v", err)
+		}
+		if a, b := render(res.Findings), render(again.Findings); a != b {
+			t.Fatalf("CheckSource not deterministic:\n%s\n--- vs ---\n%s", a, b)
+		}
+		// Round trip: the checker's verdict must depend only on the
+		// parsed policy, not its serialisation. (Comments — and with
+		// them suppressions — do not survive Marshal, so compare the
+		// unsuppressed Check output on the reparsed document.)
+		direct, err := CheckWithConfig(res.Policy, cfg)
+		if err != nil {
+			t.Fatalf("Check on accepted policy errored: %v", err)
+		}
+		out, err := res.Policy.Marshal()
+		if err != nil {
+			t.Fatalf("accepted policy does not marshal: %v", err)
+		}
+		p2, err := policy.ParseRBACPolicy(out)
+		if err != nil {
+			t.Fatalf("marshalled policy does not reparse: %v\n%s", err, out)
+		}
+		roundTrip, err := CheckWithConfig(p2, cfg)
+		if err != nil {
+			t.Fatalf("Check on reparsed policy errored: %v", err)
+		}
+		if a, b := render(direct), render(roundTrip); a != b {
+			t.Fatalf("findings changed across marshal/reparse:\n%s\n--- vs ---\n%s", a, b)
+		}
+	})
+}
+
+func render(fs []policy.Finding) string {
+	out := ""
+	for _, f := range fs {
+		out += f.String() + "\n"
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package policycheck
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden finding files")
+
+// corpus loads every *.xml under a testdata directory, sorted by name.
+func corpus(t *testing.T, dir string) []string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "*.xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no policy fixtures under %s", dir)
+	}
+	sort.Strings(files)
+	return files
+}
+
+// TestBadCorpusGolden pins the checker's findings on the seeded defect
+// corpus: one golden line per finding, prefixed with the fixture name.
+// Every check class must appear, so a regression in one check cannot
+// silently empty its section of the golden file.
+func TestBadCorpusGolden(t *testing.T) {
+	var lines []string
+	covered := map[string]bool{}
+	for _, file := range corpus(t, filepath.Join("testdata", "bad")) {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := CheckSource(data, Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		if res.Errors()+res.Warnings() == 0 {
+			t.Errorf("%s: seeded defect produced no error or warning", file)
+		}
+		for _, f := range res.Findings {
+			lines = append(lines, filepath.Base(file)+": "+f.String())
+			check := f.Check
+			if check == "" {
+				check = CheckLint
+			}
+			covered[check] = true
+		}
+	}
+	got := strings.Join(lines, "\n") + "\n"
+
+	goldenPath := filepath.Join("testdata", "bad.golden")
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("findings diverge from golden file\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	for _, check := range KnownChecks {
+		if !covered[check] {
+			t.Errorf("bad corpus produced no %s finding; the corpus no longer covers that check", check)
+		}
+	}
+}
+
+// TestGoodCorpusClean asserts the compliant mirror corpus verifies
+// finding-free, and that its one deliberate suppression is counted
+// rather than silently swallowed.
+func TestGoodCorpusClean(t *testing.T) {
+	suppressed := 0
+	for _, file := range corpus(t, filepath.Join("testdata", "good")) {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := CheckSource(data, Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		for _, f := range res.Findings {
+			t.Errorf("unexpected finding in clean fixture %s: %s", filepath.Base(file), f)
+		}
+		suppressed += res.Suppressed
+	}
+	if suppressed != 1 {
+		t.Errorf("suppressed = %d, want exactly 1 (the reasoned retention directive)", suppressed)
+	}
+}
+
+// TestShippedPolicyCorpusClean is the acceptance bar from the paper's
+// §5.1 policy-management story: every policy the repo ships — the
+// example programs' documents mirrored under policies/ — must verify
+// with no errors and no warnings, so `msodvet -policies policies` and
+// the msodd -verify-policies boot gate pass on all of them.
+func TestShippedPolicyCorpusClean(t *testing.T) {
+	for _, file := range corpus(t, filepath.Join("..", "..", "policies")) {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := CheckSource(data, Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		for _, f := range res.Findings {
+			if f.Severity == "info" {
+				continue // advisory notes are allowed in shipped policies
+			}
+			t.Errorf("shipped policy %s does not verify clean: %s", filepath.Base(file), f)
+		}
+	}
+}

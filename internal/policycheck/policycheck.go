@@ -1,0 +1,528 @@
+// Package policycheck is the policy model checker: a static analyzer
+// over parsed RBAC + MSoD policy pairs that goes beyond policy.Lint's
+// declaration checks into semantic verification. Where Lint asks "does
+// this reference something that exists?", policycheck asks "can the
+// policy actually do what it declares?" — via bounded exploration of
+// the k-of-m state space using the real decision engine:
+//
+//   - unsatisfiable: no assignment of users to roles permitted by the
+//     RBAC model (respecting SSD sets and assignment trust) can execute
+//     every step of the business method without an MMER/MMEP denial.
+//   - unfinishable: earlier steps of the method can commit, but no
+//     compliant team can then reach the last step — granted business
+//     context instances stay open forever (the stuck-open hazard).
+//   - shadowed-rule: rules that duplicate or subsume each other, so one
+//     of them can never fire.
+//   - sod-contradiction: MSoD rules that collide with the static SSD
+//     sets — either dead (SSD already enforces more strictly) or fatal
+//     (every role that could perform a step is unassignable).
+//   - unpurgeable: contexts whose instances can never become purgeable
+//     because the terminating step is unexecutable.
+//
+// Findings reuse policy.Finding; importing this package registers it as
+// policy.Lint's deep checker (policy.RegisterDeepLint), so Lint callers
+// that link policycheck inherit the semantic findings transparently.
+package policycheck
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"msod/internal/bctx"
+	"msod/internal/core"
+	"msod/internal/policy"
+	"msod/internal/rbac"
+)
+
+// Check class names, carried in policy.Finding.Check and used by the
+// msod:ignore suppression directives in policy XML comments.
+const (
+	CheckUnsatisfiable    = "unsatisfiable"
+	CheckUnfinishable     = "unfinishable"
+	CheckShadowedRule     = "shadowed-rule"
+	CheckSoDContradiction = "sod-contradiction"
+	CheckUnpurgeable      = "unpurgeable"
+	// CheckDirective tags findings about the suppression directives
+	// themselves (malformed or unused); they cannot be suppressed.
+	CheckDirective = "directive"
+	// CheckLint is the directive name that suppresses policy.Lint's own
+	// (shallow) findings, which carry an empty Check field.
+	CheckLint = "lint"
+)
+
+// KnownChecks lists every check name a suppression directive may name.
+var KnownChecks = []string{
+	CheckUnsatisfiable, CheckUnfinishable, CheckShadowedRule,
+	CheckSoDContradiction, CheckUnpurgeable, CheckLint,
+}
+
+// Config bounds the exploration.
+type Config struct {
+	// MaxUsers caps the distinct simulated users per schedule. 0 means
+	// one per business-method step plus one — enough that any policy
+	// satisfiable at all is satisfiable within the bound, since every
+	// MSoD constraint counts per user.
+	MaxUsers int
+	// MaxEvals is the engine-evaluation budget per policy search; when
+	// exhausted the search reports an Info finding instead of a verdict.
+	// 0 means 20000.
+	MaxEvals int
+	// HierarchyAware mirrors pdp.Config.HierarchyAwareMSoD: MMER
+	// constraints match the inheritance closure of activated roles.
+	HierarchyAware bool
+}
+
+const defaultMaxEvals = 20000
+
+func init() {
+	policy.RegisterDeepLint(func(p *policy.RBACPolicy) []policy.Finding {
+		fs, err := Check(p)
+		if err != nil {
+			// Lint validates before calling the deep checker, so this
+			// is unreachable; returning nothing keeps Lint's contract.
+			return nil
+		}
+		return fs
+	})
+}
+
+// Check runs every semantic check with the default bounds. The policy
+// must validate; findings come back sorted by policy.SortFindings.
+func Check(p *policy.RBACPolicy) ([]policy.Finding, error) {
+	return CheckWithConfig(p, Config{})
+}
+
+// CheckWithConfig is Check with explicit exploration bounds.
+func CheckWithConfig(p *policy.RBACPolicy, cfg Config) ([]policy.Finding, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxEvals <= 0 {
+		cfg.MaxEvals = defaultMaxEvals
+	}
+	model, err := p.BuildModel()
+	if err != nil {
+		return nil, err
+	}
+	c := &checker{p: p, cfg: cfg, model: model}
+	c.prepare()
+	c.checkRoleAssignability()
+	if p.MSoD != nil {
+		c.compiled, err = core.Compile(p.MSoD)
+		if err != nil {
+			return nil, err
+		}
+		c.checkShadowing()
+		c.checkSoDDominance()
+		for i := range p.MSoD.Policies {
+			c.checkPolicy(i)
+		}
+		c.checkPurgers()
+	}
+	policy.SortFindings(c.findings)
+	return c.findings, nil
+}
+
+// checker carries the per-run state shared by all checks.
+type checker struct {
+	p        *policy.RBACPolicy
+	cfg      Config
+	model    *rbac.Model
+	compiled []core.Policy
+
+	// assignable reports whether any source of authority may mint the
+	// role. With no RoleAssignmentPolicy at all, assignment is
+	// unconstrained (credentials may come from anywhere).
+	assignable map[rbac.RoleName]bool
+	// ssdBlock maps roles whose own inheritance closure already meets
+	// an SSD set's cardinality — no user can ever be assigned them —
+	// to the offending set name.
+	ssdBlock map[rbac.RoleName]string
+
+	// lastExecutable[i] reports whether MSoDPolicy[i] has a LastStep
+	// with at least one usable grantor (filled by checkPolicy).
+	lastExecutable map[int]bool
+
+	findings []policy.Finding
+}
+
+func (c *checker) report(sev policy.Severity, where, check, format string, args ...any) {
+	c.findings = append(c.findings, policy.Finding{
+		Severity: sev, Where: where, Check: check,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+func (c *checker) prepare() {
+	c.assignable = make(map[rbac.RoleName]bool, len(c.p.Roles))
+	if len(c.p.Assignments) == 0 {
+		for _, r := range c.p.Roles {
+			c.assignable[rbac.RoleName(r.Value)] = true
+		}
+	} else {
+		for _, a := range c.p.Assignments {
+			c.assignable[rbac.RoleName(a.Role)] = true
+		}
+	}
+	c.ssdBlock = make(map[rbac.RoleName]string)
+	for _, r := range c.p.Roles {
+		role := rbac.RoleName(r.Value)
+		closure := c.model.Closure([]rbac.RoleName{role})
+		for _, set := range c.p.SSD {
+			if countIn(closure, set.Roles) >= set.Cardinality {
+				c.ssdBlock[role] = set.Name
+				break
+			}
+		}
+	}
+	c.lastExecutable = make(map[int]bool)
+}
+
+// grantors returns the roles whose (direct or inherited) grants permit
+// the privilege, in role-declaration order.
+func (c *checker) grantors(perm rbac.Permission) []rbac.RoleName {
+	var out []rbac.RoleName
+	for _, r := range c.p.Roles {
+		role := rbac.RoleName(r.Value)
+		if c.model.RolesPermit([]rbac.RoleName{role}, perm) {
+			out = append(out, role)
+		}
+	}
+	return out
+}
+
+// usable filters grantors down to roles a user could actually be
+// assigned: trusted for assignment and not self-blocked by an SSD set.
+func (c *checker) usable(grantors []rbac.RoleName) []rbac.RoleName {
+	var out []rbac.RoleName
+	for _, r := range grantors {
+		if c.assignable[r] && c.ssdBlock[r] == "" {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// checkRoleAssignability reports roles that can never be assigned to
+// anyone because their own inheritance closure already reaches an SSD
+// set's forbidden cardinality: AssignRole fails for every user, so every
+// grant and constraint mentioning the role is dead.
+func (c *checker) checkRoleAssignability() {
+	for _, r := range c.p.Roles {
+		role := rbac.RoleName(r.Value)
+		if set := c.ssdBlock[role]; set != "" {
+			c.report(policy.Warn, "RoleHierarchy", CheckSoDContradiction,
+				"role %q can never be assigned: its inheritance closure already contains the forbidden cardinality of SSD set %q, so AssignRole fails for every user", role, set)
+		}
+	}
+}
+
+// checkSoDDominance flags MMER rules that an SSD set already enforces
+// more strictly: no user the RBAC model admits can ever hold enough of
+// the listed roles to trip the rule, so it is dead weight (and a sign
+// the author misread which layer enforces the separation).
+func (c *checker) checkSoDDominance() {
+	for i, mp := range c.p.MSoD.Policies {
+		for j, rule := range mp.MMER {
+			roles := roleSet(rule.Roles)
+			for _, set := range c.p.SSD {
+				max := dominatedMax(roles, roleNameSet(toRoleNames(set.Roles)), set.Cardinality)
+				if max < rule.ForbiddenCardinality {
+					c.report(policy.Warn, fmt.Sprintf("MSoDPolicy[%d].MMER[%d]", i, j), CheckSoDContradiction,
+						"rule can never fire: SSD set %q caps any user at %d of its roles, so at most %d of the rule's %d roles are ever held together (forbidden cardinality %d)",
+						set.Name, set.Cardinality-1, max, len(rule.Roles), rule.ForbiddenCardinality)
+					break
+				}
+			}
+		}
+	}
+}
+
+// checkShadowing flags rule pairs where one rule makes the other
+// unreachable — within one policy, and across policies whose business
+// contexts are equal (those always evaluate together on the same bound
+// instance).
+func (c *checker) checkShadowing() {
+	ps := c.p.MSoD.Policies
+	contexts := make([]bctx.Name, len(ps))
+	for i := range ps {
+		contexts[i], _ = ps[i].Context()
+	}
+	type mmerRef struct {
+		pol, idx int
+		roles    map[rbac.RoleName]bool
+		card     int
+	}
+	type mmepRef struct {
+		pol, idx int
+		key      string
+		card     int
+	}
+	var mmers []mmerRef
+	var mmeps []mmepRef
+	for i, mp := range ps {
+		for j, r := range mp.MMER {
+			mmers = append(mmers, mmerRef{i, j, roleSet(r.Roles), r.ForbiddenCardinality})
+		}
+		for j, r := range mp.MMEP {
+			mmeps = append(mmeps, mmepRef{i, j, privMultisetKey(r.AllPrivileges()), r.ForbiddenCardinality})
+		}
+	}
+	sameScope := func(a, b int) bool {
+		return a == b || contexts[a].Equal(contexts[b])
+	}
+	where := func(pol, idx int, kind string) string {
+		return fmt.Sprintf("MSoDPolicy[%d].%s[%d]", pol, kind, idx)
+	}
+	for ai, a := range mmers {
+		for bi, b := range mmers {
+			if ai == bi || !sameScope(a.pol, b.pol) {
+				continue
+			}
+			ab := mmerDominates(a.roles, a.card, b.roles, b.card)
+			ba := mmerDominates(b.roles, b.card, a.roles, a.card)
+			switch {
+			case ab && ba:
+				if bi > ai { // flag the later rule of a duplicate pair once
+					c.report(policy.Warn, where(b.pol, b.idx, "MMER"), CheckShadowedRule,
+						"duplicate of %s: both rules constrain the same roles with the same cardinality", where(a.pol, a.idx, "MMER"))
+				}
+			case ab:
+				c.report(policy.Warn, where(b.pol, b.idx, "MMER"), CheckShadowedRule,
+					"dead rule: %s (cardinality %d) already denies any user before this rule's forbidden cardinality %d is reachable", where(a.pol, a.idx, "MMER"), a.card, b.card)
+			}
+		}
+	}
+	for ai, a := range mmeps {
+		for bi, b := range mmeps {
+			if ai == bi || bi < ai || !sameScope(a.pol, b.pol) || a.key != b.key {
+				continue
+			}
+			switch {
+			case a.card == b.card:
+				c.report(policy.Warn, where(b.pol, b.idx, "MMEP"), CheckShadowedRule,
+					"duplicate of %s: both rules constrain the same privilege multiset with the same cardinality", where(a.pol, a.idx, "MMEP"))
+			case b.card > a.card:
+				c.report(policy.Warn, where(b.pol, b.idx, "MMEP"), CheckShadowedRule,
+					"dead rule: %s constrains the same privilege multiset with the stricter cardinality %d, so cardinality %d is never reached", where(a.pol, a.idx, "MMEP"), a.card, b.card)
+			default:
+				c.report(policy.Warn, where(a.pol, a.idx, "MMEP"), CheckShadowedRule,
+					"dead rule: %s constrains the same privilege multiset with the stricter cardinality %d, so cardinality %d is never reached", where(b.pol, b.idx, "MMEP"), b.card, a.card)
+			}
+		}
+	}
+}
+
+// checkPolicy runs the per-policy static step checks and, when the
+// business method has steps, the bounded satisfiability/finishability
+// search (see search.go).
+func (c *checker) checkPolicy(i int) {
+	mp := c.p.MSoD.Policies[i]
+	where := fmt.Sprintf("MSoDPolicy[%d]", i)
+	broken := false
+
+	checkStep := func(step *policy.Step, name, startOrEnd string, check string) bool {
+		if step == nil {
+			return true
+		}
+		perm := rbac.Permission{Operation: rbac.Operation(step.Operation), Object: rbac.Object(step.TargetURI)}
+		grantors := c.grantors(perm)
+		if len(grantors) == 0 {
+			c.report(policy.Error, where+"."+name, check,
+				"step %s@%s is granted to no role; the context can never %s", step.Operation, step.TargetURI, startOrEnd)
+			return false
+		}
+		if len(c.usable(grantors)) == 0 {
+			sev, chk := policy.Error, CheckSoDContradiction
+			if !c.anySSDBlocked(grantors) {
+				chk = check
+			}
+			c.report(sev, where+"."+name, chk,
+				"step %s@%s: every granting role (%s) is unassignable (%s); the context can never %s",
+				step.Operation, step.TargetURI, joinRoles(grantors), c.unassignableReason(grantors), startOrEnd)
+			return false
+		}
+		return true
+	}
+	if !checkStep(mp.FirstStep, "FirstStep", "start", CheckUnsatisfiable) {
+		broken = true
+	}
+	lastOK := checkStep(mp.LastStep, "LastStep", "terminate and purge its retained history", CheckUnpurgeable)
+	c.lastExecutable[i] = mp.LastStep != nil && lastOK
+	if !lastOK {
+		broken = true
+	}
+
+	// Every granted MMEP privilege with no usable grantor blocks the
+	// method; ungranted privileges are already a Lint warning (dead
+	// position) and do not count as business-method steps.
+	for j, rule := range mp.MMEP {
+		seen := map[policy.PrivilegeRef]bool{}
+		for _, pr := range rule.AllPrivileges() {
+			if seen[pr] {
+				continue
+			}
+			seen[pr] = true
+			perm := rbac.Permission{Operation: rbac.Operation(pr.Operation), Object: rbac.Object(pr.Target)}
+			grantors := c.grantors(perm)
+			if len(grantors) == 0 || len(c.usable(grantors)) > 0 {
+				continue
+			}
+			c.report(policy.Error, fmt.Sprintf("%s.MMEP[%d]", where, j), CheckSoDContradiction,
+				"privilege %s@%s: every granting role (%s) is unassignable (%s); the business method cannot complete",
+				pr.Operation, pr.Target, joinRoles(grantors), c.unassignableReason(grantors))
+			broken = true
+		}
+	}
+
+	if broken {
+		return // the static defects already explain why no search can succeed
+	}
+	c.search(i)
+}
+
+// checkPurgers upgrades Lint's purgeability note: a policy without a
+// LastStep that relies on another policy's last step is only safe if
+// that purger can actually execute it.
+func (c *checker) checkPurgers() {
+	ps := c.p.MSoD.Policies
+	contexts := make([]bctx.Name, len(ps))
+	for i := range ps {
+		contexts[i], _ = ps[i].Context()
+	}
+	for i, mp := range ps {
+		if mp.LastStep != nil || contexts[i].Len() == 0 {
+			continue
+		}
+		nominal := -1
+		for j := range ps {
+			if j == i || ps[j].LastStep == nil || contexts[j].Len() == 0 {
+				continue
+			}
+			if contexts[j].Equal(contexts[i]) || bctx.Subsumes(contexts[j], contexts[i]) {
+				nominal = j
+				if c.lastExecutable[j] {
+					break
+				}
+			}
+		}
+		if nominal >= 0 && !c.lastExecutable[nominal] {
+			c.report(policy.Error, fmt.Sprintf("MSoDPolicy[%d]", i), CheckUnpurgeable,
+				"context %q relies on MSoDPolicy[%d]'s last step for purging, but that step can never be executed; retained history grows without bound", contexts[i], nominal)
+		}
+	}
+}
+
+func (c *checker) anySSDBlocked(roles []rbac.RoleName) bool {
+	for _, r := range roles {
+		if c.ssdBlock[r] != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// unassignableReason summarises why none of the roles can be assigned.
+func (c *checker) unassignableReason(roles []rbac.RoleName) string {
+	var parts []string
+	for _, r := range roles {
+		switch {
+		case c.ssdBlock[r] != "":
+			parts = append(parts, fmt.Sprintf("%s blocked by SSD set %q", r, c.ssdBlock[r]))
+		case !c.assignable[r]:
+			parts = append(parts, fmt.Sprintf("%s has no assignment trust", r))
+		}
+	}
+	return strings.Join(parts, "; ")
+}
+
+// mmerDominates reports whether rule A's invariant makes rule B dead:
+// any user A admits holds at most cardA-1 of A's roles, so the most
+// roles of B they can ever hold is |B\A| + min(|A∩B|, cardA-1); if that
+// stays below cardB, B can never deny anything.
+func mmerDominates(a map[rbac.RoleName]bool, cardA int, b map[rbac.RoleName]bool, cardB int) bool {
+	inter, onlyB := 0, 0
+	for r := range b {
+		if a[r] {
+			inter++
+		} else {
+			onlyB++
+		}
+	}
+	max := onlyB + min(inter, cardA-1)
+	return max < cardB
+}
+
+// dominatedMax is mmerDominates' bound reused for SSD sets: the most
+// roles of the rule set a user can hold when `cap` caps the SSD roles.
+func dominatedMax(rule map[rbac.RoleName]bool, ssd map[rbac.RoleName]bool, card int) int {
+	inter, only := 0, 0
+	for r := range rule {
+		if ssd[r] {
+			inter++
+		} else {
+			only++
+		}
+	}
+	return only + min(inter, card-1)
+}
+
+func roleSet(refs []policy.RoleRef) map[rbac.RoleName]bool {
+	out := make(map[rbac.RoleName]bool, len(refs))
+	for _, r := range refs {
+		out[rbac.RoleName(r.Value)] = true
+	}
+	return out
+}
+
+func roleNameSet(roles []rbac.RoleName) map[rbac.RoleName]bool {
+	out := make(map[rbac.RoleName]bool, len(roles))
+	for _, r := range roles {
+		out[r] = true
+	}
+	return out
+}
+
+func toRoleNames(refs []policy.RoleRef) []rbac.RoleName {
+	out := make([]rbac.RoleName, len(refs))
+	for i, r := range refs {
+		out[i] = rbac.RoleName(r.Value)
+	}
+	return out
+}
+
+func privMultisetKey(privs []policy.PrivilegeRef) string {
+	parts := make([]string, len(privs))
+	for i, p := range privs {
+		parts[i] = p.Operation + "@" + p.Target
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func countIn(roles []rbac.RoleName, set []policy.RoleRef) int {
+	names := roleSet(set)
+	n := 0
+	for _, r := range roles {
+		if names[r] {
+			n++
+		}
+	}
+	return n
+}
+
+func joinRoles(roles []rbac.RoleName) string {
+	parts := make([]string, len(roles))
+	for i, r := range roles {
+		parts[i] = string(r)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

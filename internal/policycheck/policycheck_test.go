@@ -1,0 +1,368 @@
+package policycheck
+
+import (
+	"strings"
+	"testing"
+
+	"msod/internal/policy"
+)
+
+func check(t *testing.T, doc string) []policy.Finding {
+	t.Helper()
+	p, err := policy.ParseRBACPolicy([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Check(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func hasCheck(fs []policy.Finding, sev policy.Severity, check, substr string) bool {
+	for _, f := range fs {
+		if f.Severity == sev && f.Check == check && strings.Contains(f.Message, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCheckCleanPolicy(t *testing.T) {
+	doc := `
+<RBACPolicy id="clean">
+  <RoleList><Role value="Clerk"/><Role value="Manager"/></RoleList>
+  <TargetAccessPolicy>
+    <Grant role="Clerk" operation="prepare" target="check"/>
+    <Grant role="Manager" operation="confirm" target="check"/>
+  </TargetAccessPolicy>
+  <MSoDPolicySet>
+    <MSoDPolicy BusinessContext="Payment=!">
+      <FirstStep operation="prepare" targetURI="check"/>
+      <LastStep operation="confirm" targetURI="check"/>
+      <MMEP ForbiddenCardinality="2">
+        <Privilege operation="prepare" target="check"/>
+        <Privilege operation="confirm" target="check"/>
+      </MMEP>
+    </MSoDPolicy>
+  </MSoDPolicySet>
+</RBACPolicy>`
+	if fs := check(t, doc); len(fs) != 0 {
+		t.Errorf("clean policy has findings: %v", fs)
+	}
+}
+
+// A cardinality-1 MMEP covering a non-opening step denies it to every
+// user once the context is active: no team of any size can execute the
+// whole method.
+func TestCheckUnsatisfiable(t *testing.T) {
+	doc := `
+<RBACPolicy id="blanket">
+  <RoleList><Role value="Clerk"/></RoleList>
+  <TargetAccessPolicy>
+    <Grant role="Clerk" operation="prepare" target="check"/>
+    <Grant role="Clerk" operation="record" target="ledger"/>
+  </TargetAccessPolicy>
+  <MSoDPolicySet>
+    <MSoDPolicy BusinessContext="Payment=!">
+      <FirstStep operation="prepare" targetURI="check"/>
+      <MMEP ForbiddenCardinality="1">
+        <Privilege operation="prepare" target="check"/>
+        <Privilege operation="record" target="ledger"/>
+      </MMEP>
+    </MSoDPolicy>
+  </MSoDPolicySet>
+</RBACPolicy>`
+	fs := check(t, doc)
+	if !hasCheck(fs, policy.Error, CheckUnsatisfiable, "unsatisfiable") {
+		t.Errorf("missing unsatisfiable error: %v", fs)
+	}
+}
+
+// The last step itself is caught by a cardinality-1 rule: the method
+// starts fine but can never finish, so instances stay open forever.
+func TestCheckUnfinishable(t *testing.T) {
+	doc := `
+<RBACPolicy id="stuck">
+  <RoleList><Role value="Clerk"/><Role value="Manager"/></RoleList>
+  <TargetAccessPolicy>
+    <Grant role="Clerk" operation="prepare" target="check"/>
+    <Grant role="Manager" operation="confirm" target="check"/>
+  </TargetAccessPolicy>
+  <MSoDPolicySet>
+    <MSoDPolicy BusinessContext="Payment=!">
+      <FirstStep operation="prepare" targetURI="check"/>
+      <LastStep operation="confirm" targetURI="check"/>
+      <MMEP ForbiddenCardinality="1">
+        <Privilege operation="prepare" target="check"/>
+        <Privilege operation="confirm" target="check"/>
+      </MMEP>
+    </MSoDPolicy>
+  </MSoDPolicySet>
+</RBACPolicy>`
+	fs := check(t, doc)
+	if !hasCheck(fs, policy.Error, CheckUnfinishable, "stay open forever") {
+		t.Errorf("missing unfinishable error: %v", fs)
+	}
+	if hasCheck(fs, policy.Error, CheckUnsatisfiable, "") {
+		t.Errorf("unfinishable policy misreported as unsatisfiable: %v", fs)
+	}
+}
+
+// MMER {A,B,C} m=2 already caps any user at one of those roles, so the
+// narrower {A,B} m=2 can never fire.
+func TestCheckShadowedRule(t *testing.T) {
+	doc := `
+<RBACPolicy id="shadow">
+  <RoleList><Role value="A"/><Role value="B"/><Role value="C"/></RoleList>
+  <TargetAccessPolicy>
+    <Grant role="A" operation="op" target="t"/>
+    <Grant role="B" operation="op" target="t"/>
+    <Grant role="A" operation="end" target="t"/>
+  </TargetAccessPolicy>
+  <MSoDPolicySet>
+    <MSoDPolicy BusinessContext="P=!">
+      <LastStep operation="end" targetURI="t"/>
+      <MMER ForbiddenCardinality="2">
+        <Role type="e" value="A"/><Role type="e" value="B"/><Role type="e" value="C"/>
+      </MMER>
+      <MMER ForbiddenCardinality="2">
+        <Role type="e" value="A"/><Role type="e" value="B"/>
+      </MMER>
+    </MSoDPolicy>
+  </MSoDPolicySet>
+</RBACPolicy>`
+	fs := check(t, doc)
+	if !hasCheck(fs, policy.Warn, CheckShadowedRule, "dead rule") {
+		t.Errorf("missing shadowed-rule warning: %v", fs)
+	}
+}
+
+func TestCheckDuplicateRule(t *testing.T) {
+	doc := `
+<RBACPolicy id="dup">
+  <RoleList><Role value="A"/><Role value="B"/></RoleList>
+  <TargetAccessPolicy>
+    <Grant role="A" operation="op" target="t"/>
+    <Grant role="B" operation="end" target="t"/>
+  </TargetAccessPolicy>
+  <MSoDPolicySet>
+    <MSoDPolicy BusinessContext="P=!">
+      <LastStep operation="end" targetURI="t"/>
+      <MMER ForbiddenCardinality="2"><Role type="e" value="A"/><Role type="e" value="B"/></MMER>
+      <MMER ForbiddenCardinality="2"><Role type="e" value="B"/><Role type="e" value="A"/></MMER>
+    </MSoDPolicy>
+  </MSoDPolicySet>
+</RBACPolicy>`
+	fs := check(t, doc)
+	if !hasCheck(fs, policy.Warn, CheckShadowedRule, "duplicate") {
+		t.Errorf("missing duplicate warning: %v", fs)
+	}
+	n := 0
+	for _, f := range fs {
+		if f.Check == CheckShadowedRule {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Errorf("duplicate pair should be flagged once, got %d: %v", n, fs)
+	}
+}
+
+// SSD already separates Teller from Auditor at assignment time, so the
+// MMER restating it can never fire (Warn); and a step granted only to a
+// role whose closure violates an SSD set can never be performed (Error).
+func TestCheckSoDContradiction(t *testing.T) {
+	doc := `
+<RBACPolicy id="sod">
+  <RoleList><Role value="Teller"/><Role value="Auditor"/><Role value="Super"/></RoleList>
+  <RoleHierarchy>
+    <Inherits senior="Super" junior="Teller"/>
+    <Inherits senior="Super" junior="Auditor"/>
+  </RoleHierarchy>
+  <TargetAccessPolicy>
+    <Grant role="Teller" operation="pay" target="till"/>
+    <Grant role="Auditor" operation="audit" target="ledger"/>
+    <Grant role="Super" operation="close" target="books"/>
+  </TargetAccessPolicy>
+  <SSDPolicy>
+    <SSD name="teller-auditor" cardinality="2">
+      <Role type="e" value="Teller"/><Role type="e" value="Auditor"/>
+    </SSD>
+  </SSDPolicy>
+  <MSoDPolicySet>
+    <MSoDPolicy BusinessContext="Day=!">
+      <LastStep operation="close" targetURI="books"/>
+      <MMER ForbiddenCardinality="2">
+        <Role type="e" value="Teller"/><Role type="e" value="Auditor"/>
+      </MMER>
+    </MSoDPolicy>
+  </MSoDPolicySet>
+</RBACPolicy>`
+	fs := check(t, doc)
+	if !hasCheck(fs, policy.Warn, CheckSoDContradiction, "can never fire") {
+		t.Errorf("missing SSD-dominance warning: %v", fs)
+	}
+	if !hasCheck(fs, policy.Warn, CheckSoDContradiction, "can never be assigned") {
+		t.Errorf("missing unassignable-role warning: %v", fs)
+	}
+	if !hasCheck(fs, policy.Error, CheckSoDContradiction, "unassignable") {
+		t.Errorf("missing unexecutable last-step error: %v", fs)
+	}
+}
+
+// A LastStep granted to no role means context instances never purge.
+func TestCheckUnpurgeable(t *testing.T) {
+	doc := `
+<RBACPolicy id="nopurge">
+  <RoleList><Role value="Clerk"/></RoleList>
+  <TargetAccessPolicy>
+    <Grant role="Clerk" operation="prepare" target="check"/>
+  </TargetAccessPolicy>
+  <MSoDPolicySet>
+    <MSoDPolicy BusinessContext="Payment=!">
+      <LastStep operation="confirm" targetURI="check"/>
+      <MMEP ForbiddenCardinality="2">
+        <Privilege operation="prepare" target="check"/>
+        <Privilege operation="prepare" target="check"/>
+      </MMEP>
+    </MSoDPolicy>
+  </MSoDPolicySet>
+</RBACPolicy>`
+	fs := check(t, doc)
+	if !hasCheck(fs, policy.Error, CheckUnpurgeable, "can never terminate") {
+		t.Errorf("missing unpurgeable error: %v", fs)
+	}
+}
+
+// A policy with no LastStep of its own relying on a purger whose last
+// step is unexecutable is unpurgeable too.
+func TestCheckBrokenPurger(t *testing.T) {
+	doc := `
+<RBACPolicy id="brokenpurger">
+  <RoleList><Role value="A"/><Role value="B"/></RoleList>
+  <TargetAccessPolicy>
+    <Grant role="A" operation="op" target="t"/>
+    <Grant role="B" operation="op" target="t"/>
+  </TargetAccessPolicy>
+  <MSoDPolicySet>
+    <MSoDPolicy BusinessContext="P=!">
+      <LastStep operation="finish" targetURI="t"/>
+      <MMER ForbiddenCardinality="2"><Role type="e" value="A"/><Role type="e" value="B"/></MMER>
+    </MSoDPolicy>
+    <MSoDPolicy BusinessContext="P=!, Q=!">
+      <MMER ForbiddenCardinality="2"><Role type="e" value="A"/><Role type="e" value="B"/></MMER>
+    </MSoDPolicy>
+  </MSoDPolicySet>
+</RBACPolicy>`
+	fs := check(t, doc)
+	if !hasCheck(fs, policy.Error, CheckUnpurgeable, "relies on MSoDPolicy[0]") {
+		t.Errorf("missing broken-purger error: %v", fs)
+	}
+}
+
+// MMER-only policies with an SSD-compatible team must verify clean: two
+// users cover the separation.
+func TestCheckMMERSatisfiableWithTeam(t *testing.T) {
+	doc := `
+<RBACPolicy id="team">
+  <RoleList><Role value="Initiator"/><Role value="Approver"/></RoleList>
+  <TargetAccessPolicy>
+    <Grant role="Initiator" operation="initiate" target="po"/>
+    <Grant role="Approver" operation="approve" target="po"/>
+  </TargetAccessPolicy>
+  <SSDPolicy>
+    <SSD name="io" cardinality="2">
+      <Role type="e" value="Initiator"/><Role type="e" value="Approver"/>
+    </SSD>
+  </SSDPolicy>
+  <MSoDPolicySet>
+    <MSoDPolicy BusinessContext="PO=!">
+      <FirstStep operation="initiate" targetURI="po"/>
+      <LastStep operation="approve" targetURI="po"/>
+      <MMEP ForbiddenCardinality="2">
+        <Privilege operation="initiate" target="po"/>
+        <Privilege operation="approve" target="po"/>
+      </MMEP>
+    </MSoDPolicy>
+  </MSoDPolicySet>
+</RBACPolicy>`
+	if fs := check(t, doc); len(fs) != 0 {
+		t.Errorf("SSD-separated two-user method should verify clean: %v", fs)
+	}
+}
+
+// The budget bound reports honestly instead of guessing.
+func TestCheckBudgetExhausted(t *testing.T) {
+	doc := `
+<RBACPolicy id="tiny-budget">
+  <RoleList><Role value="Clerk"/><Role value="Manager"/></RoleList>
+  <TargetAccessPolicy>
+    <Grant role="Clerk" operation="prepare" target="check"/>
+    <Grant role="Manager" operation="confirm" target="check"/>
+  </TargetAccessPolicy>
+  <MSoDPolicySet>
+    <MSoDPolicy BusinessContext="Payment=!">
+      <FirstStep operation="prepare" targetURI="check"/>
+      <LastStep operation="confirm" targetURI="check"/>
+      <MMEP ForbiddenCardinality="2">
+        <Privilege operation="prepare" target="check"/>
+        <Privilege operation="confirm" target="check"/>
+      </MMEP>
+    </MSoDPolicy>
+  </MSoDPolicySet>
+</RBACPolicy>`
+	p, err := policy.ParseRBACPolicy([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := CheckWithConfig(p, Config{MaxEvals: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasCheck(fs, policy.Info, CheckUnsatisfiable, "budget exhausted") {
+		t.Errorf("missing budget-exhausted note: %v", fs)
+	}
+}
+
+func TestLintInheritsDeepFindings(t *testing.T) {
+	// Importing policycheck registers the deep checker with policy.Lint.
+	doc := `
+<RBACPolicy id="viaLint">
+  <RoleList><Role value="Clerk"/></RoleList>
+  <TargetAccessPolicy>
+    <Grant role="Clerk" operation="prepare" target="check"/>
+  </TargetAccessPolicy>
+  <MSoDPolicySet>
+    <MSoDPolicy BusinessContext="Payment=!">
+      <LastStep operation="confirm" targetURI="check"/>
+      <MMEP ForbiddenCardinality="2">
+        <Privilege operation="prepare" target="check"/>
+        <Privilege operation="prepare" target="check"/>
+      </MMEP>
+    </MSoDPolicy>
+  </MSoDPolicySet>
+</RBACPolicy>`
+	p, err := policy.ParseRBACPolicy([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := policy.Lint(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasCheck(fs, policy.Error, CheckUnpurgeable, "can never terminate") {
+		t.Errorf("Lint did not inherit deep findings: %v", fs)
+	}
+	// Deterministic order: errors strictly before warnings before infos.
+	lastRank := 0
+	rank := map[policy.Severity]int{policy.Error: 0, policy.Warn: 1, policy.Info: 2}
+	for _, f := range fs {
+		if rank[f.Severity] < lastRank {
+			t.Errorf("findings not sorted by severity: %v", fs)
+			break
+		}
+		lastRank = rank[f.Severity]
+	}
+}

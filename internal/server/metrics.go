@@ -180,6 +180,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"Decision/advisory requests refused because the audit chain failed verification (fail-closed).",
 			s.metrics.sentinelRefusals.Load())
 	}
+	s.writeVerificationMetrics(w)
 	for _, g := range s.gauges {
 		//msod:ignore metricname forwarding loop: each name is vetted as a literal at its WithGauge registration site
 		obsv.WriteGauge(w, g.name, g.help, g.fn())

@@ -135,6 +135,10 @@ type Server struct {
 	slowLog time.Duration
 	gauges  []extraGauge
 
+	// verify, when non-nil, is the -verify-policies boot-gate outcome
+	// surfaced on /v1/health and /v1/metrics (see WithPolicyVerification).
+	verify *VerificationStatus
+
 	// Introspection surface: the browser backs /v1/state (derived from
 	// the PDP's store unless overridden), the broker backs /v1/events,
 	// and the sentinel guards the audit chain (see internal/inspect).
@@ -490,10 +494,16 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		// drain decision traffic while operators keep introspection.
 		status = "degraded-readonly"
 	}
-	writeJSON(w, http.StatusOK, map[string]string{
+	body := map[string]string{
 		"status": status,
 		"policy": s.pdp.PolicyID(),
-	})
+	}
+	if s.verify != nil {
+		// The boot gate refuses error findings, so a serving process
+		// with the gate on is by construction running a verified policy.
+		body["policyVerification"] = "verified"
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

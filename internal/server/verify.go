@@ -1,0 +1,47 @@
+package server
+
+import (
+	"io"
+	"sync/atomic"
+
+	"msod/internal/obsv"
+)
+
+// VerificationStatus carries the policy boot-gate outcome (msodd
+// -verify-policies) into the health and metrics surfaces. The daemon
+// publishes one instance at boot and republishes it on every
+// successful SIGHUP reload; error-severity findings never reach here
+// because the gate refuses to serve them.
+type VerificationStatus struct {
+	warnings   atomic.Int64
+	suppressed atomic.Int64
+}
+
+// Set records the latest verification outcome.
+func (v *VerificationStatus) Set(warnings, suppressed int) {
+	v.warnings.Store(int64(warnings))
+	v.suppressed.Store(int64(suppressed))
+}
+
+// WithPolicyVerification surfaces the boot gate's outcome: /v1/health
+// reports that the serving policy was verified, and /v1/metrics gains
+// the msod_policy_verification_* gauges.
+func WithPolicyVerification(v *VerificationStatus) Option {
+	return func(s *Server) { s.verify = v }
+}
+
+// writeVerificationMetrics emits the boot-gate gauges when the gate is
+// enabled.
+func (s *Server) writeVerificationMetrics(w io.Writer) {
+	if s.verify == nil {
+		return
+	}
+	obsv.WriteGauge(w, "msod_policy_verified",
+		"1 when the serving policy passed the -verify-policies model check (the gate refuses to boot otherwise).", 1)
+	obsv.WriteGauge(w, "msod_policy_verification_warnings",
+		"Warning-severity findings the policy model checker reported on the serving policy.",
+		float64(s.verify.warnings.Load()))
+	obsv.WriteGauge(w, "msod_policy_verification_suppressed",
+		"Findings silenced by reasoned msod:ignore directives in the serving policy document.",
+		float64(s.verify.suppressed.Load()))
+}

@@ -1,0 +1,118 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"msod/internal/pdp"
+	"msod/internal/policy"
+)
+
+// startVerifiedServer builds a server carrying a boot-gate outcome.
+func startVerifiedServer(t *testing.T, vs *VerificationStatus) *httptest.Server {
+	t.Helper()
+	pol, err := policy.ParseRBACPolicy([]byte(taxPolicyXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pdp.New(pdp.Config{Policy: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(p, WithPolicyVerification(vs)))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestPolicyVerificationSurfaces(t *testing.T) {
+	vs := &VerificationStatus{}
+	vs.Set(2, 1)
+	ts := startVerifiedServer(t, vs)
+
+	// Health reports the policy as verified.
+	resp, err := http.Get(ts.URL + HealthPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health["policyVerification"] != "verified" {
+		t.Errorf("health policyVerification = %q, want verified (body %v)", health["policyVerification"], health)
+	}
+
+	// Metrics carry the gate's gauges.
+	resp, err = http.Get(ts.URL + MetricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	if v := metricValue(t, body, "msod_policy_verified"); v != 1 {
+		t.Errorf("msod_policy_verified = %d, want 1", v)
+	}
+	if v := metricValue(t, body, "msod_policy_verification_warnings"); v != 2 {
+		t.Errorf("verification warnings gauge = %d, want 2", v)
+	}
+	if v := metricValue(t, body, "msod_policy_verification_suppressed"); v != 1 {
+		t.Errorf("verification suppressed gauge = %d, want 1", v)
+	}
+
+	// A reload republishes: the gauges follow the status object.
+	vs.Set(0, 3)
+	resp, err = http.Get(ts.URL + MetricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body = string(raw)
+	if v := metricValue(t, body, "msod_policy_verification_warnings"); v != 0 {
+		t.Errorf("post-reload warnings gauge = %d, want 0", v)
+	}
+	if v := metricValue(t, body, "msod_policy_verification_suppressed"); v != 3 {
+		t.Errorf("post-reload suppressed gauge = %d, want 3", v)
+	}
+}
+
+func TestPolicyVerificationAbsentWithoutGate(t *testing.T) {
+	ts, _ := startServer(t)
+	resp, err := http.Get(ts.URL + HealthPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if _, ok := health["policyVerification"]; ok {
+		t.Errorf("gate off but health reports policyVerification: %v", health)
+	}
+
+	resp, err = http.Get(ts.URL + MetricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), "msod_policy_verified") {
+		t.Error("gate off but metrics expose msod_policy_verified")
+	}
+}

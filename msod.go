@@ -49,6 +49,7 @@ import (
 	"msod/internal/pdp"
 	"msod/internal/pep"
 	"msod/internal/policy"
+	"msod/internal/policycheck"
 	"msod/internal/rbac"
 	"msod/internal/replica"
 	"msod/internal/server"
@@ -218,14 +219,39 @@ type LintFinding = policy.Finding
 
 // Lint severities.
 const (
-	LintWarn = policy.Warn
-	LintInfo = policy.Info
+	// LintError marks provable defects (unsatisfiable or unfinishable
+	// business methods, unpurgeable contexts); deployment gates refuse
+	// policies carrying them.
+	LintError = policy.Error
+	LintWarn  = policy.Warn
+	LintInfo  = policy.Info
 )
 
 // LintPolicy reports probable policy-authoring mistakes beyond hard
 // validation: constraints that can never fire, dead roles, unstartable
-// or unterminable contexts, unbounded-history notes.
+// or unterminable contexts, unbounded-history notes. Because this
+// package links internal/policycheck, the result also carries the
+// model checker's semantic findings (satisfiability, finishability,
+// shadowing, purge safety).
 func LintPolicy(p *Policy) ([]LintFinding, error) { return policy.Lint(p) }
+
+// PolicyCheckResult is VerifyPolicySource's outcome: the parsed
+// policy, its unsuppressed findings, and the suppression count.
+type PolicyCheckResult = policycheck.CheckResult
+
+// VerifyPolicy runs only the semantic model checker — bounded
+// exploration of the k-of-m constraint state space — without the
+// declaration lint. Most callers want LintPolicy (both passes) or
+// VerifyPolicySource (both passes plus suppression directives).
+func VerifyPolicy(p *Policy) ([]LintFinding, error) { return policycheck.Check(p) }
+
+// VerifyPolicySource parses a policy XML document, runs the
+// declaration lint and the semantic model checker, and applies the
+// document's msod:ignore suppression comments — the same verification
+// msodvet -policies and the msodd -verify-policies boot gate perform.
+func VerifyPolicySource(data []byte) (*PolicyCheckResult, error) {
+	return policycheck.CheckSource(data, policycheck.Config{})
+}
 
 // ParseMSoDPolicySet parses and validates an MSoDPolicySet XML document.
 func ParseMSoDPolicySet(data []byte) (*MSoDPolicySet, error) {
@@ -368,6 +394,18 @@ type (
 
 // NewServer wraps a PDP in an http.Handler.
 func NewServer(p *PDP, opts ...ServerOption) *Server { return server.New(p, opts...) }
+
+// PolicyVerificationStatus carries a -verify-policies boot-gate
+// outcome into the server's health and metrics surfaces; the daemon
+// republishes it on every successful policy reload.
+type PolicyVerificationStatus = server.VerificationStatus
+
+// WithServerPolicyVerification surfaces the policy boot gate on
+// /v1/health ("policyVerification") and /v1/metrics (the
+// msod_policy_verification_* gauges).
+func WithServerPolicyVerification(v *PolicyVerificationStatus) ServerOption {
+	return server.WithPolicyVerification(v)
+}
 
 // WithDecisionLog makes the server emit one structured log line per
 // decision at least threshold slow (zero logs every decision), each
