@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race cover bench fuzz experiments cluster chaos replica examples lint clean
+.PHONY: all build test test-race cover bench fuzz experiments cluster chaos elastic replica examples lint clean
 
 all: build test
 
@@ -43,6 +43,15 @@ chaos:
 	$(GO) test -race -count=1 ./internal/fault
 	$(GO) test -race -run 'TestAdmission|TestClientRetriesShedRequest|TestDegradedReadOnlyLatch' ./internal/server
 	$(GO) test -race -run 'TestClusterShed|TestClusterChaoticTransport|TestBreaker' ./internal/cluster
+
+# Elastic membership smoke: the join/drain/remove lifecycle and
+# activation fan-out unit suite, the live 2→3→2 scale-out/drain
+# integration against real shards, and the 60-seed reshard torture
+# (random join/drain/crash schedules checked against a shadow PDP).
+elastic:
+	$(GO) test -race -count=1 -run 'TestCluster(Join|Drain|Concurrent|Admission|Topology|Status|Metrics)|TestActivation|TestJoinSeeds' ./internal/cluster
+	$(GO) test -race -count=1 -run 'TestElastic' ./internal/integration
+	$(GO) test -race -count=1 -run 'TestElasticReshardTorture' ./internal/fault
 
 # Advisory read-replica tier smoke: deterministic mirror replay and the
 # bounded-staleness contract (unit + gateway routing + integration),

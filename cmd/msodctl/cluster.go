@@ -1,0 +1,215 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"msod/internal/cluster"
+)
+
+// cmdCluster is the elastic-membership operator surface (msodctl
+// cluster [status|join|drain|remove] -server http://gw:8440 ...):
+// status renders the ring, lifecycle states and per-shard health from
+// GET /v1/cluster; join/drain/remove drive the gateway's membership
+// endpoints. Join and drain return immediately (the handoff runs
+// asynchronously); -wait polls status until it finishes.
+func cmdCluster(args []string) error {
+	verb := "status"
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		verb = args[0]
+		args = args[1:]
+	}
+	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
+	srv := fs.String("server", "http://127.0.0.1:8440", "gateway base URL")
+	shard := fs.String("shard", "", "shard ID (join/drain/remove)")
+	shardURL := fs.String("url", "", "shard base URL (join)")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request deadline (0 disables)")
+	wait := fs.Bool("wait", false, "after join/drain, poll until the handoff finishes")
+	waitTimeout := fs.Duration("wait-timeout", 3*time.Minute, "give up on -wait after this long")
+	fs.Parse(args)
+	hc := &http.Client{Timeout: *timeout}
+
+	needShard := func() error {
+		if *shard == "" {
+			return fmt.Errorf("cluster %s: -shard is required", verb)
+		}
+		return nil
+	}
+	switch verb {
+	case "status":
+		st, err := clusterStatus(hc, *srv)
+		if err != nil {
+			return err
+		}
+		printClusterStatus(st)
+		return nil
+	case "join":
+		if err := needShard(); err != nil {
+			return err
+		}
+		if *shardURL == "" {
+			return fmt.Errorf("cluster join: -url is required")
+		}
+		return clusterChange(hc, *srv, cluster.ClusterJoinPath,
+			cluster.ClusterMemberRequest{ID: *shard, URL: *shardURL}, *wait, *waitTimeout)
+	case "drain":
+		if err := needShard(); err != nil {
+			return err
+		}
+		return clusterChange(hc, *srv, cluster.ClusterDrainPath,
+			cluster.ClusterMemberRequest{ID: *shard}, *wait, *waitTimeout)
+	case "remove":
+		if err := needShard(); err != nil {
+			return err
+		}
+		return clusterChange(hc, *srv, cluster.ClusterRemovePath,
+			cluster.ClusterMemberRequest{ID: *shard}, false, 0)
+	default:
+		return fmt.Errorf("cluster: unknown verb %q (want status, join, drain or remove)", verb)
+	}
+}
+
+// clusterStatus fetches GET /v1/cluster.
+func clusterStatus(hc *http.Client, base string) (cluster.ClusterStatusResponse, error) {
+	var st cluster.ClusterStatusResponse
+	resp, err := hc.Get(strings.TrimRight(base, "/") + cluster.ClusterStatusPath)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return st, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return st, clusterAPIError(resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		return st, fmt.Errorf("decode status: %w", err)
+	}
+	return st, nil
+}
+
+// clusterChange POSTs one membership change and optionally waits the
+// resulting handoff out.
+func clusterChange(hc *http.Client, base, path string, req cluster.ClusterMemberRequest, wait bool, waitTimeout time.Duration) error {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := hc.Post(strings.TrimRight(base, "/")+path, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return clusterAPIError(resp.StatusCode, body)
+	}
+	var change cluster.ClusterChangeResponse
+	if err := json.Unmarshal(body, &change); err != nil {
+		return fmt.Errorf("decode response: %w", err)
+	}
+	fmt.Printf("shard %s: %s\n", change.Shard, change.State)
+	if change.Handoff != nil {
+		fmt.Printf("handoff %s (%s) started, phase %s\n", change.Handoff.ID, change.Handoff.Kind, change.Handoff.Phase)
+	}
+	if !wait || change.Handoff == nil {
+		return nil
+	}
+	return waitForHandoff(hc, base, change.Handoff.ID, waitTimeout)
+}
+
+// waitForHandoff polls status until the named handoff leaves the
+// current slot, then reports how it ended.
+func waitForHandoff(hc *http.Client, base, id string, waitTimeout time.Duration) error {
+	deadline := time.Now().Add(waitTimeout)
+	for {
+		st, err := clusterStatus(hc, base)
+		if err != nil {
+			return fmt.Errorf("poll: %w", err)
+		}
+		if st.Handoff == nil || st.Handoff.ID != id {
+			if st.LastHandoff != nil && st.LastHandoff.ID == id {
+				h := st.LastHandoff
+				if h.Phase == cluster.PhaseDone {
+					fmt.Printf("handoff %s done: %d of %d user(s) moved\n", h.ID, h.Moved, h.Users)
+					return nil
+				}
+				return fmt.Errorf("handoff %s %s: %s", h.ID, h.Phase, h.Error)
+			}
+			return fmt.Errorf("handoff %s no longer tracked", id)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("handoff %s still %s after %s (moved %d of %d); check msod_handoff_age_seconds",
+				id, st.Handoff.Phase, waitTimeout, st.Handoff.Moved, st.Handoff.Users)
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+}
+
+// clusterAPIError surfaces the gateway's {"error": ...} body.
+func clusterAPIError(status int, body []byte) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("gateway: %s (status %d)", e.Error, status)
+	}
+	return fmt.Errorf("gateway: status %d", status)
+}
+
+// printClusterStatus renders one status snapshot.
+func printClusterStatus(st cluster.ClusterStatusResponse) {
+	fmt.Printf("ring version %s  epoch %d  members %d [%s]\n",
+		st.RingVersion, st.Epoch, len(st.Members), strings.Join(st.Members, ", "))
+	if st.Admission.Capacity > 0 {
+		fmt.Printf("admission: %d/%d in flight, %d shed\n",
+			st.Admission.InFlight, st.Admission.Capacity, st.Admission.Shed)
+	} else {
+		fmt.Printf("admission: unbounded, %d shed\n", st.Admission.Shed)
+	}
+	ids := make([]string, 0, len(st.Shards))
+	for id := range st.Shards {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		s := st.Shards[id]
+		ring := " "
+		if s.InRing {
+			ring = "*"
+		}
+		line := fmt.Sprintf("%s %-12s %-9s %-5s breaker=%s", ring, id, s.Lifecycle, s.Health, s.Breaker)
+		if s.Policy != "" {
+			line += fmt.Sprintf(" policy=%q", s.Policy)
+		}
+		line += " " + s.URL
+		if s.LastError != "" {
+			line += fmt.Sprintf(" (last error: %s)", s.LastError)
+		}
+		fmt.Println(line)
+	}
+	if h := st.Handoff; h != nil {
+		fmt.Printf("handoff %s: %s of %s, phase %s, moved %d of %d user(s), running %s\n",
+			h.ID, h.Kind, h.Shard, h.Phase, h.Moved, h.Users, time.Since(h.Started).Round(time.Second))
+	}
+	if h := st.LastHandoff; h != nil {
+		suffix := ""
+		if h.Error != "" {
+			suffix = ": " + h.Error
+		}
+		fmt.Printf("last handoff %s: %s of %s, %s, moved %d of %d user(s)%s\n",
+			h.ID, h.Kind, h.Shard, h.Phase, h.Moved, h.Users, suffix)
+	}
+}

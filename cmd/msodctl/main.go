@@ -49,6 +49,16 @@
 //	    pipeline stages indented under their parents with duration
 //	    bars. Against msodgw the per-shard span sets are merged and
 //	    each span carries shard attribution.
+//
+//	msodctl cluster [status] -server http://gw:8440
+//	msodctl cluster join -server http://gw:8440 -shard c -url http://host:8445 [-wait]
+//	msodctl cluster drain -server http://gw:8440 -shard a [-wait]
+//	msodctl cluster remove -server http://gw:8440 -shard a
+//	    Inspect and change elastic cluster membership through msodgw:
+//	    status shows the ring, lifecycle states and any in-flight
+//	    handoff; join/drain start a live resharding handoff (async;
+//	    -wait polls it to completion); remove drops a shard that owns
+//	    nothing.
 package main
 
 import (
@@ -90,6 +100,8 @@ func main() {
 		err = cmdExplain(os.Args[2:])
 	case "trace":
 		err = cmdTrace(os.Args[2:])
+	case "cluster":
+		err = cmdCluster(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -105,7 +117,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: msodctl <validate|lint|verify-trail|replay|decide|manage|health|tail|state|explain|trace> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: msodctl <validate|lint|verify-trail|replay|decide|manage|health|tail|state|explain|trace|cluster> [flags]")
 }
 
 func cmdLint(args []string) error {

@@ -27,6 +27,12 @@
 //	GET  /v1/events                decision event stream (SSE)
 //	GET  /v1/explain/{requestID}   decision provenance: rules, k-of-m state, governing constraint
 //	GET  /v1/traces/{traceID}      retained span tree of a tail-sampled decision
+//	GET  /v1/handoff/users         retained-ADI user list (requires -handoff)
+//	POST /v1/handoff/import        resharding subtree import (requires -handoff)
+//	POST /v1/handoff/release       post-cutover donor purge (requires -handoff)
+//	GET  /v1/ctx/activation        running FirstStep-gated context instances
+//	POST /v1/ctx/activation        cluster activation fan-in: mark instances
+//	                               started elsewhere (durable, deny-safe)
 //
 // The decision event stream is always on. The audit-chain sentinel
 // (-sentinel-interval) incrementally re-verifies the HMAC chain while
@@ -76,6 +82,7 @@ type options struct {
 	adiSync            bool
 	maxInFlight        int
 	shedRetryAfter     time.Duration
+	handoff            bool
 	slowLog            time.Duration
 	pprofAddr          string
 	pprofAllowRemote   bool
@@ -109,6 +116,7 @@ func parseFlags(args []string) (*options, error) {
 	fs.BoolVar(&o.adiSync, "adi-sync", false, "fsync every durable-ADI mutation")
 	fs.IntVar(&o.maxInFlight, "max-inflight", 0, "shed decision/management requests beyond this many in flight (0 = unbounded)")
 	fs.DurationVar(&o.shedRetryAfter, "shed-retry-after", time.Second, "Retry-After hint on shed (503) responses")
+	fs.BoolVar(&o.handoff, "handoff", false, "serve the resharding handoff endpoints (for shards behind an msodgw gateway; the import endpoint replaces per-user history)")
 	fs.DurationVar(&o.slowLog, "slowlog", 0, "log decisions slower than this (0 disables; 1ns logs every decision)")
 	fs.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this address (empty disables; binds loopback unless -pprof-allow-remote)")
 	fs.BoolVar(&o.pprofAllowRemote, "pprof-allow-remote", false, "allow -pprof to bind a non-loopback address (profiling endpoints expose process internals)")
@@ -145,6 +153,8 @@ func parseFlags(args []string) (*options, error) {
 			return nil, errors.New("msodd: -replica-of conflicts with -snapshot")
 		case o.sentinelInterval > 0:
 			return nil, errors.New("msodd: -replica-of conflicts with -sentinel-interval (replicas hold no trail to verify)")
+		case o.handoff:
+			return nil, errors.New("msodd: -replica-of conflicts with -handoff (replicas hold no authoritative history to stream)")
 		}
 	}
 	return o, nil
@@ -423,6 +433,9 @@ func serverOptions(o *options, d *deps, logger *slog.Logger) []msod.ServerOption
 	}
 	if o.maxInFlight > 0 {
 		opts = append(opts, msod.WithServerAdmissionLimit(o.maxInFlight, o.shedRetryAfter))
+	}
+	if o.handoff {
+		opts = append(opts, msod.WithServerHandoff())
 	}
 	if ds, ok := d.store.(*msod.ADIDurableStore); ok {
 		opts = append(opts,

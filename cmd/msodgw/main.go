@@ -29,6 +29,16 @@
 //	GET  /v1/explain/{requestID}   fanned out; the shard holding the record answers
 //	GET  /v1/traces/{traceID}      fanned out; per-shard span sets merged into one
 //	                               tree with X-Msod-Shard attribution
+//	GET  /v1/cluster               ring membership, lifecycle states, handoff status
+//	POST /v1/cluster/join          admit a new shard; stream its future users in live
+//	POST /v1/cluster/drain         move every user off a shard, then drop it from the ring
+//	POST /v1/cluster/remove        drop a shard that owns nothing (joining/gone)
+//
+// Membership is elastic: join and drain run a fail-closed handoff that
+// streams the affected users' retained-ADI subtrees to their new
+// owners; decisions for users in transit get 503 + Retry-After, never
+// an answer from partial history. Shards must run with -handoff. With
+// -state-file the live topology survives gateway restarts.
 package main
 
 import (
@@ -63,6 +73,11 @@ type options struct {
 	breakerAfter     int
 	breakerCooldown  time.Duration
 	slowLog          time.Duration
+	maxInflight      int
+	shedRetryAfter   time.Duration
+	stateFile        string
+	handoffTimeout   time.Duration
+	states           map[string]cluster.ShardState
 	pprofAddr        string
 	pprofAllowRemote bool
 }
@@ -145,22 +160,59 @@ func parseFlags(args []string) (*options, error) {
 	fs.IntVar(&o.breakerAfter, "breaker-after", 5, "consecutive transport failures before a shard's circuit breaker opens")
 	fs.DurationVar(&o.breakerCooldown, "breaker-cooldown", 5*time.Second, "how long an open circuit refuses traffic before a half-open probe")
 	fs.DurationVar(&o.slowLog, "slowlog", 0, "log routed decisions slower than this (0 disables; 1ns logs every decision)")
+	fs.IntVar(&o.maxInflight, "max-inflight", 0, "cluster-wide admission bound: shed routed requests beyond this many in flight (0 = unbounded)")
+	fs.DurationVar(&o.shedRetryAfter, "shed-retry-after", time.Second, "Retry-After hint on admission sheds and handoff-window refusals")
+	fs.StringVar(&o.stateFile, "state-file", "", "persist the live topology here after every membership change; restored on boot in preference to -shards")
+	fs.DurationVar(&o.handoffTimeout, "handoff-timeout", 2*time.Minute, "end-to-end bound on one membership handoff")
 	fs.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this address (empty disables; binds loopback unless -pprof-allow-remote)")
 	fs.BoolVar(&o.pprofAllowRemote, "pprof-allow-remote", false, "allow -pprof to bind a non-loopback address (profiling endpoints expose process internals)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
-	shards, err := parseShards(shardSpec)
-	if err != nil {
+	if err := resolveTopology(o, shardSpec); err != nil {
 		return nil, err
 	}
-	o.shards = shards
 	replicas, err := parseReplicas(replicaSpecs)
 	if err != nil {
 		return nil, err
 	}
 	o.replicas = replicas
 	return o, nil
+}
+
+// resolveTopology picks the boot topology: the -state-file, when it
+// exists, wins over -shards — after a membership change the state file
+// is what matches where the retained history actually lives, and a
+// stale -shards flag could route moved users to a released donor. A
+// missing state file falls back to -shards (first boot); a corrupt one
+// is an error, never silently ignored.
+func resolveTopology(o *options, shardSpec string) error {
+	if o.stateFile != "" {
+		persisted, err := cluster.LoadTopology(o.stateFile)
+		switch {
+		case err == nil:
+			o.states = make(map[string]cluster.ShardState, len(persisted))
+			for _, s := range persisted {
+				state, perr := cluster.ParseShardState(s.State)
+				if perr != nil {
+					return fmt.Errorf("msodgw: state file %s: %w", o.stateFile, perr)
+				}
+				o.shards = append(o.shards, cluster.Shard{ID: s.ID, BaseURL: s.URL})
+				o.states[s.ID] = state
+			}
+			return nil
+		case os.IsNotExist(err):
+			// First boot: no state yet, use the flag.
+		default:
+			return fmt.Errorf("msodgw: %w", err)
+		}
+	}
+	shards, err := parseShards(shardSpec)
+	if err != nil {
+		return err
+	}
+	o.shards = shards
+	return nil
 }
 
 // serve runs the gateway on the listener until ctx is cancelled, then
@@ -208,8 +260,12 @@ func main() {
 	if slow <= 0 {
 		slow = time.Duration(1<<63 - 1)
 	}
+	if o.states != nil {
+		logf("msodgw: topology restored from state file %s (%d shard(s)); -shards ignored", o.stateFile, len(o.shards))
+	}
 	gw, err := cluster.New(cluster.Config{
 		Shards:          o.shards,
+		States:          o.states,
 		Replicas:        o.replicas,
 		VirtualNodes:    o.vnodes,
 		Timeout:         o.timeout,
@@ -220,6 +276,10 @@ func main() {
 		BreakerCooldown: o.breakerCooldown,
 		Logger:          logger,
 		SlowLog:         slow,
+		MaxInflight:     o.maxInflight,
+		ShedRetryAfter:  o.shedRetryAfter,
+		StatePath:       o.stateFile,
+		HandoffTimeout:  o.handoffTimeout,
 	})
 	if err != nil {
 		fatalf("msodgw: %v", err)

@@ -1,0 +1,73 @@
+package adi
+
+import (
+	"time"
+
+	"msod/internal/bctx"
+	"msod/internal/rbac"
+)
+
+// Context-activation markers. §4.2 step 3 asks "has this bound context
+// instance any retained history?" — per-store state. When the user
+// population is partitioned across stores (the cluster gateway shards
+// by user), the node holding the first-stepper activates the instance
+// locally, but every OTHER node would still answer "no history" and,
+// for a FirstStep-gated policy, skip recording its own users'
+// operations in the running instance — under-counted history, the one
+// failure mode MSoD must never have. Activation markers close the gap:
+// a marker is an ordinary retained-ADI record under a reserved user
+// ID, so ContextActive turns true on any store holding one, the WAL
+// persists it like any history, and a context-pattern purge (the
+// administrative closure) removes it with the history it covered.
+//
+// Markers are deny-safe by construction: they belong to a user that
+// never issues requests, so no k-of-m counter ever counts them; a
+// spurious marker can only cause over-recording (over-counting denies,
+// never grants), and a missing one is repaired idempotently by
+// EnsureActive.
+const (
+	// ActivationUser owns every activation marker. The "msod:" prefix
+	// cannot collide with subjects resolved from credentials in any
+	// shipped CVS, and the cluster handoff planner skips it — markers
+	// are node-local infrastructure state, not user history to move.
+	ActivationUser rbac.UserID = "msod:ctx-activation"
+	// ActivationOp/ActivationTarget make markers self-describing in
+	// state dumps; no TargetAccessPolicy ever grants them, so the pair
+	// can never count toward a privilege check.
+	ActivationOp     rbac.Operation = "msod:activate"
+	ActivationTarget rbac.Object    = "msod:ctx"
+)
+
+// NewActivationRecord builds the marker record for one bound context.
+func NewActivationRecord(bound bctx.Name, now time.Time) Record {
+	return Record{
+		User:      ActivationUser,
+		Operation: ActivationOp,
+		Target:    ActivationTarget,
+		Context:   bound,
+		Time:      now,
+	}
+}
+
+// EnsureActive idempotently marks the bound contexts active on the
+// store: a marker is appended only where ContextActive is still false,
+// so replays and overlapping fan-outs cannot pile up markers. Returns
+// how many markers were appended. Callers serialise against decisions
+// (the PDP commit lock) themselves.
+func EnsureActive(store Recorder, now time.Time, bounds ...bctx.Name) (int, error) {
+	added := 0
+	for _, bound := range bounds {
+		active, err := store.ContextActive(bound)
+		if err != nil {
+			return added, err
+		}
+		if active {
+			continue
+		}
+		if err := store.Append(NewActivationRecord(bound, now)); err != nil {
+			return added, err
+		}
+		added++
+	}
+	return added, nil
+}

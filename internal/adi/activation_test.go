@@ -1,0 +1,72 @@
+package adi
+
+import (
+	"testing"
+	"time"
+
+	"msod/internal/bctx"
+)
+
+func TestEnsureActiveIdempotent(t *testing.T) {
+	store := NewStore()
+	now := time.Now()
+	p1 := bctx.MustParse("Proc=p1")
+	p2 := bctx.MustParse("Proc=p2")
+
+	added, err := EnsureActive(store, now, p1, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 2 {
+		t.Fatalf("added = %d, want 2 markers", added)
+	}
+	for _, b := range []bctx.Name{p1, p2} {
+		if active, _ := store.ContextActive(b); !active {
+			t.Fatalf("%s not active after EnsureActive", b)
+		}
+	}
+
+	// Replays and overlapping fan-outs must not pile up markers.
+	added, err = EnsureActive(store, now, p1, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 0 {
+		t.Fatalf("second EnsureActive added %d, want 0", added)
+	}
+	if got := store.Len(); got != 2 {
+		t.Fatalf("store holds %d records, want exactly 2 markers", got)
+	}
+}
+
+func TestEnsureActiveSkipsContextsWithRealHistory(t *testing.T) {
+	store := NewStore()
+	bound := bctx.MustParse("Proc=p1")
+	if err := store.Append(Record{
+		User: "alice", Operation: "prepare", Target: "claim",
+		Context: bound, Time: time.Now(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	added, err := EnsureActive(store, time.Now(), bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 0 {
+		t.Fatalf("added = %d, want 0: real history already activates the instance", added)
+	}
+}
+
+func TestActivationMarkerPurgedWithContext(t *testing.T) {
+	store := NewStore()
+	bound := bctx.MustParse("Proc=p1")
+	if _, err := EnsureActive(store, time.Now(), bound); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.PurgeContext(bctx.MustParse("Proc=*")); err != nil {
+		t.Fatal(err)
+	}
+	if active, _ := store.ContextActive(bound); active {
+		t.Fatal("marker survived the administrative context purge")
+	}
+}

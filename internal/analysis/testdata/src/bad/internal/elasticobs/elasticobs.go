@@ -1,0 +1,25 @@
+// Package elasticobs seeds metricname violations against the elastic
+// cluster families: the handoff-age gauge the OPERATIONS.md alert
+// rules key on gains a second emitter, a ring family breaks the naming
+// invariant, and the per-shard lifecycle gauge destabilises its label
+// keys.
+package elasticobs
+
+import (
+	"io"
+
+	"badmod/internal/obsv"
+)
+
+// Emit re-emits msod_handoff_age_seconds (two sites would make the
+// stalled-handoff alert double-count), misnames the ring epoch, and
+// flips msodgw_ring_shard_state's label key between series.
+func Emit(w io.Writer) {
+	obsv.WriteGauge(w, "msod_handoff_age_seconds", "h", 0)
+	obsv.WriteGauge(w, "msod_handoff_age_seconds", "h", 1)
+	obsv.WriteGauge(w, "msodgw_Ring_epoch", "h", 2)
+	io.WriteString(w, `msodgw_ring_shard_state{shard="a"} 0`)
+	io.WriteString(w, `msodgw_ring_shard_state{lifecycle="active"} 0`)
+	obsv.WriteCounter(w, "msodgw_ctx_activation_withheld_total", "h", 3)
+	obsv.WriteCounter(w, "msodgw_ctx_activation_withheld_total", "h", 4)
+}

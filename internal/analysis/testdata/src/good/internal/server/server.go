@@ -21,6 +21,13 @@ func Metrics(w io.Writer) {
 	obsv.WriteGauge(w, "msod_degraded_readonly", "Durable-write-failure read-only latch.", 0)
 	fmt.Fprintf(w, "msodgw_breaker_state{shard=%q} %d\n", "a", 0)
 	fmt.Fprintf(w, "msodgw_breaker_state{shard=%q} %d\n", "b", 2)
+	// The elastic-membership families: one emitter each, and the
+	// per-shard lifecycle gauge keeps a stable label-key set.
+	obsv.WriteGauge(w, "msod_handoff_age_seconds", "Age of the in-progress handoff.", 0)
+	obsv.WriteGauge(w, "msodgw_ring_epoch", "Ring membership changes since boot.", 3)
+	obsv.WriteCounter(w, "msodgw_ctx_activation_fanouts_total", "FirstStep activations fanned out.", 2)
+	fmt.Fprintf(w, "msodgw_ring_shard_state{shard=%q} %d\n", "a", 0)
+	fmt.Fprintf(w, "msodgw_ring_shard_state{shard=%q} %d\n", "b", 3)
 }
 
 // Store appends outside its critical section.

@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"msod/internal/server"
+)
+
+// Cluster-consistent context activation. §4.2 step 3's "has this bound
+// context instance started?" is per-store state, but the cluster
+// partitions users across stores: the shard that commits a FirstStep
+// opening record activates the instance locally, while every other
+// shard would still answer "not started" and skip recording its own
+// users' operations in the running instance — under-counted retained
+// ADI, the one failure mode MSoD must never have. The gateway closes
+// the gap at the only place that sees both the grant and the topology:
+//
+//   - Every decision whose response names Activated instances is acked
+//     to the PEP only after every tracked peer shard accepted the
+//     activation (fanoutActivation). A failed fan-out withholds the
+//     grant fail-closed; the answering shard's committed record and
+//     any partial markers are deny-safe (extra history only ever adds
+//     denials), and the PEP's retry re-converges.
+//
+//   - A joining shard missed every fan-out from before it was
+//     admitted, so the join handoff seeds it with the union of the
+//     authoritative shards' running instances (syncActivations) before
+//     cutover. Markers alone cannot be streamed: on the first-stepper's
+//     own shard the activation is the real opening record, not a
+//     marker.
+//
+// Both paths are idempotent (the shard skips instances already active)
+// and deny-safe (a spurious activation can only cause over-recording).
+
+// activationPeers snapshots the clients of every tracked shard that
+// may serve decisions now or later — everything except the answering
+// shard and shards already gone. Joining and syncing shards are
+// included deliberately: an activation that fires between their
+// admission and cutover would otherwise be missed by both the fan-out
+// and the join-time sync.
+func (g *Gateway) activationPeers(exclude string) map[string]*server.Client {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	peers := make(map[string]*server.Client)
+	for id, st := range g.states {
+		if id == exclude || st == ShardGone {
+			continue
+		}
+		peers[id] = g.clients[id]
+	}
+	return peers
+}
+
+// fanoutActivation tells every peer shard the named context instances
+// are now running. All peers are contacted concurrently; the first
+// failure is returned (the caller withholds the grant — partial
+// activation is deny-safe but the PEP must not see the ack until the
+// whole cluster agrees the instance started).
+func (g *Gateway) fanoutActivation(ctx context.Context, answered string, contexts []string) error {
+	peers := g.activationPeers(answered)
+	if len(peers) == 0 {
+		return nil
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+	)
+	for id, c := range peers {
+		wg.Add(1)
+		go func(id string, c *server.Client) {
+			defer wg.Done()
+			if _, err := c.Activate(ctx, contexts); err != nil {
+				mu.Lock()
+				if first == nil {
+					first = fmt.Errorf("shard %s: %w", id, err)
+				}
+				mu.Unlock()
+			}
+		}(id, c)
+	}
+	wg.Wait()
+	return first
+}
+
+// syncActivations seeds a joining shard with every context instance
+// the authoritative shards consider running, so FirstStep-gated
+// recording holds on it from its first owned decision. The union is
+// over full instance lists (any retained history, marker or real):
+// over-activation is deny-safe, and filtering here would need policy
+// knowledge the gateway deliberately does not have.
+func (g *Gateway) syncActivations(ctx context.Context, joiner string) error {
+	union := make(map[string]bool)
+	for _, member := range g.ring.Members() {
+		c, ok := g.client(member)
+		if !ok {
+			return fmt.Errorf("shard %s has no client", member)
+		}
+		contexts, err := c.ActiveContexts(ctx)
+		if err != nil {
+			return fmt.Errorf("shard %s active contexts: %w", member, err)
+		}
+		for _, inst := range contexts {
+			union[inst] = true
+		}
+	}
+	if len(union) == 0 {
+		return nil
+	}
+	all := make([]string, 0, len(union))
+	for inst := range union {
+		all = append(all, inst)
+	}
+	sort.Strings(all)
+	jc, ok := g.client(joiner)
+	if !ok {
+		return fmt.Errorf("joiner %s has no client", joiner)
+	}
+	if _, err := jc.Activate(ctx, all); err != nil {
+		return fmt.Errorf("activate on %s: %w", joiner, err)
+	}
+	return nil
+}

@@ -83,6 +83,22 @@ func NewBreaker(shards []string, threshold int, cooldown time.Duration) *Breaker
 	return b
 }
 
+// Add starts tracking a shard that joined after boot, circuit closed.
+func (b *Breaker) Add(shard string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.shards[shard]; !ok {
+		b.shards[shard] = &breakerShard{}
+	}
+}
+
+// Remove stops tracking a shard that left the topology.
+func (b *Breaker) Remove(shard string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.shards, shard)
+}
+
 // Allow reports whether a request may be sent to the shard. In
 // half-open it hands out the single probe slot, so a caller that was
 // allowed MUST report Success or Failure — otherwise the slot stays

@@ -33,9 +33,16 @@ type Shard struct {
 
 // Config assembles a Gateway.
 type Config struct {
-	// Shards is the fixed shard topology. Required, non-empty, unique
-	// IDs.
+	// Shards is the boot shard topology. Required, non-empty, unique
+	// IDs. Membership is no longer fixed after boot: the cluster admin
+	// endpoints (POST /v1/cluster/join|drain|remove) grow and shrink it
+	// live, moving retained-ADI history with a fail-closed handoff.
 	Shards []Shard
+	// States optionally seeds each shard's lifecycle state (default
+	// ShardActive). The msodgw boot path uses it to restore a persisted
+	// topology: only authoritative states (active, draining→active)
+	// enter the ring; joining shards are tracked but own nothing.
+	States map[string]ShardState
 	// Replicas maps a shard ID to the base URLs of its advisory read
 	// replicas (msodd -replica-of instances following that shard).
 	// Optional. When present, advisory and state reads for users owned
@@ -80,6 +87,26 @@ type Config struct {
 	Logger *slog.Logger
 	// SlowLog is the slow-decision threshold for Logger (see above).
 	SlowLog time.Duration
+	// MaxInflight bounds concurrently routed decision, advisory and
+	// management requests across the WHOLE cluster (the gateway-level
+	// admission token pool; 0 = unbounded). It composes with each
+	// shard's own -max-inflight: the gateway bound holds the external
+	// capacity promise steady while shards join and drain underneath.
+	MaxInflight int
+	// ShedRetryAfter is the Retry-After hint written on admission-pool
+	// sheds and handoff-window refusals (default 1s; floored to 1s,
+	// the header's granularity).
+	ShedRetryAfter time.Duration
+	// StatePath, when non-empty, persists the live topology (members,
+	// URLs, lifecycle states) after every membership change, and msodgw
+	// restores it on boot in preference to the -shards flag. Without
+	// it, a gateway restart mid-handoff reverts to the flag topology —
+	// safe only because cutover persists BEFORE any donor release, so
+	// an unpersisted cutover leaves the donors still holding history.
+	StatePath string
+	// HandoffTimeout bounds one membership handoff end to end
+	// (default 2m).
+	HandoffTimeout time.Duration
 }
 
 // gwMetrics are the gateway's own counters, served alongside the
@@ -105,6 +132,19 @@ type gwMetrics struct {
 	// configured but ended up answered by the owning shard.
 	replicaReads     atomic.Int64
 	replicaFallbacks atomic.Int64
+	// Handoff lifecycle counters (see handoff.go): handoffRefusals are
+	// the fail-closed 503s for in-transit users and credential-bearing
+	// requests on donors during the handoff window.
+	handoffStarted    atomic.Int64
+	handoffCompleted  atomic.Int64
+	handoffFailed     atomic.Int64
+	handoffRefusals   atomic.Int64
+	handoffUsersMoved atomic.Int64
+	// activationFanouts counts FirstStep activation fan-outs to peer
+	// shards; activationWithheld counts grants withheld fail-closed
+	// because a peer did not acknowledge the activation.
+	activationFanouts  atomic.Int64
+	activationWithheld atomic.Int64
 }
 
 // Gateway fronts a user-sharded PDP cluster: it routes decision and
@@ -130,9 +170,38 @@ type Gateway struct {
 	// (goroutines, heap, GC pauses) on every metrics scrape.
 	runtime *obsv.RuntimeStats
 
+	// mu guards the topology: shard addresses, clients and lifecycle
+	// states (elastic membership mutates all three together).
 	mu      sync.RWMutex
 	addrs   map[string]string
 	clients map[string]*server.Client
+	states  map[string]ShardState
+
+	// admission is the cluster-wide token pool (Config.MaxInflight);
+	// epoch counts ring changes since boot (for msodgw_ring_epoch).
+	admission *admitPool
+	epoch     atomic.Int64
+
+	// traffic is the quiesce barrier: every routed request holds the
+	// read lock for its full duration; the handoff coordinator takes
+	// the write lock once, after raising the transit marks, to prove
+	// every pre-mark request has finished before it exports history.
+	traffic sync.RWMutex
+
+	// hmu guards the handoff window state below. transit marks the
+	// users whose history is in motion (decisions refuse fail-closed);
+	// handoffDonors marks the shards losing users (credential-bearing
+	// decisions on them refuse — the resolved subject is unpredictable).
+	hmu            sync.Mutex
+	transit        map[string]bool
+	handoffDonors  map[string]bool
+	currentHandoff *HandoffStatus
+	lastHandoff    *HandoffStatus
+
+	// baseCtx parents every handoff; Close cancels it and waits.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	handoffWG  sync.WaitGroup
 }
 
 // New validates the topology and builds a gateway. The checker starts
@@ -162,15 +231,25 @@ func New(cfg Config) (*Gateway, error) {
 	if cfg.BreakerCooldown <= 0 {
 		cfg.BreakerCooldown = 5 * time.Second
 	}
-	g := &Gateway{
-		cfg:     cfg,
-		ring:    NewRing(cfg.VirtualNodes),
-		start:   time.Now(),
-		runtime: obsv.NewRuntimeStats(),
-		addrs:   make(map[string]string, len(cfg.Shards)),
-		clients: make(map[string]*server.Client, len(cfg.Shards)),
+	if cfg.ShedRetryAfter < time.Second {
+		cfg.ShedRetryAfter = time.Second
 	}
+	if cfg.HandoffTimeout <= 0 {
+		cfg.HandoffTimeout = 2 * time.Minute
+	}
+	g := &Gateway{
+		cfg:       cfg,
+		ring:      NewRing(cfg.VirtualNodes),
+		start:     time.Now(),
+		runtime:   obsv.NewRuntimeStats(),
+		addrs:     make(map[string]string, len(cfg.Shards)),
+		clients:   make(map[string]*server.Client, len(cfg.Shards)),
+		states:    make(map[string]ShardState, len(cfg.Shards)),
+		admission: newAdmitPool(cfg.MaxInflight),
+	}
+	g.baseCtx, g.baseCancel = context.WithCancel(context.Background())
 	ids := make([]string, 0, len(cfg.Shards))
+	authoritative := 0
 	for _, s := range cfg.Shards {
 		if s.ID == "" || s.BaseURL == "" {
 			return nil, fmt.Errorf("cluster: shard needs id and url, got %+v", s)
@@ -183,8 +262,18 @@ func New(cfg Config) (*Gateway, error) {
 		// (503 + Retry-After), the gateway forwards the hint to the PEP
 		// instead of blocking a gateway worker on the shard's backlog.
 		g.clients[s.ID] = server.NewClient(s.BaseURL, cfg.HTTPClient, server.WithTimeout(cfg.Timeout), server.WithShedRetries(0))
-		g.ring.Add(s.ID)
+		state := cfg.States[s.ID] // zero value = ShardActive
+		g.states[s.ID] = state
+		// Only authoritative shards enter the ring: a restored topology
+		// may carry joining or gone shards, which own nothing.
+		if state.Authoritative() {
+			g.ring.Add(s.ID)
+			authoritative++
+		}
 		ids = append(ids, s.ID)
+	}
+	if authoritative == 0 {
+		return nil, errors.New("cluster: no authoritative (active) shard in the topology")
 	}
 	g.replicas = make(map[string]*replicaSet)
 	for shardID, urls := range cfg.Replicas {
@@ -217,6 +306,10 @@ func New(cfg Config) (*Gateway, error) {
 	g.mux.HandleFunc(server.EventsPath, g.handleEvents)
 	g.mux.HandleFunc(server.ExplainPath, g.handleExplain)
 	g.mux.HandleFunc(server.TracesPath, g.handleTraces)
+	g.mux.HandleFunc(ClusterStatusPath, g.handleClusterStatus)
+	g.mux.HandleFunc(ClusterJoinPath, g.handleClusterJoin)
+	g.mux.HandleFunc(ClusterDrainPath, g.handleClusterDrain)
+	g.mux.HandleFunc(ClusterRemovePath, g.handleClusterRemove)
 	return g, nil
 }
 
@@ -228,8 +321,14 @@ func (g *Gateway) Checker() *Checker { return g.checker }
 // introspection).
 func (g *Gateway) Breaker() *Breaker { return g.breaker }
 
-// Close stops background probing.
-func (g *Gateway) Close() { g.checker.Stop() }
+// Close stops background probing, cancels any in-flight handoff and
+// waits for its goroutine to unwind (the donor stays authoritative; a
+// cancelled handoff fails exactly like any other pre-cutover failure).
+func (g *Gateway) Close() {
+	g.baseCancel()
+	g.checker.Stop()
+	g.handoffWG.Wait()
+}
 
 // probe is the Checker's probe: the shard's /v1/health via its
 // deadline-bounded client.
@@ -385,7 +484,30 @@ func (g *Gateway) routeDecision(w http.ResponseWriter, r *http.Request, req serv
 	trace := obsv.NewTrace(traceID)
 	ctx := obsv.WithTrace(r.Context(), trace)
 	start := time.Now()
+	release, admitted := g.admitCluster(w)
+	if !admitted {
+		return
+	}
+	defer release()
+	// The read side of the quiesce barrier: held for the request's full
+	// duration (retries included), so a handoff that has raised its
+	// transit marks can wait out every request admitted before them.
+	// The handoff-window checks below run AFTER this acquisition — a
+	// request that slept on the barrier re-reads the marks it missed.
+	g.traffic.RLock()
+	defer g.traffic.RUnlock()
 	shard, ok := g.ring.Lookup(key)
+	if ok && record {
+		if reason, refuse := g.transitRefusal(key, shard, len(req.Credentials) > 0); refuse {
+			g.metrics.handoffRefusals.Add(1)
+			g.metrics.unavailable.Add(1)
+			g.logRefusal(traceID, key, shard, reason)
+			w.Header().Set("Retry-After", strconv.Itoa(int(retryAfterCeil(g.cfg.ShedRetryAfter))))
+			errorJSON(w, http.StatusServiceUnavailable, reason)
+			return
+		}
+	}
+	ringV0 := g.ring.Version()
 	if !ok {
 		g.metrics.unavailable.Add(1)
 		g.logRefusal(traceID, key, "", "no shards in ring")
@@ -434,6 +556,26 @@ func (g *Gateway) routeDecision(w http.ResponseWriter, r *http.Request, req serv
 		resp, err := call(client, ctx, req)
 		if err == nil {
 			g.breaker.Success(shard)
+			// Handoff defense-in-depth: the routing-key check above could
+			// not see the subject the shard's CVS actually resolved. If
+			// THAT user is in transit — or the ring moved underneath the
+			// call — the shard may have answered from history that is
+			// mid-copy, so the answer is withheld fail-closed. Advisories
+			// are withheld too: a post-cutover release could be purging
+			// the donor's copy while it evaluates. Any record
+			// the shard committed stays deny-safe: the import replaces the
+			// donor's copy wholesale, and a stray copy elsewhere can only
+			// add denials.
+			if g.resolvedInTransit(resp.User) || g.ring.Version() != ringV0 {
+				g.metrics.handoffRefusals.Add(1)
+				g.metrics.unavailable.Add(1)
+				g.logRefusal(traceID, key, shard,
+					fmt.Sprintf("answer withheld: resolved subject %q history in handoff transit", resp.User))
+				w.Header().Set("Retry-After", strconv.Itoa(int(retryAfterCeil(g.cfg.ShedRetryAfter))))
+				errorJSON(w, http.StatusServiceUnavailable, fmt.Sprintf(
+					"user %q history is being moved between shards; withholding the answer rather than serving a partial history, retry after the hinted delay", resp.User))
+				return
+			}
 			if owner, ok := g.ring.Lookup(resp.User); resp.User == "" || !ok || owner != shard {
 				g.metrics.misrouted.Add(1)
 				g.logRefusal(traceID, key, shard,
@@ -442,6 +584,28 @@ func (g *Gateway) routeDecision(w http.ResponseWriter, r *http.Request, req serv
 					"shard %s resolved the subject to %q (owner %s); withholding the answer: routing key %q was not the canonical subject, so the decision was evaluated against the wrong shard's history",
 					shard, resp.User, owner, key))
 				return
+			}
+			// A grant that STARTED a FirstStep-gated context instance is
+			// acked only after every tracked peer shard has been told the
+			// instance is running (see activation.go): a peer that missed
+			// the activation would treat the instance as not started and
+			// grant its users' later operations unrecorded — under-counted
+			// history, a false grant. A failed fan-out withholds the ack
+			// fail-closed; the shard's committed opening record and any
+			// partial markers only ever add denials.
+			if record && len(resp.Activated) > 0 {
+				g.metrics.activationFanouts.Add(1)
+				if ferr := g.fanoutActivation(ctx, shard, resp.Activated); ferr != nil {
+					g.metrics.activationWithheld.Add(1)
+					g.metrics.unavailable.Add(1)
+					g.logRefusal(traceID, key, shard,
+						fmt.Sprintf("grant withheld: context activation fan-out incomplete (%v)", ferr))
+					w.Header().Set("Retry-After", strconv.Itoa(int(retryAfterCeil(g.cfg.ShedRetryAfter))))
+					errorJSON(w, http.StatusServiceUnavailable, fmt.Sprintf(
+						"decision started context instance(s) %v but not every shard acknowledged the activation (%v); withholding the grant fail-closed, retry after the hinted delay",
+						resp.Activated, ferr))
+					return
+				}
 			}
 			g.logDecision(traceID, resp, shard, attempt, time.Since(start))
 			writeJSON(w, http.StatusOK, resp)
@@ -564,7 +728,26 @@ func (g *Gateway) handleManagement(w http.ResponseWriter, r *http.Request) {
 		errorJSON(w, http.StatusBadRequest, fmt.Sprintf("decode: %v", err))
 		return
 	}
-	shards := g.checker.Shards()
+	release, admitted := g.admitCluster(w)
+	if !admitted {
+		return
+	}
+	defer release()
+	// Management holds the quiesce barrier too, so a handoff waits out
+	// in-flight fan-outs; and it is refused outright during a handoff —
+	// a purge racing the history stream could resurrect records the
+	// administrator believes gone (purged on the donor after export,
+	// reborn by the import on the recipient).
+	g.traffic.RLock()
+	defer g.traffic.RUnlock()
+	if g.refuseDuringHandoff(w, "management") {
+		return
+	}
+	// Fan out to the authoritative shards only: a joining shard owns no
+	// users yet and a gone shard owns none anymore, so including either
+	// would fail the all-up precondition for membership that holds no
+	// history.
+	shards := g.authoritativeShards()
 	for _, s := range shards {
 		if !g.checker.Up(s) {
 			g.metrics.unavailable.Add(1)
@@ -644,37 +827,49 @@ func (g *Gateway) handleManagement(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleHealth reports the gateway's own view: ok only when every
-// shard is up and all report the same policy.
+// authoritative shard is up and all report the same policy. A shard
+// that is merely joining (or gone) owns no users, so its health cannot
+// degrade the cluster; while a handoff runs, an otherwise healthy
+// cluster reports "rebalancing" so operators see the window without
+// paging on it.
 func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
 	statuses := g.checker.Statuses()
 	overall := "ok"
 	policies := map[string]bool{}
 	type shardHealth struct {
-		State    string `json:"state"`
-		Breaker  string `json:"breaker,omitempty"`
-		Policy   string `json:"policy,omitempty"`
-		LastErr  string `json:"lastError,omitempty"`
-		Failures int    `json:"consecutiveFailures,omitempty"`
+		State     string `json:"state"`
+		Lifecycle string `json:"lifecycle"`
+		Breaker   string `json:"breaker,omitempty"`
+		Policy    string `json:"policy,omitempty"`
+		LastErr   string `json:"lastError,omitempty"`
+		Failures  int    `json:"consecutiveFailures,omitempty"`
 	}
 	breakers := g.breaker.States()
 	shards := make(map[string]shardHealth, len(statuses))
 	for id, st := range statuses {
-		if st.State != Up {
-			overall = "degraded"
-		}
-		if breakers[id] != BreakerClosed {
-			overall = "degraded"
-		}
-		if st.PolicyID != "" {
-			policies[st.PolicyID] = true
+		life, _ := g.shardState(id)
+		if life.Authoritative() {
+			if st.State != Up {
+				overall = "degraded"
+			}
+			if breakers[id] != BreakerClosed {
+				overall = "degraded"
+			}
+			if st.PolicyID != "" {
+				policies[st.PolicyID] = true
+			}
 		}
 		shards[id] = shardHealth{
-			State: st.State.String(), Breaker: breakers[id].String(), Policy: st.PolicyID,
+			State: st.State.String(), Lifecycle: life.String(),
+			Breaker: breakers[id].String(), Policy: st.PolicyID,
 			LastErr: st.LastErr, Failures: st.Consecutive,
 		}
 	}
 	if len(policies) > 1 {
 		overall = "degraded" // policy split-brain: shards disagree
+	}
+	if active, _ := g.handoffActive(); active && overall == "ok" {
+		overall = "rebalancing"
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status": overall,
@@ -893,4 +1088,28 @@ func (g *Gateway) writeOwnMetrics(w io.Writer) {
 	for _, id := range ids {
 		fmt.Fprintf(w, "msodgw_breaker_state{shard=%q} %d\n", id, states[id].GaugeValue())
 	}
+	obsv.WriteGauge(w, "msodgw_ring_epoch", "Ring membership changes applied since gateway boot.", float64(g.epoch.Load()))
+	obsv.WriteGauge(w, "msodgw_ring_members", "Authoritative shards currently on the hash ring.", float64(g.ring.Size()))
+	fmt.Fprintf(w, "# HELP msodgw_ring_shard_state Per-shard lifecycle (0 active, 1 joining, 2 syncing, 3 draining, 4 gone).\n# TYPE msodgw_ring_shard_state gauge\n")
+	for _, id := range ids {
+		life, _ := g.shardState(id)
+		fmt.Fprintf(w, "msodgw_ring_shard_state{shard=%q} %d\n", id, life.GaugeValue())
+	}
+	obsv.WriteGauge(w, "msodgw_admission_capacity", "Cluster-wide admission pool capacity (0 = unbounded).", float64(g.admission.Capacity()))
+	obsv.WriteGauge(w, "msodgw_admission_inflight", "Requests currently holding a cluster admission token.", float64(g.admission.Inflight()))
+	obsv.WriteCounter(w, "msodgw_admission_shed_total", "Requests shed because the cluster admission pool was exhausted.", g.admission.Shed())
+	active, age := 0.0, 0.0
+	if on, dur := g.handoffActive(); on {
+		active = 1
+		age = dur.Seconds()
+	}
+	obsv.WriteGauge(w, "msod_handoff_active", "Whether a membership handoff is in progress (0/1).", active)
+	obsv.WriteGauge(w, "msod_handoff_age_seconds", "Age of the in-progress handoff (0 when idle); alert when it exceeds the handoff timeout.", age)
+	obsv.WriteCounter(w, "msod_handoff_started_total", "Membership handoffs started (join and drain).", g.metrics.handoffStarted.Load())
+	obsv.WriteCounter(w, "msod_handoff_completed_total", "Membership handoffs completed through cutover.", g.metrics.handoffCompleted.Load())
+	obsv.WriteCounter(w, "msod_handoff_failed_total", "Membership handoffs aborted before cutover (donor stays authoritative).", g.metrics.handoffFailed.Load())
+	obsv.WriteCounter(w, "msod_handoff_refusals_total", "Decisions refused fail-closed during a handoff window (in-transit users, donor credentials, withheld answers).", g.metrics.handoffRefusals.Load())
+	obsv.WriteCounter(w, "msod_handoff_users_moved_total", "Users whose retained-ADI history was streamed to a new owner.", g.metrics.handoffUsersMoved.Load())
+	obsv.WriteCounter(w, "msodgw_ctx_activation_fanouts_total", "FirstStep context activations fanned out to peer shards before acking the grant.", g.metrics.activationFanouts.Load())
+	obsv.WriteCounter(w, "msodgw_ctx_activation_withheld_total", "Grants withheld fail-closed because a peer shard did not acknowledge a context activation.", g.metrics.activationWithheld.Load())
 }

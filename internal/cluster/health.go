@@ -80,6 +80,27 @@ func NewChecker(shards []string, probe Probe, failAfter int) *Checker {
 	return c
 }
 
+// Add starts tracking a shard that joined the topology after boot. It
+// starts Down — unlike boot-time shards, a joiner has already been
+// probed by the admission path, and the next CheckNow (the admission
+// path runs one) flips it Up; starting pessimistic means a joiner that
+// dies between admission and first probe never looks serveable.
+func (c *Checker) Add(shard string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.states[shard]; ok {
+		return
+	}
+	c.states[shard] = &Status{State: Down, Consecutive: c.failAfter}
+}
+
+// Remove stops tracking a shard that left the topology.
+func (c *Checker) Remove(shard string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.states, shard)
+}
+
 // Up reports whether the shard currently serves traffic.
 func (c *Checker) Up(shard string) bool {
 	c.mu.Lock()

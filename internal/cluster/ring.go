@@ -62,10 +62,28 @@ func NewRing(vnodes int) *Ring {
 }
 
 // hashKey hashes a routing key or virtual-node label onto the ring.
+// The FNV-1a sum is passed through a splitmix64 finalizer: FNV's
+// avalanche is weak for keys sharing a long prefix (sequential user
+// IDs like "user-0042" differ only in their final bytes, which perturb
+// mostly the low ~40 bits of the sum), and with ring gaps averaging
+// 2^64/points, an unmixed family of such keys falls into ONE gap and
+// routes en masse to a single shard — exactly the imbalance a
+// consistent-hash ring exists to prevent.
 func hashKey(s string) uint64 {
 	h := fnv.New64a()
 	h.Write([]byte(s))
-	return h.Sum64()
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer (public-domain constants): full
+// avalanche over all 64 bits in three xor-shift/multiply rounds.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 // Add inserts a shard; adding an existing member is a no-op.
@@ -91,25 +109,42 @@ func (r *Ring) Remove(shard string) {
 }
 
 // rebuildLocked regenerates the point set from the member set. The
-// points depend only on the members, never on mutation history.
+// points depend only on the members, never on mutation history. The
+// member iteration runs over the SORTED member list, and the points go
+// into a fresh slice rather than reusing the old backing array: a
+// reader that raced an earlier rebuild can never observe a
+// half-rewritten point set, and two rings holding the same members
+// produce byte-identical point sequences regardless of how many
+// Add/Remove cycles each one went through.
 func (r *Ring) rebuildLocked() {
-	r.points = r.points[:0]
-	for shard := range r.members {
+	points := make([]point, 0, len(r.members)*r.vnodes)
+	for _, shard := range r.membersLocked() {
 		for i := 0; i < r.vnodes; i++ {
-			r.points = append(r.points, point{
+			points = append(points, point{
 				hash:  hashKey(fmt.Sprintf("%s#%d", shard, i)),
 				shard: shard,
 			})
 		}
 	}
-	sort.Slice(r.points, func(i, j int) bool {
-		if r.points[i].hash != r.points[j].hash {
-			return r.points[i].hash < r.points[j].hash
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].hash != points[j].hash {
+			return points[i].hash < points[j].hash
 		}
 		// Hash ties (vanishingly rare) break by shard ID so ownership
 		// stays deterministic across rebuilds.
-		return r.points[i].shard < r.points[j].shard
+		return points[i].shard < points[j].shard
 	})
+	r.points = points
+}
+
+// membersLocked returns the member IDs sorted; callers hold r.mu.
+func (r *Ring) membersLocked() []string {
+	out := make([]string, 0, len(r.members))
+	for m := range r.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Lookup maps a routing key (a stable user ID) to its owning shard.
@@ -129,16 +164,63 @@ func (r *Ring) Lookup(key string) (string, bool) {
 	return r.points[i].shard, true
 }
 
-// Members returns the shard set, sorted.
+// Members returns the shard set, sorted. The sort runs under the same
+// lock that guards Add/Remove, so the order is deterministic even while
+// membership churns — two gateways holding the same member set always
+// report the same sequence, whatever their mutation histories were.
 func (r *Ring) Members() []string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	out := make([]string, 0, len(r.members))
-	for m := range r.members {
-		out = append(out, m)
+	return r.membersLocked()
+}
+
+// Version is a stable hash of the member set: two rings route
+// identically if and only if they hold the same members and vnode
+// count, and such rings always report the same version. It is computed
+// from the sorted member list under the membership lock — never from
+// Go's randomized map order — so concurrent Add/Remove on one gateway
+// cannot make its version diverge from another gateway that converged
+// on the same membership.
+func (r *Ring) Version() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.versionLocked()
+}
+
+func (r *Ring) versionLocked() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "vnodes=%d", r.vnodes)
+	for _, m := range r.membersLocked() {
+		h.Write([]byte{0})
+		h.Write([]byte(m))
 	}
-	sort.Strings(out)
-	return out
+	return h.Sum64()
+}
+
+// Snapshot returns the sorted member list and the version hash in one
+// atomic read. Callers that fetch Members() and Version() separately
+// can interleave with a concurrent Add/Remove and pair a member list
+// with another membership's hash; status endpoints and the handoff
+// coordinator use Snapshot so the pair is always consistent.
+func (r *Ring) Snapshot() ([]string, uint64) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.membersLocked(), r.versionLocked()
+}
+
+// Clone returns an independent ring with the same vnode count and
+// member set. The handoff coordinator plans ownership moves on a clone
+// (current membership ± the arriving/leaving shard) without touching
+// the live routing ring until cutover.
+func (r *Ring) Clone() *Ring {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c := NewRing(r.vnodes)
+	for m := range r.members {
+		c.members[m] = true
+	}
+	c.rebuildLocked()
+	return c
 }
 
 // Size returns the number of member shards.

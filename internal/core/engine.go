@@ -100,6 +100,18 @@ type Decision struct {
 	// Purged counts retained-ADI records deleted because the request was
 	// a granted last step.
 	Purged int
+	// Activated lists the bound context instances this grant started
+	// for FirstStep-gated policies (the opening record committed).
+	// Distributed deployments need it: §4.2 step 4 skips recording
+	// while a context has no local history UNLESS the operation is the
+	// first step, so a PDP holding a slice of the user population must
+	// be told when some OTHER node saw the first step — otherwise its
+	// users' operations in the now-running instance pass unrecorded
+	// and a later k-of-m check under-counts (a false grant). Policies
+	// without a FirstStep never appear here: their opening branch
+	// matches every operation, so each node activates independently
+	// without losing records.
+	Activated []bctx.Name
 }
 
 // Engine evaluates requests against a compiled MSoD policy set and a
@@ -193,9 +205,10 @@ func (e *Engine) Store() adi.Recorder { return e.store }
 // action is one deferred store mutation, applied in policy order only if
 // the overall result is Grant.
 type action struct {
-	purge   bool
-	pattern bctx.Name    // purge pattern
-	records []adi.Record // appends
+	purge     bool
+	pattern   bctx.Name    // purge pattern
+	records   []adi.Record // appends
+	activated *bctx.Name   // bound context a FirstStep opening record starts
 }
 
 // Evaluate runs the §4.2 enforcement algorithm. The request must already
@@ -334,6 +347,9 @@ func (e *Engine) evaluate(ctx context.Context, req Request, commit bool) (Decisi
 				}
 			}
 			dec.Recorded += len(act.records)
+			if commit && act.activated != nil {
+				dec.Activated = append(dec.Activated, *act.activated)
+			}
 		}
 	}
 	dec.Effect = Grant
@@ -400,7 +416,15 @@ func (e *Engine) evaluatePolicy(p *Policy, bound bctx.Name, req Request, now tim
 				// and where their counters land (k 0 -> nr).
 				explainOpening(p, bound, req, xr)
 			}
-			return &action{records: []adi.Record{newRecord(req, now)}}, nil, nil
+			act := &action{records: []adi.Record{newRecord(req, now)}}
+			if p.FirstStep != nil {
+				// An explicit first step starting the instance is the
+				// activation other nodes of a distributed PDP must hear
+				// about (see Decision.Activated).
+				b := bound
+				act.activated = &b
+			}
+			return act, nil, nil
 		}
 		// Context has not started: MSoD does not yet apply.
 		return nil, nil, nil

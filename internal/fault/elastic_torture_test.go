@@ -1,0 +1,317 @@
+package fault_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"msod/internal/adi"
+	"msod/internal/cluster"
+	"msod/internal/inspect"
+	"msod/internal/pdp"
+	"msod/internal/policy"
+	"msod/internal/server"
+)
+
+// The elastic resharding torture: a 2-shard cluster absorbs a seeded
+// workload, then scales out to 3 shards while a seeded fault fires in
+// the middle of the handoff — the joiner crashes mid-import, a donor
+// crashes mid-stream, or the gateway itself restarts from its persisted
+// topology. After the chaos the cluster is healed, the join driven to
+// completion, and the workload resumed. The invariant checked at every
+// acknowledged decision and across a final full probe grid is
+// one-sided, matching the paper's fail-closed stance: anything the
+// cluster GRANTS, an in-memory shadow PDP that absorbed exactly the
+// acknowledged decisions must also grant. The cluster may refuse (503)
+// or over-deny during and after the window — a commit whose ack was
+// withheld leaves deny-safe extra history — but one grant the shadow
+// denies means resharding split or lost someone's retained ADI.
+
+// chaosProxy fronts one shard. Arm kills the shard after n more
+// requests: that request and all later ones abort at the TCP level
+// until Heal. importDelay slows the handoff import so a fault or
+// restart can land mid-stream deterministically.
+type chaosProxy struct {
+	inner       http.Handler
+	countdown   atomic.Int64
+	dead        atomic.Bool
+	importDelay atomic.Int64 // nanoseconds
+}
+
+func (p *chaosProxy) Arm(n int)             { p.countdown.Store(int64(n)) }
+func (p *chaosProxy) Heal()                 { p.dead.Store(false); p.countdown.Store(-1) }
+func (p *chaosProxy) Delay(d time.Duration) { p.importDelay.Store(int64(d)) }
+
+func (p *chaosProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if p.countdown.Load() >= 0 && p.countdown.Add(-1) == -1 {
+		p.dead.Store(true)
+	}
+	if p.dead.Load() {
+		panic(http.ErrAbortHandler)
+	}
+	if r.URL.Path == server.HandoffImportPath {
+		if d := p.importDelay.Load(); d > 0 {
+			time.Sleep(time.Duration(d))
+		}
+	}
+	p.inner.ServeHTTP(w, r)
+}
+
+// elasticVictim is one handoff-capable shard behind its chaos proxy.
+type elasticVictim struct {
+	proxy *chaosProxy
+	srv   *httptest.Server
+}
+
+func newElasticVictim(t *testing.T, pol *policy.RBACPolicy) *elasticVictim {
+	t.Helper()
+	broker := inspect.NewBroker(64)
+	p, err := pdp.New(pdp.Config{
+		Policy:   pol,
+		Store:    adi.NewStore(),
+		Observer: func(ev inspect.DecisionEvent) { broker.Publish(ev) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy := &chaosProxy{inner: server.New(p, server.WithHandoff(), server.WithEventBroker(broker))}
+	proxy.Heal()
+	srv := httptest.NewServer(proxy)
+	t.Cleanup(srv.Close)
+	return &elasticVictim{proxy: proxy, srv: srv}
+}
+
+func TestElasticReshardTorture(t *testing.T) {
+	seeds := 60
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := 1; seed <= seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%02d", seed), func(t *testing.T) {
+			t.Parallel()
+			elasticTortureOne(t, int64(seed))
+		})
+	}
+}
+
+func elasticTortureOne(t *testing.T, seed int64) {
+	pol, err := policy.ParseRBACPolicy([]byte(torturePolicyXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	statePath := filepath.Join(t.TempDir(), "topology.json")
+
+	victims := map[string]*elasticVictim{
+		"shard-a": newElasticVictim(t, pol),
+		"shard-b": newElasticVictim(t, pol),
+	}
+	newGateway := func(shards []cluster.Shard, states map[string]cluster.ShardState) (*cluster.Gateway, *httptest.Server) {
+		gw, err := cluster.New(cluster.Config{
+			Shards:         shards,
+			States:         states,
+			Retries:        -1,
+			FailAfter:      1,
+			StatePath:      statePath,
+			HandoffTimeout: 10 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gw.Checker().CheckNow()
+		srv := httptest.NewServer(gw)
+		return gw, srv
+	}
+	gw, gwSrv := newGateway([]cluster.Shard{
+		{ID: "shard-a", BaseURL: victims["shard-a"].srv.URL},
+		{ID: "shard-b", BaseURL: victims["shard-b"].srv.URL},
+	}, nil)
+	closed := false
+	t.Cleanup(func() {
+		if !closed {
+			gwSrv.Close()
+			gw.Close()
+		}
+	})
+
+	// The shadow sees exactly the acknowledged decisions, on state no
+	// fault can touch.
+	shadow, err := pdp.New(pdp.Config{Policy: pol, Store: adi.NewStore()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := server.NewClient(gwSrv.URL, nil)
+	wire := func(s tortureStep) server.DecisionRequest {
+		return server.DecisionRequest{
+			User: string(s.user), Roles: []string{string(s.role)},
+			Operation: string(s.op), Target: string(s.tgt),
+			Context: "TaxOffice=Leeds, taxRefundProcess=" + s.inst,
+		}
+	}
+	// decideAcked routes one step, riding out fail-closed 503s (the
+	// handoff window, a dying shard before its probe) like a PEP would.
+	decideAcked := func(stage string, s tortureStep) server.DecisionResponse {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			resp, err := c.Decision(wire(s))
+			if err == nil {
+				return resp
+			}
+			var apiErr *server.APIError
+			if !errors.As(err, &apiErr) || apiErr.Status != 503 || time.Now().After(deadline) {
+				t.Fatalf("%s: decision %+v: %v", stage, s, err)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	runSteps := func(stage string, steps []tortureStep) {
+		t.Helper()
+		for _, s := range steps {
+			vd := decideAcked(stage, s)
+			sd, serr := shadow.Decide(s.request())
+			if serr != nil {
+				t.Fatalf("%s: shadow decide: %v", stage, serr)
+			}
+			if vd.Allowed && !sd.Allowed {
+				t.Fatalf("%s: FALSE GRANT: cluster granted %s %s for %s/%s, shadow denies (%s)",
+					stage, s.op, s.inst, s.user, s.role, sd.Reason)
+			}
+		}
+	}
+
+	steps := genWorkload(rng, 80)
+	runSteps("pre-reshard", steps[:40])
+
+	// Scale out under fire: shard-c joins while a seeded fault fires.
+	joiner := newElasticVictim(t, pol)
+	victims["shard-c"] = joiner
+	kind := rng.Intn(3)
+	switch kind {
+	case 0: // joiner crashes a few requests into the handoff
+		joiner.proxy.Arm(1 + rng.Intn(3))
+	case 1: // a donor crashes mid-stream (or mid-anything — still chaos)
+		donor := []string{"shard-a", "shard-b"}[rng.Intn(2)]
+		victims[donor].proxy.Arm(1 + rng.Intn(4))
+	case 2: // the gateway itself restarts from its persisted topology
+		joiner.proxy.Delay(150 * time.Millisecond)
+	}
+
+	postJoin := func() *http.Response {
+		payload, _ := json.Marshal(cluster.ClusterMemberRequest{ID: "shard-c", URL: joiner.srv.URL})
+		resp, err := http.Post(gwSrv.URL+cluster.ClusterJoinPath, "application/json", bytes.NewReader(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	status := func() cluster.ClusterStatusResponse {
+		t.Helper()
+		resp, err := http.Get(gwSrv.URL + cluster.ClusterStatusPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st cluster.ClusterStatusResponse
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	settle := func() {
+		t.Helper()
+		deadline := time.Now().Add(15 * time.Second)
+		for status().Handoff != nil {
+			if time.Now().After(deadline) {
+				t.Fatal("handoff never settled")
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	resp := postJoin()
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("join status %d", resp.StatusCode)
+	}
+	if kind == 2 {
+		// Kill the gateway while the handoff is (very likely still)
+		// running, then boot a fresh one from the persisted topology —
+		// the msodgw restart path. Close aborts the in-flight handoff;
+		// whichever side of cutover it died on, the state file names an
+		// owner that actually holds every user's history.
+		gwSrv.Close()
+		gw.Close()
+		persisted, err := cluster.LoadTopology(statePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards := make([]cluster.Shard, 0, len(persisted))
+		states := make(map[string]cluster.ShardState, len(persisted))
+		for _, s := range persisted {
+			state, perr := cluster.ParseShardState(s.State)
+			if perr != nil {
+				t.Fatal(perr)
+			}
+			shards = append(shards, cluster.Shard{ID: s.ID, BaseURL: s.URL})
+			states[s.ID] = state
+		}
+		gw, gwSrv = newGateway(shards, states)
+		t.Cleanup(func() { gwSrv.Close(); gw.Close() })
+		closed = true
+		c = server.NewClient(gwSrv.URL, nil)
+		joiner.proxy.Delay(0)
+	} else {
+		settle()
+	}
+
+	// Heal every victim and drive the join to completion. A fault that
+	// landed after cutover leaves shard-c already active; otherwise the
+	// retried join streams the (replace-semantics) import again.
+	for _, v := range victims {
+		v.proxy.Heal()
+	}
+	gw.Checker().CheckNow()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		settle()
+		st := status()
+		if s, ok := st.Shards["shard-c"]; ok && s.Lifecycle == "active" && s.InRing {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shard-c never became active: %+v", status())
+		}
+		if resp := postJoin(); resp != nil {
+			resp.Body.Close()
+		}
+	}
+
+	// Post-reshard workload, then the full probe grid: one cluster
+	// grant the shadow denies is a reshard-induced false grant.
+	runSteps("post-reshard", steps[40:])
+	for _, probe := range probeSteps() {
+		vd, verr := c.Advice(wire(probe))
+		if verr != nil {
+			t.Fatalf("probe %+v: %v", probe, verr)
+		}
+		sd, serr := shadow.Advise(probe.request())
+		if serr != nil {
+			t.Fatalf("probe %+v: shadow: %v", probe, serr)
+		}
+		if vd.Allowed && !sd.Allowed {
+			t.Fatalf("probe %+v: FALSE GRANT after reshard torture (kind %d): cluster grants, shadow denies (%s)",
+				probe, kind, sd.Reason)
+		}
+	}
+}

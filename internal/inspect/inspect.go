@@ -293,6 +293,9 @@ func (in *Inspector) ContextState(pattern bctx.Name) ContextState {
 	}
 	pairs := in.boundPairs(pattern, true)
 	for _, user := range in.browser.UserIDs() {
+		if user == adi.ActivationUser {
+			continue // cluster activation markers are infrastructure, not user state
+		}
 		recs := in.browser.UserRecords(user, pattern)
 		cons := in.progressFor(user, pairs)
 		if len(recs) == 0 && len(cons) == 0 {

@@ -110,20 +110,27 @@ func (p *PDP) Manage(req ManagementRequest) (ManagementResult, error) {
 		if req.TargetUser == "" {
 			return ManagementResult{}, fmt.Errorf("%w: purgeUser needs a target user", ErrManagement)
 		}
-		s, ok := p.store.(*adi.Store)
+		p.commitMu.Lock()
+		n, ok, purgeErr := adi.PurgeUserFrom(p.store, req.TargetUser)
+		if ok && purgeErr == nil {
+			p.publishPurge(inspect.DecisionEvent{
+				Operation: string(OpPurgeUser),
+				Target:    string(RetainedADITarget),
+				User:      string(req.TargetUser),
+				Purged:    n,
+				Reason:    fmt.Sprintf("management purge by %q", user),
+			})
+		}
+		p.commitMu.Unlock()
 		if !ok {
 			return ManagementResult{}, fmt.Errorf("%w: store does not support purgeUser", ErrManagement)
 		}
-		p.commitMu.Lock()
-		n := s.PurgeUser(req.TargetUser)
-		p.publishPurge(inspect.DecisionEvent{
-			Operation: string(OpPurgeUser),
-			Target:    string(RetainedADITarget),
-			User:      string(req.TargetUser),
-			Purged:    n,
-			Reason:    fmt.Sprintf("management purge by %q", user),
-		})
-		p.commitMu.Unlock()
+		if purgeErr != nil {
+			// A durable purge that failed mid-write surfaces the store's
+			// error chain (adi.ErrWriteFailed latches the server's
+			// degraded read-only mode).
+			return ManagementResult{}, fmt.Errorf("%w: %w", ErrManagement, purgeErr)
+		}
 		return ManagementResult{Removed: n, Records: p.store.Len()}, nil
 
 	case OpPurgeBefore:

@@ -211,22 +211,11 @@ func (m *Mirror) applyPurge(ev inspect.DecisionEvent) error {
 func (m *Mirror) Reset(snap server.ReplicaSnapshot) error {
 	recs := make([]adi.Record, 0, len(snap.Records))
 	for _, sr := range snap.Records {
-		ctxName, err := bctx.Parse(sr.Context)
+		rec, err := sr.ADIRecord()
 		if err != nil {
 			return fmt.Errorf("replica: snapshot record context %q: %w", sr.Context, err)
 		}
-		roles := make([]rbac.RoleName, len(sr.Roles))
-		for i, r := range sr.Roles {
-			roles[i] = rbac.RoleName(r)
-		}
-		recs = append(recs, adi.Record{
-			User:      rbac.UserID(sr.User),
-			Roles:     roles,
-			Operation: rbac.Operation(sr.Operation),
-			Target:    rbac.Object(sr.Target),
-			Context:   ctxName,
-			Time:      sr.Time,
-		})
+		recs = append(recs, rec)
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()

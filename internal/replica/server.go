@@ -70,6 +70,12 @@ func NewServer(f *Follower) *Server {
 	// serving an empty 404 would look like rotation rather than the
 	// truth — the decision (and its trace) lives on the owner.
 	s.mux.HandleFunc(server.TracesPath, s.refuseAuthoritative)
+	// The resharding handoff surface is authoritative by nature: an
+	// import into (or a release from) a replica would fork the
+	// retained-ADI history off the owner's. 421, same as decisions.
+	s.mux.HandleFunc(server.HandoffUsersPath, s.refuseAuthoritative)
+	s.mux.HandleFunc(server.HandoffImportPath, s.refuseAuthoritative)
+	s.mux.HandleFunc(server.HandoffReleasePath, s.refuseAuthoritative)
 	s.mux.HandleFunc(server.EventsPath, func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, map[string]string{
 			"error": "replicas do not re-serve the event stream; subscribe to the owner at " + s.follower.Owner(),

@@ -1,0 +1,104 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"msod/internal/adi"
+	"msod/internal/bctx"
+)
+
+// Context-activation surface. A sharded deployment must agree on which
+// FirstStep-gated context instances are running (see adi's activation
+// markers): the gateway POSTs here to tell a shard "these instances
+// have started elsewhere", and GETs the shard's own view when seeding
+// a joining shard. The surface is always on — a spurious activation is
+// deny-safe (it can only cause over-recording), so unlike the handoff
+// import it needs no opt-in flag.
+const ActivationPath = "/v1/ctx/activation"
+
+// ActivationRequest names bound context instances to mark active.
+type ActivationRequest struct {
+	Contexts []string `json:"contexts"`
+}
+
+// ActivationResponse reports the POST's effect (GET returns the active
+// instance list instead).
+type ActivationResponse struct {
+	// Contexts is, on GET, every context instance with retained
+	// history on this shard; on POST it echoes the request.
+	Contexts []string `json:"contexts"`
+	// Added is how many markers the POST appended (instances already
+	// active are skipped — the endpoint is idempotent).
+	Added int `json:"added,omitempty"`
+}
+
+func (s *Server) handleActivation(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		if s.browser == nil {
+			writeJSON(w, http.StatusNotFound, errorResponse{"activation listing needs state introspection (store exposes no browse surface)"})
+			return
+		}
+		resp := ActivationResponse{Contexts: []string{}}
+		for _, inst := range s.browser.Instances() {
+			resp.Contexts = append(resp.Contexts, inst.String())
+		}
+		writeJSON(w, http.StatusOK, resp)
+	case http.MethodPost:
+		if s.refuseTampered(w) || s.refuseReadOnly(w) {
+			return
+		}
+		var req ActivationRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("decode: %v", err)})
+			return
+		}
+		if len(req.Contexts) == 0 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{"activation requires at least one context instance"})
+			return
+		}
+		bounds := make([]bctx.Name, 0, len(req.Contexts))
+		for _, c := range req.Contexts {
+			bound, err := bctx.Parse(c)
+			if err != nil {
+				writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("context %q: %v", c, err)})
+				return
+			}
+			bounds = append(bounds, bound)
+		}
+		resp := ActivationResponse{Contexts: req.Contexts}
+		var ensureErr error
+		s.pdp.WithCommitLock(func() {
+			resp.Added, ensureErr = adi.EnsureActive(s.pdp.Store(), time.Now(), bounds...)
+		})
+		if ensureErr != nil {
+			s.noteWriteFailure(ensureErr)
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{fmt.Sprintf("activation failed: %v", ensureErr)})
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	default:
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"GET or POST required"})
+	}
+}
+
+// ActiveContexts fetches the shard's active context instances.
+func (c *Client) ActiveContexts(ctx context.Context) ([]string, error) {
+	var out ActivationResponse
+	if err := c.get(ctx, ActivationPath, &out); err != nil {
+		return nil, err
+	}
+	return out.Contexts, nil
+}
+
+// Activate idempotently marks the named context instances active on
+// the shard.
+func (c *Client) Activate(ctx context.Context, contexts []string) (ActivationResponse, error) {
+	var out ActivationResponse
+	err := c.post(ctx, ActivationPath, ActivationRequest{Contexts: contexts}, &out)
+	return out, err
+}

@@ -1,0 +1,292 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"msod/internal/adi"
+	"msod/internal/rbac"
+)
+
+// Resharding handoff surface. When cluster membership changes, the
+// gateway moves the affected users' retained-ADI subtrees from their
+// old owner to their new owner through three endpoints:
+//
+//   - GET  /v1/handoff/users    — the donor's retained-ADI user list,
+//     so the coordinator can compute which users change owner.
+//   - POST /v1/handoff/import   — the recipient loads a subtree-scoped
+//     ReplicaSnapshot with per-user REPLACE semantics: whatever the
+//     recipient already held for each user in scope is purged first,
+//     so a retried import can never double-count history (MSoD
+//     over-counts deny, but an import must be exact, and replace makes
+//     it idempotent).
+//   - POST /v1/handoff/release  — the donor purges the moved users
+//     after cutover. Failure here is deny-safe: leftover copies on a
+//     shard that no longer owns the users only ever add denials.
+//
+// The whole surface is opt-in (WithHandoff / msodd -handoff): import
+// and release mutate the retained ADI without the management port's
+// RBAC check, so a shard must be explicitly run as handoff-capable.
+const (
+	HandoffUsersPath   = "/v1/handoff/users"
+	HandoffImportPath  = "/v1/handoff/import"
+	HandoffReleasePath = "/v1/handoff/release"
+)
+
+// HandoffUsersResponse lists the users with retained records.
+type HandoffUsersResponse struct {
+	Policy string   `json:"policy"`
+	Users  []string `json:"users"`
+}
+
+// HandoffImportResponse reports an import's effects.
+type HandoffImportResponse struct {
+	// Users is the scope size (including users that carried no records).
+	Users int `json:"users"`
+	// Records is how many records the import appended.
+	Records int `json:"records"`
+	// Replaced is how many pre-existing records the per-user replace
+	// purged before appending (non-zero on a retried import).
+	Replaced int `json:"replaced"`
+}
+
+// HandoffReleaseRequest names the users a donor should purge after
+// cutover.
+type HandoffReleaseRequest struct {
+	Users []string `json:"users"`
+}
+
+// HandoffReleaseResponse reports a release's effects.
+type HandoffReleaseResponse struct {
+	Users  int `json:"users"`
+	Purged int `json:"purged"`
+}
+
+// WithHandoff enables the resharding handoff surface. Off by default:
+// import and release rewrite retained-ADI subtrees on the authority of
+// the gateway alone, so only shards deliberately deployed behind one
+// should expose them.
+func WithHandoff() Option {
+	return func(s *Server) { s.handoff = true }
+}
+
+// refuseHandoffDisabled writes the 403 when the surface is off.
+func (s *Server) refuseHandoffDisabled(w http.ResponseWriter) bool {
+	if s.handoff {
+		return false
+	}
+	writeJSON(w, http.StatusForbidden,
+		errorResponse{"handoff surface disabled: run the shard with -handoff to allow resharding imports"})
+	return true
+}
+
+// handleHandoffUsers serves the donor-side user list. Read-only, but
+// gated with the rest of the surface — the list exists to plan an
+// export, and a shard that refuses exports should say so here already.
+func (s *Server) handleHandoffUsers(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"GET required"})
+		return
+	}
+	if s.refuseHandoffDisabled(w) {
+		return
+	}
+	if s.browser == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{"handoff needs state introspection (store exposes no browse surface)"})
+		return
+	}
+	if s.refuseTampered(w) {
+		return
+	}
+	resp := HandoffUsersResponse{Policy: s.pdp.PolicyID(), Users: []string{}}
+	for _, u := range s.browser.UserIDs() {
+		if u == adi.ActivationUser {
+			// Activation markers are per-shard infrastructure state —
+			// every shard keeps its own set — not user history to move,
+			// and release must never purge a donor's markers.
+			continue
+		}
+		resp.Users = append(resp.Users, string(u))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleHandoffImport loads a subtree-scoped snapshot with per-user
+// replace semantics, atomically with respect to decisions (commit
+// lock). Refusals are fail-closed and precise: policy mismatch is 409
+// (same records, different semantics), a tampered or read-only shard is
+// 503, an unscoped or out-of-scope snapshot is 400.
+func (s *Server) handleHandoffImport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST required"})
+		return
+	}
+	if s.refuseHandoffDisabled(w) {
+		return
+	}
+	if s.refuseTampered(w) || s.refuseReadOnly(w) {
+		return
+	}
+	var snap ReplicaSnapshot
+	if err := json.NewDecoder(r.Body).Decode(&snap); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("decode: %v", err)})
+		return
+	}
+	if snap.Policy != s.pdp.PolicyID() {
+		writeJSON(w, http.StatusConflict, errorResponse{fmt.Sprintf(
+			"policy mismatch: snapshot from policy %q, this shard runs %q — importing history across policies corrupts MSoD state", snap.Policy, s.pdp.PolicyID())})
+		return
+	}
+	if len(snap.Users) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"import requires an explicitly user-scoped snapshot (Users non-empty)"})
+		return
+	}
+	scope := make(map[rbac.UserID]bool, len(snap.Users))
+	for _, u := range snap.Users {
+		scope[rbac.UserID(u)] = true
+	}
+	recs := make([]adi.Record, 0, len(snap.Records))
+	for _, sr := range snap.Records {
+		rec, err := sr.ADIRecord()
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("record context %q: %v", sr.Context, err)})
+			return
+		}
+		if !scope[rec.User] {
+			// A record outside the declared scope would be appended without
+			// the replace purge — a retry could then double it.
+			writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf(
+				"record for user %q outside the snapshot's declared scope", rec.User)})
+			return
+		}
+		recs = append(recs, rec)
+	}
+	store := s.pdp.Store()
+	resp := HandoffImportResponse{Users: len(snap.Users), Records: len(recs)}
+	var importErr error
+	unsupported := false
+	s.pdp.WithCommitLock(func() {
+		// Replace: purge every in-scope user first, so records from a
+		// previous partial or duplicate import cannot survive alongside
+		// the fresh copies.
+		for u := range scope {
+			n, ok, err := adi.PurgeUserFrom(store, u)
+			if !ok {
+				unsupported = true
+				return
+			}
+			if err != nil {
+				importErr = err
+				return
+			}
+			resp.Replaced += n
+		}
+		if len(recs) > 0 {
+			importErr = store.Append(recs...)
+		}
+	})
+	if unsupported {
+		writeJSON(w, http.StatusNotImplemented,
+			errorResponse{"store exposes no per-user purge; replace-semantics import unsupported"})
+		return
+	}
+	if importErr != nil {
+		s.noteWriteFailure(importErr)
+		// Either way 503: the import did not land whole, and the
+		// coordinator must treat the recipient as not having the users.
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{fmt.Sprintf("import failed: %v", importErr)})
+		return
+	}
+	s.metrics.handoffImports.Add(1)
+	s.metrics.handoffRecordsIn.Add(int64(len(recs)))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleHandoffRelease purges moved users on the donor after cutover.
+func (s *Server) handleHandoffRelease(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST required"})
+		return
+	}
+	if s.refuseHandoffDisabled(w) {
+		return
+	}
+	if s.refuseReadOnly(w) {
+		return
+	}
+	var req HandoffReleaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("decode: %v", err)})
+		return
+	}
+	if len(req.Users) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"release requires at least one user"})
+		return
+	}
+	store := s.pdp.Store()
+	resp := HandoffReleaseResponse{Users: len(req.Users)}
+	var releaseErr error
+	unsupported := false
+	s.pdp.WithCommitLock(func() {
+		for _, u := range req.Users {
+			n, ok, err := adi.PurgeUserFrom(store, rbac.UserID(u))
+			if !ok {
+				unsupported = true
+				return
+			}
+			if err != nil {
+				releaseErr = err
+				return
+			}
+			resp.Purged += n
+		}
+	})
+	if unsupported {
+		writeJSON(w, http.StatusNotImplemented,
+			errorResponse{"store exposes no per-user purge; release unsupported"})
+		return
+	}
+	if releaseErr != nil {
+		s.noteWriteFailure(releaseErr)
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{fmt.Sprintf("release failed: %v", releaseErr)})
+		return
+	}
+	s.metrics.handoffReleases.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// HandoffUsers fetches a donor's retained-ADI user list.
+func (c *Client) HandoffUsers(ctx context.Context) (HandoffUsersResponse, error) {
+	var out HandoffUsersResponse
+	err := c.get(ctx, HandoffUsersPath, &out)
+	return out, err
+}
+
+// ReplicaSnapshotUsers fetches a subtree-scoped snapshot: exactly the
+// named users' retained ADI, consistent with the returned Seq.
+func (c *Client) ReplicaSnapshotUsers(ctx context.Context, users []string) (ReplicaSnapshot, error) {
+	var out ReplicaSnapshot
+	q := url.Values{"users": []string{strings.Join(users, ",")}}
+	err := c.get(ctx, ReplicaSnapshotPath+"?"+q.Encode(), &out)
+	return out, err
+}
+
+// HandoffImport loads a subtree-scoped snapshot into the shard with
+// per-user replace semantics.
+func (c *Client) HandoffImport(ctx context.Context, snap ReplicaSnapshot) (HandoffImportResponse, error) {
+	var out HandoffImportResponse
+	err := c.post(ctx, HandoffImportPath, snap, &out)
+	return out, err
+}
+
+// HandoffRelease purges the named users from the shard (donor side,
+// after cutover).
+func (c *Client) HandoffRelease(ctx context.Context, users []string) (HandoffReleaseResponse, error) {
+	var out HandoffReleaseResponse
+	err := c.post(ctx, HandoffReleasePath, HandoffReleaseRequest{Users: users}, &out)
+	return out, err
+}

@@ -45,6 +45,12 @@ type metrics struct {
 	shed           atomic.Int64
 	recordsWritten atomic.Int64
 	recordsPurged  atomic.Int64
+	// handoffImports/handoffRecordsIn/handoffReleases count the
+	// resharding handoff surface: subtree imports applied, records they
+	// carried, and post-cutover releases executed.
+	handoffImports   atomic.Int64
+	handoffRecordsIn atomic.Int64
+	handoffReleases  atomic.Int64
 	// duration observes the PDP evaluation time of every decision and
 	// advisory request (not transport or JSON handling); stages breaks
 	// the same time down by pipeline stage from the request's trace.
@@ -159,6 +165,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		obsv.WriteGauge(w, "msod_constraints_near_limit",
 			"Tracked constraint tuples at k == m-1: the next conflicting activation is denied.", float64(sum.ConstraintsNearLimit))
 	}
+	obsv.WriteCounter(w, "msod_handoff_imports_total",
+		"Resharding handoff imports applied (per-user replace of retained-ADI subtrees).",
+		s.metrics.handoffImports.Load())
+	obsv.WriteCounter(w, "msod_handoff_records_in_total",
+		"Retained-ADI records received through handoff imports.",
+		s.metrics.handoffRecordsIn.Load())
+	obsv.WriteCounter(w, "msod_handoff_releases_total",
+		"Post-cutover handoff releases executed (moved users purged from the donor).",
+		s.metrics.handoffReleases.Load())
 	obsv.WriteCounter(w, "msod_shed_total",
 		"Requests shed by admission control with 503 + Retry-After (server at its in-flight cap).",
 		s.metrics.shed.Load())

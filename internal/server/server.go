@@ -67,6 +67,11 @@ type DecisionResponse struct {
 	// Recorded and Purged echo the retained-ADI effects of a grant.
 	Recorded int `json:"recorded,omitempty"`
 	Purged   int `json:"purged,omitempty"`
+	// Activated lists bound context instances this grant STARTED (the
+	// FirstStep of an MSoD policy committed its opening record). The
+	// cluster gateway fans each one out to every other shard before
+	// acknowledging, so FirstStep-gated recording holds cluster-wide.
+	Activated []string `json:"activated,omitempty"`
 	// MatchedPolicies is how many MSoD policies applied.
 	MatchedPolicies int `json:"matchedPolicies,omitempty"`
 	// TraceID correlates this response with the server's slow-log
@@ -165,6 +170,10 @@ type Server struct {
 	// failure (see admission.go): decisions and management refuse,
 	// advisories and introspection keep serving.
 	degraded atomic.Bool
+
+	// handoff enables the resharding handoff surface (see handoff.go /
+	// WithHandoff); off by default.
+	handoff bool
 }
 
 // Option configures a Server.
@@ -234,6 +243,10 @@ func New(p *pdp.PDP, opts ...Option) *Server {
 	s.mux.HandleFunc(ExplainPath, s.handleExplain)
 	s.mux.HandleFunc(TracesPath, s.handleTraces)
 	s.mux.HandleFunc(ReplicaSnapshotPath, s.handleReplicaSnapshot)
+	s.mux.HandleFunc(HandoffUsersPath, s.handleHandoffUsers)
+	s.mux.HandleFunc(HandoffImportPath, s.handleHandoffImport)
+	s.mux.HandleFunc(HandoffReleasePath, s.handleHandoffRelease)
+	s.mux.HandleFunc(ActivationPath, s.handleActivation)
 	return s
 }
 
@@ -388,6 +401,9 @@ func (s *Server) serveDecision(w http.ResponseWriter, r *http.Request, decide fu
 		resp.Recorded = dec.MSoD.Recorded
 		resp.Purged = dec.MSoD.Purged
 		resp.MatchedPolicies = dec.MSoD.MatchedPolicies
+		for _, bound := range dec.MSoD.Activated {
+			resp.Activated = append(resp.Activated, bound.String())
+		}
 	}
 	if xrec != nil {
 		// The engine filled the rule evaluations during decide; the

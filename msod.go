@@ -429,6 +429,14 @@ func WithServerAdmissionLimit(maxInFlight int, retryAfter time.Duration) ServerO
 	return server.WithAdmissionLimit(maxInFlight, retryAfter)
 }
 
+// WithServerHandoff enables the resharding handoff endpoints
+// (/v1/handoff/users|import|release), letting an msodgw gateway stream
+// this shard's retained-ADI subtrees during elastic membership changes.
+// Off by default: the import endpoint replaces per-user history
+// wholesale, so only shards actually run behind a gateway should
+// expose it.
+func WithServerHandoff() ServerOption { return server.WithHandoff() }
+
 // NewClient builds a client for the PDP (or msodgw gateway) at base URL.
 func NewClient(base string, opts ...ClientOption) *Client {
 	return server.NewClient(base, nil, opts...)
